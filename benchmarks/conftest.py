@@ -1,0 +1,14 @@
+"""Shared fixtures for the figure/table regeneration harness.
+
+Every benchmark prints the rows/series the corresponding paper artifact
+reports (via repro.analysis.reporting) and asserts the *shape* claims —
+who wins, by roughly what factor — not absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_benchmarks():
+    """A representative subset for the slower sweeps."""
+    return ("bzip2", "mcf", "libquantum", "sphinx3")

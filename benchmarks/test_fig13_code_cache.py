@@ -1,0 +1,40 @@
+"""Figure 13 — effect of code-cache size on security-migration overhead.
+
+Paper: zero indirect control transfers miss a code cache of 768 KB or
+larger — no security-induced migrations in steady state; below that,
+capacity misses (and therefore migration-triggering events) climb.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.workloads import SPEC_NAMES
+
+SIZES = (2048, 4096, 8192, 16384, 65536, 786432)
+
+
+def test_fig13_code_cache(benchmark):
+    rows = benchmark.pedantic(experiments.fig13_code_cache,
+                              args=(SPEC_NAMES,), rounds=1, iterations=1,
+                              kwargs={"sizes": SIZES})
+    print()
+    table_rows = []
+    for row in rows:
+        for size in SIZES:
+            cells = row.by_size[size]
+            table_rows.append((row.benchmark, size,
+                               int(cells["capacity_misses"]),
+                               int(cells["security_events"]),
+                               f"{100 * cells['overhead']:.2f}%"))
+    print(format_table(
+        ["benchmark", "cache bytes", "capacity misses", "security events",
+         "overhead"],
+        table_rows, "Figure 13 — Effect of Code Cache Size"))
+    for row in rows:
+        largest = row.by_size[max(SIZES)]
+        smallest = row.by_size[min(SIZES)]
+        # a large cache never capacity-misses: no security-induced
+        # migrations beyond compulsory ones (the paper's ≥768 KB result)
+        assert largest["capacity_misses"] == 0
+        # shrinking the cache only increases pressure
+        assert smallest["capacity_misses"] >= largest["capacity_misses"]
+        assert smallest["security_events"] >= largest["security_events"]

@@ -1,0 +1,29 @@
+"""Figure 4 — brute-force attack surface: eliminated vs surviving.
+
+Paper: a sizable portion (average 15.83%) of all gadgets stays viable
+for brute force — they perform useful computation, just not what the
+attacker intended.  In this reproduction the fraction is larger (our
+small clean binaries are enriched in intended epilogue gadgets relative
+to SPEC's unaligned junk; see EXPERIMENTS.md), but the shape holds:
+a strict subset survives, and everything surviving is still obfuscated.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table, percent
+from repro.workloads import SPEC_NAMES
+
+
+def test_fig4_bruteforce_surface(benchmark):
+    rows = benchmark.pedantic(experiments.fig4_bruteforce_surface,
+                              args=(SPEC_NAMES,), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["benchmark", "total", "eliminated", "surviving", "surviving%"],
+        [(r.benchmark, r.total_gadgets, r.eliminated, r.surviving,
+          percent(r.surviving_fraction)) for r in rows],
+        "Figure 4 — Brute Force Attack Surface"))
+    for row in rows:
+        # a strict, nonzero subset survives for brute force
+        assert 0 < row.surviving < row.total_gadgets
+    average = sum(r.surviving_fraction for r in rows) / len(rows)
+    print(f"average surviving: {percent(average)} (paper: 15.83%)")

@@ -1,0 +1,32 @@
+"""Figure 6 — percentage of migration-safe basic blocks.
+
+Paper: ~45% natively, raised to ~78% by on-demand migration, similar in
+both directions.  Our compiler maintains stable per-function allocations
+by design, so both fractions come out higher (see EXPERIMENTS.md); the
+shape claim checked here is the ordering and the directional symmetry.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table, percent
+from repro.workloads import SPEC_NAMES
+
+
+def test_fig6_migration_safety(benchmark):
+    rows = benchmark.pedantic(experiments.fig6_migration_safety,
+                              args=(SPEC_NAMES,), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["benchmark", "blocks", "native-safe", "on-demand",
+         "x86→arm", "arm→x86"],
+        [(r.benchmark, r.total_blocks, percent(r.native_fraction),
+          percent(r.ondemand_fraction), percent(r.x86_to_arm),
+          percent(r.arm_to_x86)) for r in rows],
+        "Figure 6 — Migration-Safe Basic Blocks"))
+    for row in rows:
+        # on-demand migration never lowers safety
+        assert row.ondemand_fraction >= row.native_fraction
+        # both directions are broadly symmetric
+        assert abs(row.x86_to_arm - row.arm_to_x86) < 0.25
+        # on-demand safety is high enough to support probabilistic
+        # security migration (paper's 78% bar)
+        assert row.ondemand_fraction >= 0.70

@@ -1,0 +1,28 @@
+"""Figure 7 — entropy vs gadget-chain length.
+
+Paper: Isomeron and heterogeneous-ISA migration alone grow as 2^k (one
+bit per gadget — every 1-in-256 attempt succeeds at chain length 8);
+PSR-based systems dwarf them at every chain length.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_series
+
+
+def test_fig7_entropy(benchmark):
+    lengths = tuple(range(1, 13))
+    series = benchmark.pedantic(experiments.fig7_entropy,
+                                args=(lengths,), rounds=1, iterations=1)
+    print()
+    print(format_series(series, lengths,
+                        "Figure 7 — Entropy vs Gadget Chain Length "
+                        "(clipped at 1024 for display, as in the paper)"))
+    uncapped = experiments.fig7_entropy(lengths, cap=None)
+    for index, k in enumerate(lengths):
+        assert uncapped["isomeron"][index] == 2.0 ** k
+        assert uncapped["het_isa"][index] == 2.0 ** k
+        # PSR-based defenses dominate the 1-bit diversifiers everywhere
+        assert uncapped["hipstr"][index] > uncapped["isomeron"][index]
+        assert uncapped["psr+isomeron"][index] >= uncapped["psr"][index]
+    # the paper's example: a chain of 8 against Isomeron needs only 256
+    assert uncapped["isomeron"][7] == 256

@@ -1,0 +1,33 @@
+"""Figure 8 — surviving gadget surface vs diversification probability.
+
+Paper: PSR+Isomeron and HIPStR coincide at p=0 but diverge rapidly: at
+p=1, same-ISA diversification leaves hundreds of immune gadgets while
+HIPStR retains about two on average (none at all on five of eight).
+"""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_series
+from repro.workloads import SPEC_NAMES
+
+PROBABILITIES = tuple(i / 10 for i in range(11))
+
+
+def test_fig8_diversification(benchmark):
+    series = benchmark.pedantic(
+        experiments.fig8_diversification,
+        args=(SPEC_NAMES, PROBABILITIES), rounds=1, iterations=1)
+    print()
+    print(format_series(series, PROBABILITIES,
+                        "Figure 8 — Surviving Gadgets vs "
+                        "Diversification Probability (suite average)"))
+    iso = series["psr+isomeron"]
+    hipstr = series["hipstr"]
+    # identical starting point at p = 0
+    assert abs(iso[0] - hipstr[0]) < 1e-9
+    # both shrink with p; HIPStR shrinks to (almost) nothing
+    assert hipstr[-1] <= iso[-1]
+    assert hipstr[-1] < hipstr[0] * 0.2
+    # cross-ISA immunity is far rarer than same-ISA immunity at p = 1
+    assert hipstr[-1] <= max(iso[-1], 1.0)
+    print(f"at p=1: psr+isomeron keeps {iso[-1]:.1f} gadgets/bench, "
+          f"HIPStR keeps {hipstr[-1]:.1f} (paper: hundreds vs ~2)")

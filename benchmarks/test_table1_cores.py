@@ -1,0 +1,37 @@
+"""Table 1 — core configurations (sanity: the configs drive a real gap).
+
+Table 1 is an input, not a result; this harness checks the derived
+heterogeneity is live: the x86 core config executes the same workload
+measurably faster than the ARM core config, which is the premise of
+phase-driven performance migration.
+"""
+
+from repro.analysis import perfrun
+from repro.analysis.experiments import _perf_binary
+from repro.perf.cores import ARM_CORE, X86_CORE
+from repro.workloads import WORKLOADS
+
+
+def _gap():
+    binary = _perf_binary("mcf")
+    x86 = perfrun.measure_native(binary, "x86like")
+    arm = perfrun.measure_native(binary, "armlike")
+    return x86, arm
+
+
+def test_table1_cores(benchmark):
+    x86, arm = benchmark.pedantic(_gap, rounds=1, iterations=1)
+    print()
+    print(f"Table 1 check — mcf on both cores:")
+    print(f"  x86 core: {x86.instructions} ins, {x86.cycles:.0f} cyc, "
+          f"{x86.seconds * 1e3:.2f} ms  (fetch {X86_CORE.fetch_width}, "
+          f"ROB {X86_CORE.rob_size}, {X86_CORE.frequency_hz / 1e9:.1f} GHz)")
+    print(f"  arm core: {arm.instructions} ins, {arm.cycles:.0f} cyc, "
+          f"{arm.seconds * 1e3:.2f} ms  (fetch {ARM_CORE.fetch_width}, "
+          f"ROB {ARM_CORE.rob_size}, {ARM_CORE.frequency_hz / 1e9:.1f} GHz)")
+    # Table 1 parameters as published
+    assert X86_CORE.rob_size == 128 and ARM_CORE.rob_size == 20
+    assert X86_CORE.frequency_hz == 3.3e9 and ARM_CORE.frequency_hz == 2.0e9
+    assert X86_CORE.int_alus == 6 and ARM_CORE.int_alus == 2
+    # the big core is really faster on the same program
+    assert x86.seconds < arm.seconds

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Attack-surface study of the httpd mini-daemon (the paper's §7.1).
+
+Mines the daemon for gadgets with Galileo on both ISAs, applies PSR's
+relocation analysis, runs the brute-force simulation, and measures the
+JIT-ROP surface against the live code cache.
+
+Run:  python examples/httpd_attack_surface.py
+"""
+
+from repro.analysis.reporting import format_table, percent
+from repro.attacks import (
+    PSRGadgetAnalyzer,
+    gadget_population_summary,
+    jitrop_surface,
+    mine_binary,
+    simulate_brute_force,
+)
+from repro.workloads import WORKLOADS, compile_workload
+
+
+def main() -> None:
+    workload = WORKLOADS["httpd"]
+    binary = compile_workload("httpd")
+
+    print("=== Galileo gadget mining ===")
+    rows = []
+    for isa_name in binary.isa_names:
+        summary = gadget_population_summary(mine_binary(binary, isa_name))
+        rows.append((isa_name, summary["total"], summary["rop"],
+                     summary["jop"], summary["unintended"]))
+    print(format_table(["ISA", "total", "rop", "jop", "unintended"], rows))
+    x86_total = rows[0][1]
+    arm_total = rows[1][1]
+    print(f"x86like/armlike surface ratio: {x86_total / max(arm_total, 1):.2f} "
+          "(byte-granular decode vs strict alignment; the paper measures "
+          "52x on real ISAs)")
+
+    print("\n=== PSR relocation analysis (x86like) ===")
+    analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=3)
+    analyses = analyzer.analyze_all(mine_binary(binary, "x86like"))
+    obfuscated = sum(1 for a in analyses if a.obfuscated)
+    viable = sum(1 for a in analyses if a.brute_force_viable)
+    print(f"  {len(analyses)} gadgets: {percent(obfuscated / len(analyses))} "
+          f"obfuscated (paper: 99.7%), {viable} still brute-force viable")
+
+    print("\n=== brute-force simulation (Algorithm 1) ===")
+    brute = simulate_brute_force(binary, "httpd", seed=3, analyses=analyses)
+    print(f"  chain links found: {len(brute.chain)}/4, "
+          f"expected attempts: {brute.attempts:.2e} (paper: 1.8e32)")
+
+    print("\n=== JIT-ROP against the live code cache ===")
+    surface = jitrop_surface(binary, "httpd", seed=3, stdin=workload.stdin)
+    print(f"  gadgets visible in cache: {surface.cache_gadgets}")
+    print(f"  semantically viable:      {surface.cache_viable} "
+          f"(paper: 84)")
+    print(f"  flag a breach on entry:   {surface.flagging}")
+    print(f"  survive migration:        {surface.surviving} (paper: 2)")
+    print(f"  4-gadget exploit possible: {surface.surviving >= 4}")
+
+
+if __name__ == "__main__":
+    main()

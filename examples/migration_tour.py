@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A guided tour of cross-ISA execution migration.
+
+Runs the gobmk mini (game-tree search with function pointers) under full
+HIPStR with both migration triggers active — probabilistic security
+migrations on code-cache-missing returns, and phase-driven performance
+migrations — and narrates every hand-off: direction, resume point, frames
+walked, values relocated, and the modelled cost.
+
+Run:  python examples/migration_tour.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import PSRConfig
+from repro.core.hipstr import run_under_hipstr
+from repro.perf.migration_cost import migration_micros, summarize
+from repro.workloads import WORKLOADS, compile_workload
+
+
+def main() -> None:
+    workload = WORKLOADS["gobmk"]
+    binary = compile_workload("gobmk")
+    print("workload: gobmk mini —", workload.description)
+
+    system, result = run_under_hipstr(
+        binary,
+        config=PSRConfig(opt_level=3),
+        seed=11,
+        migration_probability=0.8,
+        stdin=workload.stdin,
+        phase_interval=60_000,
+    )
+
+    print(f"\nexit code: {result.exit_code} "
+          f"(reason: {result.result.reason})")
+    print(f"instructions executed per ISA: {result.steps_by_isa}")
+    print(f"total migrations: {result.migration_count}")
+
+    rows = []
+    for index, record in enumerate(result.migrations):
+        rows.append((
+            index,
+            f"{record.source_isa}→{record.target_isa}",
+            record.kind,
+            f"{record.native_target:#x}",
+            record.report.frames,
+            record.report.values_moved,
+            f"{migration_micros(record):.0f}",
+        ))
+    print()
+    print(format_table(
+        ["#", "direction", "trigger", "resume", "frames", "values", "μs"],
+        rows, "Migration log"))
+
+    summary = summarize(result.migrations)
+    print(f"\naverage migration cost: {summary.average_micros:.0f} μs")
+    print(f"per direction: "
+          f"arm→x86 {summary.by_direction['arm_to_x86']:.0f} μs, "
+          f"x86→arm {summary.by_direction['x86_to_arm']:.0f} μs "
+          f"(paper: 909 μs / 1287 μs)")
+
+    print("\nEvery migration walked the stack through source-address "
+          "return slots,\nmoved each live value from its randomized "
+          "location on one ISA to its\nrandomized location on the other, "
+          "and resumed at the equivalent\ntranslated unit — "
+          "Section 5.2's PSR-aware execution migration.")
+
+
+if __name__ == "__main__":
+    main()

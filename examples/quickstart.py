@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a program, run it natively, under PSR, under HIPStR.
+
+This walks the whole public API surface in ~60 lines:
+
+1. compile mini-C source to a fat binary (one text section per ISA,
+   shared data, extended symbol table);
+2. execute it natively on either modelled ISA;
+3. execute it under a PSR virtual machine (randomized translation);
+4. execute it under full HIPStR (PSR on both ISAs + cross-ISA migration).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler import compile_minic
+from repro.core import PSRConfig, run_native, run_under_psr
+from repro.core.hipstr import run_under_hipstr
+
+SOURCE = """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t;
+        t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+
+int main() {
+    int total;
+    int i;
+    total = 0;
+    i = 1;
+    while (i <= 30) {
+        total = total + gcd(1071 * i, 462);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+def main() -> None:
+    print("=== compiling for both ISAs ===")
+    binary = compile_minic(SOURCE)
+    for isa_name in binary.isa_names:
+        section = binary.sections[isa_name]
+        print(f"  {isa_name:8s}: {len(section.data)} bytes of text "
+              f"at {section.base_address:#x}")
+
+    print("\n=== native execution ===")
+    for isa_name in binary.isa_names:
+        process = run_native(binary, isa_name)
+        print(f"  {isa_name:8s}: exit={process.os.exit_code} "
+              f"({process.interpreter.steps_executed} instructions)")
+
+    print("\n=== under PSR (randomized translation) ===")
+    for seed in (1, 2):
+        run = run_under_psr(binary, "x86like", PSRConfig(), seed=seed)
+        stats = run.vm.stats
+        print(f"  seed {seed}: exit={run.exit_code}, "
+              f"{stats.units_installed} units translated, "
+              f"{stats.relocation_maps_built} relocation maps, "
+              f"{run.vm.rat.stats.hits} RAT hits")
+
+    print("\n=== under HIPStR (PSR + cross-ISA migration) ===")
+    system, result = run_under_hipstr(binary, seed=7,
+                                      migration_probability=1.0)
+    print(f"  exit={result.exit_code}, "
+          f"{result.migration_count} ISA migrations, "
+          f"instructions per ISA: {result.steps_by_isa}")
+    for record in result.migrations[:5]:
+        print(f"    {record.source_isa} -> {record.target_isa} "
+              f"at {record.native_target:#x} ({record.kind}), "
+              f"{record.report.frames} frames, "
+              f"{record.report.values_moved} values moved")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — a full-system reproduction of HIPStR (ASPLOS 2016).
+
+HIPStR — Heterogeneous-ISA Program State Relocation — defends against
+return-oriented programming by (a) relocating run-time program state
+(registers and stack objects) to randomized locations via a dynamic binary
+translator, and (b) probabilistically migrating execution between two ISAs
+when a potential breach is detected.
+
+This package implements the complete stack the paper depends on, in pure
+Python: two modelled ISAs, a machine with memory/syscalls, a multi-ISA
+compiler emitting fat binaries, a basic-block JIT translator, the PSR
+randomizer, the cross-ISA migration engine, baseline defenses (Isomeron),
+the attack framework (Galileo mining, brute force, JIT-ROP, tailored
+attacks), and an analytic performance model.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Experiment drivers and reporting for every table/figure of the paper."""
+
+from . import experiments, perfrun, reporting
+
+__all__ = ["experiments", "perfrun", "reporting"]

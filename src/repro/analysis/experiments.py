@@ -1,0 +1,448 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns plain data (lists of dataclass rows or dicts) so
+the benchmark harness, tests, and EXPERIMENTS.md generation all consume
+the same code path.  See DESIGN.md's experiment index for the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..attacks.bruteforce import BruteForceComparison, simulate_brute_force, table2_row
+from ..attacks.galileo import mine_binary
+from ..attacks.gadgets import PSRGadgetAnalyzer
+from ..attacks.jitrop import JITROPSurface, jitrop_surface
+from ..attacks.tailored import (
+    entropy_series,
+    measure_immunity,
+    surviving_vs_probability,
+)
+from ..core.relocation import PSRConfig
+from ..migration.ondemand import classify_blocks, directional_safety
+from ..perf.migration_cost import summarize
+from ..workloads import (
+    ISOMERON_COMPARISON_NAMES,
+    SPEC_NAMES,
+    WORKLOADS,
+    compile_workload,
+)
+from . import perfrun
+
+#: instruction cap for measured runs — a runaway guard, not a target;
+#: perf experiments run their (reduced-size) workloads to completion so
+#: every system does equal work
+FAST_BUDGET = 4_000_000
+
+#: reduced work parameters for the measured-performance experiments
+PERF_WORK = {"bzip2": 1, "gobmk": 1, "hmmer": 1, "lbm": 3, "libquantum": 2,
+             "mcf": 3, "milc": 2, "sphinx3": 3, "httpd": 4}
+
+
+def _perf_binary(name: str):
+    return compile_workload(name, PERF_WORK.get(name))
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — classic ROP attack surface
+# ----------------------------------------------------------------------
+@dataclass
+class ClassicROPRow:
+    benchmark: str
+    total_gadgets: int
+    obfuscated: int
+    unobfuscated: int
+
+    @property
+    def obfuscated_fraction(self) -> float:
+        return self.obfuscated / self.total_gadgets if self.total_gadgets else 0.0
+
+
+def fig3_classic_rop(benchmarks: Sequence[str] = SPEC_NAMES,
+                     seed: int = 0) -> List[ClassicROPRow]:
+    rows = []
+    for name in benchmarks:
+        binary = compile_workload(name)
+        gadgets = mine_binary(binary, "x86like")
+        analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
+        analyses = analyzer.analyze_all(gadgets)
+        obfuscated = sum(1 for a in analyses if a.obfuscated)
+        rows.append(ClassicROPRow(name, len(analyses), obfuscated,
+                                  len(analyses) - obfuscated))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — brute-force attack surface
+# ----------------------------------------------------------------------
+@dataclass
+class BruteForceSurfaceRow:
+    benchmark: str
+    total_gadgets: int
+    surviving: int            # viable for brute force
+    eliminated: int
+
+    @property
+    def surviving_fraction(self) -> float:
+        return self.surviving / self.total_gadgets if self.total_gadgets else 0.0
+
+
+def fig4_bruteforce_surface(benchmarks: Sequence[str] = SPEC_NAMES,
+                            seed: int = 0) -> List[BruteForceSurfaceRow]:
+    rows = []
+    for name in benchmarks:
+        binary = compile_workload(name)
+        gadgets = mine_binary(binary, "x86like")
+        analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
+        analyses = analyzer.analyze_all(gadgets)
+        surviving = sum(1 for a in analyses if a.brute_force_viable)
+        rows.append(BruteForceSurfaceRow(name, len(analyses), surviving,
+                                         len(analyses) - surviving))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 — brute-force simulation
+# ----------------------------------------------------------------------
+def table2_bruteforce(benchmarks: Sequence[str] = SPEC_NAMES,
+                      seed: int = 0) -> List[BruteForceComparison]:
+    return [table2_row(compile_workload(name), name, seed)
+            for name in benchmarks]
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — JIT-ROP attack surface
+# ----------------------------------------------------------------------
+def fig5_jitrop(benchmarks: Sequence[str] = SPEC_NAMES,
+                seed: int = 0,
+                steady_state_instructions: int = 400_000,
+                ) -> List[JITROPSurface]:
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = compile_workload(name)
+        rows.append(jitrop_surface(
+            binary, name, seed=seed, stdin=workload.stdin,
+            steady_state_instructions=steady_state_instructions))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — migration-safe basic blocks
+# ----------------------------------------------------------------------
+@dataclass
+class MigrationSafetyRow:
+    benchmark: str
+    total_blocks: int
+    native_fraction: float
+    ondemand_fraction: float
+    x86_to_arm: float
+    arm_to_x86: float
+
+
+def fig6_migration_safety(benchmarks: Sequence[str] = SPEC_NAMES,
+                          ) -> List[MigrationSafetyRow]:
+    rows = []
+    for name in benchmarks:
+        binary = compile_workload(name)
+        safety = classify_blocks(binary, name)
+        directions = directional_safety(binary, name)
+        rows.append(MigrationSafetyRow(
+            benchmark=name,
+            total_blocks=safety.total_blocks,
+            native_fraction=safety.native_fraction,
+            ondemand_fraction=safety.ondemand_fraction,
+            x86_to_arm=directions["x86_to_arm"],
+            arm_to_x86=directions["arm_to_x86"],
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — entropy vs gadget-chain length
+# ----------------------------------------------------------------------
+def fig7_entropy(chain_lengths: Sequence[int] = tuple(range(1, 13)),
+                 psr_bits: float = 13.0,
+                 cap: Optional[float] = 1024.0) -> Dict[str, List[float]]:
+    return entropy_series(chain_lengths, psr_bits, cap)
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — surviving gadgets vs diversification probability
+# ----------------------------------------------------------------------
+def fig8_diversification(benchmarks: Sequence[str] = SPEC_NAMES,
+                         probabilities: Sequence[float] = tuple(
+                             i / 10 for i in range(11)),
+                         seed: int = 0) -> Dict[str, List[float]]:
+    """Averaged surviving-gadget curves across the suite."""
+    totals: Dict[str, List[float]] = {}
+    for name in benchmarks:
+        binary = compile_workload(name)
+        immunity = measure_immunity(binary, name, seed=seed)
+        curves = surviving_vs_probability(immunity, probabilities)
+        for system, values in curves.items():
+            if system not in totals:
+                totals[system] = [0.0] * len(probabilities)
+            for index, value in enumerate(values):
+                totals[system][index] += value
+    count = len(benchmarks)
+    return {system: [value / count for value in values]
+            for system, values in totals.items()}
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — steady-state performance at each optimization level
+# ----------------------------------------------------------------------
+@dataclass
+class OptLevelRow:
+    benchmark: str
+    #: relative performance vs native (1.0 = native speed) per level
+    relative: Dict[str, float]
+
+
+def fig9_opt_levels(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
+                    budget: int = FAST_BUDGET) -> List[OptLevelRow]:
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = _perf_binary(name)
+        native = perfrun.measure_native(binary, stdin=workload.stdin,
+                                        budget=budget)
+        relative = {}
+        for level in (1, 2, 3):
+            measured, _vm = perfrun.measure_psr(
+                binary, config=PSRConfig(opt_level=level), seed=seed,
+                stdin=workload.stdin, budget=budget)
+            relative[f"O{level}"] = measured.relative_to(native)
+        rows.append(OptLevelRow(name, relative))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — effect of additional stack randomization space
+# ----------------------------------------------------------------------
+@dataclass
+class StackSizeRow:
+    benchmark: str
+    #: label ("S8".."S64", KB of randomization space) -> relative perf
+    relative: Dict[str, float]
+
+
+def fig10_stack_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
+                      budget: int = FAST_BUDGET,
+                      pages: Sequence[int] = (2, 4, 8, 16),
+                      ) -> List[StackSizeRow]:
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = _perf_binary(name)
+        native = perfrun.measure_native(binary, stdin=workload.stdin,
+                                        budget=budget)
+        relative = {}
+        for page_count in pages:
+            measured, _vm = perfrun.measure_psr(
+                binary, config=PSRConfig(randomization_pages=page_count),
+                seed=seed, stdin=workload.stdin, budget=budget)
+            relative[f"S{page_count * 4}"] = measured.relative_to(native)
+        rows.append(StackSizeRow(name, relative))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — effect of RAT size
+# ----------------------------------------------------------------------
+@dataclass
+class RATSizeRow:
+    benchmark: str
+    #: RAT size -> overhead fraction vs the largest RAT (0.0 = none)
+    overhead: Dict[int, float]
+
+
+def fig11_rat_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
+                    budget: int = FAST_BUDGET,
+                    sizes: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048),
+                    ) -> List[RATSizeRow]:
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = _perf_binary(name)
+        measurements = {}
+        for size in sizes:
+            measured, _vm = perfrun.measure_psr(
+                binary, config=PSRConfig(rat_size=size), seed=seed,
+                stdin=workload.stdin, budget=budget)
+            measurements[size] = measured.seconds
+        best = min(measurements.values())
+        rows.append(RATSizeRow(name, {
+            size: (seconds / best) - 1.0
+            for size, seconds in measurements.items()}))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — migration overhead per direction
+# ----------------------------------------------------------------------
+@dataclass
+class MigrationOverheadRow:
+    benchmark: str
+    arm_to_x86_micros: float
+    x86_to_arm_micros: float
+    migrations: int
+
+
+def fig12_migration_overhead(benchmarks: Sequence[str] = SPEC_NAMES,
+                             seed: int = 0, budget: int = FAST_BUDGET,
+                             checkpoints: int = 10,
+                             ) -> List[MigrationOverheadRow]:
+    """Force migrations at random execution points; average the costs."""
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = _perf_binary(name)
+        # Spread the forced-migration checkpoints over the workload's
+        # actual dynamic length, not the runaway-guard budget.
+        native = perfrun.measure_native(binary, stdin=workload.stdin,
+                                        budget=budget, warmup=0)
+        length = max(native.instructions, 10_000)
+        records = []
+        for checkpoint in range(checkpoints):
+            interval = length // (checkpoints + 2) + 37 * checkpoint
+            measured = perfrun.measure_hipstr(
+                binary, seed=seed + checkpoint, migration_probability=0.0,
+                stdin=workload.stdin, budget=budget,
+                phase_interval=max(interval, 1_000), warmup=0)
+            records.extend(measured.result.migrations)
+        summary = summarize(records)
+        rows.append(MigrationOverheadRow(
+            benchmark=name,
+            arm_to_x86_micros=summary.by_direction["arm_to_x86"],
+            x86_to_arm_micros=summary.by_direction["x86_to_arm"],
+            migrations=summary.count,
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — effect of code-cache size
+# ----------------------------------------------------------------------
+@dataclass
+class CodeCacheRow:
+    benchmark: str
+    #: cache size (bytes) -> (capacity misses, security events, overhead)
+    by_size: Dict[int, Dict[str, float]]
+
+
+def fig13_code_cache(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
+                     budget: int = FAST_BUDGET,
+                     sizes: Sequence[int] = (2048, 4096, 8192, 16384,
+                                             65536, 786432),
+                     ) -> List[CodeCacheRow]:
+    rows = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binary = _perf_binary(name)
+        by_size: Dict[int, Dict[str, float]] = {}
+        baseline: Optional[float] = None
+        for size in sorted(sizes, reverse=True):
+            measured, vm = perfrun.measure_psr(
+                binary, config=PSRConfig(code_cache_size=size), seed=seed,
+                stdin=workload.stdin, budget=budget)
+            if baseline is None:
+                baseline = measured.seconds
+            by_size[size] = {
+                "capacity_misses": float(vm.cache.stats.capacity_misses),
+                "security_events": float(vm.stats.security_events),
+                "overhead": measured.seconds / baseline - 1.0,
+            }
+        rows.append(CodeCacheRow(name, by_size))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — performance comparison with Isomeron
+# ----------------------------------------------------------------------
+@dataclass
+class IsomeronComparisonRow:
+    probability: float
+    #: system -> average relative performance vs native across benchmarks
+    relative: Dict[str, float]
+
+
+def fig14_isomeron_comparison(
+        benchmarks: Sequence[str] = ISOMERON_COMPARISON_NAMES,
+        probabilities: Sequence[float] = (0.0, 0.5, 1.0),
+        seed: int = 0, budget: int = FAST_BUDGET,
+        ) -> List[IsomeronComparisonRow]:
+    natives = {}
+    binaries = {}
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        binaries[name] = _perf_binary(name)
+        natives[name] = perfrun.measure_native(
+            binaries[name], stdin=workload.stdin, budget=budget)
+
+    rows = []
+    for probability in probabilities:
+        sums: Dict[str, float] = {"isomeron": 0.0, "psr+isomeron": 0.0,
+                                  "hipstr-256k": 0.0, "hipstr-2m": 0.0}
+        for name in benchmarks:
+            workload = WORKLOADS[name]
+            binary = binaries[name]
+            native = natives[name]
+            iso = perfrun.measure_isomeron(
+                binary, diversification_probability=probability, seed=seed,
+                stdin=workload.stdin, budget=budget)
+            sums["isomeron"] += iso.relative_to(native)
+            hybrid = perfrun.measure_psr_isomeron(
+                binary, diversification_probability=probability, seed=seed,
+                stdin=workload.stdin, budget=budget)
+            sums["psr+isomeron"] += hybrid.relative_to(native)
+            for label, cache in (("hipstr-256k", 256 * 1024),
+                                 ("hipstr-2m", 2 * 1024 * 1024)):
+                measured = perfrun.measure_hipstr(
+                    binary, config=PSRConfig(code_cache_size=cache),
+                    seed=seed, migration_probability=probability,
+                    stdin=workload.stdin, budget=budget, prewarm=True)
+                sums[label] += measured.measurement.relative_to(native)
+        rows.append(IsomeronComparisonRow(
+            probability=probability,
+            relative={system: total / len(benchmarks)
+                      for system, total in sums.items()},
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# §7.1 httpd case study
+# ----------------------------------------------------------------------
+@dataclass
+class HttpdCaseStudy:
+    total_gadgets: int
+    obfuscated_fraction: float
+    brute_force_attempts: float
+    jitrop_viable: int
+    surviving_migration: int
+    chain_possible: bool
+
+
+def httpd_case_study(seed: int = 0) -> HttpdCaseStudy:
+    workload = WORKLOADS["httpd"]
+    binary = compile_workload("httpd")
+    gadgets = mine_binary(binary, "x86like")
+    analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
+    analyses = analyzer.analyze_all(gadgets)
+    obfuscated = sum(1 for a in analyses if a.obfuscated)
+    brute = simulate_brute_force(binary, "httpd", seed=seed,
+                                 analyses=analyses)
+    surface = jitrop_surface(binary, "httpd", seed=seed,
+                             stdin=workload.stdin,
+                             steady_state_instructions=400_000)
+    return HttpdCaseStudy(
+        total_gadgets=len(analyses),
+        obfuscated_fraction=obfuscated / len(analyses) if analyses else 0.0,
+        brute_force_attempts=brute.attempts,
+        jitrop_viable=surface.cache_viable,
+        surviving_migration=surface.surviving,
+        chain_possible=surface.surviving >= 4,
+    )

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (tables and bar charts).
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report, so a run's output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = f"{cell:.4g}"
+            else:
+                text = str(cell)
+            columns[index].append(text)
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row_index in range(1, len(columns[0])):
+        lines.append("  ".join(
+            columns[col][row_index].ljust(widths[col])
+            for col in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     title: str = "", width: int = 40) -> str:
+    """Horizontal ASCII bars, scaled to the maximum value."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(width * value / peak), 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, List[float]], x_values: Sequence,
+                  title: str = "") -> str:
+    """Multi-series table keyed by x value (for line-plot figures)."""
+    headers = ["x"] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [series[name][index] for name in series])
+    return format_table(headers, rows, title)
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.2f}%"

@@ -1,0 +1,66 @@
+"""Attack framework: gadget mining, classification, and attack simulations."""
+
+from .galileo import Gadget, gadget_population_summary, mine_binary, mine_gadgets
+from .gadgets import (
+    GadgetAnalysis,
+    GadgetEffect,
+    PSRGadgetAnalyzer,
+    evaluate_gadget,
+    evaluate_instructions,
+)
+
+__all__ = [
+    "Gadget",
+    "GadgetAnalysis",
+    "GadgetEffect",
+    "PSRGadgetAnalyzer",
+    "evaluate_gadget",
+    "evaluate_instructions",
+    "gadget_population_summary",
+    "mine_binary",
+    "mine_gadgets",
+]
+
+from .bruteforce import (
+    BruteForceComparison,
+    BruteForceResult,
+    EXECVE_REGISTERS,
+    simulate_brute_force,
+    table2_row,
+)
+from .jitrop import JITROPSurface, four_gadget_chain_possible, jitrop_surface
+from .tailored import (
+    DiversificationImmunity,
+    entropy_series,
+    measure_immunity,
+    surviving_vs_probability,
+)
+from .blindrop import (
+    BlindROPOutcome,
+    CrashOracleVictim,
+    attack_incremental,
+    attack_random_guessing,
+    campaign,
+    expected_attempts,
+)
+from .payload import (
+    AttackOutcome,
+    ExploitPayload,
+    attack_native,
+    attack_psr,
+    build_exploit,
+    build_vulnerable_binary,
+    find_syscall_staging,
+)
+
+__all__ += [
+    "AttackOutcome", "BlindROPOutcome", "BruteForceComparison",
+    "BruteForceResult", "CrashOracleVictim", "DiversificationImmunity",
+    "EXECVE_REGISTERS", "ExploitPayload", "JITROPSurface",
+    "attack_incremental", "attack_native", "attack_psr",
+    "attack_random_guessing", "build_exploit", "build_vulnerable_binary",
+    "campaign", "entropy_series", "expected_attempts",
+    "find_syscall_staging", "four_gadget_chain_possible", "jitrop_surface",
+    "measure_immunity", "simulate_brute_force", "surviving_vs_probability",
+    "table2_row",
+]

@@ -1,0 +1,149 @@
+"""Blind-ROP-style crash-oracle brute force (Bittau et al., S&P 2014).
+
+The model of Section 4: a worker thread re-spawned by its parent on every
+crash gives the attacker a crash/no-crash oracle.  Against *load-time*
+randomization the secret survives re-spawns, so the attacker learns it
+incrementally — position by position — in thousands of attempts.  Against
+PSR the run-time randomization is rebuilt on every re-spawn (Section 5.3),
+so nothing learned from attempt *i* constrains attempt *i+1*: expected
+cost is a fresh uniform guess every time, 2^entropy attempts.
+
+The simulation runs at configurable (scaled-down) entropy so both regimes
+complete in-model; the analytic extrapolation to the paper's 87-bit
+per-gadget entropy is what Table 2 reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class BlindROPOutcome:
+    """Result of one simulated Blind-ROP campaign."""
+
+    defense: str
+    secret_bits: int
+    attempts: int
+    succeeded: bool
+
+
+class CrashOracleVictim:
+    """A respawning worker whose secret is a position in [0, 2^bits)."""
+
+    def __init__(self, secret_bits: int, rerandomize_on_crash: bool,
+                 rng: random.Random):
+        self.secret_bits = secret_bits
+        self.rerandomize_on_crash = rerandomize_on_crash
+        self._rng = rng
+        self._secret = self._draw()
+        self.crashes = 0
+
+    def _draw(self) -> int:
+        return self._rng.randrange(1 << self.secret_bits)
+
+    def probe(self, guess: int) -> bool:
+        """One attempt: True if the guess hits the secret, else crash."""
+        if guess == self._secret:
+            return True
+        self.crashes += 1
+        if self.rerandomize_on_crash:
+            self._secret = self._draw()
+        return False
+
+    def probe_prefix(self, prefix: int, bits: int) -> bool:
+        """Partial-overwrite probe: does the secret start with ``prefix``?
+
+        This is Blind-ROP's stack-reading primitive: overwrite only part
+        of the protected value; a crash reveals the partial guess is
+        wrong.  Only meaningful while the secret stays fixed.
+        """
+        hit = (self._secret >> (self.secret_bits - bits)) == prefix
+        if not hit:
+            self.crashes += 1
+            if self.rerandomize_on_crash:
+                self._secret = self._draw()
+        return hit
+
+
+def attack_incremental(victim: CrashOracleVictim,
+                       max_attempts: int = 10_000_000) -> BlindROPOutcome:
+    """Bit-by-bit search — devastating against load-time randomization."""
+    attempts = 0
+    prefix = 0
+    bits = 0
+    while bits < victim.secret_bits and attempts < max_attempts:
+        candidate = (prefix << 1) | 0
+        attempts += 1
+        if victim.probe_prefix(candidate, bits + 1):
+            prefix = candidate
+        else:
+            prefix = (prefix << 1) | 1
+            # against a fixed secret, the complement must be right; a
+            # re-randomizing victim invalidates the deduction, and the
+            # attack silently goes wrong — exactly the PSR effect.
+        bits += 1
+    attempts += 1
+    succeeded = victim.probe(prefix)
+    return BlindROPOutcome(
+        defense="load-time" if not victim.rerandomize_on_crash else "psr",
+        secret_bits=victim.secret_bits,
+        attempts=attempts,
+        succeeded=succeeded,
+    )
+
+
+def attack_random_guessing(victim: CrashOracleVictim,
+                           rng: random.Random,
+                           max_attempts: int = 1_000_000) -> BlindROPOutcome:
+    """Fresh uniform guesses — the best strategy against re-randomization."""
+    attempts = 0
+    while attempts < max_attempts:
+        attempts += 1
+        if victim.probe(rng.randrange(1 << victim.secret_bits)):
+            return BlindROPOutcome("psr", victim.secret_bits, attempts, True)
+    return BlindROPOutcome("psr", victim.secret_bits, attempts, False)
+
+
+def expected_attempts(secret_bits: int, rerandomizes: bool) -> float:
+    """Analytic expectation backing the simulation."""
+    if rerandomizes:
+        return float(1 << secret_bits)       # geometric with p = 2^-bits
+    return secret_bits + 1.0                 # one probe per bit, then hit
+
+
+def campaign(secret_bits: int = 12, trials: int = 20,
+             seed: int = 0) -> dict:
+    """Run matched campaigns against both defenses; return summary stats."""
+    results = {"load-time": [], "psr": []}
+    for trial in range(trials):
+        rng = random.Random(f"{seed}:{trial}")
+        fixed = CrashOracleVictim(secret_bits, False, rng)
+        outcome = attack_incremental(fixed)
+        results["load-time"].append(outcome.attempts if outcome.succeeded
+                                    else None)
+
+        rng = random.Random(f"{seed}:{trial}:psr")
+        moving = CrashOracleVictim(secret_bits, True, rng)
+        outcome = attack_random_guessing(
+            moving, rng, max_attempts=(1 << secret_bits) * 8)
+        results["psr"].append(outcome.attempts if outcome.succeeded else None)
+
+    def summary(values: List[Optional[int]]) -> dict:
+        hits = [v for v in values if v is not None]
+        return {
+            "success_rate": len(hits) / len(values),
+            "mean_attempts": sum(hits) / len(hits) if hits else float("inf"),
+        }
+
+    return {
+        "secret_bits": secret_bits,
+        "load-time": summary(results["load-time"]),
+        "psr": summary(results["psr"]),
+        "analytic": {
+            "load-time": expected_attempts(secret_bits, False),
+            "psr": expected_attempts(secret_bits, True),
+        },
+    }

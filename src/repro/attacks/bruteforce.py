@@ -1,0 +1,192 @@
+"""Brute-force attack simulation — Algorithm 1 of the paper.
+
+Simulates an attacker brute-forcing a four-gadget shellcode chain that
+populates the registers ``execve`` needs (eax, ebx, ecx, edx on x86like),
+against a PSR-protected victim.  Three independent unknowns must be
+guessed per link (Section 6): which gadget transforms into something
+viable, where the gadget's data lies within the frame, and where the next
+return address lies within the frame.  The attacker sprays one register's
+value across the whole 8 KB frame at a time, exactly as the methodology
+describes, and the expected attempt count follows the paper's line-14
+formula::
+
+    B = Y[0] + f·X[0] + n·f·Y[1] + n·f²·X[1] + ... + n³·f⁴·X[3]
+
+where ``n`` is the gadget count, ``f`` the frame size, ``X[i]`` the
+search position of the i-th chosen gadget and ``Y[i]`` its randomized
+return-address location.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig
+from ..isa.x86like import EAX, EBX, ECX, EDX
+from .gadgets import GadgetAnalysis, PSRGadgetAnalyzer
+from .galileo import Gadget, mine_binary
+
+#: the registers the execve() shellcode must populate (Section 6)
+EXECVE_REGISTERS = (EAX, EBX, ECX, EDX)
+
+
+@dataclass
+class ChainLink:
+    """One chosen gadget in the brute-forced chain.
+
+    ``gadget`` is None for an *exhaustion* link: the register had no
+    populating gadget and the attacker searched the full space in vain.
+    """
+
+    register: int
+    gadget: Optional[Gadget]
+    search_position: int          # X[i]: gadgets examined before this one
+    return_location: int          # Y[i]: randomized return-address offset
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of one Algorithm-1 run."""
+
+    benchmark: str
+    total_gadgets: int
+    viable_gadgets: int
+    chain: List[ChainLink]
+    attempts: float               # B from the formula (may be astronomical)
+    frame_size: int
+    average_randomizable_parameters: float
+    entropy_bits: float
+
+    @property
+    def chain_complete(self) -> bool:
+        return len(self.chain) == len(EXECVE_REGISTERS)
+
+    @property
+    def eliminated_gadgets(self) -> int:
+        return self.total_gadgets - self.viable_gadgets
+
+
+def simulate_brute_force(binary: FatBinary, benchmark: str = "",
+                         config: Optional[PSRConfig] = None, seed: int = 0,
+                         isa_name: str = "x86like",
+                         analyses: Optional[Sequence[GadgetAnalysis]] = None,
+                         ) -> BruteForceResult:
+    """Run Algorithm 1 against one binary under one PSR configuration."""
+    config = config or PSRConfig()
+    analyzer = PSRGadgetAnalyzer(binary, isa_name, config, seed)
+    if analyses is None:
+        gadgets = mine_binary(binary, isa_name)
+        analyses = analyzer.analyze_all(gadgets)
+
+    frame_size = config.randomization_space      # 8 KB at the default
+    rng = random.Random(f"bruteforce:{seed}:{benchmark}")
+
+    # Viable candidates with their (attacker-unknown) randomized
+    # return-address location A(g), uniform within the frame.
+    candidates: List[Tuple[GadgetAnalysis, int]] = []
+    for analysis in analyses:
+        if analysis.brute_force_viable:
+            location = rng.randrange(frame_size)
+            candidates.append((analysis, location))
+
+    # Algorithm 1 proper.
+    populated: set = set()
+    chain: List[ChainLink] = []
+    exhausted: List[int] = []
+    used: set = set()
+    for register in EXECVE_REGISTERS:
+        best: Optional[Tuple[int, int, GadgetAnalysis]] = None
+        for position, (analysis, location) in enumerate(candidates):
+            if analysis.gadget.address in used:
+                continue
+            effect = analysis.psr_effect
+            if register not in effect.populated:
+                continue
+            if populated & set(effect.clobbered) - {register}:
+                continue            # clobbers previously established state
+            if best is None or location < best[0]:
+                best = (location, position, analysis)
+        if best is None:
+            # No gadget populates this register at all.  The attacker
+            # cannot know that and must exhaust the search: every gadget
+            # at every data/return position before giving up on the link.
+            exhausted.append(register)
+            continue
+        location, position, analysis = best
+        chain.append(ChainLink(register, analysis.gadget, position, location))
+        populated.add(register)
+        used.add(analysis.gadget.address)
+
+    counted_links = list(chain)
+    for register in exhausted:
+        counted_links.append(ChainLink(
+            register=register, gadget=None,
+            search_position=max(len(analyses), 1),
+            return_location=frame_size))
+    counted_links.sort(key=lambda link: link.search_position)
+    attempts = _attempt_count(counted_links, len(analyses), frame_size)
+    params = [a.randomized_parameters for a in analyses
+              if a.rewritten is not None]
+    average_params = sum(params) / len(params) if params else 0.0
+    entropy_bits = average_params * config.entropy_bits_per_parameter
+
+    return BruteForceResult(
+        benchmark=benchmark,
+        total_gadgets=len(analyses),
+        viable_gadgets=len(candidates),
+        chain=chain,
+        attempts=attempts,
+        frame_size=frame_size,
+        average_randomizable_parameters=average_params,
+        entropy_bits=entropy_bits,
+    )
+
+
+def _attempt_count(chain: Sequence[ChainLink], gadget_count: int,
+                   frame_size: int) -> float:
+    """Line 14 of Algorithm 1.
+
+    B = Σᵢ nⁱ·fⁱ·Y[i] + nⁱ·fⁱ⁺¹·X[i] — each deeper link multiplies the
+    search space by another (gadget × data-position × return-position)
+    product, because earlier links must be re-guessed on every crash.
+    """
+    n = max(gadget_count, 1)
+    f = max(frame_size, 1)
+    total = 0.0
+    for index, link in enumerate(chain):
+        total += (float(n) ** index) * (float(f) ** index) * link.return_location
+        total += (float(n) ** index) * (float(f) ** (index + 1)) * \
+            max(link.search_position, 1)
+    return total
+
+
+@dataclass
+class BruteForceComparison:
+    """Table 2 row: attempts with and without register bias."""
+
+    benchmark: str
+    randomizable_parameters: float
+    entropy_bits: float
+    attempts_no_bias: float
+    attempts_bias: float
+
+
+def table2_row(binary: FatBinary, benchmark: str, seed: int = 0,
+               pages: int = 2) -> BruteForceComparison:
+    """Compute one benchmark's Table 2 entry."""
+    no_bias = simulate_brute_force(
+        binary, benchmark, PSRConfig(opt_level=2, randomization_pages=pages),
+        seed)
+    bias = simulate_brute_force(
+        binary, benchmark, PSRConfig(opt_level=3, randomization_pages=pages),
+        seed)
+    return BruteForceComparison(
+        benchmark=benchmark,
+        randomizable_parameters=no_bias.average_randomizable_parameters,
+        entropy_bits=no_bias.entropy_bits,
+        attempts_no_bias=no_bias.attempts,
+        attempts_bias=bias.attempts,
+    )

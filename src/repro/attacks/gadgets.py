@@ -1,0 +1,266 @@
+"""Semantic gadget evaluation and PSR-obfuscation analysis.
+
+The paper's methodology (Section 6) *executes* gadgets to evaluate them:
+"we designate any gadget that successfully populates a register with an
+attacker supplied value from the stack as viable" and "we analyze each
+gadget to gather data about every perturbation it produces on the state
+of the program".  This module does exactly that, on a scratch machine:
+
+* the stack is *sprayed* with distinguishable marker words (the attack
+  model sprays the whole frame with its data, Section 6);
+* registers start with sentinel values;
+* the gadget runs; its *effect* records which registers ended up holding
+  attacker (stack) data, what it clobbered, how far sp moved, and whether
+  the gadget completed its ending control transfer (a gadget that faults
+  first can never chain).
+
+The PSR analysis rewrites a gadget through the owning function's
+relocation map (the same addressing-mode transformation the VM applies to
+executed fragments) and re-evaluates it: an *obfuscated* gadget no longer
+produces its original effect; a *surviving brute-force candidate* still
+populates a register from sprayed data despite randomization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig, RelocationMap, build_relocation_map
+from ..core.transforms import AddressingModeRewriter
+from ..errors import AssemblerError, MachineFault, ReproError
+from ..isa import ISAS, assemble_instructions
+from ..isa.base import Instruction, ISADescription, Op
+from ..machine.cpu import CPUState
+from ..machine.interpreter import Interpreter
+from ..machine.memory import Memory
+from ..machine.syscalls import OperatingSystem
+from .galileo import Gadget
+
+#: marker pattern sprayed over the stack: 0xA11_0000 | word index
+MARKER_PREFIX = 0xA1100000
+MARKER_MASK = 0xFFF00000
+#: sentinel pattern for initial register values
+SENTINEL_PREFIX = 0xC0DE0000
+
+_CODE_BASE = 0x4000
+_STACK_BASE = 0x00200000
+_STACK_SIZE = 0x40000            # 256 KB: covers 16-page randomization
+
+
+@dataclass
+class GadgetEffect:
+    """Observable perturbation a gadget produces (Section 6)."""
+
+    completed: bool                       # ending transfer executed
+    #: register -> stack word index whose marker it now holds
+    populated: Dict[int, int] = field(default_factory=dict)
+    #: registers whose value changed at all
+    clobbered: Tuple[int, ...] = ()
+    stack_delta: int = 0
+    memory_writes: int = 0
+
+    @property
+    def is_viable(self) -> bool:
+        """Paper criterion: completes and loads attacker data into a register."""
+        return self.completed and bool(self.populated)
+
+    def same_behaviour(self, other: "GadgetEffect") -> bool:
+        """Equality of attacker-visible behaviour (tailored-attack test)."""
+        return (self.completed == other.completed
+                and self.populated == other.populated
+                and set(self.clobbered) == set(other.clobbered)
+                and self.stack_delta == other.stack_delta)
+
+
+def evaluate_instructions(isa: ISADescription,
+                          instructions: Sequence[Instruction],
+                          max_steps: int = 64) -> GadgetEffect:
+    """Execute an instruction sequence on the sprayed scratch machine."""
+    try:
+        code = assemble_instructions(isa, list(instructions), _CODE_BASE)
+    except (AssemblerError, ReproError):
+        return GadgetEffect(completed=False)
+
+    memory = Memory()
+    memory.map("code", _CODE_BASE, max(len(code), isa.alignment),
+               writable=False, executable=True, data=code)
+    spray = bytearray()
+    for index in range(_STACK_SIZE // 4):
+        spray += (MARKER_PREFIX | (index & 0xFFFFF)).to_bytes(4, "little")
+    memory.map("stack", _STACK_BASE, _STACK_SIZE, data=bytes(spray))
+
+    cpu = CPUState(isa, pc=_CODE_BASE)
+    initial = {}
+    for register in range(isa.num_registers):
+        value = SENTINEL_PREFIX | register
+        cpu.set(register, value)
+        initial[register] = value
+    sp_start = _STACK_BASE + _STACK_SIZE // 2
+    cpu.sp = sp_start
+    initial[isa.sp] = sp_start
+
+    interpreter = Interpreter(cpu, memory, OperatingSystem())
+    executed_ops: List[Op] = []
+    writes = [0]
+
+    def observe(_cpu, info):
+        executed_ops.append(info.decoded.instruction.op)
+        writes[0] += sum(1 for _, is_write in info.mem_accesses if is_write)
+
+    interpreter.observers.append(observe)
+    interpreter.run(max_steps)
+
+    ending = instructions[-1].op if instructions else None
+    completed = bool(executed_ops) and ending in executed_ops
+
+    populated: Dict[int, int] = {}
+    clobbered: List[int] = []
+    for register in range(isa.num_registers):
+        if register == isa.sp:
+            continue
+        value = cpu.get(register)
+        if value == initial[register]:
+            continue
+        clobbered.append(register)
+        if value & MARKER_MASK == MARKER_PREFIX:
+            populated[register] = value & 0xFFFFF
+
+    return GadgetEffect(
+        completed=completed,
+        populated=populated,
+        clobbered=tuple(clobbered),
+        stack_delta=cpu.sp - sp_start,
+        memory_writes=writes[0],
+    )
+
+
+def evaluate_gadget(gadget: Gadget) -> GadgetEffect:
+    """Evaluate a mined gadget in its native (unprotected) form."""
+    return evaluate_instructions(ISAS[gadget.isa_name], gadget.instructions)
+
+
+@dataclass
+class GadgetAnalysis:
+    """One gadget's fate under PSR."""
+
+    gadget: Gadget
+    native_effect: GadgetEffect
+    rewritten: Optional[Tuple[Instruction, ...]]
+    psr_effect: Optional[GadgetEffect]
+    operands_moved: bool
+    randomized_parameters: int
+
+    @property
+    def touches_stack(self) -> bool:
+        """Any stack interaction: pop/push/ret or sp-relative memory."""
+        isa = ISAS[self.gadget.isa_name]
+        for instruction in self.gadget.instructions:
+            if instruction.op in (Op.PUSH, Op.POP, Op.RET):
+                return True
+            for operand in instruction.operands:
+                if getattr(operand, "base", None) == isa.sp:
+                    return True
+            if isa.sp in instruction.reads_regs() | instruction.writes_regs():
+                return True
+        return False
+
+    @property
+    def obfuscated(self) -> bool:
+        """The gadget no longer performs the attacker-intended action.
+
+        A gadget is obfuscated when PSR moved any of its operands, when
+        its observable behaviour changed under the relocation map, or
+        when it interacts with the stack at all — stack geometry (data
+        placement and the return-address slot) is randomized per frame,
+        so "even a nop gadget that just performs a return incurs an
+        entropy of at least 13 bits" (Section 5.1).
+        """
+        if not self.native_effect.completed:
+            return True           # was never usable; PSR keeps it that way
+        if self.psr_effect is None or self.operands_moved:
+            return True
+        if self.touches_stack:
+            return True
+        return not self.native_effect.same_behaviour(self.psr_effect)
+
+    @property
+    def brute_force_viable(self) -> bool:
+        """Still populates a register from sprayed data under PSR (Fig 4)."""
+        return self.psr_effect is not None and self.psr_effect.is_viable
+
+
+class PSRGadgetAnalyzer:
+    """Applies a binary's relocation maps to its mined gadgets.
+
+    Uses the same per-function map derivation as the PSR VM so the
+    analysis studies exactly what translated fragments would execute.
+    """
+
+    def __init__(self, binary: FatBinary, isa_name: str,
+                 config: Optional[PSRConfig] = None, seed: int = 0):
+        self.binary = binary
+        self.isa = ISAS[isa_name]
+        self.config = config or PSRConfig()
+        self.seed = seed
+        self._rewriters: Dict[str, AddressingModeRewriter] = {}
+        self._reloc_maps: Dict[str, RelocationMap] = {}
+
+    def reloc_for(self, function: str) -> RelocationMap:
+        cached = self._reloc_maps.get(function)
+        if cached is None:
+            info = self.binary.symtab.function(function)
+            fn = self.binary.program.functions[function]
+            rng = random.Random(f"{self.seed}:0:{self.isa.name}:{function}")
+            convention = random.Random(f"{self.seed}:0:conv:{function}")
+            cached = build_relocation_map(info, fn, self.isa, self.config,
+                                          rng, convention)
+            self._reloc_maps[function] = cached
+        return cached
+
+    def rewriter_for(self, function: str) -> AddressingModeRewriter:
+        cached = self._rewriters.get(function)
+        if cached is None:
+            info = self.binary.symtab.function(function)
+            cached = AddressingModeRewriter(
+                self.isa, self.reloc_for(function), info.layout,
+                info.per_isa[self.isa.name])
+            self._rewriters[function] = cached
+        return cached
+
+    def owning_function(self, gadget: Gadget) -> Optional[str]:
+        info = self.binary.symtab.function_at(self.isa.name, gadget.address)
+        return info.name if info is not None else None
+
+    def analyze(self, gadget: Gadget) -> GadgetAnalysis:
+        native_effect = evaluate_gadget(gadget)
+        function = self.owning_function(gadget)
+        if function is None:
+            # outside any function (crt0 stub): PSR does not translate it,
+            # but execution cannot reach it through the VM either.
+            return GadgetAnalysis(gadget, native_effect, None, None,
+                                  operands_moved=False,
+                                  randomized_parameters=0)
+        rewriter = self.rewriter_for(function)
+        rewritten: List[Instruction] = []
+        moved = False
+        parameters = 1        # the relocated return-address geometry
+        for instruction in gadget.instructions:
+            result = rewriter.rewrite(instruction)
+            rewritten.extend(result.instructions)
+            moved = moved or result.modified
+            parameters += result.randomized_parameters
+        psr_effect = evaluate_instructions(self.isa, rewritten)
+        return GadgetAnalysis(
+            gadget=gadget,
+            native_effect=native_effect,
+            rewritten=tuple(rewritten),
+            psr_effect=psr_effect,
+            operands_moved=moved,
+            randomized_parameters=parameters,
+        )
+
+    def analyze_all(self, gadgets: Sequence[Gadget]) -> List[GadgetAnalysis]:
+        return [self.analyze(gadget) for gadget in gadgets]

@@ -1,0 +1,117 @@
+"""Just-in-time code reuse (JIT-ROP) attack model — Figure 5 of the paper.
+
+The JIT-ROP attacker (Snow et al.) holds a memory-disclosure primitive:
+starting from one leaked code pointer, they read code pages, disassemble
+on the fly, and build an exploit from what they *see*.  Against PSR the
+pages worth reading are the code cache — only code already translated
+(and therefore already randomized) is both visible and executable, which
+is why the paper's Figure 5 shows the surface collapsing to the gadgets
+"already randomized by PSR and present in the code cache".
+
+Against HIPStR the surviving gadgets must additionally be *enterable
+without tripping a migration*: the only indirect-transfer targets the VM
+resolves without flagging a breach are the already-registered indirect
+targets (function entries reached through pointers, call-return
+continuations).  Everything else migrates the victim to the other ISA
+with some probability, invalidating the attacker's disclosed knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig
+from ..core.runner import run_under_psr
+from ..isa import ISAS
+from .gadgets import GadgetEffect, evaluate_instructions
+from .galileo import Gadget, mine_binary, mine_gadgets
+
+
+@dataclass
+class JITROPSurface:
+    """The JIT-ROP view of one PSR-protected process at steady state."""
+
+    benchmark: str
+    isa_name: str
+    #: classic (text-section) gadget population, for scale
+    text_gadgets: int
+    #: gadgets discoverable inside the disclosed code cache
+    cache_gadgets: int
+    #: of those, semantically viable (populate a register, complete)
+    cache_viable: int
+    #: viable gadgets whose entry would flag a breach (migration chance)
+    flagging: int
+    #: viable gadgets enterable through registered indirect targets
+    surviving: int
+    #: surviving gadget entry source addresses
+    surviving_addresses: Tuple[int, ...] = ()
+
+    @property
+    def surface_fraction(self) -> float:
+        """Cache-resident share of the classic surface (paper: ~1.45%)."""
+        if not self.text_gadgets:
+            return 0.0
+        return self.cache_viable / self.text_gadgets
+
+
+def jitrop_surface(binary: FatBinary, benchmark: str = "",
+                   isa_name: str = "x86like",
+                   config: Optional[PSRConfig] = None, seed: int = 0,
+                   stdin: bytes = b"",
+                   steady_state_instructions: int = 2_000_000,
+                   ) -> JITROPSurface:
+    """Run to steady state under PSR, then measure the disclosed surface."""
+    config = config or PSRConfig()
+    run = run_under_psr(binary, isa_name, config, seed, stdin=stdin,
+                        max_instructions=steady_state_instructions)
+    vm = run.vm
+    isa = ISAS[isa_name]
+
+    text_gadgets = len(mine_binary(binary, isa_name))
+
+    # The attacker reads the code cache and mines it like any code page.
+    cache_bytes = vm.cache_bytes()
+    cache_gadget_list = mine_gadgets(isa, cache_bytes, vm.cache.base)
+    viable: List[Gadget] = []
+    for gadget in cache_gadget_list:
+        effect = evaluate_instructions(isa, gadget.instructions)
+        if effect.is_viable:
+            viable.append(gadget)
+
+    # Which viable gadgets can be *entered* without a code-cache-missing
+    # indirect transfer?  Entry is by overwriting a return address or
+    # code pointer with a source address; the VM resolves it without
+    # flagging only if it is a registered indirect target.
+    safe_entries: Set[int] = set()
+    for source in vm.indirect_targets:
+        cache_address = vm.cache.peek(source)
+        if cache_address is not None:
+            safe_entries.add(cache_address)
+
+    surviving: List[Gadget] = []
+    for gadget in viable:
+        if gadget.address in safe_entries:
+            surviving.append(gadget)
+
+    return JITROPSurface(
+        benchmark=benchmark,
+        isa_name=isa_name,
+        text_gadgets=text_gadgets,
+        cache_gadgets=len(cache_gadget_list),
+        cache_viable=len(viable),
+        flagging=len(viable) - len(surviving),
+        surviving=len(surviving),
+        surviving_addresses=tuple(g.address for g in surviving),
+    )
+
+
+def four_gadget_chain_possible(surface: JITROPSurface) -> bool:
+    """Could the survivors even form the simplest execve chain?
+
+    The paper's bar: four gadgets populating four distinct registers
+    without clobbering each other.  With the handful of survivors HIPStR
+    leaves, this is expected to fail on every benchmark.
+    """
+    return surface.surviving >= 4

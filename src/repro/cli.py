@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``        — compile mini-C and execute (native / PSR / HIPStR)
+* ``disasm FILE``     — compile and disassemble the fat binary
+* ``gadgets FILE``    — Galileo-mine the binary and summarize the surface
+* ``exploit-demo``    — the Figure-1 attack, end to end
+* ``experiment NAME`` — regenerate one paper artifact (fig3..fig14,
+  table2, httpd) and print its table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments
+from .analysis.reporting import format_series, format_table, percent
+from .attacks import gadget_population_summary, mine_binary
+from .compiler import compile_minic
+from .core import PSRConfig, run_native, run_under_psr
+from .core.hipstr import run_under_hipstr
+from .isa import ISAS, format_listing, linear_disassemble
+
+
+def _load_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    binary = compile_minic(_load_source(args.file))
+    stdin = b""
+    if args.stdin_file:
+        with open(args.stdin_file, "rb") as handle:
+            stdin = handle.read()
+
+    if args.hipstr:
+        system, result = run_under_hipstr(
+            binary, seed=args.seed, stdin=stdin,
+            migration_probability=args.migration_probability,
+            config=PSRConfig(opt_level=args.opt_level))
+        print(f"[hipstr] exit={result.exit_code} "
+              f"migrations={result.migration_count} "
+              f"per-isa={result.steps_by_isa}")
+        return result.exit_code or 0
+    if args.psr:
+        run = run_under_psr(binary, args.isa,
+                            PSRConfig(opt_level=args.opt_level),
+                            seed=args.seed, stdin=stdin)
+        stats = run.vm.stats
+        print(f"[psr/{args.isa}] exit={run.exit_code} "
+              f"units={stats.units_installed} "
+              f"maps={stats.relocation_maps_built} "
+              f"security-events={stats.security_events}")
+        return run.exit_code or 0
+    process = run_native(binary, args.isa, stdin=stdin)
+    if process.os.stdout:
+        sys.stdout.buffer.write(bytes(process.os.stdout))
+    print(f"[native/{args.isa}] exit={process.os.exit_code} "
+          f"instructions={process.interpreter.steps_executed}")
+    return process.os.exit_code or 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    binary = compile_minic(_load_source(args.file))
+    isa = ISAS[args.isa]
+    section = binary.sections[args.isa]
+    decoded = linear_disassemble(isa, section.data, section.base_address)
+    symbols = {address: name for name, address in section.symbols.items()}
+    for item in decoded:
+        label = symbols.get(item.address)
+        if label:
+            print(f"\n{label}:")
+        print(f"  {item.address:#010x}:  {item.raw.hex():<16}  "
+              f"{item.instruction.render(isa)}")
+    return 0
+
+
+def cmd_gadgets(args: argparse.Namespace) -> int:
+    binary = compile_minic(_load_source(args.file))
+    rows = []
+    for isa_name in binary.isa_names:
+        summary = gadget_population_summary(mine_binary(binary, isa_name))
+        rows.append((isa_name, summary["total"], summary["rop"],
+                     summary["jop"], summary["unintended"]))
+    print(format_table(["ISA", "total", "rop", "jop", "unintended"], rows,
+                       "Galileo gadget populations"))
+    if args.psr:
+        from .attacks import PSRGadgetAnalyzer
+        analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=args.seed)
+        analyses = analyzer.analyze_all(mine_binary(binary, "x86like"))
+        obfuscated = sum(1 for a in analyses if a.obfuscated)
+        viable = sum(1 for a in analyses if a.brute_force_viable)
+        print(f"\nunder PSR (seed {args.seed}): "
+              f"{percent(obfuscated / max(len(analyses), 1))} obfuscated, "
+              f"{viable} brute-force viable")
+    return 0
+
+
+def _exploit_demo_inline() -> int:
+    from .attacks.payload import (attack_native, attack_psr, build_exploit,
+                                  build_vulnerable_binary)
+    binary = build_vulnerable_binary()
+    payload = build_exploit(binary)
+    native = attack_native(binary, payload)
+    print(f"unprotected: shell spawned = {native.shell_spawned}")
+    for seed in range(3):
+        outcome = attack_psr(binary, payload, seed=seed)
+        print(f"PSR epoch {seed}: shell spawned = {outcome.shell_spawned}")
+    return 0
+
+
+EXPERIMENTS = {
+    "fig3": lambda: _print_fig3(),
+    "fig4": lambda: _print_fig4(),
+    "fig6": lambda: _print_fig6(),
+    "fig7": lambda: _print_fig7(),
+    "table2": lambda: _print_table2(),
+    "httpd": lambda: _print_httpd(),
+}
+
+
+def _print_fig3() -> None:
+    rows = experiments.fig3_classic_rop()
+    print(format_table(
+        ["benchmark", "total", "obfuscated", "unobf", "obf%"],
+        [(r.benchmark, r.total_gadgets, r.obfuscated, r.unobfuscated,
+          percent(r.obfuscated_fraction)) for r in rows],
+        "Figure 3 — Classic ROP Attack Surface"))
+
+
+def _print_fig4() -> None:
+    rows = experiments.fig4_bruteforce_surface()
+    print(format_table(
+        ["benchmark", "total", "eliminated", "surviving"],
+        [(r.benchmark, r.total_gadgets, r.eliminated, r.surviving)
+         for r in rows],
+        "Figure 4 — Brute Force Attack Surface"))
+
+
+def _print_fig6() -> None:
+    rows = experiments.fig6_migration_safety()
+    print(format_table(
+        ["benchmark", "blocks", "native", "on-demand"],
+        [(r.benchmark, r.total_blocks, percent(r.native_fraction),
+          percent(r.ondemand_fraction)) for r in rows],
+        "Figure 6 — Migration-Safe Basic Blocks"))
+
+
+def _print_fig7() -> None:
+    lengths = tuple(range(1, 13))
+    print(format_series(experiments.fig7_entropy(lengths), lengths,
+                        "Figure 7 — Entropy vs Chain Length"))
+
+
+def _print_table2() -> None:
+    rows = experiments.table2_bruteforce()
+    print(format_table(
+        ["benchmark", "params", "bits", "attempts"],
+        [(r.benchmark, f"{r.randomizable_parameters:.2f}",
+          f"{r.entropy_bits:.0f}", f"{r.attempts_no_bias:.2e}")
+         for r in rows],
+        "Table 2 — Brute Force Simulation"))
+
+
+def _print_httpd() -> None:
+    study = experiments.httpd_case_study()
+    print(f"httpd: {study.total_gadgets} gadgets, "
+          f"{percent(study.obfuscated_fraction)} obfuscated, "
+          f"{study.brute_force_attempts:.2e} attempts, "
+          f"{study.jitrop_viable} JIT-ROP viable, "
+          f"{study.surviving_migration} survive migration")
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"available: {', '.join(sorted(EXPERIMENTS))}",
+              file=sys.stderr)
+        return 2
+    runner()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HIPStR reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile and execute mini-C")
+    run_parser.add_argument("file", help="mini-C source file ('-' = stdin)")
+    run_parser.add_argument("--isa", default="x86like",
+                            choices=sorted(ISAS))
+    run_parser.add_argument("--psr", action="store_true",
+                            help="execute under a PSR virtual machine")
+    run_parser.add_argument("--hipstr", action="store_true",
+                            help="execute under full HIPStR")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--opt-level", type=int, default=3,
+                            choices=(0, 1, 2, 3))
+    run_parser.add_argument("--migration-probability", type=float,
+                            default=1.0)
+    run_parser.add_argument("--stdin-file", default=None)
+    run_parser.set_defaults(func=cmd_run)
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble a binary")
+    disasm_parser.add_argument("file")
+    disasm_parser.add_argument("--isa", default="x86like",
+                               choices=sorted(ISAS))
+    disasm_parser.set_defaults(func=cmd_disasm)
+
+    gadgets_parser = sub.add_parser("gadgets",
+                                    help="mine and summarize gadgets")
+    gadgets_parser.add_argument("file")
+    gadgets_parser.add_argument("--psr", action="store_true",
+                                help="also analyze the surface under PSR")
+    gadgets_parser.add_argument("--seed", type=int, default=0)
+    gadgets_parser.set_defaults(func=cmd_gadgets)
+
+    demo_parser = sub.add_parser("exploit-demo",
+                                 help="run the Figure-1 attack end to end")
+    demo_parser.set_defaults(func=lambda args: _exploit_demo_inline())
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate one paper artifact")
+    experiment_parser.add_argument("name",
+                                   help=", ".join(sorted(EXPERIMENTS)))
+    experiment_parser.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Multi-ISA compiler: mini-C → IR → fat binary for both ISAs."""
+
+from .fatbinary import FatBinary, compile_minic, compile_program
+from .ir import IRProgram
+from .lowering import compile_source, lower_program
+from .minic import parse
+from .symtab import ExtendedSymbolTable, FunctionInfo
+
+__all__ = [
+    "ExtendedSymbolTable",
+    "FatBinary",
+    "FunctionInfo",
+    "IRProgram",
+    "compile_minic",
+    "compile_program",
+    "compile_source",
+    "lower_program",
+    "parse",
+]

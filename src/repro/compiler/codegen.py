@@ -1,0 +1,474 @@
+"""Code generation: IR → target instructions for both ISAs.
+
+One :class:`CodeGenerator` subclass per ISA.  Both follow the common
+multi-ISA ABI (see :mod:`repro.compiler.frames`): arguments on the stack,
+callee-saved register discipline (prologue pushes / epilogue pops — the
+classic source of ``pop r; ret`` ROP gadget material the paper's attack
+analysis feeds on), and identical frame-data layout across ISAs.
+
+Scratch registers (``isa.scratch``) are strictly instruction-local: no
+value lives in a scratch register across IR instructions, which is what
+keeps every block boundary an equivalence point for migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+from ..isa.armlike import ARMLIKE, fits_imm16
+from ..isa.assembler import Assembler
+from ..isa.base import (
+    Cond,
+    Imm,
+    Instruction,
+    ISADescription,
+    Label,
+    Mem,
+    Op,
+    Reg,
+    to_signed,
+)
+from ..isa.x86like import EAX, ECX, EDX, X86LIKE
+from . import ir
+from .frames import FrameLayout
+from .regalloc import Allocation
+
+_RELOP_TO_COND = {
+    "==": Cond.EQ, "!=": Cond.NE, "<": Cond.LT,
+    "<=": Cond.LE, ">": Cond.GT, ">=": Cond.GE,
+}
+
+_BINOP_TO_OP = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SAR,
+}
+
+
+@dataclass
+class GeneratedFunction:
+    """Codegen byproducts needed by the fat-binary linker/symbol table."""
+
+    name: str
+    saved_registers: List[int]          # prologue-pushed regs (not LR)
+    block_labels: List[str]             # IR block labels, in emission order
+
+
+class CodeGenerator:
+    """Base generator; subclasses supply ISA-specific instruction selection."""
+
+    isa: ISADescription
+
+    def __init__(self, fn: ir.IRFunction, program: ir.IRProgram,
+                 allocation: Allocation, layout: FrameLayout,
+                 global_addresses: Dict[str, int], asm: Assembler):
+        self.fn = fn
+        self.program = program
+        self.allocation = allocation
+        self.layout = layout
+        self.global_addresses = global_addresses
+        self.asm = asm
+        self._sp_adjust = 0
+        self._label_counter = 0
+        self.saved_registers = sorted(set(allocation.registers.values()))
+        s = self.isa.scratch
+        self.s0, self.s1, self.s2 = s[0], s[1], s[2]
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def emit(self, op: Op, *operands, cond: Optional[Cond] = None) -> None:
+        self.asm.emit(Instruction(op, tuple(operands), cond))
+
+    def local_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{self.fn.name}.{hint}.{self._label_counter}"
+
+    def slot(self, value: str) -> Mem:
+        """Frame slot of a spilled value, adjusted for in-flight pushes."""
+        return Mem(self.isa.sp, self.layout.slot_of(value) + self._sp_adjust)
+
+    def loc(self, value: str):
+        """Current location of a value: Reg or frame Mem."""
+        reg = self.allocation.registers.get(value)
+        if reg is not None:
+            return Reg(reg)
+        return self.slot(value)
+
+    def fetch(self, value: str, scratch: int) -> Reg:
+        """Get a value into a register without copying if already there."""
+        location = self.loc(value)
+        if isinstance(location, Reg):
+            return location
+        self.emit(Op.LOAD, Reg(scratch), location)
+        return Reg(scratch)
+
+    def fetch_copy(self, value: str, scratch: int) -> Reg:
+        """Get a value into ``scratch`` as a modifiable copy."""
+        location = self.loc(value)
+        if isinstance(location, Reg):
+            self.emit(Op.MOV, Reg(scratch), location)
+        else:
+            self.emit(Op.LOAD, Reg(scratch), location)
+        return Reg(scratch)
+
+    def store(self, value: str, src: Reg) -> None:
+        location = self.loc(value)
+        if isinstance(location, Reg):
+            if location.index != src.index:
+                self.emit(Op.MOV, location, src)
+        else:
+            self.emit(Op.STORE, location, src)
+
+    def mov_imm(self, reg: Reg, value: int) -> None:
+        raise NotImplementedError
+
+    def mov_label(self, reg: Reg, label: str) -> None:
+        raise NotImplementedError
+
+    def add_sp(self, amount: int) -> None:
+        if amount:
+            self.emit(Op.ADD, Reg(self.isa.sp), Imm(amount))
+
+    def sub_sp(self, amount: int) -> None:
+        if amount:
+            self.emit(Op.SUB, Reg(self.isa.sp), Imm(amount))
+
+    # ------------------------------------------------------------------
+    # Function skeleton
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedFunction:
+        self.asm.label(self.fn.name)
+        self.prologue()
+        block_labels = []
+        for index, block in enumerate(self.fn.blocks):
+            self.asm.label(block.label)
+            block_labels.append(block.label)
+            next_label = (self.fn.blocks[index + 1].label
+                          if index + 1 < len(self.fn.blocks) else None)
+            for instruction in block.instructions:
+                self.emit_ir(instruction, next_label)
+        return GeneratedFunction(self.fn.name, self.saved_registers,
+                                 block_labels)
+
+    def prologue(self) -> None:
+        if self.isa.lr is not None:
+            self.emit(Op.PUSH, Reg(self.isa.lr))
+        for reg in self.saved_registers:
+            self.emit(Op.PUSH, Reg(reg))
+        self.sub_sp(self.layout.total_data_size)
+        # Copy incoming arguments to their assigned storage.
+        for index, param in enumerate(self.fn.params):
+            offset = self.layout.arg_offset(index, self.prologue_saved_count())
+            source = Mem(self.isa.sp, offset)
+            reg = self.allocation.registers.get(param)
+            if reg is not None:
+                self.emit(Op.LOAD, Reg(reg), source)
+            elif self.layout.has_slot(param):
+                self.emit(Op.LOAD, Reg(self.s0), source)
+                self.emit(Op.STORE, self.slot(param), Reg(self.s0))
+
+    def prologue_saved_count(self) -> int:
+        """Words between frame data and args: saves + return-address slot."""
+        return len(self.saved_registers) + 1
+
+    def epilogue(self) -> None:
+        self.add_sp(self.layout.total_data_size)
+        for reg in reversed(self.saved_registers):
+            self.emit(Op.POP, Reg(reg))
+        self.emit(Op.RET)
+
+    # ------------------------------------------------------------------
+    # Per-IR-instruction emission
+    # ------------------------------------------------------------------
+    def emit_ir(self, instruction: ir.IRInstruction,
+                next_label: Optional[str]) -> None:
+        if isinstance(instruction, ir.Const):
+            self.gen_const(instruction)
+        elif isinstance(instruction, ir.Move):
+            self.gen_move(instruction)
+        elif isinstance(instruction, ir.BinOp):
+            self.gen_binop(instruction)
+        elif isinstance(instruction, ir.UnOp):
+            self.gen_unop(instruction)
+        elif isinstance(instruction, ir.Compare):
+            self.gen_compare(instruction)
+        elif isinstance(instruction, (ir.Load, ir.LoadByte)):
+            self.gen_load(instruction)
+        elif isinstance(instruction, (ir.Store, ir.StoreByte)):
+            self.gen_store(instruction)
+        elif isinstance(instruction, ir.AddrOfLocal):
+            self.gen_addr_local(instruction)
+        elif isinstance(instruction, ir.AddrOfGlobal):
+            self.gen_addr_global(instruction)
+        elif isinstance(instruction, ir.AddrOfFunction):
+            self.gen_addr_function(instruction)
+        elif isinstance(instruction, ir.Call):
+            self.gen_call(instruction)
+        elif isinstance(instruction, ir.CallIndirect):
+            self.gen_call_indirect(instruction)
+        elif isinstance(instruction, ir.SysCall):
+            self.gen_syscall(instruction)
+        elif isinstance(instruction, ir.Jump):
+            if instruction.target != next_label:
+                self.emit(Op.JMP, Label(instruction.target))
+        elif isinstance(instruction, ir.Branch):
+            self.gen_branch(instruction, next_label)
+        elif isinstance(instruction, ir.Ret):
+            self.gen_ret(instruction)
+        else:  # pragma: no cover
+            raise CompileError(f"codegen: unhandled {instruction!r}")
+
+    # -- data movement ---------------------------------------------------
+    def gen_const(self, instruction: ir.Const) -> None:
+        location = self.loc(instruction.dst)
+        if isinstance(location, Reg):
+            self.mov_imm(location, instruction.value)
+        else:
+            self.store_imm(location, instruction.value)
+
+    def store_imm(self, location: Mem, value: int) -> None:
+        self.mov_imm(Reg(self.s0), value)
+        self.emit(Op.STORE, location, Reg(self.s0))
+
+    def gen_move(self, instruction: ir.Move) -> None:
+        src = self.fetch(instruction.src, self.s0)
+        self.store(instruction.dst, src)
+
+    # -- arithmetic --------------------------------------------------------
+    def gen_binop(self, instruction: ir.BinOp) -> None:
+        raise NotImplementedError
+
+    def gen_unop(self, instruction: ir.UnOp) -> None:
+        acc = self.fetch_copy(instruction.a, self.s0)
+        self.emit(Op.NEG if instruction.operator == "-" else Op.NOT, acc)
+        self.store(instruction.dst, acc)
+
+    def gen_compare(self, instruction: ir.Compare) -> None:
+        a = self.fetch(instruction.a, self.s0)
+        b = self.fetch(instruction.b, self.s1)
+        self.emit(Op.CMP, a, b)
+        true_label = self.local_label("cc")
+        end_label = self.local_label("ccend")
+        self.emit(Op.JCC, Label(true_label),
+                  cond=_RELOP_TO_COND[instruction.operator])
+        self.mov_imm(Reg(self.s0), 0)
+        self.emit(Op.JMP, Label(end_label))
+        self.asm.label(true_label)
+        self.mov_imm(Reg(self.s0), 1)
+        self.asm.label(end_label)
+        self.store(instruction.dst, Reg(self.s0))
+
+    # -- memory --------------------------------------------------------
+    def gen_load(self, instruction) -> None:
+        base = self.fetch(instruction.address, self.s0)
+        op = Op.LOADB if isinstance(instruction, ir.LoadByte) else Op.LOAD
+        self.emit(op, Reg(self.s1), Mem(base.index, instruction.offset))
+        self.store(instruction.dst, Reg(self.s1))
+
+    def gen_store(self, instruction) -> None:
+        base = self.fetch(instruction.address, self.s0)
+        src = self.fetch(instruction.src, self.s1)
+        op = Op.STOREB if isinstance(instruction, ir.StoreByte) else Op.STORE
+        self.emit(op, Mem(base.index, instruction.offset), src)
+
+    def gen_addr_local(self, instruction: ir.AddrOfLocal) -> None:
+        offset = self.layout.local_offsets[instruction.local] + self._sp_adjust
+        self.emit(Op.LEA, Reg(self.s0), Mem(self.isa.sp, offset))
+        self.store(instruction.dst, Reg(self.s0))
+
+    def gen_addr_global(self, instruction: ir.AddrOfGlobal) -> None:
+        address = self.global_addresses[instruction.symbol]
+        location = self.loc(instruction.dst)
+        if isinstance(location, Reg):
+            self.mov_imm(location, address)
+        else:
+            self.store_imm(location, address)
+
+    def gen_addr_function(self, instruction: ir.AddrOfFunction) -> None:
+        self.mov_label(Reg(self.s0), instruction.function)
+        self.store(instruction.dst, Reg(self.s0))
+
+    # -- calls --------------------------------------------------------
+    def push_value(self, value: str) -> None:
+        raise NotImplementedError
+
+    def gen_call(self, instruction: ir.Call) -> None:
+        for arg in reversed(instruction.args):
+            self.push_value(arg)
+            self._sp_adjust += 4
+        self.emit(Op.CALL, Label(instruction.function))
+        self._sp_adjust -= 4 * len(instruction.args)
+        self.add_sp(4 * len(instruction.args))
+        if instruction.dst:
+            self.store(instruction.dst, Reg(self.isa.return_reg))
+
+    def gen_call_indirect(self, instruction: ir.CallIndirect) -> None:
+        for arg in reversed(instruction.args):
+            self.push_value(arg)
+            self._sp_adjust += 4
+        target = self.indirect_call_target(instruction.target)
+        self.emit(Op.ICALL, target)
+        self._sp_adjust -= 4 * len(instruction.args)
+        self.add_sp(4 * len(instruction.args))
+        if instruction.dst:
+            self.store(instruction.dst, Reg(self.isa.return_reg))
+
+    def indirect_call_target(self, value: str):
+        """Operand for ICALL; x86like can call through memory directly."""
+        return self.fetch(value, self.s0)
+
+    def gen_syscall(self, instruction: ir.SysCall) -> None:
+        isa = self.isa
+        values = [instruction.number] + list(instruction.args)
+        # Stage every input on the stack first so that clobbering the
+        # target registers cannot corrupt later fetches.
+        for value in values:
+            self.push_value(value)
+            self._sp_adjust += 4
+        target_regs = [isa.syscall_number_reg]
+        target_regs += list(isa.syscall_arg_regs[:len(instruction.args)])
+        to_save = [reg for reg in target_regs if reg in set(
+            self.allocation.registers.values())]
+        for reg in to_save:
+            self.emit(Op.PUSH, Reg(reg))
+            self._sp_adjust += 4
+        depth = len(to_save)
+        count = len(values)
+        for index, reg in enumerate(target_regs):
+            offset = 4 * (depth + (count - 1 - index))
+            self.emit(Op.LOAD, Reg(reg), Mem(isa.sp, offset))
+        self.emit(Op.SYSCALL)
+        for reg in reversed(to_save):
+            self.emit(Op.POP, Reg(reg))
+            self._sp_adjust -= 4
+        self.add_sp(4 * count)
+        self._sp_adjust -= 4 * count
+        if instruction.dst:
+            self.store(instruction.dst, Reg(isa.return_reg))
+
+    # -- control --------------------------------------------------------
+    def gen_branch(self, instruction: ir.Branch,
+                   next_label: Optional[str]) -> None:
+        a = self.fetch(instruction.a, self.s0)
+        b = self.fetch(instruction.b, self.s1)
+        self.emit(Op.CMP, a, b)
+        cond = _RELOP_TO_COND[instruction.operator]
+        if instruction.else_target == next_label:
+            self.emit(Op.JCC, Label(instruction.then_target), cond=cond)
+        elif instruction.then_target == next_label:
+            self.emit(Op.JCC, Label(instruction.else_target),
+                      cond=cond.negate())
+        else:
+            self.emit(Op.JCC, Label(instruction.then_target), cond=cond)
+            self.emit(Op.JMP, Label(instruction.else_target))
+
+    def gen_ret(self, instruction: ir.Ret) -> None:
+        if instruction.src:
+            src = self.fetch(instruction.src, self.s0)
+            if src.index != self.isa.return_reg:
+                self.emit(Op.MOV, Reg(self.isa.return_reg), src)
+        self.epilogue()
+
+
+class X86LikeCodegen(CodeGenerator):
+    """Instruction selection for the CISC target.
+
+    Exploits memory operands (load-op / op-store / push-mem forms) the way
+    a real x86 compiler does, which also seeds the binary with the dense
+    gadget population the paper's security evaluation measures.
+    """
+
+    isa = X86LIKE
+
+    def mov_imm(self, reg: Reg, value: int) -> None:
+        self.emit(Op.MOV, reg, Imm(value))
+
+    def mov_label(self, reg: Reg, label: str) -> None:
+        self.emit(Op.MOV, reg, Label(label))
+
+    def store_imm(self, location: Mem, value: int) -> None:
+        self.emit(Op.STORE, location, Imm(value))
+
+    def push_value(self, value: str) -> None:
+        self.emit(Op.PUSH, self.loc(value))
+
+    def indirect_call_target(self, value: str):
+        return self.loc(value)     # call *reg or call *(mem)
+
+    def gen_binop(self, instruction: ir.BinOp) -> None:
+        operator = instruction.operator
+        if operator == "/":
+            self._divide(instruction, Op.DIV, EAX)
+            return
+        if operator == "%":
+            self._divide(instruction, Op.MOD, EDX)
+            return
+        if operator in ("<<", ">>"):
+            self._shift(instruction)
+            return
+        acc = self.fetch_copy(instruction.a, self.s0)
+        self.emit(_BINOP_TO_OP[operator], acc, self.loc(instruction.b))
+        self.store(instruction.dst, acc)
+
+    def _divide(self, instruction: ir.BinOp, op: Op, result_reg: int) -> None:
+        # Real-x86 flavour: dividend pinned to eax (quotient) / edx (rem).
+        location = self.loc(instruction.a)
+        if isinstance(location, Reg):
+            self.emit(Op.MOV, Reg(result_reg), location)
+        else:
+            self.emit(Op.LOAD, Reg(result_reg), location)
+        divisor = self.fetch(instruction.b, ECX)
+        self.emit(op, Reg(result_reg), divisor)
+        self.store(instruction.dst, Reg(result_reg))
+
+    def _shift(self, instruction: ir.BinOp) -> None:
+        # Variable shift counts must be in ecx, like real x86.
+        count_loc = self.loc(instruction.b)
+        if isinstance(count_loc, Reg):
+            self.emit(Op.MOV, Reg(ECX), count_loc)
+        else:
+            self.emit(Op.LOAD, Reg(ECX), count_loc)
+        acc = self.fetch_copy(instruction.a, EAX)
+        op = Op.SHL if instruction.operator == "<<" else Op.SAR
+        self.emit(op, acc, Reg(ECX))
+        self.store(instruction.dst, acc)
+
+
+class ArmLikeCodegen(CodeGenerator):
+    """Instruction selection for the RISC target: strict load/store."""
+
+    isa = ARMLIKE
+
+    def mov_imm(self, reg: Reg, value: int) -> None:
+        signed = to_signed(value)
+        if fits_imm16(signed):
+            self.emit(Op.MOV, reg, Imm(signed))
+            return
+        low = value & 0xFFFF
+        low_signed = low - 0x10000 if low & 0x8000 else low
+        self.emit(Op.MOV, reg, Imm(low_signed))
+        self.emit(Op.MOVT, reg, Imm((value >> 16) & 0xFFFF))
+
+    def mov_label(self, reg: Reg, label: str) -> None:
+        self.emit(Op.MOV, reg, Label(label, "lo16"))
+        self.emit(Op.MOVT, reg, Label(label, "hi16"))
+
+    def push_value(self, value: str) -> None:
+        source = self.fetch(value, self.s0)
+        self.emit(Op.PUSH, source)
+
+    def gen_binop(self, instruction: ir.BinOp) -> None:
+        acc = self.fetch_copy(instruction.a, self.s0)
+        b = self.fetch(instruction.b, self.s1)
+        self.emit(_BINOP_TO_OP[instruction.operator], acc, b)
+        self.store(instruction.dst, acc)
+
+
+def make_codegen(isa: ISADescription, *args, **kwargs) -> CodeGenerator:
+    if isa.name == X86LIKE.name:
+        return X86LikeCodegen(*args, **kwargs)
+    if isa.name == ARMLIKE.name:
+        return ArmLikeCodegen(*args, **kwargs)
+    raise CompileError(f"no code generator for {isa.name}")

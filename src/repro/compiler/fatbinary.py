@@ -1,0 +1,210 @@
+"""Fat binary: compile an IR program for both ISAs and link the result.
+
+The fat binary is "symmetrical" in the paper's sense (Section 3.2): one
+code section per ISA, a single ISA-agnostic data section, a common stack
+frame organization, and an extended symbol table describing the program
+state at every basic block.  Both text sections are produced from the same
+IR with the same frame layout, so a stack frame built by x86like code is
+navigable by the armlike metadata and vice versa — which is what makes
+cross-ISA program-state relocation possible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LinkError
+from ..isa.armlike import ARMLIKE
+from ..isa.assembler import AssembledUnit, Assembler
+from ..isa.base import Imm, Instruction, ISADescription, Label, Op, Reg
+from ..isa.x86like import X86LIKE
+from ..machine.process import Layout, ProcessImage
+from ..machine.syscalls import Sys
+from .codegen import make_codegen
+from .frames import build_frame_layout
+from .ir import IRProgram
+from .liveness import compute_liveness
+from .lowering import compile_source
+from .regalloc import allocate_registers
+from .symtab import CallSite, ExtendedSymbolTable, FunctionInfo, ISAFunctionInfo
+
+START_SYMBOL = "_start"
+
+
+@dataclass
+class FatBinary:
+    """The linked multi-ISA program."""
+
+    program: IRProgram
+    sections: Dict[str, AssembledUnit]
+    data: bytes
+    global_addresses: Dict[str, int]
+    symtab: ExtendedSymbolTable
+
+    @property
+    def isa_names(self) -> List[str]:
+        return list(self.sections)
+
+    def text(self, isa_name: str) -> bytes:
+        return self.sections[isa_name].data
+
+    def entry(self, isa_name: str) -> int:
+        return self.sections[isa_name].address_of(START_SYMBOL)
+
+    def address_of(self, isa_name: str, symbol: str) -> int:
+        return self.sections[isa_name].address_of(symbol)
+
+    def to_process_image(self) -> ProcessImage:
+        return ProcessImage(
+            code_sections={name: unit.data
+                           for name, unit in self.sections.items()},
+            data=self.data,
+            entry_points={name: self.entry(name) for name in self.sections},
+        )
+
+
+def link_data_section(program: IRProgram,
+                      base: int = Layout.DATA_BASE) -> Tuple[bytes, Dict[str, int]]:
+    """Lay out globals in the common data section."""
+    addresses: Dict[str, int] = {}
+    chunks: List[bytes] = []
+    cursor = base
+    for var in program.globals.values():
+        addresses[var.name] = cursor
+        payload = var.init[:var.size].ljust(var.size, b"\x00")
+        chunks.append(payload)
+        cursor += var.size
+    return b"".join(chunks), addresses
+
+
+def _emit_start(asm: Assembler, isa: ISADescription) -> None:
+    """The crt0 stub: call main, then exit(main's return value)."""
+    asm.label(START_SYMBOL)
+    asm.emit(Instruction(Op.CALL, (Label("main"),)))
+    if isa.syscall_arg_regs[0] != isa.return_reg:
+        asm.emit(Instruction(
+            Op.MOV, (Reg(isa.syscall_arg_regs[0]), Reg(isa.return_reg))))
+    asm.emit(Instruction(Op.MOV,
+                         (Reg(isa.syscall_number_reg), Imm(int(Sys.EXIT)))))
+    asm.emit(Instruction(Op.SYSCALL))
+    asm.emit(Instruction(Op.HLT))
+
+
+def compile_program(program: IRProgram,
+                    isas: Optional[List[ISADescription]] = None) -> FatBinary:
+    """Compile IR for every ISA and link the fat binary."""
+    if isas is None:
+        isas = [X86LIKE, ARMLIKE]
+    program.validate()
+    data, global_addresses = link_data_section(program)
+
+    # Per-function, cross-ISA decisions first: the union of spilled values
+    # determines the shared frame layout.
+    allocations = {isa.name: {} for isa in isas}
+    layouts = {}
+    for fn in program.functions.values():
+        per_isa_alloc = {isa.name: allocate_registers(fn, isa) for isa in isas}
+        spill_union: List[str] = []
+        seen = set()
+        for value in fn.all_values():
+            for isa in isas:
+                if value in per_isa_alloc[isa.name].spilled and value not in seen:
+                    spill_union.append(value)
+                    seen.add(value)
+        layouts[fn.name] = build_frame_layout(fn, spill_union)
+        for isa in isas:
+            allocations[isa.name][fn.name] = per_isa_alloc[isa.name]
+
+    liveness = {fn.name: compute_liveness(fn)
+                for fn in program.functions.values()}
+
+    sections: Dict[str, AssembledUnit] = {}
+    generated: Dict[str, Dict[str, object]] = {}
+    for isa in isas:
+        asm = Assembler(isa)
+        _emit_start(asm, isa)
+        per_fn = {}
+        for fn in program.functions.values():
+            codegen = make_codegen(
+                isa, fn, program, allocations[isa.name][fn.name],
+                layouts[fn.name], global_addresses, asm)
+            per_fn[fn.name] = codegen.generate()
+        base = Layout.CODE_BASES[isa.name]
+        sections[isa.name] = asm.assemble(base)
+        generated[isa.name] = per_fn
+
+    symtab = _build_symtab(program, isas, sections, generated,
+                           allocations, layouts, liveness)
+    return FatBinary(program, sections, data, global_addresses, symtab)
+
+
+def compile_minic(source: str, entry: str = "main",
+                  isas: Optional[List[ISADescription]] = None) -> FatBinary:
+    """One-call pipeline: mini-C source → fat binary."""
+    return compile_program(compile_source(source, entry), isas)
+
+
+def _build_symtab(program, isas, sections, generated, allocations, layouts,
+                  liveness) -> ExtendedSymbolTable:
+    symtab = ExtendedSymbolTable()
+    function_names = list(program.functions)
+    for fn in program.functions.values():
+        info = FunctionInfo(
+            name=fn.name,
+            params=list(fn.params),
+            layout=layouts[fn.name],
+            liveness=liveness[fn.name],
+            block_order=[blk.label for blk in fn.blocks],
+        )
+        for isa in isas:
+            unit = sections[isa.name]
+            entry = unit.address_of(fn.name)
+            end = _function_end(unit, fn.name, function_names)
+            block_addresses = {
+                blk.label: unit.address_of(blk.label) for blk in fn.blocks}
+            per_isa = ISAFunctionInfo(
+                isa_name=isa.name,
+                entry=entry,
+                end=end,
+                block_addresses=block_addresses,
+                saved_registers=list(
+                    generated[isa.name][fn.name].saved_registers),
+                register_assignment=dict(
+                    allocations[isa.name][fn.name].registers),
+            )
+            per_isa.call_sites = _scan_call_sites(unit, entry, end)
+            info.per_isa[isa.name] = per_isa
+        symtab.add(info)
+    return symtab
+
+
+def _function_end(unit: AssembledUnit, name: str,
+                  function_names: List[str]) -> int:
+    """End address = start of the next function symbol, or section end."""
+    start = unit.address_of(name)
+    candidates = [unit.address_of(other) for other in function_names
+                  if unit.address_of(other) > start]
+    return min(candidates) if candidates else unit.end_address
+
+
+def _scan_call_sites(unit: AssembledUnit, start: int, end: int) -> List[CallSite]:
+    sites: List[CallSite] = []
+    isa = unit.isa
+    for address, instruction in zip(unit.addresses, unit.instructions):
+        if not start <= address < end:
+            continue
+        if instruction.op in (Op.CALL, Op.ICALL):
+            size = len(isa.encode(instruction, address))
+            target = None
+            if instruction.op is Op.CALL:
+                operand = instruction.operands[0]
+                if isinstance(operand, Imm):
+                    target = operand.value
+            sites.append(CallSite(
+                address=address,
+                return_address=address + size,
+                kind="call" if instruction.op is Op.CALL else "icall",
+                target=target,
+            ))
+    return sites

@@ -1,0 +1,96 @@
+"""Common multi-ISA stack-frame layout.
+
+The multi-ISA compilation infrastructure of the paper's prior work keeps a
+*common stack frame organization* across ISAs so that migration needs
+minimal state transformation (Section 3.2).  We realise that as:
+
+* all arguments passed on the stack (no register-argument ABI divergence);
+* a *frame data* region — fixed locals (arrays, address-taken scalars)
+  followed by one word-sized *home slot* per spilled value — whose
+  sp-relative offsets are computed from the IR once and are therefore
+  **identical on both ISAs**;
+* a per-ISA callee-save push area between the frame data and the return
+  address (its size differs per ISA; the extended symbol table records it).
+
+Frame shape, growing downward (lower addresses at top)::
+
+    sp + 0                         frame data: fixed locals
+    sp + locals_size               frame data: home slots
+    sp + frame_data_size           saved callee regs   (per-ISA count)
+    sp + frame_data_size + 4*n     return address      (x86: pushed by CALL;
+                                                         armlike: pushed LR)
+    sp + ... + 4                   incoming arg 0, arg 1, ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..isa.base import WORD_SIZE
+from .ir import IRFunction
+
+
+@dataclass
+class FrameLayout:
+    """ISA-independent portion of one function's frame."""
+
+    function: str
+    #: fixed locals (arrays, address-taken scalars) -> sp-relative offset
+    local_offsets: Dict[str, int]
+    #: home slots for values not held in registers -> sp-relative offset
+    home_offsets: Dict[str, int]
+    #: size of the frame-data region (locals + home slots), word aligned
+    frame_data_size: int
+    #: extra randomization space inserted by PSR (0 for native code)
+    randomization_space: int = 0
+
+    @property
+    def total_data_size(self) -> int:
+        return self.frame_data_size + self.randomization_space
+
+    def arg_offset(self, index: int, words_above: int) -> int:
+        """sp-relative offset of incoming argument ``index``.
+
+        ``words_above`` counts every word between the frame data and the
+        first argument: the prologue-pushed callee saves plus the return
+        address slot (pushed by CALL on x86like, the saved LR on armlike).
+        """
+        return (self.total_data_size + WORD_SIZE * words_above
+                + WORD_SIZE * index)
+
+    def return_address_offset(self, words_above: int) -> int:
+        """The return-address slot sits immediately below the arguments."""
+        return self.total_data_size + WORD_SIZE * (words_above - 1)
+
+    def slot_of(self, value: str) -> int:
+        """Offset of a value's memory slot (home slot or fixed local)."""
+        if value in self.home_offsets:
+            return self.home_offsets[value]
+        return self.local_offsets[value]
+
+    def has_slot(self, value: str) -> bool:
+        return value in self.home_offsets or value in self.local_offsets
+
+
+def build_frame_layout(fn: IRFunction, spilled: Sequence[str]) -> FrameLayout:
+    """Lay out fixed locals then home slots, both word aligned."""
+    local_offsets: Dict[str, int] = {}
+    cursor = 0
+    for local in fn.locals.values():
+        local_offsets[local.name] = cursor
+        cursor += (local.size + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
+
+    home_offsets: Dict[str, int] = {}
+    for value in spilled:
+        if value in local_offsets:
+            continue            # memory locals already have fixed storage
+        home_offsets[value] = cursor
+        cursor += WORD_SIZE
+
+    return FrameLayout(
+        function=fn.name,
+        local_offsets=local_offsets,
+        home_offsets=home_offsets,
+        frame_data_size=cursor,
+    )

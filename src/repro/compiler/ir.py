@@ -1,0 +1,497 @@
+"""Three-address intermediate representation for the multi-ISA compiler.
+
+The IR is deliberately simple: functions made of basic blocks; each block
+is a straight-line list of instructions ending in exactly one terminator
+(``Jump``, ``Branch``, or ``Ret``).  Values are named virtual registers
+(strings): parameters and locals keep their source names, temporaries are
+``%tN``.  Every IR instruction exposes ``uses()``/``defs()`` so dataflow
+analyses (liveness, the PSR look-ahead analysis) are generic.
+
+Memory is byte-addressed like the machine; ``Load``/``Store`` move words,
+``LoadByte``/``StoreByte`` move bytes.  Aggregates live either in the
+frame (local arrays, via ``AddrOfLocal``) or in the data section (globals,
+via ``AddrOfGlobal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+
+#: IR binary operators (C semantics on 32-bit ints)
+BINARY_OPERATORS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+#: IR comparison operators
+COMPARE_OPERATORS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class IRInstruction:
+    """Base class for all IR instructions."""
+
+    def uses(self) -> Tuple[str, ...]:
+        return ()
+
+    def defs(self) -> Tuple[str, ...]:
+        return ()
+
+    def is_terminator(self) -> bool:
+        return False
+
+
+@dataclass
+class Const(IRInstruction):
+    """dst = constant"""
+
+    dst: str
+    value: int
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.value}"
+
+
+@dataclass
+class Move(IRInstruction):
+    """dst = src"""
+
+    dst: str
+    src: str
+
+    def uses(self):
+        return (self.src,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class BinOp(IRInstruction):
+    """dst = a <operator> b"""
+
+    operator: str
+    dst: str
+    a: str
+    b: str
+
+    def __post_init__(self):
+        if self.operator not in BINARY_OPERATORS:
+            raise CompileError(f"bad binary operator {self.operator!r}")
+
+    def uses(self):
+        return (self.a, self.b)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.a} {self.operator} {self.b}"
+
+
+@dataclass
+class UnOp(IRInstruction):
+    """dst = <operator> a   (operator in {'-', '~'})"""
+
+    operator: str
+    dst: str
+    a: str
+
+    def uses(self):
+        return (self.a,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.operator}{self.a}"
+
+
+@dataclass
+class Compare(IRInstruction):
+    """dst = (a <relop> b) ? 1 : 0"""
+
+    operator: str
+    dst: str
+    a: str
+    b: str
+
+    def __post_init__(self):
+        if self.operator not in COMPARE_OPERATORS:
+            raise CompileError(f"bad comparison operator {self.operator!r}")
+
+    def uses(self):
+        return (self.a, self.b)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.a} {self.operator} {self.b}"
+
+
+@dataclass
+class Load(IRInstruction):
+    """dst = word at [address + offset]"""
+
+    dst: str
+    address: str
+    offset: int = 0
+
+    def uses(self):
+        return (self.address,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = load [{self.address}+{self.offset}]"
+
+
+@dataclass
+class Store(IRInstruction):
+    """word at [address + offset] = src"""
+
+    address: str
+    src: str
+    offset: int = 0
+
+    def uses(self):
+        return (self.address, self.src)
+
+    def __repr__(self):
+        return f"store [{self.address}+{self.offset}] = {self.src}"
+
+
+@dataclass
+class LoadByte(IRInstruction):
+    """dst = zero-extended byte at [address + offset]"""
+
+    dst: str
+    address: str
+    offset: int = 0
+
+    def uses(self):
+        return (self.address,)
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = loadb [{self.address}+{self.offset}]"
+
+
+@dataclass
+class StoreByte(IRInstruction):
+    """byte at [address + offset] = low byte of src"""
+
+    address: str
+    src: str
+    offset: int = 0
+
+    def uses(self):
+        return (self.address, self.src)
+
+    def __repr__(self):
+        return f"storeb [{self.address}+{self.offset}] = {self.src}"
+
+
+@dataclass
+class AddrOfLocal(IRInstruction):
+    """dst = address of a local array/variable in the current frame"""
+
+    dst: str
+    local: str
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = &{self.local}"
+
+
+@dataclass
+class AddrOfGlobal(IRInstruction):
+    """dst = address of a data-section symbol"""
+
+    dst: str
+    symbol: str
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = &@{self.symbol}"
+
+
+@dataclass
+class AddrOfFunction(IRInstruction):
+    """dst = entry address of a function (function pointer creation)"""
+
+    dst: str
+    function: str
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst} = &{self.function}()"
+
+
+@dataclass
+class Call(IRInstruction):
+    """dst = function(args...)   (dst may be None for void use)"""
+
+    function: str
+    args: Tuple[str, ...]
+    dst: Optional[str] = None
+
+    def uses(self):
+        return tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst else ()
+
+    def __repr__(self):
+        ret = f"{self.dst} = " if self.dst else ""
+        return f"{ret}call {self.function}({', '.join(self.args)})"
+
+
+@dataclass
+class CallIndirect(IRInstruction):
+    """dst = (*target)(args...) — call through a function pointer"""
+
+    target: str
+    args: Tuple[str, ...]
+    dst: Optional[str] = None
+
+    def uses(self):
+        return (self.target,) + tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst else ()
+
+    def __repr__(self):
+        ret = f"{self.dst} = " if self.dst else ""
+        return f"{ret}icall (*{self.target})({', '.join(self.args)})"
+
+
+@dataclass
+class SysCall(IRInstruction):
+    """dst = syscall(number, args...) — at most 3 args"""
+
+    number: str
+    args: Tuple[str, ...]
+    dst: Optional[str] = None
+
+    def uses(self):
+        return (self.number,) + tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst else ()
+
+    def __repr__(self):
+        ret = f"{self.dst} = " if self.dst else ""
+        return f"{ret}syscall({self.number}; {', '.join(self.args)})"
+
+
+@dataclass
+class Jump(IRInstruction):
+    """Unconditional transfer to another block."""
+
+    target: str
+
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(IRInstruction):
+    """if (a <relop> b) goto then_target else goto else_target"""
+
+    operator: str
+    a: str
+    b: str
+    then_target: str
+    else_target: str
+
+    def __post_init__(self):
+        if self.operator not in COMPARE_OPERATORS:
+            raise CompileError(f"bad branch operator {self.operator!r}")
+
+    def uses(self):
+        return (self.a, self.b)
+
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return (f"br {self.a} {self.operator} {self.b} ? "
+                f"{self.then_target} : {self.else_target}")
+
+
+@dataclass
+class Ret(IRInstruction):
+    """Return, optionally with a value."""
+
+    src: Optional[str] = None
+
+    def uses(self):
+        return (self.src,) if self.src else ()
+
+    def is_terminator(self):
+        return True
+
+    def __repr__(self):
+        return f"ret {self.src or ''}".strip()
+
+
+@dataclass
+class IRBlock:
+    """One basic block: label + instructions; last one is the terminator."""
+
+    label: str
+    instructions: List[IRInstruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> IRInstruction:
+        if not self.instructions or not self.instructions[-1].is_terminator():
+            raise CompileError(f"block {self.label} lacks a terminator")
+        return self.instructions[-1]
+
+    def successors(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Branch):
+            return (term.then_target, term.else_target)
+        return ()
+
+    def __repr__(self):
+        return f"<IRBlock {self.label}: {len(self.instructions)} ins>"
+
+
+@dataclass
+class LocalVar:
+    """A frame-allocated variable: scalar (4 bytes) or array."""
+
+    name: str
+    size: int = 4           # bytes
+    is_array: bool = False
+
+
+@dataclass
+class IRFunction:
+    """A compiled function: parameters, locals, and its blocks in layout order."""
+
+    name: str
+    params: List[str]
+    blocks: List[IRBlock] = field(default_factory=list)
+    locals: Dict[str, LocalVar] = field(default_factory=dict)
+
+    def block(self, label: str) -> IRBlock:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(label)
+
+    @property
+    def entry(self) -> IRBlock:
+        return self.blocks[0]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises CompileError on violation."""
+        labels = [blk.label for blk in self.blocks]
+        if len(set(labels)) != len(labels):
+            raise CompileError(f"{self.name}: duplicate block labels")
+        label_set = set(labels)
+        for blk in self.blocks:
+            for i, ins in enumerate(blk.instructions):
+                is_last = i == len(blk.instructions) - 1
+                if ins.is_terminator() != is_last:
+                    raise CompileError(
+                        f"{self.name}/{blk.label}: terminator misplaced")
+            for succ in blk.successors():
+                if succ not in label_set:
+                    raise CompileError(
+                        f"{self.name}/{blk.label}: unknown successor {succ}")
+
+    def all_values(self) -> List[str]:
+        """Every value name referenced anywhere in the function."""
+        seen: Dict[str, None] = {}
+        for name in self.params:
+            seen.setdefault(name)
+        for blk in self.blocks:
+            for ins in blk.instructions:
+                for name in ins.defs():
+                    seen.setdefault(name)
+                for name in ins.uses():
+                    seen.setdefault(name)
+        return list(seen)
+
+    def dump(self) -> str:
+        lines = [f"function {self.name}({', '.join(self.params)})"]
+        for local in self.locals.values():
+            kind = f"[{local.size}]" if local.is_array else ""
+            lines.append(f"  local {local.name}{kind}")
+        for blk in self.blocks:
+            lines.append(f"{blk.label}:")
+            lines.extend(f"  {ins!r}" for ins in blk.instructions)
+        return "\n".join(lines)
+
+
+@dataclass
+class GlobalVar:
+    """A data-section symbol with optional initial bytes."""
+
+    name: str
+    size: int
+    init: bytes = b""
+    elem_size: int = 4       # 1 for char arrays, 4 for int data
+
+
+@dataclass
+class IRProgram:
+    """A whole program: functions plus global data."""
+
+    functions: Dict[str, IRFunction] = field(default_factory=dict)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+    entry: str = "main"
+
+    def add_function(self, function: IRFunction) -> IRFunction:
+        if function.name in self.functions:
+            raise CompileError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise CompileError(f"duplicate global {var.name}")
+        self.globals[var.name] = var
+        return var
+
+    def validate(self) -> None:
+        for function in self.functions.values():
+            function.validate()
+            for blk in function.blocks:
+                for ins in blk.instructions:
+                    if isinstance(ins, Call) and ins.function not in self.functions:
+                        raise CompileError(
+                            f"{function.name}: call to unknown {ins.function}")
+                    if (isinstance(ins, AddrOfFunction)
+                            and ins.function not in self.functions):
+                        raise CompileError(
+                            f"{function.name}: address of unknown {ins.function}")
+                    if (isinstance(ins, AddrOfGlobal)
+                            and ins.symbol not in self.globals):
+                        raise CompileError(
+                            f"{function.name}: unknown global {ins.symbol}")
+        if self.entry not in self.functions:
+            raise CompileError(f"missing entry function {self.entry!r}")

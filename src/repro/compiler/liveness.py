@@ -1,0 +1,124 @@
+"""Dataflow analyses over the IR: CFG edges, liveness, loop depth.
+
+Liveness drives three consumers:
+
+* the register allocator (interference-free assignment of hot values);
+* the extended symbol table's per-block live sets — what Figure 2 of the
+  paper calls "Live Regs" — which the PSR runtime and the migration
+  engine's stack transformer read at run time;
+* PSR's "single basic block look-ahead liveness analysis" used to compute
+  caller/callee saves at call sites (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ir import IRBlock, IRFunction
+
+
+@dataclass
+class BlockLiveness:
+    live_in: FrozenSet[str]
+    live_out: FrozenSet[str]
+
+
+def predecessors(fn: IRFunction) -> Dict[str, List[str]]:
+    """Map each block label to the labels of its predecessors."""
+    preds: Dict[str, List[str]] = {blk.label: [] for blk in fn.blocks}
+    for blk in fn.blocks:
+        for succ in blk.successors():
+            preds[succ].append(blk.label)
+    return preds
+
+
+def compute_liveness(fn: IRFunction) -> Dict[str, BlockLiveness]:
+    """Classic backward may-analysis to a fixpoint.
+
+    Returns per-block live-in/live-out sets of IR value names.
+    """
+    use: Dict[str, Set[str]] = {}
+    define: Dict[str, Set[str]] = {}
+    for blk in fn.blocks:
+        used: Set[str] = set()
+        defined: Set[str] = set()
+        for ins in blk.instructions:
+            for name in ins.uses():
+                if name not in defined:
+                    used.add(name)
+            for name in ins.defs():
+                defined.add(name)
+        use[blk.label] = used
+        define[blk.label] = defined
+
+    live_in: Dict[str, Set[str]] = {blk.label: set() for blk in fn.blocks}
+    live_out: Dict[str, Set[str]] = {blk.label: set() for blk in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for blk in reversed(fn.blocks):
+            out: Set[str] = set()
+            for succ in blk.successors():
+                out |= live_in[succ]
+            new_in = use[blk.label] | (out - define[blk.label])
+            if out != live_out[blk.label] or new_in != live_in[blk.label]:
+                live_out[blk.label] = out
+                live_in[blk.label] = new_in
+                changed = True
+
+    return {
+        label: BlockLiveness(frozenset(live_in[label]),
+                             frozenset(live_out[label]))
+        for label in live_in
+    }
+
+
+def live_after_each_instruction(
+        blk: IRBlock, block_live_out: FrozenSet[str]) -> List[FrozenSet[str]]:
+    """Live sets *after* each instruction of one block (backward sweep).
+
+    ``result[i]`` is the set of values live immediately after
+    ``blk.instructions[i]``.  This is the one-block look-ahead analysis the
+    PSR virtual machine performs when transforming procedure calls.
+    """
+    live: Set[str] = set(block_live_out)
+    result: List[Set[str]] = [set()] * len(blk.instructions)
+    for index in range(len(blk.instructions) - 1, -1, -1):
+        ins = blk.instructions[index]
+        result[index] = set(live)
+        live -= set(ins.defs())
+        live |= set(ins.uses())
+    return [frozenset(s) for s in result]
+
+
+def loop_depths(fn: IRFunction) -> Dict[str, int]:
+    """Approximate loop nesting depth per block.
+
+    A back edge is an edge to a block that appears earlier in layout order
+    (the lowering emits natural loops that way).  Depth is the number of
+    enclosing (header, tail) intervals a block falls inside — adequate for
+    spill-cost weighting without a full dominator analysis.
+    """
+    order = {blk.label: i for i, blk in enumerate(fn.blocks)}
+    intervals: List[Tuple[int, int]] = []
+    for blk in fn.blocks:
+        for succ in blk.successors():
+            if order[succ] <= order[blk.label]:
+                intervals.append((order[succ], order[blk.label]))
+    depths: Dict[str, int] = {}
+    for blk in fn.blocks:
+        i = order[blk.label]
+        depths[blk.label] = sum(1 for lo, hi in intervals if lo <= i <= hi)
+    return depths
+
+
+def use_counts(fn: IRFunction, weights: Dict[str, int]) -> Dict[str, float]:
+    """Spill-cost estimate: uses+defs weighted by 10^loop_depth."""
+    counts: Dict[str, float] = {}
+    for blk in fn.blocks:
+        weight = 10.0 ** min(weights.get(blk.label, 0), 4)
+        for ins in blk.instructions:
+            for name in list(ins.uses()) + list(ins.defs()):
+                counts[name] = counts.get(name, 0.0) + weight
+    return counts

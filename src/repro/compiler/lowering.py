@@ -1,0 +1,533 @@
+"""Lowering: mini-C AST → three-address IR.
+
+Design notes:
+
+* Scalars that are never address-taken become IR *values* (candidates for
+  registers).  Arrays and address-taken scalars become *memory locals*
+  pinned in the frame — exactly the split PSR's relocation map makes
+  between relocatable slots and fixed slots (Figure 2 of the paper).
+* Conditions lower to ``Branch`` directly when the expression is a
+  comparison; otherwise the value is compared against zero.
+* ``&&``/``||`` are evaluated without short-circuit (documented language
+  deviation): both sides are normalised to 0/1 and combined bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import CompileError
+from . import minic as ast
+from .ir import (
+    AddrOfFunction,
+    AddrOfGlobal,
+    AddrOfLocal,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Compare,
+    Const,
+    GlobalVar,
+    IRBlock,
+    IRFunction,
+    IRProgram,
+    Jump,
+    Load,
+    LoadByte,
+    LocalVar,
+    Move,
+    Ret,
+    Store,
+    StoreByte,
+    SysCall,
+    UnOp,
+)
+
+#: names treated as intrinsics rather than user function calls
+INTRINSICS = {"syscall", "load", "store", "load8", "store8"}
+
+_COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def lower_program(program: ast.Program, entry: str = "main") -> IRProgram:
+    """Lower a parsed program to validated IR."""
+    ir_program = IRProgram(entry=entry)
+    function_names = {f.name for f in program.functions}
+
+    for decl in program.globals:
+        ir_program.add_global(_lower_global(decl))
+
+    for function in program.functions:
+        lowering = _FunctionLowering(function, function_names, ir_program)
+        ir_program.add_function(lowering.lower())
+
+    ir_program.validate()
+    return ir_program
+
+
+def compile_source(source: str, entry: str = "main") -> IRProgram:
+    """Front-end convenience: parse and lower mini-C source."""
+    return lower_program(ast.parse(source), entry)
+
+
+def _lower_global(decl: ast.GlobalDecl) -> GlobalVar:
+    length = decl.array_length if decl.array_length is not None else 1
+    size = max(length * decl.elem_size, 1)
+    init = b""
+    if decl.init_string is not None:
+        init = decl.init_string
+        size = max(size, len(init))
+    elif decl.init_values is not None:
+        chunks = []
+        for value in decl.init_values:
+            value &= 0xFFFFFFFF
+            if decl.elem_size == 1:
+                chunks.append(bytes([value & 0xFF]))
+            else:
+                chunks.append(value.to_bytes(4, "little"))
+        init = b"".join(chunks)
+        size = max(size, len(init))
+    # Round globals up to word size so word loads at the tail are in-bounds.
+    size = (size + 3) // 4 * 4
+    return GlobalVar(decl.name, size, init, elem_size=decl.elem_size)
+
+
+@dataclass
+class _LoopContext:
+    break_label: str
+    continue_label: str
+
+
+class _FunctionLowering:
+    def __init__(self, decl: ast.FunctionDecl, function_names: Set[str],
+                 program: IRProgram):
+        self.decl = decl
+        self.function_names = function_names
+        self.program = program
+        self.fn = IRFunction(decl.name, list(decl.params))
+        self.temp_counter = 0
+        self.block_counter = 0
+        self.current: Optional[IRBlock] = None
+        self.loops: List[_LoopContext] = []
+        #: locals that must live in memory (arrays + address-taken scalars)
+        self.memory_locals: Set[str] = set()
+        #: element size for indexable names (arrays)
+        self.elem_sizes: Dict[str, int] = {}
+        self.scalar_locals: Set[str] = set()
+
+    # -- plumbing --------------------------------------------------------
+    def new_temp(self) -> str:
+        name = f"%t{self.temp_counter}"
+        self.temp_counter += 1
+        return name
+
+    def new_block(self, hint: str) -> IRBlock:
+        label = f"{self.decl.name}.{hint}{self.block_counter}"
+        self.block_counter += 1
+        block = IRBlock(label)
+        self.fn.blocks.append(block)
+        return block
+
+    def emit(self, instruction) -> None:
+        self.current.instructions.append(instruction)
+
+    def const(self, value: int) -> str:
+        temp = self.new_temp()
+        self.emit(Const(temp, value))
+        return temp
+
+    @property
+    def terminated(self) -> bool:
+        ins = self.current.instructions
+        return bool(ins) and ins[-1].is_terminator()
+
+    # -- entry -----------------------------------------------------------
+    def lower(self) -> IRFunction:
+        self._scan_address_taken(self.decl.body)
+        self.current = self.new_block("entry")
+        for statement in self.decl.body:
+            self._statement(statement)
+            if self.terminated:
+                # Anything after return/break in this block is dead; keep
+                # lowering into a fresh unreachable block for simplicity.
+                self.current = self.new_block("dead")
+        if not self.terminated:
+            self.emit(Ret())
+        self._prune_unreachable()
+        return self.fn
+
+    def _scan_address_taken(self, statements: List[ast.Stmt]) -> None:
+        """Pre-pass marking scalars whose address is taken."""
+        def walk_expr(expr) -> None:
+            if isinstance(expr, ast.AddrOf):
+                if expr.name not in self.function_names:
+                    self.memory_locals.add(expr.name)
+            elif isinstance(expr, ast.Unary):
+                walk_expr(expr.operand)
+            elif isinstance(expr, ast.Binary):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, ast.Index):
+                walk_expr(expr.index)
+            elif isinstance(expr, ast.CallExpr):
+                for arg in expr.args:
+                    walk_expr(arg)
+
+        def walk(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.DeclStmt) and stmt.init is not None:
+                    walk_expr(stmt.init)
+                elif isinstance(stmt, ast.AssignStmt):
+                    walk_expr(stmt.value)
+                elif isinstance(stmt, ast.IndexAssignStmt):
+                    walk_expr(stmt.index)
+                    walk_expr(stmt.value)
+                elif isinstance(stmt, ast.IfStmt):
+                    walk_expr(stmt.cond)
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+                elif isinstance(stmt, ast.WhileStmt):
+                    walk_expr(stmt.cond)
+                    walk(stmt.body)
+                elif isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                    walk_expr(stmt.value)
+                elif isinstance(stmt, ast.ExprStmt):
+                    walk_expr(stmt.expr)
+
+        walk(statements)
+
+    def _prune_unreachable(self) -> None:
+        """Drop blocks no edge reaches (dead blocks created after returns)."""
+        reachable: Set[str] = set()
+        worklist = [self.fn.blocks[0].label]
+        by_label = {blk.label: blk for blk in self.fn.blocks}
+        while worklist:
+            label = worklist.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            block = by_label[label]
+            if not block.instructions or not block.instructions[-1].is_terminator():
+                block.instructions.append(Ret())
+            worklist.extend(block.successors())
+        self.fn.blocks = [blk for blk in self.fn.blocks
+                          if blk.label in reachable]
+
+    # -- statements --------------------------------------------------------
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self._declaration(stmt)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._assignment(stmt)
+        elif isinstance(stmt, ast.IndexAssignStmt):
+            self._index_assignment(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.emit(Ret())
+            else:
+                self.emit(Ret(self._expression(stmt.value)))
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loops:
+                raise CompileError(f"{self.decl.name}: break outside loop")
+            self.emit(Jump(self.loops[-1].break_label))
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loops:
+                raise CompileError(f"{self.decl.name}: continue outside loop")
+            self.emit(Jump(self.loops[-1].continue_label))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expression(stmt.expr, want_value=False)
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled statement {stmt!r}")
+
+    def _declaration(self, stmt: ast.DeclStmt) -> None:
+        name = stmt.name
+        if stmt.array_length is not None:
+            size = stmt.array_length * stmt.elem_size
+            self.fn.locals[name] = LocalVar(name, (size + 3) // 4 * 4, True)
+            self.memory_locals.add(name)
+            self.elem_sizes[name] = stmt.elem_size
+            if stmt.init is not None:
+                raise CompileError(f"{self.decl.name}: array initialisers "
+                                   "are not supported for locals")
+            return
+        if name in self.memory_locals:     # address-taken scalar
+            self.fn.locals[name] = LocalVar(name, 4, True)
+            self.elem_sizes.setdefault(name, 4)
+        else:
+            self.scalar_locals.add(name)
+        if stmt.init is not None:
+            value = self._expression(stmt.init)
+            self._write_scalar(name, value)
+        elif name in self.memory_locals:
+            self._write_scalar(name, self.const(0))
+
+    def _write_scalar(self, name: str, value: str) -> None:
+        if name in self.memory_locals:
+            address = self.new_temp()
+            self.emit(AddrOfLocal(address, name))
+            self.emit(Store(address, value))
+        else:
+            self.emit(Move(name, value))
+
+    def _read_scalar(self, name: str) -> str:
+        if name in self.memory_locals:
+            address = self.new_temp()
+            self.emit(AddrOfLocal(address, name))
+            result = self.new_temp()
+            self.emit(Load(result, address))
+            return result
+        return name
+
+    def _assignment(self, stmt: ast.AssignStmt) -> None:
+        if (stmt.name in self.program.globals
+                and stmt.name not in self.scalar_locals
+                and stmt.name not in self.fn.locals
+                and stmt.name not in self.fn.params):
+            value = self._expression(stmt.value)
+            address = self.new_temp()
+            self.emit(AddrOfGlobal(address, stmt.name))
+            self.emit(Store(address, value))
+            return
+        value = self._expression(stmt.value)
+        self._write_scalar(stmt.name, value)
+
+    def _index_assignment(self, stmt: ast.IndexAssignStmt) -> None:
+        base, elem_size = self._indexable_base(stmt.name)
+        index = self._expression(stmt.index)
+        value = self._expression(stmt.value)
+        address = self._scaled_address(base, index, elem_size)
+        if elem_size == 1:
+            self.emit(StoreByte(address, value))
+        else:
+            self.emit(Store(address, value))
+
+    def _if(self, stmt: ast.IfStmt) -> None:
+        then_block = self.new_block("then")
+        else_block = self.new_block("else") if stmt.else_body else None
+        join_block = self.new_block("join")
+        self._condition(stmt.cond, then_block.label,
+                        (else_block or join_block).label)
+        self.current = then_block
+        for inner in stmt.then_body:
+            self._statement(inner)
+            if self.terminated:
+                break
+        if not self.terminated:
+            self.emit(Jump(join_block.label))
+        if else_block is not None:
+            self.current = else_block
+            for inner in stmt.else_body:
+                self._statement(inner)
+                if self.terminated:
+                    break
+            if not self.terminated:
+                self.emit(Jump(join_block.label))
+        self.current = join_block
+
+    def _while(self, stmt: ast.WhileStmt) -> None:
+        head = self.new_block("loop")
+        body = self.new_block("body")
+        exit_block = self.new_block("exit")
+        self.emit(Jump(head.label))
+        self.current = head
+        self._condition(stmt.cond, body.label, exit_block.label)
+        self.current = body
+        self.loops.append(_LoopContext(exit_block.label, head.label))
+        for inner in stmt.body:
+            self._statement(inner)
+            if self.terminated:
+                break
+        self.loops.pop()
+        if not self.terminated:
+            self.emit(Jump(head.label))
+        self.current = exit_block
+
+    # -- conditions --------------------------------------------------------
+    def _condition(self, expr: ast.Expr, then_label: str,
+                   else_label: str) -> None:
+        if isinstance(expr, ast.Binary) and expr.operator in _COMPARE_OPS:
+            a = self._expression(expr.left)
+            b = self._expression(expr.right)
+            self.emit(Branch(expr.operator, a, b, then_label, else_label))
+            return
+        if isinstance(expr, ast.Unary) and expr.operator == "!":
+            self._condition(expr.operand, else_label, then_label)
+            return
+        value = self._expression(expr)
+        zero = self.const(0)
+        self.emit(Branch("!=", value, zero, then_label, else_label))
+
+    # -- expressions ---------------------------------------------------
+    def _expression(self, expr: ast.Expr, want_value: bool = True) -> str:
+        if isinstance(expr, ast.Num):
+            return self.const(expr.value)
+        if isinstance(expr, ast.Var):
+            return self._variable(expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Index):
+            return self._index(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._call(expr, want_value)
+        if isinstance(expr, ast.AddrOf):
+            return self._address_of(expr)
+        raise CompileError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _variable(self, name: str) -> str:
+        if (name in self.scalar_locals or name in self.fn.params
+                or name in self.memory_locals):
+            return self._read_scalar(name)
+        if name in self.program.globals:
+            address = self.new_temp()
+            self.emit(AddrOfGlobal(address, name))
+            result = self.new_temp()
+            self.emit(Load(result, address))
+            return result
+        # An undeclared name: treat as a fresh scalar (C-ish laxness would
+        # be a bug farm — make it a hard error instead).
+        raise CompileError(f"{self.decl.name}: undeclared variable {name!r}")
+
+    def _unary(self, expr: ast.Unary) -> str:
+        if expr.operator == "!":
+            value = self._expression(expr.operand)
+            zero = self.const(0)
+            result = self.new_temp()
+            self.emit(Compare("==", result, value, zero))
+            return result
+        value = self._expression(expr.operand)
+        result = self.new_temp()
+        self.emit(UnOp("-" if expr.operator == "-" else "~", result, value))
+        return result
+
+    def _binary(self, expr: ast.Binary) -> str:
+        if expr.operator in _COMPARE_OPS:
+            a = self._expression(expr.left)
+            b = self._expression(expr.right)
+            result = self.new_temp()
+            self.emit(Compare(expr.operator, result, a, b))
+            return result
+        if expr.operator in ("&&", "||"):
+            a = self._normalize_bool(self._expression(expr.left))
+            b = self._normalize_bool(self._expression(expr.right))
+            result = self.new_temp()
+            self.emit(BinOp("&" if expr.operator == "&&" else "|",
+                            result, a, b))
+            return result
+        a = self._expression(expr.left)
+        b = self._expression(expr.right)
+        result = self.new_temp()
+        self.emit(BinOp(expr.operator, result, a, b))
+        return result
+
+    def _normalize_bool(self, value: str) -> str:
+        zero = self.const(0)
+        result = self.new_temp()
+        self.emit(Compare("!=", result, value, zero))
+        return result
+
+    def _indexable_base(self, name: str):
+        """Resolve a name used with subscript → (base address value, elem size)."""
+        if name in self.fn.locals and self.fn.locals[name].is_array:
+            address = self.new_temp()
+            self.emit(AddrOfLocal(address, name))
+            return address, self.elem_sizes.get(name, 4)
+        if (name in self.program.globals
+                and name not in self.scalar_locals
+                and name not in self.fn.params):
+            address = self.new_temp()
+            self.emit(AddrOfGlobal(address, name))
+            return address, self.program.globals[name].elem_size
+        # a pointer-valued scalar
+        return self._read_scalar(name) if name in self.memory_locals \
+            else self._variable_as_pointer(name), 4
+
+    def _variable_as_pointer(self, name: str) -> str:
+        if name in self.scalar_locals or name in self.fn.params:
+            return name
+        raise CompileError(f"{self.decl.name}: cannot index {name!r}")
+
+    def _scaled_address(self, base: str, index: str, elem_size: int) -> str:
+        if elem_size == 1:
+            scaled = index
+        else:
+            four = self.const(elem_size)
+            scaled = self.new_temp()
+            self.emit(BinOp("*", scaled, index, four))
+        address = self.new_temp()
+        self.emit(BinOp("+", address, base, scaled))
+        return address
+
+    def _index(self, expr: ast.Index) -> str:
+        base, elem_size = self._indexable_base(expr.name)
+        index = self._expression(expr.index)
+        address = self._scaled_address(base, index, elem_size)
+        result = self.new_temp()
+        if elem_size == 1:
+            self.emit(LoadByte(result, address))
+        else:
+            self.emit(Load(result, address))
+        return result
+
+    def _call(self, expr: ast.CallExpr, want_value: bool) -> str:
+        name = expr.name
+        if name in INTRINSICS:
+            return self._intrinsic(expr, want_value)
+        args = tuple(self._expression(arg) for arg in expr.args)
+        dst = self.new_temp() if want_value else None
+        if name in self.function_names:
+            self.emit(Call(name, args, dst))
+        else:
+            # calling through a variable holding a function pointer
+            target = self._variable(name)
+            self.emit(CallIndirect(target, args, dst))
+        return dst or ""
+
+    def _intrinsic(self, expr: ast.CallExpr, want_value: bool) -> str:
+        name = expr.name
+        args = [self._expression(arg) for arg in expr.args]
+        if name == "syscall":
+            if not 1 <= len(args) <= 4:
+                raise CompileError("syscall takes 1..4 arguments")
+            dst = self.new_temp() if want_value else None
+            self.emit(SysCall(args[0], tuple(args[1:]), dst))
+            return dst or ""
+        if name == "load":
+            result = self.new_temp()
+            self.emit(Load(result, args[0]))
+            return result
+        if name == "load8":
+            result = self.new_temp()
+            self.emit(LoadByte(result, args[0]))
+            return result
+        if name == "store":
+            self.emit(Store(args[0], args[1]))
+            return ""
+        if name == "store8":
+            self.emit(StoreByte(args[0], args[1]))
+            return ""
+        raise CompileError(f"unknown intrinsic {name}")  # pragma: no cover
+
+    def _address_of(self, expr: ast.AddrOf) -> str:
+        name = expr.name
+        result = self.new_temp()
+        if name in self.function_names:
+            self.emit(AddrOfFunction(result, name))
+        elif name in self.fn.locals:
+            self.emit(AddrOfLocal(result, name))
+        elif name in self.program.globals:
+            self.emit(AddrOfGlobal(result, name))
+        else:
+            raise CompileError(f"{self.decl.name}: cannot take address of "
+                               f"{name!r}")
+        return result
+
+

@@ -1,0 +1,456 @@
+"""Mini-C: the small C-like source language the workloads are written in.
+
+Supported constructs — enough to express realistic kernels (compression
+loops, recursion over game trees, dynamic programming, pointer chasing,
+string parsing):
+
+* ``int`` scalars, ``int``/``char`` arrays (locals and globals, with
+  initialisers; global char arrays accept string literals);
+* functions with ``int`` parameters, recursion, and function pointers
+  (``&name`` to take an address, calling through a variable);
+* ``if``/``else``, ``while``, ``break``, ``continue``, ``return``;
+* full C expression set on 32-bit ints (``&&``/``||`` evaluate without
+  short-circuit, which is the documented deviation);
+* intrinsics: ``syscall(n, ...)`` plus word/byte memory access
+  ``load/store/load8/store8`` for pointer-style code.
+
+The grammar is LL(1); the hand-written recursive-descent parser below
+produces a plain AST that :mod:`repro.compiler.lowering` converts to IR.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import CompileError
+
+# ----------------------------------------------------------------------
+# Tokens
+# ----------------------------------------------------------------------
+_TOKEN_SPEC = [
+    ("comment", r"//[^\n]*|/\*.*?\*/"),
+    ("number", r"0[xX][0-9a-fA-F]+|\d+"),
+    ("char", r"'(\\.|[^\\'])'"),
+    ("string", r'"(\\.|[^"\\])*"'),
+    ("name", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("op", r"<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=(){}\[\],;]"),
+    ("ws", r"\s+"),
+]
+_TOKEN_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+    re.DOTALL)
+
+KEYWORDS = {"int", "char", "if", "else", "while", "return", "break",
+            "continue", "void"}
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str            # "number" | "name" | "keyword" | "op" | "string" | "eof"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CompileError(f"line {line}: unexpected character {source[pos]!r}")
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+        elif kind == "name" and text in KEYWORDS:
+            tokens.append(Token("keyword", text, line))
+        elif kind == "char":
+            body = text[1:-1]
+            value = _ESCAPES[body[1]] if body.startswith("\\") else ord(body)
+            tokens.append(Token("number", str(value), line))
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def unescape_string(literal: str) -> bytes:
+    """Convert a source string literal (with quotes) to raw bytes."""
+    body = literal[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], ord(body[i + 1])))
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Unary:
+    operator: str        # - ! ~
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    operator: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Index:
+    name: str
+    index: "Expr"
+
+
+@dataclass
+class CallExpr:
+    name: str
+    args: List["Expr"]
+
+
+@dataclass
+class AddrOf:
+    name: str
+
+
+Expr = Union[Num, Var, Unary, Binary, Index, CallExpr, AddrOf]
+
+
+@dataclass
+class DeclStmt:
+    name: str
+    elem_size: int                      # 4 for int, 1 for char
+    array_length: Optional[int] = None  # None = scalar
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt:
+    name: str
+    value: Expr
+
+
+@dataclass
+class IndexAssignStmt:
+    name: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class IfStmt:
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt:
+    cond: Expr
+    body: List["Stmt"]
+
+
+@dataclass
+class ReturnStmt:
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt:
+    pass
+
+
+@dataclass
+class ContinueStmt:
+    pass
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+Stmt = Union[DeclStmt, AssignStmt, IndexAssignStmt, IfStmt, WhileStmt,
+             ReturnStmt, BreakStmt, ContinueStmt, ExprStmt]
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    params: List[str]
+    body: List[Stmt]
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    elem_size: int
+    array_length: Optional[int] = None
+    init_values: Optional[List[int]] = None
+    init_string: Optional[bytes] = None
+
+
+@dataclass
+class Program:
+    functions: List[FunctionDecl] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+# Binary operator precedence, loosest first.
+_PRECEDENCE: List[Tuple[str, ...]] = [
+    ("||",), ("&&",), ("|",), ("^",), ("&",),
+    ("==", "!="), ("<", "<=", ">", ">="),
+    ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            token = self.current
+            want = text or kind
+            raise CompileError(
+                f"line {token.line}: expected {want!r}, found {token.text!r}")
+        return self.advance()
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    # -- grammar -------------------------------------------------------
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self.check("eof"):
+            type_token = self.expect("keyword")
+            if type_token.text not in ("int", "char", "void"):
+                raise CompileError(
+                    f"line {type_token.line}: expected declaration")
+            name = self.expect("name").text
+            if self.check("op", "("):
+                program.functions.append(self._function_rest(name))
+            else:
+                elem = 1 if type_token.text == "char" else 4
+                program.globals.append(self._global_rest(name, elem))
+        return program
+
+    def _function_rest(self, name: str) -> FunctionDecl:
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            while True:
+                self.expect("keyword", "int")
+                params.append(self.expect("name").text)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self._block()
+        return FunctionDecl(name, params, body)
+
+    def _global_rest(self, name: str, elem_size: int) -> GlobalDecl:
+        decl = GlobalDecl(name, elem_size)
+        if self.accept("op", "["):
+            decl.array_length = self._const_int()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.check("string"):
+                decl.init_string = unescape_string(self.advance().text) + b"\x00"
+            elif self.accept("op", "{"):
+                values = [self._const_int()]
+                while self.accept("op", ","):
+                    values.append(self._const_int())
+                self.expect("op", "}")
+                decl.init_values = values
+            else:
+                decl.init_values = [self._const_int()]
+        self.expect("op", ";")
+        return decl
+
+    def _const_int(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("number")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def _block(self) -> List[Stmt]:
+        self.expect("op", "{")
+        statements: List[Stmt] = []
+        while not self.check("op", "}"):
+            statements.append(self._statement())
+        self.expect("op", "}")
+        return statements
+
+    def _statement(self) -> Stmt:
+        if self.check("keyword", "int") or self.check("keyword", "char"):
+            return self._declaration()
+        if self.accept("keyword", "if"):
+            return self._if_statement()
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            return WhileStmt(cond, self._block())
+        if self.accept("keyword", "return"):
+            if self.accept("op", ";"):
+                return ReturnStmt()
+            value = self._expression()
+            self.expect("op", ";")
+            return ReturnStmt(value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return BreakStmt()
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ContinueStmt()
+        # assignment vs expression statement
+        if self.check("name"):
+            if self.peek().kind == "op" and self.peek().text == "=":
+                name = self.advance().text
+                self.advance()   # '='
+                value = self._expression()
+                self.expect("op", ";")
+                return AssignStmt(name, value)
+            if self.peek().kind == "op" and self.peek().text == "[":
+                saved = self.pos
+                name = self.advance().text
+                self.advance()   # '['
+                index = self._expression()
+                self.expect("op", "]")
+                if self.accept("op", "="):
+                    value = self._expression()
+                    self.expect("op", ";")
+                    return IndexAssignStmt(name, index, value)
+                self.pos = saved   # it was an expression like a[i];
+        expr = self._expression()
+        self.expect("op", ";")
+        return ExprStmt(expr)
+
+    def _declaration(self) -> DeclStmt:
+        type_token = self.advance()
+        elem = 1 if type_token.text == "char" else 4
+        name = self.expect("name").text
+        decl = DeclStmt(name, elem)
+        if self.accept("op", "["):
+            decl.array_length = self._const_int()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            decl.init = self._expression()
+        self.expect("op", ";")
+        return decl
+
+    def _if_statement(self) -> IfStmt:
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        then_body = self._block()
+        else_body: List[Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.accept("keyword", "if"):
+                else_body = [self._if_statement()]
+            else:
+                else_body = self._block()
+        return IfStmt(cond, then_body, else_body)
+
+    # -- expressions ---------------------------------------------------
+    def _expression(self) -> Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._binary(level + 1)
+        operators = _PRECEDENCE[level]
+        while self.current.kind == "op" and self.current.text in operators:
+            operator = self.advance().text
+            right = self._binary(level + 1)
+            left = Binary(operator, left, right)
+        return left
+
+    def _unary(self) -> Expr:
+        if self.current.kind == "op" and self.current.text in ("-", "!", "~"):
+            operator = self.advance().text
+            return Unary(operator, self._unary())
+        if self.accept("op", "&"):
+            name = self.expect("name").text
+            return AddrOf(name)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self.check("number"):
+            return Num(int(self.advance().text, 0))
+        if self.accept("op", "("):
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        token = self.expect("name")
+        name = token.text
+        if self.accept("op", "("):
+            args: List[Expr] = []
+            if not self.check("op", ")"):
+                while True:
+                    args.append(self._expression())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+            return CallExpr(name, args)
+        if self.accept("op", "["):
+            index = self._expression()
+            self.expect("op", "]")
+            return Index(name, index)
+        return Var(name)
+
+
+def parse(source: str) -> Program:
+    """Parse mini-C source into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,59 @@
+"""Register allocation: function-scoped stable assignment.
+
+Each IR value gets exactly one storage location for the whole function —
+either a callee-saved register or a home slot in the frame.  The stable
+assignment is what makes every basic-block boundary a potential
+*equivalence point*: given the extended symbol table, the full variable
+state is reconstructible from machine state at any block entry, which the
+cross-ISA migration engine depends on.
+
+The allocator ranks values by loop-weighted use counts and hands the
+ISA's allocatable (callee-saved) registers to the hottest ones; everything
+else lives in its home slot.  Address-taken values and arrays are never
+register candidates (their storage must stay addressable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..isa.base import ISADescription
+from .ir import IRFunction
+from .liveness import loop_depths, use_counts
+
+
+@dataclass
+class Allocation:
+    """The result of register allocation for one function on one ISA."""
+
+    isa_name: str
+    #: value name -> architectural register index
+    registers: Dict[str, int]
+    #: values living in frame home slots, in layout order
+    spilled: List[str]
+
+    def location_kind(self, value: str) -> str:
+        return "register" if value in self.registers else "memory"
+
+
+def allocate_registers(fn: IRFunction, isa: ISADescription) -> Allocation:
+    """Assign the hottest values to this ISA's allocatable registers."""
+    depths = loop_depths(fn)
+    costs = use_counts(fn, depths)
+
+    memory_only = set(fn.locals)      # arrays + address-taken scalars
+    candidates = [value for value in fn.all_values()
+                  if value not in memory_only]
+    candidates.sort(key=lambda v: (-costs.get(v, 0.0), v))
+
+    registers: Dict[str, int] = {}
+    available = list(isa.allocatable)
+    for value in candidates:
+        if not available:
+            break
+        registers[value] = available.pop(0)
+
+    spilled = [value for value in fn.all_values()
+               if value not in registers and value not in memory_only]
+    return Allocation(isa.name, registers, spilled)

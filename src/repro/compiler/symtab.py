@@ -1,0 +1,141 @@
+"""The extended symbol table of the fat binary.
+
+This is the static-analysis product Figure 2 of the paper shows feeding
+the PSR randomizer: per function — live registers per basic block, callee
+saves, argument slots, fixed stack slots, and relocatable slots — plus the
+per-ISA address information (entry points, block addresses, call sites)
+the translator and migration engine navigate by.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .frames import FrameLayout
+from .liveness import BlockLiveness
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One static call instruction: where it is and where it returns to."""
+
+    address: int
+    return_address: int
+    kind: str                  # "call" | "icall"
+    target: Optional[int] = None   # resolved for direct calls
+
+
+@dataclass
+class ISAFunctionInfo:
+    """Per-ISA view of one function."""
+
+    isa_name: str
+    entry: int
+    end: int
+    #: IR block label -> start address in this ISA's text section
+    block_addresses: Dict[str, int]
+    #: registers the prologue pushes (excluding the link register)
+    saved_registers: List[int]
+    #: value name -> architectural register (the stable allocation)
+    register_assignment: Dict[str, int]
+    call_sites: List[CallSite] = field(default_factory=list)
+
+    def block_bounds(self) -> List[Tuple[str, int, int]]:
+        """(label, start, end) for each block, in address order."""
+        items = sorted(self.block_addresses.items(), key=lambda kv: kv[1])
+        bounds = []
+        for index, (label, start) in enumerate(items):
+            end = items[index + 1][1] if index + 1 < len(items) else self.end
+            bounds.append((label, start, end))
+        return bounds
+
+    def block_at(self, address: int) -> Optional[str]:
+        for label, start, end in self.block_bounds():
+            if start <= address < end:
+                return label
+        return None
+
+
+@dataclass
+class FunctionInfo:
+    """Cross-ISA record for one function."""
+
+    name: str
+    params: List[str]
+    layout: FrameLayout
+    liveness: Dict[str, BlockLiveness]
+    block_order: List[str]
+    per_isa: Dict[str, ISAFunctionInfo] = field(default_factory=dict)
+
+    def entry(self, isa_name: str) -> int:
+        return self.per_isa[isa_name].entry
+
+    def live_in(self, block_label: str) -> frozenset:
+        return self.liveness[block_label].live_in
+
+    def live_out(self, block_label: str) -> frozenset:
+        return self.liveness[block_label].live_out
+
+
+class ExtendedSymbolTable:
+    """Whole-binary index: functions, blocks, and address lookups."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._ranges: Dict[str, List[Tuple[int, int, str]]] = {}
+
+    def add(self, info: FunctionInfo) -> None:
+        self.functions[info.name] = info
+        for isa_name, per_isa in info.per_isa.items():
+            self._ranges.setdefault(isa_name, []).append(
+                (per_isa.entry, per_isa.end, info.name))
+            self._ranges[isa_name].sort()
+
+    def function(self, name: str) -> FunctionInfo:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+    def function_at(self, isa_name: str, address: int) -> Optional[FunctionInfo]:
+        """The function whose text contains ``address``, if any."""
+        ranges = self._ranges.get(isa_name, [])
+        index = bisect.bisect_right(ranges, (address, float("inf"), "")) - 1
+        if index >= 0:
+            start, end, name = ranges[index]
+            if start <= address < end:
+                return self.functions[name]
+        return None
+
+    def block_at(self, isa_name: str, address: int) -> Optional[Tuple[str, str]]:
+        """(function name, block label) containing ``address``."""
+        info = self.function_at(isa_name, address)
+        if info is None:
+            return None
+        label = info.per_isa[isa_name].block_at(address)
+        if label is None:
+            return None
+        return info.name, label
+
+    def is_function_entry(self, isa_name: str, address: int) -> bool:
+        info = self.function_at(isa_name, address)
+        return info is not None and info.per_isa[isa_name].entry == address
+
+    def is_block_entry(self, isa_name: str, address: int) -> bool:
+        info = self.function_at(isa_name, address)
+        if info is None:
+            return False
+        return address in info.per_isa[isa_name].block_addresses.values()
+
+    def all_call_sites(self, isa_name: str) -> List[CallSite]:
+        sites: List[CallSite] = []
+        for info in self.functions.values():
+            per_isa = info.per_isa.get(isa_name)
+            if per_isa is not None:
+                sites.extend(per_isa.call_sites)
+        return sites

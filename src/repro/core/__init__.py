@@ -1,0 +1,21 @@
+"""HIPStR core: PSR virtual machines, relocation, and the combined defense."""
+
+from .psr import MigrationRequested, PSRStats, PSRVirtualMachine
+from .relocation import PSRConfig, RelocationMap, build_relocation_map
+from .runner import PSRRun, create_psr_process, run_native, run_under_psr
+from .transforms import AddressingModeRewriter, RewriteResult
+
+__all__ = [
+    "AddressingModeRewriter",
+    "MigrationRequested",
+    "PSRConfig",
+    "PSRRun",
+    "PSRStats",
+    "PSRVirtualMachine",
+    "RelocationMap",
+    "RewriteResult",
+    "build_relocation_map",
+    "create_psr_process",
+    "run_native",
+    "run_under_psr",
+]

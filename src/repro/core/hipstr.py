@@ -1,0 +1,192 @@
+"""HIPStR: Heterogeneous-ISA Program State Relocation — the full defense.
+
+Composes one PSR virtual machine per ISA over a single process image and
+connects them through the migration engine:
+
+* **security migrations** — when an indirect control transfer (a return,
+  in this execution model) misses the code cache, the active VM reports a
+  potential breach; with probability ``migration_probability`` the system
+  migrates to the other ISA at that very control transfer (Section 3.5);
+* **performance migrations** — a phase-change policy periodically flags
+  the active VM to migrate at the next basic-block boundary, preserving
+  the heterogeneous-ISA CMP's performance/energy benefits (Section 5.2);
+* **cross-ISA pre-translation** — compulsory misses translate the unit on
+  both ISAs so the other core is ready (Section 3.5);
+* **re-randomization** — on a crash/respawn, both VMs rebuild every
+  relocation map (Section 5.3), which is what defeats Blind-ROP-style
+  crash oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..compiler.fatbinary import FatBinary
+from ..errors import MachineFault
+from ..isa import ISAS
+from ..machine.cpu import CPUState
+from ..machine.interpreter import ExecutionResult, Interpreter
+from ..machine.process import Process
+from ..migration.engine import MigrationEngine, MigrationRecord
+from .psr import MigrationRequested, PSRVirtualMachine
+from .relocation import PSRConfig
+
+ISA_NAMES = ("x86like", "armlike")
+
+
+@dataclass
+class HIPStRResult:
+    """Outcome of a HIPStR-protected run."""
+
+    result: ExecutionResult
+    exit_code: Optional[int]
+    migrations: List[MigrationRecord]
+    final_isa: str
+    steps_by_isa: Dict[str, int]
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migrations)
+
+
+class HIPStRSystem:
+    """A process protected by heterogeneous-ISA program state relocation."""
+
+    def __init__(self, binary: FatBinary,
+                 config: Optional[PSRConfig] = None,
+                 seed: int = 0,
+                 migration_probability: float = 1.0,
+                 start_isa: str = "x86like",
+                 stdin: bytes = b"",
+                 phase_interval: Optional[int] = None):
+        if start_isa not in ISA_NAMES:
+            raise ValueError(f"unknown ISA {start_isa!r}")
+        self.binary = binary
+        self.config = config or PSRConfig()
+        self.seed = seed
+        self.migration_probability = migration_probability
+        self.phase_interval = phase_interval
+        self._rng = random.Random(f"hipstr:{seed}")
+
+        self.process = Process(binary.to_process_image(), ISAS[start_isa])
+        self.process.os.reset(stdin=stdin)
+        memory = self.process.memory
+
+        self.vms: Dict[str, PSRVirtualMachine] = {}
+        self.interpreters: Dict[str, Interpreter] = {}
+        for isa_name in ISA_NAMES:
+            vm = PSRVirtualMachine(binary, ISAS[isa_name], memory,
+                                   self.config, seed)
+            vm.security_handler = self._security_handler
+            self.vms[isa_name] = vm
+        self.vms["x86like"].sibling = self.vms["armlike"]
+        self.vms["armlike"].sibling = self.vms["x86like"]
+
+        for isa_name in ISA_NAMES:
+            if isa_name == start_isa:
+                interpreter = self.process.interpreter
+                interpreter.hooks = self.vms[isa_name]
+            else:
+                cpu = CPUState(ISAS[isa_name])
+                interpreter = Interpreter(cpu, memory, self.process.os,
+                                          self.vms[isa_name])
+            self.vms[isa_name].invalidate_listener = \
+                interpreter.invalidate_decode_cache
+            self.interpreters[isa_name] = interpreter
+
+        self.engine = MigrationEngine(binary, self.vms)
+        self.active_isa = start_isa
+        self.steps_by_isa: Dict[str, int] = {name: 0 for name in ISA_NAMES}
+
+    # ------------------------------------------------------------------
+    @property
+    def active_interpreter(self) -> Interpreter:
+        return self.interpreters[self.active_isa]
+
+    @property
+    def active_vm(self) -> PSRVirtualMachine:
+        return self.vms[self.active_isa]
+
+    @property
+    def other_isa(self) -> str:
+        return "armlike" if self.active_isa == "x86like" else "x86like"
+
+    def _security_handler(self, kind: str, native_target: int) -> bool:
+        """Probabilistic migration decision on a suspected breach."""
+        if kind != "ret":
+            # The execution engine migrates at returns and block entries;
+            # other indirect misses are still *counted* as security events
+            # by the VM (the analytic models use those counts).
+            return False
+        return self._rng.random() < self.migration_probability
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 20_000_000) -> HIPStRResult:
+        """Execute to completion, migrating whenever a VM requests it."""
+        remaining = max_instructions
+        phase_budget = self.phase_interval
+        while True:
+            interpreter = self.active_interpreter
+            chunk = remaining
+            if phase_budget is not None:
+                chunk = min(chunk, phase_budget)
+            before = interpreter.steps_executed
+            try:
+                result = interpreter.run(chunk)
+            except MigrationRequested as request:
+                executed = interpreter.steps_executed - before
+                remaining -= executed
+                self.steps_by_isa[self.active_isa] += executed
+                self._migrate(request)
+                continue
+            executed = interpreter.steps_executed - before
+            remaining -= executed
+            self.steps_by_isa[self.active_isa] += executed
+            if phase_budget is not None:
+                phase_budget -= executed
+            if result.reason == "limit" and remaining > 0:
+                if phase_budget is not None and phase_budget <= 0:
+                    # phase change: migrate at the next block boundary
+                    self.active_vm.migrate_on_next_block = True
+                    phase_budget = self.phase_interval
+                continue
+            return HIPStRResult(
+                result=result,
+                exit_code=self.process.os.exit_code,
+                migrations=list(self.engine.history),
+                final_isa=self.active_isa,
+                steps_by_isa=dict(self.steps_by_isa),
+            )
+
+    def _migrate(self, request: MigrationRequested) -> None:
+        source = self.active_isa
+        target = self.other_isa
+        source_interpreter = self.interpreters[source]
+        target_cpu = self.engine.migrate(
+            source, target, source_interpreter.cpu, self.process.memory,
+            request.native_target, request.kind)
+        target_interpreter = self.interpreters[target]
+        target_interpreter.cpu = target_cpu
+        target_cpu.halted = False
+        self.active_isa = target
+
+    # ------------------------------------------------------------------
+    def rerandomize(self) -> None:
+        """Respawn path: re-randomize both VMs (Section 5.3)."""
+        for vm in self.vms.values():
+            vm.rerandomize()
+
+
+def run_under_hipstr(binary: FatBinary, *, config: Optional[PSRConfig] = None,
+                     seed: int = 0, migration_probability: float = 1.0,
+                     start_isa: str = "x86like", stdin: bytes = b"",
+                     phase_interval: Optional[int] = None,
+                     max_instructions: int = 20_000_000,
+                     ) -> tuple:
+    """One-call convenience: build a HIPStR system and run it."""
+    system = HIPStRSystem(binary, config, seed, migration_probability,
+                          start_isa, stdin, phase_interval)
+    result = system.run(max_instructions)
+    return system, result

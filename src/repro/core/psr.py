@@ -1,0 +1,427 @@
+"""The PSR virtual machine: dynamic binary translation with randomization.
+
+One :class:`PSRVirtualMachine` runs per ISA (per core).  It owns a code
+cache and a hardware-RAT model, and plugs into the interpreter as its
+:class:`~repro.machine.interpreter.ExecutionHooks`:
+
+* every control transfer out of the cache resolves through the VM —
+  translate-on-miss, one basic-block-sized unit at a time;
+* call instructions save *source* return addresses (``on_call``) and
+  prime the RAT; returns translate back through the RAT;
+* an indirect control transfer (return, indirect jump/call) that misses
+  the code cache is a *potential security breach* (Section 3.5): the VM
+  reports it to its security handler, which — under HIPStR — migrates
+  execution to the other ISA with some probability;
+* software-fault isolation: an indirect transfer *into* the code cache
+  terminates the process (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..compiler.ir import AddrOfFunction
+from ..dbt.code_cache import CodeCache
+from ..dbt.rat import ReturnAddressTable
+from ..errors import SecurityViolation, TranslationError
+from ..isa.assembler import Assembler
+from ..isa.base import Instruction, ISADescription, Op
+from ..isa.disassembler import linear_disassemble
+from ..machine.cpu import CPUState
+from ..machine.interpreter import ExecutionHooks
+from ..machine.memory import Memory
+from ..machine.process import Layout
+from .psr_codegen import FunctionTranslation, PSRTranslator, TranslationUnit
+from .relocation import PSRConfig, RelocationMap, build_relocation_map
+from .transforms import AddressingModeRewriter
+
+
+class MigrationRequested(Exception):
+    """Raised out of the interpreter when the VM decides to switch ISAs.
+
+    Carries the *source-space* target of the in-flight control transfer —
+    a unit boundary valid on both ISAs, which is what makes the hand-off
+    well-defined.
+    """
+
+    def __init__(self, native_target: int, kind: str):
+        super().__init__(f"migrate at {native_target:#x} ({kind})")
+        self.native_target = native_target
+        self.kind = kind
+
+
+@dataclass
+class PSRStats:
+    units_installed: int = 0
+    fragments_installed: int = 0
+    relocation_maps_built: int = 0
+    direct_misses: int = 0
+    #: indirect control transfers that missed the cache — security events
+    security_events: int = 0
+    security_events_by_kind: Dict[str, int] = field(default_factory=dict)
+    sfi_violations: int = 0
+    dispatches: int = 0
+    returns_translated: int = 0
+
+    def record_security_event(self, kind: str) -> None:
+        self.security_events += 1
+        self.security_events_by_kind[kind] = \
+            self.security_events_by_kind.get(kind, 0) + 1
+
+
+#: handler(kind, native_target) -> True to request migration
+SecurityHandler = Callable[[str, int], bool]
+
+
+class PSRVirtualMachine(ExecutionHooks):
+    """Per-ISA PSR runtime (see module docstring)."""
+
+    def __init__(self, binary: FatBinary, isa: ISADescription, memory: Memory,
+                 config: Optional[PSRConfig] = None,
+                 seed: int = 0,
+                 cache_base: Optional[int] = None):
+        self.binary = binary
+        self.isa = isa
+        self.memory = memory
+        self.config = config or PSRConfig()
+        self.seed = seed
+        #: bumped by rerandomize(); feeds every per-function RNG
+        self.epoch = 0
+        self.stats = PSRStats()
+
+        base = cache_base if cache_base is not None \
+            else Layout.CACHE_BASES[isa.name]
+        segment_name = f"cache.{isa.name}"
+        if not memory.has_segment(segment_name):
+            memory.map(segment_name, base, self.config.code_cache_size,
+                       writable=True, executable=True)
+        self.cache = CodeCache(base, self.config.code_cache_size)
+        self.rat = ReturnAddressTable(self.config.rat_size)
+        self.cache.flush_listeners.append(self._on_flush)
+
+        self.reloc_maps: Dict[str, RelocationMap] = {}
+        self.translations: Dict[str, FunctionTranslation] = {}
+        #: cache address just after each installed CALL -> native return
+        self.call_return_map: Dict[int, int] = {}
+        #: source addresses reachable through *indirect* transfers — the
+        #: VM's "internal structures" of Section 3.5.  Direct jumps chain
+        #: inline in a real DBT, so an indirect transfer is only
+        #: miss-free when its target appears here.
+        self.indirect_targets: set = set()
+        self.security_handler: Optional[SecurityHandler] = None
+        #: set by HIPStR's phase policy: migrate at the next block entry
+        self.migrate_on_next_block = False
+        #: sibling VM notified to pre-translate on compulsory misses (HIPStR)
+        self.sibling: Optional["PSRVirtualMachine"] = None
+        #: called after installs to invalidate interpreter decode caches
+        self.invalidate_listener: Optional[Callable[[int, int], None]] = None
+
+        section = binary.sections[isa.name]
+        self._text_base = section.base_address
+        self._text_end = section.end_address
+        first_function = min(
+            (info.per_isa[isa.name].entry for info in binary.symtab),
+            default=self._text_end)
+        #: the crt0 stub region executes natively (trusted loader code)
+        self._start_region = (self._text_base, first_function)
+        self._address_taken = self._find_address_taken_functions()
+
+    # ------------------------------------------------------------------
+    # Relocation maps and translations
+    # ------------------------------------------------------------------
+    def _find_address_taken_functions(self) -> Set[str]:
+        taken: Set[str] = set()
+        for fn in self.binary.program.functions.values():
+            for blk in fn.blocks:
+                for ins in blk.instructions:
+                    if isinstance(ins, AddrOfFunction):
+                        taken.add(ins.function)
+        return taken
+
+    def reloc_for(self, function: str) -> RelocationMap:
+        """The function's relocation map, built on first entry (§3.4).
+
+        Per-function RNGs are derived deterministically from (seed, epoch,
+        ISA, function): the per-ISA stream randomizes registers and slots;
+        the ISA-independent *convention* stream randomizes the argument
+        window, keeping frame geometry common across ISAs for migration.
+        """
+        existing = self.reloc_maps.get(function)
+        if existing is not None:
+            return existing
+        info = self.binary.symtab.function(function)
+        fn = self.binary.program.functions[function]
+        rng = random.Random(f"{self.seed}:{self.epoch}:{self.isa.name}:{function}")
+        convention_rng = random.Random(f"{self.seed}:{self.epoch}:conv:{function}")
+        reloc = build_relocation_map(info, fn, self.isa, self.config, rng,
+                                     convention_rng)
+        if function in self._address_taken:
+            # Indirect callees keep the canonical argument layout: callers
+            # translated against an unknown target could not honour a
+            # randomized window.
+            count = len(info.params)
+            reloc.arg_positions = {i: i for i in range(count)}
+            reloc.arg_window_words = count
+        self.reloc_maps[function] = reloc
+        self.stats.relocation_maps_built += 1
+        return reloc
+
+    def translation_for(self, function: str) -> FunctionTranslation:
+        existing = self.translations.get(function)
+        if existing is not None:
+            return existing
+        info = self.binary.symtab.function(function)
+        translator = PSRTranslator(
+            self.binary.program, info, self.isa, self.reloc_for(function),
+            self.config, self.reloc_for,
+            lambda name: self.binary.symtab.function(name).entry(self.isa.name),
+            self.binary.global_addresses)
+        translation = translator.translate()
+        self.translations[function] = translation
+        return translation
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install_unit(self, source_address: int) -> Optional[int]:
+        """Translate-and-install the unit continuing at ``source_address``.
+
+        Returns the cache address, or None if the address is not inside
+        any known function (wild transfer — the caller lets it fault).
+        """
+        info = self.binary.symtab.function_at(self.isa.name, source_address)
+        if info is None:
+            return None
+        translation = self.translation_for(info.name)
+        unit = translation.unit_at(source_address)
+        if unit is not None:
+            return self._assemble_and_install(source_address, unit.items,
+                                              unit.call_returns,
+                                              unit.aliases)
+        return self._install_fragment(info.name, source_address)
+
+    def _assemble_and_install(self, source_address: int, items,
+                              call_returns, aliases=()) -> int:
+        asm = Assembler(self.isa)
+        for item in items:
+            if isinstance(item, str):
+                asm.label(item)
+            else:
+                asm.emit(item)
+        sized = asm.assemble(0)
+        size = len(sized.data)
+        cache_address = self.cache.reserve(size, self.isa.alignment)
+        unit = asm.assemble(cache_address)
+        self.memory.write_bytes(cache_address, unit.data)
+        self.cache.install(source_address, cache_address, size)
+        for alias in aliases:
+            self.cache.alias(alias, cache_address)
+        # Drop call-return entries of whatever previously occupied these
+        # bytes; stale entries must never alias a new unit's call sites.
+        # The exact start address is excluded: when units are adjacent, a
+        # unit ending in CALL registers its return key at the *next*
+        # unit's start address, and that entry must survive.  A stale key
+        # at the start is harmless — it is either unreachable or about to
+        # be re-registered by the unit that owns it.
+        stale = [key for key in self.call_return_map
+                 if cache_address < key < cache_address + size]
+        for key in stale:
+            del self.call_return_map[key]
+        # Pair emitted calls with their native return addresses so on_call
+        # can push source return addresses.
+        ordinal = 0
+        for address, instruction in zip(unit.addresses, unit.instructions):
+            if instruction.op in (Op.CALL, Op.ICALL):
+                encoded = len(self.isa.encode(instruction, address))
+                if ordinal < len(call_returns):
+                    self.call_return_map[address + encoded] = \
+                        call_returns[ordinal]
+                ordinal += 1
+        self.stats.units_installed += 1
+        if self.invalidate_listener is not None:
+            self.invalidate_listener(cache_address, cache_address + size)
+        if self.sibling is not None:
+            self.sibling.pretranslate(source_address)
+        return cache_address
+
+    def pretranslate(self, sibling_source: int) -> None:
+        """HIPStR: translate the equivalent unit for this ISA too (§3.5).
+
+        ``sibling_source`` is a source address in the *other* ISA's text;
+        map it to ours via (function, unit-id) correspondence.
+        """
+        other_isa = "armlike" if self.isa.name == "x86like" else "x86like"
+        info = self.binary.symtab.function_at(other_isa, sibling_source)
+        if info is None:
+            return
+        other_translation_key = None
+        # Map by unit id: find the unit in the sibling's address space.
+        sibling_vm_translation = None
+        # Build (or reuse) our translation, then find the unit whose id
+        # matches the sibling unit's id.
+        try:
+            ours = self.translation_for(info.name)
+        except TranslationError:      # pragma: no cover - defensive
+            return
+        per_isa_other = info.per_isa[other_isa]
+        per_isa_ours = info.per_isa[self.isa.name]
+        our_source = None
+        if sibling_source == per_isa_other.entry:
+            our_source = per_isa_ours.entry
+        else:
+            for label, address in per_isa_other.block_addresses.items():
+                if address == sibling_source:
+                    our_source = per_isa_ours.block_addresses[label]
+                    break
+        if our_source is None:
+            # call-return points: match by ordinal within the function
+            other_returns = [s.return_address
+                             for s in per_isa_other.call_sites]
+            if sibling_source in other_returns:
+                index = other_returns.index(sibling_source)
+                ours_returns = [s.return_address
+                                for s in per_isa_ours.call_sites]
+                if index < len(ours_returns):
+                    our_source = ours_returns[index]
+        if our_source is None:
+            return
+        if self.cache.peek(our_source) is None:
+            unit = ours.unit_at(our_source)
+            if unit is not None:
+                self._assemble_and_install(our_source, unit.items,
+                                           unit.call_returns, unit.aliases)
+
+    def _install_fragment(self, function: str, source_address: int) -> int:
+        """Translate from an arbitrary in-function address (gadget entry).
+
+        Disassembles native code from the address to the next control
+        transfer and applies the addressing-mode transformation — the code
+        path that obfuscates executed ROP gadgets.
+        """
+        info = self.binary.symtab.function(function)
+        section = self.binary.sections[self.isa.name]
+        decoded = linear_disassemble(
+            self.isa, section.data, section.base_address,
+            start=source_address, stop_at_control=True)
+        if not decoded:
+            raise SecurityViolation(
+                "undecodable fragment entry", source_address)
+        rewriter = AddressingModeRewriter(
+            self.isa, self.reloc_for(function), info.layout,
+            info.per_isa[self.isa.name])
+        items: List[Instruction] = []
+        for entry in decoded:
+            items.extend(rewriter.rewrite(entry.instruction).instructions)
+        self.stats.fragments_installed += 1
+        return self._assemble_and_install(source_address, items, [])
+
+    def _on_flush(self) -> None:
+        self.rat.invalidate()
+        # call_return_map survives the flush deliberately: a translated
+        # CALL may be in flight (the flush happened while resolving its
+        # target), and its on_call must still find the native return
+        # address.  Entries are pruned as new units overwrite the bytes.
+        if self.invalidate_listener is not None:
+            self.invalidate_listener(self.cache.base, self.cache.end)
+
+    # ------------------------------------------------------------------
+    # ExecutionHooks
+    # ------------------------------------------------------------------
+    def _in_start_stub(self, address: int) -> bool:
+        return self._start_region[0] <= address < self._start_region[1]
+
+    def resolve_target(self, kind: str, cpu: CPUState, target: int) -> int:
+        if self.cache.contains_address(target):
+            if kind in ("ret", "ijmp", "icall"):
+                # SFI: nothing legitimate ever transfers indirectly into
+                # the cache (return addresses are source addresses).
+                self.stats.sfi_violations += 1
+                raise SecurityViolation(
+                    f"indirect transfer into code cache via {kind}", target)
+            return target
+        if self._in_start_stub(target):
+            return target
+
+        if (self.migrate_on_next_block and kind in ("jmp", "jcc")
+                and self.binary.symtab.is_block_entry(self.isa.name, target)):
+            self.migrate_on_next_block = False
+            raise MigrationRequested(target, "block")
+
+        indirect = kind in ("ret", "ijmp", "icall")
+        if kind == "ret":
+            cached = self.rat.lookup(target)
+            if cached is not None:
+                self.stats.returns_translated += 1
+                return cached
+        cached = self.cache.lookup(target)
+        # An indirect transfer is a *suspected breach* unless its target
+        # is both translated and registered as an indirect target.
+        if indirect and (cached is None
+                         or target not in self.indirect_targets):
+            self.stats.record_security_event(kind)
+            if (self.security_handler is not None
+                    and self.security_handler(kind, target)):
+                raise MigrationRequested(target, kind)
+        elif cached is None:
+            self.stats.direct_misses += 1
+        if cached is None:
+            cached = self.install_unit(target)
+            if cached is None:
+                return target        # wild transfer: let the fetch fault
+        if indirect:
+            self.indirect_targets.add(target)
+        if kind == "ret":
+            self.rat.insert(target, cached)
+        self.stats.dispatches += 1
+        return cached
+
+    def on_call(self, cpu: CPUState, return_address: int) -> int:
+        native_return = self.call_return_map.get(return_address)
+        if native_return is None:
+            return return_address      # native caller (crt0 stub)
+        self.indirect_targets.add(native_return)
+        continuation = self.cache.peek(native_return)
+        if continuation is not None:
+            self.rat.insert(native_return, continuation)
+        return native_return
+
+    def prewarm(self) -> None:
+        """Translate every unit of every function up front.
+
+        Steady-state equivalent of the paper's fast-forward methodology:
+        after prewarming, the code cache holds the whole program and the
+        VM's internal structures list every legitimate indirect target
+        (function entries and call-return sites), so no compulsory miss
+        — and therefore no security event — occurs during measurement.
+        """
+        for info in self.binary.symtab:
+            translation = self.translation_for(info.name)
+            for source, unit in list(translation.units.items()):
+                if self.cache.peek(source) is None:
+                    self._assemble_and_install(source, unit.items,
+                                               unit.call_returns,
+                                               unit.aliases)
+            per_isa = info.per_isa[self.isa.name]
+            self.indirect_targets.add(per_isa.entry)
+            for site in per_isa.call_sites:
+                self.indirect_targets.add(site.return_address)
+
+    # ------------------------------------------------------------------
+    # Introspection for the attack framework
+    # ------------------------------------------------------------------
+    def translated_source_addresses(self) -> Set[int]:
+        return self.cache.translated_source_addresses()
+
+    def cache_bytes(self) -> bytes:
+        """Current contents of the code cache (the JIT-ROP read surface)."""
+        return self.memory.read_bytes(self.cache.base, self.cache.used or 1)
+
+    def rerandomize(self) -> None:
+        """Crash/respawn path: rebuild every map and flush (Section 5.3)."""
+        self.epoch += 1
+        self.reloc_maps.clear()
+        self.translations.clear()
+        self.cache.flush()

@@ -1,0 +1,421 @@
+"""PSR translation: randomized code generation into translation units.
+
+The PSR virtual machine translates one basic block at a time, but plans
+per function: when a function is first entered its relocation map is
+built, and every block of the function is lowered to *translation units*
+against that map.  Units are installed into the code cache lazily, on
+first control transfer to their source address.
+
+A unit corresponds to either a basic block entry or a call-return point
+(blocks are split at calls so that every return address a caller pushes is
+itself a unit boundary — this is what lets the return address table map
+source return addresses to cache continuations).
+
+Key properties of the emitted code (Section 5.1 of the paper):
+
+* every operand is accessed at its *relocated* location — addressing-mode
+  changes on x86like, extra load/store temporaries on armlike;
+* callee saves are *scattered* to random slots in the prologue and
+  *gathered* in the epilogue, replacing the classic ``pop r; ret`` tail;
+* arguments travel in a randomized, padded argument window chosen by the
+  callee's relocation map (randomized calling convention);
+* control transfers name *source* addresses, never cache addresses, so
+  nothing on the stack or in registers reveals the cache layout;
+* with -O1, unconditional branches are inlined to form superblocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..compiler import ir
+from ..compiler.codegen import (
+    ArmLikeCodegen,
+    CodeGenerator,
+    X86LikeCodegen,
+    _RELOP_TO_COND,
+)
+from ..compiler.symtab import FunctionInfo, ISAFunctionInfo
+from ..errors import CompileError, TranslationError
+from ..isa.armlike import ARMLIKE
+from ..isa.base import (
+    Cond,
+    Imm,
+    Instruction,
+    ISADescription,
+    Label,
+    Mem,
+    Op,
+    Reg,
+)
+from ..isa.x86like import X86LIKE
+from .relocation import PSRConfig, RelocationMap
+
+#: superblock formation stops after this many inlined blocks
+SUPERBLOCK_LIMIT = 4
+
+Item = Union[str, Instruction]       # a local label or an instruction
+
+
+@dataclass
+class TranslationUnit:
+    """One lazily-installable chunk of randomized code."""
+
+    source_address: int              # native address this unit continues
+    unit_id: Tuple[str, int]         # (block label, call ordinal within block)
+    items: List[Item] = field(default_factory=list)
+    #: native return addresses, one per CALL/ICALL emitted, in order
+    call_returns: List[int] = field(default_factory=list)
+    is_function_entry: bool = False
+    #: extra source addresses that should alias to this unit (superblocks)
+    aliases: List[int] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(1 for item in self.items if isinstance(item, Instruction))
+
+
+@dataclass
+class FunctionTranslation:
+    """All units of one function under one relocation map."""
+
+    function: str
+    isa_name: str
+    reloc: RelocationMap
+    units: Dict[int, TranslationUnit] = field(default_factory=dict)
+
+    def unit_at(self, source_address: int) -> Optional[TranslationUnit]:
+        return self.units.get(source_address)
+
+
+class _UnitRecorder:
+    """Assembler-compatible sink that also supports unit splitting."""
+
+    def __init__(self):
+        self.units: List[TranslationUnit] = []
+        self.current: Optional[TranslationUnit] = None
+
+    def open(self, source_address: int, unit_id, is_entry=False) -> None:
+        self.current = TranslationUnit(source_address, unit_id,
+                                       is_function_entry=is_entry)
+        self.units.append(self.current)
+
+    def emit(self, instruction: Instruction) -> None:
+        self.current.items.append(instruction)
+
+    def label(self, name: str) -> None:
+        self.current.items.append(name)
+
+
+class _PSRMixin:
+    """Shared PSR overrides for both ISA code generators.
+
+    The mixin replaces the ABI-level behaviour of the native generator:
+    locations come from the relocation map, frames are enlarged and
+    scattered, and calls use randomized argument windows.
+    """
+
+    def init_psr(self, info: FunctionInfo, isa_info: ISAFunctionInfo,
+                 reloc: RelocationMap, config: PSRConfig,
+                 reloc_provider: Callable[[str], RelocationMap],
+                 block_call_returns: Dict[str, List[int]],
+                 recorder: _UnitRecorder) -> None:
+        self.info = info
+        self.isa_info = isa_info
+        self.reloc = reloc
+        self.config = config
+        self.reloc_provider = reloc_provider
+        self.block_call_returns = block_call_returns
+        self.recorder = recorder
+        self._call_ordinal: Dict[str, int] = {}
+        self._current_block: Optional[str] = None
+
+    # -- location overrides ------------------------------------------------
+    def loc(self, value: str):
+        kind, where = self.reloc.location(value)
+        if kind == "register":
+            return Reg(where)
+        return Mem(self.isa.sp, where + self._sp_adjust)
+
+    def slot(self, value: str) -> Mem:
+        kind, where = self.reloc.location(value)
+        if kind != "stack":
+            raise TranslationError(f"{value} has no stack slot")
+        return Mem(self.isa.sp, where + self._sp_adjust)
+
+    def gen_addr_local(self, instruction: ir.AddrOfLocal) -> None:
+        native = self.layout.local_offsets[instruction.local]
+        offset = self.reloc.fixed_base + native + self._sp_adjust
+        self.emit(Op.LEA, Reg(self.s0), Mem(self.isa.sp, offset))
+        self.store(instruction.dst, Reg(self.s0))
+
+    def gen_addr_function(self, instruction: ir.AddrOfFunction) -> None:
+        # Function pointers always hold *source* entry addresses; the VM
+        # redirects indirect calls through them at run time.
+        self.mov_imm(Reg(self.s0), self._symtab_entry(instruction.function))
+        self.store(instruction.dst, Reg(self.s0))
+
+    # -- prologue / epilogue -------------------------------------------
+    def prologue(self) -> None:
+        reloc = self.reloc
+        self.sub_sp(reloc.total_data_size)
+        if self.isa.lr is not None:
+            # Park the link register in the frame's return-address slot so
+            # both ISAs expose identical frame geometry (and RET pops it).
+            self.emit(Op.STORE,
+                      Mem(self.isa.sp, reloc.return_address_offset),
+                      Reg(self.isa.lr))
+        # Scatter callee saves to their random slots.
+        for register, slot in sorted(reloc.save_slots.items()):
+            self.emit(Op.STORE, Mem(self.isa.sp, slot), Reg(register))
+        # Fetch incoming arguments from the randomized argument window.
+        for index, param in enumerate(self.info.params):
+            source = Mem(self.isa.sp, reloc.arg_offset(index))
+            kind, where = reloc.location(param)
+            if kind == "register":
+                self.emit(Op.LOAD, Reg(where), source)
+            else:
+                self.emit(Op.LOAD, Reg(self.s0), source)
+                self.emit(Op.STORE, Mem(self.isa.sp, where), Reg(self.s0))
+
+    def epilogue(self) -> None:
+        reloc = self.reloc
+        # Randomized gather of the scattered callee saves.
+        for register, slot in sorted(reloc.save_slots.items()):
+            self.emit(Op.LOAD, Reg(register), Mem(self.isa.sp, slot))
+        self.add_sp(reloc.total_data_size)
+        self.emit(Op.RET)
+
+    # -- randomized calling convention -----------------------------------
+    def _window_words(self, callee_reloc: Optional[RelocationMap],
+                      arg_count: int) -> int:
+        if callee_reloc is None:        # canonical layout (indirect calls)
+            return arg_count
+        return callee_reloc.arg_window_words
+
+    def _arg_position(self, callee_reloc: Optional[RelocationMap],
+                      index: int) -> int:
+        if callee_reloc is None:
+            return index
+        return callee_reloc.arg_positions[index]
+
+    def _emit_windowed_call(self, args: Sequence[str],
+                            callee_reloc: Optional[RelocationMap],
+                            do_call: Callable[[], None],
+                            dst: Optional[str]) -> None:
+        window_bytes = 4 * self._window_words(callee_reloc, len(args))
+        # armlike reserves one extra word: the callee stores LR into it,
+        # mirroring the slot x86like's CALL push occupies.  The callee's
+        # RET consumes that word, so cleanup frees only the window.
+        extra = 0 if self.isa.call_pushes_return else 4
+        self.sub_sp(window_bytes + extra)
+        self._sp_adjust += window_bytes + extra
+        for index, arg in enumerate(args):
+            value = self.fetch(arg, self.s0)
+            position = self._arg_position(callee_reloc, index)
+            self.emit(Op.STORE, Mem(self.isa.sp, extra + 4 * position), value)
+        do_call()
+        self._split_after_call()
+        self._sp_adjust -= extra          # consumed by the callee's RET
+        self.add_sp(window_bytes)
+        self._sp_adjust -= window_bytes
+        if dst:
+            self.store(dst, Reg(self.isa.return_reg))
+
+    def _split_after_call(self) -> None:
+        block = self._current_block
+        ordinal = self._call_ordinal.get(block, 0)
+        self._call_ordinal[block] = ordinal + 1
+        returns = self.block_call_returns.get(block, [])
+        if ordinal >= len(returns):
+            raise TranslationError(
+                f"{self.info.name}/{block}: call ordinal {ordinal} has no "
+                "native return address")
+        native_return = returns[ordinal]
+        self.recorder.current.call_returns.append(native_return)
+        self.recorder.open(native_return, (block, ordinal + 1))
+
+    def gen_call(self, instruction: ir.Call) -> None:
+        callee_reloc = self.reloc_provider(instruction.function)
+        target = self.isa_entry_of(instruction.function)
+
+        def do_call():
+            self.emit(Op.CALL, Imm(target))
+
+        self._emit_windowed_call(instruction.args, callee_reloc, do_call,
+                                 instruction.dst)
+
+    def gen_call_indirect(self, instruction: ir.CallIndirect) -> None:
+        def do_call():
+            operand = self.indirect_call_target(instruction.target)
+            self.emit(Op.ICALL, operand)
+
+        # Indirect callees keep the canonical argument layout (their
+        # identity is unknown at translation time); pass None.
+        self._emit_windowed_call(instruction.args, None, do_call,
+                                 instruction.dst)
+
+    def isa_entry_of(self, function: str) -> int:
+        return self._symtab_entry(function)
+
+    # filled by the translator with a closure over the symbol table
+    _symtab_entry: Callable[[str], int]
+
+    # -- control transfers to source addresses ----------------------------
+    def emit_source_jump(self, source_address: int) -> None:
+        self.emit(Op.JMP, Imm(source_address))
+
+    def emit_source_branch(self, cond: Cond, then_source: int,
+                           else_source: int) -> None:
+        self.emit(Op.JCC, Imm(then_source), cond=cond)
+        self.emit_source_jump(else_source)
+
+    def block_source(self, label: str) -> int:
+        return self.isa_info.block_addresses[label]
+
+    def gen_branch(self, instruction: ir.Branch, next_label) -> None:
+        a = self.fetch(instruction.a, self.s0)
+        b = self.fetch(instruction.b, self.s1)
+        self.emit(Op.CMP, a, b)
+        self.emit_source_branch(_RELOP_TO_COND[instruction.operator],
+                                self.block_source(instruction.then_target),
+                                self.block_source(instruction.else_target))
+
+
+class PSRX86Codegen(_PSRMixin, X86LikeCodegen):
+    """x86like PSR generator: direct rel32 jumps reach source code."""
+
+
+class PSRArmCodegen(_PSRMixin, ArmLikeCodegen):
+    """armlike PSR generator.
+
+    Conditional branches have limited reach, so long conditional transfers
+    go through a local trampoline: ``Bcc taken; B else; taken: B then``.
+    Frame offsets beyond the 16-bit immediate range (large randomization
+    spaces) are legalized through an address temporary — the paper's
+    "emulate the addressing mode with additional instructions".
+    """
+
+    _LEGALIZE_LIMIT = 32000
+    _ADDRESS_TEMP = 3          # r3: scratch, unused by s0/s1/s2
+
+    def emit(self, op: Op, *operands, cond: Optional[Cond] = None) -> None:
+        if op in (Op.LOAD, Op.STORE, Op.LOADB, Op.STOREB, Op.LEA):
+            fixed = []
+            for operand in operands:
+                if (isinstance(operand, Mem)
+                        and abs(operand.disp) > self._LEGALIZE_LIMIT):
+                    temp = Reg(self._ADDRESS_TEMP)
+                    self.mov_imm(temp, operand.disp)
+                    super().emit(Op.ADD, temp, Reg(operand.base))
+                    operand = Mem(temp.index, 0)
+                fixed.append(operand)
+            operands = tuple(fixed)
+        elif (op in (Op.ADD, Op.SUB) and len(operands) == 2
+                and isinstance(operands[1], Imm)
+                and abs(operands[1].signed) > self._LEGALIZE_LIMIT):
+            temp = Reg(self._ADDRESS_TEMP)
+            self.mov_imm(temp, operands[1].value)
+            operands = (operands[0], temp)
+        super().emit(op, *operands, cond=cond)
+
+    def emit_source_branch(self, cond: Cond, then_source: int,
+                           else_source: int) -> None:
+        taken = self.local_label("taken")
+        self.emit(Op.JCC, Label(taken), cond=cond)
+        self.emit(Op.JMP, Imm(else_source))
+        self.asm.label(taken)
+        self.emit(Op.JMP, Imm(then_source))
+
+
+class PSRTranslator:
+    """Generates all translation units of one function on one ISA."""
+
+    def __init__(self, program: ir.IRProgram, info: FunctionInfo,
+                 isa: ISADescription, reloc: RelocationMap,
+                 config: PSRConfig,
+                 reloc_provider: Callable[[str], Optional[RelocationMap]],
+                 entry_of: Callable[[str], int],
+                 global_addresses: Optional[Dict[str, int]] = None):
+        self.program = program
+        self.fn = program.functions[info.name]
+        self.info = info
+        self.isa = isa
+        self.isa_info = info.per_isa[isa.name]
+        self.reloc = reloc
+        self.config = config
+        self.reloc_provider = reloc_provider
+        self.entry_of = entry_of
+        self.global_addresses = global_addresses or {}
+
+    def translate(self) -> FunctionTranslation:
+        recorder = _UnitRecorder()
+        generator_cls = (PSRX86Codegen if self.isa.name == X86LIKE.name
+                         else PSRArmCodegen)
+        # Reuse the native generator's constructor; allocation/layout are
+        # superseded by the relocation map but keep metadata accessible.
+        from ..compiler.regalloc import Allocation
+        dummy_allocation = Allocation(self.isa.name, {}, [])
+        generator = generator_cls(self.fn, self.program, dummy_allocation,
+                                  self.info.layout, self.global_addresses,
+                                  recorder)
+        block_call_returns = self._native_call_returns_by_block()
+        generator.init_psr(self.info, self.isa_info, self.reloc, self.config,
+                           self.reloc_provider, block_call_returns, recorder)
+        generator._symtab_entry = self.entry_of
+
+        translation = FunctionTranslation(self.info.name, self.isa.name,
+                                          self.reloc)
+        blocks = {blk.label: blk for blk in self.fn.blocks}
+        for index, block in enumerate(self.fn.blocks):
+            source = self.isa_info.block_addresses[block.label]
+            is_entry = index == 0
+            unit_source = self.isa_info.entry if is_entry else source
+            recorder.open(unit_source, (block.label, 0), is_entry=is_entry)
+            if is_entry:
+                generator.prologue()
+                if unit_source != source:
+                    recorder.current.aliases.append(source)
+            self._emit_block(generator, recorder, blocks, block,
+                             inlined=set())
+        for unit in recorder.units:
+            translation.units[unit.source_address] = unit
+            for alias in unit.aliases:
+                translation.units.setdefault(alias, unit)
+        return translation
+
+    def _emit_block(self, generator, recorder, blocks, block,
+                    inlined: Set[str]) -> None:
+        """Emit one block's body; -O1 inlines Jump chains into superblocks."""
+        generator._current_block = block.label
+        generator._call_ordinal[block.label] = 0
+        body, terminator = block.instructions[:-1], block.instructions[-1]
+        for instruction in body:
+            generator.emit_ir(instruction, None)
+        if isinstance(terminator, ir.Jump):
+            target = terminator.target
+            can_inline = (self.config.opt_level >= 1 and self.config.superblocks
+                          and target not in inlined
+                          and len(inlined) < SUPERBLOCK_LIMIT)
+            if can_inline:
+                inlined.add(block.label)
+                self._emit_block(generator, recorder, blocks, blocks[target],
+                                 inlined)
+                return
+            generator.emit_source_jump(generator.block_source(target))
+        else:
+            generator.emit_ir(terminator, None)
+
+    def _native_call_returns_by_block(self) -> Dict[str, List[int]]:
+        """Native return addresses of each block's calls, in source order."""
+        result: Dict[str, List[int]] = {}
+        bounds = self.isa_info.block_bounds()
+        for site in self.isa_info.call_sites:
+            for label, start, end in bounds:
+                if start <= site.address < end:
+                    result.setdefault(label, []).append(site.return_address)
+                    break
+        for sites in result.values():
+            sites.sort()
+        return result

@@ -1,0 +1,231 @@
+"""Relocation maps: the per-function randomization plans of PSR.
+
+Constructed by the PSR virtual machine the first time a function is
+entered (Section 3.4).  A relocation map fixes, for one randomization
+epoch, where every piece of the function's program state lives:
+
+* **register reallocation** — which values sit in (randomly chosen)
+  registers, per the optimization level's register-cache/bias policy;
+* **stack slot coloring** — a random, collision-free slot inside the
+  enlarged frame for every other value, for every scattered callee save,
+  and a random base for the fixed-local region (arrays keep their internal
+  layout but the whole region lands at a random base, which is what
+  randomizes the buffer→return-address distance an overflow must guess);
+* **randomized calling convention** — argument positions inside a padded
+  argument window, chosen by the callee, honoured by every translated
+  caller.
+
+The frame is enlarged by 2–16 pages of randomization space (Section 5.1),
+yielding the paper's 13–16 bits of entropy per relocated parameter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.ir import IRFunction
+from ..compiler.liveness import loop_depths, use_counts
+from ..compiler.symtab import FunctionInfo
+from ..errors import TranslationError
+from ..isa.base import ISADescription, WORD_SIZE
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class PSRConfig:
+    """Tunables of the PSR virtual machine (paper defaults)."""
+
+    #: pages of stack randomization space added per frame (2..16)
+    randomization_pages: int = 2
+    #: optimization level 0..3 (Table 3 of the paper)
+    opt_level: int = 3
+    #: entries in the hardware return address table
+    rat_size: int = 512
+    #: code cache capacity in bytes
+    code_cache_size: int = 1 << 20
+    #: extra words of padding in each argument window
+    arg_window_pad: int = 8
+    #: inline unconditional branches into superblocks (part of -O1)
+    superblocks: bool = True
+
+    def __post_init__(self):
+        if not 1 <= self.randomization_pages <= 16:
+            raise ValueError("randomization_pages must be in 1..16")
+        if self.opt_level not in (0, 1, 2, 3):
+            raise ValueError("opt_level must be 0..3")
+
+    @property
+    def randomization_space(self) -> int:
+        return self.randomization_pages * PAGE_SIZE
+
+    @property
+    def entropy_bits_per_parameter(self) -> float:
+        """Paper metric: log2 of the byte positions a parameter may take."""
+        return math.log2(self.randomization_space)
+
+    @property
+    def register_cache_size(self) -> int:
+        """-O2's global register cache holds three hot values (Section 5.4)."""
+        return 3 if self.opt_level >= 2 else 0
+
+    @property
+    def register_bias(self) -> bool:
+        """-O3 keeps at least three values relocated register→register."""
+        return self.opt_level >= 3
+
+
+@dataclass
+class RelocationMap:
+    """One function's randomization plan on one ISA."""
+
+    function: str
+    isa_name: str
+    #: value -> randomly chosen register
+    registers: Dict[str, int]
+    #: value -> random sp-relative slot offset
+    slots: Dict[str, int]
+    #: random base offset of the fixed-local region
+    fixed_base: int
+    #: native frame-data size (before enlargement)
+    native_data_size: int
+    #: enlarged frame-data size (native + randomization space)
+    total_data_size: int
+    #: callee-saved register -> random scatter slot
+    save_slots: Dict[int, int]
+    #: argument index -> word position inside the argument window
+    arg_positions: Dict[int, int]
+    #: argument window size in words (>= number of args)
+    arg_window_words: int
+    #: random permutation of the allocatable register file.  Applied to
+    #: register references that do not correspond to a mapped value —
+    #: this is PSR's register *reallocation* acting on the raw register
+    #: identity, so even a bare ``pop ebx; ret`` gadget pops into a
+    #: different, unpredictable register.
+    register_permutation: Dict[int, int] = field(default_factory=dict)
+
+    def location(self, value: str):
+        """('register', index) or ('stack', offset) for a value."""
+        if value in self.registers:
+            return ("register", self.registers[value])
+        return ("stack", self.slots[value])
+
+    def arg_offset(self, index: int) -> int:
+        """Callee-view sp-relative offset of incoming argument ``index``."""
+        return self.total_data_size + WORD_SIZE + WORD_SIZE * self.arg_positions[index]
+
+    @property
+    def return_address_offset(self) -> int:
+        return self.total_data_size
+
+    def randomizable_parameter_count(self) -> float:
+        """Average randomized parameters per instruction-window (Table 2)."""
+        return len(self.registers) + len(self.slots) + 1  # +1: return address
+
+
+def build_relocation_map(info: FunctionInfo, fn: IRFunction,
+                         isa: ISADescription, config: PSRConfig,
+                         rng: random.Random,
+                         convention_rng: Optional[random.Random] = None,
+                         ) -> RelocationMap:
+    """Randomize one function's state locations (see module docstring).
+
+    ``convention_rng`` drives the *calling convention* randomization
+    (argument window size and positions).  HIPStR seeds it identically on
+    both ISAs so a frame built by one ISA's callers matches the geometry
+    the other ISA's translation expects after migration — the "common
+    stack frame organization" invariant of Section 3.2.  Register and
+    slot randomization still come from the per-ISA ``rng``.
+    """
+    if convention_rng is None:
+        convention_rng = rng
+    layout = info.layout
+    native_data = layout.frame_data_size
+    total_data = native_data + config.randomization_space
+
+    locals_size = 0
+    if layout.local_offsets:
+        locals_size = max(layout.local_offsets.values()) + WORD_SIZE
+        for name, offset in layout.local_offsets.items():
+            local = fn.locals.get(name)
+            if local is not None:
+                locals_size = max(locals_size, offset + local.size)
+
+    # The fixed-local region keeps its internal layout but lands at a
+    # random word-aligned base inside the enlarged frame.  The base comes
+    # from the ISA-independent convention stream: pointers into fixed
+    # locals (address-taken scalars, arrays) are plain addresses that must
+    # stay valid across migration, so both ISAs must agree on it.
+    max_base = max(total_data - locals_size, WORD_SIZE)
+    fixed_base = convention_rng.randrange(0, max_base // WORD_SIZE) * WORD_SIZE \
+        if locals_size else 0
+
+    occupied: Set[int] = set()
+    if locals_size:
+        for offset in range(fixed_base, fixed_base + locals_size, WORD_SIZE):
+            occupied.add(offset)
+
+    def random_slot() -> int:
+        for _ in range(10_000):
+            offset = rng.randrange(0, total_data // WORD_SIZE) * WORD_SIZE
+            if offset not in occupied:
+                occupied.add(offset)
+                return offset
+        raise TranslationError(
+            f"{info.name}: randomization space exhausted")  # pragma: no cover
+
+    # --- register reallocation ---------------------------------------
+    memory_only = set(fn.locals)
+    values = [v for v in fn.all_values() if v not in memory_only]
+    depths = loop_depths(fn)
+    costs = use_counts(fn, depths)
+    values.sort(key=lambda v: (-costs.get(v, 0.0), v))
+
+    register_pool = list(isa.allocatable)
+    rng.shuffle(register_pool)
+    registers: Dict[str, int] = {}
+    in_registers = config.register_cache_size
+    if config.register_bias:
+        in_registers = min(len(register_pool), in_registers + 3)
+    for value in values[:in_registers]:
+        if not register_pool:
+            break
+        registers[value] = register_pool.pop()
+
+    slots = {value: random_slot() for value in values
+             if value not in registers}
+
+    # --- callee-save scatter slots -------------------------------------
+    save_slots = {reg: random_slot() for reg in sorted(set(registers.values()))}
+
+    # --- register-file permutation --------------------------------------
+    pool = list(isa.allocatable)
+    shuffled = list(pool)
+    rng.shuffle(shuffled)
+    register_permutation = dict(zip(pool, shuffled))
+
+    # --- randomized calling convention ---------------------------------
+    arg_count = len(info.params)
+    window_words = arg_count + (
+        convention_rng.randrange(1, config.arg_window_pad + 1)
+        if arg_count else 0)
+    positions = (convention_rng.sample(range(window_words), arg_count)
+                 if arg_count else [])
+    arg_positions = {index: position for index, position in enumerate(positions)}
+
+    return RelocationMap(
+        function=info.name,
+        isa_name=isa.name,
+        registers=registers,
+        slots=slots,
+        fixed_base=fixed_base,
+        native_data_size=native_data,
+        total_data_size=total_data,
+        save_slots=save_slots,
+        arg_positions=arg_positions,
+        arg_window_words=window_words,
+        register_permutation=register_permutation,
+    )

@@ -1,0 +1,58 @@
+"""Convenience runners: execute a fat binary natively or under PSR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..isa import ISADescription, ISAS
+from ..machine.interpreter import ExecutionResult
+from ..machine.process import Process
+from .psr import PSRVirtualMachine
+from .relocation import PSRConfig
+
+
+@dataclass
+class PSRRun:
+    """Outcome of a run under the PSR virtual machine."""
+
+    process: Process
+    vm: PSRVirtualMachine
+    result: ExecutionResult
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return self.process.os.exit_code
+
+
+def create_psr_process(binary: FatBinary, isa: ISADescription,
+                       config: Optional[PSRConfig] = None, seed: int = 0,
+                       stdin: bytes = b"") -> Tuple[Process, PSRVirtualMachine]:
+    """Build a process whose interpreter executes through a PSR VM."""
+    process = Process(binary.to_process_image(), isa)
+    process.os.reset(stdin=stdin)
+    vm = PSRVirtualMachine(binary, isa, process.memory, config, seed)
+    process.interpreter.hooks = vm
+    vm.invalidate_listener = process.interpreter.invalidate_decode_cache
+    return process, vm
+
+
+def run_native(binary: FatBinary, isa_name: str, stdin: bytes = b"",
+               max_instructions: int = 10_000_000) -> Process:
+    """Execute the binary natively (no PSR) on the named ISA."""
+    process = Process(binary.to_process_image(), ISAS[isa_name])
+    process.os.reset(stdin=stdin)
+    process.run(max_instructions)
+    return process
+
+
+def run_under_psr(binary: FatBinary, isa_name: str,
+                  config: Optional[PSRConfig] = None, seed: int = 0,
+                  stdin: bytes = b"",
+                  max_instructions: int = 20_000_000) -> PSRRun:
+    """Execute the binary under a PSR virtual machine on the named ISA."""
+    process, vm = create_psr_process(binary, ISAS[isa_name], config, seed,
+                                     stdin)
+    result = process.run(max_instructions)
+    return PSRRun(process, vm, result)

@@ -1,0 +1,291 @@
+"""Addressing-mode transformation: rewriting native instructions under PSR.
+
+This is the direct instruction-rewriting path of Section 5.1: given a
+decoded native instruction and the owning function's relocation map, emit
+the equivalent instruction(s) accessing every operand at its *relocated*
+location.  Most rewrites are a mere change of addressing mode; when the
+ISA lacks the required mode (two memory operands on x86like, any memory
+operand on armlike) the rewriter emulates it with scratch-register
+temporaries — exactly the paper's fallback.
+
+Two consumers:
+
+* the PSR VM's *fragment translator*, which handles control transfers into
+  the middle of a function (including ROP gadget addresses — this is the
+  mechanism that obfuscates executed gadgets);
+* the attack framework, which uses the same rewriting to decide whether a
+  mined gadget survives PSR unmodified (Figures 3–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.frames import FrameLayout
+from ..compiler.symtab import ISAFunctionInfo
+from ..errors import TranslationError
+from ..isa.base import (
+    ALU_OPS,
+    Imm,
+    Instruction,
+    ISADescription,
+    Mem,
+    Op,
+    Reg,
+)
+from .relocation import RelocationMap
+
+
+@dataclass
+class RewriteResult:
+    """Rewritten instruction sequence plus what changed."""
+
+    instructions: List[Instruction]
+    #: True if any operand moved (the gadget no longer does what it did)
+    modified: bool
+    #: number of distinct randomized parameters touched (entropy input)
+    randomized_parameters: int
+
+
+class AddressingModeRewriter:
+    """Rewrites instructions of one function under one relocation map."""
+
+    def __init__(self, isa: ISADescription, reloc: RelocationMap,
+                 layout: FrameLayout, isa_info: ISAFunctionInfo):
+        self.isa = isa
+        self.reloc = reloc
+        self.layout = layout
+        #: native register -> value it holds (inverse of the allocation)
+        self.register_values: Dict[int, str] = {
+            reg: value
+            for value, reg in isa_info.register_assignment.items()}
+        #: native home-slot offset -> value stored there
+        self.slot_values: Dict[int, str] = {
+            offset: value
+            for value, offset in layout.home_offsets.items()}
+        self.locals_end = 0
+        for name, offset in layout.local_offsets.items():
+            self.locals_end = max(self.locals_end, offset + 4)
+        self.s0, self.s1 = isa.scratch[0], isa.scratch[1]
+
+    # ------------------------------------------------------------------
+    # Operand mapping
+    # ------------------------------------------------------------------
+    def map_operand(self, operand) -> Tuple[object, bool]:
+        """(relocated operand, moved?) — operand may become Reg or Mem."""
+        if isinstance(operand, Reg):
+            value = self.register_values.get(operand.index)
+            if value is None:
+                # No program value lives here natively; PSR's register
+                # reallocation still permutes the register identity.
+                permuted = self.reloc.register_permutation.get(operand.index)
+                if permuted is None:
+                    return operand, False          # scratch / sp: untouched
+                return Reg(permuted), permuted != operand.index
+            kind, where = self.reloc.location(value)
+            if kind == "register":
+                return Reg(where), where != operand.index
+            return Mem(self.isa.sp, where), True
+        if isinstance(operand, Mem):
+            if operand.base != self.isa.sp:
+                return operand, False          # pointer-based: not stack state
+            disp = operand.disp
+            value = self.slot_values.get(disp)
+            if value is not None:
+                kind, where = self.reloc.location(value)
+                if kind == "register":
+                    return Reg(where), True
+                return Mem(self.isa.sp, where), where != disp
+            if 0 <= disp < max(self.locals_end, 1):
+                shifted = self.reloc.fixed_base + disp
+                return Mem(self.isa.sp, shifted), shifted != disp
+            if disp >= self.layout.frame_data_size:
+                shifted = (self.reloc.total_data_size
+                           + (disp - self.layout.frame_data_size))
+                return Mem(self.isa.sp, shifted), shifted != disp
+            # a frame-data offset that is neither a known slot nor a local:
+            # attacker-chosen displacement — relocate into the random space
+            shifted = (disp * 7 + self.reloc.fixed_base) % \
+                max(self.reloc.total_data_size, 4) // 4 * 4
+            return Mem(self.isa.sp, shifted), True
+        return operand, False
+
+    # ------------------------------------------------------------------
+    # Instruction rewriting
+    # ------------------------------------------------------------------
+    def rewrite(self, instruction: Instruction) -> RewriteResult:
+        op = instruction.op
+        if op in (Op.MOV, Op.LOAD):
+            return self._rewrite_move(instruction)
+        if op is Op.STORE:
+            return self._rewrite_move(instruction, store=True)
+        if op in (Op.LOADB, Op.STOREB):
+            return self._rewrite_byte(instruction)
+        if op in ALU_OPS:
+            return self._rewrite_alu(instruction)
+        if op in (Op.NEG, Op.NOT):
+            return self._rewrite_unary(instruction)
+        if op is Op.PUSH:
+            return self._rewrite_push(instruction)
+        if op is Op.POP:
+            return self._rewrite_pop(instruction)
+        if op is Op.LEA:
+            return self._rewrite_lea(instruction)
+        if op in (Op.IJMP, Op.ICALL):
+            return self._rewrite_indirect(instruction)
+        # control transfers, syscalls, nop/hlt/movt: unchanged
+        return RewriteResult([instruction], False, 0)
+
+    # -- helpers -----------------------------------------------------------
+    def _count(self, *flags: bool) -> int:
+        return sum(1 for flag in flags if flag)
+
+    def _value_to_reg(self, operand, scratch: int,
+                      out: List[Instruction]) -> Reg:
+        """Materialize any operand into a register."""
+        if isinstance(operand, Reg):
+            return operand
+        if isinstance(operand, Imm):
+            out.append(Instruction(Op.MOV, (Reg(scratch), operand)))
+            return Reg(scratch)
+        out.append(Instruction(Op.LOAD, (Reg(scratch), operand)))
+        return Reg(scratch)
+
+    def _rewrite_move(self, instruction: Instruction,
+                      store: bool = False) -> RewriteResult:
+        if store:
+            dst, moved_dst = self.map_operand(instruction.operands[0])
+            src, moved_src = self.map_operand(instruction.operands[1])
+        else:
+            dst, moved_dst = self.map_operand(instruction.operands[0])
+            src, moved_src = self.map_operand(instruction.operands[1])
+        out: List[Instruction] = []
+        if isinstance(dst, Reg):
+            if isinstance(src, Reg):
+                out.append(Instruction(Op.MOV, (dst, src)))
+            elif isinstance(src, Imm):
+                out.append(Instruction(Op.MOV, (dst, src)))
+            else:
+                out.append(Instruction(Op.LOAD, (dst, src)))
+        else:
+            source_reg = self._value_to_reg(src, self.s1, out) \
+                if not isinstance(src, Imm) or not self.isa.memory_operands \
+                else None
+            if source_reg is None:
+                out.append(Instruction(Op.STORE, (dst, src)))
+            else:
+                out.append(Instruction(Op.STORE, (dst, source_reg)))
+        moved = moved_dst or moved_src
+        return RewriteResult(out, moved, self._count(moved_dst, moved_src))
+
+    def _rewrite_byte(self, instruction: Instruction) -> RewriteResult:
+        # Byte accesses address real memory through a base register; only
+        # the base register operand can be relocated.
+        op = instruction.op
+        if op is Op.LOADB:
+            dst, moved_dst = self.map_operand(instruction.operands[0])
+            mem = instruction.operands[1]
+        else:
+            mem = instruction.operands[0]
+            dst, moved_dst = self.map_operand(instruction.operands[1])
+        out: List[Instruction] = []
+        base_mapped, base_moved = self.map_operand(Reg(mem.base))
+        if isinstance(base_mapped, Mem):
+            out.append(Instruction(Op.LOAD, (Reg(self.s0), base_mapped)))
+            mem = Mem(self.s0, mem.disp)
+            base_moved = True
+        else:
+            mem = Mem(base_mapped.index, mem.disp)
+        if op is Op.LOADB:
+            if isinstance(dst, Reg):
+                out.append(Instruction(Op.LOADB, (dst, mem)))
+            else:
+                out.append(Instruction(Op.LOADB, (Reg(self.s1), mem)))
+                out.append(Instruction(Op.STORE, (dst, Reg(self.s1))))
+        else:
+            source = self._value_to_reg(dst, self.s1, out)
+            out.append(Instruction(Op.STOREB, (mem, source)))
+        moved = moved_dst or base_moved
+        return RewriteResult(out, moved, self._count(moved_dst, base_moved))
+
+    def _rewrite_alu(self, instruction: Instruction) -> RewriteResult:
+        dst, moved_dst = self.map_operand(instruction.operands[0])
+        src, moved_src = self.map_operand(instruction.operands[1])
+        out: List[Instruction] = []
+        op = instruction.op
+        if isinstance(dst, Reg):
+            if isinstance(src, Mem) and not self.isa.memory_operands:
+                src = self._value_to_reg(src, self.s1, out)
+            out.append(Instruction(op, (dst, src)))
+        else:
+            if self.isa.memory_operands and op is not Op.MUL:
+                if isinstance(src, (Mem, Imm)):
+                    src = self._value_to_reg(src, self.s1, out)
+                out.append(Instruction(op, (dst, src)))
+            else:
+                out.append(Instruction(Op.LOAD, (Reg(self.s0), dst)))
+                if isinstance(src, Mem) and not self.isa.memory_operands:
+                    src = self._value_to_reg(src, self.s1, out)
+                out.append(Instruction(op, (Reg(self.s0), src)))
+                if op is not Op.CMP:
+                    out.append(Instruction(Op.STORE, (dst, Reg(self.s0))))
+        moved = moved_dst or moved_src
+        return RewriteResult(out, moved, self._count(moved_dst, moved_src))
+
+    def _rewrite_unary(self, instruction: Instruction) -> RewriteResult:
+        dst, moved = self.map_operand(instruction.operands[0])
+        out: List[Instruction] = []
+        if isinstance(dst, Reg):
+            out.append(Instruction(instruction.op, (dst,)))
+        else:
+            out.append(Instruction(Op.LOAD, (Reg(self.s0), dst)))
+            out.append(Instruction(instruction.op, (Reg(self.s0),)))
+            out.append(Instruction(Op.STORE, (dst, Reg(self.s0))))
+        return RewriteResult(out, moved, self._count(moved))
+
+    def _rewrite_push(self, instruction: Instruction) -> RewriteResult:
+        src, moved = self.map_operand(instruction.operands[0])
+        out: List[Instruction] = []
+        if isinstance(src, Mem) and not self.isa.memory_operands:
+            src = self._value_to_reg(src, self.s0, out)
+        out.append(Instruction(Op.PUSH, (src,)))
+        return RewriteResult(out, moved, self._count(moved))
+
+    def _rewrite_pop(self, instruction: Instruction) -> RewriteResult:
+        dst, moved = self.map_operand(instruction.operands[0])
+        out: List[Instruction] = []
+        if isinstance(dst, Reg):
+            out.append(Instruction(Op.POP, (dst,)))
+        elif self.isa.memory_operands:
+            out.append(Instruction(Op.POP, (dst,)))
+        else:
+            out.append(Instruction(Op.POP, (Reg(self.s0),)))
+            out.append(Instruction(Op.STORE, (dst, Reg(self.s0))))
+        return RewriteResult(out, moved, self._count(moved))
+
+    def _rewrite_lea(self, instruction: Instruction) -> RewriteResult:
+        dst, moved_dst = self.map_operand(instruction.operands[0])
+        mem = instruction.operands[1]
+        mapped_mem, moved_mem = self.map_operand(mem)
+        out: List[Instruction] = []
+        if not isinstance(mapped_mem, Mem):
+            # the slot became a register: there is no address to take;
+            # synthesize the old address shape against the random space
+            mapped_mem = Mem(self.isa.sp, self.reloc.fixed_base)
+            moved_mem = True
+        if isinstance(dst, Reg):
+            out.append(Instruction(Op.LEA, (dst, mapped_mem)))
+        else:
+            out.append(Instruction(Op.LEA, (Reg(self.s0), mapped_mem)))
+            out.append(Instruction(Op.STORE, (dst, Reg(self.s0))))
+        moved = moved_dst or moved_mem
+        return RewriteResult(out, moved, self._count(moved_dst, moved_mem))
+
+    def _rewrite_indirect(self, instruction: Instruction) -> RewriteResult:
+        target, moved = self.map_operand(instruction.operands[0])
+        out: List[Instruction] = []
+        if isinstance(target, Mem) and not self.isa.memory_operands:
+            target = self._value_to_reg(target, self.s0, out)
+        out.append(Instruction(instruction.op, (target,)))
+        return RewriteResult(out, moved, self._count(moved))

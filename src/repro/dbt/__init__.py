@@ -1,0 +1,6 @@
+"""Dynamic binary translation substrate: code cache and return-address table."""
+
+from .code_cache import CodeCache, CodeCacheStats
+from .rat import RATStats, ReturnAddressTable
+
+__all__ = ["CodeCache", "CodeCacheStats", "RATStats", "ReturnAddressTable"]

@@ -1,0 +1,118 @@
+"""The translation code cache.
+
+A bounded region of executable memory owned by one PSR virtual machine.
+Translated units are bump-allocated; when the cache fills, it is flushed
+wholesale (the classic DBT strategy).  The cache keeps the source→cache
+address map and classifies misses as *compulsory* (never translated) or
+*capacity* (translated before, lost to a flush) — the distinction §3.5 of
+the paper draws for legitimate code-cache misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..errors import TranslationError
+
+
+@dataclass
+class CodeCacheStats:
+    lookups: int = 0
+    hits: int = 0
+    compulsory_misses: int = 0
+    capacity_misses: int = 0
+    installs: int = 0
+    flushes: int = 0
+    bytes_installed: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.compulsory_misses + self.capacity_misses
+
+
+class CodeCache:
+    """Bump allocator + source-address map over a fixed memory window."""
+
+    def __init__(self, base: int, capacity: int):
+        if capacity <= 0:
+            raise ValueError("code cache capacity must be positive")
+        self.base = base
+        self.capacity = capacity
+        self._cursor = 0
+        #: source address -> cache address of its translation
+        self._map: Dict[int, int] = {}
+        #: source addresses ever translated (for miss classification)
+        self._ever_translated: Set[int] = set()
+        self.stats = CodeCacheStats()
+        #: callbacks invoked on flush (decode-cache invalidation etc.)
+        self.flush_listeners = []
+
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> int:
+        return self.base + self.capacity
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    def contains_address(self, address: int) -> bool:
+        """True if ``address`` falls inside the cache memory window."""
+        return self.base <= address < self.end
+
+    # ------------------------------------------------------------------
+    def lookup(self, source_address: int) -> Optional[int]:
+        """Cache address of the translation for ``source_address``."""
+        self.stats.lookups += 1
+        cached = self._map.get(source_address)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        if source_address in self._ever_translated:
+            self.stats.capacity_misses += 1
+        else:
+            self.stats.compulsory_misses += 1
+        return None
+
+    def peek(self, source_address: int) -> Optional[int]:
+        """Lookup without touching statistics."""
+        return self._map.get(source_address)
+
+    def reserve(self, size: int, alignment: int = 1) -> int:
+        """Allocate ``size`` bytes; flushes the cache if necessary."""
+        if size > self.capacity:
+            raise TranslationError(
+                f"translation of {size} bytes exceeds cache capacity "
+                f"{self.capacity}")
+        aligned = (self._cursor + alignment - 1) // alignment * alignment
+        if aligned + size > self.capacity:
+            self.flush()
+            aligned = 0
+        self._cursor = aligned + size
+        return self.base + aligned
+
+    def install(self, source_address: int, cache_address: int,
+                size: int) -> None:
+        """Record a translation previously reserved with :meth:`reserve`."""
+        self._map[source_address] = cache_address
+        self._ever_translated.add(source_address)
+        self.stats.installs += 1
+        self.stats.bytes_installed += size
+
+    def alias(self, source_address: int, cache_address: int) -> None:
+        """Map an additional source address into an existing translation."""
+        self._map[source_address] = cache_address
+        self._ever_translated.add(source_address)
+
+    def flush(self) -> None:
+        """Drop every translation (capacity exhaustion or re-randomization)."""
+        self._map.clear()
+        self._cursor = 0
+        self.stats.flushes += 1
+        for listener in self.flush_listeners:
+            listener()
+
+    def translated_source_addresses(self) -> Set[int]:
+        """Source addresses with a live translation (the JIT-ROP surface)."""
+        return set(self._map)

@@ -1,0 +1,17 @@
+"""Baseline defenses the paper compares against."""
+
+from .aslr import ASLRModel
+from .isomeron import (
+    IsomeronExecutionModel,
+    IsomeronStats,
+    chain_success_probability,
+    isomeron_entropy,
+)
+
+__all__ = [
+    "ASLRModel",
+    "IsomeronExecutionModel",
+    "IsomeronStats",
+    "chain_success_probability",
+    "isomeron_entropy",
+]

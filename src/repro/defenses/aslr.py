@@ -1,0 +1,47 @@
+"""Load-time randomization baseline (ASLR-class defenses).
+
+The brute-force comparison needs the classic strawman: module-level
+randomization applied once at load time.  Its two weaknesses are exactly
+the ones the paper leans on:
+
+* a single leaked pointer de-randomizes everything (one base offset);
+* re-spawned workers inherit the parent's layout, so Blind-ROP-style
+  crash oracles learn the secret incrementally (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ASLRModel:
+    """Module-level load-time randomization with ``entropy_bits`` of slide."""
+
+    entropy_bits: int = 16           # 32-bit mmap ASLR ballpark
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = random.Random(f"aslr:{self.seed}")
+        self._slide = rng.randrange(1 << self.entropy_bits) << 12
+
+    @property
+    def slide(self) -> int:
+        return self._slide
+
+    def randomize_address(self, address: int) -> int:
+        return address + self._slide
+
+    def derandomize_with_leak(self, leaked: int, known_static: int) -> int:
+        """One disclosed pointer reveals the slide for the whole module."""
+        return leaked - known_static
+
+    def respawn(self) -> "ASLRModel":
+        """Worker re-spawn: load-time randomization does NOT re-draw."""
+        return self      # same layout — the Blind-ROP enabling property
+
+    def expected_brute_force_attempts(self) -> float:
+        """Guessing the slide outright: half the space on average."""
+        return float(1 << (self.entropy_bits - 1))

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the HIPStR reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish simulator faults (bugs in *our* code) from modelled
+machine faults (segfaults, illegal instructions) that are *expected* outcomes
+of, e.g., a failed ROP attempt.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when source assembly cannot be encoded."""
+
+
+class DecodeError(ReproError):
+    """Raised when bytes cannot be decoded into a valid instruction."""
+
+    def __init__(self, address: int, message: str = "invalid instruction"):
+        super().__init__(f"{message} at {address:#x}")
+        self.address = address
+
+
+class MachineFault(ReproError):
+    """Base class for modelled hardware/OS faults during execution.
+
+    These are *modelled* outcomes: a ROP payload that jumps to garbage
+    raises one of these, and the attack harness treats it as a failed
+    attempt (the parent process would observe a crashed child).
+    """
+
+    def __init__(self, address: int, message: str):
+        super().__init__(f"{message} at {address:#x}")
+        self.address = address
+
+
+class SegmentationFault(MachineFault):
+    """Access to unmapped memory or a permission violation."""
+
+    def __init__(self, address: int, access: str = "access"):
+        super().__init__(address, f"segmentation fault ({access})")
+        self.access = access
+
+
+class IllegalInstruction(MachineFault):
+    """Execution reached bytes that do not decode to a valid instruction."""
+
+    def __init__(self, address: int):
+        super().__init__(address, "illegal instruction")
+
+
+class AlignmentFault(MachineFault):
+    """A fixed-width ISA fetched from an unaligned program counter."""
+
+    def __init__(self, address: int):
+        super().__init__(address, "unaligned instruction fetch")
+
+
+class ExecutionLimitExceeded(ReproError):
+    """The interpreter ran past its configured instruction budget."""
+
+
+class CompileError(ReproError):
+    """Raised by the mini-C frontend or the code generators."""
+
+
+class LinkError(ReproError):
+    """Raised when fat-binary assembly or symbol resolution fails."""
+
+
+class TranslationError(ReproError):
+    """Raised by the dynamic binary translator on untranslatable input."""
+
+
+class MigrationError(ReproError):
+    """Raised when cross-ISA state transformation cannot proceed."""
+
+
+class SecurityViolation(ReproError):
+    """Raised when a software-fault-isolation invariant is broken.
+
+    The PSR virtual machine terminates the process when, e.g., an indirect
+    jump targets the code cache (Section 5.1 of the paper).
+    """
+
+    def __init__(self, message: str, address: int = 0):
+        super().__init__(message)
+        self.address = address

@@ -1,0 +1,61 @@
+"""ISA substrate: the two modelled instruction sets and their tooling."""
+
+from .base import (
+    Cond,
+    Decoded,
+    Imm,
+    Instruction,
+    ISADescription,
+    Label,
+    Mem,
+    Op,
+    Operand,
+    Reg,
+    WORD_MASK,
+    WORD_SIZE,
+    to_signed,
+    to_unsigned,
+)
+from .x86like import X86LIKE, X86LikeISA
+from .armlike import ARMLIKE, ArmLikeISA
+from .assembler import Assembler, AssembledUnit, assemble_instructions
+from .disassembler import (
+    decode_at,
+    format_listing,
+    instruction_starts,
+    linear_disassemble,
+    scan_offsets,
+)
+
+#: Both modelled ISAs, keyed by name.
+ISAS = {X86LIKE.name: X86LIKE, ARMLIKE.name: ARMLIKE}
+
+__all__ = [
+    "ARMLIKE",
+    "ArmLikeISA",
+    "AssembledUnit",
+    "Assembler",
+    "Cond",
+    "Decoded",
+    "ISADescription",
+    "ISAS",
+    "Imm",
+    "Instruction",
+    "Label",
+    "Mem",
+    "Op",
+    "Operand",
+    "Reg",
+    "WORD_MASK",
+    "WORD_SIZE",
+    "X86LIKE",
+    "X86LikeISA",
+    "assemble_instructions",
+    "decode_at",
+    "format_listing",
+    "instruction_starts",
+    "linear_disassemble",
+    "scan_offsets",
+    "to_signed",
+    "to_unsigned",
+]

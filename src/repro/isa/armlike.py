@@ -1,0 +1,343 @@
+"""The armlike ISA: fixed-width, word-aligned, RISC-flavoured.
+
+Every instruction is exactly four bytes and must be fetched from a
+word-aligned program counter.  This kills unintentional gadgets outright
+(the paper measures ARM's attack surface at 52× smaller than x86's) and
+matches the load/store discipline of real ARM: ALU operations never take
+memory operands, so PSR must emulate relocated operands with explicit
+loads/stores through scratch registers (Section 5.1, "If the ISA does not
+expose a certain addressing mode, the PSR virtual machine emulates it
+using additional instructions and register temporaries").
+
+Register file: r0–r12 general purpose, r13 = sp, r14 = lr, r15 reserved
+as the program counter (never encoded as an operand).  Like real ARM code
+built for stack unwinding, functions return by popping the saved return
+address (``pop {pc}`` — our ``RET``), which is what makes stack-based ROP
+meaningful on this ISA too.
+
+Encoding (little-endian 32-bit word)::
+
+    byte 0: opcode
+    byte 1: (rd << 4) | rn          -- or (cond << 4) for Bcc
+    bytes 2-3: imm16 payload        -- or rm in byte 2's low nibble
+
+Branch displacements are in *words* relative to the next instruction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from ..errors import AssemblerError, DecodeError
+from .base import (
+    Cond,
+    Decoded,
+    Imm,
+    Instruction,
+    ISADescription,
+    Label,
+    Mem,
+    Op,
+    Reg,
+    to_signed,
+    to_unsigned,
+)
+
+R0, R1, R2, R3, R4, R5, R6, R7 = range(8)
+R8, R9, R10, R11, R12, SP, LR, PC = range(8, 16)
+
+_REG_NAMES = tuple(f"r{i}" for i in range(13)) + ("sp", "lr", "pc")
+
+# Opcode byte assignments.
+_OP_MOVR = 0x01
+_OP_MOVI = 0x02
+_OP_MOVT = 0x03
+_OP_LDR = 0x04
+_OP_STR = 0x05
+_OP_ADDR = 0x06
+_OP_ADDI = 0x07
+_OP_SUBR = 0x08
+_OP_SUBI = 0x09
+_OP_MULR = 0x0A
+_OP_DIVR = 0x0B
+_OP_MODR = 0x0C
+_OP_ANDR = 0x0D
+_OP_ANDI = 0x0E
+_OP_ORRR = 0x0F
+_OP_ORRI = 0x10
+_OP_EORR = 0x11
+_OP_EORI = 0x12
+_OP_LSLI = 0x13
+_OP_LSRI = 0x14
+_OP_ASRI = 0x15
+_OP_LSLR = 0x16
+_OP_LSRR = 0x17
+_OP_ASRR = 0x18
+_OP_NEG = 0x19
+_OP_MVN = 0x1A
+_OP_CMPR = 0x1B
+_OP_CMPI = 0x1C
+_OP_B = 0x1D
+_OP_BCC = 0x1E
+_OP_BL = 0x1F
+_OP_BX = 0x20
+_OP_BLX = 0x21
+_OP_RET = 0x22
+_OP_PUSH = 0x23
+_OP_POP = 0x24
+_OP_SWI = 0x25
+_OP_NOP = 0x26
+_OP_HLT = 0x27
+_OP_LDRB = 0x28
+_OP_STRB = 0x29
+
+_ALU_REG: Dict[Op, int] = {
+    Op.ADD: _OP_ADDR, Op.SUB: _OP_SUBR, Op.MUL: _OP_MULR, Op.DIV: _OP_DIVR,
+    Op.MOD: _OP_MODR, Op.AND: _OP_ANDR, Op.OR: _OP_ORRR, Op.XOR: _OP_EORR,
+    Op.SHL: _OP_LSLR, Op.SHR: _OP_LSRR, Op.SAR: _OP_ASRR, Op.CMP: _OP_CMPR,
+}
+_ALU_IMM: Dict[Op, int] = {
+    Op.ADD: _OP_ADDI, Op.SUB: _OP_SUBI, Op.AND: _OP_ANDI, Op.OR: _OP_ORRI,
+    Op.XOR: _OP_EORI, Op.SHL: _OP_LSLI, Op.SHR: _OP_LSRI, Op.SAR: _OP_ASRI,
+    Op.CMP: _OP_CMPI,
+}
+_REG_ALU = {code: op for op, code in _ALU_REG.items()}
+_IMM_ALU = {code: op for op, code in _ALU_IMM.items()}
+
+IMM16_MIN = -0x8000
+IMM16_MAX = 0x7FFF
+
+
+def fits_imm16(value: int) -> bool:
+    """True if the signed value fits the 16-bit immediate field."""
+    return IMM16_MIN <= to_signed(value) <= IMM16_MAX
+
+
+def _word(opcode: int, rd: int = 0, rn: int = 0, payload: int = 0) -> bytes:
+    if not 0 <= rd < 16 or not 0 <= rn < 16:
+        raise AssemblerError(f"register out of range: rd={rd} rn={rn}")
+    return struct.pack("<BBH", opcode, (rd << 4) | rn, payload & 0xFFFF)
+
+
+def _s16(value: int) -> int:
+    signed = to_signed(value)
+    if not IMM16_MIN <= signed <= IMM16_MAX:
+        raise AssemblerError(f"immediate {signed:#x} does not fit imm16")
+    return signed & 0xFFFF
+
+
+def _sext16(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class ArmLikeISA(ISADescription):
+    """Fixed-width RISC model (see module docstring)."""
+
+    name = "armlike"
+    alignment = 4
+    num_registers = 16
+    sp = SP
+    lr = LR
+    register_names = _REG_NAMES
+    allocatable = (R4, R5, R6, R7, R8, R9, R10, R11)
+    scratch = (R0, R1, R2, R3, R12)
+    syscall_number_reg = R7
+    syscall_arg_regs = (R0, R1, R2)
+    return_reg = R0
+    arg_regs = ()              # common multi-ISA ABI passes args on the stack
+    call_pushes_return = False
+    memory_operands = False
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, ins: Instruction, address: int = 0) -> bytes:
+        op = ins.op
+        ops = ins.operands
+
+        if op is Op.NOP:
+            return _word(_OP_NOP)
+        if op is Op.HLT:
+            return _word(_OP_HLT)
+        if op is Op.RET:
+            return _word(_OP_RET)
+        if op is Op.SYSCALL:
+            return _word(_OP_SWI)
+
+        if op is Op.MOV:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Reg):
+                return _word(_OP_MOVR, dst.index, 0, src.index)
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                return _word(_OP_MOVI, dst.index, 0, _s16(src.value))
+        if op is Op.MOVT:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                if not 0 <= src.value <= 0xFFFF:
+                    raise AssemblerError("MOVT immediate must be 16-bit unsigned")
+                return _word(_OP_MOVT, dst.index, 0, src.value)
+
+        if op is Op.LOAD:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return _word(_OP_LDR, dst.index, src.base, _s16(src.disp))
+        if op is Op.STORE:
+            dst, src = ops
+            if isinstance(dst, Mem) and isinstance(src, Reg):
+                return _word(_OP_STR, src.index, dst.base, _s16(dst.disp))
+        if op is Op.LOADB:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return _word(_OP_LDRB, dst.index, src.base, _s16(src.disp))
+        if op is Op.STOREB:
+            dst, src = ops
+            if isinstance(dst, Mem) and isinstance(src, Reg):
+                return _word(_OP_STRB, src.index, dst.base, _s16(dst.disp))
+        if op is Op.LEA:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                # LEA is ADDI into a different destination: rd = rn + imm16.
+                # Encode via MOVR+ADDI is two words; give it its own form by
+                # reusing ADDI with rn as the base and rd as destination.
+                return _word(_OP_ADDI, dst.index, src.base, _s16(src.disp))
+
+        if op in _ALU_REG or op in _ALU_IMM:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Reg) and op in _ALU_REG:
+                return _word(_ALU_REG[op], dst.index, dst.index, src.index)
+            if isinstance(dst, Reg) and isinstance(src, Imm) and op in _ALU_IMM:
+                return _word(_ALU_IMM[op], dst.index, dst.index, _s16(src.value))
+
+        if op is Op.NEG:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return _word(_OP_NEG, dst.index)
+        if op is Op.NOT:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return _word(_OP_MVN, dst.index)
+
+        if op is Op.PUSH:
+            (src,) = ops
+            if isinstance(src, Reg):
+                return _word(_OP_PUSH, src.index)
+        if op is Op.POP:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return _word(_OP_POP, dst.index)
+
+        if op in (Op.JMP, Op.CALL, Op.JCC):
+            (target,) = ops
+            if isinstance(target, Label):
+                raise AssemblerError(f"unresolved label {target.name!r}")
+            if isinstance(target, Imm):
+                delta = to_signed(target.value - (address + 4))
+                if delta % 4:
+                    raise AssemblerError("branch target not word-aligned")
+                words = delta // 4
+                if op in (Op.JMP, Op.CALL):
+                    # B/BL carry a 24-bit word displacement (±32 MB) —
+                    # byte 1 holds the high bits, like real ARM's imm24.
+                    if not -(1 << 23) <= words < (1 << 23):
+                        raise AssemblerError("branch displacement out of range")
+                    opcode = _OP_B if op is Op.JMP else _OP_BL
+                    high = (words >> 16) & 0xFF
+                    return bytes([opcode, high]) + (words & 0xFFFF).to_bytes(2, "little")
+                # Bcc: condition in the high nibble, 20-bit displacement.
+                if not -(1 << 19) <= words < (1 << 19):
+                    raise AssemblerError("conditional displacement out of range")
+                fields = (ins.cond.value << 4) | ((words >> 16) & 0xF)
+                return bytes([_OP_BCC, fields]) + (words & 0xFFFF).to_bytes(2, "little")
+
+        if op is Op.IJMP:
+            (target,) = ops
+            if isinstance(target, Reg):
+                return _word(_OP_BX, 0, 0, target.index)
+        if op is Op.ICALL:
+            (target,) = ops
+            if isinstance(target, Reg):
+                return _word(_OP_BLX, 0, 0, target.index)
+
+        raise AssemblerError(f"armlike cannot encode {ins!r}")
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, data: bytes, offset: int, address: int) -> Decoded:
+        if address % 4:
+            raise DecodeError(address, "unaligned fetch")
+        if offset + 4 > len(data):
+            raise DecodeError(address, "truncated instruction")
+        opcode, fields, payload = struct.unpack_from("<BBH", data, offset)
+        rd, rn = fields >> 4, fields & 0xF
+        rm = payload & 0xF
+        raw = bytes(data[offset:offset + 4])
+
+        def done(ins: Instruction) -> Decoded:
+            return Decoded(address, 4, ins, raw)
+
+        if opcode == _OP_NOP:
+            return done(Instruction(Op.NOP))
+        if opcode == _OP_HLT:
+            return done(Instruction(Op.HLT))
+        if opcode == _OP_RET:
+            return done(Instruction(Op.RET))
+        if opcode == _OP_SWI:
+            return done(Instruction(Op.SYSCALL))
+        if opcode == _OP_MOVR:
+            return done(Instruction(Op.MOV, (Reg(rd), Reg(rm))))
+        if opcode == _OP_MOVI:
+            return done(Instruction(Op.MOV, (Reg(rd), Imm(_sext16(payload)))))
+        if opcode == _OP_MOVT:
+            return done(Instruction(Op.MOVT, (Reg(rd), Imm(payload))))
+        if opcode == _OP_LDR:
+            return done(Instruction(Op.LOAD, (Reg(rd), Mem(rn, _sext16(payload)))))
+        if opcode == _OP_STR:
+            return done(Instruction(Op.STORE, (Mem(rn, _sext16(payload)), Reg(rd))))
+        if opcode == _OP_LDRB:
+            return done(Instruction(Op.LOADB, (Reg(rd), Mem(rn, _sext16(payload)))))
+        if opcode == _OP_STRB:
+            return done(Instruction(Op.STOREB, (Mem(rn, _sext16(payload)), Reg(rd))))
+        if opcode in _REG_ALU:
+            # rn duplicates rd in the two-operand encoding except for the
+            # LEA-style ADDI; reg ALU always has rn == rd.
+            return done(Instruction(_REG_ALU[opcode], (Reg(rd), Reg(rm))))
+        if opcode in _IMM_ALU:
+            imm = Imm(_sext16(payload))
+            if opcode == _OP_ADDI and rn != rd:
+                return done(Instruction(Op.LEA, (Reg(rd), Mem(rn, _sext16(payload)))))
+            return done(Instruction(_IMM_ALU[opcode], (Reg(rd), imm)))
+        if opcode == _OP_NEG:
+            return done(Instruction(Op.NEG, (Reg(rd),)))
+        if opcode == _OP_MVN:
+            return done(Instruction(Op.NOT, (Reg(rd),)))
+        if opcode == _OP_PUSH:
+            return done(Instruction(Op.PUSH, (Reg(rd),)))
+        if opcode == _OP_POP:
+            return done(Instruction(Op.POP, (Reg(rd),)))
+        if opcode in (_OP_B, _OP_BL):
+            words = (fields << 16) | payload
+            if words & (1 << 23):
+                words -= 1 << 24
+            target = to_unsigned(address + 4 + 4 * words)
+            op = Op.JMP if opcode == _OP_B else Op.CALL
+            return done(Instruction(op, (Imm(target),)))
+        if opcode == _OP_BCC:
+            if rd > 5:
+                raise DecodeError(address, "bad condition code")
+            words = (rn << 16) | payload
+            if words & (1 << 19):
+                words -= 1 << 20
+            target = to_unsigned(address + 4 + 4 * words)
+            return done(Instruction(Op.JCC, (Imm(target),), cond=Cond(rd)))
+        if opcode == _OP_BX:
+            return done(Instruction(Op.IJMP, (Reg(rm),)))
+        if opcode == _OP_BLX:
+            return done(Instruction(Op.ICALL, (Reg(rm),)))
+
+        raise DecodeError(address, f"unknown opcode {opcode:#04x}")
+
+
+#: Singleton instance — the ISA carries no mutable state.
+ARMLIKE = ArmLikeISA()

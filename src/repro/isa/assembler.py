@@ -1,0 +1,150 @@
+"""Two-pass assembler: semantic instructions + labels → encoded bytes.
+
+Instruction encodings have fixed sizes (they do not depend on operand
+values beyond their class), so a single sizing pass followed by an
+encoding pass suffices — no relaxation loop is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import AssemblerError
+from .base import Imm, Instruction, ISADescription, Label, Op
+
+
+@dataclass
+class AssembledUnit:
+    """The output of assembling one unit: bytes plus symbol/line metadata."""
+
+    isa: ISADescription
+    base_address: int
+    data: bytes
+    #: label name -> absolute address
+    symbols: Dict[str, int]
+    #: absolute address of each assembled instruction, in order
+    addresses: List[int]
+    #: the (label-resolved) instructions, parallel to ``addresses``
+    instructions: List[Instruction]
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + len(self.data)
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AssemblerError(f"undefined label {label!r}") from None
+
+
+class Assembler:
+    """Accumulates instructions and labels, then assembles at a base address.
+
+    Usage::
+
+        asm = Assembler(X86LIKE)
+        asm.label("start")
+        asm.emit(Instruction(Op.MOV, (Reg(0), Imm(1))))
+        asm.emit(Instruction(Op.JMP, (Label("start"),)))
+        unit = asm.assemble(base_address=0x1000)
+    """
+
+    def __init__(self, isa: ISADescription):
+        self.isa = isa
+        self._items: List[Union[str, Instruction]] = []
+
+    def label(self, name: str) -> None:
+        self._items.append(name)
+
+    def emit(self, instruction: Instruction) -> None:
+        self._items.append(instruction)
+
+    def extend(self, instructions: List[Instruction]) -> None:
+        self._items.extend(instructions)
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._items if isinstance(item, Instruction))
+
+    def assemble(self, base_address: int = 0,
+                 externals: Optional[Dict[str, int]] = None) -> AssembledUnit:
+        """Resolve labels and encode everything at ``base_address``.
+
+        ``externals`` supplies addresses for labels defined outside this
+        unit (e.g. functions in another compilation unit of the binary).
+        """
+        isa = self.isa
+        if base_address % isa.alignment:
+            raise AssemblerError(
+                f"base address {base_address:#x} violates {isa.name} alignment")
+
+        # Pass 1: lay out addresses; labels bind to the next instruction.
+        symbols: Dict[str, int] = dict(externals or {})
+        cursor = base_address
+        placed: List[Tuple[int, Instruction]] = []
+        for item in self._items:
+            if isinstance(item, str):
+                if item in symbols and (externals is None or item not in externals):
+                    raise AssemblerError(f"duplicate label {item!r}")
+                symbols[item] = cursor
+            else:
+                size = isa.encoded_size(_strip_labels(item))
+                placed.append((cursor, item))
+                cursor += size
+
+        # Pass 2: substitute labels and encode.
+        chunks: List[bytes] = []
+        addresses: List[int] = []
+        resolved_instructions: List[Instruction] = []
+        for address, instruction in placed:
+            resolved = _resolve(instruction, symbols)
+            encoded = isa.encode(resolved, address)
+            chunks.append(encoded)
+            addresses.append(address)
+            resolved_instructions.append(resolved)
+
+        local_symbols = {name: addr for name, addr in symbols.items()
+                         if externals is None or name not in externals}
+        return AssembledUnit(
+            isa=isa,
+            base_address=base_address,
+            data=b"".join(chunks),
+            symbols=local_symbols,
+            addresses=addresses,
+            instructions=resolved_instructions,
+        )
+
+
+def _strip_labels(instruction: Instruction) -> Instruction:
+    """Replace label operands with placeholder immediates for sizing."""
+    if not any(isinstance(operand, Label) for operand in instruction.operands):
+        return instruction
+    operands = tuple(
+        Imm(0) if isinstance(operand, Label) else operand
+        for operand in instruction.operands
+    )
+    return Instruction(instruction.op, operands, instruction.cond)
+
+
+def _resolve(instruction: Instruction, symbols: Dict[str, int]) -> Instruction:
+    """Substitute label operands with their absolute addresses."""
+    if not any(isinstance(operand, Label) for operand in instruction.operands):
+        return instruction
+    operands = []
+    for operand in instruction.operands:
+        if isinstance(operand, Label):
+            if operand.name not in symbols:
+                raise AssemblerError(f"undefined label {operand.name!r}")
+            operands.append(Imm(operand.resolve(symbols[operand.name])))
+        else:
+            operands.append(operand)
+    return Instruction(instruction.op, tuple(operands), instruction.cond)
+
+
+def assemble_instructions(isa: ISADescription, instructions: List[Instruction],
+                          base_address: int = 0) -> bytes:
+    """Convenience wrapper: encode a label-free instruction list."""
+    asm = Assembler(isa)
+    asm.extend(instructions)
+    return asm.assemble(base_address).data

@@ -1,0 +1,79 @@
+"""Disassembly helpers: linear sweep and exhaustive byte-offset scanning.
+
+The byte-offset scan (:func:`scan_offsets`) is the primitive underneath the
+Galileo gadget miner: on x86like it starts a decode at *every* byte offset
+— precisely how unintentional gadgets are discovered on real x86 — while
+on armlike the ISA's alignment restricts starts to word boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import DecodeError
+from .base import Decoded, Instruction, ISADescription, Op
+
+
+def decode_at(isa: ISADescription, data: bytes, base_address: int,
+              address: int) -> Decoded:
+    """Decode the single instruction located at ``address``."""
+    offset = address - base_address
+    if offset < 0 or offset >= len(data):
+        raise DecodeError(address, "address outside code region")
+    return isa.decode(data, offset, address)
+
+
+def linear_disassemble(isa: ISADescription, data: bytes, base_address: int,
+                       start: Optional[int] = None,
+                       stop_at_control: bool = False) -> List[Decoded]:
+    """Linear-sweep disassembly from ``start`` (default: region base).
+
+    Stops at the first decode failure, the end of the region, or — when
+    ``stop_at_control`` is set — just after the first control-transfer
+    instruction (the unit of work of the basic-block translator).
+    """
+    address = base_address if start is None else start
+    result: List[Decoded] = []
+    end = base_address + len(data)
+    while address < end:
+        try:
+            decoded = decode_at(isa, data, base_address, address)
+        except DecodeError:
+            break
+        result.append(decoded)
+        address = decoded.end
+        if stop_at_control and decoded.instruction.is_control():
+            break
+    return result
+
+
+def scan_offsets(isa: ISADescription, data: bytes,
+                 base_address: int) -> Iterator[Decoded]:
+    """Yield a decoded instruction for every offset where decoding succeeds.
+
+    Offsets advance by one byte on byte-granular ISAs and by the ISA's
+    alignment otherwise.  Decode failures are skipped silently — the scan
+    enumerates the *potential* instruction starts an attacker could target.
+    """
+    step = isa.alignment
+    for offset in range(0, len(data), step):
+        try:
+            yield isa.decode(data, offset, base_address + offset)
+        except DecodeError:
+            continue
+
+
+def instruction_starts(isa: ISADescription, data: bytes,
+                       base_address: int) -> List[int]:
+    """Addresses of the *intended* instruction stream (linear sweep)."""
+    return [d.address for d in linear_disassemble(isa, data, base_address)]
+
+
+def format_listing(isa: ISADescription, decoded: List[Decoded]) -> str:
+    """Render a human-readable disassembly listing."""
+    lines = []
+    for item in decoded:
+        raw = item.raw.hex() if item.raw else ""
+        lines.append(f"{item.address:#010x}:  {raw:<16}  "
+                     f"{item.instruction.render(isa)}")
+    return "\n".join(lines)

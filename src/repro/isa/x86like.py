@@ -1,0 +1,455 @@
+"""The x86like ISA: variable-length, byte-granular, CISC-flavoured.
+
+The encoding deliberately mirrors 32-bit x86 where it matters for the
+paper's security analysis:
+
+* one-byte ``RET`` (``0xC3``) — so any ``0xC3`` byte inside an immediate or
+  displacement creates a potential *unintentional gadget* when decoding
+  starts at an unaligned offset;
+* one-byte ``PUSH``/``POP`` (``0x50+r`` / ``0x58+r``);
+* dense variable-length instructions (1–7 bytes), so almost every byte
+  offset decodes to *something*;
+* rich addressing modes — ALU operations can take one memory operand
+  directly (load-op and op-store forms), which PSR exploits to relocate
+  operands with a mere addressing-mode change (Section 5.1).
+
+Registers follow the classic x86 file: eax, ecx, edx, ebx, esp, ebp,
+esi, edi.  ``esp`` is the stack pointer; there is no link register — CALL
+pushes the return address.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from ..errors import AssemblerError, DecodeError
+from .base import (
+    Cond,
+    Decoded,
+    Imm,
+    Instruction,
+    ISADescription,
+    Label,
+    Mem,
+    Op,
+    Reg,
+    to_signed,
+    to_unsigned,
+)
+
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+_REG_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+# Opcode maps for two-operand ALU forms.  Same layout as real x86:
+#   reg-reg / op-store use the 0x01-style opcodes (reg field = source),
+#   load-op uses the 0x03-style opcodes (reg field = destination),
+#   reg-imm uses 0x81 with the extension in the reg field.
+_ALU_RR: Dict[Op, int] = {
+    Op.ADD: 0x01, Op.OR: 0x09, Op.AND: 0x21, Op.SUB: 0x29,
+    Op.XOR: 0x31, Op.CMP: 0x39,
+}
+_ALU_RM: Dict[Op, int] = {
+    Op.ADD: 0x03, Op.OR: 0x0B, Op.AND: 0x23, Op.SUB: 0x2B,
+    Op.XOR: 0x33, Op.CMP: 0x3B,
+}
+_ALU_EXT: Dict[Op, int] = {
+    Op.ADD: 0, Op.OR: 1, Op.AND: 4, Op.SUB: 5, Op.XOR: 6, Op.CMP: 7,
+}
+_RR_ALU = {code: op for op, code in _ALU_RR.items()}
+_RM_ALU = {code: op for op, code in _ALU_RM.items()}
+_EXT_ALU = {ext: op for op, ext in _ALU_EXT.items()}
+
+_SHIFT_EXT: Dict[Op, int] = {Op.SHL: 4, Op.SHR: 5, Op.SAR: 7}
+_EXT_SHIFT = {ext: op for op, ext in _SHIFT_EXT.items()}
+
+_JCC_CODE: Dict[Cond, int] = {
+    Cond.EQ: 0x84, Cond.NE: 0x85, Cond.LT: 0x8C,
+    Cond.GE: 0x8D, Cond.LE: 0x8E, Cond.GT: 0x8F,
+}
+_CODE_JCC = {code: cond for cond, code in _JCC_CODE.items()}
+
+
+def _modrm(mod: int, reg: int, rm: int) -> int:
+    return ((mod & 3) << 6) | ((reg & 7) << 3) | (rm & 7)
+
+
+def _split_modrm(byte: int) -> Tuple[int, int, int]:
+    return byte >> 6, (byte >> 3) & 7, byte & 7
+
+
+
+def _fits8(disp: int) -> bool:
+    return -128 <= disp <= 127
+
+
+def _mem(reg_field: int, mem: Mem) -> bytes:
+    """ModRM + displacement for a base+disp memory operand.
+
+    Like real x86, an 8-bit displacement form (mod=01) is used when the
+    displacement fits a signed byte — denser code, and denser byte soup
+    for unintentional gadgets.
+    """
+    if _fits8(mem.disp):
+        return bytes([_modrm(1, reg_field, mem.base), mem.disp & 0xFF])
+    return bytes([_modrm(2, reg_field, mem.base)]) + _i32(mem.disp)
+
+def _i32(value: int) -> bytes:
+    return struct.pack("<i", to_signed(value))
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", to_unsigned(value))
+
+
+class X86LikeISA(ISADescription):
+    """Variable-length CISC model (see module docstring)."""
+
+    name = "x86like"
+    alignment = 1
+    num_registers = 8
+    sp = ESP
+    lr = None
+    register_names = _REG_NAMES
+    # ebp is a general register in our -fomit-frame-pointer-style ABI.
+    allocatable = (EBX, ESI, EDI, EBP)
+    scratch = (EAX, ECX, EDX)
+    syscall_number_reg = EAX
+    syscall_arg_regs = (EBX, ECX, EDX)
+    return_reg = EAX
+    arg_regs = ()              # native ABI passes arguments on the stack
+    call_pushes_return = True
+    memory_operands = True
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, ins: Instruction, address: int = 0) -> bytes:
+        op = ins.op
+        ops = ins.operands
+        if op is Op.NOP:
+            return b"\x90"
+        if op is Op.HLT:
+            return b"\xF4"
+        if op is Op.RET:
+            return b"\xC3"
+        if op is Op.SYSCALL:
+            return b"\xCD\x80"
+
+        if op is Op.PUSH:
+            (src,) = ops
+            if isinstance(src, Reg):
+                return bytes([0x50 + src.index])
+            if isinstance(src, Imm):
+                return b"\x68" + _u32(src.value)
+            if isinstance(src, Mem):
+                return bytes([0xFF]) + _mem(6, src)
+        if op is Op.POP:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return bytes([0x58 + dst.index])
+            if isinstance(dst, Mem):
+                return bytes([0x8F]) + _mem(0, dst)
+
+        if op is Op.MOV:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                return bytes([0xB8 + dst.index]) + _u32(src.value)
+            if isinstance(dst, Reg) and isinstance(src, Reg):
+                return bytes([0x89, _modrm(3, src.index, dst.index)])
+        if op is Op.LOAD:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return bytes([0x8B]) + _mem(dst.index, src)
+        if op is Op.STORE:
+            dst, src = ops
+            if isinstance(dst, Mem) and isinstance(src, Reg):
+                return bytes([0x89]) + _mem(src.index, dst)
+            if isinstance(dst, Mem) and isinstance(src, Imm):
+                return bytes([0xC7]) + _mem(0, dst) + _u32(src.value)
+        if op is Op.LOADB:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return bytes([0x8A]) + _mem(dst.index, src)
+        if op is Op.STOREB:
+            dst, src = ops
+            if isinstance(dst, Mem) and isinstance(src, Reg):
+                return bytes([0x88]) + _mem(src.index, dst)
+        if op is Op.LEA:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return bytes([0x8D]) + _mem(dst.index, src)
+
+        if op in _ALU_RR:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Reg):
+                return bytes([_ALU_RR[op], _modrm(3, src.index, dst.index)])
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                return (bytes([0x81, _modrm(3, _ALU_EXT[op], dst.index)])
+                        + _u32(src.value))
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return bytes([_ALU_RM[op]]) + _mem(dst.index, src)
+            if isinstance(dst, Mem) and isinstance(src, Reg):
+                return bytes([_ALU_RR[op]]) + _mem(src.index, dst)
+
+        if op is Op.MUL:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Reg):
+                return bytes([0x0F, 0xAF, _modrm(3, dst.index, src.index)])
+            if isinstance(dst, Reg) and isinstance(src, Mem):
+                return bytes([0x0F, 0xAF]) + _mem(dst.index, src)
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                return (bytes([0x69, _modrm(3, dst.index, dst.index)])
+                        + _u32(src.value))
+
+        if op is Op.DIV:
+            dst, src = ops
+            if isinstance(dst, Reg) and dst.index == EAX and isinstance(src, Reg):
+                return bytes([0xF7, _modrm(3, 6, src.index)])
+        if op is Op.MOD:
+            dst, src = ops
+            if isinstance(dst, Reg) and dst.index == EDX and isinstance(src, Reg):
+                return bytes([0xF7, _modrm(3, 7, src.index)])
+
+        if op in _SHIFT_EXT:
+            dst, src = ops
+            if isinstance(dst, Reg) and isinstance(src, Imm):
+                return bytes([0xC1, _modrm(3, _SHIFT_EXT[op], dst.index),
+                              src.value & 0xFF])
+            if isinstance(dst, Reg) and isinstance(src, Reg) and src.index == ECX:
+                return bytes([0xD3, _modrm(3, _SHIFT_EXT[op], dst.index)])
+
+        if op is Op.NEG:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return bytes([0xF7, _modrm(3, 3, dst.index)])
+        if op is Op.NOT:
+            (dst,) = ops
+            if isinstance(dst, Reg):
+                return bytes([0xF7, _modrm(3, 2, dst.index)])
+
+        if op in (Op.CALL, Op.JMP, Op.JCC):
+            (target,) = ops
+            if isinstance(target, Label):
+                raise AssemblerError(f"unresolved label {target.name!r}")
+            if isinstance(target, Imm):
+                if op is Op.CALL:
+                    rel = target.value - (address + 5)
+                    return b"\xE8" + _i32(rel)
+                if op is Op.JMP:
+                    rel = target.value - (address + 5)
+                    return b"\xE9" + _i32(rel)
+                rel = target.value - (address + 6)
+                return bytes([0x0F, _JCC_CODE[ins.cond]]) + _i32(rel)
+
+        if op in (Op.ICALL, Op.IJMP):
+            (target,) = ops
+            ext = 2 if op is Op.ICALL else 4
+            if isinstance(target, Reg):
+                return bytes([0xFF, _modrm(3, ext, target.index)])
+            if isinstance(target, Mem):
+                return bytes([0xFF]) + _mem(ext, target)
+
+        raise AssemblerError(f"x86like cannot encode {ins!r}")
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, data: bytes, offset: int, address: int) -> Decoded:
+        def fail(msg: str = "invalid instruction") -> DecodeError:
+            return DecodeError(address, msg)
+
+        n = len(data)
+        if offset >= n:
+            raise fail("fetch past end of code")
+        b0 = data[offset]
+
+        def need(count: int) -> None:
+            if offset + count > n:
+                raise fail("truncated instruction")
+
+        def disp_at(pos: int) -> int:
+            return struct.unpack_from("<i", data, pos)[0]
+
+        def imm_at(pos: int) -> int:
+            return struct.unpack_from("<I", data, pos)[0]
+
+        def done(size: int, ins: Instruction) -> Decoded:
+            return Decoded(address, size, ins, bytes(data[offset:offset + size]))
+
+        def mem_at(pos: int, mod: int, rm: int):
+            """(Mem, bytes consumed by the displacement) for mod 01/10."""
+            if mod == 1:
+                need(pos - offset + 1)
+                disp = struct.unpack_from("<b", data, pos)[0]
+                return Mem(rm, disp), 1
+            need(pos - offset + 4)
+            return Mem(rm, disp_at(pos)), 4
+
+        if b0 == 0x90:
+            return done(1, Instruction(Op.NOP))
+        if b0 == 0xF4:
+            return done(1, Instruction(Op.HLT))
+        if b0 == 0xC3:
+            return done(1, Instruction(Op.RET))
+        if b0 == 0xCD:
+            need(2)
+            if data[offset + 1] == 0x80:
+                return done(2, Instruction(Op.SYSCALL))
+            raise fail("unsupported interrupt vector")
+        if 0x50 <= b0 <= 0x57:
+            return done(1, Instruction(Op.PUSH, (Reg(b0 - 0x50),)))
+        if 0x58 <= b0 <= 0x5F:
+            return done(1, Instruction(Op.POP, (Reg(b0 - 0x58),)))
+        if b0 == 0x68:
+            need(5)
+            return done(5, Instruction(Op.PUSH, (Imm(imm_at(offset + 1)),)))
+        if 0xB8 <= b0 <= 0xBF:
+            need(5)
+            return done(5, Instruction(
+                Op.MOV, (Reg(b0 - 0xB8), Imm(imm_at(offset + 1)))))
+
+        if (b0 in (0x88, 0x89, 0x8A, 0x8B, 0x8D)
+                or b0 in _RR_ALU or b0 in _RM_ALU):
+            need(2)
+            mod, reg, rm = _split_modrm(data[offset + 1])
+            if mod == 3:
+                if b0 in (0x88, 0x8A, 0x8B, 0x8D) or b0 in _RM_ALU:
+                    raise fail("reg-form of memory-only opcode")
+                if b0 == 0x89:
+                    return done(2, Instruction(Op.MOV, (Reg(rm), Reg(reg))))
+                return done(2, Instruction(_RR_ALU[b0], (Reg(rm), Reg(reg))))
+            if mod in (1, 2):
+                mem, disp_size = mem_at(offset + 2, mod, rm)
+                size = 2 + disp_size
+                if b0 == 0x8B:
+                    return done(size, Instruction(Op.LOAD, (Reg(reg), mem)))
+                if b0 == 0x8A:
+                    return done(size, Instruction(Op.LOADB, (Reg(reg), mem)))
+                if b0 == 0x8D:
+                    return done(size, Instruction(Op.LEA, (Reg(reg), mem)))
+                if b0 == 0x89:
+                    return done(size, Instruction(Op.STORE, (mem, Reg(reg))))
+                if b0 == 0x88:
+                    return done(size, Instruction(Op.STOREB, (mem, Reg(reg))))
+                if b0 in _RM_ALU:
+                    return done(size, Instruction(_RM_ALU[b0], (Reg(reg), mem)))
+                return done(size, Instruction(_RR_ALU[b0], (mem, Reg(reg))))
+            raise fail("unsupported mod bits")
+
+        if b0 == 0x81:
+            need(6)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod != 3 or ext not in _EXT_ALU:
+                raise fail("bad 0x81 form")
+            return done(6, Instruction(
+                _EXT_ALU[ext], (Reg(rm), Imm(imm_at(offset + 2)))))
+
+        if b0 == 0xC7:
+            need(2)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod not in (1, 2) or ext != 0:
+                raise fail("bad 0xC7 form")
+            mem, disp_size = mem_at(offset + 2, mod, rm)
+            need(2 + disp_size + 4)
+            return done(2 + disp_size + 4, Instruction(
+                Op.STORE, (mem, Imm(imm_at(offset + 2 + disp_size)))))
+
+        if b0 == 0x8F:
+            need(2)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod not in (1, 2) or ext != 0:
+                raise fail("bad 0x8F form")
+            mem, disp_size = mem_at(offset + 2, mod, rm)
+            return done(2 + disp_size, Instruction(Op.POP, (mem,)))
+
+        if b0 == 0x0F:
+            need(2)
+            b1 = data[offset + 1]
+            if b1 == 0xAF:
+                need(3)
+                mod, reg, rm = _split_modrm(data[offset + 2])
+                if mod == 3:
+                    return done(3, Instruction(Op.MUL, (Reg(reg), Reg(rm))))
+                if mod in (1, 2):
+                    mem, disp_size = mem_at(offset + 3, mod, rm)
+                    return done(3 + disp_size,
+                                Instruction(Op.MUL, (Reg(reg), mem)))
+                raise fail("bad imul form")
+            if b1 in _CODE_JCC:
+                need(6)
+                rel = disp_at(offset + 2)
+                target = to_unsigned(address + 6 + rel)
+                return done(6, Instruction(
+                    Op.JCC, (Imm(target),), cond=_CODE_JCC[b1]))
+            raise fail("unsupported 0x0F escape")
+
+        if b0 == 0x69:
+            need(6)
+            mod, reg, rm = _split_modrm(data[offset + 1])
+            if mod != 3 or reg != rm:
+                raise fail("bad imul-imm form")
+            return done(6, Instruction(Op.MUL, (Reg(rm), Imm(imm_at(offset + 2)))))
+
+        if b0 == 0xF7:
+            need(2)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod != 3:
+                raise fail("bad 0xF7 form")
+            if ext == 6:
+                return done(2, Instruction(Op.DIV, (Reg(EAX), Reg(rm))))
+            if ext == 7:
+                return done(2, Instruction(Op.MOD, (Reg(EDX), Reg(rm))))
+            if ext == 3:
+                return done(2, Instruction(Op.NEG, (Reg(rm),)))
+            if ext == 2:
+                return done(2, Instruction(Op.NOT, (Reg(rm),)))
+            raise fail("bad 0xF7 extension")
+
+        if b0 == 0xC1:
+            need(3)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod != 3 or ext not in _EXT_SHIFT:
+                raise fail("bad shift form")
+            return done(3, Instruction(
+                _EXT_SHIFT[ext], (Reg(rm), Imm(data[offset + 2]))))
+
+        if b0 == 0xD3:
+            need(2)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if mod != 3 or ext not in _EXT_SHIFT:
+                raise fail("bad shift-cl form")
+            return done(2, Instruction(_EXT_SHIFT[ext], (Reg(rm), Reg(ECX))))
+
+        if b0 == 0xE8 or b0 == 0xE9:
+            need(5)
+            rel = disp_at(offset + 1)
+            target = to_unsigned(address + 5 + rel)
+            op = Op.CALL if b0 == 0xE8 else Op.JMP
+            return done(5, Instruction(op, (Imm(target),)))
+
+        if b0 == 0xFF:
+            need(2)
+            mod, ext, rm = _split_modrm(data[offset + 1])
+            if ext == 2:
+                op = Op.ICALL
+            elif ext == 4:
+                op = Op.IJMP
+            elif ext == 6 and mod in (1, 2):
+                mem, disp_size = mem_at(offset + 2, mod, rm)
+                return done(2 + disp_size, Instruction(Op.PUSH, (mem,)))
+            else:
+                raise fail("bad 0xFF extension")
+            if mod == 3:
+                return done(2, Instruction(op, (Reg(rm),)))
+            if mod in (1, 2):
+                mem, disp_size = mem_at(offset + 2, mod, rm)
+                return done(2 + disp_size, Instruction(op, (mem,)))
+            raise fail("bad 0xFF form")
+
+        raise fail(f"unknown opcode {b0:#04x}")
+
+
+#: Singleton instance — the ISA carries no mutable state.
+X86LIKE = X86LikeISA()

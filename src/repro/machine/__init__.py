@@ -1,0 +1,28 @@
+"""Machine substrate: memory, CPU state, syscalls, and the interpreter."""
+
+from .cpu import CPUState
+from .interpreter import (
+    ExecutionHooks,
+    ExecutionResult,
+    Interpreter,
+    StepInfo,
+)
+from .memory import Memory, Segment
+from .process import Layout, Process, ProcessImage
+from .syscalls import OperatingSystem, Sys, SyscallEvent
+
+__all__ = [
+    "CPUState",
+    "ExecutionHooks",
+    "ExecutionResult",
+    "Interpreter",
+    "Layout",
+    "Memory",
+    "OperatingSystem",
+    "Process",
+    "ProcessImage",
+    "Segment",
+    "StepInfo",
+    "Sys",
+    "SyscallEvent",
+]

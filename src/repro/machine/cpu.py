@@ -1,0 +1,71 @@
+"""Architectural CPU state for one core."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.base import ISADescription, to_signed, to_unsigned
+
+
+class CPUState:
+    """Register file, program counter, and compare flags for one ISA."""
+
+    __slots__ = ("isa", "regs", "pc", "cmp_value", "halted")
+
+    def __init__(self, isa: ISADescription, pc: int = 0):
+        self.isa = isa
+        self.regs: List[int] = [0] * isa.num_registers
+        self.pc = to_unsigned(pc)
+        #: signed result of the last CMP (dst - src); branches test this
+        self.cmp_value: int = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def get(self, index: int) -> int:
+        return self.regs[index]
+
+    def set(self, index: int, value: int) -> None:
+        self.regs[index] = to_unsigned(value)
+
+    @property
+    def sp(self) -> int:
+        return self.regs[self.isa.sp]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs[self.isa.sp] = to_unsigned(value)
+
+    @property
+    def lr(self) -> Optional[int]:
+        return None if self.isa.lr is None else self.regs[self.isa.lr]
+
+    @lr.setter
+    def lr(self, value: int) -> None:
+        if self.isa.lr is None:
+            raise AttributeError(f"{self.isa.name} has no link register")
+        self.regs[self.isa.lr] = to_unsigned(value)
+
+    def set_compare(self, dst_value: int, src_value: int) -> None:
+        self.cmp_value = to_signed(dst_value) - to_signed(src_value)
+
+    def copy(self) -> "CPUState":
+        clone = CPUState(self.isa, self.pc)
+        clone.regs = list(self.regs)
+        clone.cmp_value = self.cmp_value
+        clone.halted = self.halted
+        return clone
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot, convenient for assertions in tests."""
+        return {
+            "isa": self.isa.name,
+            "pc": self.pc,
+            "regs": list(self.regs),
+            "cmp": self.cmp_value,
+        }
+
+    def __repr__(self) -> str:
+        named = ", ".join(
+            f"{self.isa.register_name(i)}={value:#x}"
+            for i, value in enumerate(self.regs) if value)
+        return f"<CPU {self.isa.name} pc={self.pc:#x} {named}>"

@@ -1,0 +1,374 @@
+"""Fetch–decode–execute interpreter over encoded binaries.
+
+The interpreter is ISA-agnostic: it fetches bytes from memory at the
+program counter, decodes them through the CPU's ISA description, and
+executes the shared instruction semantics.  Two extension points let the
+rest of the system build on it without subclassing:
+
+* :class:`ExecutionHooks` — the dynamic binary translator's interception
+  surface.  ``resolve_target`` is consulted on *every* control transfer
+  (this is where translate-on-miss, RAT lookups, SFI policing, and
+  migration decisions live); ``on_call`` chooses the return address that
+  gets saved (the PSR VM saves *source* addresses, per Section 5.1).
+* step observers — callables receiving each executed instruction plus its
+  memory/branch behaviour; the performance model feeds its caches and
+  branch predictor from these without the interpreter storing any trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import (
+    AlignmentFault,
+    DecodeError,
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    MachineFault,
+)
+from ..isa.base import (
+    Decoded,
+    Imm,
+    Instruction,
+    Mem,
+    Op,
+    Reg,
+    WORD_SIZE,
+    to_signed,
+    to_unsigned,
+)
+from .cpu import CPUState
+from .memory import Memory
+from .syscalls import OperatingSystem
+
+#: Maximum bytes one instruction can occupy (x86like tops out at 10).
+MAX_INSTRUCTION_BYTES = 12
+
+
+class ExecutionHooks:
+    """Default (native) hooks: no redirection, return addresses unchanged."""
+
+    def resolve_target(self, kind: str, cpu: CPUState, target: int) -> int:
+        """Map a control-transfer target before the PC moves there.
+
+        ``kind`` is one of ``call``, ``jmp``, ``jcc``, ``icall``, ``ijmp``,
+        ``ret``.  The DBT overrides this to translate-on-miss and to police
+        indirect transfers.
+        """
+        return target
+
+    def on_call(self, cpu: CPUState, return_address: int) -> int:
+        """Choose the return address to save for a call instruction."""
+        return return_address
+
+
+@dataclass
+class StepInfo:
+    """What one executed instruction did — consumed by step observers."""
+
+    decoded: Decoded
+    #: (address, is_write) for every data-memory access, in order
+    mem_accesses: List[Tuple[int, bool]] = field(default_factory=list)
+    #: for control instructions: did the transfer happen, and to where
+    branch_taken: bool = False
+    branch_target: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of an interpreter run."""
+
+    steps: int
+    reason: str                      # "halt" | "limit" | "fault" | "breakpoint"
+    fault: Optional[MachineFault] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.reason == "fault"
+
+
+StepObserver = Callable[[CPUState, StepInfo], None]
+
+
+class Interpreter:
+    """Executes one hardware context (CPU + memory + OS)."""
+
+    def __init__(self, cpu: CPUState, memory: Memory, os: OperatingSystem,
+                 hooks: Optional[ExecutionHooks] = None):
+        self.cpu = cpu
+        self.memory = memory
+        self.os = os
+        self.hooks = hooks or ExecutionHooks()
+        self.observers: List[StepObserver] = []
+        self.steps_executed = 0
+        self._decode_cache: dict = {}
+        self.breakpoints: set = set()
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def invalidate_decode_cache(self, base: Optional[int] = None,
+                                end: Optional[int] = None) -> None:
+        """Drop cached decodes (call after writing to executable memory)."""
+        if base is None:
+            self._decode_cache.clear()
+            return
+        stale = [key for key in self._decode_cache if base <= key[1] < end]
+        for key in stale:
+            del self._decode_cache[key]
+
+    def _decode(self, cpu: CPUState, pc: int) -> Decoded:
+        isa = cpu.isa
+        key = (isa.name, pc)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
+        if pc % isa.alignment:
+            raise AlignmentFault(pc)
+        window = self.memory.fetch_window(pc, MAX_INSTRUCTION_BYTES)
+        try:
+            decoded = isa.decode(window, 0, pc)
+        except DecodeError:
+            raise IllegalInstruction(pc) from None
+        self._decode_cache[key] = decoded
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Operand evaluation
+    # ------------------------------------------------------------------
+    def _mem_address(self, cpu: CPUState, operand: Mem) -> int:
+        return to_unsigned(cpu.get(operand.base) + operand.disp)
+
+    def _value(self, cpu: CPUState, operand, info: StepInfo) -> int:
+        if isinstance(operand, Reg):
+            return cpu.get(operand.index)
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Mem):
+            address = self._mem_address(cpu, operand)
+            info.mem_accesses.append((address, False))
+            return self.memory.read_word(address)
+        raise IllegalInstruction(cpu.pc)
+
+    def _write(self, cpu: CPUState, operand, value: int, info: StepInfo) -> None:
+        if isinstance(operand, Reg):
+            cpu.set(operand.index, value)
+            return
+        if isinstance(operand, Mem):
+            address = self._mem_address(cpu, operand)
+            info.mem_accesses.append((address, True))
+            self.memory.write_word(address, value)
+            return
+        raise IllegalInstruction(cpu.pc)
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+    def _push(self, cpu: CPUState, value: int, info: StepInfo) -> None:
+        cpu.sp = cpu.sp - WORD_SIZE
+        info.mem_accesses.append((cpu.sp, True))
+        self.memory.write_word(cpu.sp, value)
+
+    def _pop(self, cpu: CPUState, info: StepInfo) -> int:
+        address = cpu.sp
+        info.mem_accesses.append((address, False))
+        value = self.memory.read_word(address)
+        cpu.sp = address + WORD_SIZE
+        return value
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> StepInfo:
+        """Execute exactly one instruction; raises on modelled faults."""
+        cpu = self.cpu
+        decoded = self._decode(cpu, cpu.pc)
+        ins = decoded.instruction
+        info = StepInfo(decoded=decoded)
+        next_pc = decoded.end
+        op = ins.op
+        ops = ins.operands
+
+        if op is Op.NOP:
+            pass
+        elif op is Op.HLT:
+            cpu.halted = True
+        elif op is Op.MOV:
+            self._write(cpu, ops[0], self._value(cpu, ops[1], info), info)
+        elif op is Op.MOVT:
+            low = cpu.get(ops[0].index) & 0xFFFF
+            cpu.set(ops[0].index, low | ((ops[1].value & 0xFFFF) << 16))
+        elif op is Op.LOAD:
+            self._write(cpu, ops[0], self._value(cpu, ops[1], info), info)
+        elif op is Op.STORE:
+            self._write(cpu, ops[0], self._value(cpu, ops[1], info), info)
+        elif op is Op.LOADB:
+            address = self._mem_address(cpu, ops[1])
+            info.mem_accesses.append((address, False))
+            self._write(cpu, ops[0], self.memory.read_u8(address), info)
+        elif op is Op.STOREB:
+            address = self._mem_address(cpu, ops[0])
+            info.mem_accesses.append((address, True))
+            self.memory.write_u8(address, self._value(cpu, ops[1], info) & 0xFF)
+        elif op is Op.LEA:
+            cpu.set(ops[0].index, self._mem_address(cpu, ops[1]))
+        elif op is Op.PUSH:
+            self._push(cpu, self._value(cpu, ops[0], info), info)
+        elif op is Op.POP:
+            value = self._pop(cpu, info)
+            self._write(cpu, ops[0], value, info)
+        elif op is Op.CMP:
+            self._execute_cmp(cpu, ops, info)
+        elif op in _ALU_HANDLERS:
+            handler = _ALU_HANDLERS[op]
+            dst_value = self._value(cpu, ops[0], info)
+            src_value = self._value(cpu, ops[1], info)
+            self._write(cpu, ops[0], handler(cpu, dst_value, src_value), info)
+        elif op is Op.NEG:
+            self._write(cpu, ops[0],
+                        to_unsigned(-to_signed(self._value(cpu, ops[0], info))),
+                        info)
+        elif op is Op.NOT:
+            self._write(cpu, ops[0],
+                        to_unsigned(~self._value(cpu, ops[0], info)), info)
+        elif op is Op.JMP:
+            next_pc = self.hooks.resolve_target("jmp", cpu, ops[0].value)
+            info.branch_taken, info.branch_target = True, next_pc
+        elif op is Op.JCC:
+            if ins.cond.evaluate(cpu.cmp_value):
+                next_pc = self.hooks.resolve_target("jcc", cpu, ops[0].value)
+                info.branch_taken, info.branch_target = True, next_pc
+        elif op is Op.CALL or op is Op.ICALL:
+            if op is Op.CALL:
+                target = ops[0].value
+                kind = "call"
+            else:
+                target = self._value(cpu, ops[0], info)
+                kind = "icall"
+            # Query the saved return address *before* resolving: resolving
+            # may translate (and even flush the code cache), and the
+            # return-address mapping must reflect this call site as it is.
+            saved = self.hooks.on_call(cpu, next_pc)
+            target = self.hooks.resolve_target(kind, cpu, target)
+            if cpu.isa.call_pushes_return:
+                self._push(cpu, saved, info)
+            else:
+                cpu.lr = saved
+            next_pc = target
+            info.branch_taken, info.branch_target = True, next_pc
+        elif op is Op.RET:
+            source = self._pop(cpu, info)
+            next_pc = self.hooks.resolve_target("ret", cpu, source)
+            info.branch_taken, info.branch_target = True, next_pc
+        elif op is Op.IJMP:
+            target = self._value(cpu, ops[0], info)
+            next_pc = self.hooks.resolve_target("ijmp", cpu, target)
+            info.branch_taken, info.branch_target = True, next_pc
+        elif op is Op.SYSCALL:
+            self.os.dispatch(cpu, self.memory)
+        else:  # pragma: no cover - every Op is handled above
+            raise IllegalInstruction(cpu.pc)
+
+        cpu.pc = to_unsigned(next_pc)
+        self.steps_executed += 1
+        for observer in self.observers:
+            observer(cpu, info)
+        return info
+
+    def _execute_cmp(self, cpu: CPUState, ops, info: StepInfo) -> None:
+        dst_value = self._value(cpu, ops[0], info)
+        src_value = self._value(cpu, ops[1], info)
+        cpu.set_compare(dst_value, src_value)
+
+    def run(self, max_instructions: int = 1_000_000,
+            catch_faults: bool = True) -> ExecutionResult:
+        """Run until halt, fault, breakpoint, or the instruction budget.
+
+        With ``catch_faults`` (the default) modelled machine faults become
+        part of the result — the behaviour a parent process observes when
+        its child crashes, which is what the brute-force attack model needs.
+        """
+        start = self.steps_executed
+        budget = max_instructions
+        try:
+            while not self.cpu.halted:
+                if self.steps_executed - start >= budget:
+                    return ExecutionResult(self.steps_executed - start, "limit")
+                if self.cpu.pc in self.breakpoints:
+                    return ExecutionResult(self.steps_executed - start,
+                                           "breakpoint")
+                self.step()
+        except MachineFault as fault:
+            if not catch_faults:
+                raise
+            return ExecutionResult(self.steps_executed - start, "fault", fault)
+        return ExecutionResult(self.steps_executed - start, "halt")
+
+
+def _shift_amount(value: int) -> int:
+    return value & 31
+
+
+def _alu_add(cpu, a, b):
+    return a + b
+
+
+def _alu_sub(cpu, a, b):
+    return a - b
+
+
+def _alu_mul(cpu, a, b):
+    return to_signed(a) * to_signed(b)
+
+
+def _alu_div(cpu, a, b):
+    if to_signed(b) == 0:
+        raise MachineFault(cpu.pc, "integer division by zero")
+    return int(to_signed(a) / to_signed(b))  # C-style truncation
+
+
+def _alu_mod(cpu, a, b):
+    if to_signed(b) == 0:
+        raise MachineFault(cpu.pc, "integer division by zero")
+    sa, sb = to_signed(a), to_signed(b)
+    return sa - int(sa / sb) * sb
+
+
+def _alu_and(cpu, a, b):
+    return a & b
+
+
+def _alu_or(cpu, a, b):
+    return a | b
+
+
+def _alu_xor(cpu, a, b):
+    return a ^ b
+
+
+def _alu_shl(cpu, a, b):
+    return a << _shift_amount(b)
+
+
+def _alu_shr(cpu, a, b):
+    return (a & 0xFFFFFFFF) >> _shift_amount(b)
+
+
+def _alu_sar(cpu, a, b):
+    return to_signed(a) >> _shift_amount(b)
+
+
+_ALU_HANDLERS = {
+    Op.ADD: _alu_add,
+    Op.SUB: _alu_sub,
+    Op.MUL: _alu_mul,
+    Op.DIV: _alu_div,
+    Op.MOD: _alu_mod,
+    Op.AND: _alu_and,
+    Op.OR: _alu_or,
+    Op.XOR: _alu_xor,
+    Op.SHL: _alu_shl,
+    Op.SHR: _alu_shr,
+    Op.SAR: _alu_sar,
+}

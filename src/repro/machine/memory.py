@@ -1,0 +1,165 @@
+"""Flat byte-addressable memory with permissioned segments.
+
+The model is deliberately simple: a process image is a set of disjoint
+segments (code, data, stack, heap, code cache), each a contiguous
+bytearray with read/write/execute permissions.  Accesses outside any
+segment, or violating permissions, raise :class:`SegmentationFault` —
+the modelled outcome a failed ROP attempt typically produces.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SegmentationFault
+from ..isa.base import WORD_SIZE, to_unsigned
+
+
+@dataclass
+class Segment:
+    """One contiguous mapped region."""
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+    data: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+        elif len(self.data) != self.size:
+            raise ValueError(
+                f"segment {self.name}: data length {len(self.data)} != size {self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+    def __repr__(self) -> str:
+        perms = "".join(
+            flag if enabled else "-"
+            for flag, enabled in (("r", self.readable), ("w", self.writable),
+                                  ("x", self.executable)))
+        return f"<Segment {self.name} {self.base:#x}-{self.end:#x} {perms}>"
+
+
+class Memory:
+    """The process address space: an ordered collection of segments."""
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+        self._by_name: Dict[str, Segment] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_segment(self, segment: Segment) -> Segment:
+        for existing in self._segments:
+            if segment.base < existing.end and existing.base < segment.end:
+                raise ValueError(
+                    f"segment {segment.name} overlaps {existing.name}")
+        if segment.name in self._by_name:
+            raise ValueError(f"duplicate segment name {segment.name!r}")
+        self._segments.append(segment)
+        self._segments.sort(key=lambda s: s.base)
+        self._by_name[segment.name] = segment
+        return segment
+
+    def map(self, name: str, base: int, size: int, *, readable: bool = True,
+            writable: bool = True, executable: bool = False,
+            data: Optional[bytes] = None) -> Segment:
+        payload = bytearray(data) if data is not None else bytearray(size)
+        if data is not None and len(payload) < size:
+            payload.extend(bytearray(size - len(payload)))
+        return self.map_segment(Segment(
+            name=name, base=base, size=size, readable=readable,
+            writable=writable, executable=executable, data=payload))
+
+    def unmap(self, name: str) -> None:
+        segment = self._by_name.pop(name)
+        self._segments.remove(segment)
+
+    def segment(self, name: str) -> Segment:
+        return self._by_name[name]
+
+    def has_segment(self, name: str) -> bool:
+        return name in self._by_name
+
+    def segments(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def find(self, address: int, length: int = 1) -> Optional[Segment]:
+        for segment in self._segments:
+            if segment.contains(address, length):
+                return segment
+        return None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _locate(self, address: int, length: int, access: str) -> Segment:
+        address = to_unsigned(address)
+        segment = self.find(address, length)
+        if segment is None:
+            raise SegmentationFault(address, access)
+        if access == "read" and not segment.readable:
+            raise SegmentationFault(address, access)
+        if access == "write" and not segment.writable:
+            raise SegmentationFault(address, access)
+        if access == "execute" and not segment.executable:
+            raise SegmentationFault(address, access)
+        return segment
+
+    def read_bytes(self, address: int, length: int,
+                   access: str = "read") -> bytes:
+        address = to_unsigned(address)
+        segment = self._locate(address, length, access)
+        offset = address - segment.base
+        return bytes(segment.data[offset:offset + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        address = to_unsigned(address)
+        segment = self._locate(address, len(data), "write")
+        offset = address - segment.base
+        segment.data[offset:offset + len(data)] = data
+
+    def read_u8(self, address: int) -> int:
+        return self.read_bytes(address, 1)[0]
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write_bytes(address, bytes([value & 0xFF]))
+
+    def read_word(self, address: int) -> int:
+        return struct.unpack("<I", self.read_bytes(address, WORD_SIZE))[0]
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write_bytes(address, struct.pack("<I", to_unsigned(value)))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated byte string (used by the syscall layer)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read_u8(address + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise SegmentationFault(address, "unterminated string")
+
+    def fetch_window(self, address: int, length: int) -> bytes:
+        """Read up to ``length`` executable bytes for instruction decode.
+
+        Clamps at the end of the containing segment rather than faulting,
+        because instruction fetch near a segment boundary is legitimate.
+        """
+        address = to_unsigned(address)
+        segment = self._locate(address, 1, "execute")
+        offset = address - segment.base
+        return bytes(segment.data[offset:offset + length])

@@ -1,0 +1,129 @@
+"""The modelled operating-system interface.
+
+A tiny Linux-flavoured syscall layer.  The attack harness cares about one
+thing above all: whether a payload manages to invoke ``execve`` with an
+attacker-controlled path (the canonical shell-spawning ROP goal from
+Figure 1 of the paper).  Every syscall invocation is recorded as an event
+so attacks and tests can assert on exactly what the "kernel" saw.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import MachineFault
+from ..isa.base import to_signed
+from .cpu import CPUState
+from .memory import Memory
+
+
+class Sys(enum.IntEnum):
+    """Syscall numbers (32-bit-Linux-flavoured)."""
+
+    EXIT = 1
+    READ = 3
+    WRITE = 4
+    EXECVE = 11
+    BRK = 45
+    GETPID = 20
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """One observed syscall: number, raw args, and decoded detail."""
+
+    number: int
+    args: Tuple[int, int, int]
+    detail: str = ""
+
+    @property
+    def name(self) -> str:
+        try:
+            return Sys(self.number).name.lower()
+        except ValueError:
+            return f"sys_{self.number}"
+
+
+class SyscallError(MachineFault):
+    """An invalid syscall — modelled as a faulting trap."""
+
+    def __init__(self, address: int, number: int):
+        super().__init__(address, f"bad syscall {number}")
+        self.number = number
+
+
+class OperatingSystem:
+    """Kernel model: dispatches syscalls, records events, owns I/O buffers.
+
+    The ``execve`` handler *records* the exec rather than replacing the
+    process image; the caller (attack harness or example program) inspects
+    :attr:`spawned` to see what would have run.  A successful attack is a
+    recorded ``execve("/bin/sh")``.
+    """
+
+    def __init__(self, stdin: bytes = b""):
+        self.stdout = bytearray()
+        self.stdin = bytearray(stdin)
+        self.spawned: List[bytes] = []
+        self.events: List[SyscallEvent] = []
+        self.exit_code: Optional[int] = None
+        self.pid = 1000
+        self._brk = 0
+
+    # ------------------------------------------------------------------
+    def reset(self, stdin: bytes = b"") -> None:
+        self.stdout = bytearray()
+        self.stdin = bytearray(stdin)
+        self.spawned = []
+        self.events = []
+        self.exit_code = None
+
+    @property
+    def shell_spawned(self) -> bool:
+        """True if an ``execve`` of a shell was observed (attack success)."""
+        return any(path.startswith(b"/bin/sh") for path in self.spawned)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, cpu: CPUState, memory: Memory) -> None:
+        """Handle the syscall currently requested by ``cpu``'s registers."""
+        isa = cpu.isa
+        number = cpu.get(isa.syscall_number_reg)
+        args = tuple(cpu.get(r) for r in isa.syscall_arg_regs)
+        detail = ""
+
+        if number == Sys.EXIT:
+            self.exit_code = to_signed(args[0])
+            cpu.halted = True
+            detail = f"code={self.exit_code}"
+        elif number == Sys.WRITE:
+            fd, buf, count = args
+            data = memory.read_bytes(buf, min(count, 1 << 20))
+            if fd in (1, 2):
+                self.stdout.extend(data)
+            detail = f"fd={fd} count={count}"
+            cpu.set(isa.return_reg, count)
+        elif number == Sys.READ:
+            fd, buf, count = args
+            chunk = bytes(self.stdin[:count])
+            del self.stdin[:count]
+            memory.write_bytes(buf, chunk)
+            cpu.set(isa.return_reg, len(chunk))
+            detail = f"fd={fd} read={len(chunk)}"
+        elif number == Sys.EXECVE:
+            path = memory.read_cstring(args[0])
+            self.spawned.append(path)
+            detail = f"path={path!r}"
+            cpu.set(isa.return_reg, 0)
+        elif number == Sys.BRK:
+            if args[0]:
+                self._brk = args[0]
+            cpu.set(isa.return_reg, self._brk)
+        elif number == Sys.GETPID:
+            cpu.set(isa.return_reg, self.pid)
+        else:
+            self.events.append(SyscallEvent(number, args, "invalid"))
+            raise SyscallError(cpu.pc, number)
+
+        self.events.append(SyscallEvent(int(number), args, detail))

@@ -1,0 +1,15 @@
+"""Cross-ISA execution migration: stack transformation and the engine."""
+
+from .engine import MigrationEngine, MigrationRecord
+from .sitemap import CallSiteIndex, ResolvedSite
+from .stack_transform import FrameRecord, StackTransformer, TransformReport
+
+__all__ = [
+    "CallSiteIndex",
+    "FrameRecord",
+    "MigrationEngine",
+    "MigrationRecord",
+    "ResolvedSite",
+    "StackTransformer",
+    "TransformReport",
+]

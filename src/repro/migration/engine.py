@@ -1,0 +1,194 @@
+"""The migration engine: one cross-ISA hand-off, end to end.
+
+A migration happens at a *unit boundary* — a basic-block entry (for
+performance-driven, phase-change migrations) or a call-return point (for
+security-driven migrations on code-cache-missing returns).  The engine:
+
+1. identifies the innermost frame from the migration kind and the native
+   target address;
+2. walks the stack through the source-address return slots;
+3. runs the PSR-aware stack transformation (values, scatter slots,
+   registers) from source-ISA form to target-ISA form;
+4. rewrites every stacked return address from source-ISA text to the
+   corresponding target-ISA call-return address;
+5. produces the target CPU state, with the PC pointing at the target
+   VM's translation of the resume point (translating on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.fatbinary import FatBinary
+from ..compiler.symtab import ExtendedSymbolTable
+from ..core.psr import PSRVirtualMachine
+from ..errors import MigrationError
+from ..isa.base import Op, WORD_SIZE
+from ..machine.cpu import CPUState
+from ..machine.memory import Memory
+from .sitemap import CallSiteIndex, ResolvedSite
+from .stack_transform import FrameRecord, StackTransformer, TransformReport
+
+
+@dataclass
+class MigrationRecord:
+    """One completed migration (feeds statistics and the cost model)."""
+
+    source_isa: str
+    target_isa: str
+    kind: str                       # "ret" | "block"
+    native_target: int
+    report: TransformReport
+
+
+class MigrationEngine:
+    """Performs migrations between the two PSR virtual machines."""
+
+    def __init__(self, binary: FatBinary,
+                 vms: Dict[str, PSRVirtualMachine]):
+        self.binary = binary
+        self.vms = vms
+        self.sites = CallSiteIndex(binary.symtab, binary.program)
+        self.transformer = StackTransformer(binary.symtab, binary.program,
+                                            self.sites)
+        self.history: List[MigrationRecord] = []
+        #: per-ISA return address of the crt0 stub's call to main
+        self._stub_returns = {
+            isa_name: self._find_stub_return(isa_name)
+            for isa_name in binary.sections}
+
+    def _find_stub_return(self, isa_name: str) -> int:
+        unit = self.binary.sections[isa_name]
+        start = unit.address_of("_start")
+        main = self.binary.symtab.function("main").entry(isa_name)
+        for address, instruction in zip(unit.addresses, unit.instructions):
+            if start <= address < main and instruction.op is Op.CALL:
+                isa = unit.isa
+                return address + len(isa.encode(instruction, address))
+        raise MigrationError(f"no crt0 call to main found on {isa_name}")
+
+    # ------------------------------------------------------------------
+    def migrate(self, source_isa: str, target_isa: str, cpu: CPUState,
+                memory: Memory, native_target: int,
+                kind: str) -> CPUState:
+        """Transform state and return the ready-to-run target CPU."""
+        source_vm = self.vms[source_isa]
+        target_vm = self.vms[target_isa]
+
+        innermost, target_resume = self._innermost_frame(
+            source_isa, target_isa, cpu, native_target, kind)
+        frames = self.transformer.walk_frames(
+            source_isa, memory, innermost, source_vm.reloc_for)
+
+        self._rewrite_return_addresses(frames, memory, source_isa,
+                                       target_isa, source_vm)
+
+        target_cpu, report = self.transformer.transform(
+            cpu, target_vm.isa, memory, frames,
+            source_vm.reloc_for, target_vm.reloc_for)
+        if kind == "ret":
+            # The callee's return value is in flight in the source ISA's
+            # return register; hand it to the target ISA's.
+            target_cpu.set(target_vm.isa.return_reg,
+                           cpu.get(source_vm.isa.return_reg))
+
+        translated = target_vm.cache.peek(target_resume)
+        if translated is None:
+            translated = target_vm.install_unit(target_resume)
+        if translated is None:
+            raise MigrationError(
+                f"no translation for resume point {target_resume:#x}")
+        target_cpu.pc = translated
+
+        record = MigrationRecord(source_isa, target_isa, kind,
+                                 native_target, report)
+        self.history.append(record)
+        return target_cpu
+
+    # ------------------------------------------------------------------
+    def _innermost_frame(self, source_isa: str, target_isa: str,
+                         cpu: CPUState, native_target: int,
+                         kind: str) -> Tuple[FrameRecord, int]:
+        """The innermost frame record plus the target-ISA resume address."""
+        symtab = self.binary.symtab
+        if kind == "ret":
+            site = self.sites.resolve(source_isa, native_target)
+            if site is None:
+                raise MigrationError(
+                    f"{native_target:#x} is not a call-return point")
+            window = self.sites.window_words(
+                source_isa, site, self.vms[source_isa].reloc_for)
+            base = cpu.sp + WORD_SIZE * window
+            counterpart = self._counterpart_return(site, target_isa)
+            frame = FrameRecord(
+                function=site.function,
+                base=base,
+                live_values=self.sites.live_after_call(site),
+                resume_address=native_target,
+            )
+            return frame, counterpart
+        if kind == "block":
+            located = symtab.block_at(source_isa, native_target)
+            if located is None:
+                raise MigrationError(
+                    f"{native_target:#x} is not a block entry")
+            function, label = located
+            info = symtab.function(function)
+            if info.per_isa[source_isa].block_addresses[label] != native_target:
+                raise MigrationError(
+                    f"{native_target:#x} is mid-block; not migration-safe")
+            frame = FrameRecord(
+                function=function,
+                base=cpu.sp,            # at block boundaries sp == base
+                live_values=tuple(sorted(info.live_in(label))),
+                resume_address=native_target,
+            )
+            return frame, info.per_isa[target_isa].block_addresses[label]
+        raise MigrationError(f"unsupported migration kind {kind!r}")
+
+    def _counterpart_return(self, site: ResolvedSite,
+                            target_isa: str) -> int:
+        """The same call site's return address in the target ISA's text."""
+        target_site = self._site_by_identity(target_isa, site)
+        return target_site.return_address
+
+    def _site_by_identity(self, isa_name: str,
+                          site: ResolvedSite) -> ResolvedSite:
+        for candidate in self.sites.sites_for(isa_name).values():
+            if (candidate.function == site.function
+                    and candidate.block == site.block
+                    and candidate.ordinal == site.ordinal):
+                return candidate
+        raise MigrationError(
+            f"no {isa_name} counterpart for call site in "
+            f"{site.function}/{site.block}#{site.ordinal}")
+
+    def _rewrite_return_addresses(self, frames: List[FrameRecord],
+                                  memory: Memory, source_isa: str,
+                                  target_isa: str,
+                                  source_vm: PSRVirtualMachine) -> None:
+        """Point every stacked return address at the target ISA's text."""
+        for frame in frames:
+            reloc = source_vm.reloc_for(frame.function)
+            slot = frame.base + reloc.total_data_size
+            stored = memory.read_word(slot)
+            site = self.sites.resolve(source_isa, stored)
+            if site is not None:
+                counterpart = self._site_by_identity(target_isa, site)
+                memory.write_word(slot, counterpart.return_address)
+            else:
+                # the crt0 stub return of the outermost frame
+                memory.write_word(slot, self._stub_returns[target_isa])
+
+    # ------------------------------------------------------------------
+    @property
+    def migration_count(self) -> int:
+        return len(self.history)
+
+    def count_by_direction(self) -> Dict[Tuple[str, str], int]:
+        result: Dict[Tuple[str, str], int] = {}
+        for record in self.history:
+            key = (record.source_isa, record.target_isa)
+            result[key] = result.get(key, 0) + 1
+        return result

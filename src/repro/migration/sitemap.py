@@ -1,0 +1,118 @@
+"""Call-site index: native return addresses → IR call sites, per ISA.
+
+The migration engine needs, for a native return address found in a
+return-address slot: which function/block/call it belongs to, what is
+live after the call (the values the frame must carry across migration),
+and how wide the call's argument window is (to find the caller's frame
+base).  This module precomputes that mapping from the extended symbol
+table plus the IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler import ir
+from ..compiler.liveness import live_after_each_instruction
+from ..compiler.symtab import ExtendedSymbolTable
+from ..errors import MigrationError
+
+
+@dataclass(frozen=True)
+class ResolvedSite:
+    """One static call site, identified from a native return address."""
+
+    function: str
+    block: str
+    #: index of this call among the block's calls, in source order
+    ordinal: int
+    #: position of the call instruction within the block
+    instruction_index: int
+    #: the IR call (ir.Call or ir.CallIndirect)
+    call: ir.IRInstruction
+    return_address: int
+
+
+class CallSiteIndex:
+    """Per-ISA maps from native return addresses to resolved call sites."""
+
+    def __init__(self, symtab: ExtendedSymbolTable, program: ir.IRProgram):
+        self.symtab = symtab
+        self.program = program
+        #: isa name -> return address -> ResolvedSite
+        self._by_return: Dict[str, Dict[int, ResolvedSite]] = {}
+        #: (function, block) -> cached live-after list
+        self._live_cache: Dict[Tuple[str, str], List[frozenset]] = {}
+        for info in symtab:
+            fn = program.functions[info.name]
+            calls_by_block = _ir_calls_by_block(fn)
+            for isa_name, per_isa in info.per_isa.items():
+                table = self._by_return.setdefault(isa_name, {})
+                bounds = per_isa.block_bounds()
+                per_block_sites: Dict[str, List] = {}
+                for site in sorted(per_isa.call_sites,
+                                   key=lambda s: s.address):
+                    for label, start, end in bounds:
+                        if start <= site.address < end:
+                            per_block_sites.setdefault(label, []).append(site)
+                            break
+                for label, sites in per_block_sites.items():
+                    ir_calls = calls_by_block.get(label, [])
+                    if len(ir_calls) != len(sites):
+                        raise MigrationError(
+                            f"{info.name}/{label} on {isa_name}: "
+                            f"{len(sites)} native call sites vs "
+                            f"{len(ir_calls)} IR calls")
+                    for ordinal, (site, (index, call)) in enumerate(
+                            zip(sites, ir_calls)):
+                        table[site.return_address] = ResolvedSite(
+                            function=info.name,
+                            block=label,
+                            ordinal=ordinal,
+                            instruction_index=index,
+                            call=call,
+                            return_address=site.return_address,
+                        )
+
+    def resolve(self, isa_name: str, return_address: int) -> Optional[ResolvedSite]:
+        return self._by_return.get(isa_name, {}).get(return_address)
+
+    def live_after_call(self, site: ResolvedSite) -> Tuple[str, ...]:
+        """Values live immediately after the call (one-block look-ahead)."""
+        key = (site.function, site.block)
+        cached = self._live_cache.get(key)
+        if cached is None:
+            info = self.symtab.function(site.function)
+            fn = self.program.functions[site.function]
+            block = fn.block(site.block)
+            cached = live_after_each_instruction(
+                block, info.liveness[site.block].live_out)
+            self._live_cache[key] = cached
+        return tuple(sorted(cached[site.instruction_index]))
+
+    def window_words(self, isa_name: str, site: ResolvedSite,
+                     reloc_of: Callable) -> int:
+        """Argument-window width of the call, in words.
+
+        Direct calls use the callee's (ISA-invariant) randomized window;
+        indirect calls use the canonical layout: one word per argument.
+        """
+        if isinstance(site.call, ir.Call):
+            return reloc_of(site.call.function).arg_window_words
+        return len(site.call.args)
+
+    def sites_for(self, isa_name: str):
+        return self._by_return.get(isa_name, {})
+
+
+def _ir_calls_by_block(fn: ir.IRFunction) -> Dict[str, List[Tuple[int, ir.IRInstruction]]]:
+    """(instruction index, call) pairs per block, in source order."""
+    result: Dict[str, List[Tuple[int, ir.IRInstruction]]] = {}
+    for block in fn.blocks:
+        calls = [(index, instruction)
+                 for index, instruction in enumerate(block.instructions)
+                 if isinstance(instruction, (ir.Call, ir.CallIndirect))]
+        if calls:
+            result[block.label] = calls
+    return result

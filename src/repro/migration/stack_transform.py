@@ -1,0 +1,163 @@
+"""PSR-aware cross-ISA stack transformation.
+
+When HIPStR migrates a process, every frame on the stack was written by
+code translated against the *source* ISA's relocation maps, and the code
+that will run next was translated against the *target* ISA's maps.  This
+module rewrites the machine state in place (Section 5.2: "we fetch the
+object from its randomized location on one ISA and move it to its new
+randomized location on the other ISA").
+
+Two passes:
+
+1. **Read/unwind (innermost → outermost).**  For each frame, read every
+   live value at its source-ISA location.  Register-resident values of
+   outer frames are recovered by unwinding: each frame's scattered
+   callee-save slots hold its *caller's* register contents, so popping
+   through the scatter reconstructs each frame's register view.
+2. **Write/rebuild (outermost → innermost).**  Write stack-resident
+   values at their target-ISA slots; maintain the register image inner
+   frames will inherit, and materialise each frame's target-ISA scatter
+   slots from its caller's register image — so that target-ISA epilogues
+   gather exactly what the target-ISA callers expect.
+
+Frame geometry (sizes, argument windows, fixed-local bases, return-slot
+positions) is ISA-invariant by construction, so pointers into the stack
+survive and the walk itself is ISA-agnostic.  All return addresses on the
+stack are *source* addresses (the RAT discipline), which is what lets the
+walk resolve each frame's suspended call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler import ir
+from ..compiler.symtab import ExtendedSymbolTable
+from ..errors import MigrationError
+from ..isa.base import ISADescription, WORD_SIZE
+from ..machine.cpu import CPUState
+from ..machine.memory import Memory
+from .sitemap import CallSiteIndex, ResolvedSite
+
+#: safety bound on stack depth during the frame walk
+MAX_FRAMES = 10_000
+
+
+@dataclass
+class FrameRecord:
+    """One walked stack frame (innermost first)."""
+
+    function: str
+    base: int                        # absolute address of the frame base
+    live_values: Tuple[str, ...]
+    resume_address: int              # native address this frame resumes at
+
+
+@dataclass
+class TransformReport:
+    """What one migration's state transformation did (cost-model input)."""
+
+    frames: int = 0
+    values_moved: int = 0
+    registers_rebuilt: int = 0
+    bytes_touched: int = 0
+
+
+RelocProvider = Callable[[str], "RelocationMap"]  # noqa: F821 (doc only)
+
+
+class StackTransformer:
+    """Performs the in-place state transformation for one migration."""
+
+    def __init__(self, symtab: ExtendedSymbolTable, program: ir.IRProgram,
+                 site_index: CallSiteIndex):
+        self.symtab = symtab
+        self.program = program
+        self.sites = site_index
+
+    # ------------------------------------------------------------------
+    # Frame walking
+    # ------------------------------------------------------------------
+    def walk_frames(self, isa_name: str, memory: Memory,
+                    innermost: FrameRecord,
+                    reloc_of: RelocProvider) -> List[FrameRecord]:
+        """Walk from the innermost frame out to main's frame."""
+        frames = [innermost]
+        current = innermost
+        for _ in range(MAX_FRAMES):
+            reloc = reloc_of(current.function)
+            ret_slot = current.base + reloc.total_data_size
+            return_address = memory.read_word(ret_slot)
+            site = self.sites.resolve(isa_name, return_address)
+            if site is None:
+                return frames         # returned into the crt0 stub: done
+            window_words = self.sites.window_words(isa_name, site, reloc_of)
+            caller_base = (ret_slot + WORD_SIZE
+                           + WORD_SIZE * window_words)
+            frames.append(FrameRecord(
+                function=site.function,
+                base=caller_base,
+                live_values=self.sites.live_after_call(site),
+                resume_address=return_address,
+            ))
+            current = frames[-1]
+        raise MigrationError("frame walk did not terminate")
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def transform(self, source_cpu: CPUState, target_isa: ISADescription,
+                  memory: Memory, frames: List[FrameRecord],
+                  source_reloc_of: RelocProvider,
+                  target_reloc_of: RelocProvider,
+                  ) -> Tuple[CPUState, TransformReport]:
+        """Rewrite every frame from source-ISA form to target-ISA form."""
+        report = TransformReport()
+
+        # ---- pass 1: read + unwind (innermost first) -------------------
+        reg_state: Dict[int, int] = {
+            index: source_cpu.get(index)
+            for index in range(source_cpu.isa.num_registers)}
+        frame_values: List[Dict[str, int]] = []
+        for frame in frames:
+            reloc = source_reloc_of(frame.function)
+            values: Dict[str, int] = {}
+            for name in frame.live_values:
+                kind, where = reloc.location(name)
+                if kind == "register":
+                    values[name] = reg_state.get(where, 0)
+                else:
+                    values[name] = memory.read_word(frame.base + where)
+                report.values_moved += 1
+            frame_values.append(values)
+            # Unwind: the frame's scatter slots hold its caller's registers.
+            for register, slot in reloc.save_slots.items():
+                reg_state[register] = memory.read_word(frame.base + slot)
+
+        # ---- pass 2: write + rebuild (outermost first) ------------------
+        # ``pending`` is the register image the next-inner frame inherits.
+        pending: Dict[int, int] = {}
+        for frame, values in zip(reversed(frames), reversed(frame_values)):
+            reloc = target_reloc_of(frame.function)
+            # The frame's target-ISA scatter slots must hold its caller's
+            # register image, which is exactly ``pending`` right now.
+            for register, slot in reloc.save_slots.items():
+                memory.write_word(frame.base + slot, pending.get(register, 0))
+                report.bytes_touched += WORD_SIZE
+            for name in frame.live_values:
+                kind, where = reloc.location(name)
+                if kind == "register":
+                    pending[where] = values[name]
+                else:
+                    memory.write_word(frame.base + where, values[name])
+                    report.bytes_touched += WORD_SIZE
+
+        target_cpu = CPUState(target_isa)
+        target_cpu.sp = source_cpu.sp
+        target_cpu.cmp_value = source_cpu.cmp_value
+        for register, value in pending.items():
+            target_cpu.set(register, value)
+        report.registers_rebuilt = len(pending)
+        report.frames = len(frames)
+        return target_cpu, report

@@ -1,0 +1,26 @@
+"""Performance model: cores, caches, branch prediction, timing, migration."""
+
+from .branch import BranchPredictor, BranchStats
+from .caches import Cache, CacheStats
+from .cores import ARM_CORE, CORES, CacheConfig, CoreConfig, X86_CORE
+from .migration_cost import MigrationCostSummary, migration_micros, summarize
+from .timing import CLASS_COSTS, DBTCostModel, PerfMeasurement, TimingModel
+
+__all__ = [
+    "ARM_CORE",
+    "BranchPredictor",
+    "BranchStats",
+    "CLASS_COSTS",
+    "CORES",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CoreConfig",
+    "DBTCostModel",
+    "MigrationCostSummary",
+    "PerfMeasurement",
+    "TimingModel",
+    "X86_CORE",
+    "migration_micros",
+    "summarize",
+]

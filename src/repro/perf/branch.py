@@ -1,0 +1,51 @@
+"""Two-bit saturating-counter branch predictor (bimodal)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class BranchStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Classic bimodal table of 2-bit counters indexed by PC."""
+
+    def __init__(self, entries: int = 4096, disabled: bool = False):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        #: counters: 0,1 predict not-taken; 2,3 predict taken
+        self._table: List[int] = [1] * entries
+        self.stats = BranchStats()
+        #: with prediction disabled every branch mispredicts (the
+        #: Isomeron model: shepherding defeats branch prediction)
+        self.disabled = disabled
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Record one resolved branch; returns True if predicted right."""
+        self.stats.predictions += 1
+        if self.disabled:
+            self.stats.mispredictions += 1
+            return False
+        index = (pc >> 1) & self._mask
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        if taken:
+            self._table[index] = min(counter + 1, 3)
+        else:
+            self._table[index] = max(counter - 1, 0)
+        return correct

@@ -1,0 +1,91 @@
+"""Core configurations — Table 1 of the paper.
+
+The ARM core models a low-power Cortex-A9-class design, the x86 core a
+high-performance Xeon-class design.  The timing model derives each core's
+sustainable ILP from fetch/issue width and ROB depth, so the heterogeneity
+shows up as a genuine performance gap between the two ISAs' cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size: int = 32 * 1024
+    associativity: int = 2
+    line_size: int = 64
+    hit_latency: int = 1
+    miss_penalty: int = 20
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One core of the heterogeneous-ISA CMP (Table 1)."""
+
+    name: str
+    isa_name: str
+    frequency_hz: float
+    fetch_width: int
+    issue_width: int
+    rob_size: int
+    load_queue: int
+    store_queue: int
+    int_alus: int
+    icache: CacheConfig
+    dcache: CacheConfig
+    #: pipeline flush cost on a branch mispredict, in cycles
+    mispredict_penalty: int
+
+    @property
+    def ilp_factor(self) -> float:
+        """Sustainable instructions per cycle for integer code.
+
+        Front-end width bounds it; ROB depth determines how much of that
+        width out-of-order execution can actually keep fed.
+        """
+        width = min(self.fetch_width, self.issue_width)
+        rob_efficiency = self.rob_size / (self.rob_size + 24.0)
+        return max(width * rob_efficiency, 0.5)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    def cycles_to_micros(self, cycles: float) -> float:
+        return self.cycles_to_seconds(cycles) * 1e6
+
+
+#: low-power in-order-ish core (Cortex-A9-like) — Table 1, top half
+ARM_CORE = CoreConfig(
+    name="arm-little",
+    isa_name="armlike",
+    frequency_hz=2.0e9,
+    fetch_width=2,
+    issue_width=4,
+    rob_size=20,
+    load_queue=16,
+    store_queue=16,
+    int_alus=2,
+    icache=CacheConfig(size=32 * 1024, associativity=2),
+    dcache=CacheConfig(size=32 * 1024, associativity=2),
+    mispredict_penalty=8,
+)
+
+#: high-performance out-of-order core (Xeon-like) — Table 1, bottom half
+X86_CORE = CoreConfig(
+    name="x86-big",
+    isa_name="x86like",
+    frequency_hz=3.3e9,
+    fetch_width=4,
+    issue_width=4,
+    rob_size=128,
+    load_queue=48,
+    store_queue=96,
+    int_alus=6,
+    icache=CacheConfig(size=32 * 1024, associativity=2),
+    dcache=CacheConfig(size=32 * 1024, associativity=2),
+    mispredict_penalty=14,
+)
+
+CORES = {"x86like": X86_CORE, "armlike": ARM_CORE}

@@ -1,0 +1,21 @@
+"""Workloads: SPEC-CPU2006-like mini benchmarks plus the httpd daemon."""
+
+from .suite import (
+    ISOMERON_COMPARISON_NAMES,
+    SPEC_NAMES,
+    WORKLOADS,
+    Workload,
+    compile_workload,
+    get_workload,
+    spec_workloads,
+)
+
+__all__ = [
+    "ISOMERON_COMPARISON_NAMES",
+    "SPEC_NAMES",
+    "WORKLOADS",
+    "Workload",
+    "compile_workload",
+    "get_workload",
+    "spec_workloads",
+]

@@ -1,0 +1,1 @@
+"""Mini-benchmark source programs, one module per SPEC-like workload."""

@@ -1,0 +1,112 @@
+"""bzip2-mini: block compression kernel.
+
+Mirrors the dominant behaviour of SPEC's bzip2: generate a block of
+pseudo-random bytes, run-length encode it, apply a move-to-front
+transform, and histogram the output — byte-granular array traffic, data-
+dependent branches, and tight inner loops.
+"""
+
+NAME = "bzip2"
+DESCRIPTION = "block compression: RLE + move-to-front + histogram"
+#: relative weight of call-heavy vs loop-heavy phases (used by the
+#: migration policy model: phase 0 prefers the big core, phase 1 is memory
+#: bound and migrates well to the little core)
+PHASES = ("compress", "histogram")
+
+SOURCE_TEMPLATE = """
+int seed = 12345;
+char block[256];
+char encoded[512];
+char mtf[256];
+int freq[64];
+
+int next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (seed >> 8) % 17;
+}
+
+int fill_block(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        block[i] = next_rand();
+        i = i + 1;
+    }
+    return n;
+}
+
+int rle_encode(int n) {
+    int i; int out; int run; int value;
+    i = 0; out = 0;
+    while (i < n) {
+        value = block[i];
+        run = 1;
+        while (i + run < n && block[i + run] == value && run < 255) {
+            run = run + 1;
+        }
+        encoded[out] = value;
+        encoded[out + 1] = run;
+        out = out + 2;
+        i = i + run;
+    }
+    return out;
+}
+
+int mtf_init() {
+    int i;
+    i = 0;
+    while (i < 64) { mtf[i] = i; i = i + 1; }
+    return 0;
+}
+
+int mtf_encode(int length) {
+    int i; int j; int value; int pos; int sum;
+    sum = 0;
+    i = 0;
+    while (i < length) {
+        value = encoded[i];
+        pos = 0;
+        while (mtf[pos] != value && pos < 63) { pos = pos + 1; }
+        j = pos;
+        while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+        mtf[0] = value;
+        sum = sum + pos;
+        i = i + 1;
+    }
+    return sum;
+}
+
+int histogram(int length) {
+    int i; int checksum;
+    i = 0;
+    while (i < 64) { freq[i] = 0; i = i + 1; }
+    i = 0;
+    while (i < length) {
+        freq[encoded[i] % 64] = freq[encoded[i] % 64] + 1;
+        i = i + 1;
+    }
+    checksum = 0;
+    i = 0;
+    while (i < 64) { checksum = checksum + freq[i] * i; i = i + 1; }
+    return checksum;
+}
+
+int main() {
+    int round; int checksum; int length;
+    checksum = 0;
+    round = 0;
+    mtf_init();
+    while (round < {work}) {
+        fill_block(200);
+        length = rle_encode(200);
+        checksum = checksum + mtf_encode(length);
+        checksum = checksum + histogram(length);
+        round = round + 1;
+    }
+    return checksum % 100000;
+}
+"""
+
+
+def make_source(work: int = 3) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

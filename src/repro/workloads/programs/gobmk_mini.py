@@ -1,0 +1,97 @@
+"""gobmk-mini: game-tree search kernel.
+
+Mirrors SPEC's gobmk behaviour profile: deep recursion over a game tree,
+branchy board evaluation, and *function-pointer dispatch* between move
+evaluators — gobmk is the paper's example of a workload making tens of
+thousands of function-pointer calls per second (Section 7.2).
+"""
+
+NAME = "gobmk"
+DESCRIPTION = "game-tree search with function-pointer move evaluators"
+PHASES = ("search", "evaluate")
+
+SOURCE_TEMPLATE = """
+int board[81];
+int seed = 777;
+
+int next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed >> 16;
+}
+
+int eval_territory(int pos) {
+    int score; int i;
+    score = 0;
+    i = pos % 9;
+    while (i < 81) {
+        score = score + board[i] * (9 - (i % 9));
+        i = i + 9;
+    }
+    return score;
+}
+
+int eval_influence(int pos) {
+    int score; int i;
+    score = 0;
+    i = 0;
+    while (i < 9) {
+        score = score + board[(pos + i * 7) % 81] * (i + 1);
+        i = i + 1;
+    }
+    return score;
+}
+
+int eval_capture(int pos) {
+    int neighbors; int p;
+    neighbors = 0;
+    p = pos % 81;
+    if (p > 8)  { neighbors = neighbors + board[p - 9]; }
+    if (p < 72) { neighbors = neighbors + board[p + 9]; }
+    if (p % 9 > 0) { neighbors = neighbors + board[p - 1]; }
+    if (p % 9 < 8) { neighbors = neighbors + board[p + 1]; }
+    return neighbors * 3;
+}
+
+int dispatch_eval(int which, int pos) {
+    int f;
+    if (which == 0) { f = &eval_territory; }
+    else if (which == 1) { f = &eval_influence; }
+    else { f = &eval_capture; }
+    return f(pos);
+}
+
+int search(int depth, int pos, int color) {
+    int best; int move; int score; int child;
+    if (depth == 0) {
+        return dispatch_eval(pos % 3, pos);
+    }
+    best = 0 - 1000000;
+    move = 0;
+    while (move < 4) {
+        child = (pos * 5 + move * 17 + depth) % 81;
+        board[child] = color;
+        score = 0 - search(depth - 1, child, 0 - color);
+        board[child] = 0;
+        if (score > best) { best = score; }
+        move = move + 1;
+    }
+    return best;
+}
+
+int main() {
+    int i; int total; int round;
+    i = 0;
+    while (i < 81) { board[i] = (next_rand() % 3) - 1; i = i + 1; }
+    total = 0;
+    round = 0;
+    while (round < {work}) {
+        total = total + search(4, (round * 13) % 81, 1);
+        round = round + 1;
+    }
+    return total % 100000;
+}
+"""
+
+
+def make_source(work: int = 3) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,85 @@
+"""hmmer-mini: profile-HMM dynamic-programming kernel.
+
+Mirrors SPEC's hmmer: a Viterbi-style DP over (sequence × model states)
+with three-way max recurrences — the classic long dependent inner loop
+dominated by integer adds, compares, and array loads.
+"""
+
+NAME = "hmmer"
+DESCRIPTION = "Viterbi dynamic programming over sequence x states"
+PHASES = ("dp",)
+
+SOURCE_TEMPLATE = """
+int match[32];
+int insert[32];
+int delete[32];
+int prev_match[32];
+int prev_insert[32];
+int prev_delete[32];
+int emissions[64];
+int seed = 424242;
+
+int next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (seed >> 12) % 16;
+}
+
+int max2(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+int max3(int a, int b, int c) {
+    return max2(max2(a, b), c);
+}
+
+int viterbi_row(int symbol, int states) {
+    int j; int em; int best_here;
+    best_here = 0 - 1000000;
+    j = 1;
+    while (j < states) {
+        em = emissions[(symbol * 4 + j) % 64];
+        match[j] = max3(prev_match[j - 1], prev_insert[j - 1],
+                        prev_delete[j - 1]) + em;
+        insert[j] = max2(prev_match[j] - 3, prev_insert[j] - 1);
+        delete[j] = max2(match[j - 1] - 4, delete[j - 1] - 1);
+        if (match[j] > best_here) { best_here = match[j]; }
+        j = j + 1;
+    }
+    j = 0;
+    while (j < states) {
+        prev_match[j] = match[j];
+        prev_insert[j] = insert[j];
+        prev_delete[j] = delete[j];
+        j = j + 1;
+    }
+    return best_here;
+}
+
+int main() {
+    int i; int row; int best; int states; int rounds;
+    states = 24;
+    i = 0;
+    while (i < 64) { emissions[i] = next_rand() - 6; i = i + 1; }
+    best = 0;
+    rounds = 0;
+    while (rounds < {work}) {
+        i = 0;
+        while (i < states) {
+            prev_match[i] = 0; prev_insert[i] = 0 - 10; prev_delete[i] = 0 - 10;
+            i = i + 1;
+        }
+        row = 0;
+        while (row < 40) {
+            best = best + viterbi_row(next_rand(), states);
+            row = row + 1;
+        }
+        rounds = rounds + 1;
+    }
+    return best % 100000;
+}
+"""
+
+
+def make_source(work: int = 3) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,125 @@
+"""httpd-mini: request-parsing network daemon.
+
+The paper's §7.1 evaluates HIPStR on the network-facing daemon httpd, "a
+classic target of ROP attacks".  This mini reproduces that shape: read
+request bytes from stdin into a fixed stack-adjacent buffer (the overflow
+vector), parse the method/path with byte-level string code, dispatch
+handlers through a function-pointer table, and write a response — exactly
+the string-heavy, indirect-call-rich profile the attack framework mines.
+"""
+
+NAME = "httpd"
+DESCRIPTION = "HTTP-style daemon: parse requests, dispatch handlers"
+PHASES = ("parse", "respond")
+
+SOURCE_TEMPLATE = """
+char reqbuf[128];
+char outbuf[128];
+char ok_line[20] = "HTTP/1.0 200 OK\\n";
+char notfound_line[24] = "HTTP/1.0 404 MISSING\\n";
+char get_word[4] = "GET";
+char post_word[8] = "POST";
+int handled = 0;
+
+int str_eq(int a, int b, int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        if (load8(a + i) != load8(b + i)) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+
+int str_len(int p) {
+    int n;
+    n = 0;
+    while (load8(p + n) != 0) { n = n + 1; }
+    return n;
+}
+
+int copy_bytes(int dst, int src, int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        store8(dst + i, load8(src + i));
+        i = i + 1;
+    }
+    return n;
+}
+
+int read_request() {
+    int n;
+    n = syscall(3, 0, &reqbuf, 127);
+    reqbuf[n] = 0;
+    return n;
+}
+
+int handle_index(int unused) {
+    int n;
+    n = copy_bytes(&outbuf, &ok_line, str_len(&ok_line));
+    syscall(4, 1, &outbuf, n);
+    return 200;
+}
+
+int handle_missing(int unused) {
+    int n;
+    n = copy_bytes(&outbuf, &notfound_line, str_len(&notfound_line));
+    syscall(4, 1, &outbuf, n);
+    return 404;
+}
+
+int parse_method(int length) {
+    // returns 1 for GET, 2 for POST, 0 for anything else
+    if (length >= 3 && str_eq(&reqbuf, &get_word, 3)) { return 1; }
+    if (length >= 4 && str_eq(&reqbuf, &post_word, 4)) { return 2; }
+    return 0;
+}
+
+int find_path(int length) {
+    int i;
+    i = 0;
+    while (i < length && load8(&reqbuf + i) != ' ') { i = i + 1; }
+    return i + 1;
+}
+
+int serve_one() {
+    int length; int method; int path; int handler; int status;
+    length = read_request();
+    if (length <= 0) { return 0 - 1; }
+    method = parse_method(length);
+    path = find_path(length);
+    handler = &handle_missing;
+    if (method == 1) {
+        if (load8(&reqbuf + path) == '/') {
+            handler = &handle_index;
+        }
+    }
+    status = handler(0);
+    handled = handled + 1;
+    return status;
+}
+
+int main() {
+    int round; int total; int status;
+    total = 0;
+    round = 0;
+    while (round < {work}) {
+        status = serve_one();
+        if (status < 0) { break; }
+        total = total + status;
+        round = round + 1;
+    }
+    return total % 100000;
+}
+"""
+
+#: a stream of requests for the daemon to serve (fed to stdin)
+DEFAULT_STDIN = (b"GET / HTTP/1.0\n".ljust(127, b" ")
+                 + b"GET /missing.html\n".ljust(127, b" ")
+                 + b"POST /form\n".ljust(127, b" ")
+                 + b"GET / again\n".ljust(127, b" "))
+
+
+def make_source(work: int = 4) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,71 @@
+"""lbm-mini: lattice-Boltzmann stencil kernel.
+
+Mirrors SPEC's lbm: regular sweeps over a grid applying a neighbour
+stencil — streaming memory access with almost no branches, the most
+cache-bandwidth-bound program in the suite.
+"""
+
+NAME = "lbm"
+DESCRIPTION = "lattice relaxation stencil sweeps over a 2-D grid"
+PHASES = ("stream",)
+
+SOURCE_TEMPLATE = """
+int grid[400];
+int next[400];
+
+int init_grid(int width, int height) {
+    int i;
+    i = 0;
+    while (i < width * height) {
+        grid[i] = (i * 7 + 3) % 97;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int relax(int width, int height) {
+    int x; int y; int idx; int acc;
+    y = 1;
+    while (y < height - 1) {
+        x = 1;
+        while (x < width - 1) {
+            idx = y * width + x;
+            acc = grid[idx] * 4;
+            acc = acc + grid[idx - 1] + grid[idx + 1];
+            acc = acc + grid[idx - width] + grid[idx + width];
+            next[idx] = acc / 8;
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+    y = 1;
+    while (y < height - 1) {
+        x = 1;
+        while (x < width - 1) {
+            idx = y * width + x;
+            grid[idx] = next[idx];
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+    return grid[(height / 2) * width + width / 2];
+}
+
+int main() {
+    int sweep; int checksum; int width; int height;
+    width = 20;
+    height = 20;
+    init_grid(width, height);
+    checksum = 0;
+    sweep = 0;
+    while (sweep < {work}) {
+        checksum = checksum + relax(width, height);
+        sweep = sweep + 1;
+    }
+    return checksum % 100000;
+}
+"""
+
+
+def make_source(work: int = 10) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,95 @@
+"""libquantum-mini: quantum gate simulation kernel.
+
+Mirrors SPEC's libquantum: applying gates to a register of basis states —
+bit-manipulation-heavy loops (XOR toggles for NOT gates, conditional bit
+tests for controlled gates) over a state-vector array.
+"""
+
+NAME = "libquantum"
+DESCRIPTION = "quantum register simulation: bitwise gate loops"
+PHASES = ("gates",)
+
+SOURCE_TEMPLATE = """
+int states[256];
+
+int init_register(int n) {
+    int i;
+    i = 0;
+    while (i < n) { states[i] = i; i = i + 1; }
+    return 0;
+}
+
+int sigma_x(int n, int target) {
+    int i; int mask;
+    mask = 1 << target;
+    i = 0;
+    while (i < n) {
+        states[i] = states[i] ^ mask;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int controlled_not(int n, int control, int target) {
+    int i; int cmask; int tmask;
+    cmask = 1 << control;
+    tmask = 1 << target;
+    i = 0;
+    while (i < n) {
+        if (states[i] & cmask) {
+            states[i] = states[i] ^ tmask;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int toffoli(int n, int c1, int c2, int target) {
+    int i; int m1; int m2; int tmask;
+    m1 = 1 << c1;
+    m2 = 1 << c2;
+    tmask = 1 << target;
+    i = 0;
+    while (i < n) {
+        if (states[i] & m1) {
+            if (states[i] & m2) {
+                states[i] = states[i] ^ tmask;
+            }
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int checksum(int n) {
+    int i; int sum;
+    sum = 0;
+    i = 0;
+    while (i < n) { sum = sum ^ (states[i] * (i + 1)); i = i + 1; }
+    return sum;
+}
+
+int main() {
+    int round; int n; int bit; int result;
+    n = 200;
+    init_register(n);
+    round = 0;
+    while (round < {work}) {
+        bit = 0;
+        while (bit < 7) {
+            sigma_x(n, bit);
+            controlled_not(n, bit, (bit + 1) % 8);
+            toffoli(n, bit, (bit + 2) % 8, (bit + 4) % 8);
+            bit = bit + 1;
+        }
+        round = round + 1;
+    }
+    result = checksum(n);
+    if (result < 0) { result = 0 - result; }
+    return result % 100000;
+}
+"""
+
+
+def make_source(work: int = 5) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

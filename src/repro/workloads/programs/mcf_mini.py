@@ -1,0 +1,92 @@
+"""mcf-mini: network-simplex pointer-chasing kernel.
+
+Mirrors SPEC's mcf: walking arc/node structures of a flow network with
+data-dependent, cache-hostile access patterns — the classic
+pointer-chasing, latency-bound benchmark.
+"""
+
+NAME = "mcf"
+DESCRIPTION = "minimum-cost-flow style arc/node pointer chasing"
+PHASES = ("chase", "price")
+
+SOURCE_TEMPLATE = """
+int node_next[128];
+int node_potential[128];
+int arc_from[256];
+int arc_to[256];
+int arc_cost[256];
+int seed = 31337;
+
+int next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed >> 7;
+}
+
+int build_network(int nodes, int arcs) {
+    int i;
+    i = 0;
+    while (i < nodes) {
+        node_next[i] = next_rand() % nodes;
+        node_potential[i] = next_rand() % 1000;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < arcs) {
+        arc_from[i] = next_rand() % nodes;
+        arc_to[i] = next_rand() % nodes;
+        arc_cost[i] = (next_rand() % 200) - 100;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int chase(int start, int steps, int nodes) {
+    int node; int sum; int i;
+    node = start % nodes;
+    sum = 0;
+    i = 0;
+    while (i < steps) {
+        sum = sum + node_potential[node];
+        node = node_next[node];
+        i = i + 1;
+    }
+    return sum;
+}
+
+int price_arcs(int arcs) {
+    int i; int reduced; int negative;
+    negative = 0;
+    i = 0;
+    while (i < arcs) {
+        reduced = arc_cost[i] + node_potential[arc_from[i]]
+                  - node_potential[arc_to[i]];
+        if (reduced < 0) {
+            negative = negative + 1;
+            node_potential[arc_to[i]] = node_potential[arc_to[i]]
+                                        + reduced / 2;
+        }
+        i = i + 1;
+    }
+    return negative;
+}
+
+int main() {
+    int round; int total; int nodes; int arcs;
+    nodes = 100;
+    arcs = 240;
+    build_network(nodes, arcs);
+    total = 0;
+    round = 0;
+    while (round < {work}) {
+        total = total + chase(round * 11, 300, nodes);
+        total = total + price_arcs(arcs);
+        round = round + 1;
+    }
+    if (total < 0) { total = 0 - total; }
+    return total % 100000;
+}
+"""
+
+
+def make_source(work: int = 4) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,77 @@
+"""milc-mini: lattice-QCD arithmetic kernel.
+
+Mirrors SPEC's milc: su3-style small-matrix multiply-accumulate swept
+over a 4-D lattice — integer multiply dense, strided memory access.
+"""
+
+NAME = "milc"
+DESCRIPTION = "4-D lattice su3-style multiply-accumulate sweeps"
+PHASES = ("mult",)
+
+SOURCE_TEMPLATE = """
+int lattice[648];
+int link_m[9];
+int result[9];
+
+int init_lattice(int sites) {
+    int i;
+    i = 0;
+    while (i < sites * 9) {
+        lattice[i] = (i * 13 + 7) % 23 - 11;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 9) { link_m[i] = (i * 5 + 1) % 7 - 3; i = i + 1; }
+    return 0;
+}
+
+int su3_mult(int site_base) {
+    int row; int col; int k; int acc;
+    row = 0;
+    while (row < 3) {
+        col = 0;
+        while (col < 3) {
+            acc = 0;
+            k = 0;
+            while (k < 3) {
+                acc = acc + lattice[site_base + row * 3 + k]
+                            * link_m[k * 3 + col];
+                k = k + 1;
+            }
+            result[row * 3 + col] = acc;
+            col = col + 1;
+        }
+        row = row + 1;
+    }
+    return result[0] + result[4] + result[8];
+}
+
+int sweep(int sites) {
+    int site; int trace_sum;
+    trace_sum = 0;
+    site = 0;
+    while (site < sites) {
+        trace_sum = trace_sum + su3_mult(site * 9);
+        site = site + 1;
+    }
+    return trace_sum;
+}
+
+int main() {
+    int round; int total; int sites;
+    sites = 72;
+    init_lattice(sites);
+    total = 0;
+    round = 0;
+    while (round < {work}) {
+        total = total + sweep(sites);
+        round = round + 1;
+    }
+    if (total < 0) { total = 0 - total; }
+    return total % 100000;
+}
+"""
+
+
+def make_source(work: int = 8) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

@@ -1,0 +1,93 @@
+"""sphinx3-mini: GMM acoustic-scoring kernel.
+
+Mirrors SPEC's sphinx3: Gaussian-mixture scoring of feature frames —
+nested loops computing per-component squared distances with a running
+best-score reduction, plus a senone dispatch layer of small calls.
+"""
+
+NAME = "sphinx3"
+DESCRIPTION = "GMM scoring: distance loops with best-score reduction"
+PHASES = ("score", "normalize")
+
+SOURCE_TEMPLATE = """
+int means[256];
+int variances[256];
+int features[16];
+int scores[32];
+int seed = 90210;
+
+int next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (seed >> 10) % 32;
+}
+
+int init_model(int components, int dims) {
+    int i;
+    i = 0;
+    while (i < components * dims) {
+        means[i] = next_rand() - 16;
+        variances[i] = (next_rand() % 7) + 1;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int component_score(int component, int dims) {
+    int d; int diff; int score; int base;
+    base = component * dims;
+    score = 0;
+    d = 0;
+    while (d < dims) {
+        diff = features[d] - means[base + d];
+        score = score + diff * diff / variances[base + d];
+        d = d + 1;
+    }
+    return 0 - score;
+}
+
+int score_frame(int components, int dims) {
+    int c; int best; int s;
+    best = 0 - 1000000;
+    c = 0;
+    while (c < components) {
+        s = component_score(c, dims);
+        scores[c] = s;
+        if (s > best) { best = s; }
+        c = c + 1;
+    }
+    return best;
+}
+
+int normalize(int components, int best) {
+    int c; int total;
+    total = 0;
+    c = 0;
+    while (c < components) {
+        total = total + (scores[c] - best);
+        c = c + 1;
+    }
+    return total;
+}
+
+int main() {
+    int frame; int total; int d; int best; int components; int dims;
+    components = 16;
+    dims = 12;
+    init_model(components, dims);
+    total = 0;
+    frame = 0;
+    while (frame < {work}) {
+        d = 0;
+        while (d < dims) { features[d] = next_rand() - 16; d = d + 1; }
+        best = score_frame(components, dims);
+        total = total + best - normalize(components, best) / 8;
+        frame = frame + 1;
+    }
+    if (total < 0) { total = 0 - total; }
+    return total % 100000;
+}
+"""
+
+
+def make_source(work: int = 10) -> str:
+    return SOURCE_TEMPLATE.replace("{work}", str(work))

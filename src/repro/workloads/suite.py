@@ -1,0 +1,108 @@
+"""Workload registry: the SPEC-CPU2006-like mini suite plus httpd.
+
+The paper evaluates the eight SPEC CPU2006 C benchmarks that survive its
+PSR prototype's no-variable-size-frames restriction (bzip2, gobmk, hmmer,
+lbm, libquantum, mcf, milc, sphinx3 — gcc and sjeng excluded, §6), plus
+the httpd daemon for the case study in §7.1.  Each mini here mimics its
+namesake's dominant kernel; all are compiled through the same multi-ISA
+pipeline, so their gadget populations and instruction mixes come out of a
+real (if small) compiler, not hand-picked bytes.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compiler import FatBinary, compile_minic
+from .programs import (
+    bzip2_mini,
+    gobmk_mini,
+    hmmer_mini,
+    httpd_mini,
+    lbm_mini,
+    libquantum_mini,
+    mcf_mini,
+    milc_mini,
+    sphinx3_mini,
+)
+
+#: benchmark order used throughout the paper's figures
+SPEC_NAMES = ("bzip2", "gobmk", "hmmer", "lbm",
+              "libquantum", "mcf", "milc", "sphinx3")
+
+#: the six applications Figure 14's Isomeron comparison uses
+ISOMERON_COMPARISON_NAMES = ("bzip2", "gobmk", "hmmer",
+                             "libquantum", "mcf", "sphinx3")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: metadata plus a source generator."""
+
+    name: str
+    description: str
+    phases: Tuple[str, ...]
+    make_source: Callable[[int], str]
+    default_work: int
+    stdin: bytes = b""
+
+    def source(self, work: Optional[int] = None) -> str:
+        return self.make_source(self.default_work if work is None else work)
+
+    def compile(self, work: Optional[int] = None) -> FatBinary:
+        return compile_workload(self.name, self.default_work
+                                if work is None else work)
+
+
+_MODULES = {
+    "bzip2": bzip2_mini,
+    "gobmk": gobmk_mini,
+    "hmmer": hmmer_mini,
+    "lbm": lbm_mini,
+    "libquantum": libquantum_mini,
+    "mcf": mcf_mini,
+    "milc": milc_mini,
+    "sphinx3": sphinx3_mini,
+    "httpd": httpd_mini,
+}
+
+_DEFAULT_WORK = {
+    "bzip2": 3, "gobmk": 3, "hmmer": 3, "lbm": 10,
+    "libquantum": 5, "mcf": 4, "milc": 8, "sphinx3": 10, "httpd": 4,
+}
+
+WORKLOADS: Dict[str, Workload] = {
+    name: Workload(
+        name=name,
+        description=module.DESCRIPTION,
+        phases=tuple(module.PHASES),
+        make_source=module.make_source,
+        default_work=_DEFAULT_WORK[name],
+        stdin=getattr(module, "DEFAULT_STDIN", b""),
+    )
+    for name, module in _MODULES.items()
+}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def spec_workloads() -> List[Workload]:
+    """The eight SPEC-like minis, in the paper's figure order."""
+    return [WORKLOADS[name] for name in SPEC_NAMES]
+
+
+@functools.lru_cache(maxsize=32)
+def compile_workload(name: str, work: Optional[int] = None) -> FatBinary:
+    """Compile a workload to its fat binary (cached — compilation is pure)."""
+    workload = get_workload(name)
+    actual = workload.default_work if work is None else work
+    return compile_minic(workload.make_source(actual))

@@ -1,0 +1,96 @@
+"""Tests for the analysis layer: drivers, perf runs, reporting."""
+
+import pytest
+
+from repro.analysis import experiments, perfrun
+from repro.analysis.reporting import (
+    format_bar_chart,
+    format_series,
+    format_table,
+    percent,
+)
+from repro.core import PSRConfig
+from repro.workloads import compile_workload
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [(1, 2.5), ("x", 3)], "Title")
+        assert "Title" in text
+        assert "a" in text and "2.5" in text
+        assert "---" in text
+
+    def test_format_bar_chart(self):
+        text = format_bar_chart(["one", "two"], [1.0, 2.0], "Bars")
+        assert "Bars" in text
+        assert text.count("|") == 2
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_format_series(self):
+        text = format_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, [10, 20])
+        assert "s1" in text and "s2" in text
+
+    def test_percent(self):
+        assert percent(0.5) == "50.00%"
+
+    def test_empty_chart(self):
+        assert format_bar_chart([], []) == ""
+
+
+class TestPerfRuns:
+    @pytest.fixture(scope="class")
+    def binary(self):
+        return compile_workload("mcf", 2)
+
+    def test_native_measurement(self, binary):
+        measurement = perfrun.measure_native(binary, warmup=10_000)
+        assert measurement.instructions > 1000
+        assert measurement.cycles > 0
+        assert 0 < measurement.cpi < 20
+
+    def test_psr_measurement_slower_than_native(self, binary):
+        native = perfrun.measure_native(binary, warmup=10_000)
+        psr, vm = perfrun.measure_psr(binary, seed=0, warmup=10_000)
+        assert psr.relative_to(native) < 1.05
+        assert vm.stats.units_installed > 0
+
+    def test_isomeron_slower_than_psr(self, binary):
+        native = perfrun.measure_native(binary, warmup=10_000)
+        psr, _ = perfrun.measure_psr(binary, seed=0, warmup=10_000)
+        isomeron = perfrun.measure_isomeron(
+            binary, diversification_probability=0.5, warmup=10_000)
+        assert isomeron.relative_to(native) < psr.relative_to(native)
+
+    def test_hipstr_measurement(self, binary):
+        measured = perfrun.measure_hipstr(binary, seed=0,
+                                          migration_probability=0.0,
+                                          warmup=10_000)
+        assert measured.result.result.reason == "halt"
+        assert measured.measurement.instructions > 0
+
+
+class TestDrivers:
+    def test_fig3_single_benchmark(self):
+        rows = experiments.fig3_classic_rop(("mcf",))
+        assert len(rows) == 1
+        assert rows[0].total_gadgets == \
+            rows[0].obfuscated + rows[0].unobfuscated
+
+    def test_fig6_driver(self):
+        rows = experiments.fig6_migration_safety(("mcf",))
+        assert rows[0].total_blocks > 0
+        assert 0 <= rows[0].native_fraction <= 1
+
+    def test_fig7_driver_is_pure(self):
+        a = experiments.fig7_entropy((1, 2, 3))
+        b = experiments.fig7_entropy((1, 2, 3))
+        assert a == b
+        assert set(a) == {"isomeron", "het_isa", "psr",
+                          "psr+isomeron", "hipstr"}
+
+    def test_httpd_case_study_fields(self):
+        study = experiments.httpd_case_study()
+        assert study.total_gadgets > 0
+        assert 0 <= study.obfuscated_fraction <= 1
+        assert study.surviving_migration >= 0

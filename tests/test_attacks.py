@@ -1,0 +1,307 @@
+"""Tests for the attack framework: mining, evaluation, simulations."""
+
+import pytest
+
+from repro.attacks import (
+    PSRGadgetAnalyzer,
+    attack_native,
+    attack_psr,
+    build_exploit,
+    build_vulnerable_binary,
+    evaluate_gadget,
+    evaluate_instructions,
+    find_syscall_staging,
+    gadget_population_summary,
+    mine_binary,
+    mine_gadgets,
+    simulate_brute_force,
+)
+from repro.attacks.blindrop import (
+    CrashOracleVictim,
+    attack_incremental,
+    attack_random_guessing,
+    campaign,
+    expected_attempts,
+)
+from repro.attacks.galileo import Gadget, find_ending_offsets
+from repro.attacks.tailored import entropy_series, measure_immunity
+from repro.core import PSRConfig
+from repro.isa import ARMLIKE, Imm, Instruction, Mem, Op, Reg, X86LIKE
+from repro.isa.x86like import EAX, EBX, ECX, EDX
+from repro.workloads import compile_workload
+
+import random
+
+
+@pytest.fixture(scope="module")
+def mcf_binary():
+    return compile_workload("mcf")
+
+
+@pytest.fixture(scope="module")
+def mcf_gadgets(mcf_binary):
+    return mine_binary(mcf_binary, "x86like")
+
+
+# ----------------------------------------------------------------------
+# Galileo mining
+# ----------------------------------------------------------------------
+class TestGalileo:
+    def test_finds_ret_endings(self):
+        # pop ebx; ret  assembled by hand
+        code = X86LIKE.encode(Instruction(Op.POP, (Reg(EBX),)), 0) + b"\xC3"
+        offsets = find_ending_offsets(X86LIKE, code)
+        assert 1 in offsets
+
+    def test_mines_pop_ret_gadget(self):
+        code = X86LIKE.encode(Instruction(Op.POP, (Reg(EBX),)), 0) + b"\xC3"
+        gadgets = mine_gadgets(X86LIKE, code, 0x1000)
+        addresses = {g.address for g in gadgets}
+        assert 0x1000 in addresses            # pop ebx; ret
+        assert 0x1001 in addresses            # bare ret
+
+    def test_unintentional_gadget_from_modrm(self):
+        # mov ebx, eax encodes as 89 C3: the C3 byte is a hidden ret.
+        code = X86LIKE.encode(
+            Instruction(Op.MOV, (Reg(EBX), Reg(EAX))), 0)
+        assert code == b"\x89\xc3"
+        gadgets = mine_gadgets(X86LIKE, code, 0)
+        assert any(g.address == 1 and not g.intended
+                   for g in gadgets) or all(g.address == 1 for g in gadgets)
+
+    def test_armlike_is_alignment_restricted(self, mcf_binary):
+        arm = mine_binary(mcf_binary, "armlike")
+        summary = gadget_population_summary(arm)
+        assert summary["unintended"] == 0     # strict alignment
+
+    def test_x86like_has_unintended_gadgets(self, mcf_gadgets):
+        summary = gadget_population_summary(mcf_gadgets)
+        assert summary["unintended"] > 0
+        assert summary["total"] == summary["intended"] + summary["unintended"]
+
+    def test_gadget_bounds(self, mcf_gadgets):
+        for gadget in mcf_gadgets:
+            assert 1 <= gadget.length <= 9
+            assert gadget.instructions[-1].op in (Op.RET, Op.IJMP, Op.ICALL)
+            for ins in gadget.body:
+                assert not ins.is_control()
+
+
+# ----------------------------------------------------------------------
+# Semantic gadget evaluation
+# ----------------------------------------------------------------------
+class TestGadgetEvaluation:
+    def test_pop_ret_populates_register(self):
+        effect = evaluate_instructions(X86LIKE, [
+            Instruction(Op.POP, (Reg(EBX),)),
+            Instruction(Op.RET),
+        ])
+        assert effect.completed
+        assert EBX in effect.populated
+        assert effect.is_viable
+        assert effect.stack_delta == 8        # pop + ret
+
+    def test_nop_ret_populates_nothing(self):
+        effect = evaluate_instructions(X86LIKE, [Instruction(Op.RET)])
+        assert effect.completed
+        assert not effect.populated
+        assert not effect.is_viable
+
+    def test_load_from_stack_is_viable(self):
+        effect = evaluate_instructions(X86LIKE, [
+            Instruction(Op.LOAD, (Reg(EAX), Mem(X86LIKE.sp, 0x20))),
+            Instruction(Op.RET),
+        ])
+        assert effect.is_viable
+        assert EAX in effect.populated
+
+    def test_crashing_gadget_not_viable(self):
+        effect = evaluate_instructions(X86LIKE, [
+            Instruction(Op.LOAD, (Reg(EAX), Mem(EBX, 0))),   # wild pointer
+            Instruction(Op.RET),
+        ])
+        assert not effect.completed
+        assert not effect.is_viable
+
+    def test_arithmetic_marks_clobber_not_populate(self):
+        effect = evaluate_instructions(X86LIKE, [
+            Instruction(Op.ADD, (Reg(EAX), Imm(1))),
+            Instruction(Op.RET),
+        ])
+        assert effect.completed
+        assert EAX in effect.clobbered
+        assert EAX not in effect.populated
+
+    def test_armlike_gadgets_evaluate(self):
+        effect = evaluate_instructions(ARMLIKE, [
+            Instruction(Op.POP, (Reg(4),)),
+            Instruction(Op.RET),
+        ])
+        assert effect.is_viable
+        assert 4 in effect.populated
+
+    def test_behaviour_equality(self):
+        a = evaluate_instructions(X86LIKE, [
+            Instruction(Op.POP, (Reg(EBX),)), Instruction(Op.RET)])
+        b = evaluate_instructions(X86LIKE, [
+            Instruction(Op.POP, (Reg(EBX),)), Instruction(Op.RET)])
+        c = evaluate_instructions(X86LIKE, [
+            Instruction(Op.POP, (Reg(ECX),)), Instruction(Op.RET)])
+        assert a.same_behaviour(b)
+        assert not a.same_behaviour(c)
+
+
+# ----------------------------------------------------------------------
+# PSR gadget analysis
+# ----------------------------------------------------------------------
+class TestPSRAnalysis:
+    def test_every_stack_gadget_is_obfuscated(self, mcf_binary, mcf_gadgets):
+        analyzer = PSRGadgetAnalyzer(mcf_binary, "x86like", seed=1)
+        for analysis in analyzer.analyze_all(mcf_gadgets[:60]):
+            if analysis.touches_stack:
+                assert analysis.obfuscated
+
+    def test_some_gadgets_survive_for_bruteforce(self, mcf_binary,
+                                                 mcf_gadgets):
+        analyzer = PSRGadgetAnalyzer(mcf_binary, "x86like", seed=1)
+        analyses = analyzer.analyze_all(mcf_gadgets)
+        surviving = [a for a in analyses if a.brute_force_viable]
+        assert 0 < len(surviving) < len(analyses)
+
+    def test_permutation_changes_pop_target(self, mcf_binary):
+        """A pop into an unmapped register is re-pointed by the permutation."""
+        analyzer = PSRGadgetAnalyzer(mcf_binary, "x86like", seed=1)
+        info = next(iter(mcf_binary.symtab))
+        reloc = analyzer.reloc_for(info.name)
+        assert set(reloc.register_permutation) == set(X86LIKE.allocatable)
+        assert sorted(reloc.register_permutation.values()) == \
+            sorted(X86LIKE.allocatable)
+
+    def test_different_seeds_give_different_rewrites(self, mcf_binary,
+                                                     mcf_gadgets):
+        a = PSRGadgetAnalyzer(mcf_binary, "x86like", seed=1)
+        b = PSRGadgetAnalyzer(mcf_binary, "x86like", seed=2)
+        differs = 0
+        for gadget in mcf_gadgets[:40]:
+            ra = a.analyze(gadget).rewritten
+            rb = b.analyze(gadget).rewritten
+            if ra != rb:
+                differs += 1
+        assert differs > 0
+
+
+# ----------------------------------------------------------------------
+# Brute force (Algorithm 1)
+# ----------------------------------------------------------------------
+class TestBruteForce:
+    def test_simulation_produces_astronomical_attempts(self, mcf_binary):
+        result = simulate_brute_force(mcf_binary, "mcf", seed=0)
+        assert result.attempts > 1e15
+        assert result.total_gadgets > 0
+        assert 0 < result.viable_gadgets <= result.total_gadgets
+        assert result.entropy_bits >= 13.0
+
+    def test_chain_links_target_distinct_registers(self, mcf_binary):
+        result = simulate_brute_force(mcf_binary, "mcf", seed=0)
+        registers = [link.register for link in result.chain]
+        assert len(set(registers)) == len(registers)
+
+    def test_deterministic(self, mcf_binary):
+        a = simulate_brute_force(mcf_binary, "mcf", seed=5)
+        b = simulate_brute_force(mcf_binary, "mcf", seed=5)
+        assert a.attempts == b.attempts
+
+
+# ----------------------------------------------------------------------
+# Blind-ROP
+# ----------------------------------------------------------------------
+class TestBlindROP:
+    def test_incremental_beats_fixed_secret(self):
+        rng = random.Random(1)
+        victim = CrashOracleVictim(16, rerandomize_on_crash=False, rng=rng)
+        outcome = attack_incremental(victim)
+        assert outcome.succeeded
+        assert outcome.attempts <= 17 + 1     # one probe per bit + final
+
+    def test_rerandomization_defeats_incremental(self):
+        successes = 0
+        for trial in range(10):
+            rng = random.Random(trial)
+            victim = CrashOracleVictim(12, rerandomize_on_crash=True,
+                                       rng=rng)
+            if attack_incremental(victim).succeeded:
+                successes += 1
+        assert successes <= 2      # guessing-level success only
+
+    def test_random_guessing_cost_scales_exponentially(self):
+        rng = random.Random(7)
+        victim = CrashOracleVictim(8, rerandomize_on_crash=True, rng=rng)
+        outcome = attack_random_guessing(victim, rng, max_attempts=100_000)
+        assert outcome.succeeded
+        assert outcome.attempts > 8           # far beyond linear
+
+    def test_expected_attempts_analytic(self):
+        assert expected_attempts(20, rerandomizes=False) == 21.0
+        assert expected_attempts(20, rerandomizes=True) == 2.0 ** 20
+
+    def test_campaign_summary(self):
+        stats = campaign(secret_bits=8, trials=5, seed=1)
+        assert stats["load-time"]["success_rate"] == 1.0
+        assert stats["load-time"]["mean_attempts"] < 16
+        assert stats["psr"]["mean_attempts"] > \
+            stats["load-time"]["mean_attempts"]
+
+
+# ----------------------------------------------------------------------
+# Tailored attacks
+# ----------------------------------------------------------------------
+class TestTailored:
+    def test_entropy_series_shapes(self):
+        series = entropy_series([1, 4, 8], psr_bits_per_gadget=13.0)
+        assert series["isomeron"] == [2.0, 16.0, 256.0]
+        assert series["hipstr"][0] == 2.0 * 2**13
+        assert series["hipstr"][2] > series["isomeron"][2]
+
+    def test_immunity_cross_isa_is_rarer(self, mcf_binary):
+        immunity = measure_immunity(mcf_binary, "mcf", seed=0)
+        assert immunity.viable_gadgets > 0
+        assert immunity.cross_isa_immune <= immunity.same_isa_immune
+        # cross-ISA immune gadgets are essentially nonexistent
+        assert immunity.cross_isa_immune <= 2
+
+
+# ----------------------------------------------------------------------
+# End-to-end exploit
+# ----------------------------------------------------------------------
+class TestExploit:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        binary = build_vulnerable_binary()
+        return binary, build_exploit(binary)
+
+    def test_staging_discovery(self, victim):
+        binary, _ = victim
+        stagings = find_syscall_staging(binary, "x86like")
+        assert stagings
+        for staging in stagings:
+            assert staging.entry_address < staging.syscall_address
+
+    def test_native_attack_spawns_shell(self, victim):
+        binary, payload = victim
+        outcome = attack_native(binary, payload)
+        assert outcome.shell_spawned
+        assert b"/bin/sh" in outcome.spawned[0]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_psr_defeats_the_same_payload(self, victim, seed):
+        binary, payload = victim
+        outcome = attack_psr(binary, payload, seed=seed)
+        assert not outcome.shell_spawned
+
+    def test_benign_input_unharmed_under_psr(self, victim):
+        from repro.core import run_under_psr
+        binary, _ = victim
+        run = run_under_psr(binary, "x86like", seed=0,
+                            stdin=b"hello daemon\n")
+        assert run.result.reason == "halt"
+        assert run.exit_code == 0

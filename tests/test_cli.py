@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SOURCE = "int square(int x) { return x * x; }\nint main() { return square(5); }\n"
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "x.c"])
+        assert args.isa == "x86like"
+        assert not args.psr and not args.hipstr
+        assert args.opt_level == 3
+
+
+class TestCommands:
+    def test_run_native(self, source_file, capsys):
+        code = main(["run", source_file])
+        assert code == 25
+        assert "[native/x86like] exit=25" in capsys.readouterr().out
+
+    def test_run_armlike(self, source_file, capsys):
+        code = main(["run", source_file, "--isa", "armlike"])
+        assert code == 25
+
+    def test_run_psr(self, source_file, capsys):
+        code = main(["run", source_file, "--psr", "--seed", "7"])
+        assert code == 25
+        out = capsys.readouterr().out
+        assert "[psr/x86like] exit=25" in out
+        assert "units=" in out
+
+    def test_run_hipstr(self, source_file, capsys):
+        code = main(["run", source_file, "--hipstr"])
+        assert code == 25
+        assert "migrations=" in capsys.readouterr().out
+
+    def test_stdin_file(self, source_file, tmp_path, capsys):
+        stdin_path = tmp_path / "input.bin"
+        stdin_path.write_bytes(b"ignored")
+        code = main(["run", source_file, "--stdin-file", str(stdin_path)])
+        assert code == 25
+
+    def test_disasm(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+        assert "square:" in out
+        assert "call" in out
+
+    def test_gadgets(self, source_file, capsys):
+        assert main(["gadgets", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "x86like" in out and "armlike" in out
+
+    def test_gadgets_with_psr(self, source_file, capsys):
+        assert main(["gadgets", source_file, "--psr"]) == 0
+        assert "obfuscated" in capsys.readouterr().out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "Entropy" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_exploit_demo(self, capsys):
+        assert main(["exploit-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "shell spawned = True" in out
+        assert "shell spawned = False" in out

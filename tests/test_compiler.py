@@ -1,0 +1,427 @@
+"""Tests for the multi-ISA compiler: parser, lowering, codegen, linking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompileError
+from repro.compiler import compile_minic, compile_source, parse
+from repro.compiler.frames import build_frame_layout
+from repro.compiler.ir import Branch, Call, Const, IRBlock, IRFunction, Jump, Ret
+from repro.compiler.liveness import (
+    compute_liveness,
+    live_after_each_instruction,
+    loop_depths,
+)
+from repro.compiler.regalloc import allocate_registers
+from repro.isa import ARMLIKE, ISAS, X86LIKE
+from repro.machine import Process
+
+
+def run_both(source, expected_exit, max_instructions=2_000_000):
+    """Compile once, execute natively on both ISAs, check the exit code."""
+    binary = compile_minic(source)
+    for isa_name in binary.isa_names:
+        process = Process(binary.to_process_image(), ISAS[isa_name])
+        result = process.run(max_instructions)
+        assert result.reason == "halt", (isa_name, result.reason, result.fault)
+        assert process.os.exit_code == expected_exit, isa_name
+    return binary
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_simple_function(self):
+        program = parse("int main() { return 1; }")
+        assert len(program.functions) == 1
+        assert program.functions[0].name == "main"
+
+    def test_params(self):
+        program = parse("int f(int a, int b, int c) { return a; }")
+        assert program.functions[0].params == ["a", "b", "c"]
+
+    def test_globals(self):
+        program = parse("int x = 5; int tab[4] = {1, 2, 3, 4}; "
+                        "char msg[8] = \"hi\"; int main() { return 0; }")
+        assert [g.name for g in program.globals] == ["x", "tab", "msg"]
+        assert program.globals[2].init_string == b"hi\x00"
+
+    def test_char_literal(self):
+        program = parse("int main() { return 'A'; }")
+        assert program.functions
+
+    def test_comments_ignored(self):
+        parse("// line\n/* block\nspanning */ int main() { return 0; }")
+
+    def test_hex_numbers(self):
+        program = parse("int main() { return 0xFF; }")
+        assert program.functions
+
+    def test_error_on_garbage(self):
+        with pytest.raises(CompileError):
+            parse("int main() { return $; }")
+
+    def test_error_on_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int main() { return 1 }")
+
+    def test_else_if_chain(self):
+        parse("""int main() {
+            int x; x = 3;
+            if (x == 1) { return 1; } else if (x == 2) { return 2; }
+            else { return 3; }
+        }""")
+
+
+# ----------------------------------------------------------------------
+# Lowering / IR
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_ir_validates(self):
+        program = compile_source("int main() { int x; x = 1; return x; }")
+        program.validate()
+        assert "main" in program.functions
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return y; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_call_unknown_function_rejected(self):
+        # unknown names in call position are treated as function pointers,
+        # so an undeclared variable error results
+        with pytest.raises(CompileError):
+            compile_source("int main() { return nosuch(1); }")
+
+    def test_address_taken_scalar_is_memory_local(self):
+        program = compile_source(
+            "int main() { int x; x = 1; int p; p = &x; return load(p); }")
+        assert "x" in program.functions["main"].locals
+
+    def test_arrays_are_locals(self):
+        program = compile_source("int main() { int a[8]; a[0] = 1; return a[0]; }")
+        local = program.functions["main"].locals["a"]
+        assert local.is_array and local.size == 32
+
+    def test_terminators_unique_per_block(self):
+        program = compile_source("""
+            int main() { int i; i = 0;
+                while (i < 3) { if (i == 1) { break; } i = i + 1; }
+                return i; }
+        """)
+        for blk in program.functions["main"].blocks:
+            terminator_count = sum(
+                1 for ins in blk.instructions if ins.is_terminator())
+            assert terminator_count == 1
+            assert blk.instructions[-1].is_terminator()
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+class TestLiveness:
+    def make_loop_function(self):
+        # entry: x=0 -> loop: br x<10 body/exit; body: x=x+1 jump loop
+        from repro.compiler.ir import BinOp
+        entry = IRBlock("entry", [Const("x", 0), Const("ten", 10),
+                                  Jump("loop")])
+        loop = IRBlock("loop", [Branch("<", "x", "ten", "body", "exit")])
+        body = IRBlock("body", [Const("one", 1), BinOp("+", "x", "x", "one"),
+                                Jump("loop")])
+        exit_blk = IRBlock("exit", [Ret("x")])
+        return IRFunction("f", [], [entry, loop, body, exit_blk])
+
+    def test_loop_variable_live_around_loop(self):
+        fn = self.make_loop_function()
+        liveness = compute_liveness(fn)
+        assert "x" in liveness["loop"].live_in
+        assert "x" in liveness["body"].live_out
+        assert "x" not in liveness["entry"].live_in
+
+    def test_live_after_each_instruction(self):
+        fn = self.make_loop_function()
+        liveness = compute_liveness(fn)
+        body = fn.block("body")
+        after = live_after_each_instruction(body, liveness["body"].live_out)
+        assert "x" in after[1]          # after the increment
+        assert "one" not in after[1]
+
+    def test_loop_depths(self):
+        fn = self.make_loop_function()
+        depths = loop_depths(fn)
+        assert depths["body"] >= 1
+        assert depths["entry"] == 0
+
+
+# ----------------------------------------------------------------------
+# Register allocation / frames
+# ----------------------------------------------------------------------
+class TestRegallocAndFrames:
+    def test_hot_values_get_registers(self):
+        program = compile_source("""
+            int main() { int i; int s; s = 0; i = 0;
+                while (i < 100) { s = s + i; i = i + 1; } return s; }
+        """)
+        fn = program.functions["main"]
+        for isa in (X86LIKE, ARMLIKE):
+            allocation = allocate_registers(fn, isa)
+            assert "i" in allocation.registers
+            assert "s" in allocation.registers
+            for reg in allocation.registers.values():
+                assert reg in isa.allocatable
+
+    def test_armlike_spills_fewer(self):
+        source = "int main() { " + "".join(
+            f"int v{i}; v{i} = {i}; " for i in range(12)) + \
+            "return " + " + ".join(f"v{i}" for i in range(12)) + "; }"
+        program = compile_source(source)
+        fn = program.functions["main"]
+        x86 = allocate_registers(fn, X86LIKE)
+        arm = allocate_registers(fn, ARMLIKE)
+        assert len(arm.registers) > len(x86.registers)
+
+    def test_arrays_never_in_registers(self):
+        program = compile_source(
+            "int main() { int a[4]; a[0] = 1; return a[0]; }")
+        fn = program.functions["main"]
+        allocation = allocate_registers(fn, X86LIKE)
+        assert "a" not in allocation.registers
+
+    def test_frame_layout_word_aligned_and_disjoint(self):
+        program = compile_source("""
+            int main() { int a[3]; int x; int p; p = &x;
+                a[0] = 1; x = 2; store(p, 3); return a[0] + x; }
+        """)
+        fn = program.functions["main"]
+        allocation = allocate_registers(fn, X86LIKE)
+        layout = build_frame_layout(fn, allocation.spilled)
+        offsets = list(layout.local_offsets.values()) + \
+            list(layout.home_offsets.values())
+        assert all(offset % 4 == 0 for offset in offsets)
+        assert len(set(offsets)) == len(offsets)
+        assert layout.frame_data_size >= max(offsets) + 4
+
+    def test_arg_offsets_beyond_frame(self):
+        program = compile_source("int f(int a) { return a; } "
+                                 "int main() { return f(1); }")
+        fn = program.functions["f"]
+        allocation = allocate_registers(fn, X86LIKE)
+        layout = build_frame_layout(fn, allocation.spilled)
+        assert layout.arg_offset(0, 3) >= layout.frame_data_size
+        assert layout.arg_offset(1, 3) == layout.arg_offset(0, 3) + 4
+        assert layout.return_address_offset(3) == layout.arg_offset(0, 3) - 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end execution on both ISAs
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_arithmetic_precedence(self):
+        run_both("int main() { return 2 + 3 * 4 - 10 / 2; }", 9)
+
+    def test_bitwise(self):
+        run_both("int main() { return (0xF0 & 0x3C) | (1 << 6) ^ 0x10; }",
+                 (0xF0 & 0x3C) | (1 << 6) ^ 0x10)
+
+    def test_negative_division_truncates(self):
+        run_both("int main() { int a; a = 0 - 17; return a / 5; }", -3)
+
+    def test_negative_modulo(self):
+        run_both("int main() { int a; a = 0 - 17; return a % 5; }", -2)
+
+    def test_shift_right_is_arithmetic(self):
+        run_both("int main() { int a; a = 0 - 16; return a >> 2; }", -4)
+
+    def test_logical_operators(self):
+        run_both("int main() { return (3 && 0) + (0 || 7) + !5 + !0; }", 2)
+
+    def test_recursion(self):
+        run_both("int fact(int n) { if (n <= 1) { return 1; } "
+                 "return n * fact(n - 1); } int main() { return fact(6); }",
+                 720)
+
+    def test_mutual_recursion(self):
+        run_both("""
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+            int main() { return is_even(10) * 10 + is_odd(7); }
+        """.replace("int is_odd(int n);", ""), 11)
+
+    def test_many_arguments(self):
+        run_both("int f(int a, int b, int c, int d, int e, int g) "
+                 "{ return a + 2*b + 3*c + 4*d + 5*e + 6*g; } "
+                 "int main() { return f(1, 2, 3, 4, 5, 6); }",
+                 1 + 4 + 9 + 16 + 25 + 36)
+
+    def test_nested_loops(self):
+        run_both("""
+            int main() { int i; int j; int s; s = 0; i = 0;
+                while (i < 5) { j = 0;
+                    while (j < 5) { s = s + i * j; j = j + 1; }
+                    i = i + 1; }
+                return s; }
+        """, sum(i * j for i in range(5) for j in range(5)))
+
+    def test_break_continue(self):
+        run_both("""
+            int main() { int i; int s; s = 0; i = 0;
+                while (i < 100) { i = i + 1;
+                    if (i % 2 == 0) { continue; }
+                    if (i > 10) { break; }
+                    s = s + i; }
+                return s; }
+        """, 1 + 3 + 5 + 7 + 9)
+
+    def test_global_array_init(self):
+        run_both("int tab[4] = {10, 20, 30, 40}; "
+                 "int main() { return tab[0] + tab[3]; }", 50)
+
+    def test_global_mutation_persists_across_calls(self):
+        run_both("int g = 0; int bump() { g = g + 1; return g; } "
+                 "int main() { bump(); bump(); bump(); return g; }", 3)
+
+    def test_char_array_and_bytes(self):
+        run_both("""
+            char buf[8];
+            int main() { buf[0] = 65; buf[1] = 66;
+                return buf[0] * 1000 + buf[1]; }
+        """, 65066)
+
+    def test_pointer_intrinsics(self):
+        run_both("""
+            int main() { int x; x = 0; int p; p = &x;
+                store(p, 41); store(p, load(p) + 1); return x; }
+        """, 42)
+
+    def test_function_pointers_dispatch(self):
+        run_both("""
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int apply(int f, int v) { return f(v); }
+            int main() { return apply(&inc, 10) * 100 + apply(&dec, 10); }
+        """, 1109)
+
+    def test_write_syscall_produces_stdout(self):
+        binary = compile_minic("""
+            char msg[8] = "hey";
+            int main() { syscall(4, 1, &msg, 3); return 0; }
+        """)
+        for isa_name in binary.isa_names:
+            process = Process(binary.to_process_image(), ISAS[isa_name])
+            result = process.run(100000)
+            assert result.reason == "halt"
+            assert bytes(process.os.stdout) == b"hey"
+
+    def test_address_of_scalar_in_recursion(self):
+        run_both("""
+            int set7(int p) { store(p, 7); return 0; }
+            int main() { int x; x = 0; set7(&x); return x; }
+        """, 7)
+
+    def test_deep_expression(self):
+        run_both("int main() { return ((((1+2)*3-4)/5+6)*7-8)%100; }",
+                 ((((1 + 2) * 3 - 4) // 5 + 6) * 7 - 8) % 100)
+
+
+# ----------------------------------------------------------------------
+# Fat binary / symbol table
+# ----------------------------------------------------------------------
+class TestFatBinary:
+    SOURCE = """
+        int helper(int a, int b) { return a * b + 1; }
+        int main() { int i; int s; s = 0; i = 0;
+            while (i < 4) { s = s + helper(i, i); i = i + 1; } return s; }
+    """
+
+    def test_two_sections_and_entries(self):
+        binary = compile_minic(self.SOURCE)
+        assert set(binary.isa_names) == {"x86like", "armlike"}
+        for name in binary.isa_names:
+            assert binary.entry(name) == binary.sections[name].base_address
+
+    def test_symtab_function_lookup(self):
+        binary = compile_minic(self.SOURCE)
+        info = binary.symtab.function("helper")
+        assert info.params == ["a", "b"]
+        for isa_name in binary.isa_names:
+            per_isa = info.per_isa[isa_name]
+            assert per_isa.entry < per_isa.end
+            found = binary.symtab.function_at(isa_name, per_isa.entry)
+            assert found is info
+
+    def test_block_addresses_cover_function(self):
+        binary = compile_minic(self.SOURCE)
+        info = binary.symtab.function("main")
+        for isa_name in binary.isa_names:
+            per_isa = info.per_isa[isa_name]
+            for label, start, end in per_isa.block_bounds():
+                assert per_isa.entry <= start < end <= per_isa.end
+                assert binary.symtab.block_at(isa_name, start) == ("main", label)
+
+    def test_call_sites_recorded(self):
+        binary = compile_minic(self.SOURCE)
+        for isa_name in binary.isa_names:
+            sites = binary.symtab.function("main").per_isa[isa_name].call_sites
+            assert len(sites) == 1
+            helper_entry = binary.symtab.function("helper").entry(isa_name)
+            assert sites[0].target == helper_entry
+            assert sites[0].return_address > sites[0].address
+
+    def test_frame_layout_shared_across_isas(self):
+        binary = compile_minic(self.SOURCE)
+        info = binary.symtab.function("main")
+        # the layout object is ISA-independent by construction
+        assert info.layout.frame_data_size % 4 == 0
+
+    def test_globals_in_data_section(self):
+        binary = compile_minic(
+            "int g = 0x11223344; int main() { return g; }")
+        address = binary.global_addresses["g"]
+        offset = address - 0x10000000
+        assert binary.data[offset:offset + 4] == bytes.fromhex("44332211")
+
+    def test_liveness_in_symtab(self):
+        binary = compile_minic(self.SOURCE)
+        info = binary.symtab.function("main")
+        loop_blocks = [label for label in info.block_order if ".loop" in label]
+        assert loop_blocks
+        assert any("s" in info.live_in(label) for label in loop_blocks)
+
+
+# ----------------------------------------------------------------------
+# Differential property test: both ISAs agree
+# ----------------------------------------------------------------------
+@st.composite
+def arithmetic_programs(draw):
+    """Random straight-line arithmetic over a few variables."""
+    lines = ["int a; int b; int c;",
+             f"a = {draw(st.integers(1, 50))};",
+             f"b = {draw(st.integers(1, 50))};",
+             "c = 1;"]
+    operators = ["+", "-", "*", "|", "&", "^"]
+    for _ in range(draw(st.integers(1, 8))):
+        target = draw(st.sampled_from("abc"))
+        lhs = draw(st.sampled_from("abc"))
+        rhs = draw(st.sampled_from(["a", "b", "c", str(draw(st.integers(1, 9)))]))
+        operator = draw(st.sampled_from(operators))
+        lines.append(f"{target} = {lhs} {operator} {rhs};")
+    lines.append("return (a + b + c) % 125;")
+    return "int main() { " + " ".join(lines) + " }"
+
+
+@given(arithmetic_programs())
+@settings(max_examples=30, deadline=None)
+def test_isas_agree_on_random_programs(source):
+    binary = compile_minic(source)
+    exit_codes = {}
+    for isa_name in binary.isa_names:
+        process = Process(binary.to_process_image(), ISAS[isa_name])
+        result = process.run(1_000_000)
+        assert result.reason == "halt", (isa_name, source)
+        exit_codes[isa_name] = process.os.exit_code
+    assert exit_codes["x86like"] == exit_codes["armlike"], source

@@ -1,0 +1,134 @@
+"""Tests for the DBT substrate: code cache and return address table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbt import CodeCache, ReturnAddressTable
+from repro.errors import TranslationError
+
+
+class TestCodeCache:
+    def make(self, capacity=256):
+        return CodeCache(base=0x70000000, capacity=capacity)
+
+    def test_contains_address(self):
+        cache = self.make()
+        assert cache.contains_address(0x70000000)
+        assert cache.contains_address(0x700000FF)
+        assert not cache.contains_address(0x70000100)
+        assert not cache.contains_address(0x6FFFFFFF)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.lookup(0x1000) is None
+        assert cache.stats.compulsory_misses == 1
+        address = cache.reserve(16)
+        cache.install(0x1000, address, 16)
+        assert cache.lookup(0x1000) == address
+        assert cache.stats.hits == 1
+
+    def test_reserve_bumps(self):
+        cache = self.make()
+        first = cache.reserve(10)
+        second = cache.reserve(10)
+        assert second == first + 10
+
+    def test_reserve_alignment(self):
+        cache = self.make()
+        cache.reserve(3)
+        aligned = cache.reserve(4, alignment=4)
+        assert aligned % 4 == 0
+
+    def test_flush_on_capacity(self):
+        cache = self.make(capacity=64)
+        address = cache.reserve(48)
+        cache.install(0x1000, address, 48)
+        cache.reserve(48)       # exceeds remaining space -> flush
+        assert cache.stats.flushes == 1
+        assert cache.lookup(0x1000) is None
+        assert cache.stats.capacity_misses == 1
+
+    def test_capacity_vs_compulsory_classification(self):
+        cache = self.make(capacity=64)
+        cache.lookup(0x1000)
+        assert cache.stats.compulsory_misses == 1
+        address = cache.reserve(40)
+        cache.install(0x1000, address, 40)
+        cache.flush()
+        cache.lookup(0x1000)
+        assert cache.stats.capacity_misses == 1
+        assert cache.stats.compulsory_misses == 1
+
+    def test_oversized_translation_rejected(self):
+        with pytest.raises(TranslationError):
+            self.make(capacity=16).reserve(32)
+
+    def test_flush_listeners_fire(self):
+        cache = self.make()
+        fired = []
+        cache.flush_listeners.append(lambda: fired.append(1))
+        cache.flush()
+        assert fired == [1]
+
+    def test_alias(self):
+        cache = self.make()
+        address = cache.reserve(8)
+        cache.install(0x1000, address, 8)
+        cache.alias(0x2000, address)
+        assert cache.peek(0x2000) == address
+
+    def test_translated_source_addresses(self):
+        cache = self.make()
+        for source in (0x1000, 0x2000):
+            address = cache.reserve(8)
+            cache.install(source, address, 8)
+        assert cache.translated_source_addresses() == {0x1000, 0x2000}
+
+
+class TestReturnAddressTable:
+    def test_hit_and_miss(self):
+        rat = ReturnAddressTable(size=4)
+        rat.insert(0x1000, 0x70000000)
+        assert rat.lookup(0x1000) == 0x70000000
+        assert rat.lookup(0x2000) is None
+        assert rat.stats.hits == 1
+        assert rat.stats.misses == 1
+
+    def test_fifo_eviction(self):
+        rat = ReturnAddressTable(size=2)
+        rat.insert(1, 11)
+        rat.insert(2, 22)
+        rat.insert(3, 33)
+        assert rat.lookup(1) is None       # evicted
+        assert rat.lookup(2) == 22
+        assert rat.lookup(3) == 33
+        assert rat.stats.evictions == 1
+
+    def test_reinsert_refreshes(self):
+        rat = ReturnAddressTable(size=2)
+        rat.insert(1, 11)
+        rat.insert(2, 22)
+        rat.insert(1, 11)       # refresh
+        rat.insert(3, 33)       # evicts 2, not 1
+        assert rat.lookup(1) == 11
+        assert rat.lookup(2) is None
+
+    def test_invalidate(self):
+        rat = ReturnAddressTable(size=4)
+        rat.insert(1, 11)
+        rat.invalidate()
+        assert rat.lookup(1) is None
+        assert len(rat) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ReturnAddressTable(size=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 2**32 - 1)),
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity(self, pairs):
+        rat = ReturnAddressTable(size=8)
+        for source, cache_addr in pairs:
+            rat.insert(source, cache_addr)
+            assert len(rat) <= 8

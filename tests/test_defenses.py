@@ -1,0 +1,89 @@
+"""Tests for the baseline defenses: Isomeron and ASLR models."""
+
+import pytest
+
+from repro.defenses import (
+    ASLRModel,
+    IsomeronExecutionModel,
+    chain_success_probability,
+    isomeron_entropy,
+)
+from repro.perf import TimingModel, X86_CORE
+
+
+class TestIsomeronModel:
+    def run_workload(self, probability, seed=0):
+        from repro.compiler import compile_minic
+        from repro.isa import ISAS
+        from repro.machine import Process
+        binary = compile_minic("""
+            int f(int x) { return x + 1; }
+            int main() { int i; int s; s = 0; i = 0;
+                while (i < 50) { s = f(s); i = i + 1; } return s; }
+        """)
+        process = Process(binary.to_process_image(), ISAS["x86like"])
+        timing = TimingModel(X86_CORE, disable_branch_prediction=True)
+        model = IsomeronExecutionModel(timing, probability, seed)
+        process.interpreter.observers.append(timing.observe)
+        process.interpreter.observers.append(model.observe)
+        process.run(100_000)
+        return process, timing, model
+
+    def test_intercepts_calls_and_returns(self):
+        _, _, model = self.run_workload(0.5)
+        # 50 calls + 50 returns + crt0, roughly
+        assert model.stats.calls_intercepted >= 100
+
+    def test_diversifier_costs_cycles(self):
+        _, with_iso, _ = self.run_workload(0.5)
+        from repro.compiler import compile_minic
+        from repro.isa import ISAS
+        from repro.machine import Process
+        binary = compile_minic("""
+            int f(int x) { return x + 1; }
+            int main() { int i; int s; s = 0; i = 0;
+                while (i < 50) { s = f(s); i = i + 1; } return s; }
+        """)
+        process = Process(binary.to_process_image(), ISAS["x86like"])
+        plain = TimingModel(X86_CORE)
+        process.interpreter.observers.append(plain.observe)
+        process.run(100_000)
+        assert with_iso.cycles > plain.cycles
+
+    def test_probability_drives_switches(self):
+        _, _, never = self.run_workload(0.0)
+        _, _, always = self.run_workload(1.0)
+        assert never.stats.variant_switches == 0
+        assert always.stats.variant_switches == always.stats.coin_flips
+
+    def test_entropy_one_bit_per_gadget(self):
+        assert isomeron_entropy(1) == 2
+        assert isomeron_entropy(8) == 256
+
+    def test_chain_success_probability(self):
+        assert chain_success_probability(4, 0.0) == 1.0
+        assert chain_success_probability(1, 1.0) == 0.5
+        assert chain_success_probability(8, 1.0) == pytest.approx(0.5 ** 8)
+
+
+class TestASLRModel:
+    def test_slide_is_page_aligned(self):
+        model = ASLRModel(seed=3)
+        assert model.slide % 4096 == 0
+
+    def test_leak_derandomizes(self):
+        model = ASLRModel(seed=3)
+        static = 0x08048123
+        leaked = model.randomize_address(static)
+        assert model.derandomize_with_leak(leaked, static) == model.slide
+
+    def test_respawn_keeps_layout(self):
+        model = ASLRModel(seed=3)
+        assert model.respawn().slide == model.slide
+
+    def test_expected_attempts(self):
+        model = ASLRModel(entropy_bits=16)
+        assert model.expected_brute_force_attempts() == 2.0 ** 15
+
+    def test_different_seeds_differ(self):
+        assert ASLRModel(seed=1).slide != ASLRModel(seed=2).slide

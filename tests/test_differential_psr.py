@@ -1,0 +1,94 @@
+"""Differential property tests: PSR and HIPStR preserve semantics.
+
+The strongest correctness property in the repository: for randomly
+generated structured programs, native execution, PSR execution on both
+ISAs, and full HIPStR execution (with forced migrations) must all
+produce the same exit code.  Any relocation-map, translation, RAT,
+calling-convention, or stack-transformation bug shows up here.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_minic
+from repro.core import PSRConfig, run_native, run_under_psr
+from repro.core.hipstr import run_under_hipstr
+
+
+@st.composite
+def structured_programs(draw):
+    """Random programs with functions, loops, branches, and arrays."""
+    n_helpers = draw(st.integers(1, 3))
+    helpers = []
+    for index in range(n_helpers):
+        op = draw(st.sampled_from(["+", "-", "*", "^", "|", "&"]))
+        k = draw(st.integers(1, 9))
+        body = f"return a {op} {k};"
+        if draw(st.booleans()):
+            threshold = draw(st.integers(0, 20))
+            other = draw(st.integers(1, 9))
+            body = (f"if (a > {threshold}) {{ return a {op} {k}; }} "
+                    f"return a + {other};")
+        helpers.append(f"int h{index}(int a) {{ {body} }}")
+
+    loop_bound = draw(st.integers(1, 12))
+    calls = " ".join(
+        f"acc = h{draw(st.integers(0, n_helpers - 1))}(acc);"
+        for _ in range(draw(st.integers(1, 3))))
+    array_use = ""
+    if draw(st.booleans()):
+        array_use = ("int t[4]; t[0] = acc; t[1] = i; "
+                     "acc = acc + t[0] % 7 + t[1];")
+    main = f"""
+        int main() {{
+            int acc; int i;
+            acc = {draw(st.integers(0, 50))};
+            i = 0;
+            while (i < {loop_bound}) {{
+                {calls}
+                {array_use}
+                acc = acc & 0xFFFFF;
+                i = i + 1;
+            }}
+            return acc % 100000;
+        }}
+    """
+    return "\n".join(helpers) + main
+
+
+@given(structured_programs(), st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_psr_preserves_semantics_on_random_programs(source, seed):
+    binary = compile_minic(source)
+    want = run_native(binary, "x86like").os.exit_code
+    assert want is not None
+    for isa_name in ("x86like", "armlike"):
+        run = run_under_psr(binary, isa_name, PSRConfig(), seed=seed,
+                            max_instructions=3_000_000)
+        assert run.result.reason == "halt", (isa_name, source)
+        assert run.exit_code == want, (isa_name, seed, source)
+
+
+@given(structured_programs(), st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_hipstr_preserves_semantics_on_random_programs(source, seed):
+    binary = compile_minic(source)
+    want = run_native(binary, "x86like").os.exit_code
+    _, result = run_under_hipstr(binary, seed=seed,
+                                 migration_probability=1.0,
+                                 max_instructions=5_000_000)
+    assert result.result.reason == "halt", source
+    assert result.exit_code == want, (seed, source)
+
+
+@given(structured_programs())
+@settings(max_examples=10, deadline=None)
+def test_opt_levels_agree_on_random_programs(source):
+    binary = compile_minic(source)
+    exits = set()
+    for level in (0, 3):
+        run = run_under_psr(binary, "x86like", PSRConfig(opt_level=level),
+                            seed=1, max_instructions=3_000_000)
+        assert run.result.reason == "halt"
+        exits.add(run.exit_code)
+    assert len(exits) == 1, source

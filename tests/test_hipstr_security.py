@@ -1,0 +1,104 @@
+"""Security-behaviour tests for the HIPStR system as a whole."""
+
+import pytest
+
+from repro.attacks.payload import (
+    attack_native,
+    build_exploit,
+    build_vulnerable_binary,
+)
+from repro.compiler import compile_minic
+from repro.core import PSRConfig
+from repro.core.hipstr import HIPStRSystem, run_under_hipstr
+from repro.errors import SecurityViolation
+
+
+@pytest.fixture(scope="module")
+def victim():
+    binary = build_vulnerable_binary()
+    return binary, build_exploit(binary)
+
+
+class TestExploitVsHIPStR:
+    def test_payload_fails_under_full_hipstr(self, victim):
+        binary, payload = victim
+        for seed in range(3):
+            system, result = run_under_hipstr(
+                binary, seed=seed, migration_probability=1.0,
+                stdin=payload.data)
+            assert not system.process.os.shell_spawned
+
+    def test_benign_traffic_survives_full_hipstr(self, victim):
+        binary, _ = victim
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0,
+                                     stdin=b"hello\n")
+        assert result.result.reason == "halt"
+        assert result.exit_code == 0
+
+    def test_native_control_still_compromised(self, victim):
+        """The control: without the defense, the payload works."""
+        binary, payload = victim
+        assert attack_native(binary, payload).shell_spawned
+
+
+class TestRerandomizationEpochs:
+    SOURCE = """
+        int f(int x) { return x * 3 + 1; }
+        int main() { return f(f(2)); }
+    """
+
+    def test_epochs_produce_different_relocations(self):
+        binary = compile_minic(self.SOURCE)
+        system = HIPStRSystem(binary, seed=4)
+        vm = system.vms["x86like"]
+        first = vm.reloc_for("f")
+        system.rerandomize()
+        second = vm.reloc_for("f")
+        assert (first.slots != second.slots
+                or first.registers != second.registers
+                or first.fixed_base != second.fixed_base)
+
+    def test_epochs_share_convention_across_isas(self):
+        binary = compile_minic(self.SOURCE)
+        system = HIPStRSystem(binary, seed=4)
+        system.rerandomize()
+        x86 = system.vms["x86like"].reloc_for("f")
+        arm = system.vms["armlike"].reloc_for("f")
+        assert x86.arg_window_words == arm.arg_window_words
+        assert x86.arg_positions == arm.arg_positions
+        assert x86.fixed_base == arm.fixed_base
+        assert x86.total_data_size == arm.total_data_size
+
+
+class TestSecurityEventAccounting:
+    def test_cold_returns_are_security_events(self):
+        binary = compile_minic(self.SOURCE if hasattr(self, "SOURCE") else """
+            int g(int x) { return x + 1; }
+            int main() { return g(g(g(1))); }
+        """)
+        system, result = run_under_hipstr(binary, seed=0,
+                                          migration_probability=0.0)
+        events = sum(vm.stats.security_events
+                     for vm in system.vms.values())
+        assert events >= 1        # at least the first cold return
+
+    def test_migration_probability_bounds_migrations(self):
+        binary = compile_minic("""
+            int g(int x) { return x + 1; }
+            int main() { int i; int s; s = 0; i = 0;
+                while (i < 10) { s = g(s); i = i + 1; } return s; }
+        """)
+        _, none = run_under_hipstr(binary, seed=3, migration_probability=0.0)
+        _, all_of_them = run_under_hipstr(binary, seed=3,
+                                          migration_probability=1.0)
+        assert none.migration_count == 0
+        assert all_of_them.migration_count >= 1
+
+    def test_sfi_stat_increments(self):
+        binary = compile_minic("int main() { return 0; }")
+        system = HIPStRSystem(binary, seed=0)
+        vm = system.vms["x86like"]
+        with pytest.raises(SecurityViolation):
+            vm.resolve_target("ret", system.process.cpu, vm.cache.base)
+        assert vm.stats.sfi_violations == 1

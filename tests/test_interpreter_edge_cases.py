@@ -1,0 +1,167 @@
+"""Edge-case coverage: interpreter features, memory management, errors."""
+
+import pytest
+
+from repro.errors import (
+    ExecutionLimitExceeded,
+    MachineFault,
+    SegmentationFault,
+)
+from repro.isa import Assembler, Imm, Instruction, Mem, Op, Reg, X86LIKE
+from repro.isa.x86like import EAX, EBX
+from repro.machine import (
+    CPUState,
+    Interpreter,
+    Memory,
+    OperatingSystem,
+)
+from repro.machine.syscalls import Sys, SyscallEvent
+
+
+def build_machine(instructions, base=0x1000):
+    asm = Assembler(X86LIKE)
+    for item in instructions:
+        asm.emit(item)
+    unit = asm.assemble(base)
+    memory = Memory()
+    memory.map("text", base, max(len(unit.data), 16), writable=False,
+               executable=True, data=unit.data)
+    memory.map("stack", 0x8000, 0x1000)
+    cpu = CPUState(X86LIKE, pc=base)
+    cpu.sp = 0x8800
+    return Interpreter(cpu, memory, OperatingSystem())
+
+
+class TestBreakpoints:
+    def test_run_stops_at_breakpoint(self):
+        interp = build_machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(1))),
+            Instruction(Op.MOV, (Reg(EBX), Imm(2))),
+            Instruction(Op.HLT),
+        ])
+        second = 0x1000 + 5
+        interp.breakpoints.add(second)
+        result = interp.run(100)
+        assert result.reason == "breakpoint"
+        assert interp.cpu.get(EAX) == 1
+        assert interp.cpu.get(EBX) == 0
+
+    def test_resume_after_breakpoint(self):
+        interp = build_machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(1))),
+            Instruction(Op.HLT),
+        ])
+        interp.breakpoints.add(0x1005)
+        assert interp.run(100).reason == "breakpoint"
+        interp.breakpoints.clear()
+        assert interp.run(100).reason == "halt"
+
+
+class TestDecodeCache:
+    def test_invalidate_range(self):
+        interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
+        interp.step()
+        key = ("x86like", 0x1000)
+        assert key in interp._decode_cache
+        interp.invalidate_decode_cache(0x1000, 0x1001)
+        assert key not in interp._decode_cache
+
+    def test_invalidate_all(self):
+        interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
+        interp.step()
+        interp.invalidate_decode_cache()
+        assert not interp._decode_cache
+
+    def test_invalidate_outside_range_keeps_entries(self):
+        interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
+        interp.step()
+        interp.invalidate_decode_cache(0x2000, 0x3000)
+        assert ("x86like", 0x1000) in interp._decode_cache
+
+
+class TestFaultPropagation:
+    def test_catch_faults_false_raises(self):
+        interp = build_machine([
+            Instruction(Op.LOAD, (Reg(EAX), Mem(EBX, 0))),   # wild read
+        ])
+        with pytest.raises(MachineFault):
+            interp.run(10, catch_faults=False)
+
+    def test_division_by_zero_is_a_fault(self):
+        interp = build_machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(10))),
+            Instruction(Op.MOV, (Reg(EBX), Imm(0))),
+            Instruction(Op.DIV, (Reg(EAX), Reg(EBX))),
+        ])
+        result = interp.run(10)
+        assert result.crashed
+
+    def test_stack_underflow_faults(self):
+        interp = build_machine([Instruction(Op.RET)])
+        interp.cpu.sp = 0x8FFC
+        interp.memory.write_word(0x8FFC, 0xDEAD0000)
+        result = interp.run(10)
+        assert result.crashed
+
+
+class TestSyscallLayer:
+    def test_events_record_names(self):
+        os_model = OperatingSystem()
+        event = SyscallEvent(int(Sys.WRITE), (1, 0, 0))
+        assert event.name == "write"
+        unknown = SyscallEvent(999, (0, 0, 0))
+        assert unknown.name == "sys_999"
+
+    def test_invalid_syscall_faults(self):
+        interp = build_machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(999))),
+            Instruction(Op.SYSCALL),
+        ])
+        result = interp.run(10)
+        assert result.crashed
+
+    def test_read_drains_stdin(self):
+        interp = build_machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(int(Sys.READ)))),
+            Instruction(Op.MOV, (Reg(EBX), Imm(0))),
+            Instruction(Op.MOV, (Reg(1), Imm(0x8100))),
+            Instruction(Op.MOV, (Reg(2), Imm(4))),
+            Instruction(Op.SYSCALL),
+            Instruction(Op.HLT),
+        ])
+        interp.os.stdin.extend(b"abcdef")
+        interp.run(10)
+        assert interp.memory.read_bytes(0x8100, 4) == b"abcd"
+        assert bytes(interp.os.stdin) == b"ef"
+        assert interp.cpu.get(EAX) == 4
+
+    def test_getpid_and_brk(self):
+        os_model = OperatingSystem()
+        memory = Memory()
+        cpu = CPUState(X86LIKE)
+        cpu.set(EAX, int(Sys.GETPID))
+        os_model.dispatch(cpu, memory)
+        assert cpu.get(EAX) == os_model.pid
+
+
+class TestMemoryManagement:
+    def test_unmap(self):
+        memory = Memory()
+        memory.map("tmp", 0x1000, 0x100)
+        memory.unmap("tmp")
+        with pytest.raises(SegmentationFault):
+            memory.read_word(0x1000)
+        memory.map("tmp", 0x1000, 0x100)     # name reusable after unmap
+
+    def test_segment_repr_shows_permissions(self):
+        memory = Memory()
+        segment = memory.map("code", 0, 0x100, writable=False,
+                             executable=True)
+        assert "r-x" in repr(segment)
+
+    def test_segments_iteration_sorted(self):
+        memory = Memory()
+        memory.map("b", 0x2000, 0x100)
+        memory.map("a", 0x1000, 0x100)
+        bases = [segment.base for segment in memory.segments()]
+        assert bases == sorted(bases)

@@ -1,0 +1,159 @@
+"""Unit tests for the shared ISA abstractions."""
+
+import pytest
+
+from repro.isa import (
+    ARMLIKE,
+    Cond,
+    Imm,
+    Instruction,
+    Mem,
+    Op,
+    Reg,
+    X86LIKE,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestWordArithmetic:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 32) == 0
+
+    def test_roundtrip(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31), 123456789):
+            assert to_signed(to_unsigned(value)) == value
+
+
+class TestOperands:
+    def test_imm_normalizes_to_unsigned(self):
+        assert Imm(-1).value == 0xFFFFFFFF
+        assert Imm(-1).signed == -1
+
+    def test_imm_equality(self):
+        assert Imm(-1) == Imm(0xFFFFFFFF)
+
+    def test_mem_defaults(self):
+        m = Mem(4)
+        assert m.base == 4 and m.disp == 0
+
+    def test_operands_hashable(self):
+        {Reg(0), Imm(3), Mem(1, 8)}
+
+
+class TestCond:
+    @pytest.mark.parametrize("cond,diff,expected", [
+        (Cond.EQ, 0, True), (Cond.EQ, 1, False),
+        (Cond.NE, 0, False), (Cond.NE, -3, True),
+        (Cond.LT, -1, True), (Cond.LT, 0, False),
+        (Cond.LE, 0, True), (Cond.LE, 1, False),
+        (Cond.GT, 1, True), (Cond.GT, 0, False),
+        (Cond.GE, 0, True), (Cond.GE, -1, False),
+    ])
+    def test_evaluate(self, cond, diff, expected):
+        assert cond.evaluate(diff) is expected
+
+    def test_negate_is_involution(self):
+        for cond in Cond:
+            assert cond.negate().negate() is cond
+
+    def test_negate_is_complement(self):
+        for cond in Cond:
+            for diff in (-2, -1, 0, 1, 2):
+                assert cond.evaluate(diff) != cond.negate().evaluate(diff)
+
+
+class TestInstructionAnalysis:
+    def test_mov_reads_and_writes(self):
+        ins = Instruction(Op.MOV, (Reg(1), Reg(2)))
+        assert ins.reads_regs() == {2}
+        assert ins.writes_regs() == {1}
+
+    def test_alu_dst_is_read_modify_write(self):
+        ins = Instruction(Op.ADD, (Reg(3), Reg(5)))
+        assert ins.reads_regs() == {3, 5}
+        assert ins.writes_regs() == {3}
+
+    def test_load_reads_base(self):
+        ins = Instruction(Op.LOAD, (Reg(0), Mem(4, 16)))
+        assert ins.reads_regs() == {4}
+        assert ins.writes_regs() == {0}
+
+    def test_store_reads_base_and_value(self):
+        ins = Instruction(Op.STORE, (Mem(4, 16), Reg(3)))
+        assert ins.reads_regs() == {3, 4}
+        assert ins.writes_regs() == frozenset()
+
+    def test_alu_to_memory_writes_no_register(self):
+        ins = Instruction(Op.ADD, (Mem(4, 8), Reg(0)))
+        assert ins.writes_regs() == frozenset()
+        assert ins.reads_regs() == {0, 4}
+
+    def test_cmp_writes_nothing(self):
+        ins = Instruction(Op.CMP, (Reg(0), Reg(1)))
+        assert ins.writes_regs() == frozenset()
+
+    def test_push_reads_operand(self):
+        assert Instruction(Op.PUSH, (Reg(6),)).reads_regs() == {6}
+
+    def test_pop_writes_register(self):
+        assert Instruction(Op.POP, (Reg(6),)).writes_regs() == {6}
+
+    def test_ijmp_reads_target(self):
+        assert Instruction(Op.IJMP, (Reg(2),)).reads_regs() == {2}
+
+    def test_control_classification(self):
+        assert Instruction(Op.RET).is_control()
+        assert Instruction(Op.RET).is_indirect()
+        assert Instruction(Op.JMP, (Imm(0),)).is_control()
+        assert not Instruction(Op.JMP, (Imm(0),)).is_indirect()
+        assert not Instruction(Op.ADD, (Reg(0), Reg(1))).is_control()
+
+    def test_movt_is_read_modify_write(self):
+        ins = Instruction(Op.MOVT, (Reg(5), Imm(0x1234)))
+        assert ins.reads_regs() == {5}
+        assert ins.writes_regs() == {5}
+
+
+class TestISADescriptions:
+    def test_x86like_shape(self):
+        assert X86LIKE.num_registers == 8
+        assert X86LIKE.alignment == 1
+        assert X86LIKE.sp == 4
+        assert X86LIKE.lr is None
+        assert X86LIKE.call_pushes_return
+        assert X86LIKE.memory_operands
+
+    def test_armlike_shape(self):
+        assert ARMLIKE.num_registers == 16
+        assert ARMLIKE.alignment == 4
+        assert ARMLIKE.sp == 13
+        assert ARMLIKE.lr == 14
+        assert not ARMLIKE.call_pushes_return
+        assert not ARMLIKE.memory_operands
+
+    def test_register_names(self):
+        assert X86LIKE.register_name(0) == "eax"
+        assert X86LIKE.register_name(4) == "esp"
+        assert ARMLIKE.register_name(13) == "sp"
+        assert ARMLIKE.register_name(14) == "lr"
+
+    def test_allocatable_disjoint_from_scratch(self):
+        for isa in (X86LIKE, ARMLIKE):
+            assert not set(isa.allocatable) & set(isa.scratch)
+            assert isa.sp not in isa.allocatable
+            assert isa.sp not in isa.scratch
+
+    def test_render(self):
+        ins = Instruction(Op.LOAD, (Reg(0), Mem(4, 0x10)))
+        assert X86LIKE.render(ins) == "load eax, [esp+0x10]"
+        ins = Instruction(Op.JCC, (Imm(0x100),), cond=Cond.NE)
+        assert "jcc.ne" in X86LIKE.render(ins)

@@ -1,0 +1,309 @@
+"""Encode/decode round-trip tests for both ISAs, including property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError, DecodeError
+from repro.isa import (
+    ARMLIKE,
+    Cond,
+    Imm,
+    Instruction,
+    Mem,
+    Op,
+    Reg,
+    X86LIKE,
+)
+from repro.isa.x86like import EAX, ECX, EDX, EBX, ESP
+
+
+def roundtrip(isa, ins, address=0x1000):
+    encoded = isa.encode(ins, address)
+    decoded = isa.decode(encoded, 0, address)
+    assert decoded.size == len(encoded)
+    return decoded.instruction
+
+
+# ----------------------------------------------------------------------
+# Exhaustive-ish concrete cases
+# ----------------------------------------------------------------------
+X86_CASES = [
+    Instruction(Op.NOP),
+    Instruction(Op.HLT),
+    Instruction(Op.RET),
+    Instruction(Op.SYSCALL),
+    Instruction(Op.PUSH, (Reg(3),)),
+    Instruction(Op.PUSH, (Imm(0xDEADBEEF),)),
+    Instruction(Op.PUSH, (Mem(4, 0x20),)),
+    Instruction(Op.POP, (Reg(6),)),
+    Instruction(Op.POP, (Mem(4, -8),)),
+    Instruction(Op.MOV, (Reg(0), Imm(0x1234))),
+    Instruction(Op.MOV, (Reg(7), Reg(1))),
+    Instruction(Op.LOAD, (Reg(2), Mem(4, 0x7FFF))),
+    Instruction(Op.STORE, (Mem(5, -0x40), Reg(3))),
+    Instruction(Op.STORE, (Mem(4, 0x10), Imm(42))),
+    Instruction(Op.LEA, (Reg(1), Mem(4, 0x800))),
+    Instruction(Op.ADD, (Reg(0), Reg(1))),
+    Instruction(Op.SUB, (Reg(2), Imm(64))),
+    Instruction(Op.AND, (Reg(3), Mem(4, 8))),
+    Instruction(Op.OR, (Mem(4, 12), Reg(5))),
+    Instruction(Op.XOR, (Reg(2), Reg(2))),
+    Instruction(Op.CMP, (Reg(0), Imm(10))),
+    Instruction(Op.MUL, (Reg(1), Reg(2))),
+    Instruction(Op.MUL, (Reg(1), Mem(4, 4))),
+    Instruction(Op.MUL, (Reg(3), Imm(100))),
+    Instruction(Op.DIV, (Reg(EAX), Reg(3))),
+    Instruction(Op.MOD, (Reg(EDX), Reg(3))),
+    Instruction(Op.SHL, (Reg(0), Imm(4))),
+    Instruction(Op.SHR, (Reg(1), Imm(31))),
+    Instruction(Op.SAR, (Reg(2), Imm(1))),
+    Instruction(Op.SHL, (Reg(0), Reg(ECX))),
+    Instruction(Op.NEG, (Reg(5),)),
+    Instruction(Op.NOT, (Reg(6),)),
+    Instruction(Op.CALL, (Imm(0x2000),)),
+    Instruction(Op.JMP, (Imm(0x400),)),
+    Instruction(Op.JCC, (Imm(0x1080),), cond=Cond.EQ),
+    Instruction(Op.JCC, (Imm(0x0F00),), cond=Cond.GE),
+    Instruction(Op.ICALL, (Reg(0),)),
+    Instruction(Op.ICALL, (Mem(3, 0x48),)),
+    Instruction(Op.IJMP, (Reg(7),)),
+    Instruction(Op.IJMP, (Mem(4, 0x100),)),
+]
+
+ARM_CASES = [
+    Instruction(Op.NOP),
+    Instruction(Op.HLT),
+    Instruction(Op.RET),
+    Instruction(Op.SYSCALL),
+    Instruction(Op.MOV, (Reg(0), Reg(12))),
+    Instruction(Op.MOV, (Reg(4), Imm(-5))),
+    Instruction(Op.MOVT, (Reg(4), Imm(0xBEEF))),
+    Instruction(Op.LOAD, (Reg(3), Mem(13, 0x40))),
+    Instruction(Op.STORE, (Mem(13, -0x20), Reg(9))),
+    Instruction(Op.LEA, (Reg(2), Mem(13, 0x100))),
+    Instruction(Op.ADD, (Reg(5), Reg(6))),
+    Instruction(Op.ADD, (Reg(5), Imm(12))),
+    Instruction(Op.SUB, (Reg(7), Imm(-3))),
+    Instruction(Op.MUL, (Reg(8), Reg(9))),
+    Instruction(Op.DIV, (Reg(1), Reg(2))),
+    Instruction(Op.MOD, (Reg(1), Reg(2))),
+    Instruction(Op.AND, (Reg(10), Imm(0xFF))),
+    Instruction(Op.OR, (Reg(11), Reg(0))),
+    Instruction(Op.XOR, (Reg(3), Reg(3))),
+    Instruction(Op.SHL, (Reg(1), Imm(4))),
+    Instruction(Op.SHR, (Reg(1), Reg(2))),
+    Instruction(Op.SAR, (Reg(1), Imm(31))),
+    Instruction(Op.NEG, (Reg(4),)),
+    Instruction(Op.NOT, (Reg(5),)),
+    Instruction(Op.CMP, (Reg(0), Imm(7))),
+    Instruction(Op.CMP, (Reg(0), Reg(1))),
+    Instruction(Op.PUSH, (Reg(14),)),
+    Instruction(Op.POP, (Reg(4),)),
+    Instruction(Op.JMP, (Imm(0x1100),)),
+    Instruction(Op.CALL, (Imm(0x2000),)),
+    Instruction(Op.JCC, (Imm(0x0F00),), cond=Cond.LT),
+    Instruction(Op.IJMP, (Reg(3),)),
+    Instruction(Op.ICALL, (Reg(12),)),
+]
+
+
+@pytest.mark.parametrize("ins", X86_CASES, ids=repr)
+def test_x86like_roundtrip(ins):
+    assert roundtrip(X86LIKE, ins) == ins
+
+
+@pytest.mark.parametrize("ins", ARM_CASES, ids=repr)
+def test_armlike_roundtrip(ins):
+    decoded = roundtrip(ARMLIKE, ins)
+    if ins.op is Op.LEA and ins.operands[0].index == ins.operands[1].base:
+        pytest.skip("LEA with dst==base legitimately decodes as ADD-imm")
+    assert decoded == ins
+
+
+def test_x86like_sizes_are_variable():
+    sizes = {len(X86LIKE.encode(ins, 0)) for ins in X86_CASES}
+    assert min(sizes) == 1
+    assert max(sizes) >= 6
+
+
+def test_armlike_every_instruction_is_four_bytes():
+    for ins in ARM_CASES:
+        assert len(ARMLIKE.encode(ins, 0)) == 4
+
+
+def test_x86like_ret_is_single_c3():
+    assert X86LIKE.encode(Instruction(Op.RET), 0) == b"\xC3"
+
+
+def test_armlike_rejects_unaligned_fetch():
+    code = ARMLIKE.encode(Instruction(Op.NOP), 0) * 2
+    with pytest.raises(DecodeError):
+        ARMLIKE.decode(code, 1, 1)
+
+
+def test_armlike_rejects_wide_immediate():
+    with pytest.raises(AssemblerError):
+        ARMLIKE.encode(Instruction(Op.MOV, (Reg(0), Imm(0x12345))), 0)
+
+
+def test_x86like_div_requires_eax():
+    with pytest.raises(AssemblerError):
+        X86LIKE.encode(Instruction(Op.DIV, (Reg(EBX), Reg(1))), 0)
+
+
+def test_x86like_mod_requires_edx():
+    with pytest.raises(AssemblerError):
+        X86LIKE.encode(Instruction(Op.MOD, (Reg(EAX), Reg(1))), 0)
+
+
+def test_x86like_variable_shift_requires_ecx():
+    with pytest.raises(AssemblerError):
+        X86LIKE.encode(Instruction(Op.SHL, (Reg(0), Reg(EBX))), 0)
+
+
+def test_armlike_rejects_memory_alu():
+    with pytest.raises(AssemblerError):
+        ARMLIKE.encode(Instruction(Op.ADD, (Reg(0), Mem(13, 8))), 0)
+
+
+def test_x86like_movt_not_encodable():
+    with pytest.raises(AssemblerError):
+        X86LIKE.encode(Instruction(Op.MOVT, (Reg(0), Imm(1))), 0)
+
+
+def test_branch_relative_addressing():
+    # A JMP back to its own address encodes a negative displacement.
+    ins = Instruction(Op.JMP, (Imm(0x1000),))
+    decoded = X86LIKE.decode(X86LIKE.encode(ins, 0x1000), 0, 0x1000)
+    assert decoded.instruction.operands[0] == Imm(0x1000)
+    decoded = ARMLIKE.decode(ARMLIKE.encode(ins, 0x1000), 0, 0x1000)
+    assert decoded.instruction.operands[0] == Imm(0x1000)
+
+
+def test_armlike_branch_must_be_aligned():
+    with pytest.raises(AssemblerError):
+        ARMLIKE.encode(Instruction(Op.JMP, (Imm(0x1001),)), 0x1000)
+
+
+def test_decode_garbage_raises():
+    with pytest.raises(DecodeError):
+        X86LIKE.decode(b"\x06", 0, 0)
+    with pytest.raises(DecodeError):
+        ARMLIKE.decode(b"\xFF\x00\x00\x00", 0, 0)
+
+
+def test_decode_truncated_raises():
+    with pytest.raises(DecodeError):
+        X86LIKE.decode(b"\xB8\x01", 0, 0)   # MOV r, imm32 cut short
+    with pytest.raises(DecodeError):
+        ARMLIKE.decode(b"\x01\x00", 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Property-based round-trips
+# ----------------------------------------------------------------------
+regs8 = st.integers(min_value=0, max_value=7).map(Reg)
+regs16 = st.integers(min_value=0, max_value=15).map(Reg)
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1).map(Imm)
+imm16 = st.integers(min_value=-(2**15), max_value=2**15 - 1).map(Imm)
+disp32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+disp16 = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+mem_x86 = st.builds(Mem, st.integers(0, 7), disp32)
+mem_arm = st.builds(Mem, st.integers(0, 15), disp16)
+
+BIN_ALU = [Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.CMP]
+
+
+@st.composite
+def x86_instructions(draw):
+    kind = draw(st.sampled_from(["mov_ri", "mov_rr", "load", "store", "lea",
+                                 "alu_rr", "alu_ri", "alu_rm", "alu_mr",
+                                 "push", "pop", "shift"]))
+    if kind == "mov_ri":
+        return Instruction(Op.MOV, (draw(regs8), draw(imm32)))
+    if kind == "mov_rr":
+        return Instruction(Op.MOV, (draw(regs8), draw(regs8)))
+    if kind == "load":
+        return Instruction(Op.LOAD, (draw(regs8), draw(mem_x86)))
+    if kind == "store":
+        return Instruction(Op.STORE, (draw(mem_x86), draw(regs8)))
+    if kind == "lea":
+        return Instruction(Op.LEA, (draw(regs8), draw(mem_x86)))
+    if kind == "alu_rr":
+        return Instruction(draw(st.sampled_from(BIN_ALU)),
+                           (draw(regs8), draw(regs8)))
+    if kind == "alu_ri":
+        return Instruction(draw(st.sampled_from(BIN_ALU)),
+                           (draw(regs8), draw(imm32)))
+    if kind == "alu_rm":
+        return Instruction(draw(st.sampled_from(BIN_ALU)),
+                           (draw(regs8), draw(mem_x86)))
+    if kind == "alu_mr":
+        return Instruction(draw(st.sampled_from(BIN_ALU)),
+                           (draw(mem_x86), draw(regs8)))
+    if kind == "push":
+        return Instruction(Op.PUSH, (draw(st.one_of(regs8, imm32, mem_x86)),))
+    if kind == "pop":
+        return Instruction(Op.POP, (draw(st.one_of(regs8, mem_x86)),))
+    return Instruction(draw(st.sampled_from([Op.SHL, Op.SHR, Op.SAR])),
+                       (draw(regs8), Imm(draw(st.integers(0, 31)))))
+
+
+@st.composite
+def arm_instructions(draw):
+    kind = draw(st.sampled_from(["mov_ri", "mov_rr", "movt", "load", "store",
+                                 "alu_rr", "alu_ri", "push", "pop"]))
+    if kind == "mov_ri":
+        return Instruction(Op.MOV, (draw(regs16), draw(imm16)))
+    if kind == "mov_rr":
+        return Instruction(Op.MOV, (draw(regs16), draw(regs16)))
+    if kind == "movt":
+        return Instruction(Op.MOVT, (draw(regs16),
+                                     Imm(draw(st.integers(0, 0xFFFF)))))
+    if kind == "load":
+        return Instruction(Op.LOAD, (draw(regs16), draw(mem_arm)))
+    if kind == "store":
+        return Instruction(Op.STORE, (draw(mem_arm), draw(regs16)))
+    if kind == "alu_rr":
+        ops = BIN_ALU + [Op.MUL, Op.DIV, Op.MOD, Op.SHL, Op.SHR, Op.SAR]
+        return Instruction(draw(st.sampled_from(ops)),
+                           (draw(regs16), draw(regs16)))
+    if kind == "alu_ri":
+        return Instruction(draw(st.sampled_from(BIN_ALU)),
+                           (draw(regs16), draw(imm16)))
+    if kind == "push":
+        return Instruction(Op.PUSH, (draw(regs16),))
+    return Instruction(Op.POP, (draw(regs16),))
+
+
+@given(x86_instructions())
+@settings(max_examples=300, deadline=None)
+def test_x86like_roundtrip_property(ins):
+    assert roundtrip(X86LIKE, ins) == ins
+
+
+@given(arm_instructions())
+@settings(max_examples=300, deadline=None)
+def test_armlike_roundtrip_property(ins):
+    assert roundtrip(ARMLIKE, ins) == ins
+
+
+@given(st.binary(min_size=0, max_size=16))
+@settings(max_examples=300, deadline=None)
+def test_x86like_decode_never_crashes(data):
+    """Decoding arbitrary bytes either succeeds or raises DecodeError."""
+    try:
+        decoded = X86LIKE.decode(data, 0, 0x1000)
+        assert 1 <= decoded.size <= len(data)
+    except DecodeError:
+        pass
+
+
+@given(st.binary(min_size=4, max_size=4))
+@settings(max_examples=300, deadline=None)
+def test_armlike_decode_never_crashes(data):
+    try:
+        decoded = ARMLIKE.decode(data, 0, 0x1000)
+        assert decoded.size == 4
+    except DecodeError:
+        pass

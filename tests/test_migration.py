@@ -1,0 +1,222 @@
+"""Tests for cross-ISA migration: site index, stack transform, engine."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.compiler import ir
+from repro.core import PSRConfig, run_native
+from repro.core.hipstr import HIPStRSystem, run_under_hipstr
+from repro.migration.sitemap import CallSiteIndex
+
+
+SOURCE = """
+int leaf(int a) { return a + 7; }
+int branchy(int a, int b) {
+    int r;
+    if (a > b) { r = leaf(a); } else { r = leaf(b); }
+    return r * 2;
+}
+int main() {
+    int i; int total;
+    total = 0; i = 0;
+    while (i < 6) {
+        total = total + branchy(i, 3);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_minic(SOURCE)
+
+
+class TestCallSiteIndex:
+    def test_every_call_site_resolves(self, binary):
+        index = CallSiteIndex(binary.symtab, binary.program)
+        for isa_name in binary.isa_names:
+            for info in binary.symtab:
+                for site in info.per_isa[isa_name].call_sites:
+                    resolved = index.resolve(isa_name, site.return_address)
+                    assert resolved is not None
+                    assert resolved.function == info.name
+
+    def test_unknown_address_resolves_to_none(self, binary):
+        index = CallSiteIndex(binary.symtab, binary.program)
+        assert index.resolve("x86like", 0x12345) is None
+
+    def test_live_after_call_excludes_dead_values(self, binary):
+        index = CallSiteIndex(binary.symtab, binary.program)
+        info = binary.symtab.function("main")
+        sites = info.per_isa["x86like"].call_sites
+        resolved = index.resolve("x86like", sites[0].return_address)
+        live = index.live_after_call(resolved)
+        # total and i are live around the loop
+        assert "total" in live
+        assert "i" in live
+
+    def test_ordinals_match_across_isas(self, binary):
+        index = CallSiteIndex(binary.symtab, binary.program)
+        x86_sites = sorted(index.sites_for("x86like").values(),
+                           key=lambda s: (s.function, s.block, s.ordinal))
+        arm_sites = sorted(index.sites_for("armlike").values(),
+                           key=lambda s: (s.function, s.block, s.ordinal))
+        assert [(s.function, s.block, s.ordinal) for s in x86_sites] == \
+            [(s.function, s.block, s.ordinal) for s in arm_sites]
+
+    def test_window_words_direct_vs_indirect(self):
+        source = """
+            int f(int a, int b) { return a + b; }
+            int main() { int p; p = &f; return f(1, 2) + p(3, 4); }
+        """
+        fat = compile_minic(source)
+        index = CallSiteIndex(fat.symtab, fat.program)
+        sites = sorted(index.sites_for("x86like").values(),
+                       key=lambda s: s.return_address)
+        direct = [s for s in sites if isinstance(s.call, ir.Call)]
+        indirect = [s for s in sites if isinstance(s.call, ir.CallIndirect)]
+        assert direct and indirect
+
+        class FakeReloc:
+            arg_window_words = 9
+        assert index.window_words("x86like", direct[0],
+                                  lambda name: FakeReloc()) == 9
+        assert index.window_words("x86like", indirect[0], None) == 2
+
+
+class TestMigrationCorrectness:
+    def test_security_migrations_preserve_semantics(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        system, result = run_under_hipstr(binary, seed=1,
+                                          migration_probability=1.0)
+        assert result.result.reason == "halt"
+        assert result.exit_code == want
+        assert result.migration_count >= 1
+
+    def test_migrations_alternate_isas(self, binary):
+        system, result = run_under_hipstr(binary, seed=1,
+                                          migration_probability=1.0)
+        for record in result.migrations:
+            assert record.source_isa != record.target_isa
+
+    def test_both_isas_execute(self, binary):
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        assert result.steps_by_isa["x86like"] > 0
+        assert result.steps_by_isa["armlike"] > 0
+
+    def test_zero_probability_never_migrates(self, binary):
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=0.0)
+        assert result.migration_count == 0
+        assert result.steps_by_isa["armlike"] == 0
+
+    def test_phase_migrations(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=0.0,
+                                     phase_interval=300)
+        assert result.exit_code == want
+        kinds = {record.kind for record in result.migrations}
+        assert kinds == {"block"}
+        assert result.migration_count >= 1
+
+    def test_start_isa_armlike(self, binary):
+        want = run_native(binary, "armlike").os.exit_code
+        _, result = run_under_hipstr(binary, seed=2, start_isa="armlike",
+                                     migration_probability=1.0)
+        assert result.exit_code == want
+        assert result.migrations[0].source_isa == "armlike"
+
+    def test_transform_reports_work_done(self, binary):
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        for record in result.migrations:
+            assert record.report.frames >= 1
+            assert record.report.values_moved >= 0
+
+    @pytest.mark.parametrize("name", ["gobmk", "httpd"])
+    def test_workloads_with_migration(self, name):
+        from repro.workloads import WORKLOADS, compile_workload
+        workload = WORKLOADS[name]
+        fat = compile_workload(name)
+        want = run_native(fat, "x86like", stdin=workload.stdin).os.exit_code
+        _, result = run_under_hipstr(fat, seed=4, migration_probability=0.7,
+                                     stdin=workload.stdin,
+                                     phase_interval=40_000)
+        assert result.result.reason == "halt"
+        assert result.exit_code == want
+
+    def test_deep_recursion_migrates_with_many_frames(self):
+        source = """
+            int down(int n) {
+                if (n == 0) { return 1; }
+                return down(n - 1) + n;
+            }
+            int main() { return down(40); }
+        """
+        fat = compile_minic(source)
+        want = run_native(fat, "x86like").os.exit_code
+        system, result = run_under_hipstr(fat, seed=5,
+                                          migration_probability=1.0)
+        assert result.exit_code == want
+        deepest = max(record.report.frames for record in result.migrations)
+        assert deepest > 3     # the walk really crossed many frames
+
+    def test_pointers_into_stack_survive_migration(self):
+        source = """
+            int fill(int p, int n) {
+                int i;
+                i = 0;
+                while (i < n) { store(p + i * 4, i * 3); i = i + 1; }
+                return n;
+            }
+            int total(int p, int n) {
+                int i; int s;
+                s = 0; i = 0;
+                while (i < n) { s = s + load(p + i * 4); i = i + 1; }
+                return s;
+            }
+            int main() {
+                int buf[8];
+                fill(&buf, 8);
+                return total(&buf, 8);
+            }
+        """
+        fat = compile_minic(source)
+        want = run_native(fat, "x86like").os.exit_code
+        _, result = run_under_hipstr(fat, seed=6, migration_probability=1.0)
+        assert result.exit_code == want
+        assert result.migration_count >= 1
+
+
+class TestHIPStRSystem:
+    def test_rejects_unknown_isa(self, binary):
+        with pytest.raises(ValueError):
+            HIPStRSystem(binary, start_isa="mips")
+
+    def test_sibling_pretranslation(self, binary):
+        system, result = run_under_hipstr(binary, seed=1,
+                                          migration_probability=0.0)
+        # compulsory misses on the active ISA pre-translate on the other
+        assert system.vms["armlike"].stats.units_installed > 0
+        assert result.steps_by_isa["armlike"] == 0
+
+    def test_rerandomize_bumps_epoch(self, binary):
+        system = HIPStRSystem(binary, seed=1)
+        before = {name: vm.epoch for name, vm in system.vms.items()}
+        system.rerandomize()
+        for name, vm in system.vms.items():
+            assert vm.epoch == before[name] + 1
+            assert not vm.reloc_maps
+
+    def test_determinism(self, binary):
+        first = run_under_hipstr(binary, seed=9,
+                                 migration_probability=0.5)[1]
+        second = run_under_hipstr(binary, seed=9,
+                                  migration_probability=0.5)[1]
+        assert first.exit_code == second.exit_code
+        assert first.migration_count == second.migration_count
+        assert first.steps_by_isa == second.steps_by_isa

@@ -1,0 +1,143 @@
+"""Edge-case tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.compiler.minic import (
+    parse,
+    tokenize,
+    unescape_string,
+)
+from repro.errors import CompileError
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("int x = 0x1F; // note")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "name", "op", "number", "op", "eof"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("int a;\nint b;\nint c;")
+        c_token = [t for t in tokens if t.text == "c"][0]
+        assert c_token.line == 3
+
+    def test_char_literals_become_numbers(self):
+        tokens = tokenize("'A' '\\n' '\\0'")
+        values = [int(t.text) for t in tokens if t.kind == "number"]
+        assert values == [65, 10, 0]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b >> 2 && c != d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">>", "&&", "!="]
+
+    def test_block_comment_spans_lines(self):
+        tokens = tokenize("/* one\ntwo */ int x;")
+        assert tokens[0].text == "int"
+        assert tokens[0].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("int @x;")
+
+    def test_unescape(self):
+        assert unescape_string('"a\\nb"') == b"a\nb"
+        assert unescape_string('"\\\\"') == b"\\"
+        assert unescape_string('""') == b""
+
+
+class TestParserStructure:
+    def test_precedence_tree(self):
+        from repro.compiler.minic import Binary, Num
+        program = parse("int main() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, Binary) and ret.value.operator == "+"
+        assert isinstance(ret.value.right, Binary)
+        assert ret.value.right.operator == "*"
+
+    def test_parenthesized_overrides(self):
+        from repro.compiler.minic import Binary
+        program = parse("int main() { return (1 + 2) * 3; }")
+        ret = program.functions[0].body[0]
+        assert ret.value.operator == "*"
+        assert ret.value.left.operator == "+"
+
+    def test_unary_chain(self):
+        from repro.compiler.minic import Unary
+        program = parse("int main() { return - - 5; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, Unary)
+        assert isinstance(ret.value.operand, Unary)
+
+    def test_nested_index_expression(self):
+        parse("int t[4]; int main() { return t[t[0]]; }")
+
+    def test_call_args(self):
+        from repro.compiler.minic import CallExpr
+        program = parse("int f(int a, int b) { return a; } "
+                        "int main() { return f(1, 2 + 3); }")
+        ret = program.functions[1].body[0]
+        assert isinstance(ret.value, CallExpr)
+        assert len(ret.value.args) == 2
+
+    def test_global_negative_initializer(self):
+        program = parse("int g = -5; int main() { return g; }")
+        assert program.globals[0].init_values == [-5]
+
+    def test_global_array_list_initializer(self):
+        program = parse("int t[3] = {1, -2, 3}; int main() { return 0; }")
+        assert program.globals[0].init_values == [1, -2, 3]
+
+    def test_empty_return(self):
+        program = parse("int main() { return; }")
+        assert program.functions[0].body[0].value is None
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(CompileError):
+            parse("int main( { return 0; }")
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(CompileError):
+            parse("int main() { return 0;")
+
+    def test_statement_level_index_expression(self):
+        # a[i]; as a bare expression statement (backtracking path)
+        parse("int a[4]; int main() { int i; i = 0; a[i]; return 0; }")
+
+
+class TestEndToEndSemantics:
+    def run(self, source, expected):
+        from repro.compiler import compile_minic
+        from repro.core import run_native
+        process = run_native(compile_minic(source), "x86like")
+        assert process.os.exit_code == expected
+
+    def test_char_arithmetic(self):
+        self.run("int main() { return 'z' - 'a'; }", 25)
+
+    def test_not_operator_chains(self):
+        self.run("int main() { return !!7 + !0; }", 2)
+
+    def test_comparison_yields_zero_one(self):
+        self.run("int main() { return (3 < 5) * 10 + (5 < 3); }", 10)
+
+    def test_shift_precedence(self):
+        self.run("int main() { return 1 << 2 + 1; }", 8)
+
+    def test_mixed_logic(self):
+        self.run("int main() { return 1 && 2 || 0; }", 1)
+
+    def test_while_with_complex_condition(self):
+        self.run("""
+            int main() { int i; i = 0;
+                while (i < 10 && i * i < 50) { i = i + 1; }
+                return i; }
+        """, 8)
+
+    def test_deeply_nested_ifs(self):
+        self.run("""
+            int main() { int x; x = 7;
+                if (x > 0) { if (x > 5) { if (x > 6) { return 3; }
+                    return 2; } return 1; }
+                return 0; }
+        """, 3)

@@ -1,0 +1,297 @@
+"""Tests for program state relocation: maps, translation, execution."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_minic
+from repro.core import (
+    PSRConfig,
+    build_relocation_map,
+    run_native,
+    run_under_psr,
+)
+from repro.core.psr import PSRVirtualMachine
+from repro.errors import SecurityViolation
+from repro.isa import ARMLIKE, ISAS, X86LIKE
+from repro.workloads import WORKLOADS, compile_workload
+
+SIMPLE = """
+int helper(int a, int b) { return a * 10 + b; }
+int main() {
+    int i; int total;
+    total = 0; i = 0;
+    while (i < 5) { total = total + helper(i, i + 1); i = i + 1; }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def simple_binary():
+    return compile_minic(SIMPLE)
+
+
+# ----------------------------------------------------------------------
+# PSRConfig
+# ----------------------------------------------------------------------
+class TestPSRConfig:
+    def test_defaults_match_paper(self):
+        config = PSRConfig()
+        assert config.randomization_space == 8192       # 2 pages = 8 KB
+        assert config.entropy_bits_per_parameter == 13  # log2(8 KB)
+        assert config.opt_level == 3
+
+    def test_sixteen_pages_gives_sixteen_bits(self):
+        config = PSRConfig(randomization_pages=16)
+        assert config.entropy_bits_per_parameter == 16
+
+    def test_register_cache_by_level(self):
+        assert PSRConfig(opt_level=0).register_cache_size == 0
+        assert PSRConfig(opt_level=1).register_cache_size == 0
+        assert PSRConfig(opt_level=2).register_cache_size == 3
+        assert PSRConfig(opt_level=3).register_cache_size == 3
+
+    def test_register_bias_only_at_o3(self):
+        assert not PSRConfig(opt_level=2).register_bias
+        assert PSRConfig(opt_level=3).register_bias
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            PSRConfig(randomization_pages=0)
+        with pytest.raises(ValueError):
+            PSRConfig(opt_level=5)
+
+
+# ----------------------------------------------------------------------
+# Relocation maps
+# ----------------------------------------------------------------------
+class TestRelocationMap:
+    def build(self, isa=X86LIKE, seed=0, config=None, source=SIMPLE,
+              function="helper"):
+        binary = compile_minic(source)
+        info = binary.symtab.function(function)
+        fn = binary.program.functions[function]
+        config = config or PSRConfig()
+        rng = random.Random(seed)
+        return build_relocation_map(info, fn, isa, config, rng), info
+
+    def test_slots_word_aligned_and_disjoint(self):
+        reloc, _ = self.build()
+        offsets = list(reloc.slots.values()) + list(reloc.save_slots.values())
+        assert all(offset % 4 == 0 for offset in offsets)
+        assert len(set(offsets)) == len(offsets)
+        assert all(0 <= offset < reloc.total_data_size for offset in offsets)
+
+    def test_frame_enlarged_by_randomization_space(self):
+        config = PSRConfig(randomization_pages=4)
+        reloc, info = self.build(config=config)
+        assert reloc.total_data_size == \
+            info.layout.frame_data_size + 4 * 4096
+
+    def test_registers_come_from_allocatable_pool(self):
+        reloc, _ = self.build(config=PSRConfig(opt_level=3))
+        for register in reloc.registers.values():
+            assert register in X86LIKE.allocatable
+
+    def test_o0_relocates_everything_to_stack(self):
+        reloc, _ = self.build(config=PSRConfig(opt_level=0))
+        assert not reloc.registers
+        assert reloc.slots
+
+    def test_o3_register_bias_keeps_values_in_registers(self):
+        reloc, _ = self.build(config=PSRConfig(opt_level=3))
+        assert len(reloc.registers) >= 3
+
+    def test_arg_positions_within_window(self):
+        reloc, info = self.build()
+        assert len(reloc.arg_positions) == len(info.params)
+        positions = list(reloc.arg_positions.values())
+        assert len(set(positions)) == len(positions)
+        assert all(0 <= p < reloc.arg_window_words for p in positions)
+        assert reloc.arg_window_words >= len(info.params)
+
+    def test_different_seeds_differ(self):
+        a, _ = self.build(seed=1)
+        b, _ = self.build(seed=2)
+        assert (a.slots != b.slots or a.registers != b.registers
+                or a.fixed_base != b.fixed_base)
+
+    def test_convention_shared_across_isas(self):
+        """HIPStR invariant: window geometry is ISA-independent."""
+        config = PSRConfig()
+        conv_seed = "conv"
+        maps = {}
+        for isa in (X86LIKE, ARMLIKE):
+            binary = compile_minic(SIMPLE)
+            info = binary.symtab.function("helper")
+            fn = binary.program.functions["helper"]
+            maps[isa.name] = build_relocation_map(
+                info, fn, isa, config,
+                random.Random(f"{isa.name}"),
+                convention_rng=random.Random(conv_seed))
+        assert maps["x86like"].arg_window_words == \
+            maps["armlike"].arg_window_words
+        assert maps["x86like"].arg_positions == maps["armlike"].arg_positions
+        assert maps["x86like"].fixed_base == maps["armlike"].fixed_base
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_slot_disjointness_property(self, seed):
+        reloc, _ = self.build(seed=seed, function="main")
+        offsets = list(reloc.slots.values()) + list(reloc.save_slots.values())
+        assert len(set(offsets)) == len(offsets)
+
+
+# ----------------------------------------------------------------------
+# Execution under PSR
+# ----------------------------------------------------------------------
+class TestPSRExecution:
+    @pytest.mark.parametrize("isa_name", ["x86like", "armlike"])
+    @pytest.mark.parametrize("opt_level", [0, 1, 2, 3])
+    def test_simple_program_all_levels(self, simple_binary, isa_name,
+                                       opt_level):
+        want = run_native(simple_binary, isa_name).os.exit_code
+        run = run_under_psr(simple_binary, isa_name,
+                            PSRConfig(opt_level=opt_level), seed=11)
+        assert run.result.reason == "halt"
+        assert run.exit_code == want
+
+    @pytest.mark.parametrize("name", ["mcf", "httpd", "gobmk"])
+    @pytest.mark.parametrize("isa_name", ["x86like", "armlike"])
+    def test_workloads(self, name, isa_name):
+        workload = WORKLOADS[name]
+        binary = compile_workload(name)
+        want = run_native(binary, isa_name, stdin=workload.stdin).os.exit_code
+        run = run_under_psr(binary, isa_name, seed=3, stdin=workload.stdin)
+        assert run.result.reason == "halt"
+        assert run.exit_code == want
+
+    def test_different_seeds_same_result_different_cache(self, simple_binary):
+        first = run_under_psr(simple_binary, "x86like", seed=1)
+        second = run_under_psr(simple_binary, "x86like", seed=2)
+        assert first.exit_code == second.exit_code
+        assert first.vm.cache_bytes() != second.vm.cache_bytes()
+
+    def test_stats_accumulate(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=1)
+        stats = run.vm.stats
+        assert stats.units_installed > 0
+        assert stats.relocation_maps_built >= 2      # helper + main
+        assert stats.dispatches > 0
+        assert run.vm.rat.stats.hits > 0             # loop of calls
+
+    def test_security_events_are_return_compulsory_misses(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=1)
+        events = run.vm.stats.security_events_by_kind
+        assert set(events) <= {"ret", "ijmp", "icall"}
+        assert run.vm.stats.security_events >= 1
+
+    def test_function_pointer_programs(self):
+        binary = compile_minic("""
+            int double_it(int x) { return x * 2; }
+            int main() { int f; f = &double_it; return f(21); }
+        """)
+        run = run_under_psr(binary, "x86like", seed=9)
+        assert run.exit_code == 42
+        assert run.vm.stats.security_events_by_kind.get("icall", 0) >= 1
+
+    def test_return_addresses_on_stack_are_source_addresses(self,
+                                                            simple_binary):
+        """The RAT discipline: nothing on the stack names the cache."""
+        process_run = run_under_psr(simple_binary, "x86like", seed=4)
+        vm = process_run.vm
+        # Scan the final stack for cache addresses.
+        stack = process_run.process.memory.segment("stack")
+        for offset in range(0, stack.size - 4, 4):
+            word = int.from_bytes(stack.data[offset:offset + 4], "little")
+            assert not vm.cache.contains_address(word)
+
+    def test_code_cache_does_not_leak_into_text(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=4)
+        text = run.process.memory.segment("text.x86like")
+        assert text.data == bytes(simple_binary.text("x86like")).ljust(
+            text.size, b"\x00")
+
+    def test_rerandomize_changes_cache(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=8)
+        before = run.vm.cache_bytes()
+        run.vm.rerandomize()
+        # Re-run the program on the same VM after re-randomization.
+        process = run.process
+        process.cpu.pc = simple_binary.entry("x86like")
+        process.cpu.halted = False
+        from repro.machine.process import Layout
+        process.cpu.sp = Layout.STACK_TOP - 16
+        process.os.reset()
+        process.run(5_000_000)
+        assert process.os.exit_code is not None
+        after = run.vm.cache_bytes()
+        assert before != after
+
+    DEEP = """
+        int leaf(int x) { return x + 1; }
+        int mid(int x) { return leaf(x) + leaf(x + 1); }
+        int fib(int n) {
+            if (n < 2) { return mid(n); }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(8); }
+    """
+
+    def test_small_code_cache_flushes_but_stays_correct(self):
+        binary = compile_minic(self.DEEP)
+        want = run_native(binary, "x86like").os.exit_code
+        config = PSRConfig(code_cache_size=512)
+        run = run_under_psr(binary, "x86like", config, seed=2)
+        assert run.exit_code == want
+        assert run.vm.cache.stats.flushes > 0
+        assert run.vm.cache.stats.capacity_misses > 0
+
+    def test_tiny_rat_stays_correct(self):
+        binary = compile_minic(self.DEEP)
+        want = run_native(binary, "x86like").os.exit_code
+        run = run_under_psr(binary, "x86like",
+                            PSRConfig(rat_size=2), seed=2)
+        assert run.exit_code == want
+        assert run.vm.rat.stats.evictions > 0
+
+
+# ----------------------------------------------------------------------
+# Fragment translation (the gadget-entry path)
+# ----------------------------------------------------------------------
+class TestFragmentTranslation:
+    def test_mid_function_entry_installs_fragment(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=1)
+        vm = run.vm
+        info = simple_binary.symtab.function("helper")
+        per_isa = info.per_isa["x86like"]
+        # Pick an address strictly inside the function that is not a unit
+        # boundary: one byte... use a decoded mid-block instruction start.
+        from repro.isa import linear_disassemble
+        section = simple_binary.sections["x86like"]
+        decoded = linear_disassemble(X86LIKE, section.data,
+                                     section.base_address,
+                                     start=per_isa.entry)
+        boundaries = set(per_isa.block_addresses.values()) | {per_isa.entry}
+        boundaries |= {s.return_address for s in per_isa.call_sites}
+        inside = [d.address for d in decoded
+                  if per_isa.entry < d.address < per_isa.end
+                  and d.address not in boundaries]
+        assert inside
+        cache_address = vm.install_unit(inside[0])
+        assert cache_address is not None
+        assert vm.stats.fragments_installed == 1
+
+    def test_wild_address_returns_none(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=1)
+        assert run.vm.install_unit(0xDEAD0000) is None
+
+    def test_indirect_jump_into_cache_is_sfi_violation(self, simple_binary):
+        run = run_under_psr(simple_binary, "x86like", seed=1)
+        vm = run.vm
+        cpu = run.process.cpu
+        with pytest.raises(SecurityViolation):
+            vm.resolve_target("ijmp", cpu, vm.cache.base + 4)
+        assert vm.stats.sfi_violations == 1

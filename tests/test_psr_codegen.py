@@ -1,0 +1,134 @@
+"""Structural tests for the PSR unit translator (core/psr_codegen)."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import PSRConfig
+from repro.core.runner import create_psr_process
+from repro.isa import ISAS, Imm, Instruction, Op, X86LIKE
+
+SOURCE = """
+int helper(int a, int b) { return a - b; }
+int chain(int x) { return helper(x, 1) + helper(x, 2); }
+int main() {
+    int i; int s;
+    s = 0; i = 0;
+    while (i < 4) { s = s + chain(i); i = i + 1; }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def vm():
+    binary = compile_minic(SOURCE)
+    _process, vm = create_psr_process(binary, ISAS["x86like"],
+                                      PSRConfig(opt_level=3), seed=5)
+    return vm
+
+
+class TestUnitStructure:
+    def test_units_split_at_calls(self, vm):
+        translation = vm.translation_for("chain")
+        info = vm.binary.symtab.function("chain")
+        per_isa = info.per_isa["x86like"]
+        # every call-return address has its own unit
+        for site in per_isa.call_sites:
+            assert translation.unit_at(site.return_address) is not None
+
+    def test_entry_unit_flagged(self, vm):
+        translation = vm.translation_for("chain")
+        info = vm.binary.symtab.function("chain")
+        entry_unit = translation.unit_at(info.entry("x86like"))
+        assert entry_unit is not None
+        assert entry_unit.is_function_entry
+
+    def test_units_end_in_control_transfer(self, vm):
+        translation = vm.translation_for("main")
+        for unit in {id(u): u for u in translation.units.values()}.values():
+            instructions = [item for item in unit.items
+                            if isinstance(item, Instruction)]
+            assert instructions
+            assert instructions[-1].is_control()
+
+    def test_unit_calls_pair_with_native_returns(self, vm):
+        translation = vm.translation_for("chain")
+        for unit in {id(u): u for u in translation.units.values()}.values():
+            calls = sum(1 for item in unit.items
+                        if isinstance(item, Instruction)
+                        and item.op in (Op.CALL, Op.ICALL))
+            assert calls == len(unit.call_returns)
+
+    def test_control_targets_are_source_addresses(self, vm):
+        """No translated control transfer names the code cache."""
+        translation = vm.translation_for("main")
+        for unit in {id(u): u for u in translation.units.values()}.values():
+            for item in unit.items:
+                if not isinstance(item, Instruction):
+                    continue
+                if item.op in (Op.CALL, Op.JMP, Op.JCC):
+                    target = item.operands[0]
+                    if isinstance(target, Imm):
+                        assert not vm.cache.contains_address(target.value)
+
+    def test_prologue_has_no_pushes(self, vm):
+        """PSR scatters callee saves instead of pushing them (§5.1)."""
+        translation = vm.translation_for("chain")
+        info = vm.binary.symtab.function("chain")
+        entry_unit = translation.unit_at(info.entry("x86like"))
+        reloc = vm.reloc_for("chain")
+        instructions = [item for item in entry_unit.items
+                        if isinstance(item, Instruction)]
+        # scatter = STORE to every save slot, before any push
+        stores = [ins for ins in instructions if ins.op is Op.STORE]
+        assert len(stores) >= len(reloc.save_slots)
+
+    def test_superblocks_inline_jump_chains(self):
+        binary = compile_minic(SOURCE)
+        counts = {}
+        for superblocks in (True, False):
+            _process, vm = create_psr_process(
+                binary, ISAS["x86like"],
+                PSRConfig(opt_level=3, superblocks=superblocks), seed=5)
+            translation = vm.translation_for("main")
+            jumps = 0
+            for unit in {id(u): u for u in translation.units.values()}.values():
+                jumps += sum(1 for item in unit.items
+                             if isinstance(item, Instruction)
+                             and item.op is Op.JMP)
+            counts[superblocks] = jumps
+        assert counts[True] <= counts[False]
+
+    def test_deterministic_translation(self):
+        binary = compile_minic(SOURCE)
+        outputs = []
+        for _ in range(2):
+            _process, vm = create_psr_process(binary, ISAS["x86like"],
+                                              PSRConfig(), seed=9)
+            vm.prewarm()
+            outputs.append(vm.cache_bytes())
+        assert outputs[0] == outputs[1]
+
+
+class TestPrewarm:
+    def test_prewarm_installs_everything(self, vm):
+        binary = vm.binary
+        _process, fresh = create_psr_process(binary, ISAS["x86like"],
+                                             PSRConfig(), seed=1)
+        fresh.prewarm()
+        for info in binary.symtab:
+            per_isa = info.per_isa["x86like"]
+            assert fresh.cache.peek(per_isa.entry) is not None
+            for site in per_isa.call_sites:
+                assert fresh.cache.peek(site.return_address) is not None
+                assert site.return_address in fresh.indirect_targets
+
+    def test_prewarmed_run_has_no_security_events(self):
+        binary = compile_minic(SOURCE)
+        process, vm = create_psr_process(binary, ISAS["x86like"],
+                                         PSRConfig(), seed=2)
+        vm.prewarm()
+        baseline = vm.stats.security_events
+        result = process.run(2_000_000)
+        assert result.reason == "halt"
+        assert vm.stats.security_events == baseline

@@ -1,0 +1,152 @@
+"""Unit tests for the addressing-mode rewriter (core/transforms)."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import PSRConfig, build_relocation_map
+from repro.core.transforms import AddressingModeRewriter
+from repro.isa import ARMLIKE, Imm, Instruction, Mem, Op, Reg, X86LIKE
+
+SOURCE = """
+int work(int a, int b) {
+    int local_array[4];
+    int i; int total;
+    local_array[0] = a;
+    local_array[1] = b;
+    total = 0;
+    i = 0;
+    while (i < 2) { total = total + local_array[i]; i = i + 1; }
+    return total;
+}
+int main() { return work(3, 4); }
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    binary = compile_minic(SOURCE)
+    info = binary.symtab.function("work")
+    fn = binary.program.functions["work"]
+    reloc = build_relocation_map(info, fn, X86LIKE, PSRConfig(),
+                                 random.Random(99))
+    rewriter = AddressingModeRewriter(X86LIKE, reloc, info.layout,
+                                      info.per_isa["x86like"])
+    return binary, info, reloc, rewriter
+
+
+class TestOperandMapping:
+    def test_value_register_is_relocated(self, setup):
+        _, info, reloc, rewriter = setup
+        assignment = info.per_isa["x86like"].register_assignment
+        assert assignment, "expected register-allocated values"
+        native_reg = next(iter(assignment.values()))
+        mapped, moved = rewriter.map_operand(Reg(native_reg))
+        kind, where = reloc.location(
+            {r: v for v, r in assignment.items()}[native_reg])
+        if kind == "register":
+            assert mapped == Reg(where)
+        else:
+            assert mapped == Mem(X86LIKE.sp, where)
+            assert moved
+
+    def test_unmapped_register_is_permuted(self, setup):
+        _, info, reloc, rewriter = setup
+        used = set(info.per_isa["x86like"].register_assignment.values())
+        free = [r for r in X86LIKE.allocatable if r not in used]
+        if not free:
+            pytest.skip("function uses every allocatable register")
+        mapped, _ = rewriter.map_operand(Reg(free[0]))
+        assert isinstance(mapped, Reg)
+        assert mapped.index == reloc.register_permutation[free[0]]
+
+    def test_scratch_register_untouched(self, setup):
+        _, _, _, rewriter = setup
+        for scratch in X86LIKE.scratch:
+            mapped, moved = rewriter.map_operand(Reg(scratch))
+            assert mapped == Reg(scratch)
+            assert not moved
+
+    def test_sp_untouched(self, setup):
+        _, _, _, rewriter = setup
+        mapped, moved = rewriter.map_operand(Reg(X86LIKE.sp))
+        assert mapped == Reg(X86LIKE.sp) and not moved
+
+    def test_local_region_shifts_by_fixed_base(self, setup):
+        _, info, reloc, rewriter = setup
+        offset = info.layout.local_offsets["local_array"]
+        mapped, moved = rewriter.map_operand(Mem(X86LIKE.sp, offset))
+        assert mapped == Mem(X86LIKE.sp, reloc.fixed_base + offset)
+
+    def test_non_sp_memory_untouched(self, setup):
+        _, _, _, rewriter = setup
+        operand = Mem(3, 0x40)          # pointer-based access
+        mapped, moved = rewriter.map_operand(operand)
+        assert mapped == operand and not moved
+
+    def test_above_frame_shifts_by_enlargement(self, setup):
+        _, info, reloc, rewriter = setup
+        disp = info.layout.frame_data_size + 8
+        mapped, _ = rewriter.map_operand(Mem(X86LIKE.sp, disp))
+        assert mapped.disp == reloc.total_data_size + 8
+
+
+class TestRewriting:
+    def test_ret_unchanged(self, setup):
+        _, _, _, rewriter = setup
+        result = rewriter.rewrite(Instruction(Op.RET))
+        assert result.instructions == [Instruction(Op.RET)]
+        assert not result.modified
+
+    def test_rewritten_sequences_are_encodable(self, setup):
+        binary, info, _, rewriter = setup
+        from repro.isa import linear_disassemble
+        section = binary.sections["x86like"]
+        per_isa = info.per_isa["x86like"]
+        decoded = linear_disassemble(X86LIKE, section.data,
+                                     section.base_address,
+                                     start=per_isa.entry)
+        for entry in decoded[:40]:
+            result = rewriter.rewrite(entry.instruction)
+            for instruction in result.instructions:
+                X86LIKE.encode(instruction, 0)   # must not raise
+
+    def test_armlike_rewrites_avoid_memory_operands(self):
+        binary = compile_minic(SOURCE)
+        info = binary.symtab.function("work")
+        fn = binary.program.functions["work"]
+        reloc = build_relocation_map(info, fn, ARMLIKE, PSRConfig(),
+                                     random.Random(5))
+        rewriter = AddressingModeRewriter(ARMLIKE, reloc, info.layout,
+                                          info.per_isa["armlike"])
+        assignment = info.per_isa["armlike"].register_assignment
+        native_reg = next(iter(assignment.values()))
+        result = rewriter.rewrite(
+            Instruction(Op.ADD, (Reg(native_reg), Imm(4))))
+        for instruction in result.instructions:
+            ARMLIKE.encode(instruction, 0)       # must not raise
+            if instruction.op in (Op.ADD,):
+                for operand in instruction.operands:
+                    assert not isinstance(operand, Mem)
+
+    def test_pop_into_relocated_slot(self, setup):
+        _, info, reloc, rewriter = setup
+        assignment = info.per_isa["x86like"].register_assignment
+        stack_values = [(v, r) for v, r in assignment.items()
+                        if reloc.location(v)[0] == "stack"]
+        if not stack_values:
+            pytest.skip("no register value relocated to the stack")
+        _, native_reg = stack_values[0]
+        result = rewriter.rewrite(Instruction(Op.POP, (Reg(native_reg),)))
+        assert result.modified
+        assert any(isinstance(ins.operands[0], Mem)
+                   for ins in result.instructions if ins.op is Op.POP)
+
+    def test_randomized_parameters_counted(self, setup):
+        _, info, _, rewriter = setup
+        assignment = info.per_isa["x86like"].register_assignment
+        native_reg = next(iter(assignment.values()))
+        result = rewriter.rewrite(
+            Instruction(Op.MOV, (Reg(native_reg), Imm(1))))
+        assert result.randomized_parameters >= 0

@@ -1,0 +1,91 @@
+"""Tests for the workload suite: compile, run, agree across ISAs."""
+
+import pytest
+
+from repro.core import run_native
+from repro.isa import ISAS
+from repro.machine import Process
+from repro.workloads import (
+    ISOMERON_COMPARISON_NAMES,
+    SPEC_NAMES,
+    WORKLOADS,
+    compile_workload,
+    get_workload,
+    spec_workloads,
+)
+
+
+class TestRegistry:
+    def test_paper_suite_present(self):
+        assert set(SPEC_NAMES) == {"bzip2", "gobmk", "hmmer", "lbm",
+                                   "libquantum", "mcf", "milc", "sphinx3"}
+        assert "httpd" in WORKLOADS
+
+    def test_isomeron_subset(self):
+        assert set(ISOMERON_COMPARISON_NAMES) <= set(SPEC_NAMES)
+        assert len(ISOMERON_COMPARISON_NAMES) == 6
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("perl")
+
+    def test_spec_workloads_ordered(self):
+        assert [w.name for w in spec_workloads()] == list(SPEC_NAMES)
+
+    def test_metadata(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+            assert workload.phases
+            assert workload.default_work >= 1
+
+    def test_compile_is_cached(self):
+        assert compile_workload("mcf") is compile_workload("mcf")
+        assert compile_workload("mcf") is not compile_workload("mcf", 1)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+class TestWorkloadExecution:
+    def test_runs_and_agrees_across_isas(self, name):
+        workload = WORKLOADS[name]
+        binary = compile_workload(name)
+        exits = {}
+        for isa_name in binary.isa_names:
+            process = Process(binary.to_process_image(), ISAS[isa_name])
+            process.os.reset(stdin=workload.stdin)
+            result = process.run(5_000_000)
+            assert result.reason == "halt", (name, isa_name, result.fault)
+            exits[isa_name] = process.os.exit_code
+        assert exits["x86like"] == exits["armlike"]
+
+    def test_work_scales_instruction_count(self, name):
+        workload = WORKLOADS[name]
+        small = compile_workload(name, 1)
+        big = compile_workload(name, 3)
+        count = {}
+        for label, binary in (("small", small), ("big", big)):
+            process = run_native(binary, "x86like", stdin=workload.stdin)
+            count[label] = process.interpreter.steps_executed
+        if name == "httpd":
+            # httpd is bounded by available requests on stdin
+            assert count["big"] >= count["small"]
+        else:
+            assert count["big"] > count["small"]
+
+
+class TestHttpdBehaviour:
+    def test_serves_requests(self):
+        workload = WORKLOADS["httpd"]
+        binary = compile_workload("httpd")
+        process = Process(binary.to_process_image(), ISAS["x86like"])
+        process.os.reset(stdin=workload.stdin)
+        process.run(2_000_000)
+        stdout = bytes(process.os.stdout)
+        assert b"200 OK" in stdout
+        assert b"404" in stdout
+
+    def test_empty_input_exits_cleanly(self):
+        binary = compile_workload("httpd")
+        process = Process(binary.to_process_image(), ISAS["x86like"])
+        process.os.reset(stdin=b"")
+        result = process.run(2_000_000)
+        assert result.reason == "halt"
