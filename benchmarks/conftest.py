@@ -7,8 +7,22 @@ who wins, by roughly what factor — not absolute numbers.
 
 import pytest
 
+from repro.runtime.engine import ExperimentEngine
+
 
 @pytest.fixture(scope="session")
 def quick_benchmarks():
     """A representative subset for the slower sweeps."""
     return ("bzip2", "mcf", "libquantum", "sphinx3")
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """The fan-out engine for sweep regeneration.
+
+    Serial by default; export ``REPRO_WORKERS=auto`` (or pass
+    ``--workers`` via the CLI) to fan the figure sweeps out per core.
+    The artifact cache makes repeat benchmark runs nearly free either
+    way — set ``REPRO_NO_CACHE=1`` to measure cold paths.
+    """
+    return ExperimentEngine()

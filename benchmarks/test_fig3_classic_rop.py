@@ -10,9 +10,11 @@ from repro.analysis.reporting import format_table, percent
 from repro.workloads import SPEC_NAMES
 
 
-def test_fig3_classic_rop(benchmark):
+def test_fig3_classic_rop(benchmark, engine):
     rows = benchmark.pedantic(experiments.fig3_classic_rop,
-                              args=(SPEC_NAMES,), rounds=1, iterations=1)
+                              args=(SPEC_NAMES,),
+                              kwargs={"engine": engine},
+                              rounds=1, iterations=1)
     print()
     print(format_table(
         ["benchmark", "total", "obfuscated", "unobfuscated", "obf%"],

@@ -13,9 +13,11 @@ from repro.analysis.reporting import format_table, percent
 from repro.workloads import SPEC_NAMES
 
 
-def test_fig4_bruteforce_surface(benchmark):
+def test_fig4_bruteforce_surface(benchmark, engine):
     rows = benchmark.pedantic(experiments.fig4_bruteforce_surface,
-                              args=(SPEC_NAMES,), rounds=1, iterations=1)
+                              args=(SPEC_NAMES,),
+                              kwargs={"engine": engine},
+                              rounds=1, iterations=1)
     print()
     print(format_table(
         ["benchmark", "total", "eliminated", "surviving", "surviving%"],

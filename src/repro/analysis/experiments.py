@@ -3,32 +3,40 @@
 Every driver returns plain data (lists of dataclass rows or dicts) so
 the benchmark harness, tests, and EXPERIMENTS.md generation all consume
 the same code path.  See DESIGN.md's experiment index for the mapping.
+
+Each driver is expressed as a DAG of independent jobs — per benchmark,
+per seed, per configuration — executed through the fan-out engine
+(:mod:`repro.runtime.engine`).  The engine preserves submission order,
+so serial (the default), parallel, and warm-cache runs produce
+byte-identical results.  The expensive artifacts inside each job
+(compiled binaries, Galileo mining, measurement rows) memoize through
+the content-addressed cache (:mod:`repro.runtime.artifacts`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..attacks.bruteforce import BruteForceComparison, simulate_brute_force, table2_row
-from ..attacks.galileo import mine_binary
-from ..attacks.gadgets import PSRGadgetAnalyzer
-from ..attacks.jitrop import JITROPSurface, jitrop_surface
-from ..attacks.tailored import (
-    entropy_series,
-    measure_immunity,
-    surviving_vs_probability,
-)
+from ..attacks.bruteforce import BruteForceComparison, simulate_brute_force
+from ..attacks.jitrop import JITROPSurface
+from ..attacks.tailored import entropy_series, surviving_vs_probability
 from ..core.relocation import PSRConfig
 from ..migration.ondemand import classify_blocks, directional_safety
 from ..perf.migration_cost import summarize
+from ..runtime import artifacts
+from ..runtime.engine import (
+    ExperimentEngine,
+    Job,
+    collect,
+    get_default_engine,
+)
 from ..workloads import (
     ISOMERON_COMPARISON_NAMES,
     SPEC_NAMES,
     WORKLOADS,
     compile_workload,
 )
-from . import perfrun
 
 #: instruction cap for measured runs — a runaway guard, not a target;
 #: perf experiments run their (reduced-size) workloads to completion so
@@ -42,6 +50,12 @@ PERF_WORK = {"bzip2": 1, "gobmk": 1, "hmmer": 1, "lbm": 3, "libquantum": 2,
 
 def _perf_binary(name: str):
     return compile_workload(name, PERF_WORK.get(name))
+
+
+def _run_jobs(engine: Optional[ExperimentEngine], jobs: List[Job]) -> List:
+    """Execute a driver's job DAG; results come back in submission order."""
+    engine = engine or get_default_engine()
+    return collect(engine.run(jobs))
 
 
 # ----------------------------------------------------------------------
@@ -59,18 +73,21 @@ class ClassicROPRow:
         return self.obfuscated / self.total_gadgets if self.total_gadgets else 0.0
 
 
+def _fig3_job(name: str, seed: int) -> ClassicROPRow:
+    binary = compile_workload(name)
+    analyses = artifacts.analyze_gadgets_cached(binary, "x86like", seed=seed)
+    obfuscated = sum(1 for a in analyses if a.obfuscated)
+    return ClassicROPRow(name, len(analyses), obfuscated,
+                         len(analyses) - obfuscated)
+
+
 def fig3_classic_rop(benchmarks: Sequence[str] = SPEC_NAMES,
-                     seed: int = 0) -> List[ClassicROPRow]:
-    rows = []
-    for name in benchmarks:
-        binary = compile_workload(name)
-        gadgets = mine_binary(binary, "x86like")
-        analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
-        analyses = analyzer.analyze_all(gadgets)
-        obfuscated = sum(1 for a in analyses if a.obfuscated)
-        rows.append(ClassicROPRow(name, len(analyses), obfuscated,
-                                  len(analyses) - obfuscated))
-    return rows
+                     seed: int = 0,
+                     engine: Optional[ExperimentEngine] = None,
+                     ) -> List[ClassicROPRow]:
+    return _run_jobs(engine, [
+        Job(key=f"fig3:{name}", fn=_fig3_job, args=(name, seed))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -88,44 +105,61 @@ class BruteForceSurfaceRow:
         return self.surviving / self.total_gadgets if self.total_gadgets else 0.0
 
 
+def _fig4_job(name: str, seed: int) -> BruteForceSurfaceRow:
+    binary = compile_workload(name)
+    analyses = artifacts.analyze_gadgets_cached(binary, "x86like", seed=seed)
+    surviving = sum(1 for a in analyses if a.brute_force_viable)
+    return BruteForceSurfaceRow(name, len(analyses), surviving,
+                                len(analyses) - surviving)
+
+
 def fig4_bruteforce_surface(benchmarks: Sequence[str] = SPEC_NAMES,
-                            seed: int = 0) -> List[BruteForceSurfaceRow]:
-    rows = []
-    for name in benchmarks:
-        binary = compile_workload(name)
-        gadgets = mine_binary(binary, "x86like")
-        analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
-        analyses = analyzer.analyze_all(gadgets)
-        surviving = sum(1 for a in analyses if a.brute_force_viable)
-        rows.append(BruteForceSurfaceRow(name, len(analyses), surviving,
-                                         len(analyses) - surviving))
-    return rows
+                            seed: int = 0,
+                            engine: Optional[ExperimentEngine] = None,
+                            ) -> List[BruteForceSurfaceRow]:
+    return _run_jobs(engine, [
+        Job(key=f"fig4:{name}", fn=_fig4_job, args=(name, seed))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
 # Table 2 — brute-force simulation
 # ----------------------------------------------------------------------
+def _table2_job(name: str, seed: int) -> BruteForceComparison:
+    binary = compile_workload(name)
+    return artifacts.bruteforce_row_cached(binary, name, seed)
+
+
 def table2_bruteforce(benchmarks: Sequence[str] = SPEC_NAMES,
-                      seed: int = 0) -> List[BruteForceComparison]:
-    return [table2_row(compile_workload(name), name, seed)
-            for name in benchmarks]
+                      seed: int = 0,
+                      engine: Optional[ExperimentEngine] = None,
+                      ) -> List[BruteForceComparison]:
+    return _run_jobs(engine, [
+        Job(key=f"table2:{name}", fn=_table2_job, args=(name, seed))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
 # Figure 5 — JIT-ROP attack surface
 # ----------------------------------------------------------------------
+def _fig5_job(name: str, seed: int,
+              steady_state_instructions: int) -> JITROPSurface:
+    workload = WORKLOADS[name]
+    binary = compile_workload(name)
+    return artifacts.jitrop_cached(
+        binary, name, seed=seed, stdin=workload.stdin,
+        steady_state_instructions=steady_state_instructions)
+
+
 def fig5_jitrop(benchmarks: Sequence[str] = SPEC_NAMES,
                 seed: int = 0,
                 steady_state_instructions: int = 400_000,
+                engine: Optional[ExperimentEngine] = None,
                 ) -> List[JITROPSurface]:
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = compile_workload(name)
-        rows.append(jitrop_surface(
-            binary, name, seed=seed, stdin=workload.stdin,
-            steady_state_instructions=steady_state_instructions))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig5:{name}", fn=_fig5_job,
+            args=(name, seed, steady_state_instructions))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -141,26 +175,30 @@ class MigrationSafetyRow:
     arm_to_x86: float
 
 
+def _fig6_job(name: str) -> MigrationSafetyRow:
+    binary = compile_workload(name)
+    safety = classify_blocks(binary, name)
+    directions = directional_safety(binary, name)
+    return MigrationSafetyRow(
+        benchmark=name,
+        total_blocks=safety.total_blocks,
+        native_fraction=safety.native_fraction,
+        ondemand_fraction=safety.ondemand_fraction,
+        x86_to_arm=directions["x86_to_arm"],
+        arm_to_x86=directions["arm_to_x86"],
+    )
+
+
 def fig6_migration_safety(benchmarks: Sequence[str] = SPEC_NAMES,
+                          engine: Optional[ExperimentEngine] = None,
                           ) -> List[MigrationSafetyRow]:
-    rows = []
-    for name in benchmarks:
-        binary = compile_workload(name)
-        safety = classify_blocks(binary, name)
-        directions = directional_safety(binary, name)
-        rows.append(MigrationSafetyRow(
-            benchmark=name,
-            total_blocks=safety.total_blocks,
-            native_fraction=safety.native_fraction,
-            ondemand_fraction=safety.ondemand_fraction,
-            x86_to_arm=directions["x86_to_arm"],
-            arm_to_x86=directions["arm_to_x86"],
-        ))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig6:{name}", fn=_fig6_job, args=(name,))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
-# Figure 7 — entropy vs gadget-chain length
+# Figure 7 — entropy vs gadget-chain length (pure math, no job fan-out)
 # ----------------------------------------------------------------------
 def fig7_entropy(chain_lengths: Sequence[int] = tuple(range(1, 13)),
                  psr_bits: float = 13.0,
@@ -171,16 +209,26 @@ def fig7_entropy(chain_lengths: Sequence[int] = tuple(range(1, 13)),
 # ----------------------------------------------------------------------
 # Figure 8 — surviving gadgets vs diversification probability
 # ----------------------------------------------------------------------
+def _fig8_job(name: str, seed: int,
+              probabilities: Tuple[float, ...]) -> Dict[str, List[float]]:
+    binary = compile_workload(name)
+    immunity = artifacts.immunity_cached(binary, name, seed=seed)
+    return surviving_vs_probability(immunity, probabilities)
+
+
 def fig8_diversification(benchmarks: Sequence[str] = SPEC_NAMES,
                          probabilities: Sequence[float] = tuple(
                              i / 10 for i in range(11)),
-                         seed: int = 0) -> Dict[str, List[float]]:
+                         seed: int = 0,
+                         engine: Optional[ExperimentEngine] = None,
+                         ) -> Dict[str, List[float]]:
     """Averaged surviving-gadget curves across the suite."""
+    per_benchmark = _run_jobs(engine, [
+        Job(key=f"fig8:{name}", fn=_fig8_job,
+            args=(name, seed, tuple(probabilities)))
+        for name in benchmarks])
     totals: Dict[str, List[float]] = {}
-    for name in benchmarks:
-        binary = compile_workload(name)
-        immunity = measure_immunity(binary, name, seed=seed)
-        curves = surviving_vs_probability(immunity, probabilities)
+    for curves in per_benchmark:
         for system, values in curves.items():
             if system not in totals:
                 totals[system] = [0.0] * len(probabilities)
@@ -201,22 +249,27 @@ class OptLevelRow:
     relative: Dict[str, float]
 
 
+def _fig9_job(name: str, seed: int, budget: int) -> OptLevelRow:
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    native = artifacts.measure_native_cached(binary, stdin=workload.stdin,
+                                             budget=budget)
+    relative = {}
+    for level in (1, 2, 3):
+        summary = artifacts.measure_psr_cached(
+            binary, config=PSRConfig(opt_level=level), seed=seed,
+            stdin=workload.stdin, budget=budget)
+        relative[f"O{level}"] = summary.measurement.relative_to(native)
+    return OptLevelRow(name, relative)
+
+
 def fig9_opt_levels(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
-                    budget: int = FAST_BUDGET) -> List[OptLevelRow]:
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = _perf_binary(name)
-        native = perfrun.measure_native(binary, stdin=workload.stdin,
-                                        budget=budget)
-        relative = {}
-        for level in (1, 2, 3):
-            measured, _vm = perfrun.measure_psr(
-                binary, config=PSRConfig(opt_level=level), seed=seed,
-                stdin=workload.stdin, budget=budget)
-            relative[f"O{level}"] = measured.relative_to(native)
-        rows.append(OptLevelRow(name, relative))
-    return rows
+                    budget: int = FAST_BUDGET,
+                    engine: Optional[ExperimentEngine] = None,
+                    ) -> List[OptLevelRow]:
+    return _run_jobs(engine, [
+        Job(key=f"fig9:{name}", fn=_fig9_job, args=(name, seed, budget))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -229,24 +282,31 @@ class StackSizeRow:
     relative: Dict[str, float]
 
 
+def _fig10_job(name: str, seed: int, budget: int,
+               pages: Tuple[int, ...]) -> StackSizeRow:
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    native = artifacts.measure_native_cached(binary, stdin=workload.stdin,
+                                             budget=budget)
+    relative = {}
+    for page_count in pages:
+        summary = artifacts.measure_psr_cached(
+            binary, config=PSRConfig(randomization_pages=page_count),
+            seed=seed, stdin=workload.stdin, budget=budget)
+        relative[f"S{page_count * 4}"] = \
+            summary.measurement.relative_to(native)
+    return StackSizeRow(name, relative)
+
+
 def fig10_stack_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                       budget: int = FAST_BUDGET,
                       pages: Sequence[int] = (2, 4, 8, 16),
+                      engine: Optional[ExperimentEngine] = None,
                       ) -> List[StackSizeRow]:
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = _perf_binary(name)
-        native = perfrun.measure_native(binary, stdin=workload.stdin,
-                                        budget=budget)
-        relative = {}
-        for page_count in pages:
-            measured, _vm = perfrun.measure_psr(
-                binary, config=PSRConfig(randomization_pages=page_count),
-                seed=seed, stdin=workload.stdin, budget=budget)
-            relative[f"S{page_count * 4}"] = measured.relative_to(native)
-        rows.append(StackSizeRow(name, relative))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig10:{name}", fn=_fig10_job,
+            args=(name, seed, budget, tuple(pages)))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -259,25 +319,31 @@ class RATSizeRow:
     overhead: Dict[int, float]
 
 
+def _fig11_job(name: str, seed: int, budget: int,
+               sizes: Tuple[int, ...]) -> RATSizeRow:
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    measurements = {}
+    for size in sizes:
+        summary = artifacts.measure_psr_cached(
+            binary, config=PSRConfig(rat_size=size), seed=seed,
+            stdin=workload.stdin, budget=budget)
+        measurements[size] = summary.measurement.seconds
+    best = min(measurements.values())
+    return RATSizeRow(name, {
+        size: (seconds / best) - 1.0
+        for size, seconds in measurements.items()})
+
+
 def fig11_rat_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                     budget: int = FAST_BUDGET,
                     sizes: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048),
+                    engine: Optional[ExperimentEngine] = None,
                     ) -> List[RATSizeRow]:
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = _perf_binary(name)
-        measurements = {}
-        for size in sizes:
-            measured, _vm = perfrun.measure_psr(
-                binary, config=PSRConfig(rat_size=size), seed=seed,
-                stdin=workload.stdin, budget=budget)
-            measurements[size] = measured.seconds
-        best = min(measurements.values())
-        rows.append(RATSizeRow(name, {
-            size: (seconds / best) - 1.0
-            for size, seconds in measurements.items()}))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig11:{name}", fn=_fig11_job,
+            args=(name, seed, budget, tuple(sizes)))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -291,36 +357,42 @@ class MigrationOverheadRow:
     migrations: int
 
 
+def _fig12_job(name: str, seed: int, budget: int,
+               checkpoints: int) -> MigrationOverheadRow:
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    # Spread the forced-migration checkpoints over the workload's
+    # actual dynamic length, not the runaway-guard budget.
+    native = artifacts.measure_native_cached(binary, stdin=workload.stdin,
+                                             budget=budget, warmup=0)
+    length = max(native.instructions, 10_000)
+    records = []
+    for checkpoint in range(checkpoints):
+        interval = length // (checkpoints + 2) + 37 * checkpoint
+        summary = artifacts.measure_hipstr_cached(
+            binary, seed=seed + checkpoint, migration_probability=0.0,
+            stdin=workload.stdin, budget=budget,
+            phase_interval=max(interval, 1_000), warmup=0)
+        records.extend(summary.migrations)
+    totals = summarize(records)
+    return MigrationOverheadRow(
+        benchmark=name,
+        arm_to_x86_micros=totals.by_direction["arm_to_x86"],
+        x86_to_arm_micros=totals.by_direction["x86_to_arm"],
+        migrations=totals.count,
+    )
+
+
 def fig12_migration_overhead(benchmarks: Sequence[str] = SPEC_NAMES,
                              seed: int = 0, budget: int = FAST_BUDGET,
                              checkpoints: int = 10,
+                             engine: Optional[ExperimentEngine] = None,
                              ) -> List[MigrationOverheadRow]:
     """Force migrations at random execution points; average the costs."""
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = _perf_binary(name)
-        # Spread the forced-migration checkpoints over the workload's
-        # actual dynamic length, not the runaway-guard budget.
-        native = perfrun.measure_native(binary, stdin=workload.stdin,
-                                        budget=budget, warmup=0)
-        length = max(native.instructions, 10_000)
-        records = []
-        for checkpoint in range(checkpoints):
-            interval = length // (checkpoints + 2) + 37 * checkpoint
-            measured = perfrun.measure_hipstr(
-                binary, seed=seed + checkpoint, migration_probability=0.0,
-                stdin=workload.stdin, budget=budget,
-                phase_interval=max(interval, 1_000), warmup=0)
-            records.extend(measured.result.migrations)
-        summary = summarize(records)
-        rows.append(MigrationOverheadRow(
-            benchmark=name,
-            arm_to_x86_micros=summary.by_direction["arm_to_x86"],
-            x86_to_arm_micros=summary.by_direction["x86_to_arm"],
-            migrations=summary.count,
-        ))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig12:{name}", fn=_fig12_job,
+            args=(name, seed, budget, checkpoints))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -333,30 +405,36 @@ class CodeCacheRow:
     by_size: Dict[int, Dict[str, float]]
 
 
+def _fig13_job(name: str, seed: int, budget: int,
+               sizes: Tuple[int, ...]) -> CodeCacheRow:
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    by_size: Dict[int, Dict[str, float]] = {}
+    baseline: Optional[float] = None
+    for size in sorted(sizes, reverse=True):
+        summary = artifacts.measure_psr_cached(
+            binary, config=PSRConfig(code_cache_size=size), seed=seed,
+            stdin=workload.stdin, budget=budget)
+        if baseline is None:
+            baseline = summary.measurement.seconds
+        by_size[size] = {
+            "capacity_misses": float(summary.capacity_misses),
+            "security_events": float(summary.security_events),
+            "overhead": summary.measurement.seconds / baseline - 1.0,
+        }
+    return CodeCacheRow(name, by_size)
+
+
 def fig13_code_cache(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                      budget: int = FAST_BUDGET,
                      sizes: Sequence[int] = (2048, 4096, 8192, 16384,
                                              65536, 786432),
+                     engine: Optional[ExperimentEngine] = None,
                      ) -> List[CodeCacheRow]:
-    rows = []
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binary = _perf_binary(name)
-        by_size: Dict[int, Dict[str, float]] = {}
-        baseline: Optional[float] = None
-        for size in sorted(sizes, reverse=True):
-            measured, vm = perfrun.measure_psr(
-                binary, config=PSRConfig(code_cache_size=size), seed=seed,
-                stdin=workload.stdin, budget=budget)
-            if baseline is None:
-                baseline = measured.seconds
-            by_size[size] = {
-                "capacity_misses": float(vm.cache.stats.capacity_misses),
-                "security_events": float(vm.stats.security_events),
-                "overhead": measured.seconds / baseline - 1.0,
-            }
-        rows.append(CodeCacheRow(name, by_size))
-    return rows
+    return _run_jobs(engine, [
+        Job(key=f"fig13:{name}", fn=_fig13_job,
+            args=(name, seed, budget, tuple(sizes)))
+        for name in benchmarks])
 
 
 # ----------------------------------------------------------------------
@@ -369,42 +447,51 @@ class IsomeronComparisonRow:
     relative: Dict[str, float]
 
 
+def _fig14_job(name: str, probabilities: Tuple[float, ...], seed: int,
+               budget: int) -> Dict[float, Dict[str, float]]:
+    """One benchmark's relative-performance cells for every probability."""
+    workload = WORKLOADS[name]
+    binary = _perf_binary(name)
+    native = artifacts.measure_native_cached(binary, stdin=workload.stdin,
+                                             budget=budget)
+    cells: Dict[float, Dict[str, float]] = {}
+    for probability in probabilities:
+        iso = artifacts.measure_isomeron_cached(
+            binary, diversification_probability=probability, seed=seed,
+            stdin=workload.stdin, budget=budget)
+        hybrid = artifacts.measure_psr_isomeron_cached(
+            binary, diversification_probability=probability, seed=seed,
+            stdin=workload.stdin, budget=budget)
+        row = {"isomeron": iso.relative_to(native),
+               "psr+isomeron": hybrid.relative_to(native)}
+        for label, cache_size in (("hipstr-256k", 256 * 1024),
+                                  ("hipstr-2m", 2 * 1024 * 1024)):
+            summary = artifacts.measure_hipstr_cached(
+                binary, config=PSRConfig(code_cache_size=cache_size),
+                seed=seed, migration_probability=probability,
+                stdin=workload.stdin, budget=budget, prewarm=True)
+            row[label] = summary.measurement.relative_to(native)
+        cells[probability] = row
+    return cells
+
+
 def fig14_isomeron_comparison(
         benchmarks: Sequence[str] = ISOMERON_COMPARISON_NAMES,
         probabilities: Sequence[float] = (0.0, 0.5, 1.0),
         seed: int = 0, budget: int = FAST_BUDGET,
+        engine: Optional[ExperimentEngine] = None,
         ) -> List[IsomeronComparisonRow]:
-    natives = {}
-    binaries = {}
-    for name in benchmarks:
-        workload = WORKLOADS[name]
-        binaries[name] = _perf_binary(name)
-        natives[name] = perfrun.measure_native(
-            binaries[name], stdin=workload.stdin, budget=budget)
-
+    per_benchmark = _run_jobs(engine, [
+        Job(key=f"fig14:{name}", fn=_fig14_job,
+            args=(name, tuple(probabilities), seed, budget))
+        for name in benchmarks])
     rows = []
     for probability in probabilities:
         sums: Dict[str, float] = {"isomeron": 0.0, "psr+isomeron": 0.0,
                                   "hipstr-256k": 0.0, "hipstr-2m": 0.0}
-        for name in benchmarks:
-            workload = WORKLOADS[name]
-            binary = binaries[name]
-            native = natives[name]
-            iso = perfrun.measure_isomeron(
-                binary, diversification_probability=probability, seed=seed,
-                stdin=workload.stdin, budget=budget)
-            sums["isomeron"] += iso.relative_to(native)
-            hybrid = perfrun.measure_psr_isomeron(
-                binary, diversification_probability=probability, seed=seed,
-                stdin=workload.stdin, budget=budget)
-            sums["psr+isomeron"] += hybrid.relative_to(native)
-            for label, cache in (("hipstr-256k", 256 * 1024),
-                                 ("hipstr-2m", 2 * 1024 * 1024)):
-                measured = perfrun.measure_hipstr(
-                    binary, config=PSRConfig(code_cache_size=cache),
-                    seed=seed, migration_probability=probability,
-                    stdin=workload.stdin, budget=budget, prewarm=True)
-                sums[label] += measured.measurement.relative_to(native)
+        for cells in per_benchmark:
+            for system, value in cells[probability].items():
+                sums[system] += value
         rows.append(IsomeronComparisonRow(
             probability=probability,
             relative={system: total / len(benchmarks)
@@ -429,15 +516,13 @@ class HttpdCaseStudy:
 def httpd_case_study(seed: int = 0) -> HttpdCaseStudy:
     workload = WORKLOADS["httpd"]
     binary = compile_workload("httpd")
-    gadgets = mine_binary(binary, "x86like")
-    analyzer = PSRGadgetAnalyzer(binary, "x86like", seed=seed)
-    analyses = analyzer.analyze_all(gadgets)
+    analyses = artifacts.analyze_gadgets_cached(binary, "x86like", seed=seed)
     obfuscated = sum(1 for a in analyses if a.obfuscated)
     brute = simulate_brute_force(binary, "httpd", seed=seed,
                                  analyses=analyses)
-    surface = jitrop_surface(binary, "httpd", seed=seed,
-                             stdin=workload.stdin,
-                             steady_state_instructions=400_000)
+    surface = artifacts.jitrop_cached(binary, "httpd", seed=seed,
+                                      stdin=workload.stdin,
+                                      steady_state_instructions=400_000)
     return HttpdCaseStudy(
         total_gadgets=len(analyses),
         obfuscated_fraction=obfuscated / len(analyses) if analyses else 0.0,

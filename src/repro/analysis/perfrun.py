@@ -7,8 +7,8 @@ same instruction budget so relative performance compares equal work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..compiler.fatbinary import FatBinary
 from ..core.hipstr import HIPStRResult, HIPStRSystem
@@ -110,6 +110,35 @@ def measure_psr_isomeron(binary: FatBinary, isa_name: str = "x86like",
 
 
 @dataclass
+class PSRRunSummary:
+    """Plain-data reduction of a PSR run: what the figure drivers consume.
+
+    Unlike :func:`measure_psr`'s ``(measurement, vm)`` pair this is fully
+    picklable, so it can cross process boundaries (the fan-out engine)
+    and live in the on-disk artifact cache.
+    """
+
+    measurement: PerfMeasurement
+    capacity_misses: int
+    security_events: int
+
+
+def measure_psr_summary(binary: FatBinary, isa_name: str = "x86like",
+                        config: Optional[PSRConfig] = None, seed: int = 0,
+                        stdin: bytes = b"", budget: int = DEFAULT_BUDGET,
+                        cost_model: Optional[DBTCostModel] = None,
+                        warmup: int = DEFAULT_WARMUP) -> PSRRunSummary:
+    measured, vm = measure_psr(binary, isa_name, config=config, seed=seed,
+                               stdin=stdin, budget=budget,
+                               cost_model=cost_model, warmup=warmup)
+    return PSRRunSummary(
+        measurement=measured,
+        capacity_misses=vm.cache.stats.capacity_misses,
+        security_events=vm.stats.security_events,
+    )
+
+
+@dataclass
 class HIPStRMeasurement:
     """Timing of a HIPStR run across both cores plus migration costs."""
 
@@ -163,4 +192,37 @@ def measure_hipstr(binary: FatBinary,
         measurement=PerfMeasurement("hipstr", cycles, instructions, core),
         result=result,
         migration_micros_total=migration_cost,
+    )
+
+
+@dataclass
+class HIPStRRunSummary:
+    """Picklable reduction of a HIPStR run (engine- and cache-friendly)."""
+
+    measurement: PerfMeasurement
+    migration_micros_total: float
+    #: the measured window's migration records (feed perf.migration_cost)
+    migrations: List["object"] = field(default_factory=list)
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migrations)
+
+
+def measure_hipstr_summary(binary: FatBinary,
+                           config: Optional[PSRConfig] = None, seed: int = 0,
+                           migration_probability: float = 1.0,
+                           stdin: bytes = b"", budget: int = DEFAULT_BUDGET,
+                           phase_interval: Optional[int] = None,
+                           warmup: int = DEFAULT_WARMUP,
+                           prewarm: bool = False) -> HIPStRRunSummary:
+    measured = measure_hipstr(
+        binary, config=config, seed=seed,
+        migration_probability=migration_probability, stdin=stdin,
+        budget=budget, phase_interval=phase_interval, warmup=warmup,
+        prewarm=prewarm)
+    return HIPStRRunSummary(
+        measurement=measured.measurement,
+        migration_micros_total=measured.migration_micros_total,
+        migrations=list(measured.result.migrations),
     )

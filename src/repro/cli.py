@@ -8,6 +8,11 @@ Commands:
 * ``exploit-demo``    — the Figure-1 attack, end to end
 * ``experiment NAME`` — regenerate one paper artifact (fig3..fig14,
   table2, httpd) and print its table
+* ``bench``           — profile the pipeline (serial vs parallel, cold vs
+  warm cache) and write a ``BENCH_*.json`` trajectory file
+
+``experiment`` and ``bench`` share the runtime flags ``--workers``
+(process fan-out; 0 = one per core), ``--no-cache``, and ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,15 @@ from .compiler import compile_minic
 from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
 from .isa import ISAS, format_listing, linear_disassemble
+from .runtime import (
+    ExperimentEngine,
+    PhaseProfiler,
+    configure_cache,
+    get_cache,
+    write_bench_file,
+)
+from .runtime import artifacts as runtime_artifacts
+from .workloads import WORKLOADS, compile_workload
 
 
 def _load_source(path: str) -> str:
@@ -115,18 +129,17 @@ def _exploit_demo_inline() -> int:
     return 0
 
 
-EXPERIMENTS = {
-    "fig3": lambda: _print_fig3(),
-    "fig4": lambda: _print_fig4(),
-    "fig6": lambda: _print_fig6(),
-    "fig7": lambda: _print_fig7(),
-    "table2": lambda: _print_table2(),
-    "httpd": lambda: _print_httpd(),
-}
+def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
+    """Apply the shared ``--workers``/``--no-cache``/``--cache-dir`` flags."""
+    no_cache = getattr(args, "no_cache", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    if no_cache or cache_dir:
+        configure_cache(root=cache_dir, enabled=not no_cache)
+    return ExperimentEngine(workers=getattr(args, "workers", None))
 
 
-def _print_fig3() -> None:
-    rows = experiments.fig3_classic_rop()
+def _print_fig3(engine) -> None:
+    rows = experiments.fig3_classic_rop(engine=engine)
     print(format_table(
         ["benchmark", "total", "obfuscated", "unobf", "obf%"],
         [(r.benchmark, r.total_gadgets, r.obfuscated, r.unobfuscated,
@@ -134,8 +147,8 @@ def _print_fig3() -> None:
         "Figure 3 — Classic ROP Attack Surface"))
 
 
-def _print_fig4() -> None:
-    rows = experiments.fig4_bruteforce_surface()
+def _print_fig4(engine) -> None:
+    rows = experiments.fig4_bruteforce_surface(engine=engine)
     print(format_table(
         ["benchmark", "total", "eliminated", "surviving"],
         [(r.benchmark, r.total_gadgets, r.eliminated, r.surviving)
@@ -143,8 +156,17 @@ def _print_fig4() -> None:
         "Figure 4 — Brute Force Attack Surface"))
 
 
-def _print_fig6() -> None:
-    rows = experiments.fig6_migration_safety()
+def _print_fig5(engine) -> None:
+    rows = experiments.fig5_jitrop(engine=engine)
+    print(format_table(
+        ["benchmark", "text", "cache", "viable", "surviving"],
+        [(r.benchmark, r.text_gadgets, r.cache_gadgets, r.cache_viable,
+          r.surviving) for r in rows],
+        "Figure 5 — JIT-ROP Attack Surface"))
+
+
+def _print_fig6(engine) -> None:
+    rows = experiments.fig6_migration_safety(engine=engine)
     print(format_table(
         ["benchmark", "blocks", "native", "on-demand"],
         [(r.benchmark, r.total_blocks, percent(r.native_fraction),
@@ -152,14 +174,85 @@ def _print_fig6() -> None:
         "Figure 6 — Migration-Safe Basic Blocks"))
 
 
-def _print_fig7() -> None:
+def _print_fig7(engine) -> None:
     lengths = tuple(range(1, 13))
     print(format_series(experiments.fig7_entropy(lengths), lengths,
                         "Figure 7 — Entropy vs Chain Length"))
 
 
-def _print_table2() -> None:
-    rows = experiments.table2_bruteforce()
+def _print_fig8(engine) -> None:
+    probabilities = tuple(i / 10 for i in range(11))
+    curves = experiments.fig8_diversification(probabilities=probabilities,
+                                              engine=engine)
+    print(format_series(curves, [f"{p:.1f}" for p in probabilities],
+                        "Figure 8 — Surviving Gadgets vs Probability"))
+
+
+def _print_fig9(engine) -> None:
+    rows = experiments.fig9_opt_levels(engine=engine)
+    print(format_table(
+        ["benchmark", "O1", "O2", "O3"],
+        [(r.benchmark,) + tuple(f"{r.relative[level]:.3f}"
+                                for level in ("O1", "O2", "O3"))
+         for r in rows],
+        "Figure 9 — Relative Performance per Optimization Level"))
+
+
+def _print_fig10(engine) -> None:
+    rows = experiments.fig10_stack_sizes(engine=engine)
+    labels = sorted({label for r in rows for label in r.relative},
+                    key=lambda label: int(label[1:]))
+    print(format_table(
+        ["benchmark"] + labels,
+        [(r.benchmark,) + tuple(f"{r.relative[label]:.3f}"
+                                for label in labels) for r in rows],
+        "Figure 10 — Stack Randomization Space"))
+
+
+def _print_fig11(engine) -> None:
+    rows = experiments.fig11_rat_sizes(engine=engine)
+    sizes = sorted({size for r in rows for size in r.overhead})
+    print(format_table(
+        ["benchmark"] + [str(size) for size in sizes],
+        [(r.benchmark,) + tuple(f"{r.overhead[size] * 100:.1f}%"
+                                for size in sizes) for r in rows],
+        "Figure 11 — RAT Size Overhead"))
+
+
+def _print_fig12(engine) -> None:
+    rows = experiments.fig12_migration_overhead(engine=engine)
+    print(format_table(
+        ["benchmark", "arm→x86 µs", "x86→arm µs", "migrations"],
+        [(r.benchmark, f"{r.arm_to_x86_micros:.2f}",
+          f"{r.x86_to_arm_micros:.2f}", r.migrations) for r in rows],
+        "Figure 12 — Migration Overhead"))
+
+
+def _print_fig13(engine) -> None:
+    rows = experiments.fig13_code_cache(engine=engine)
+    for row in rows:
+        sizes = sorted(row.by_size)
+        print(format_table(
+            ["size", "capacity-misses", "security-events", "overhead"],
+            [(size, int(row.by_size[size]["capacity_misses"]),
+              int(row.by_size[size]["security_events"]),
+              f"{row.by_size[size]['overhead'] * 100:.1f}%")
+             for size in sizes],
+            f"Figure 13 — Code Cache ({row.benchmark})"))
+
+
+def _print_fig14(engine) -> None:
+    rows = experiments.fig14_isomeron_comparison(engine=engine)
+    systems = ["isomeron", "psr+isomeron", "hipstr-256k", "hipstr-2m"]
+    print(format_table(
+        ["p"] + systems,
+        [(f"{r.probability:.1f}",) + tuple(f"{r.relative[s]:.3f}"
+                                           for s in systems) for r in rows],
+        "Figure 14 — Comparison with Isomeron"))
+
+
+def _print_table2(engine) -> None:
+    rows = experiments.table2_bruteforce(engine=engine)
     print(format_table(
         ["benchmark", "params", "bits", "attempts"],
         [(r.benchmark, f"{r.randomizable_parameters:.2f}",
@@ -168,13 +261,31 @@ def _print_table2() -> None:
         "Table 2 — Brute Force Simulation"))
 
 
-def _print_httpd() -> None:
+def _print_httpd(engine) -> None:
     study = experiments.httpd_case_study()
     print(f"httpd: {study.total_gadgets} gadgets, "
           f"{percent(study.obfuscated_fraction)} obfuscated, "
           f"{study.brute_force_attempts:.2e} attempts, "
           f"{study.jitrop_viable} JIT-ROP viable, "
           f"{study.surviving_migration} survive migration")
+
+
+EXPERIMENTS = {
+    "fig3": _print_fig3,
+    "fig4": _print_fig4,
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "fig9": _print_fig9,
+    "fig10": _print_fig10,
+    "fig11": _print_fig11,
+    "fig12": _print_fig12,
+    "fig13": _print_fig13,
+    "fig14": _print_fig14,
+    "table2": _print_table2,
+    "httpd": _print_httpd,
+}
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -184,7 +295,72 @@ def cmd_experiment(args: argparse.Namespace) -> int:
               f"available: {', '.join(sorted(EXPERIMENTS))}",
               file=sys.stderr)
         return 2
-    runner()
+    engine = _configure_runtime(args)
+    runner(engine)
+    if getattr(args, "cache_stats", False):
+        stats = get_cache().stats
+        print(f"\n[cache] hits={stats.hits} misses={stats.misses} "
+              f"hit-rate={stats.hit_rate:.1%}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Profile the pipeline and write a ``BENCH_*.json`` trajectory file.
+
+    Phases: artifact warm-up (compile + mine through the cache), the
+    attack-surface sweep run cold (cache bypassed) serially and in
+    parallel — the honest engine speedup — then a cache-populating pass
+    and a pure-hit warm pass recording the memoized path's speedup.
+    """
+    _configure_runtime(args)
+    benchmarks = tuple(name for name in
+                       (args.benchmarks or "bzip2,mcf,libquantum,sphinx3"
+                        ).split(",") if name)
+    unknown = [name for name in benchmarks if name not in WORKLOADS]
+    if unknown or not benchmarks:
+        print(f"unknown benchmark(s) {', '.join(unknown) or '(none given)'}; "
+              f"available: {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+        return 2
+    cache = get_cache()
+    serial = ExperimentEngine(workers=1)
+    parallel = ExperimentEngine(workers=args.workers or 0)
+    profiler = PhaseProfiler(args.label)
+
+    def sweep(which: ExperimentEngine):
+        experiments.fig3_classic_rop(benchmarks, engine=which)
+        experiments.fig4_bruteforce_surface(benchmarks, engine=which)
+
+    with profiler.phase("compile", jobs=len(benchmarks)):
+        binaries = {name: compile_workload(name) for name in benchmarks}
+    with profiler.phase("mine", jobs=len(binaries)):
+        for binary in binaries.values():
+            runtime_artifacts.mine_binary_cached(binary, "x86like")
+    with profiler.phase("sweep-serial-cold", workers=1):
+        with cache.bypass():
+            sweep(serial)
+    with profiler.phase("sweep-parallel-cold", workers=parallel.workers):
+        with cache.bypass():
+            sweep(parallel)
+    with profiler.phase("sweep-populate", workers=1):
+        sweep(serial)            # first cache-on pass: miss-and-store
+    with profiler.phase("sweep-warm", workers=1):
+        sweep(serial)            # pure hits
+
+    serial_cold = profiler.seconds_of("sweep-serial-cold")
+    parallel_cold = profiler.seconds_of("sweep-parallel-cold")
+    payload = profiler.as_dict(
+        cache=cache,
+        benchmarks=list(benchmarks),
+        workers=parallel.workers,
+        speedup=round(serial_cold / parallel_cold, 3) if parallel_cold else None,
+        warm_speedup=round(serial_cold / profiler.seconds_of("sweep-warm"), 3)
+        if profiler.seconds_of("sweep-warm") else None,
+    )
+    path = write_bench_file(payload, path=args.output)
+    print(f"[bench] serial {serial_cold:.2f}s, parallel "
+          f"({parallel.workers} workers) {parallel_cold:.2f}s, warm "
+          f"{profiler.seconds_of('sweep-warm'):.2f}s")
+    print(f"[bench] wrote {path}")
     return 0
 
 
@@ -227,11 +403,41 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="run the Figure-1 attack end to end")
     demo_parser.set_defaults(func=lambda args: _exploit_demo_inline())
 
+    def add_runtime_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", "-j", type=int, default=None,
+                       metavar="N",
+                       help="fan experiment jobs out over N processes "
+                            "(0 = one per core; default: serial, or "
+                            "$REPRO_WORKERS)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk artifact cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache location (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-hipstr)")
+
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one paper artifact")
     experiment_parser.add_argument("name",
                                    help=", ".join(sorted(EXPERIMENTS)))
+    add_runtime_flags(experiment_parser)
+    experiment_parser.add_argument("--cache-stats", action="store_true",
+                                   help="print cache hit/miss counters "
+                                        "after the run")
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    bench_parser = sub.add_parser(
+        "bench", help="profile serial vs parallel, cold vs warm cache")
+    bench_parser.add_argument("--benchmarks", default=None,
+                              metavar="A,B,...",
+                              help="comma-separated workload names "
+                                   "(default: bzip2,mcf,libquantum,sphinx3)")
+    bench_parser.add_argument("--label", default="sweep",
+                              help="label embedded in the BENCH_*.json name")
+    bench_parser.add_argument("--output", "-o", default=None,
+                              help="explicit output path for the "
+                                   "trajectory file")
+    add_runtime_flags(bench_parser)
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -18,7 +18,7 @@ rest of the system build on it without subclassing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
     AlignmentFault,
@@ -44,6 +44,10 @@ from .syscalls import OperatingSystem
 
 #: Maximum bytes one instruction can occupy (x86like tops out at 10).
 MAX_INSTRUCTION_BYTES = 12
+
+#: decode-cache page granularity; invalidation cost is O(pages touched)
+DECODE_PAGE_SHIFT = 12
+DECODE_PAGE_SIZE = 1 << DECODE_PAGE_SHIFT
 
 
 class ExecutionHooks:
@@ -102,7 +106,11 @@ class Interpreter:
         self.hooks = hooks or ExecutionHooks()
         self.observers: List[StepObserver] = []
         self.steps_executed = 0
-        self._decode_cache: dict = {}
+        #: page-indexed decode cache: page number -> {(isa, pc): Decoded}.
+        #: Self-modifying code (the DBT rewriting its code cache) touches
+        #: a handful of pages at a time, so invalidation scans only the
+        #: affected buckets instead of every cached decode.
+        self._decode_pages: Dict[int, Dict[Tuple[str, int], Decoded]] = {}
         self.breakpoints: set = set()
 
     # ------------------------------------------------------------------
@@ -110,20 +118,54 @@ class Interpreter:
     # ------------------------------------------------------------------
     def invalidate_decode_cache(self, base: Optional[int] = None,
                                 end: Optional[int] = None) -> None:
-        """Drop cached decodes (call after writing to executable memory)."""
+        """Drop cached decodes (call after writing to executable memory).
+
+        With no arguments the whole cache is dropped.  With a ``[base,
+        end)`` range, only the pages overlapping the range are visited —
+        a fully-covered page is discarded wholesale, a partially-covered
+        one is scanned for stale entries.
+        """
         if base is None:
-            self._decode_cache.clear()
+            self._decode_pages.clear()
             return
-        stale = [key for key in self._decode_cache if base <= key[1] < end]
-        for key in stale:
-            del self._decode_cache[key]
+        if end is None:
+            end = base + 1
+        pages = self._decode_pages
+        for page in range(base >> DECODE_PAGE_SHIFT,
+                          ((end - 1) >> DECODE_PAGE_SHIFT) + 1):
+            bucket = pages.get(page)
+            if bucket is None:
+                continue
+            page_start = page << DECODE_PAGE_SHIFT
+            if base <= page_start and page_start + DECODE_PAGE_SIZE <= end:
+                del pages[page]
+                continue
+            stale = [key for key in bucket if base <= key[1] < end]
+            for key in stale:
+                del bucket[key]
+            if not bucket:
+                del pages[page]
+
+    def cached_decode(self, isa_name: str, pc: int) -> Optional[Decoded]:
+        """The cached decode at ``pc`` for ``isa_name``, if any."""
+        bucket = self._decode_pages.get(pc >> DECODE_PAGE_SHIFT)
+        if bucket is None:
+            return None
+        return bucket.get((isa_name, pc))
+
+    @property
+    def decode_cache_size(self) -> int:
+        """Total cached decodes across every page."""
+        return sum(len(bucket) for bucket in self._decode_pages.values())
 
     def _decode(self, cpu: CPUState, pc: int) -> Decoded:
         isa = cpu.isa
+        bucket = self._decode_pages.get(pc >> DECODE_PAGE_SHIFT)
         key = (isa.name, pc)
-        cached = self._decode_cache.get(key)
-        if cached is not None:
-            return cached
+        if bucket is not None:
+            cached = bucket.get(key)
+            if cached is not None:
+                return cached
         if pc % isa.alignment:
             raise AlignmentFault(pc)
         window = self.memory.fetch_window(pc, MAX_INSTRUCTION_BYTES)
@@ -131,7 +173,10 @@ class Interpreter:
             decoded = isa.decode(window, 0, pc)
         except DecodeError:
             raise IllegalInstruction(pc) from None
-        self._decode_cache[key] = decoded
+        if bucket is None:
+            bucket = self._decode_pages.setdefault(pc >> DECODE_PAGE_SHIFT,
+                                                   {})
+        bucket[key] = decoded
         return decoded
 
     # ------------------------------------------------------------------
@@ -272,8 +317,10 @@ class Interpreter:
 
         cpu.pc = to_unsigned(next_pc)
         self.steps_executed += 1
-        for observer in self.observers:
-            observer(cpu, info)
+        observers = self.observers
+        if observers:
+            for observer in observers:
+                observer(cpu, info)
         return info
 
     def _execute_cmp(self, cpu: CPUState, ops, info: StepInfo) -> None:
@@ -291,14 +338,20 @@ class Interpreter:
         """
         start = self.steps_executed
         budget = max_instructions
+        # Hot loop: hoist the attribute lookups that don't change while
+        # running — with no breakpoints set, the membership test is
+        # skipped outright (the no-observer warmup fast path).
+        cpu = self.cpu
+        step = self.step
+        breakpoints = self.breakpoints
         try:
-            while not self.cpu.halted:
+            while not cpu.halted:
                 if self.steps_executed - start >= budget:
                     return ExecutionResult(self.steps_executed - start, "limit")
-                if self.cpu.pc in self.breakpoints:
+                if breakpoints and cpu.pc in breakpoints:
                     return ExecutionResult(self.steps_executed - start,
                                            "breakpoint")
-                self.step()
+                step()
         except MachineFault as fault:
             if not catch_faults:
                 raise

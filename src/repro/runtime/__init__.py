@@ -1,0 +1,55 @@
+"""Execution runtime: fan-out engine, artifact cache, profiling hooks.
+
+Three layers (see DESIGN.md "Runtime engine"):
+
+* :mod:`repro.runtime.engine` — process-pool job runner with
+  deterministic result ordering, per-job timeouts, and worker-crash
+  isolation;
+* :mod:`repro.runtime.cache` — content-addressed on-disk memoization for
+  compiled binaries, gadget-mining results, and measurement rows;
+* :mod:`repro.runtime.profile` — per-phase wall-time records written as
+  ``BENCH_*.json`` trajectory files by ``repro bench``.
+
+:mod:`repro.runtime.artifacts` (imported explicitly, not re-exported
+here) holds the cache-aware wrappers the experiment drivers call.
+"""
+
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    configure_cache,
+    default_cache_dir,
+    digest,
+    get_cache,
+)
+from .engine import (
+    EngineError,
+    ExperimentEngine,
+    Job,
+    JobResult,
+    collect,
+    get_default_engine,
+    resolve_workers,
+    set_default_engine,
+)
+from .profile import PhaseProfiler, PhaseRecord, write_bench_file
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "configure_cache",
+    "default_cache_dir",
+    "digest",
+    "get_cache",
+    "EngineError",
+    "ExperimentEngine",
+    "Job",
+    "JobResult",
+    "collect",
+    "get_default_engine",
+    "resolve_workers",
+    "set_default_engine",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "write_bench_file",
+]

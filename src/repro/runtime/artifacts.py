@@ -1,0 +1,218 @@
+"""Cache-aware wrappers for the pipeline's expensive artifacts.
+
+Three artifact families dominate experiment wall time, and all three are
+pure functions of plain inputs, so they memoize cleanly through the
+content-addressed store (:mod:`repro.runtime.cache`):
+
+* **compiled fat binaries** — cached by :func:`repro.workloads.suite.
+  compile_workload` itself (key: workload name, work parameter, source
+  text, toolchain tag);
+* **Galileo mining results** and the PSR gadget analyses built on them —
+  keyed by a digest of the binary's actual section bytes, so any
+  compiler change invalidates naturally;
+* **measured-performance rows** — keyed by the binary digest plus every
+  run parameter (config, seed, stdin, budget, warmup).
+
+Measurement wrappers return *plain summaries* (rows of numbers), never
+live VM objects, so they pickle and so cache hits carry everything the
+figure drivers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..analysis import perfrun
+from ..attacks.galileo import Gadget, mine_binary
+from ..attacks.gadgets import GadgetAnalysis, PSRGadgetAnalyzer
+from ..attacks.jitrop import JITROPSurface, jitrop_surface
+from ..attacks.tailored import DiversificationImmunity, measure_immunity
+from ..compiler.fatbinary import FatBinary
+from ..core.relocation import PSRConfig
+from .cache import ArtifactCache, digest, get_cache
+
+#: folded into every digest — bump ``repro.__version__`` (or the cache
+#: schema) when toolchain/model changes should invalidate old artifacts
+TOOLCHAIN_TAG = f"repro-{__version__}"
+
+
+def binary_digest(binary: FatBinary) -> str:
+    """Content digest of a fat binary: section bytes + layout + data."""
+    parts: List[object] = ["fatbinary", TOOLCHAIN_TAG]
+    for name in sorted(binary.sections):
+        unit = binary.sections[name]
+        parts.extend((name, unit.base_address, bytes(unit.data)))
+    parts.append(bytes(binary.data))
+    return digest(*parts)
+
+
+def _config_key(config: Optional[PSRConfig]) -> Dict[str, object]:
+    return asdict(config) if config is not None else {}
+
+
+# ----------------------------------------------------------------------
+# Mining and gadget analysis
+# ----------------------------------------------------------------------
+def mine_binary_cached(binary: FatBinary, isa_name: str,
+                       include_jop: bool = True,
+                       cache: Optional[ArtifactCache] = None) -> List[Gadget]:
+    cache = cache or get_cache()
+    key = digest("galileo", binary_digest(binary), isa_name, include_jop)
+    return cache.get_or_compute(
+        "gadgets", key,
+        lambda: mine_binary(binary, isa_name, include_jop))
+
+
+def analyze_gadgets_cached(binary: FatBinary, isa_name: str, seed: int = 0,
+                           config: Optional[PSRConfig] = None,
+                           cache: Optional[ArtifactCache] = None,
+                           ) -> List[GadgetAnalysis]:
+    """Mined gadgets + their fates under PSR, both through the cache."""
+    cache = cache or get_cache()
+    key = digest("psr-analyses", binary_digest(binary), isa_name, seed,
+                 _config_key(config))
+
+    def compute() -> List[GadgetAnalysis]:
+        gadgets = mine_binary_cached(binary, isa_name, cache=cache)
+        analyzer = (PSRGadgetAnalyzer(binary, isa_name, config, seed)
+                    if config is not None
+                    else PSRGadgetAnalyzer(binary, isa_name, seed=seed))
+        return analyzer.analyze_all(gadgets)
+
+    return cache.get_or_compute("analyses", key, compute)
+
+
+def immunity_cached(binary: FatBinary, benchmark: str,
+                    isa_name: str = "x86like", seed: int = 0,
+                    cache: Optional[ArtifactCache] = None,
+                    ) -> DiversificationImmunity:
+    cache = cache or get_cache()
+    key = digest("immunity", binary_digest(binary), benchmark, isa_name,
+                 seed)
+    return cache.get_or_compute(
+        "immunity", key,
+        lambda: measure_immunity(binary, benchmark, isa_name, seed))
+
+
+def jitrop_cached(binary: FatBinary, benchmark: str, seed: int = 0,
+                  stdin: bytes = b"",
+                  steady_state_instructions: int = 400_000,
+                  cache: Optional[ArtifactCache] = None) -> JITROPSurface:
+    cache = cache or get_cache()
+    key = digest("jitrop", binary_digest(binary), benchmark, seed, stdin,
+                 steady_state_instructions)
+    return cache.get_or_compute(
+        "jitrop", key,
+        lambda: jitrop_surface(
+            binary, benchmark, seed=seed, stdin=stdin,
+            steady_state_instructions=steady_state_instructions))
+
+
+# ----------------------------------------------------------------------
+# Measured-performance rows
+# ----------------------------------------------------------------------
+def measure_native_cached(binary: FatBinary, *, isa_name: str = "x86like",
+                          stdin: bytes = b"",
+                          budget: int = perfrun.DEFAULT_BUDGET,
+                          warmup: int = perfrun.DEFAULT_WARMUP,
+                          cache: Optional[ArtifactCache] = None,
+                          ) -> perfrun.PerfMeasurement:
+    cache = cache or get_cache()
+    key = digest("native", binary_digest(binary), isa_name, stdin, budget,
+                 warmup)
+    return cache.get_or_compute(
+        "measure", key,
+        lambda: perfrun.measure_native(binary, isa_name, stdin=stdin,
+                                       budget=budget, warmup=warmup))
+
+
+def measure_psr_cached(binary: FatBinary, *, isa_name: str = "x86like",
+                       config: Optional[PSRConfig] = None, seed: int = 0,
+                       stdin: bytes = b"",
+                       budget: int = perfrun.DEFAULT_BUDGET,
+                       warmup: int = perfrun.DEFAULT_WARMUP,
+                       cache: Optional[ArtifactCache] = None,
+                       ) -> perfrun.PSRRunSummary:
+    cache = cache or get_cache()
+    key = digest("psr", binary_digest(binary), isa_name,
+                 _config_key(config), seed, stdin, budget, warmup)
+    return cache.get_or_compute(
+        "measure", key,
+        lambda: perfrun.measure_psr_summary(
+            binary, isa_name, config=config, seed=seed, stdin=stdin,
+            budget=budget, warmup=warmup))
+
+
+def measure_isomeron_cached(binary: FatBinary, *,
+                            isa_name: str = "x86like",
+                            diversification_probability: float = 0.5,
+                            seed: int = 0, stdin: bytes = b"",
+                            budget: int = perfrun.DEFAULT_BUDGET,
+                            warmup: int = perfrun.DEFAULT_WARMUP,
+                            cache: Optional[ArtifactCache] = None,
+                            ) -> perfrun.PerfMeasurement:
+    cache = cache or get_cache()
+    key = digest("isomeron", binary_digest(binary), isa_name,
+                 diversification_probability, seed, stdin, budget, warmup)
+    return cache.get_or_compute(
+        "measure", key,
+        lambda: perfrun.measure_isomeron(
+            binary, isa_name, diversification_probability, seed,
+            stdin=stdin, budget=budget, warmup=warmup))
+
+
+def measure_psr_isomeron_cached(binary: FatBinary, *,
+                                isa_name: str = "x86like",
+                                config: Optional[PSRConfig] = None,
+                                diversification_probability: float = 0.5,
+                                seed: int = 0, stdin: bytes = b"",
+                                budget: int = perfrun.DEFAULT_BUDGET,
+                                warmup: int = perfrun.DEFAULT_WARMUP,
+                                cache: Optional[ArtifactCache] = None,
+                                ) -> perfrun.PerfMeasurement:
+    cache = cache or get_cache()
+    key = digest("psr-isomeron", binary_digest(binary), isa_name,
+                 _config_key(config), diversification_probability, seed,
+                 stdin, budget, warmup)
+    return cache.get_or_compute(
+        "measure", key,
+        lambda: perfrun.measure_psr_isomeron(
+            binary, isa_name, config=config,
+            diversification_probability=diversification_probability,
+            seed=seed, stdin=stdin, budget=budget, warmup=warmup))
+
+
+def measure_hipstr_cached(binary: FatBinary, *,
+                          config: Optional[PSRConfig] = None, seed: int = 0,
+                          migration_probability: float = 1.0,
+                          stdin: bytes = b"",
+                          budget: int = perfrun.DEFAULT_BUDGET,
+                          phase_interval: Optional[int] = None,
+                          warmup: int = perfrun.DEFAULT_WARMUP,
+                          prewarm: bool = False,
+                          cache: Optional[ArtifactCache] = None,
+                          ) -> perfrun.HIPStRRunSummary:
+    cache = cache or get_cache()
+    key = digest("hipstr", binary_digest(binary), _config_key(config), seed,
+                 migration_probability, stdin, budget,
+                 phase_interval if phase_interval is not None else -1,
+                 warmup, prewarm)
+    return cache.get_or_compute(
+        "measure", key,
+        lambda: perfrun.measure_hipstr_summary(
+            binary, config=config, seed=seed,
+            migration_probability=migration_probability, stdin=stdin,
+            budget=budget, phase_interval=phase_interval, warmup=warmup,
+            prewarm=prewarm))
+
+
+def bruteforce_row_cached(binary: FatBinary, benchmark: str, seed: int = 0,
+                          cache: Optional[ArtifactCache] = None):
+    """Table 2 row (brute-force simulation executes many attack runs)."""
+    from ..attacks.bruteforce import table2_row
+    cache = cache or get_cache()
+    key = digest("table2", binary_digest(binary), benchmark, seed)
+    return cache.get_or_compute(
+        "bruteforce", key, lambda: table2_row(binary, benchmark, seed))

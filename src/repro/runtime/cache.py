@@ -1,0 +1,363 @@
+"""Content-addressed on-disk artifact cache.
+
+The expensive artifacts of the reproduction pipeline — compiled
+:class:`~repro.compiler.fatbinary.FatBinary` images, Galileo gadget-mining
+results, and measured-performance rows — are pure functions of their
+inputs (source text, compiler tag, work parameter, config, seed).  This
+module memoizes them on disk, keyed by a SHA-256 digest of a canonical
+encoding of those inputs, so repeated ``repro experiment`` invocations
+and the benchmark suite skip redundant work across *processes*, not just
+within one.
+
+Design points:
+
+* **Content addressing** — :func:`digest` canonically encodes the key
+  material (ints, floats, strings, bytes, tuples, dicts, dataclasses)
+  with type tags before hashing, so the same logical key always produces
+  the same digest in any process.  A schema version is folded in; bump
+  :data:`CACHE_SCHEMA` when the pickled artifact formats change.
+* **Atomic writes** — entries are written to a temp file and
+  ``os.replace``-d into place, so concurrent writers (the fan-out
+  engine's worker processes) can race safely: both write identical
+  content and the last rename wins.
+* **LRU size cap** — reads bump the entry's mtime; when the store
+  exceeds ``max_bytes`` the oldest entries are evicted.
+* **Corruption recovery** — a truncated or garbage entry is deleted and
+  treated as a miss; the artifact is recomputed, never an exception.
+* **Escape hatches** — ``REPRO_NO_CACHE=1`` (or ``enabled=False``, or
+  the CLI's ``--no-cache``) bypasses the store entirely;
+  ``REPRO_CACHE_DIR`` relocates it (CI should point this at a scratch
+  dir or disable it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: bump when the on-disk pickle formats change incompatibly
+CACHE_SCHEMA = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Canonical digests
+# ----------------------------------------------------------------------
+def _feed(hasher, obj: Any) -> None:
+    """Feed one key component into the hash with an unambiguous encoding."""
+    if obj is None:
+        hasher.update(b"N;")
+    elif obj is True or obj is False:
+        hasher.update(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, int):
+        encoded = str(obj).encode()
+        hasher.update(b"i%d:%s;" % (len(encoded), encoded))
+    elif isinstance(obj, float):
+        encoded = repr(obj).encode()
+        hasher.update(b"f%d:%s;" % (len(encoded), encoded))
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        hasher.update(b"s%d:" % len(encoded))
+        hasher.update(encoded)
+        hasher.update(b";")
+    elif isinstance(obj, (bytes, bytearray)):
+        hasher.update(b"y%d:" % len(obj))
+        hasher.update(bytes(obj))
+        hasher.update(b";")
+    elif isinstance(obj, enum.Enum):
+        _feed(hasher, (type(obj).__name__, obj.name))
+    elif isinstance(obj, (tuple, list)):
+        hasher.update(b"t%d[" % len(obj))
+        for item in obj:
+            _feed(hasher, item)
+        hasher.update(b"];")
+    elif isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        hasher.update(b"d%d{" % len(items))
+        for key, value in items:
+            _feed(hasher, key)
+            _feed(hasher, value)
+        hasher.update(b"};")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        hasher.update(b"D;")
+        _feed(hasher, type(obj).__name__)
+        _feed(hasher, dataclasses.asdict(obj))
+    else:
+        raise TypeError(
+            f"cannot canonically digest {type(obj).__name__!r}; "
+            f"pass plain data (or a dataclass of plain data) as key material")
+
+
+def digest(*parts: Any) -> str:
+    """SHA-256 hex digest of a canonical encoding of ``parts``.
+
+    Stable across processes and Python invocations (no reliance on
+    ``hash()``); includes the cache schema version.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, CACHE_SCHEMA)
+    for part in parts:
+        _feed(hasher, part)
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+class CacheStats:
+    """Hit/miss/store/eviction counters, overall and per artifact kind."""
+
+    _EVENTS = ("hits", "misses", "stores", "evictions", "corrupt", "bypasses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.bypasses = 0
+        self.by_kind: Dict[str, Dict[str, int]] = {}
+
+    def record(self, kind: str, event: str, count: int = 1) -> None:
+        assert event in self._EVENTS, event
+        setattr(self, event, getattr(self, event) + count)
+        bucket = self.by_kind.setdefault(
+            kind, {name: 0 for name in self._EVENTS})
+        bucket[event] += count
+
+    def kind(self, kind: str) -> Dict[str, int]:
+        return dict(self.by_kind.get(
+            kind, {name: 0 for name in self._EVENTS}))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "bypasses": self.bypasses,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_kind": {kind: dict(events)
+                        for kind, events in sorted(self.by_kind.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"<CacheStats hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} evictions={self.evictions}>")
+
+
+_MISS = object()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ArtifactCache:
+    """On-disk pickle store addressed by content digest.
+
+    Layout: ``<root>/<kind>/<digest>.pkl`` — one file per artifact, one
+    directory per artifact kind (``binary``, ``gadgets``, ``measure``…).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bytes: Optional[int] = None,
+                 enabled: Optional[bool] = None):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or default_cache_dir()
+        self.root = Path(root)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get(ENV_CACHE_MAX_BYTES,
+                                           DEFAULT_MAX_BYTES))
+        self.max_bytes = max_bytes
+        if enabled is None:
+            enabled = not os.environ.get(ENV_NO_CACHE)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.pkl"
+
+    def _entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return [path for path in self.root.glob("*/*.pkl")]
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def entry_count(self) -> int:
+        return len(self._entries())
+
+    # -- core operations ------------------------------------------------
+    def get(self, kind: str, key: str) -> Tuple[bool, Any]:
+        """Look up one artifact; returns ``(hit, value)``."""
+        if not self.enabled:
+            self.stats.record(kind, "bypasses")
+            return False, None
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.record(kind, "misses")
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError,
+                MemoryError):
+            # A truncated or stale-format entry must fall back to
+            # recompute, never crash the experiment.
+            self.stats.record(kind, "corrupt")
+            self.stats.record(kind, "misses")
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return False, None
+        self.stats.record(kind, "hits")
+        with contextlib.suppress(OSError):      # LRU recency bump
+            os.utime(path)
+        return True, value
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Store one artifact (atomic; a no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                         prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+            return                               # cache is best-effort
+        self.stats.record(kind, "stores")
+        self._evict_to_fit(protect=path)
+
+    def get_or_compute(self, kind: str, key: str,
+                       compute: Callable[[], Any]) -> Any:
+        """The single code path callers use: hit, or compute-and-store."""
+        hit, value = self.get(kind, key)
+        if hit:
+            return value
+        value = compute()
+        self.put(kind, key, value)
+        return value
+
+    # -- maintenance ----------------------------------------------------
+    def _evict_to_fit(self, protect: Optional[Path] = None) -> None:
+        if self.max_bytes is None or self.max_bytes <= 0:
+            return
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()                           # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue                         # never evict the new entry
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= size
+                self.stats.record(path.parent.name, "evictions")
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+    @contextlib.contextmanager
+    def bypass(self) -> Iterator[None]:
+        """Temporarily disable the store (used for cold-path benchmarks).
+
+        Also exports ``REPRO_NO_CACHE`` for the duration so engine worker
+        processes forked inside the window inherit the bypass — otherwise
+        a "cold" parallel sweep would quietly read the warm store.
+        """
+        previous = self.enabled
+        previous_env = os.environ.get(ENV_NO_CACHE)
+        self.enabled = False
+        os.environ[ENV_NO_CACHE] = "1"
+        try:
+            yield
+        finally:
+            self.enabled = previous
+            if previous_env is None:
+                os.environ.pop(ENV_NO_CACHE, None)
+            else:
+                os.environ[ENV_NO_CACHE] = previous_env
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<ArtifactCache {self.root} [{state}] {self.stats!r}>"
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro-hipstr`` (or ``~/.cache/repro-hipstr``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-hipstr"
+
+
+# ----------------------------------------------------------------------
+# Process-wide default instance
+# ----------------------------------------------------------------------
+_default_cache: Optional[ArtifactCache] = None
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache (created from the environment on first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ArtifactCache()
+    return _default_cache
+
+
+def configure_cache(root: Optional[os.PathLike] = None,
+                    max_bytes: Optional[int] = None,
+                    enabled: Optional[bool] = None) -> ArtifactCache:
+    """Replace the process-wide cache (CLI flags, test fixtures)."""
+    global _default_cache
+    _default_cache = ArtifactCache(root=root, max_bytes=max_bytes,
+                                   enabled=enabled)
+    return _default_cache

@@ -1,0 +1,249 @@
+"""Fan-out experiment engine: a process-pool job runner.
+
+Every experiment driver in :mod:`repro.analysis.experiments` decomposes
+into independent jobs (per benchmark, per seed, per configuration).  The
+engine runs a job list across cores with:
+
+* **deterministic result ordering** — results come back in submission
+  order regardless of completion order, so a parallel sweep is
+  byte-identical to the serial one;
+* **worker-crash isolation** — a job that raises (or times out, or whose
+  worker process dies) produces a failed :class:`JobResult`; the rest of
+  the sweep completes and reports normally;
+* **per-job timeouts** — enforced inside the worker via ``SIGALRM`` on
+  POSIX, so a runaway job cannot poison the pool;
+* **zero-overhead serial mode** — with ``workers <= 1`` jobs execute
+  inline in the calling process (no pickling, no subprocesses), which is
+  both the default and the reference path for determinism tests.
+
+Jobs must be picklable for the parallel path: top-level functions plus
+plain-data arguments.  Worker processes share the on-disk artifact cache
+(:mod:`repro.runtime.cache`), whose atomic writes make concurrent
+population safe.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:                                            # not exported on Windows
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = RuntimeError            # type: ignore[misc]
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+class EngineError(RuntimeError):
+    """Raised by :func:`collect` when a sweep contains failed jobs."""
+
+    def __init__(self, failures: List["JobResult"]):
+        self.failures = failures
+        detail = "; ".join(f"{r.key}: {r.error}" for r in failures[:5])
+        more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        super().__init__(f"{len(failures)} job(s) failed: {detail}{more}")
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of independent work.
+
+    ``fn`` must be a module-level callable and the arguments plain data
+    so the job can cross a process boundary.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: wall-clock seconds before the job is aborted (POSIX only)
+    timeout: Optional[float] = None
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a value, or an error description — never both."""
+
+    key: str
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - exercised in workers
+    raise JobTimeout()
+
+
+def _execute(job: Job, index: int) -> JobResult:
+    """Run one job in the current process, capturing failure as data."""
+    start = time.perf_counter()
+    use_alarm = (job.timeout is not None and job.timeout > 0
+                 and hasattr(signal, "SIGALRM"))
+    previous_handler = None
+    if use_alarm:
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, job.timeout)
+    try:
+        value = job.fn(*job.args, **job.kwargs)
+        return JobResult(key=job.key, index=index, value=value,
+                         seconds=time.perf_counter() - start)
+    except JobTimeout:
+        return JobResult(
+            key=job.key, index=index,
+            error=f"timed out after {job.timeout:.1f}s",
+            seconds=time.perf_counter() - start)
+    except Exception as exc:
+        trace = traceback.format_exc(limit=4)
+        return JobResult(
+            key=job.key, index=index,
+            error=f"{type(exc).__name__}: {exc}\n{trace}",
+            seconds=time.perf_counter() - start)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+def _worker_entry(job: Job, index: int) -> JobResult:
+    """Top-level pool entry point (must be picklable by reference)."""
+    return _execute(job, index)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker-count policy: explicit > ``REPRO_WORKERS`` > serial.
+
+    ``0`` (or the env value ``auto``) means one worker per core.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip().lower()
+        if not raw:
+            return 1
+        workers = 0 if raw == "auto" else int(raw)
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class ExperimentEngine:
+    """Runs job lists serially or across a process pool."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 job_timeout: Optional[float] = None):
+        self.workers = resolve_workers(workers)
+        #: default per-job timeout applied when a job doesn't set one
+        self.job_timeout = job_timeout
+        self.jobs_run = 0
+        self.failures = 0
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute every job; results are in submission order."""
+        jobs = [self._with_default_timeout(job) for job in jobs]
+        if not jobs:
+            return []
+        if not self.parallel or len(jobs) == 1:
+            results = [_execute(job, index)
+                       for index, job in enumerate(jobs)]
+        else:
+            results = self._run_pool(jobs)
+        self.jobs_run += len(results)
+        self.failures += sum(1 for r in results if not r.ok)
+        return results
+
+    def map(self, fn: Callable[..., Any], arg_tuples: Sequence[Tuple],
+            key_prefix: str = "job",
+            timeout: Optional[float] = None) -> List[JobResult]:
+        """Convenience fan-out: one job per argument tuple."""
+        jobs = [Job(key=f"{key_prefix}:{index}", fn=fn, args=tuple(args),
+                    timeout=timeout)
+                for index, args in enumerate(arg_tuples)]
+        return self.run(jobs)
+
+    # ------------------------------------------------------------------
+    def _with_default_timeout(self, job: Job) -> Job:
+        if job.timeout is None and self.job_timeout is not None:
+            return Job(key=job.key, fn=job.fn, args=job.args,
+                       kwargs=job.kwargs, timeout=self.job_timeout)
+        return job
+
+    def _run_pool(self, jobs: Sequence[Job]) -> List[JobResult]:
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        max_workers = min(self.workers, len(jobs))
+        pending: Dict[Any, int] = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for index, job in enumerate(jobs):
+                try:
+                    future = pool.submit(_worker_entry, job, index)
+                except (BrokenProcessPool, RuntimeError) as exc:
+                    results[index] = JobResult(
+                        key=job.key, index=index,
+                        error=f"pool broken at submit: {exc}")
+                    continue
+                pending[future] = index
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died hard (e.g. os._exit/segfault): the
+                        # job it held is lost, the sweep is not.
+                        results[index] = JobResult(
+                            key=jobs[index].key, index=index,
+                            error=f"worker process died: {exc}")
+                    except Exception as exc:
+                        results[index] = JobResult(
+                            key=jobs[index].key, index=index,
+                            error=f"{type(exc).__name__}: {exc}")
+        return [result for result in results if result is not None]
+
+
+def collect(results: Sequence[JobResult]) -> List[Any]:
+    """Values in order, or :class:`EngineError` describing every failure."""
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise EngineError(failures)
+    return [r.value for r in results]
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def get_default_engine() -> ExperimentEngine:
+    """The ambient engine drivers use when none is passed explicitly.
+
+    Serial unless ``REPRO_WORKERS`` (or :func:`set_default_engine`) says
+    otherwise, so library callers and tests pay no pool overhead.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[ExperimentEngine]) -> None:
+    global _default_engine
+    _default_engine = engine

@@ -1,0 +1,90 @@
+"""Lightweight profiling hooks: per-phase wall time + trajectory files.
+
+The ``repro bench`` subcommand (and any test that wants a record) wraps
+pipeline phases in a :class:`PhaseProfiler` and writes the result as a
+``BENCH_<label>.json`` trajectory file: an ordered list of phases with
+wall-clock seconds, arbitrary metadata (job counts, failure counts), and
+the artifact-cache statistics observed over the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from .cache import ArtifactCache
+
+
+@dataclass
+class PhaseRecord:
+    """One timed phase of a benchmark run."""
+
+    name: str
+    seconds: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name,
+                                   "seconds": round(self.seconds, 6)}
+        payload.update(self.meta)
+        return payload
+
+
+class PhaseProfiler:
+    """Accumulates named phases; render with :meth:`as_dict`."""
+
+    def __init__(self, label: str = "bench"):
+        self.label = label
+        self.phases: List[PhaseRecord] = []
+
+    @contextmanager
+    def phase(self, name: str, **meta: Any) -> Iterator[PhaseRecord]:
+        record = PhaseRecord(name=name, meta=dict(meta))
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            self.phases.append(record)
+
+    def add(self, name: str, seconds: float, **meta: Any) -> PhaseRecord:
+        record = PhaseRecord(name=name, seconds=seconds, meta=dict(meta))
+        self.phases.append(record)
+        return record
+
+    def seconds_of(self, name: str) -> float:
+        return sum(p.seconds for p in self.phases if p.name == name)
+
+    def as_dict(self, cache: Optional[ArtifactCache] = None,
+                **extra: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "label": self.label,
+            "host": {"cpu_count": os.cpu_count() or 1},
+            "phases": [record.as_dict() for record in self.phases],
+            "total_seconds": round(sum(p.seconds for p in self.phases), 6),
+        }
+        if cache is not None:
+            payload["cache"] = cache.stats.as_dict()
+            payload["cache_dir"] = str(cache.root)
+        payload.update(extra)
+        return payload
+
+
+def write_bench_file(payload: Dict[str, Any],
+                     path: Optional[os.PathLike] = None,
+                     directory: os.PathLike = ".") -> Path:
+    """Write one ``BENCH_<label>.json`` trajectory file; returns its path."""
+    if path is None:
+        label = str(payload.get("label", "run")).replace(os.sep, "_")
+        path = Path(directory) / f"BENCH_{label}.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -5,6 +5,7 @@ from .suite import (
     SPEC_NAMES,
     WORKLOADS,
     Workload,
+    clear_compile_cache,
     compile_workload,
     get_workload,
     spec_workloads,
@@ -15,6 +16,7 @@ __all__ = [
     "SPEC_NAMES",
     "WORKLOADS",
     "Workload",
+    "clear_compile_cache",
     "compile_workload",
     "get_workload",
     "spec_workloads",

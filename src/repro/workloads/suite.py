@@ -15,7 +15,9 @@ import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import __version__
 from ..compiler import FatBinary, compile_minic
+from ..runtime.cache import digest, get_cache
 from .programs import (
     bzip2_mini,
     gobmk_mini,
@@ -100,9 +102,34 @@ def spec_workloads() -> List[Workload]:
     return [WORKLOADS[name] for name in SPEC_NAMES]
 
 
-@functools.lru_cache(maxsize=32)
+#: compiler identity folded into compile-cache keys — a toolchain version
+#: bump invalidates stale on-disk binaries
+COMPILER_TAG = f"minic-{__version__}"
+
+
 def compile_workload(name: str, work: Optional[int] = None) -> FatBinary:
-    """Compile a workload to its fat binary (cached — compilation is pure)."""
+    """Compile a workload to its fat binary (cached — compilation is pure).
+
+    Two cache layers share one code path: an in-process ``lru_cache``
+    (identity-preserving) over the on-disk content-addressed store.  The
+    work parameter is resolved to its actual value *before* keying, so
+    ``compile_workload("mcf")`` and ``compile_workload("mcf", 4)`` are
+    the same entry rather than double-keyed.
+    """
     workload = get_workload(name)
-    actual = workload.default_work if work is None else work
-    return compile_minic(workload.make_source(actual))
+    return _compile_cached(name, workload.default_work if work is None
+                           else work)
+
+
+@functools.lru_cache(maxsize=64)
+def _compile_cached(name: str, work: int) -> FatBinary:
+    source = get_workload(name).make_source(work)
+    cache = get_cache()
+    key = digest("compile", name, work, source, COMPILER_TAG)
+    return cache.get_or_compute("binary", key,
+                                lambda: compile_minic(source))
+
+
+def clear_compile_cache() -> None:
+    """Drop the in-process compile memo (tests simulating fresh runs)."""
+    _compile_cached.cache_clear()

@@ -1,0 +1,31 @@
+"""Shared test configuration: a hermetic artifact cache.
+
+Tier-1 runs must not read or write the developer's ``~/.cache`` store
+(stale entries there could mask regressions, and test artifacts must not
+pollute it), so every session gets a throwaway cache root.  The env var
+is exported too so engine worker processes spawned by tests inherit it.
+"""
+
+import os
+
+import pytest
+
+from repro.runtime.cache import configure_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("artifact-cache")
+    previous = {name: os.environ.get(name)
+                for name in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE",
+                             "REPRO_WORKERS")}
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    os.environ.pop("REPRO_NO_CACHE", None)
+    os.environ.pop("REPRO_WORKERS", None)
+    configure_cache(root=root)
+    yield root
+    for name, value in previous.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value

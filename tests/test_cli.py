@@ -82,3 +82,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "shell spawned = True" in out
         assert "shell spawned = False" in out
+
+
+class TestRuntimeFlags:
+    def test_experiment_accepts_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig3", "-j", "4", "--no-cache",
+             "--cache-dir", "/tmp/x", "--cache-stats"])
+        assert args.workers == 4
+        assert args.no_cache and args.cache_stats
+        assert args.cache_dir == "/tmp/x"
+
+    def test_experiment_with_workers(self, capsys):
+        assert main(["experiment", "fig3", "--workers", "2"]) == 0
+        assert "Classic ROP" in capsys.readouterr().out
+
+    def test_experiment_cache_stats(self, capsys):
+        assert main(["experiment", "fig3", "--cache-stats"]) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_trajectory_file(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "--benchmarks", "mcf",
+                     "--output", str(out_path)]) == 0
+        assert "[bench] wrote" in capsys.readouterr().out
+        import json
+        payload = json.loads(out_path.read_text())
+        phase_names = [p["name"] for p in payload["phases"]]
+        assert phase_names == ["compile", "mine", "sweep-serial-cold",
+                               "sweep-parallel-cold", "sweep-populate",
+                               "sweep-warm"]
+        assert payload["benchmarks"] == ["mcf"]
+        assert payload["host"]["cpu_count"] >= 1
+        assert "cache" in payload and "hit_rate" in payload["cache"]
+        assert payload["speedup"] is None or payload["speedup"] > 0
+        # the warm sweep must beat the cold one through the cache
+        assert payload["warm_speedup"] > 1

@@ -61,22 +61,100 @@ class TestDecodeCache:
     def test_invalidate_range(self):
         interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
         interp.step()
-        key = ("x86like", 0x1000)
-        assert key in interp._decode_cache
+        assert interp.cached_decode("x86like", 0x1000) is not None
         interp.invalidate_decode_cache(0x1000, 0x1001)
-        assert key not in interp._decode_cache
+        assert interp.cached_decode("x86like", 0x1000) is None
 
     def test_invalidate_all(self):
         interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
         interp.step()
         interp.invalidate_decode_cache()
-        assert not interp._decode_cache
+        assert interp.decode_cache_size == 0
 
     def test_invalidate_outside_range_keeps_entries(self):
         interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
         interp.step()
         interp.invalidate_decode_cache(0x2000, 0x3000)
-        assert ("x86like", 0x1000) in interp._decode_cache
+        assert interp.cached_decode("x86like", 0x1000) is not None
+
+    def test_invalidate_spanning_pages(self):
+        # Entries on two different 4K pages of the same segment.
+        nop = X86LIKE.encode(Instruction(Op.NOP), 0x1000)
+        data = bytearray(0x3000)
+        data[0:len(nop)] = nop                        # NOP at 0x1000
+        data[0x1000:0x1000 + len(nop)] = nop          # NOP at 0x2000
+        memory = Memory()
+        memory.map("text", 0x1000, 0x3000, writable=False, executable=True,
+                   data=bytes(data))
+        memory.map("stack", 0x8000, 0x1000)
+        cpu = CPUState(X86LIKE, pc=0x1000)
+        interp = Interpreter(cpu, memory, OperatingSystem())
+        interp.step()                             # caches decode at 0x1000
+        cpu.pc = 0x2000
+        interp.step()                             # caches decode at 0x2000
+        assert interp.decode_cache_size == 2
+        # A range crossing the page boundary drops both; a partial-page
+        # range on one page leaves the other page's entries alone.
+        interp.invalidate_decode_cache(0x1FF0, 0x2004)
+        assert interp.cached_decode("x86like", 0x2000) is None
+        assert interp.cached_decode("x86like", 0x1000) is not None
+        interp.invalidate_decode_cache(0x1000, 0x2000)
+        assert interp.decode_cache_size == 0
+
+    def test_invalidate_single_address_default_end(self):
+        interp = build_machine([Instruction(Op.NOP), Instruction(Op.HLT)])
+        interp.step()
+        interp.invalidate_decode_cache(0x1000)
+        assert interp.cached_decode("x86like", 0x1000) is None
+
+
+class TestSelfModifyingCode:
+    """Writes to executable memory must drop stale decodes (regression)."""
+
+    def _machine(self, instructions, base=0x1000):
+        asm = Assembler(X86LIKE)
+        for item in instructions:
+            asm.emit(item)
+        unit = asm.assemble(base)
+        memory = Memory()
+        # Writable *and* executable, like the DBT's code cache segment.
+        memory.map("code", base, max(len(unit.data), 32), writable=True,
+                   executable=True, data=unit.data)
+        memory.map("stack", 0x8000, 0x1000)
+        cpu = CPUState(X86LIKE, pc=base)
+        cpu.sp = 0x8800
+        return Interpreter(cpu, memory, OperatingSystem()), unit
+
+    def test_stale_decode_dropped_after_invalidate(self):
+        interp, unit = self._machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(1))),
+            Instruction(Op.HLT),
+        ])
+        interp.step()
+        assert interp.cpu.get(EAX) == 1
+        # Overwrite the first instruction with "MOV EAX, 2" in place.
+        replacement = X86LIKE.encode(
+            Instruction(Op.MOV, (Reg(EAX), Imm(2))), 0x1000)
+        interp.memory.write_bytes(0x1000, replacement)
+        interp.invalidate_decode_cache(0x1000, 0x1000 + len(replacement))
+        interp.cpu.pc = 0x1000
+        interp.step()
+        assert interp.cpu.get(EAX) == 2
+
+    def test_without_invalidate_stale_decode_persists(self):
+        # Documents why the VM must call the invalidate listener: the
+        # decode cache intentionally does not snoop data writes.
+        interp, _unit = self._machine([
+            Instruction(Op.MOV, (Reg(EAX), Imm(1))),
+            Instruction(Op.HLT),
+        ])
+        interp.step()
+        replacement = X86LIKE.encode(
+            Instruction(Op.MOV, (Reg(EAX), Imm(2))), 0x1000)
+        interp.memory.write_bytes(0x1000, replacement)
+        interp.cpu.pc = 0x1000
+        interp.step()
+        assert interp.cpu.get(EAX) == 1
 
 
 class TestFaultPropagation:

@@ -1,0 +1,250 @@
+"""Tests for the content-addressed artifact cache."""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime.cache import (
+    ArtifactCache,
+    CacheStats,
+    configure_cache,
+    digest,
+    get_cache,
+)
+
+
+@dataclasses.dataclass
+class _Key:
+    name: str
+    size: int
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest("a", 1, 2.5) == digest("a", 1, 2.5)
+
+    def test_discriminates_values(self):
+        assert digest("a") != digest("b")
+        assert digest(1) != digest(2)
+
+    def test_discriminates_types(self):
+        # "1" vs 1 vs 1.0 vs b"1" must not collide
+        seen = {digest("1"), digest(1), digest(1.0), digest(b"1")}
+        assert len(seen) == 4
+
+    def test_bool_is_not_int(self):
+        assert digest(True) != digest(1)
+        assert digest(False) != digest(0)
+
+    def test_nesting_is_unambiguous(self):
+        assert digest(("ab", "c")) != digest(("a", "bc"))
+        assert digest([1, [2, 3]]) != digest([[1, 2], 3])
+
+    def test_dict_order_insensitive(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_dataclass_keys(self):
+        assert digest(_Key("mcf", 4)) == digest(_Key("mcf", 4))
+        assert digest(_Key("mcf", 4)) != digest(_Key("mcf", 5))
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError):
+            digest(object())
+
+    def test_stable_across_processes(self):
+        """The property ``hash()`` lacks: no per-process randomization."""
+        parts = "('x', 3, 2.5, b'\\x00', {'k': (1, 2)}, None, True)"
+        script = ("from repro.runtime.cache import digest; "
+                  f"print(digest(*{parts}))")
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        outputs = {
+            subprocess.run([sys.executable, "-c", script], env=env,
+                           capture_output=True, text=True,
+                           check=True).stdout.strip()
+            for _ in range(2)
+        }
+        assert outputs == {digest("x", 3, 2.5, b"\x00", {"k": (1, 2)},
+                                  None, True)}
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("entry")
+        hit, value = cache.get("binary", key)
+        assert not hit and value is None
+        cache.put("binary", key, {"rows": [1, 2, 3]})
+        hit, value = cache.get("binary", key)
+        assert hit and value == {"rows": [1, 2, 3]}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_get_or_compute_computes_once(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "artifact"
+
+        key = digest("once")
+        assert cache.get_or_compute("gadgets", key, compute) == "artifact"
+        assert cache.get_or_compute("gadgets", key, compute) == "artifact"
+        assert len(calls) == 1
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("shared")
+        cache.put("binary", key, "a")
+        cache.put("gadgets", key, "b")
+        assert cache.get("binary", key) == (True, "a")
+        assert cache.get("gadgets", key) == (True, "b")
+        assert cache.stats.kind("binary")["hits"] == 1
+        assert cache.stats.kind("gadgets")["hits"] == 1
+
+    def test_survives_new_instance_on_same_root(self, tmp_path):
+        """A fresh process (modelled by a fresh instance) sees the store."""
+        key = digest("persist")
+        ArtifactCache(root=tmp_path).put("measure", key, (1.5, 2.5))
+        fresh = ArtifactCache(root=tmp_path)
+        assert fresh.get("measure", key) == (True, (1.5, 2.5))
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        for index in range(3):
+            cache.put("binary", digest(index), index)
+        assert cache.entry_count() == 3
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_recomputed(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("fragile")
+        cache.put("analyses", key, list(range(100)))
+        path = cache.path_for("analyses", key)
+        path.write_bytes(path.read_bytes()[:7])      # truncate mid-pickle
+        assert cache.get_or_compute("analyses", key,
+                                    lambda: "recomputed") == "recomputed"
+        assert cache.stats.corrupt == 1
+        # the recompute re-stored a good entry
+        assert cache.get("analyses", key) == (True, "recomputed")
+
+    def test_garbage_entry_deleted(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("garbage")
+        path = cache.path_for("analyses", key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x80\x05this is not a pickle")
+        hit, _ = cache.get("analyses", key)
+        assert not hit
+        assert not path.exists()
+
+
+class TestEviction:
+    def _age(self, path, seconds):
+        stamp = os.stat(path).st_mtime - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_oldest_evicted_first(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, max_bytes=10_000_000)
+        payload = b"x" * 4096
+        keys = [digest("entry", index) for index in range(4)]
+        for age, key in enumerate(keys):
+            cache.put("binary", key, payload)
+            self._age(cache.path_for("binary", key), (len(keys) - age) * 100)
+        cache.max_bytes = 3 * cache.path_for("binary",
+                                             keys[0]).stat().st_size
+        cache._evict_to_fit()
+        assert cache.get("binary", keys[0])[0] is False   # oldest gone
+        assert cache.get("binary", keys[-1])[0] is True   # newest kept
+        assert cache.stats.evictions >= 1
+
+    def test_read_bumps_recency(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, max_bytes=10_000_000)
+        payload = b"y" * 4096
+        keys = [digest("lru", index) for index in range(3)]
+        for age, key in enumerate(keys):
+            cache.put("binary", key, payload)
+            self._age(cache.path_for("binary", key), (len(keys) - age) * 100)
+        cache.get("binary", keys[0])                      # touch the oldest
+        entry_size = cache.path_for("binary", keys[0]).stat().st_size
+        cache.max_bytes = 2 * entry_size
+        cache._evict_to_fit()
+        assert cache.get("binary", keys[0])[0] is True    # recency saved it
+        assert cache.get("binary", keys[1])[0] is False
+
+    def test_new_entry_never_self_evicts(self, tmp_path):
+        entry = b"z" * 4096
+        cache = ArtifactCache(root=tmp_path, max_bytes=1)   # absurdly small
+        key = digest("protected")
+        cache.put("binary", key, entry)
+        assert cache.get("binary", key)[0] is True
+
+
+class TestBypass:
+    def test_disabled_never_touches_disk(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        key = digest("ghost")
+        cache.put("binary", key, "value")
+        assert cache.get("binary", key) == (False, None)
+        assert cache.entry_count() == 0
+        assert cache.stats.bypasses == 1
+
+    def test_bypass_context(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("window")
+        cache.put("binary", key, "value")
+        with cache.bypass():
+            assert cache.get("binary", key) == (False, None)
+            assert os.environ.get("REPRO_NO_CACHE") == "1"
+        assert cache.get("binary", key) == (True, "value")
+        assert os.environ.get("REPRO_NO_CACHE") is None
+
+    def test_env_disable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ArtifactCache(root=tmp_path)
+        assert not cache.enabled
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ArtifactCache().root == tmp_path / "elsewhere"
+
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.record("binary", "hits", 3)
+        stats.record("binary", "misses", 1)
+        assert stats.hit_rate == 0.75
+
+    def test_as_dict_round_trips_by_kind(self):
+        stats = CacheStats()
+        stats.record("gadgets", "misses")
+        stats.record("gadgets", "stores")
+        payload = stats.as_dict()
+        assert payload["by_kind"]["gadgets"]["misses"] == 1
+        assert payload["by_kind"]["gadgets"]["stores"] == 1
+
+
+class TestProcessDefault:
+    def test_configure_replaces_singleton(self, tmp_path):
+        original = get_cache()
+        try:
+            replaced = configure_cache(root=tmp_path / "other")
+            assert get_cache() is replaced
+            assert replaced.root == tmp_path / "other"
+        finally:
+            configure_cache(root=original.root,
+                            max_bytes=original.max_bytes,
+                            enabled=original.enabled)
