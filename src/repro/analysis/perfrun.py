@@ -7,8 +7,12 @@ same instruction budget so relative performance compares equal work.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from ..obs import context as obs
+from ..obs.instrument import step_metrics
 
 from ..compiler.fatbinary import FatBinary
 from ..core.hipstr import HIPStRResult, HIPStRSystem
@@ -39,7 +43,10 @@ def measure_native(binary: FatBinary, isa_name: str = "x86like",
     process.run(warmup)
     timing = TimingModel(core)
     process.interpreter.observers.append(timing.observe)
-    process.run(budget)
+    with obs.span("measure", system="native", isa=isa_name):
+        with step_metrics(process.interpreter, system="native",
+                          isa=isa_name):
+            process.run(budget)
     return PerfMeasurement("native", timing.cycles, timing.instructions, core)
 
 
@@ -58,7 +65,10 @@ def measure_psr(binary: FatBinary, isa_name: str = "x86like",
     snapshot = cost_model.snapshot(vm)
     timing = TimingModel(core)
     process.interpreter.observers.append(timing.observe)
-    process.run(budget)
+    with obs.span("measure", system="psr", isa=isa_name,
+                  opt_level=config.opt_level):
+        with step_metrics(process.interpreter, system="psr", isa=isa_name):
+            process.run(budget)
     timing.add_cycles(cost_model.overhead_cycles(vm, since=snapshot))
     label = f"psr-O{config.opt_level}"
     return PerfMeasurement(label, timing.cycles, timing.instructions,
@@ -80,7 +90,10 @@ def measure_isomeron(binary: FatBinary, isa_name: str = "x86like",
     model = IsomeronExecutionModel(timing, diversification_probability, seed)
     process.interpreter.observers.append(timing.observe)
     process.interpreter.observers.append(model.observe)
-    process.run(budget)
+    with obs.span("measure", system="isomeron", isa=isa_name):
+        with step_metrics(process.interpreter, system="isomeron",
+                          isa=isa_name):
+            process.run(budget)
     return PerfMeasurement("isomeron", timing.cycles, timing.instructions,
                            core)
 
@@ -103,7 +116,10 @@ def measure_psr_isomeron(binary: FatBinary, isa_name: str = "x86like",
     model = IsomeronExecutionModel(timing, diversification_probability, seed)
     process.interpreter.observers.append(timing.observe)
     process.interpreter.observers.append(model.observe)
-    process.run(budget)
+    with obs.span("measure", system="psr+isomeron", isa=isa_name):
+        with step_metrics(process.interpreter, system="psr+isomeron",
+                          isa=isa_name):
+            process.run(budget)
     timing.add_cycles(cost_model.overhead_cycles(vm, since=snapshot))
     return PerfMeasurement("psr+isomeron", timing.cycles,
                            timing.instructions, core)
@@ -175,7 +191,12 @@ def measure_hipstr(binary: FatBinary,
     timers = {name: TimingModel(CORES[name]) for name in system.interpreters}
     for name, interpreter in system.interpreters.items():
         interpreter.observers.append(timers[name].observe)
-    result = system.run(budget)
+    with obs.span("measure", system="hipstr"):
+        with contextlib.ExitStack() as stack:
+            for name, interpreter in system.interpreters.items():
+                stack.enter_context(step_metrics(interpreter,
+                                                 system="hipstr", isa=name))
+            result = system.run(budget)
 
     total_seconds = sum(t.seconds for t in timers.values())
     migration_cost = sum(migration_micros(r) for r in

@@ -10,17 +10,23 @@ Commands:
   table2, httpd) and print its table
 * ``bench``           — profile the pipeline (serial vs parallel, cold vs
   warm cache) and write a ``BENCH_*.json`` trajectory file
+* ``report FILE``     — summarize a captured ``*.jsonl`` trace (phases,
+  jobs, counters, histograms, cache hit rate, migrations)
 
 ``experiment`` and ``bench`` share the runtime flags ``--workers``
-(process fan-out; 0 = one per core), ``--no-cache``, and ``--cache-dir``.
+(process fan-out; 0 = one per core), ``--no-cache``, ``--cache-dir``,
+and ``--trace FILE`` (capture a metrics + span trace; ``REPRO_TRACE``
+is the environment equivalent).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from . import obs
 from .analysis import experiments
 from .analysis.reporting import format_series, format_table, percent
 from .attacks import gadget_population_summary, mine_binary
@@ -28,6 +34,7 @@ from .compiler import compile_minic
 from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
 from .isa import ISAS, format_listing, linear_disassemble
+from .obs.report import render_report
 from .runtime import (
     ExperimentEngine,
     PhaseProfiler,
@@ -130,12 +137,30 @@ def _exploit_demo_inline() -> int:
 
 
 def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
-    """Apply the shared ``--workers``/``--no-cache``/``--cache-dir`` flags."""
+    """Apply the shared ``--workers``/``--no-cache``/``--cache-dir``/
+    ``--trace`` flags."""
     no_cache = getattr(args, "no_cache", False)
     cache_dir = getattr(args, "cache_dir", None)
     if no_cache or cache_dir:
         configure_cache(root=cache_dir, enabled=not no_cache)
+    trace_path = getattr(args, "trace", None) or os.environ.get(obs.ENV_TRACE)
+    if trace_path:
+        # export before any worker processes spawn so they come up
+        # enabled and ship their captures home with each JobResult
+        os.environ[obs.ENV_TRACE] = str(trace_path)
+        obs.enable()
+    args.trace_path = trace_path
     return ExperimentEngine(workers=getattr(args, "workers", None))
+
+
+def _finalize_trace(args: argparse.Namespace, label: str) -> None:
+    """Write the captured trace + final metrics snapshot, if tracing."""
+    path = getattr(args, "trace_path", None)
+    if not path:
+        return
+    get_cache().stats.export_to(obs.get_registry())
+    written = obs.write_trace(path, label=label)
+    print(f"[trace] wrote {written}")
 
 
 def _print_fig3(engine) -> None:
@@ -301,6 +326,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         stats = get_cache().stats
         print(f"\n[cache] hits={stats.hits} misses={stats.misses} "
               f"hit-rate={stats.hit_rate:.1%}")
+    _finalize_trace(args, label=f"experiment:{args.name}")
     return 0
 
 
@@ -361,6 +387,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"({parallel.workers} workers) {parallel_cold:.2f}s, warm "
           f"{profiler.seconds_of('sweep-warm'):.2f}s")
     print(f"[bench] wrote {path}")
+    _finalize_trace(args, label=f"bench:{args.label}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Load a captured trace file and print its summary tables."""
+    try:
+        trace = obs.load_trace(args.file)
+    except (OSError, obs.TraceError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_report(trace, top=args.top))
+    except BrokenPipeError:      # e.g. `repro report f | head`
+        sys.stderr.close()       # suppress the interpreter's warning
     return 0
 
 
@@ -414,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="artifact cache location (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro-hipstr)")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="capture a metrics + span trace to FILE "
+                            "(JSONL; or set $REPRO_TRACE); summarize "
+                            "with 'repro report FILE'")
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one paper artifact")
@@ -438,6 +483,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "trajectory file")
     add_runtime_flags(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    report_parser = sub.add_parser(
+        "report", help="summarize a captured trace file")
+    report_parser.add_argument("file", help="trace file written by --trace")
+    report_parser.add_argument("--top", type=int, default=15, metavar="N",
+                               help="rows per ranked table (default 15)")
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

@@ -319,7 +319,10 @@ class Interpreter:
         self.steps_executed += 1
         observers = self.observers
         if observers:
-            for observer in observers:
+            # Snapshot before dispatch: an observer may attach/detach
+            # observers mid-step (trace instrumentation does), and that
+            # must not mutate the list being iterated.
+            for observer in tuple(observers):
                 observer(cpu, info)
         return info
 

@@ -17,8 +17,10 @@ security-driven migrations on code-cache-missing returns).  The engine:
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compiler.fatbinary import FatBinary
 from ..compiler.symtab import ExtendedSymbolTable
@@ -27,8 +29,16 @@ from ..errors import MigrationError
 from ..isa.base import Op, WORD_SIZE
 from ..machine.cpu import CPUState
 from ..machine.memory import Memory
+from ..obs import SIZE_EDGES
+from ..obs import context as obs
 from .sitemap import CallSiteIndex, ResolvedSite
 from .stack_transform import FrameRecord, StackTransformer, TransformReport
+
+#: default bound on retained :class:`MigrationRecord`\ s — long
+#: rerandomization runs migrate millions of times and must not
+#: accumulate every record forever; running totals are kept separately
+#: and are never dropped
+DEFAULT_HISTORY_LIMIT = 4096
 
 
 @dataclass
@@ -46,13 +56,18 @@ class MigrationEngine:
     """Performs migrations between the two PSR virtual machines."""
 
     def __init__(self, binary: FatBinary,
-                 vms: Dict[str, PSRVirtualMachine]):
+                 vms: Dict[str, PSRVirtualMachine],
+                 history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT):
         self.binary = binary
         self.vms = vms
         self.sites = CallSiteIndex(binary.symtab, binary.program)
         self.transformer = StackTransformer(binary.symtab, binary.program,
                                             self.sites)
-        self.history: List[MigrationRecord] = []
+        #: bounded window of recent migrations (``history_limit=None``
+        #: keeps everything — tests and short runs only)
+        self.history: Deque[MigrationRecord] = deque(maxlen=history_limit)
+        self._total_migrations = 0
+        self._direction_counts: Dict[Tuple[str, str], int] = {}
         #: per-ISA return address of the crt0 stub's call to main
         self._stub_returns = {
             isa_name: self._find_stub_return(isa_name)
@@ -73,38 +88,67 @@ class MigrationEngine:
                 memory: Memory, native_target: int,
                 kind: str) -> CPUState:
         """Transform state and return the ready-to-run target CPU."""
-        source_vm = self.vms[source_isa]
-        target_vm = self.vms[target_isa]
+        with obs.span("migration", source=source_isa, target=target_isa,
+                      kind=kind) as span:
+            source_vm = self.vms[source_isa]
+            target_vm = self.vms[target_isa]
 
-        innermost, target_resume = self._innermost_frame(
-            source_isa, target_isa, cpu, native_target, kind)
-        frames = self.transformer.walk_frames(
-            source_isa, memory, innermost, source_vm.reloc_for)
+            innermost, target_resume = self._innermost_frame(
+                source_isa, target_isa, cpu, native_target, kind)
+            frames = self.transformer.walk_frames(
+                source_isa, memory, innermost, source_vm.reloc_for)
 
-        self._rewrite_return_addresses(frames, memory, source_isa,
-                                       target_isa, source_vm)
+            self._rewrite_return_addresses(frames, memory, source_isa,
+                                           target_isa, source_vm)
 
-        target_cpu, report = self.transformer.transform(
-            cpu, target_vm.isa, memory, frames,
-            source_vm.reloc_for, target_vm.reloc_for)
-        if kind == "ret":
-            # The callee's return value is in flight in the source ISA's
-            # return register; hand it to the target ISA's.
-            target_cpu.set(target_vm.isa.return_reg,
-                           cpu.get(source_vm.isa.return_reg))
+            transform_start = time.perf_counter()
+            target_cpu, report = self.transformer.transform(
+                cpu, target_vm.isa, memory, frames,
+                source_vm.reloc_for, target_vm.reloc_for)
+            transform_seconds = time.perf_counter() - transform_start
+            if kind == "ret":
+                # The callee's return value is in flight in the source
+                # ISA's return register; hand it to the target ISA's.
+                target_cpu.set(target_vm.isa.return_reg,
+                               cpu.get(source_vm.isa.return_reg))
 
-        translated = target_vm.cache.peek(target_resume)
-        if translated is None:
-            translated = target_vm.install_unit(target_resume)
-        if translated is None:
-            raise MigrationError(
-                f"no translation for resume point {target_resume:#x}")
-        target_cpu.pc = translated
+            translated = target_vm.cache.peek(target_resume)
+            if translated is None:
+                translated = target_vm.install_unit(target_resume)
+            if translated is None:
+                raise MigrationError(
+                    f"no translation for resume point {target_resume:#x}")
+            target_cpu.pc = translated
 
-        record = MigrationRecord(source_isa, target_isa, kind,
-                                 native_target, report)
-        self.history.append(record)
+            record = MigrationRecord(source_isa, target_isa, kind,
+                                     native_target, report)
+            self._record(record, transform_seconds, span)
         return target_cpu
+
+    def _record(self, record: MigrationRecord, transform_seconds: float,
+                span) -> None:
+        """Retain the record (bounded) and bump the running statistics."""
+        self.history.append(record)
+        self._total_migrations += 1
+        direction = (record.source_isa, record.target_isa)
+        self._direction_counts[direction] = \
+            self._direction_counts.get(direction, 0) + 1
+        if not obs.enabled():
+            return
+        report = record.report
+        if span is not None:
+            span.set(frames=report.frames, values_moved=report.values_moved,
+                     registers_rebuilt=report.registers_rebuilt,
+                     bytes_copied=report.bytes_touched)
+        registry = obs.get_registry()
+        registry.counter("migrations", source=record.source_isa,
+                         target=record.target_isa, kind=record.kind).inc()
+        registry.histogram("migration.bytes_copied",
+                           edges=SIZE_EDGES).observe(report.bytes_touched)
+        registry.histogram("migration.frames",
+                           edges=SIZE_EDGES).observe(report.frames)
+        registry.histogram("migration.transform_seconds").observe(
+            transform_seconds)
 
     # ------------------------------------------------------------------
     def _innermost_frame(self, source_isa: str, target_isa: str,
@@ -184,11 +228,11 @@ class MigrationEngine:
     # ------------------------------------------------------------------
     @property
     def migration_count(self) -> int:
-        return len(self.history)
+        """Running total — unaffected by the bounded history window."""
+        return self._total_migrations
 
     def count_by_direction(self) -> Dict[Tuple[str, str], int]:
-        result: Dict[Tuple[str, str], int] = {}
-        for record in self.history:
-            key = (record.source_isa, record.target_isa)
-            result[key] = result.get(key, 0) + 1
-        return result
+        """Running per-direction totals (kept outside the history cap;
+        the same counts surface as ``migrations{source,target,kind}``
+        series in the metrics registry when tracing is on)."""
+        return dict(self._direction_counts)

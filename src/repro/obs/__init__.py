@@ -1,0 +1,76 @@
+"""Unified observability: metrics registry + structured tracing.
+
+One subsystem feeds every operational number the reproduction reports
+(see DESIGN.md "Observability"):
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms as labeled series, with exact deterministic merges;
+* :mod:`repro.obs.trace` — nested spans and point events serialized to
+  JSONL (schema-versioned, monotonic timestamps);
+* :mod:`repro.obs.context` — the ambient per-process registry/tracer
+  pair, the ``REPRO_TRACE`` switch, and the capture/merge protocol the
+  experiment engine uses to make parallel metrics equal serial ones;
+* :mod:`repro.obs.instrument` — the interpreter step observer
+  (instruction mix, branches, syscalls) that attaches only when
+  observability is on;
+* :mod:`repro.obs.report` — the ``repro report`` renderer.
+"""
+
+from .context import (
+    ENV_TRACE,
+    capture,
+    enable,
+    enabled,
+    event,
+    get_registry,
+    get_tracer,
+    merge_capture,
+    reset,
+    span,
+    write_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    SECONDS_EDGES,
+    SIZE_EDGES,
+    parse_series,
+    series_name,
+)
+from .trace import TRACE_SCHEMA, TraceData, TraceError, Tracer, load_trace
+
+# NB: .report (the ``repro report`` renderer) is deliberately NOT
+# imported here — it depends on repro.analysis, which transitively
+# imports the runtime modules that import this package.  Import
+# ``repro.obs.report`` directly where rendering is needed.
+
+__all__ = [
+    "ENV_TRACE",
+    "capture",
+    "enable",
+    "enabled",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "merge_capture",
+    "reset",
+    "span",
+    "write_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "SECONDS_EDGES",
+    "SIZE_EDGES",
+    "parse_series",
+    "series_name",
+    "TRACE_SCHEMA",
+    "TraceData",
+    "TraceError",
+    "Tracer",
+    "load_trace",
+]

@@ -1,0 +1,141 @@
+"""Process-wide observability context and cross-process capture.
+
+One :class:`MetricsRegistry` + one :class:`Tracer` per process, created
+lazily; everything is off (and near-zero cost) unless the ``REPRO_TRACE``
+environment variable is set or :func:`enable` is called.  The CLI exports
+``REPRO_TRACE`` before the experiment engine fans out, so worker
+processes come up enabled too.
+
+The cross-process story is *capture and merge*: the engine wraps each
+job in :func:`capture`, which swaps in a fresh registry/tracer pair for
+the job's duration and hands back their plain-data contents.  Captures
+travel inside :class:`~repro.runtime.engine.JobResult` and the parent
+folds them in with :func:`merge_capture` **in submission order**, so the
+merged metrics and trace are identical for serial and parallel runs of
+the same sweep.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+#: set to a file path to enable observability (the CLI's --trace flag
+#: exports it so engine workers inherit the enablement)
+ENV_TRACE = "REPRO_TRACE"
+
+
+class _ObsState:
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=enabled)
+
+
+_state: Optional[_ObsState] = None
+
+
+def _get_state() -> _ObsState:
+    global _state
+    if _state is None:
+        _state = _ObsState(enabled=bool(os.environ.get(ENV_TRACE)))
+    return _state
+
+
+def enabled() -> bool:
+    """Cheap global check every instrumentation site guards on."""
+    return _get_state().enabled
+
+
+def enable() -> None:
+    """Turn observability on with fresh buffers."""
+    global _state
+    _state = _ObsState(enabled=True)
+
+
+def reset() -> None:
+    """Drop all state; re-derives enablement from the env on next use."""
+    global _state
+    _state = None
+
+
+def get_registry() -> MetricsRegistry:
+    return _get_state().registry
+
+
+def get_tracer() -> Tracer:
+    return _get_state().tracer
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op context when disabled)."""
+    return _get_state().tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    state = _get_state()
+    if state.enabled:
+        state.tracer.event(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Cross-process capture
+# ----------------------------------------------------------------------
+class Capture:
+    """One job's isolated buffers plus their plain-data contents."""
+
+    __slots__ = ("registry", "tracer", "metrics", "records")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=True)
+        self.metrics: Optional[Dict[str, Any]] = None
+        self.records: Optional[List[Dict[str, Any]]] = None
+
+
+@contextlib.contextmanager
+def capture() -> Iterator[Capture]:
+    """Swap in fresh buffers for one job; contents are read on exit.
+
+    Isolation is what makes serial == parallel: whether the job runs
+    inline or in a worker process, everything it emits lands in its own
+    buffers and reaches the parent registry only through the engine's
+    submission-order merge.
+    """
+    state = _get_state()
+    cap = Capture()
+    previous_registry, previous_tracer = state.registry, state.tracer
+    state.registry, state.tracer = cap.registry, cap.tracer
+    try:
+        yield cap
+    finally:
+        state.registry, state.tracer = previous_registry, previous_tracer
+        cap.metrics = cap.registry.snapshot()
+        cap.records = list(cap.tracer.records)
+
+
+def merge_capture(metrics: Optional[Dict[str, Any]],
+                  records: Optional[List[Dict[str, Any]]]) -> None:
+    """Fold one job's capture into the ambient registry and tracer."""
+    state = _get_state()
+    if metrics:
+        state.registry.merge(metrics)
+    if records:
+        state.tracer.absorb(records)
+
+
+def write_trace(path: os.PathLike, label: str = "",
+                extra_header: Optional[Dict[str, Any]] = None):
+    """Serialize the ambient trace + a final metrics snapshot to JSONL."""
+    state = _get_state()
+    header: Dict[str, Any] = {"label": label}
+    if extra_header:
+        header.update(extra_header)
+    return state.tracer.write_jsonl(path, header=header,
+                                    metrics=state.registry.snapshot())

@@ -1,0 +1,93 @@
+"""Interpreter instrumentation: instruction-mix / branch / syscall counts.
+
+The interpreter's hot loop stays untouched: when observability is off no
+observer is attached and the existing no-observer fast path runs.  When
+it is on, a :class:`StepMetricsObserver` rides the step-observer hook,
+accumulating into plain local fields (one dict bump per step — no
+registry lookups on the hot path) and flushing to labeled registry
+counters on detach.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional
+
+from ..isa.base import Op
+from . import context
+from .metrics import MetricsRegistry
+
+#: ops that are control transfers (the branch counters' population)
+CONTROL_OPS = frozenset((Op.JMP, Op.JCC, Op.CALL, Op.ICALL, Op.RET,
+                         Op.IJMP))
+
+
+class StepMetricsObserver:
+    """Step observer feeding the instruction-mix and branch counters."""
+
+    __slots__ = ("ops", "steps", "branches", "branches_taken",
+                 "mem_reads", "mem_writes", "syscalls")
+
+    def __init__(self) -> None:
+        self.ops: Dict[str, int] = {}
+        self.steps = 0
+        self.branches = 0
+        self.branches_taken = 0
+        self.mem_reads = 0
+        self.mem_writes = 0
+        self.syscalls = 0
+
+    def observe(self, cpu, info) -> None:
+        op = info.decoded.instruction.op
+        name = op.name
+        self.ops[name] = self.ops.get(name, 0) + 1
+        self.steps += 1
+        for _address, is_write in info.mem_accesses:
+            if is_write:
+                self.mem_writes += 1
+            else:
+                self.mem_reads += 1
+        if op in CONTROL_OPS:
+            self.branches += 1
+            if info.branch_taken:
+                self.branches_taken += 1
+        elif op is Op.SYSCALL:
+            self.syscalls += 1
+
+    def flush(self, registry: MetricsRegistry, **labels: Any) -> None:
+        """Fold the accumulated counts into labeled registry counters."""
+        if self.steps == 0:
+            return
+        for name in sorted(self.ops):
+            registry.counter("interp.ops", op=name, **labels).inc(
+                self.ops[name])
+        registry.counter("interp.steps", **labels).inc(self.steps)
+        registry.counter("interp.branches", **labels).inc(self.branches)
+        registry.counter("interp.branches_taken", **labels).inc(
+            self.branches_taken)
+        registry.counter("interp.mem_reads", **labels).inc(self.mem_reads)
+        registry.counter("interp.mem_writes", **labels).inc(self.mem_writes)
+        registry.counter("interp.syscalls", **labels).inc(self.syscalls)
+
+
+@contextlib.contextmanager
+def step_metrics(*interpreters,
+                 **labels: Any) -> Iterator[Optional[StepMetricsObserver]]:
+    """Attach one mix observer to the given interpreters while active.
+
+    Yields ``None`` (and attaches nothing) when observability is off, so
+    measured runs keep the no-observer fast path and pay zero overhead.
+    """
+    if not context.enabled():
+        yield None
+        return
+    observer = StepMetricsObserver()
+    for interpreter in interpreters:
+        interpreter.observers.append(observer.observe)
+    try:
+        yield observer
+    finally:
+        for interpreter in interpreters:
+            with contextlib.suppress(ValueError):
+                interpreter.observers.remove(observer.observe)
+        observer.flush(context.get_registry(), **labels)

@@ -1,0 +1,218 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every instrument is a *labeled series* — a metric name plus a sorted
+label set, rendered canonically as ``name{k=v,k2=v2}`` — so the same
+logical series created in any process resolves to the same key.  Two
+properties make the registry safe to fan out across the experiment
+engine's worker processes and merge back:
+
+* **plain-data snapshots** — :meth:`MetricsRegistry.snapshot` returns
+  nothing but dicts of numbers (JSON- and pickle-friendly), so a worker
+  can ship its registry home inside a :class:`~repro.runtime.engine.
+  JobResult`;
+* **exact merges** — counters add, gauges take the last merged write,
+  and histograms use *fixed bucket edges* declared at creation, so
+  merging two snapshots is elementwise integer addition with no
+  re-bucketing error.  Merging in submission order therefore yields the
+  same registry whether the jobs ran serially or across a pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class MetricsError(ValueError):
+    """Raised on inconsistent series definitions (e.g. edge mismatch)."""
+
+
+def series_name(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_name` (labels come back as strings)."""
+    if not series.endswith("}") or "{" not in series:
+        return series, {}
+    name, _, inner = series.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return name, labels
+
+
+#: log-ish scale for durations in seconds (merge-exact, fixed)
+SECONDS_EDGES: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+#: powers of two for sizes and counts (bytes touched, frames, …)
+SIZE_EDGES: Tuple[float, ...] = tuple(float(1 << n) for n in range(0, 21, 2))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins float."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Counts of observations against fixed, pre-declared bucket edges.
+
+    ``counts[i]`` counts observations ``<= edges[i]``; the final slot
+    counts overflow (``> edges[-1]``).  Because edges never change after
+    creation, merging two histograms with equal edges is exact.
+    """
+
+    __slots__ = ("edges", "counts", "total", "sum")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise MetricsError(f"histogram edges must be sorted: {edges!r}")
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.edges)
+        for position, edge in enumerate(self.edges):
+            if value <= edge:
+                index = position
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge containing the q-quantile (q in [0, 1]).
+
+        Returns ``inf`` when the quantile lands in the overflow bucket
+        and ``0.0`` for an empty histogram.
+        """
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target and count:
+                if index == len(self.edges):
+                    return float("inf")
+                return self.edges[index]
+        return float("inf")
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"edges": list(self.edges), "counts": list(self.counts),
+                "sum": self.sum}
+
+    def merge_from(self, payload: Dict[str, Any]) -> None:
+        edges = tuple(float(e) for e in payload["edges"])
+        if edges != self.edges:
+            raise MetricsError(
+                f"cannot merge histograms with different edges: "
+                f"{edges} vs {self.edges}")
+        for index, count in enumerate(payload["counts"]):
+            self.counts[index] += count
+        self.total += sum(payload["counts"])
+        self.sum += payload["sum"]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every labeled series in one process."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors -------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = series_name(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            instrument = self.counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = series_name(name, labels)
+        instrument = self.gauges.get(key)
+        if instrument is None:
+            instrument = self.gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = SECONDS_EDGES,
+                  **labels: Any) -> Histogram:
+        key = series_name(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            instrument = self.histograms[key] = Histogram(edges)
+        elif instrument.edges != tuple(float(e) for e in edges):
+            raise MetricsError(
+                f"series {key!r} already declared with edges "
+                f"{instrument.edges}, not {tuple(edges)}")
+        return instrument
+
+    # -- snapshot / merge -----------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data copy of every series, keys sorted for determinism."""
+        return {
+            "counters": {key: self.counters[key].value
+                         for key in sorted(self.counters)},
+            "gauges": {key: self.gauges[key].value
+                       for key in sorted(self.gauges)},
+            "histograms": {key: self.histograms[key].as_dict()
+                           for key in sorted(self.histograms)},
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one snapshot in: counters add, gauges overwrite,
+        histograms add bucket counts (edges must match exactly)."""
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_series(key)
+            self.counter(name, **labels).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_series(key)
+            self.gauge(name, **labels).set(value)
+        for key, payload in snapshot.get("histograms", {}).items():
+            name, labels = parse_series(key)
+            self.histogram(name, edges=payload["edges"],
+                           **labels).merge_from(payload)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry counters={len(self.counters)} "
+                f"gauges={len(self.gauges)} "
+                f"histograms={len(self.histograms)}>")

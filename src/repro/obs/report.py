@@ -1,0 +1,150 @@
+"""Render a captured trace file as a plain-text summary.
+
+``repro report out.jsonl`` loads the JSONL trace written by
+``--trace`` / ``REPRO_TRACE`` and prints: span totals by name, the
+per-phase table, per-job rows (with outcomes), top counters, histogram
+percentiles, the artifact-cache hit rate, and migration counts by
+direction — the operational view of one experiment run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..analysis.reporting import format_table, percent
+from .metrics import Histogram, parse_series
+from .trace import TraceData
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.6f}" if value < 1.0 else f"{value:.3f}"
+
+
+def _fmt_edge(value: float) -> str:
+    return "inf" if value == float("inf") else f"{value:g}"
+
+
+def _span_summary(spans: List[Dict[str, Any]]) -> str:
+    totals: Dict[str, Tuple[int, float, float]] = {}
+    for span in spans:
+        count, total, peak = totals.get(span["name"], (0, 0.0, 0.0))
+        duration = float(span.get("dur", 0.0))
+        totals[span["name"]] = (count + 1, total + duration,
+                                max(peak, duration))
+    rows = [(name, count, _fmt_seconds(total),
+             _fmt_seconds(total / count), _fmt_seconds(peak))
+            for name, (count, total, peak) in
+            sorted(totals.items(), key=lambda kv: -kv[1][1])]
+    return format_table(["span", "count", "total s", "mean s", "max s"],
+                        rows, "Spans by name")
+
+
+def _phase_table(spans: List[Dict[str, Any]]) -> str:
+    rows = []
+    for span in spans:
+        if not span["name"].startswith("phase:"):
+            continue
+        attrs = span.get("attrs", {})
+        meta = ", ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        rows.append((span["name"][len("phase:"):],
+                     _fmt_seconds(float(span.get("dur", 0.0))), meta))
+    if not rows:
+        return ""
+    return format_table(["phase", "seconds", "meta"], rows, "Phases")
+
+
+def _job_table(spans: List[Dict[str, Any]], top: int) -> str:
+    jobs = [span for span in spans if span["name"] == "engine.job"]
+    if not jobs:
+        return ""
+    jobs.sort(key=lambda span: -float(span.get("dur", 0.0)))
+    rows = [(span["attrs"].get("key", "?"),
+             span["attrs"].get("outcome", "?"),
+             _fmt_seconds(float(span.get("dur", 0.0))))
+            for span in jobs[:top]]
+    title = f"Jobs (top {min(top, len(jobs))} of {len(jobs)} by duration)"
+    return format_table(["job", "outcome", "seconds"], rows, title)
+
+
+def _top_counters(counters: Dict[str, Any], top: int) -> str:
+    if not counters:
+        return ""
+    ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    return format_table(["counter", "value"], ranked,
+                        f"Top counters ({len(ranked)} of {len(counters)})")
+
+
+def _histogram_table(histograms: Dict[str, Any]) -> str:
+    if not histograms:
+        return ""
+    rows = []
+    for key in sorted(histograms):
+        payload = histograms[key]
+        histogram = Histogram(payload["edges"])
+        histogram.merge_from(payload)
+        rows.append((key, histogram.total, f"{histogram.mean:.3g}",
+                     _fmt_edge(histogram.percentile(0.5)),
+                     _fmt_edge(histogram.percentile(0.9)),
+                     _fmt_edge(histogram.percentile(0.99))))
+    return format_table(["histogram", "count", "mean", "p50", "p90", "p99"],
+                        rows, "Histogram percentiles (bucket upper edges)")
+
+
+def _cache_summary(counters: Dict[str, Any]) -> str:
+    events: Dict[str, int] = {}
+    for key, value in counters.items():
+        name, labels = parse_series(key)
+        if name == "cache.events":
+            event = labels.get("event", "?")
+            events[event] = events.get(event, 0) + value
+    if not events:
+        return ""
+    hits = events.get("hits", 0)
+    misses = events.get("misses", 0)
+    lines = ["Artifact cache"]
+    lines.append("  " + "  ".join(f"{event}={events[event]}"
+                                  for event in sorted(events)))
+    if hits + misses:
+        lines.append(f"  hit rate: {percent(hits / (hits + misses))}")
+    return "\n".join(lines)
+
+
+def _migration_summary(counters: Dict[str, Any]) -> str:
+    directions: Dict[Tuple[str, str], int] = {}
+    by_kind: Dict[str, int] = {}
+    for key, value in counters.items():
+        name, labels = parse_series(key)
+        if name == "migrations":
+            direction = (labels.get("source", "?"), labels.get("target", "?"))
+            directions[direction] = directions.get(direction, 0) + value
+            kind = labels.get("kind", "?")
+            by_kind[kind] = by_kind.get(kind, 0) + value
+    if not directions:
+        return ""
+    rows = [(f"{source} → {target}", count)
+            for (source, target), count in sorted(directions.items())]
+    table = format_table(["direction", "migrations"], rows,
+                         "Migrations by direction")
+    kinds = "  ".join(f"{kind}={count}"
+                      for kind, count in sorted(by_kind.items()))
+    return f"{table}\nby kind: {kinds}"
+
+
+def render_report(trace: TraceData, top: int = 15) -> str:
+    """The full plain-text summary of one loaded trace file."""
+    metrics = trace.metrics or {}
+    counters = metrics.get("counters", {})
+    label = f" — {trace.label}" if trace.label else ""
+    sections = [
+        f"Trace report{label} (schema {trace.schema}): "
+        f"{len(trace.spans)} spans, {len(trace.events)} events, "
+        f"{len(counters)} counter series",
+        _span_summary(trace.spans) if trace.spans else "",
+        _phase_table(trace.spans),
+        _job_table(trace.spans, top),
+        _top_counters(counters, top),
+        _histogram_table(metrics.get("histograms", {})),
+        _cache_summary(counters),
+        _migration_summary(counters),
+    ]
+    return "\n\n".join(section for section in sections if section)

@@ -1,0 +1,266 @@
+"""Structured tracing: nested spans and point events, serialized as JSONL.
+
+A :class:`Tracer` accumulates plain-dict records with monotonic
+timestamps.  Records carry per-buffer sequential ids so a worker
+process's buffer can be shipped home (it is just a list of dicts) and
+:meth:`Tracer.absorb`-ed into the parent's buffer with ids remapped and
+the worker's root spans re-parented under whatever span is open at the
+merge point.  Absorbing buffers in job-submission order therefore
+produces the same trace whether the jobs ran serially or in parallel
+(timestamps aside — they are wall-clock facts, not part of the schema's
+identity).
+
+On-disk format (``*.jsonl``), schema version :data:`TRACE_SCHEMA`:
+
+* line 1 — ``{"type": "header", "schema": 1, ...}``
+* then   — ``{"type": "span", "id", "parent", "name", "ts", "dur",
+  "attrs"}`` and ``{"type": "event", "id", "parent", "name", "ts",
+  "attrs"}`` records (spans are appended when they *close*);
+* last   — optionally one ``{"type": "metrics", ...}`` line holding a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: bump when the record layout changes incompatibly
+TRACE_SCHEMA = 1
+
+
+class TraceError(ValueError):
+    """Raised when loading a malformed or wrong-schema trace file."""
+
+
+class Span:
+    """Handle for one open span; closes through its context manager."""
+
+    __slots__ = ("name", "id", "parent", "attrs", "start", "duration")
+
+    def __init__(self, name: str, span_id: int, parent: Optional[int],
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.id = span_id
+        self.parent = parent
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes while the span is open."""
+        self.attrs.update(attrs)
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        span.start = time.monotonic()
+        self._tracer._stack.append(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self._span
+        span.duration = time.monotonic() - span.start
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        if exc_type is not None and "outcome" not in span.attrs:
+            span.attrs["outcome"] = f"raised:{exc_type.__name__}"
+        self._tracer.records.append({
+            "type": "span", "id": span.id, "parent": span.parent,
+            "name": span.name, "ts": span.start, "dur": span.duration,
+            "attrs": span.attrs,
+        })
+        return None
+
+
+class _NullSpanContext:
+    """No-op stand-in returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """One process's (or one job capture's) span/event buffer."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[Dict[str, Any]] = []
+        self._next_id = 1
+        self._stack: List[Span] = []
+
+    # -- recording ------------------------------------------------------
+    def _allocate(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span; use as ``with tracer.span("x") as span:``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._stack[-1].id if self._stack else None
+        return _SpanContext(self, Span(name, self._allocate(), parent,
+                                       dict(attrs)))
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one point-in-time event under the open span (if any)."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1].id if self._stack else None
+        self.records.append({
+            "type": "event", "id": self._allocate(), "parent": parent,
+            "name": name, "ts": time.monotonic(), "attrs": dict(attrs),
+        })
+
+    def add_span(self, name: str, seconds: float, **attrs: Any) -> None:
+        """Record an already-measured span (no timing taken here)."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1].id if self._stack else None
+        self.records.append({
+            "type": "span", "id": self._allocate(), "parent": parent,
+            "name": name, "ts": time.monotonic(), "dur": float(seconds),
+            "attrs": dict(attrs),
+        })
+
+    # -- cross-process merge --------------------------------------------
+    def absorb(self, records: List[Dict[str, Any]]) -> None:
+        """Fold a child buffer in: remap ids past ours, re-parent roots.
+
+        Records whose ``parent`` is ``None`` (the child's top level)
+        become children of whatever span is open here at the merge
+        point, so a worker's job subtree nests under the engine's run
+        span exactly as the serial inline execution would.
+        """
+        if not self.enabled or not records:
+            return
+        base = self._next_id
+        top = self._stack[-1].id if self._stack else None
+        highest = 0
+        for record in records:
+            remapped = dict(record)
+            remapped["id"] = record["id"] + base
+            highest = max(highest, record["id"])
+            if record.get("parent") is None:
+                remapped["parent"] = top
+            else:
+                remapped["parent"] = record["parent"] + base
+            self.records.append(remapped)
+        self._next_id = base + highest + 1
+
+    # -- serialization --------------------------------------------------
+    def write_jsonl(self, path: os.PathLike,
+                    header: Optional[Dict[str, Any]] = None,
+                    metrics: Optional[Dict[str, Any]] = None) -> Path:
+        """Write header + records (+ optional metrics snapshot) as JSONL."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        head: Dict[str, Any] = {"type": "header", "schema": TRACE_SCHEMA,
+                                "tool": "repro", "created": time.time()}
+        if header:
+            head.update(header)
+        with open(path, "w") as handle:
+            handle.write(json.dumps(head, sort_keys=True) + "\n")
+            for record in self.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if metrics is not None:
+                payload = dict(metrics)
+                payload["type"] = "metrics"
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        return path
+
+
+@dataclass
+class TraceData:
+    """A loaded trace file, split by record type."""
+
+    header: Dict[str, Any]
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> int:
+        return int(self.header.get("schema", 0))
+
+    @property
+    def label(self) -> str:
+        return str(self.header.get("label", ""))
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return self.spans + self.events
+
+
+def load_trace(path: os.PathLike) -> TraceData:
+    """Parse one trace file, validating the schema version."""
+    path = Path(path)
+    header: Optional[Dict[str, Any]] = None
+    data: Optional[TraceData] = None
+    with open(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{path}:{line_number}: not JSON: {exc}") from None
+            kind = record.get("type")
+            if data is None:
+                if kind != "header":
+                    raise TraceError(f"{path}: first record must be a "
+                                     f"header, got {kind!r}")
+                header = record
+                if header.get("schema") != TRACE_SCHEMA:
+                    raise TraceError(
+                        f"{path}: schema {header.get('schema')!r} not "
+                        f"supported (expected {TRACE_SCHEMA})")
+                data = TraceData(header=header)
+            elif kind == "span":
+                data.spans.append(record)
+            elif kind == "event":
+                data.events.append(record)
+            elif kind == "metrics":
+                payload = {key: value for key, value in record.items()
+                           if key != "type"}
+                if data.metrics:
+                    # multiple metrics lines merge exactly
+                    from .metrics import MetricsRegistry
+                    registry = MetricsRegistry()
+                    registry.merge(data.metrics)
+                    registry.merge(payload)
+                    data.metrics = registry.snapshot()
+                else:
+                    data.metrics = payload
+            else:
+                raise TraceError(
+                    f"{path}:{line_number}: unknown record type {kind!r}")
+    if data is None:
+        raise TraceError(f"{path}: empty trace file")
+    return data

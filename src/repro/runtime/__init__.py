@@ -12,6 +12,11 @@ Three layers (see DESIGN.md "Runtime engine"):
 
 :mod:`repro.runtime.artifacts` (imported explicitly, not re-exported
 here) holds the cache-aware wrappers the experiment drivers call.
+
+All three layers report through :mod:`repro.obs` when tracing is on:
+the engine captures and merges per-job metrics/trace buffers, the cache
+mirrors its hit/miss/eviction counters into the registry, and the
+profiler's phases are spans (see DESIGN.md "Observability").
 """
 
 from .cache import (

@@ -42,6 +42,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..obs import context as _obs
+
 #: bump when the on-disk pickle formats change incompatibly
 CACHE_SCHEMA = 1
 
@@ -136,6 +138,17 @@ class CacheStats:
         bucket = self.by_kind.setdefault(
             kind, {name: 0 for name in self._EVENTS})
         bucket[event] += count
+        if _obs.enabled():
+            # mirror into the observability registry: cache behaviour is
+            # then part of every job capture and merges deterministically
+            _obs.get_registry().counter("cache.events", kind=kind,
+                                        event=event).inc(count)
+
+    def export_to(self, registry) -> None:
+        """Set gauges summarizing this stats object on ``registry``."""
+        registry.gauge("cache.hit_rate").set(self.hit_rate)
+        for name in self._EVENTS:
+            registry.gauge(f"cache.total.{name}").set(getattr(self, name))
 
     def kind(self, kind: str) -> Dict[str, int]:
         return dict(self.by_kind.get(

@@ -24,6 +24,7 @@ population safe.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import time
@@ -31,6 +32,8 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import context as obs
 
 try:                                            # not exported on Windows
     from concurrent.futures.process import BrokenProcessPool
@@ -79,10 +82,22 @@ class JobResult:
     value: Any = None
     error: Optional[str] = None
     seconds: float = 0.0
+    #: plain-data observability capture (metrics snapshot + trace
+    #: records) taken around the job — present only when tracing is on
+    metrics: Optional[Dict[str, Any]] = None
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def outcome(self) -> str:
+        if self.error is None:
+            return "ok"
+        if self.error.startswith("timed out"):
+            return "timeout"
+        return "error"
 
 
 def _alarm_handler(signum, frame):  # pragma: no cover - exercised in workers
@@ -90,6 +105,26 @@ def _alarm_handler(signum, frame):  # pragma: no cover - exercised in workers
 
 
 def _execute(job: Job, index: int) -> JobResult:
+    """Run one job, wrapped in an observability capture when tracing.
+
+    The capture isolates everything the job emits (counters, spans) in
+    fresh buffers that ship back inside the :class:`JobResult`; the
+    parent merges them in submission order, which is what makes merged
+    metrics identical for serial and parallel runs.
+    """
+    if not obs.enabled():
+        return _execute_plain(job, index)
+    with obs.capture() as cap:
+        with cap.tracer.span("engine.job", key=job.key) as span:
+            result = _execute_plain(job, index)
+            span.set(outcome=result.outcome)
+        cap.registry.counter("engine.jobs", outcome=result.outcome).inc()
+    result.metrics = cap.metrics
+    result.trace = cap.records
+    return result
+
+
+def _execute_plain(job: Job, index: int) -> JobResult:
     """Run one job in the current process, capturing failure as data."""
     start = time.perf_counter()
     use_alarm = (job.timeout is not None and job.timeout > 0
@@ -160,11 +195,18 @@ class ExperimentEngine:
         jobs = [self._with_default_timeout(job) for job in jobs]
         if not jobs:
             return []
-        if not self.parallel or len(jobs) == 1:
-            results = [_execute(job, index)
-                       for index, job in enumerate(jobs)]
-        else:
-            results = self._run_pool(jobs)
+        tracing = obs.enabled()
+        run_span = (obs.span("engine.run", jobs=len(jobs),
+                             workers=self.workers)
+                    if tracing else contextlib.nullcontext())
+        with run_span:
+            if not self.parallel or len(jobs) == 1:
+                results = [_execute(job, index)
+                           for index, job in enumerate(jobs)]
+            else:
+                results = self._run_pool(jobs)
+            if tracing:
+                self._merge_observability(results)
         self.jobs_run += len(results)
         self.failures += sum(1 for r in results if not r.ok)
         return results
@@ -179,6 +221,22 @@ class ExperimentEngine:
         return self.run(jobs)
 
     # ------------------------------------------------------------------
+    def _merge_observability(self, results: Sequence[JobResult]) -> None:
+        """Fold per-job captures into the ambient registry and trace.
+
+        Results arrive in submission order regardless of completion
+        order, so the merged metrics and trace are the same for every
+        worker count.  A job whose worker died hard has no capture; it
+        is recorded as a lost job so the trace still accounts for it.
+        """
+        for result in results:
+            if result.metrics is None and result.trace is None:
+                obs.event("engine.job.lost", key=result.key)
+                obs.get_registry().counter("engine.jobs",
+                                           outcome="lost").inc()
+                continue
+            obs.merge_capture(result.metrics, result.trace)
+
     def _with_default_timeout(self, job: Job) -> Job:
         if job.timeout is None and self.job_timeout is not None:
             return Job(key=job.key, fn=job.fn, args=job.args,

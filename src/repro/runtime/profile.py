@@ -1,22 +1,30 @@
-"""Lightweight profiling hooks: per-phase wall time + trajectory files.
+"""Per-phase profiling as a consumer of the observability span API.
 
 The ``repro bench`` subcommand (and any test that wants a record) wraps
 pipeline phases in a :class:`PhaseProfiler` and writes the result as a
 ``BENCH_<label>.json`` trajectory file: an ordered list of phases with
 wall-clock seconds, arbitrary metadata (job counts, failure counts), and
 the artifact-cache statistics observed over the run.
+
+Timing comes from :class:`repro.obs.trace.Tracer` spans — the profiler
+owns a private always-on tracer rather than a bespoke stopwatch, and
+when global observability is enabled (``--trace``/``REPRO_TRACE``) each
+phase is mirrored as a ``phase:<name>`` span into the ambient trace, so
+a ``repro bench --trace`` run needs no second timing path.  The
+``BENCH_*.json`` output schema is unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs import context as obs
+from ..obs.trace import Tracer
 from .cache import ArtifactCache
 
 
@@ -41,19 +49,29 @@ class PhaseProfiler:
     def __init__(self, label: str = "bench"):
         self.label = label
         self.phases: List[PhaseRecord] = []
+        #: private span buffer — the single source of phase timing
+        self.tracer = Tracer(enabled=True)
 
     @contextmanager
     def phase(self, name: str, **meta: Any) -> Iterator[PhaseRecord]:
         record = PhaseRecord(name=name, meta=dict(meta))
-        start = time.perf_counter()
+        mirror = obs.span(f"phase:{name}", **meta)   # no-op when off
+        local = self.tracer.span(name, **meta)
+        mirror.__enter__()
+        span = local.__enter__()
         try:
             yield record
         finally:
-            record.seconds = time.perf_counter() - start
+            local.__exit__(None, None, None)
+            mirror.__exit__(None, None, None)
+            record.seconds = span.duration
             self.phases.append(record)
 
     def add(self, name: str, seconds: float, **meta: Any) -> PhaseRecord:
         record = PhaseRecord(name=name, seconds=seconds, meta=dict(meta))
+        self.tracer.add_span(name, seconds, **meta)
+        if obs.enabled():
+            obs.get_tracer().add_span(f"phase:{name}", seconds, **meta)
         self.phases.append(record)
         return record
 

@@ -10,6 +10,7 @@ import os
 
 import pytest
 
+from repro.obs import context as obs_context
 from repro.runtime.cache import configure_cache
 
 
@@ -18,10 +19,11 @@ def _hermetic_artifact_cache(tmp_path_factory):
     root = tmp_path_factory.mktemp("artifact-cache")
     previous = {name: os.environ.get(name)
                 for name in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE",
-                             "REPRO_WORKERS")}
+                             "REPRO_WORKERS", "REPRO_TRACE")}
     os.environ["REPRO_CACHE_DIR"] = str(root)
     os.environ.pop("REPRO_NO_CACHE", None)
     os.environ.pop("REPRO_WORKERS", None)
+    os.environ.pop("REPRO_TRACE", None)
     configure_cache(root=root)
     yield root
     for name, value in previous.items():
@@ -29,3 +31,12 @@ def _hermetic_artifact_cache(tmp_path_factory):
             os.environ.pop(name, None)
         else:
             os.environ[name] = value
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Observability state must never leak across tests (it is global,
+    like the cache, and a leaked enable would slow every later test)."""
+    yield
+    os.environ.pop("REPRO_TRACE", None)
+    obs_context.reset()

@@ -1,0 +1,175 @@
+"""Tests for the metrics registry: series naming, instruments, merges."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    SECONDS_EDGES,
+    SIZE_EDGES,
+    parse_series,
+    series_name,
+)
+
+
+class TestSeriesNames:
+    def test_bare_name(self):
+        assert series_name("interp.steps", {}) == "interp.steps"
+
+    def test_labels_sorted(self):
+        name = series_name("cache.events", {"kind": "binary", "event": "hits"})
+        assert name == "cache.events{event=hits,kind=binary}"
+
+    def test_label_order_is_irrelevant(self):
+        a = series_name("m", {"a": 1, "b": 2})
+        b = series_name("m", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_parse_round_trip(self):
+        name, labels = parse_series("cache.events{event=hits,kind=binary}")
+        assert name == "cache.events"
+        assert labels == {"event": "hits", "kind": "binary"}
+
+    def test_parse_bare(self):
+        assert parse_series("interp.steps") == ("interp.steps", {})
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(1.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_bucketing(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        # <=1, <=2, <=4, overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.total == 5
+        assert hist.sum == pytest.approx(106.0)
+        assert hist.mean == pytest.approx(21.2)
+
+    def test_histogram_rejects_unsorted_edges(self):
+        with pytest.raises(MetricsError):
+            Histogram(edges=(2.0, 1.0))
+
+    def test_percentiles_report_bucket_upper_edges(self):
+        hist = Histogram(edges=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(50.0)
+        assert hist.percentile(0.5) == 1.0
+        assert hist.percentile(0.99) == 1.0
+        assert hist.percentile(1.0) == 100.0
+
+    def test_percentile_overflow_is_inf(self):
+        hist = Histogram(edges=(1.0,))
+        hist.observe(5.0)
+        assert hist.percentile(0.5) == float("inf")
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram(edges=(1.0,)).percentile(0.5) == 0.0
+
+    def test_standard_edge_sets_are_sorted(self):
+        assert list(SECONDS_EDGES) == sorted(SECONDS_EDGES)
+        assert list(SIZE_EDGES) == sorted(SIZE_EDGES)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("jobs", outcome="ok")
+        b = registry.counter("jobs", outcome="ok")
+        assert a is b
+        assert registry.counter("jobs", outcome="error") is not a
+
+    def test_histogram_edge_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+    def test_snapshot_is_plain_sorted_data(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h", edges=(1.0,)).observe(0.1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"] == {"a": 1, "z": 2}
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"] == {
+            "edges": [1.0], "counts": [1, 0], "sum": 0.1}
+
+    def test_merge_counters_add(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", outcome="ok").inc(3)
+        registry.merge({"counters": {"jobs{outcome=ok}": 2,
+                                     "jobs{outcome=error}": 1}})
+        assert registry.counter("jobs", outcome="ok").value == 5
+        assert registry.counter("jobs", outcome="error").value == 1
+
+    def test_merge_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(0.1)
+        registry.merge({"gauges": {"rate": 0.9}})
+        assert registry.gauge("rate").value == 0.9
+
+    def test_histogram_merge_is_exact(self):
+        """Merging snapshots is elementwise addition: identical to having
+        observed every value in one registry."""
+        values_a = [0.5, 1.0, 3.0, 9.0]
+        values_b = [0.1, 2.0, 100.0]
+        edges = (1.0, 2.0, 4.0)
+
+        combined = MetricsRegistry()
+        for value in values_a + values_b:
+            combined.histogram("h", edges=edges).observe(value)
+
+        part_a, part_b = MetricsRegistry(), MetricsRegistry()
+        for value in values_a:
+            part_a.histogram("h", edges=edges).observe(value)
+        for value in values_b:
+            part_b.histogram("h", edges=edges).observe(value)
+        merged = MetricsRegistry()
+        merged.merge(part_a.snapshot())
+        merged.merge(part_b.snapshot())
+
+        assert merged.snapshot() == combined.snapshot()
+
+    def test_histogram_merge_edge_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0)).observe(0.5)
+        bad = {"histograms": {"h": {"edges": [1.0, 3.0],
+                                    "counts": [1, 0, 0], "sum": 0.5}}}
+        with pytest.raises(MetricsError):
+            registry.merge(bad)
+
+    def test_merge_order_independence_for_counters(self):
+        snap_a = {"counters": {"c": 1}}
+        snap_b = {"counters": {"c": 2, "d": 7}}
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(snap_a)
+        ab.merge(snap_b)
+        ba.merge(snap_b)
+        ba.merge(snap_a)
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}

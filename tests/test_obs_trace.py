@@ -1,0 +1,185 @@
+"""Tests for the trace API: spans, events, absorb, JSONL round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceError,
+    Tracer,
+    load_trace,
+)
+
+
+class TestSpans:
+    def test_nested_spans_record_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent == outer.id
+        records = tracer.records
+        # spans append at close: inner first, then outer
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["parent"] == records[1]["id"]
+        assert records[1]["parent"] is None
+
+    def test_span_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", key="a") as span:
+            span.set(outcome="ok", rows=3)
+        record = tracer.records[0]
+        assert record["attrs"] == {"key": "a", "outcome": "ok", "rows": 3}
+
+    def test_span_duration_is_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.records[0]["dur"] >= 0.0
+
+    def test_exception_tags_outcome(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        assert tracer.records[0]["attrs"]["outcome"] == "raised:RuntimeError"
+
+    def test_event_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("tick", n=1)
+        event = next(r for r in tracer.records if r["type"] == "event")
+        assert event["parent"] == outer.id
+        assert event["attrs"] == {"n": 1}
+
+    def test_add_span_records_given_duration(self):
+        tracer = Tracer()
+        tracer.add_span("compile", 1.25, jobs=4)
+        record = tracer.records[0]
+        assert record["type"] == "span"
+        assert record["dur"] == 1.25
+        assert record["attrs"] == {"jobs": 4}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as span:
+            assert span is None
+        tracer.event("tick")
+        tracer.add_span("x", 1.0)
+        assert tracer.records == []
+
+
+class TestAbsorb:
+    def test_ids_remapped_and_roots_reparented(self):
+        child = Tracer()
+        with child.span("job"):
+            child.event("tick")
+
+        parent = Tracer()
+        with parent.span("run") as run:
+            parent.absorb(child.records)
+        records = parent.records
+        names = {r["name"]: r for r in records}
+        # the child's root span now hangs off the parent's open span
+        assert names["job"]["parent"] == run.id
+        assert names["tick"]["parent"] == names["job"]["id"]
+        # ids are unique after the merge
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_twice_keeps_ids_unique(self):
+        child = Tracer()
+        with child.span("job"):
+            pass
+        parent = Tracer()
+        parent.absorb(list(child.records))
+        parent.absorb(list(child.records))
+        ids = [r["id"] for r in parent.records]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_into_disabled_tracer_is_noop(self):
+        child = Tracer()
+        with child.span("job"):
+            pass
+        parent = Tracer(enabled=False)
+        parent.absorb(child.records)
+        assert parent.records == []
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("run", experiment="fig3"):
+            tracer.event("tick", n=1)
+        registry = MetricsRegistry()
+        registry.counter("jobs", outcome="ok").inc(2)
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path, header={"label": "test"},
+                           metrics=registry.snapshot())
+
+        trace = load_trace(path)
+        assert trace.schema == TRACE_SCHEMA
+        assert trace.label == "test"
+        assert [s["name"] for s in trace.spans] == ["run"]
+        assert [e["name"] for e in trace.events] == ["tick"]
+        assert trace.metrics["counters"] == {"jobs{outcome=ok}": 2}
+        assert trace.metrics["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_every_line_is_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path, metrics=MetricsRegistry().snapshot())
+        lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "header"
+        assert parsed[0]["schema"] == TRACE_SCHEMA
+        assert parsed[-1]["type"] == "metrics"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "id": 1}\n')
+        with pytest.raises(TraceError, match="header"):
+            load_trace(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "schema": 999}\n')
+        with pytest.raises(TraceError, match="schema"):
+            load_trace(path)
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "schema": %d}\nnot json\n'
+                        % TRACE_SCHEMA)
+        with pytest.raises(TraceError, match="not JSON"):
+            load_trace(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "schema": %d}\n'
+                        '{"type": "mystery"}\n' % TRACE_SCHEMA)
+        with pytest.raises(TraceError, match="unknown record type"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(path)
+
+    def test_multiple_metrics_lines_merge_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        header = {"type": "header", "schema": TRACE_SCHEMA}
+        line_a = {"type": "metrics", "counters": {"c": 1}, "gauges": {},
+                  "histograms": {}}
+        line_b = {"type": "metrics", "counters": {"c": 2}, "gauges": {},
+                  "histograms": {}}
+        path.write_text("\n".join(json.dumps(x)
+                                  for x in (header, line_a, line_b)) + "\n")
+        trace = load_trace(path)
+        assert trace.metrics["counters"] == {"c": 3}
