@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..obs import context as obs
 from ..obs.instrument import step_metrics
@@ -21,7 +21,7 @@ from ..core.runner import create_psr_process
 from ..defenses.isomeron import IsomeronExecutionModel
 from ..isa import ISAS
 from ..machine.process import Process
-from ..perf.cores import CORES, CoreConfig
+from ..perf.cores import CORES
 from ..perf.migration_cost import migration_micros
 from ..perf.timing import DBTCostModel, PerfMeasurement, TimingModel
 

@@ -20,8 +20,8 @@ return-address location.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..compiler.fatbinary import FatBinary
 from ..core.relocation import PSRConfig

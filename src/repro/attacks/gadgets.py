@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..compiler.fatbinary import FatBinary
 from ..core.relocation import PSRConfig, RelocationMap, build_relocation_map
 from ..core.transforms import AddressingModeRewriter
-from ..errors import AssemblerError, MachineFault, ReproError
+from ..errors import AssemblerError, ReproError
 from ..isa import ISAS, assemble_instructions
 from ..isa.base import Instruction, ISADescription, Op
 from ..machine.cpu import CPUState

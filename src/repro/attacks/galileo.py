@@ -12,11 +12,11 @@ word boundaries, which is why the paper measures ARM's attack surface at
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DecodeError
-from ..isa.base import Decoded, Instruction, ISADescription, Op, Reg
+from ..isa.base import Instruction, ISADescription, Op
 
 #: longest gadget body considered, in instructions (excluding the ending
 #: control transfer) — matches typical Galileo practice
@@ -134,7 +134,7 @@ def mine_gadgets(isa: ISADescription, data: bytes, base_address: int,
 
 def mine_binary(binary, isa_name: str, include_jop: bool = True) -> List[Gadget]:
     """Mine the fat binary's text section for one ISA."""
-    from ..isa import ISAS, instruction_starts
+    from ..isa import ISAS
 
     section = binary.sections[isa_name]
     isa = ISAS[isa_name]

@@ -18,14 +18,14 @@ with some probability, invalidating the attacker's disclosed knowledge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from ..compiler.fatbinary import FatBinary
 from ..core.relocation import PSRConfig
 from ..core.runner import run_under_psr
 from ..isa import ISAS
-from .gadgets import GadgetEffect, evaluate_instructions
+from .gadgets import evaluate_instructions
 from .galileo import Gadget, mine_binary, mine_gadgets
 
 

@@ -17,13 +17,13 @@ space and the daemon simply keeps running.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..compiler import compile_minic
 from ..compiler.fatbinary import FatBinary
 from ..core.relocation import PSRConfig
-from ..core.runner import create_psr_process, run_native
+from ..core.runner import create_psr_process
 from ..isa import ISAS, Mem, Op, Reg
 from ..machine.process import Process
 

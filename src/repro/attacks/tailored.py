@@ -18,9 +18,8 @@ happens.  We measure both immunities empirically.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..compiler.fatbinary import FatBinary
 from ..core.relocation import PSRConfig

@@ -10,6 +10,8 @@ Commands:
   table2, httpd) and print its table
 * ``bench``           — profile the pipeline (serial vs parallel, cold vs
   warm cache) and write a ``BENCH_*.json`` trajectory file
+* ``verify``          — statically verify fat binaries (CFG recovery,
+  cross-ISA consistency, IR lints, gadget audit); exit 1 on errors
 * ``report FILE``     — summarize a captured ``*.jsonl`` trace (phases,
   jobs, counters, histograms, cache hit rate, migrations)
 
@@ -33,7 +35,7 @@ from .attacks import gadget_population_summary, mine_binary
 from .compiler import compile_minic
 from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
-from .isa import ISAS, format_listing, linear_disassemble
+from .isa import ISAS, linear_disassemble
 from .obs.report import render_report
 from .runtime import (
     ExperimentEngine,
@@ -391,6 +393,75 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically verify fat binaries; exit 1 on any ERROR finding."""
+    from .staticcheck import resolve_rules, run_verifier
+
+    rules = None
+    if args.rules:
+        try:
+            resolve_rules(args.rules)        # fail fast on unknown rules
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rules = args.rules
+
+    targets: List[str] = []
+    if args.all:
+        targets = sorted(WORKLOADS)
+    elif args.workload:
+        if args.workload not in WORKLOADS:
+            print(f"unknown workload {args.workload!r}; "
+                  f"available: {', '.join(sorted(WORKLOADS))}",
+                  file=sys.stderr)
+            return 2
+        targets = [args.workload]
+    elif not args.file:
+        print("error: give a mini-C FILE, --workload NAME, or --all",
+              file=sys.stderr)
+        return 2
+
+    trace_path = args.trace or os.environ.get(obs.ENV_TRACE)
+    if trace_path:
+        os.environ[obs.ENV_TRACE] = str(trace_path)
+        obs.enable()
+
+    reports = {}
+    for name in targets:
+        reports[name] = run_verifier(compile_workload(name), rules=rules,
+                                     passes=args.passes)
+    if args.file:
+        reports[args.file] = run_verifier(
+            compile_minic(_load_source(args.file)), rules=rules,
+            passes=args.passes)
+
+    ok = all(report.ok for report in reports.values())
+    if args.format == "json":
+        import json
+        payload = {"ok": ok,
+                   "targets": {name: report.as_dict()
+                               for name, report in reports.items()}}
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        chunks = []
+        for name, report in reports.items():
+            header = f"== {name} ==" if len(reports) > 1 else ""
+            body = report.to_text()
+            chunks.append(f"{header}\n{body}" if header else body)
+        rendered = "\n\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"[verify] wrote {args.output}")
+    else:
+        print(rendered)
+
+    if trace_path:
+        written = obs.write_trace(trace_path, label="verify")
+        print(f"[trace] wrote {written}")
+    return 0 if ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Load a captured trace file and print its summary tables."""
     try:
@@ -483,6 +554,34 @@ def build_parser() -> argparse.ArgumentParser:
                                    "trajectory file")
     add_runtime_flags(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    verify_parser = sub.add_parser(
+        "verify", help="statically verify a fat binary (no execution)")
+    verify_parser.add_argument("file", nargs="?", default=None,
+                               help="mini-C source file ('-' = stdin)")
+    verify_parser.add_argument("--workload", default=None, metavar="NAME",
+                               help="verify a named mini-SPEC workload")
+    verify_parser.add_argument("--all", action="store_true",
+                               help="verify every workload in the suite")
+    verify_parser.add_argument("--rules", nargs="+", default=None,
+                               metavar="RULE",
+                               help="restrict to rule IDs, slugs, or "
+                                    "prefixes (e.g. HIP201 HIP3 "
+                                    "stackmap-mismatch)")
+    verify_parser.add_argument("--passes", nargs="+", default=None,
+                               metavar="PASS",
+                               choices=("cfg", "consistency", "dataflow",
+                                        "gadgets"),
+                               help="run only the named passes")
+    verify_parser.add_argument("--format", default="text",
+                               choices=("text", "json"))
+    verify_parser.add_argument("--output", "-o", default=None,
+                               metavar="FILE",
+                               help="write the rendered findings to FILE")
+    verify_parser.add_argument("--trace", default=None, metavar="FILE",
+                               help="capture a metrics + span trace "
+                                    "(summarize with 'repro report FILE')")
+    verify_parser.set_defaults(func=cmd_verify)
 
     report_parser = sub.add_parser(
         "report", help="summarize a captured trace file")

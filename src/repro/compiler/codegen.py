@@ -13,8 +13,8 @@ keeps every block boundary an equivalence point for migration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..errors import CompileError
 from ..isa.armlike import ARMLIKE, fits_imm16
@@ -170,8 +170,8 @@ class CodeGenerator:
                 self.emit(Op.STORE, self.slot(param), Reg(self.s0))
 
     def prologue_saved_count(self) -> int:
-        """Words between frame data and args: saves + return-address slot."""
-        return len(self.saved_registers) + 1
+        """Words between frame data and args (layout is authoritative)."""
+        return self.layout.words_above(len(self.saved_registers))
 
     def epilogue(self) -> None:
         self.add_sp(self.layout.total_data_size)

@@ -11,10 +11,9 @@ cross-ISA program-state relocation possible at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import LinkError
 from ..isa.armlike import ARMLIKE
 from ..isa.assembler import AssembledUnit, Assembler
 from ..isa.base import Imm, Instruction, ISADescription, Label, Op, Reg
@@ -92,8 +91,15 @@ def _emit_start(asm: Assembler, isa: ISADescription) -> None:
 
 
 def compile_program(program: IRProgram,
-                    isas: Optional[List[ISADescription]] = None) -> FatBinary:
-    """Compile IR for every ISA and link the fat binary."""
+                    isas: Optional[List[ISADescription]] = None,
+                    verify: bool = False) -> FatBinary:
+    """Compile IR for every ISA and link the fat binary.
+
+    With ``verify=True`` the linked binary is handed to the static
+    verifier (:mod:`repro.staticcheck`) and rejected — by raising
+    :class:`~repro.errors.VerificationError` — if any ERROR-severity
+    finding is produced.
+    """
     if isas is None:
         isas = [X86LIKE, ARMLIKE]
     program.validate()
@@ -136,13 +142,18 @@ def compile_program(program: IRProgram,
 
     symtab = _build_symtab(program, isas, sections, generated,
                            allocations, layouts, liveness)
-    return FatBinary(program, sections, data, global_addresses, symtab)
+    binary = FatBinary(program, sections, data, global_addresses, symtab)
+    if verify:
+        from ..staticcheck import verify_binary
+        verify_binary(binary)
+    return binary
 
 
 def compile_minic(source: str, entry: str = "main",
-                  isas: Optional[List[ISADescription]] = None) -> FatBinary:
+                  isas: Optional[List[ISADescription]] = None,
+                  verify: bool = False) -> FatBinary:
     """One-call pipeline: mini-C source → fat binary."""
-    return compile_program(compile_source(source, entry), isas)
+    return compile_program(compile_source(source, entry), isas, verify=verify)
 
 
 def _build_symtab(program, isas, sections, generated, allocations, layouts,

@@ -31,6 +31,24 @@ from ..isa.base import WORD_SIZE
 from .ir import IRFunction
 
 
+def _aligned(size: int) -> int:
+    return (size + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
+
+
+@dataclass(frozen=True)
+class SlotEntry:
+    """One authoritative frame-data slot: where a value lives in memory."""
+
+    name: str
+    offset: int                # sp-relative, within the frame-data region
+    size: int                  # bytes (word-aligned for layout purposes)
+    kind: str                  # "local" (fixed storage) | "home" (spill)
+
+    @property
+    def end(self) -> int:
+        return self.offset + _aligned(self.size)
+
+
 @dataclass
 class FrameLayout:
     """ISA-independent portion of one function's frame."""
@@ -44,10 +62,40 @@ class FrameLayout:
     frame_data_size: int
     #: extra randomization space inserted by PSR (0 for native code)
     randomization_space: int = 0
+    #: byte size of each fixed local (arrays > one word); values absent
+    #: here default to one word
+    local_sizes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_data_size(self) -> int:
         return self.frame_data_size + self.randomization_space
+
+    # -- the single authoritative slot-layout accessor -----------------
+    # Codegen, the PSR relocation builder, and the static verifier all
+    # read the frame's memory map through these; nothing else re-derives
+    # offsets or region sizes from the raw dicts.
+    def slot_entries(self) -> List[SlotEntry]:
+        """Every frame-data slot, sorted by offset: fixed locals first
+        (with their true byte sizes), then one word-sized home slot per
+        spilled value."""
+        entries = [SlotEntry(name, offset,
+                             self.local_sizes.get(name, WORD_SIZE), "local")
+                   for name, offset in self.local_offsets.items()]
+        entries += [SlotEntry(name, offset, WORD_SIZE, "home")
+                    for name, offset in self.home_offsets.items()]
+        entries.sort(key=lambda entry: (entry.offset, entry.name))
+        return entries
+
+    @property
+    def locals_region_size(self) -> int:
+        """Byte size of the fixed-local region (0 when there are none)."""
+        return max((entry.end for entry in self.slot_entries()
+                    if entry.kind == "local"), default=0)
+
+    def words_above(self, saved_register_count: int) -> int:
+        """Words between the frame data and the incoming arguments: the
+        prologue-pushed callee saves plus the return-address slot."""
+        return saved_register_count + 1
 
     def arg_offset(self, index: int, words_above: int) -> int:
         """sp-relative offset of incoming argument ``index``.
@@ -76,10 +124,12 @@ class FrameLayout:
 def build_frame_layout(fn: IRFunction, spilled: Sequence[str]) -> FrameLayout:
     """Lay out fixed locals then home slots, both word aligned."""
     local_offsets: Dict[str, int] = {}
+    local_sizes: Dict[str, int] = {}
     cursor = 0
     for local in fn.locals.values():
         local_offsets[local.name] = cursor
-        cursor += (local.size + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
+        local_sizes[local.name] = local.size
+        cursor += _aligned(local.size)
 
     home_offsets: Dict[str, int] = {}
     for value in spilled:
@@ -93,4 +143,5 @@ def build_frame_layout(fn: IRFunction, spilled: Sequence[str]) -> FrameLayout:
         local_offsets=local_offsets,
         home_offsets=home_offsets,
         frame_data_size=cursor,
+        local_sizes=local_sizes,
     )

@@ -12,7 +12,7 @@ Liveness drives three consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .ir import IRBlock, IRFunction

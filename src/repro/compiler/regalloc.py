@@ -15,8 +15,8 @@ register candidates (their storage must stay addressable).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..isa.base import ISADescription
 from .ir import IRFunction

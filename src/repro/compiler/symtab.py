@@ -13,7 +13,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .frames import FrameLayout
+from .frames import FrameLayout, SlotEntry
 from .liveness import BlockLiveness
 
 
@@ -77,6 +77,19 @@ class FunctionInfo:
 
     def live_out(self, block_label: str) -> frozenset:
         return self.liveness[block_label].live_out
+
+    def slot_entries(self) -> List[SlotEntry]:
+        """The function's authoritative frame-data slot map.
+
+        Delegates to :meth:`FrameLayout.slot_entries` — the one source of
+        truth codegen, PSR relocation, and the static verifier share.
+        """
+        return self.layout.slot_entries()
+
+    def words_above(self, isa_name: str) -> int:
+        """Words between frame data and incoming args on one ISA."""
+        return self.layout.words_above(
+            len(self.per_isa[isa_name].saved_registers))
 
 
 class ExtendedSymbolTable:

@@ -20,11 +20,10 @@ connects them through the migration engine:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..compiler.fatbinary import FatBinary
-from ..errors import MachineFault
 from ..isa import ISAS
 from ..machine.cpu import CPUState
 from ..machine.interpreter import ExecutionResult, Interpreter
@@ -60,7 +59,8 @@ class HIPStRSystem:
                  migration_probability: float = 1.0,
                  start_isa: str = "x86like",
                  stdin: bytes = b"",
-                 phase_interval: Optional[int] = None):
+                 phase_interval: Optional[int] = None,
+                 verify: bool = False):
         if start_isa not in ISA_NAMES:
             raise ValueError(f"unknown ISA {start_isa!r}")
         self.binary = binary
@@ -96,7 +96,7 @@ class HIPStRSystem:
                 interpreter.invalidate_decode_cache
             self.interpreters[isa_name] = interpreter
 
-        self.engine = MigrationEngine(binary, self.vms)
+        self.engine = MigrationEngine(binary, self.vms, verify=verify)
         self.active_isa = start_isa
         self.steps_by_isa: Dict[str, int] = {name: 0 for name in ISA_NAMES}
 
@@ -184,9 +184,10 @@ def run_under_hipstr(binary: FatBinary, *, config: Optional[PSRConfig] = None,
                      start_isa: str = "x86like", stdin: bytes = b"",
                      phase_interval: Optional[int] = None,
                      max_instructions: int = 20_000_000,
+                     verify: bool = False,
                      ) -> tuple:
     """One-call convenience: build a HIPStR system and run it."""
     system = HIPStRSystem(binary, config, seed, migration_probability,
-                          start_isa, stdin, phase_interval)
+                          start_isa, stdin, phase_interval, verify)
     result = system.run(max_instructions)
     return system, result

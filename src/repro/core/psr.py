@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set
 
 from ..compiler.fatbinary import FatBinary
 from ..compiler.ir import AddrOfFunction
@@ -34,7 +34,7 @@ from ..machine.cpu import CPUState
 from ..machine.interpreter import ExecutionHooks
 from ..machine.memory import Memory
 from ..machine.process import Layout
-from .psr_codegen import FunctionTranslation, PSRTranslator, TranslationUnit
+from .psr_codegen import FunctionTranslation, PSRTranslator
 from .relocation import PSRConfig, RelocationMap, build_relocation_map
 from .transforms import AddressingModeRewriter
 

@@ -30,15 +30,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..compiler import ir
-from ..compiler.codegen import (
-    ArmLikeCodegen,
-    CodeGenerator,
-    X86LikeCodegen,
-    _RELOP_TO_COND,
-)
+from ..compiler.codegen import ArmLikeCodegen, X86LikeCodegen, _RELOP_TO_COND
 from ..compiler.symtab import FunctionInfo, ISAFunctionInfo
-from ..errors import CompileError, TranslationError
-from ..isa.armlike import ARMLIKE
+from ..errors import TranslationError
 from ..isa.base import (
     Cond,
     Imm,

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set
 
 from ..compiler.ir import IRFunction
 from ..compiler.liveness import loop_depths, use_counts
@@ -146,13 +146,7 @@ def build_relocation_map(info: FunctionInfo, fn: IRFunction,
     native_data = layout.frame_data_size
     total_data = native_data + config.randomization_space
 
-    locals_size = 0
-    if layout.local_offsets:
-        locals_size = max(layout.local_offsets.values()) + WORD_SIZE
-        for name, offset in layout.local_offsets.items():
-            local = fn.locals.get(name)
-            if local is not None:
-                locals_size = max(locals_size, offset + local.size)
+    locals_size = layout.locals_region_size
 
     # The fixed-local region keeps its internal layout but lands at a
     # random word-aligned base inside the enlarged frame.  The base comes

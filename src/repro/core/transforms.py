@@ -20,11 +20,10 @@ Two consumers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..compiler.frames import FrameLayout
 from ..compiler.symtab import ISAFunctionInfo
-from ..errors import TranslationError
 from ..isa.base import (
     ALU_OPS,
     Imm,

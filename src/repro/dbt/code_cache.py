@@ -10,7 +10,7 @@ the paper draws for legitimate code-cache misses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from ..errors import TranslationError

@@ -20,13 +20,11 @@ Two aspects are modelled, from the published description:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
 
 from ..isa.base import Op
 from ..machine.cpu import CPUState
 from ..machine.interpreter import StepInfo
-from ..perf.cores import CoreConfig
 from ..perf.timing import TimingModel
 
 #: cycles per call/return for the diversifier's twin-page lookup + flip

@@ -80,6 +80,18 @@ class MigrationError(ReproError):
     """Raised when cross-ISA state transformation cannot proceed."""
 
 
+class VerificationError(ReproError):
+    """Raised when static verification rejects a fat binary.
+
+    Carries the full :class:`~repro.staticcheck.findings.VerificationReport`
+    so callers can inspect or serialize every finding.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SecurityViolation(ReproError):
     """Raised when a software-fault-isolation invariant is broken.
 

@@ -7,11 +7,11 @@ encoding pass suffices — no relaxation loop is needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import AssemblerError
-from .base import Imm, Instruction, ISADescription, Label, Op
+from .base import Imm, Instruction, ISADescription, Label
 
 
 @dataclass

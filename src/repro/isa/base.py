@@ -13,8 +13,8 @@ word-aligned (so it does not).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 WORD_SIZE = 4
 WORD_MASK = 0xFFFFFFFF

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..errors import DecodeError
-from .base import Decoded, Instruction, ISADescription, Op
+from .base import Decoded, ISADescription
 
 
 def decode_at(isa: ISADescription, data: bytes, base_address: int,

@@ -21,7 +21,7 @@ pushes the return address.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..errors import AssemblerError, DecodeError
 from .base import (

@@ -21,23 +21,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
-    AlignmentFault,
-    DecodeError,
-    ExecutionLimitExceeded,
-    IllegalInstruction,
-    MachineFault,
-)
+    AlignmentFault, DecodeError, IllegalInstruction, MachineFault)
 from ..isa.base import (
-    Decoded,
-    Imm,
-    Instruction,
-    Mem,
-    Op,
-    Reg,
-    WORD_SIZE,
-    to_signed,
-    to_unsigned,
-)
+    Decoded, Imm, Mem, Op, Reg, WORD_SIZE, to_signed, to_unsigned)
 from .cpu import CPUState
 from .memory import Memory
 from .syscalls import OperatingSystem

@@ -10,8 +10,8 @@ so attacks and tests can assert on exactly what the "kernel" saw.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import MachineFault
 from ..isa.base import to_signed

@@ -19,11 +19,10 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compiler.fatbinary import FatBinary
-from ..compiler.symtab import ExtendedSymbolTable
 from ..core.psr import PSRVirtualMachine
 from ..errors import MigrationError
 from ..isa.base import Op, WORD_SIZE
@@ -57,9 +56,15 @@ class MigrationEngine:
 
     def __init__(self, binary: FatBinary,
                  vms: Dict[str, PSRVirtualMachine],
-                 history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT):
+                 history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
+                 verify: bool = False):
         self.binary = binary
         self.vms = vms
+        #: defensive mode: statically verify the binary's migration
+        #: metadata (CFG + cross-ISA consistency) before the first
+        #: migration, refusing to move state over inconsistent maps
+        self.verify = verify
+        self._verified = False
         self.sites = CallSiteIndex(binary.symtab, binary.program)
         self.transformer = StackTransformer(binary.symtab, binary.program,
                                             self.sites)
@@ -84,10 +89,34 @@ class MigrationEngine:
         raise MigrationError(f"no crt0 call to main found on {isa_name}")
 
     # ------------------------------------------------------------------
+    def assert_verified(self) -> None:
+        """Statically verify the metadata a migration navigates by.
+
+        Runs the verifier's ``cfg`` and ``consistency`` passes once
+        (cached for the engine's lifetime) and raises
+        :class:`~repro.errors.MigrationError` if they report any error:
+        migrating over a broken stack map or call-site table silently
+        corrupts the relocated state, so inconsistency must abort the
+        hand-off *before* any bytes move.
+        """
+        if self._verified:
+            return
+        from ..errors import VerificationError
+        from ..staticcheck import verify_binary
+        try:
+            verify_binary(self.binary, passes=("cfg", "consistency"))
+        except VerificationError as exc:
+            raise MigrationError(
+                f"refusing to migrate over an unverifiable binary: {exc}"
+            ) from exc
+        self._verified = True
+
     def migrate(self, source_isa: str, target_isa: str, cpu: CPUState,
                 memory: Memory, native_target: int,
                 kind: str) -> CPUState:
         """Transform state and return the ready-to-run target CPU."""
+        if self.verify:
+            self.assert_verified()
         with obs.span("migration", source=source_isa, target=target_isa,
                       kind=kind) as span:
             source_vm = self.vms[source_isa]

@@ -18,8 +18,8 @@ pointer into the frame whose uses cannot be rewritten in flight
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from ..compiler import ir
 from ..compiler.fatbinary import FatBinary

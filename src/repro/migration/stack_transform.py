@@ -29,8 +29,8 @@ walk resolve each frame's suspended call site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from ..compiler import ir
 from ..compiler.symtab import ExtendedSymbolTable
@@ -38,7 +38,7 @@ from ..errors import MigrationError
 from ..isa.base import ISADescription, WORD_SIZE
 from ..machine.cpu import CPUState
 from ..machine.memory import Memory
-from .sitemap import CallSiteIndex, ResolvedSite
+from .sitemap import CallSiteIndex
 
 #: safety bound on stack depth during the frame walk
 MAX_FRAMES = 10_000

@@ -19,7 +19,7 @@ engine's worker processes and merge back:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 class MetricsError(ValueError):

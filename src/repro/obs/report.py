@@ -3,8 +3,9 @@
 ``repro report out.jsonl`` loads the JSONL trace written by
 ``--trace`` / ``REPRO_TRACE`` and prints: span totals by name, the
 per-phase table, per-job rows (with outcomes), top counters, histogram
-percentiles, the artifact-cache hit rate, and migration counts by
-direction — the operational view of one experiment run.
+percentiles, the artifact-cache hit rate, migration counts by
+direction, and static-verifier pass timings and findings — the
+operational view of one experiment or verify run.
 """
 
 from __future__ import annotations
@@ -109,6 +110,52 @@ def _cache_summary(counters: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _verifier_summary(spans: List[Dict[str, Any]],
+                      counters: Dict[str, Any]) -> str:
+    """Static-verifier section: findings by rule/severity, pass timings."""
+    findings: Dict[Tuple[str, str], int] = {}
+    outcomes: Dict[str, int] = {}
+    for key, value in counters.items():
+        name, labels = parse_series(key)
+        if name == "verify.findings":
+            rule = labels.get("rule", "?")
+            severity = labels.get("severity", "?")
+            findings[(rule, severity)] = \
+                findings.get((rule, severity), 0) + value
+        elif name == "verify.runs":
+            outcome = labels.get("outcome", "?")
+            outcomes[outcome] = outcomes.get(outcome, 0) + value
+    passes: Dict[str, Tuple[int, float, int]] = {}
+    for span in spans:
+        if span["name"] != "verify.pass":
+            continue
+        attrs = span.get("attrs", {})
+        pass_name = attrs.get("pass", "?")
+        count, total, found = passes.get(pass_name, (0, 0.0, 0))
+        passes[pass_name] = (count + 1,
+                             total + float(span.get("dur", 0.0)),
+                             found + int(attrs.get("findings", 0)))
+    if not outcomes and not passes:
+        return ""
+    sections = []
+    if passes:
+        rows = [(name, count, _fmt_seconds(total), found)
+                for name, (count, total, found) in sorted(passes.items())]
+        sections.append(format_table(
+            ["pass", "runs", "total s", "findings"], rows,
+            "Static verifier passes"))
+    if findings:
+        rows = [(rule, severity, count) for (rule, severity), count
+                in sorted(findings.items())]
+        sections.append(format_table(
+            ["rule", "severity", "count"], rows, "Verifier findings"))
+    if outcomes:
+        sections.append("verifier runs: " + "  ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(outcomes.items())))
+    return "\n\n".join(sections)
+
+
 def _migration_summary(counters: Dict[str, Any]) -> str:
     directions: Dict[Tuple[str, str], int] = {}
     by_kind: Dict[str, int] = {}
@@ -146,5 +193,6 @@ def render_report(trace: TraceData, top: int = 15) -> str:
         _histogram_table(metrics.get("histograms", {})),
         _cache_summary(counters),
         _migration_summary(counters),
+        _verifier_summary(trace.spans, counters),
     ]
     return "\n\n".join(section for section in sections if section)

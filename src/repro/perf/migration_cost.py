@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from ..migration.engine import MigrationRecord
-from ..migration.stack_transform import TransformReport
 
 #: fixed per-migration hand-off cost in microseconds, by target ISA.
 HANDOFF_MICROS = {

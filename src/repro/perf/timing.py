@@ -18,7 +18,7 @@ branch prediction hurts call-dense code (Figure 14's Isomeron model).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..isa.base import Op

@@ -20,7 +20,7 @@ figure drivers consume.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from .. import __version__

@@ -1,0 +1,51 @@
+"""Static verification of fat binaries — no execution required.
+
+``repro verify`` and the ``verify=True`` compile-pipeline flag run a
+pass-based analysis framework over a compiled
+:class:`~repro.compiler.fatbinary.FatBinary`:
+
+* :mod:`repro.staticcheck.cfg` — per-ISA CFG recovery by recursive-
+  descent disassembly, cross-checked against the IR block structure;
+* :mod:`repro.staticcheck.consistency` — cross-ISA agreement on stack
+  maps, call-site return-address tables, symbols, and live sets at
+  every equivalence point;
+* :mod:`repro.staticcheck.dataflow` — IR lints (use-before-def, dead
+  stores, unreachable blocks, call arity vs. the symbol table);
+* :mod:`repro.staticcheck.gadget_audit` — the paper's gadget-surface
+  asymmetry as a static invariant.
+
+Every diagnostic carries a stable ``HIPnnn`` rule ID (see
+:data:`~repro.staticcheck.findings.RULES` and DESIGN.md's rule catalog).
+"""
+
+from .findings import (
+    Finding,
+    PassTiming,
+    Rule,
+    RULES,
+    Severity,
+    VerificationReport,
+    resolve_rules,
+)
+from .passes import (
+    DEFAULT_PASSES,
+    PASSES_BY_NAME,
+    VerifierPass,
+    run_verifier,
+    verify_binary,
+)
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "Finding",
+    "PASSES_BY_NAME",
+    "PassTiming",
+    "RULES",
+    "Rule",
+    "Severity",
+    "VerificationReport",
+    "VerifierPass",
+    "resolve_rules",
+    "run_verifier",
+    "verify_binary",
+]

@@ -1,0 +1,272 @@
+"""Cross-ISA consistency checks over the extended symbol table.
+
+PSR and the migration engine *assume* that both codegens agreed on the
+program-state metadata: the stack map, the call-site return-address
+tables, the symbol tables, and the live-value sets at every equivalence
+point.  This pass proves those invariants from the fat binary alone —
+every divergence is a finding with function/block/slot provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..compiler import ir
+from ..isa import ISAS
+from ..isa.base import WORD_SIZE
+from .findings import Finding
+
+
+def check_symbols(binary, findings: List[Finding]) -> None:
+    """Both text sections must define the same symbol set."""
+    isa_names = list(binary.sections)
+    if len(isa_names) < 2:
+        return
+    reference = isa_names[0]
+    reference_symbols = set(binary.sections[reference].symbols)
+    for other in isa_names[1:]:
+        other_symbols = set(binary.sections[other].symbols)
+        for missing in sorted(reference_symbols - other_symbols):
+            findings.append(Finding(
+                "HIP204",
+                f"symbol defined on {reference} but missing on {other}",
+                isa=other, subject=missing))
+        for missing in sorted(other_symbols - reference_symbols):
+            findings.append(Finding(
+                "HIP204",
+                f"symbol defined on {other} but missing on {reference}",
+                isa=reference, subject=missing))
+    for info in binary.symtab:
+        views = set(info.per_isa)
+        for isa_name in isa_names:
+            if isa_name not in views:
+                findings.append(Finding(
+                    "HIP204",
+                    f"function has no {isa_name} view in the symbol table",
+                    function=info.name, isa=isa_name))
+
+
+def check_stack_map(binary, info, findings: List[Finding]) -> None:
+    """The shared frame-data layout must be internally coherent.
+
+    Uses the authoritative :meth:`FunctionInfo.slot_entries` accessor:
+    every slot must be word-aligned, lie inside the frame-data region,
+    and not overlap any other slot.
+    """
+    layout = info.layout
+    entries = info.slot_entries()
+    for entry in entries:
+        if entry.offset % WORD_SIZE:
+            findings.append(Finding(
+                "HIP201",
+                f"slot at offset {entry.offset} is not word-aligned",
+                function=info.name, subject=entry.name))
+        if entry.offset < 0 or entry.end > layout.frame_data_size:
+            findings.append(Finding(
+                "HIP201",
+                f"slot [{entry.offset}, {entry.end}) lies outside the "
+                f"frame-data region [0, {layout.frame_data_size})",
+                function=info.name, subject=entry.name))
+    for previous, current in zip(entries, entries[1:]):
+        if previous.end > current.offset:
+            findings.append(Finding(
+                "HIP201",
+                f"slot {previous.name} [{previous.offset}, {previous.end}) "
+                f"overlaps slot {current.name} at offset {current.offset}",
+                function=info.name,
+                subject=f"{previous.name}/{current.name}"))
+
+
+def check_register_assignments(binary, info, findings: List[Finding]) -> None:
+    """Per-ISA register assignments must be valid and saved coherently."""
+    for isa_name, per_isa in info.per_isa.items():
+        isa = ISAS[isa_name]
+        allocatable = set(isa.allocatable)
+        assigned: Dict[int, str] = {}
+        for value, register in sorted(per_isa.register_assignment.items()):
+            if register not in allocatable:
+                findings.append(Finding(
+                    "HIP206",
+                    f"value assigned to non-allocatable register "
+                    f"{isa.register_name(register)}",
+                    function=info.name, isa=isa_name, subject=value))
+            if register in assigned:
+                findings.append(Finding(
+                    "HIP206",
+                    f"register {isa.register_name(register)} assigned to "
+                    f"both {assigned[register]!r} and {value!r}",
+                    function=info.name, isa=isa_name, subject=value))
+            assigned.setdefault(register, value)
+        saved = set(per_isa.saved_registers)
+        used = set(per_isa.register_assignment.values())
+        for register in sorted(used - saved):
+            findings.append(Finding(
+                "HIP206",
+                f"register {isa.register_name(register)} holds a value but "
+                f"is missing from the prologue's callee saves",
+                function=info.name, isa=isa_name,
+                subject=isa.register_name(register)))
+
+
+def check_live_sets(binary, info, findings: List[Finding]) -> None:
+    """Every value live at an equivalence point must be locatable.
+
+    Equivalence points are block entries: migration resumes there, and
+    the stack transformer reads every live-in value from *some* location
+    — a register recorded in the per-ISA assignment or a frame slot in
+    the shared stack map.  A value with neither would silently read
+    garbage mid-migration.
+    """
+    layout = info.layout
+    for block_label in info.block_order:
+        liveness = info.liveness.get(block_label)
+        if liveness is None:
+            findings.append(Finding(
+                "HIP205", "block has no recorded liveness",
+                function=info.name, block=block_label))
+            continue
+        for value in sorted(liveness.live_in):
+            for isa_name, per_isa in info.per_isa.items():
+                in_register = value in per_isa.register_assignment
+                if not in_register and not layout.has_slot(value):
+                    findings.append(Finding(
+                        "HIP205",
+                        "live-in value has neither a register assignment "
+                        "nor a frame slot",
+                        function=info.name, block=block_label,
+                        isa=isa_name, subject=value))
+
+
+def _ir_calls_by_block(fn) -> Dict[str, List[ir.IRInstruction]]:
+    calls: Dict[str, List[ir.IRInstruction]] = {}
+    for block in fn.blocks:
+        found = [instruction for instruction in block.instructions
+                 if isinstance(instruction, (ir.Call, ir.CallIndirect))]
+        if found:
+            calls[block.label] = found
+    return calls
+
+
+def _sites_by_block(per_isa) -> Dict[str, List]:
+    bounds = per_isa.block_bounds()
+    result: Dict[str, List] = {}
+    for site in sorted(per_isa.call_sites, key=lambda s: s.address):
+        for label, start, end in bounds:
+            if start <= site.address < end:
+                result.setdefault(label, []).append(site)
+                break
+    return result
+
+
+def check_call_sites(binary, info, findings: List[Finding]) -> None:
+    """Call-site tables must agree with the IR and across ISAs.
+
+    For every block: the number of native call sites equals the number
+    of IR calls on *each* ISA (a dropped table entry strands a return
+    address the migration engine cannot resolve), return addresses fall
+    inside the function, and the i-th direct call of a block targets the
+    same function entry on both ISAs.
+    """
+    fn = binary.program.functions.get(info.name)
+    if fn is None:
+        findings.append(Finding(
+            "HIP204", "symbol table records a function the IR lacks",
+            function=info.name))
+        return
+    ir_calls = _ir_calls_by_block(fn)
+    per_isa_sites = {isa_name: _sites_by_block(per_isa)
+                     for isa_name, per_isa in info.per_isa.items()}
+
+    for isa_name, per_isa in info.per_isa.items():
+        sites_by_block = per_isa_sites[isa_name]
+        labels = set(ir_calls) | set(sites_by_block)
+        for label in sorted(labels):
+            expected = len(ir_calls.get(label, []))
+            actual = len(sites_by_block.get(label, []))
+            if expected != actual:
+                findings.append(Finding(
+                    "HIP202",
+                    f"{actual} native call sites vs {expected} IR calls",
+                    function=info.name, block=label, isa=isa_name))
+        for site in per_isa.call_sites:
+            if not (per_isa.entry <= site.address < per_isa.end):
+                findings.append(Finding(
+                    "HIP202",
+                    f"call site at {site.address:#x} lies outside the "
+                    f"function range [{per_isa.entry:#x}, {per_isa.end:#x})",
+                    function=info.name, isa=isa_name, address=site.address))
+            elif not (per_isa.entry < site.return_address <= per_isa.end):
+                findings.append(Finding(
+                    "HIP202",
+                    f"return address {site.return_address:#x} of the call "
+                    f"at {site.address:#x} lies outside the function",
+                    function=info.name, isa=isa_name, address=site.address))
+
+    _check_call_targets(binary, info, per_isa_sites, ir_calls, findings)
+
+
+def _resolve_target(binary, isa_name: str, address: int) -> Optional[str]:
+    resolved = binary.symtab.function_at(isa_name, address)
+    if resolved is None:
+        return None
+    if resolved.per_isa[isa_name].entry != address:
+        return None
+    return resolved.name
+
+
+def _check_call_targets(binary, info, per_isa_sites, ir_calls,
+                        findings: List[Finding]) -> None:
+    """The i-th call of each block must hit the same callee on every ISA,
+    and that callee must match the IR call instruction."""
+    for label, calls in ir_calls.items():
+        for ordinal, call in enumerate(calls):
+            expected = call.function if isinstance(call, ir.Call) else None
+            resolved: Dict[str, Optional[str]] = {}
+            for isa_name, sites_by_block in per_isa_sites.items():
+                sites = sites_by_block.get(label, [])
+                if ordinal >= len(sites):
+                    continue          # count mismatch already reported
+                site = sites[ordinal]
+                if site.kind != "call":
+                    continue          # indirect: no static target
+                if site.target is None:
+                    findings.append(Finding(
+                        "HIP203",
+                        "direct call site has no resolved target",
+                        function=info.name, block=label, isa=isa_name,
+                        address=site.address))
+                    continue
+                resolved[isa_name] = _resolve_target(
+                    binary, isa_name, site.target)
+                if resolved[isa_name] is None:
+                    findings.append(Finding(
+                        "HIP203",
+                        f"call target {site.target:#x} is not a function "
+                        f"entry",
+                        function=info.name, block=label, isa=isa_name,
+                        address=site.address))
+                elif expected is not None and resolved[isa_name] != expected:
+                    findings.append(Finding(
+                        "HIP203",
+                        f"native call targets {resolved[isa_name]!r} but "
+                        f"the IR calls {expected!r}",
+                        function=info.name, block=label, isa=isa_name,
+                        address=site.address))
+            names = {name for name in resolved.values() if name is not None}
+            if len(names) > 1:
+                findings.append(Finding(
+                    "HIP203",
+                    f"call #{ordinal} resolves to different callees per "
+                    f"ISA: {sorted(names)}",
+                    function=info.name, block=label,
+                    subject=f"call#{ordinal}"))
+
+
+def check_consistency(binary, findings: List[Finding]) -> None:
+    """Run every cross-ISA consistency check over the whole binary."""
+    check_symbols(binary, findings)
+    for info in binary.symtab:
+        check_stack_map(binary, info, findings)
+        check_register_assignments(binary, info, findings)
+        check_live_sets(binary, info, findings)
+        check_call_sites(binary, info, findings)

@@ -1,0 +1,173 @@
+"""IR-level dataflow lints: the compiler-front-door checks.
+
+These run over the IR the fat binary was compiled from, catching the
+classes of bugs that corrupt the *metadata* the runtime navigates by:
+values read before any assignment (their home slots would hold garbage
+at an equivalence point), dead stores, unreachable blocks (which still
+get native code and stack-map entries), and call-arity divergence from
+the symbol table's parameter lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..compiler import ir
+from ..compiler.liveness import live_after_each_instruction
+from .findings import Finding
+
+#: IR instructions with no side effect beyond their def
+_PURE = (ir.Const, ir.Move, ir.BinOp, ir.UnOp, ir.Compare,
+         ir.Load, ir.LoadByte, ir.AddrOfLocal, ir.AddrOfGlobal,
+         ir.AddrOfFunction)
+
+
+def reachable_blocks(fn: ir.IRFunction) -> Set[str]:
+    """Labels reachable from the entry block."""
+    seen: Set[str] = set()
+    stack = [fn.blocks[0].label] if fn.blocks else []
+    labels = {blk.label: blk for blk in fn.blocks}
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        for successor in labels[label].successors():
+            if successor not in seen:
+                stack.append(successor)
+    return seen
+
+
+def check_unreachable(fn: ir.IRFunction, findings: List[Finding]) -> None:
+    reachable = reachable_blocks(fn)
+    for blk in fn.blocks:
+        if blk.label not in reachable:
+            findings.append(Finding(
+                "HIP303", "block is unreachable from the function entry",
+                function=fn.name, block=blk.label))
+
+
+def check_use_before_def(fn: ir.IRFunction,
+                         findings: List[Finding]) -> None:
+    """Forward must-analysis: definitely-assigned values per block.
+
+    The meet over predecessors is intersection; non-entry blocks start
+    optimistically at "everything assigned" and the fixpoint shrinks
+    them.  A use outside the definitely-assigned set means some path
+    reaches it with the value never written.
+    """
+    if not fn.blocks:
+        return
+    reachable = reachable_blocks(fn)
+    blocks = [blk for blk in fn.blocks if blk.label in reachable]
+    predecessors: Dict[str, List[str]] = {blk.label: [] for blk in blocks}
+    for blk in blocks:
+        for successor in blk.successors():
+            if successor in predecessors:
+                predecessors[successor].append(blk.label)
+
+    everything = set(fn.all_values())
+    entry_label = fn.blocks[0].label
+    assigned_in: Dict[str, Set[str]] = {
+        blk.label: set(everything) for blk in blocks}
+    assigned_in[entry_label] = set(fn.params)
+    assigned_out: Dict[str, Set[str]] = {}
+    for blk in blocks:
+        defs = {name for instruction in blk.instructions
+                for name in instruction.defs()}
+        assigned_out[blk.label] = assigned_in[blk.label] | defs
+
+    changed = True
+    while changed:
+        changed = False
+        for blk in blocks:
+            if blk.label == entry_label:
+                new_in = set(fn.params)
+            else:
+                preds = predecessors[blk.label]
+                new_in = set(everything)
+                for pred in preds:
+                    new_in &= assigned_out[pred]
+                if not preds:
+                    new_in = set(fn.params)
+            if new_in != assigned_in[blk.label]:
+                assigned_in[blk.label] = new_in
+                changed = True
+            defs = {name for instruction in blk.instructions
+                    for name in instruction.defs()}
+            new_out = new_in | defs
+            if new_out != assigned_out[blk.label]:
+                assigned_out[blk.label] = new_out
+                changed = True
+
+    for blk in blocks:
+        assigned = set(assigned_in[blk.label])
+        for instruction in blk.instructions:
+            for name in instruction.uses():
+                if name not in assigned:
+                    findings.append(Finding(
+                        "HIP301",
+                        "value may be read before any assignment",
+                        function=fn.name, block=blk.label, subject=name))
+                    assigned.add(name)      # report each value once
+            assigned.update(instruction.defs())
+
+
+def check_dead_stores(fn: ir.IRFunction, liveness,
+                      findings: List[Finding]) -> None:
+    """A pure instruction whose def is not live afterwards is dead."""
+    for blk in fn.blocks:
+        block_liveness = liveness.get(blk.label)
+        if block_liveness is None:
+            continue
+        live_after = live_after_each_instruction(
+            blk, block_liveness.live_out)
+        for index, instruction in enumerate(blk.instructions):
+            if not isinstance(instruction, _PURE):
+                continue
+            for name in instruction.defs():
+                if name not in live_after[index]:
+                    findings.append(Finding(
+                        "HIP302",
+                        f"dead store: {instruction!r} defines a value "
+                        f"that is never used",
+                        function=fn.name, block=blk.label, subject=name))
+
+
+def check_call_arity(binary, fn: ir.IRFunction,
+                     findings: List[Finding]) -> None:
+    """Direct calls must pass exactly the callee's declared parameters."""
+    for blk in fn.blocks:
+        for instruction in blk.instructions:
+            if not isinstance(instruction, ir.Call):
+                continue
+            callee = (binary.symtab.functions.get(instruction.function)
+                      if instruction.function in binary.symtab
+                      else None)
+            if callee is None:
+                findings.append(Finding(
+                    "HIP304",
+                    f"call to {instruction.function!r}, which the symbol "
+                    f"table does not record",
+                    function=fn.name, block=blk.label,
+                    subject=instruction.function))
+                continue
+            if len(instruction.args) != len(callee.params):
+                findings.append(Finding(
+                    "HIP304",
+                    f"call passes {len(instruction.args)} arguments but "
+                    f"{instruction.function!r} declares "
+                    f"{len(callee.params)} parameters",
+                    function=fn.name, block=blk.label,
+                    subject=instruction.function))
+
+
+def check_dataflow(binary, findings: List[Finding]) -> None:
+    """Run every IR lint over every function of the binary's program."""
+    for fn in binary.program.functions.values():
+        info = binary.symtab.functions.get(fn.name)
+        liveness = info.liveness if info is not None else {}
+        check_unreachable(fn, findings)
+        check_use_before_def(fn, findings)
+        check_dead_stores(fn, liveness, findings)
+        check_call_arity(binary, fn, findings)

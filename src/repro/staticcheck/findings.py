@@ -1,0 +1,267 @@
+"""Findings, severities, and the rule catalog of the static verifier.
+
+Every diagnostic the verifier can emit has a *stable rule ID* (``HIPnnn``)
+so that CI gates, suppression lists, and the documentation can refer to a
+check without depending on message wording.  The numbering is grouped by
+pass:
+
+* ``HIP1xx`` — CFG recovery (decode failures, block/edge mismatches);
+* ``HIP2xx`` — cross-ISA consistency (stack maps, call-site tables,
+  symbols, live sets at equivalence points);
+* ``HIP3xx`` — IR dataflow lints (use-before-def, dead stores,
+  unreachable blocks, call arity);
+* ``HIP4xx`` — gadget-surface audit (the paper's ISA asymmetry).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; CI fails a build on any :attr:`ERROR`."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One verifier check: stable ID, slug, default severity."""
+
+    rule_id: str
+    slug: str
+    severity: Severity
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.rule_id} {self.slug}"
+
+
+_RULE_DEFS: Tuple[Rule, ...] = (
+    # --- CFG recovery -------------------------------------------------
+    Rule("HIP101", "undecodable-code", Severity.ERROR,
+         "code bytes inside a function fail to decode, or a block's "
+         "decoded instructions overrun its recorded bounds"),
+    Rule("HIP102", "cfg-block-missing", Severity.ERROR,
+         "an IR basic block has no recovered native block (missing from "
+         "the symbol table or unreachable by recursive descent)"),
+    Rule("HIP103", "cfg-edge-mismatch", Severity.ERROR,
+         "the control-flow edges recovered from the native code disagree "
+         "with the IR block's successor set"),
+    Rule("HIP104", "misaligned-code", Severity.ERROR,
+         "a function or block entry address violates the ISA's "
+         "instruction alignment"),
+    Rule("HIP105", "function-bounds", Severity.ERROR,
+         "function address ranges overlap each other or fall outside "
+         "the ISA's text section"),
+    Rule("HIP106", "branch-into-mid-block", Severity.ERROR,
+         "a branch targets an address that is not a recorded block entry "
+         "in its function"),
+    # --- cross-ISA consistency ---------------------------------------
+    Rule("HIP201", "stackmap-mismatch", Severity.ERROR,
+         "the per-function stack map is inconsistent: a slot is "
+         "misaligned, out of frame bounds, or overlaps another slot"),
+    Rule("HIP202", "callsite-mismatch", Severity.ERROR,
+         "the call-site return-address table disagrees with the IR call "
+         "structure or between the two ISAs"),
+    Rule("HIP203", "callsite-target-mismatch", Severity.ERROR,
+         "a direct call's resolved target differs between the two ISAs "
+         "or does not land on a function entry"),
+    Rule("HIP204", "symtab-mismatch", Severity.ERROR,
+         "symbols present in one ISA's view of the binary are missing or "
+         "different in the other's"),
+    Rule("HIP205", "liveset-unlocatable", Severity.ERROR,
+         "a value live at an equivalence point has no location (neither "
+         "a register assignment nor a frame slot) on some ISA"),
+    Rule("HIP206", "register-assignment-invalid", Severity.ERROR,
+         "a value is assigned to a register outside the ISA's allocatable "
+         "set, or the recorded callee saves disagree with the assignment"),
+    # --- IR dataflow lints -------------------------------------------
+    Rule("HIP301", "use-before-def", Severity.ERROR,
+         "a value may be read on some path before any assignment"),
+    Rule("HIP302", "dead-store", Severity.WARNING,
+         "a pure instruction defines a value that is never used"),
+    Rule("HIP303", "unreachable-block", Severity.WARNING,
+         "a basic block is unreachable from the function entry"),
+    Rule("HIP304", "call-arity-mismatch", Severity.ERROR,
+         "a direct call passes a different number of arguments than the "
+         "callee's symbol-table parameter list declares"),
+    # --- gadget-surface audit ----------------------------------------
+    Rule("HIP401", "aligned-isa-unintended-gadgets", Severity.ERROR,
+         "a fixed-width, aligned ISA exposes unintended gadget starts "
+         "(the paper requires the armlike unintentional count be zero)"),
+    Rule("HIP402", "gadget-asymmetry-violated", Severity.WARNING,
+         "the byte-granular ISA's gadget surface does not dominate the "
+         "aligned ISA's (x86like should be much larger than armlike)"),
+)
+
+#: rule ID -> :class:`Rule`, the authoritative catalog
+RULES: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULE_DEFS}
+
+
+def resolve_rules(selection: Optional[Sequence[str]]) -> Optional[frozenset]:
+    """Normalize a ``--rules`` selection to a frozenset of rule IDs.
+
+    Accepts exact IDs (``HIP201``), slugs (``stackmap-mismatch``), and
+    prefixes (``HIP2`` selects the whole consistency group).  ``None``
+    means "all rules".  Unknown selectors raise :class:`ValueError`.
+    """
+    if selection is None:
+        return None
+    chosen: set = set()
+    by_slug = {rule.slug: rule.rule_id for rule in _RULE_DEFS}
+    for item in selection:
+        token = item.strip()
+        if not token:
+            continue
+        if token in RULES:
+            chosen.add(token)
+        elif token in by_slug:
+            chosen.add(by_slug[token])
+        else:
+            matched = {rule_id for rule_id in RULES
+                       if rule_id.startswith(token.upper())}
+            if not matched:
+                raise ValueError(f"unknown rule selector {item!r}")
+            chosen.update(matched)
+    return frozenset(chosen)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic, with provenance down to the slot that diverged."""
+
+    rule_id: str
+    message: str
+    function: Optional[str] = None
+    block: Optional[str] = None
+    isa: Optional[str] = None
+    address: Optional[int] = None
+    #: the value/slot/symbol the finding is about (slot provenance)
+    subject: Optional[str] = None
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def location(self) -> str:
+        parts = [part for part in (self.isa, self.function, self.block)
+                 if part]
+        where = "/".join(parts) if parts else "<binary>"
+        if self.address is not None:
+            where += f"@{self.address:#x}"
+        if self.subject:
+            where += f" [{self.subject}]"
+        return where
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "slug": self.rule.slug,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        for key in ("function", "block", "isa", "subject"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.address is not None:
+            payload["address"] = self.address
+        return payload
+
+    def render(self) -> str:
+        return (f"{self.rule_id} [{self.severity}] {self.location()}: "
+                f"{self.message}")
+
+
+@dataclass
+class PassTiming:
+    """Wall-clock and finding count of one executed pass."""
+
+    name: str
+    seconds: float
+    findings: int
+
+
+@dataclass
+class VerificationReport:
+    """Everything one verifier run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    timings: List[PassTiming] = field(default_factory=list)
+    #: free-form facts passes want to surface (e.g. gadget counts)
+    facts: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding was produced."""
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def count_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            key = str(finding.severity)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def extend(self, other: "VerificationReport") -> None:
+        self.findings.extend(other.findings)
+        self.timings.extend(other.timings)
+        self.facts.update(other.facts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "counts": {
+                "total": len(self.findings),
+                "by_severity": self.count_by_severity(),
+                "by_rule": self.count_by_rule(),
+            },
+            "findings": [finding.as_dict() for finding in self.findings],
+            "passes": [{"name": t.name, "seconds": round(t.seconds, 6),
+                        "findings": t.findings} for t in self.timings],
+            "facts": self.facts,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        by_sev = self.count_by_severity()
+        summary = ", ".join(f"{by_sev[key]} {key}"
+                            for key in ("error", "warning", "info")
+                            if key in by_sev) or "no findings"
+        passes = " ".join(f"{t.name}={t.seconds * 1000:.1f}ms"
+                          for t in self.timings)
+        lines.append(f"verify: {summary}"
+                     + (f"  ({passes})" if passes else ""))
+        return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""The pass framework and driver of the static verifier.
+
+A :class:`VerifierPass` bundles a name, the rule IDs it can emit, and a
+``run`` hook; :func:`run_verifier` executes the registered passes over a
+:class:`~repro.compiler.fatbinary.FatBinary` *without executing it*,
+optionally restricted to a rule selection, and returns a
+:class:`~repro.staticcheck.findings.VerificationReport`.
+
+Observability: each pass runs inside a ``verify.pass`` span and every
+finding bumps the ``verify.findings{rule,severity}`` counter, so traced
+``repro verify`` runs summarize under ``repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..obs import context as obs
+from .cfg import recover_cfgs
+from .consistency import check_consistency
+from .dataflow import check_dataflow
+from .findings import (
+    Finding,
+    PassTiming,
+    VerificationReport,
+    resolve_rules,
+)
+from .gadget_audit import check_gadget_surface
+
+
+class VerifierPass:
+    """One static-analysis pass: a named producer of findings."""
+
+    #: stable pass name (used by ``passes=`` selections and spans)
+    name: str = "abstract"
+    #: rule IDs this pass can emit (rule filtering prunes whole passes)
+    rules: Sequence[str] = ()
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        raise NotImplementedError
+
+
+class CFGRecoveryPass(VerifierPass):
+    """Recursive-descent CFG recovery, cross-checked against the IR."""
+
+    name = "cfg"
+    rules = ("HIP101", "HIP102", "HIP103", "HIP104", "HIP105", "HIP106",
+             "HIP204")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        block_counts = {}
+        for isa_name in binary.isa_names:
+            recovered = recover_cfgs(binary, isa_name, findings)
+            block_counts[isa_name] = sum(
+                len(fn.blocks) for fn in recovered.values())
+        report.facts["cfg.blocks"] = block_counts
+        return findings
+
+
+class ConsistencyPass(VerifierPass):
+    """Cross-ISA agreement on stack maps, call sites, symbols, live sets."""
+
+    name = "consistency"
+    rules = ("HIP201", "HIP202", "HIP203", "HIP204", "HIP205", "HIP206")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        check_consistency(binary, findings)
+        return findings
+
+
+class DataflowPass(VerifierPass):
+    """IR lints: use-before-def, dead stores, unreachable, call arity."""
+
+    name = "dataflow"
+    rules = ("HIP301", "HIP302", "HIP303", "HIP304")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        check_dataflow(binary, findings)
+        return findings
+
+
+class GadgetAuditPass(VerifierPass):
+    """Static gadget-surface audit (the paper's encoding asymmetry)."""
+
+    name = "gadgets"
+    rules = ("HIP401", "HIP402")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        report.facts["gadgets"] = check_gadget_surface(binary, findings)
+        return findings
+
+
+#: registered passes, in execution order
+DEFAULT_PASSES: Sequence[Callable[[], VerifierPass]] = (
+    CFGRecoveryPass, ConsistencyPass, DataflowPass, GadgetAuditPass,
+)
+
+#: pass name -> factory, for ``passes=('cfg', 'consistency')`` selections
+PASSES_BY_NAME: Dict[str, Callable[[], VerifierPass]] = {
+    factory.name: factory for factory in DEFAULT_PASSES}
+
+
+def _selected_passes(passes: Optional[Sequence[str]],
+                     rules: Optional[frozenset]) -> List[VerifierPass]:
+    factories = list(DEFAULT_PASSES)
+    if passes is not None:
+        unknown = [name for name in passes if name not in PASSES_BY_NAME]
+        if unknown:
+            raise ValueError(f"unknown verifier pass(es): {unknown}; "
+                             f"available: {sorted(PASSES_BY_NAME)}")
+        factories = [PASSES_BY_NAME[name] for name in passes]
+    selected = [factory() for factory in factories]
+    if rules is not None:
+        selected = [p for p in selected if set(p.rules) & rules]
+    return selected
+
+
+def run_verifier(binary, rules: Optional[Sequence[str]] = None,
+                 passes: Optional[Sequence[str]] = None
+                 ) -> VerificationReport:
+    """Statically verify a fat binary; never executes its code.
+
+    ``rules`` restricts the checks (IDs, slugs, or ``HIP2``-style
+    prefixes — see :func:`~repro.staticcheck.findings.resolve_rules`);
+    passes that cannot emit any selected rule are skipped entirely.
+    ``passes`` names a subset of passes to run (``cfg``, ``consistency``,
+    ``dataflow``, ``gadgets``).
+    """
+    selected_rules = resolve_rules(rules)
+    report = VerificationReport()
+    with obs.span("verify", isas=",".join(binary.isa_names)):
+        for verifier_pass in _selected_passes(passes, selected_rules):
+            start = time.perf_counter()
+            with obs.span("verify.pass",
+                          **{"pass": verifier_pass.name}) as span:
+                found = verifier_pass.run(binary, report)
+                if selected_rules is not None:
+                    found = [f for f in found
+                             if f.rule_id in selected_rules]
+                if span is not None:
+                    span.set(findings=len(found))
+            seconds = time.perf_counter() - start
+            report.findings.extend(found)
+            report.timings.append(
+                PassTiming(verifier_pass.name, seconds, len(found)))
+    if obs.enabled():
+        registry = obs.get_registry()
+        for finding in report.findings:
+            registry.counter("verify.findings", rule=finding.rule_id,
+                             severity=str(finding.severity)).inc()
+        registry.counter("verify.runs",
+                         outcome="ok" if report.ok else "error").inc()
+    return report
+
+
+def verify_binary(binary, rules: Optional[Sequence[str]] = None,
+                  passes: Optional[Sequence[str]] = None) -> VerificationReport:
+    """Verify and *reject*: raises :class:`~repro.errors.VerificationError`
+    carrying the report when any ERROR-severity finding is produced.
+
+    This is the hook behind ``compile_minic(..., verify=True)`` and the
+    migration engine's pre-migration assertion mode.
+    """
+    from ..errors import VerificationError
+
+    report = run_verifier(binary, rules=rules, passes=passes)
+    if not report.ok:
+        errors = report.errors
+        head = "; ".join(f.render() for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        raise VerificationError(
+            f"fat binary failed static verification: {head}{more}", report)
+    return report

@@ -12,7 +12,7 @@ real (if small) compiler, not hand-picked bytes.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import __version__
