@@ -26,6 +26,7 @@ from ..core.relocation import PSRConfig
 from ..core.runner import create_psr_process
 from ..isa import ISAS, Mem, Op, Reg
 from ..machine.process import Process
+from ..errors import AttackError
 
 #: the vulnerable daemon: reads a request into a 16-byte stack buffer
 #: with a 256-byte read — the canonical overflow
@@ -146,7 +147,7 @@ def reconnoiter(binary: FatBinary, isa_name: str = "x86like",
     read_events = [event for event in process.os.events
                    if event.number == 3]
     if not read_events or observed["base"] is None:
-        raise RuntimeError("reconnaissance failed to observe the read()")
+        raise AttackError("reconnaissance failed to observe the read()")
     return Reconnaissance(read_events[0].args[1], observed["base"])
 
 
@@ -167,7 +168,7 @@ def build_exploit(binary: FatBinary, isa_name: str = "x86like",
                       if isa.syscall_number_reg in s.register_slots
                       and isa.syscall_arg_regs[0] in s.register_slots]
     if not execve_capable:
-        raise RuntimeError("no usable syscall staging found")
+        raise AttackError("no usable syscall staging found")
     staging = execve_capable[0]
 
     # Stack picture once the overwritten return executes:

@@ -12,6 +12,10 @@ Commands:
   warm cache) and write a ``BENCH_*.json`` trajectory file
 * ``verify``          — statically verify fat binaries (CFG recovery,
   cross-ISA consistency, IR lints, gadget audit); exit 1 on errors
+* ``chaos``           — property-based differential fault injection:
+  random programs × random migration schedules under injected faults;
+  every case must match clean native execution or fail *typed*; exit 1
+  on any silent divergence (reproducible via ``--fault-seed``)
 * ``report FILE``     — summarize a captured ``*.jsonl`` trace (phases,
   jobs, counters, histograms, cache hit rate, migrations)
 
@@ -462,6 +466,54 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Differential fault-injection sweep (see :mod:`repro.faults.fuzz`)."""
+    import tempfile
+
+    from .faults.fuzz import ChaosReport, chaos_run, chaos_workloads, \
+        load_corpus, run_case
+    from .faults.plan import default_plan
+
+    if not getattr(args, "cache_dir", None) \
+            and not getattr(args, "no_cache", False):
+        # Deterministic by default: against a warm cache some put-time
+        # faults would be skipped (no store happens on a hit), so the
+        # fault log would differ between the first and second run.
+        args.cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    engine = _configure_runtime(args)
+    plan = default_plan(args.fault_seed, rate_scale=args.rate_scale)
+
+    if args.workloads:
+        outcomes = chaos_workloads(args.fault_seed,
+                                   rate_scale=args.rate_scale)
+        report = ChaosReport(args.fault_seed, len(outcomes), outcomes)
+    elif args.corpus:
+        cases = load_corpus(args.corpus)
+        outcomes = [run_case(case, plan) for case in cases]
+        report = ChaosReport(args.fault_seed, len(cases), outcomes)
+    else:
+        report = chaos_run(args.fault_seed, args.iterations, plan=plan,
+                           engine=engine)
+
+    print(f"chaos: seed={args.fault_seed} cases={len(report.outcomes)} "
+          f"rate-scale={args.rate_scale}")
+    for status, count in report.status_counts().items():
+        print(f"  {status:<28} {count}")
+    fault_counts = report.fault_counts()
+    if fault_counts:
+        print("injected faults:")
+        for kind, count in fault_counts.items():
+            print(f"  {kind:<28} {count}")
+    else:
+        print("injected faults: none fired")
+    print(f"fault-log digest: {report.digest()}")
+    for outcome in report.failures:
+        print(f"FAILED {outcome.case_id}: {outcome.status} "
+              f"({outcome.detail})", file=sys.stderr)
+    _finalize_trace(args, label=f"chaos:{args.fault_seed}")
+    return 1 if report.failures else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Load a captured trace file and print its summary tables."""
     try:
@@ -582,6 +634,31 @@ def build_parser() -> argparse.ArgumentParser:
                                help="capture a metrics + span trace "
                                     "(summarize with 'repro report FILE')")
     verify_parser.set_defaults(func=cmd_verify)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="differential fault-injection sweep")
+    chaos_parser.add_argument("--fault-seed", type=int, default=0,
+                              metavar="S",
+                              help="seed for programs, schedules, and "
+                                   "fault decisions (default 0); the "
+                                   "whole run replays from this")
+    chaos_parser.add_argument("--iterations", type=int, default=25,
+                              metavar="N",
+                              help="differential cases to run "
+                                   "(default 25)")
+    chaos_parser.add_argument("--rate-scale", type=float, default=1.0,
+                              metavar="F",
+                              help="multiply every fault rate by F "
+                                   "(default 1.0)")
+    chaos_parser.add_argument("--workloads", action="store_true",
+                              help="sweep the nine benchmark workloads "
+                                   "under faults instead of random "
+                                   "programs")
+    chaos_parser.add_argument("--corpus", default=None, metavar="FILE",
+                              help="replay a frozen case corpus (JSON) "
+                                   "instead of generating cases")
+    add_runtime_flags(chaos_parser)
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = sub.add_parser(
         "report", help="summarize a captured trace file")

@@ -24,7 +24,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..compiler.fatbinary import FatBinary
+from ..errors import ConfigError, MigrationRollback
+from ..faults import injection as _faults
 from ..isa import ISAS
+from ..isa.base import WORD_SIZE
 from ..machine.cpu import CPUState
 from ..machine.interpreter import ExecutionResult, Interpreter
 from ..machine.process import Process
@@ -44,6 +47,11 @@ class HIPStRResult:
     migrations: List[MigrationRecord]
     final_isa: str
     steps_by_isa: Dict[str, int]
+    #: migrations that failed mid-transform, were rolled back, and
+    #: resumed on the source ISA
+    rollbacks: int = 0
+    #: migration requests dropped before any state moved (chaos only)
+    dropped_migrations: int = 0
 
     @property
     def migration_count(self) -> int:
@@ -62,7 +70,7 @@ class HIPStRSystem:
                  phase_interval: Optional[int] = None,
                  verify: bool = False):
         if start_isa not in ISA_NAMES:
-            raise ValueError(f"unknown ISA {start_isa!r}")
+            raise ConfigError(f"unknown ISA {start_isa!r}")
         self.binary = binary
         self.config = config or PSRConfig()
         self.seed = seed
@@ -99,6 +107,8 @@ class HIPStRSystem:
         self.engine = MigrationEngine(binary, self.vms, verify=verify)
         self.active_isa = start_isa
         self.steps_by_isa: Dict[str, int] = {name: 0 for name in ISA_NAMES}
+        self.rollbacks = 0
+        self.dropped_migrations = 0
 
     # ------------------------------------------------------------------
     @property
@@ -158,19 +168,56 @@ class HIPStRSystem:
                 migrations=list(self.engine.history),
                 final_isa=self.active_isa,
                 steps_by_isa=dict(self.steps_by_isa),
+                rollbacks=self.rollbacks,
+                dropped_migrations=self.dropped_migrations,
             )
 
     def _migrate(self, request: MigrationRequested) -> None:
         source = self.active_isa
         target = self.other_isa
         source_interpreter = self.interpreters[source]
-        target_cpu = self.engine.migrate(
-            source, target, source_interpreter.cpu, self.process.memory,
-            request.native_target, request.kind)
+        injector = _faults.get()
+        if injector is not None:
+            event = injector.fire("migration.drop", key=request.kind)
+            if event is not None:
+                # The request never reaches the engine: re-queue on the
+                # source ISA as if the hand-off were refused.
+                self._requeue(request, source_interpreter)
+                self.dropped_migrations += 1
+                _faults.recovered("migration.request", "requeue")
+                return
+        try:
+            target_cpu = self.engine.migrate(
+                source, target, source_interpreter.cpu, self.process.memory,
+                request.native_target, request.kind)
+        except MigrationRollback:
+            # The engine already restored the pre-migration state; resume
+            # on the source ISA and let policy re-trigger later.
+            self._requeue(request, source_interpreter)
+            self.rollbacks += 1
+            return
         target_interpreter = self.interpreters[target]
         target_interpreter.cpu = target_cpu
         target_cpu.halted = False
         self.active_isa = target
+
+    def _requeue(self, request: MigrationRequested,
+                 interpreter: Interpreter) -> None:
+        """Resume on the source ISA so the transfer re-executes cleanly.
+
+        For a ``ret`` request the faulting RET already popped its return
+        slot (the interpreter raises out of ``resolve_target`` after the
+        pop, before the PC moves), so un-pop it: the word is still in
+        memory below the checkpointed window's writes.  One security-
+        migration decision is suppressed so the re-executed RET makes
+        forward progress instead of immediately re-requesting.
+        """
+        if request.kind == "ret":
+            interpreter.cpu.sp -= WORD_SIZE
+            self.vms[self.active_isa].suppress_migration_once = True
+        # "block" requests need no re-arm: the jmp/jcc re-executes as a
+        # plain transfer (migrate_on_next_block was already consumed) and
+        # the phase policy re-raises at a later block boundary.
 
     # ------------------------------------------------------------------
     def rerandomize(self) -> None:

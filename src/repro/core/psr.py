@@ -114,6 +114,10 @@ class PSRVirtualMachine(ExecutionHooks):
         self.security_handler: Optional[SecurityHandler] = None
         #: set by HIPStR's phase policy: migrate at the next block entry
         self.migrate_on_next_block = False
+        #: set after a rolled-back/dropped migration: skip exactly one
+        #: security-migration decision so the re-executed transfer makes
+        #: forward progress instead of immediately re-requesting
+        self.suppress_migration_once = False
         #: sibling VM notified to pre-translate on compulsory misses (HIPStR)
         self.sibling: Optional["PSRVirtualMachine"] = None
         #: called after installs to invalidate interpreter decode caches
@@ -362,7 +366,9 @@ class PSRVirtualMachine(ExecutionHooks):
         if indirect and (cached is None
                          or target not in self.indirect_targets):
             self.stats.record_security_event(kind)
-            if (self.security_handler is not None
+            if self.suppress_migration_once:
+                self.suppress_migration_once = False
+            elif (self.security_handler is not None
                     and self.security_handler(kind, target)):
                 raise MigrationRequested(target, kind)
         elif cached is None:

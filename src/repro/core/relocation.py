@@ -29,7 +29,7 @@ from typing import Dict, Optional, Set
 from ..compiler.ir import IRFunction
 from ..compiler.liveness import loop_depths, use_counts
 from ..compiler.symtab import FunctionInfo
-from ..errors import TranslationError
+from ..errors import ConfigError, TranslationError
 from ..isa.base import ISADescription, WORD_SIZE
 
 PAGE_SIZE = 4096
@@ -54,9 +54,9 @@ class PSRConfig:
 
     def __post_init__(self):
         if not 1 <= self.randomization_pages <= 16:
-            raise ValueError("randomization_pages must be in 1..16")
+            raise ConfigError("randomization_pages must be in 1..16")
         if self.opt_level not in (0, 1, 2, 3):
-            raise ValueError("opt_level must be 0..3")
+            raise ConfigError("opt_level must be 0..3")
 
     @property
     def randomization_space(self) -> int:

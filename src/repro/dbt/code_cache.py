@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from ..errors import TranslationError
+from ..errors import ConfigError, TranslationError
 
 
 @dataclass
@@ -36,7 +36,7 @@ class CodeCache:
 
     def __init__(self, base: int, capacity: int):
         if capacity <= 0:
-            raise ValueError("code cache capacity must be positive")
+            raise ConfigError("code cache capacity must be positive")
         self.base = base
         self.capacity = capacity
         self._cursor = 0

@@ -16,6 +16,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from ..errors import ConfigError
+
 
 @dataclass
 class RATStats:
@@ -43,7 +45,7 @@ class ReturnAddressTable:
 
     def __init__(self, size: int = 512):
         if size <= 0:
-            raise ValueError("RAT size must be positive")
+            raise ConfigError("RAT size must be positive")
         self.size = size
         self._table: "OrderedDict[int, int]" = OrderedDict()
         self.stats = RATStats()

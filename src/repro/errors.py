@@ -13,6 +13,14 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration or construction parameters.
+
+    Subclasses :class:`ValueError` so legacy callers catching the bare
+    builtin keep working while new code can catch :class:`ReproError`.
+    """
+
+
 class AssemblerError(ReproError):
     """Raised when source assembly cannot be encoded."""
 
@@ -90,6 +98,58 @@ class VerificationError(ReproError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class MigrationRollback(MigrationError):
+    """A migration failed mid-flight and pre-migration state was restored.
+
+    Raised by :class:`~repro.migration.engine.MigrationEngine` after it
+    rolls its checkpoint back; the HIPStR system catches it, re-arms the
+    in-flight control transfer, and continues on the source ISA — the
+    relocation is dropped/re-queued, never half-applied.
+    """
+
+    def __init__(self, message: str, cause: str = "", kind: str = ""):
+        super().__init__(message)
+        self.cause = cause
+        self.kind = kind
+
+
+class FaultInjected(ReproError):
+    """An error deliberately raised by the fault-injection subsystem.
+
+    Carries enough provenance (site, kind, per-site ordinal) for the
+    chaos harness to match every injected fault against the recovery
+    counters — a fault that neither recovers nor surfaces is a bug.
+    """
+
+    def __init__(self, site: str, kind: str, ordinal: int):
+        super().__init__(f"injected fault {kind!r} at {site} #{ordinal}")
+        self.site = site
+        self.kind = kind
+        self.ordinal = ordinal
+
+
+class CacheIntegrityError(ReproError):
+    """A cache artifact failed its checksum or could not be decoded.
+
+    Raised internally by :class:`~repro.runtime.cache.ArtifactCache` when
+    verifying an entry; the public ``get`` path converts it into a
+    quarantine-and-recompute, never an exception to the caller.
+    """
+
+    def __init__(self, path, detail: str):
+        super().__init__(f"corrupt cache entry {path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+class AttackError(ReproError, RuntimeError):
+    """An attack harness step failed (reconnaissance, staging, payload).
+
+    Subclasses :class:`RuntimeError` for backward compatibility with
+    callers that caught the bare builtin.
+    """
 
 
 class SecurityViolation(ReproError):

@@ -1,0 +1,55 @@
+"""Deterministic fault injection and the chaos/differential harness.
+
+Three modules (see DESIGN.md "Fault injection & recovery"):
+
+* :mod:`repro.faults.plan` — the typed fault catalog, per-kind rates,
+  and the ``REPRO_FAULTS`` spec round-trip;
+* :mod:`repro.faults.injection` — the process-wide injector with
+  seed-deterministic per-site decisions and the recovery counters;
+* :mod:`repro.faults.fuzz` — the property-based differential harness
+  behind ``repro chaos``: random mini-C programs × random migration
+  schedules, run natively on each ISA and under HIPStR with faults on,
+  asserting bit-identical results or a *detected, typed* failure.
+
+``fuzz`` is imported lazily (by the CLI and tests) because it pulls in
+the whole pipeline; ``plan``/``injection`` stay dependency-light so the
+hook sites in hot paths can import them without cycles.
+"""
+
+from .injection import (
+    ENV_FAULTS,
+    FaultInjector,
+    active,
+    ensure_worker,
+    get,
+    injected,
+    install,
+    recovered,
+    uninstall,
+)
+from .plan import (
+    DEFAULT_RATES,
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultEvent,
+    FaultPlan,
+    default_plan,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "FaultInjector",
+    "active",
+    "ensure_worker",
+    "get",
+    "injected",
+    "install",
+    "recovered",
+    "uninstall",
+    "DEFAULT_RATES",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "default_plan",
+]

@@ -1,0 +1,193 @@
+"""The process-wide fault injector and its hook-site protocol.
+
+Hook sites in the interpreter, the migration engine, the runtime engine,
+and the artifact cache all follow one pattern::
+
+    injector = injection.get()
+    if injector is not None:
+        event = injector.fire("cache.flip_byte", key=str(path))
+        if event is not None:
+            ...apply the fault...
+
+``get()`` is a module-global read — effectively free when no chaos run
+is active, so the hooks cost nothing in production paths.
+
+**Determinism.**  Every decision is a pure function of ``(plan.seed,
+site, kind, key, ordinal)`` where ``ordinal`` counts prior decisions for
+that exact tuple prefix.  No global RNG is shared between sites, so the
+interleaving of hook sites (which varies with scheduling) cannot change
+any individual decision — two runs with the same seed produce the same
+fault log, and a keyed decision (``key=job.key``) is identical no matter
+which worker process executes the job.
+
+**Worker inheritance.**  :func:`injected` exports the plan spec through
+``REPRO_FAULTS``; engine workers call :func:`ensure_worker` before each
+job and lazily install the same plan, each with fresh counters — which
+is exactly right, because keyed decisions don't depend on counters from
+other processes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import FaultInjected
+from ..obs import context as obs
+from .plan import FAULT_SITES, FaultEvent, FaultPlan
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic fire/no-fire calls."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.log: List[FaultEvent] = []
+        self.counts: Dict[str, int] = {}
+        self._ordinals: Dict[Tuple[str, str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def fire(self, kind: str, key: str = "",
+             detail: str = "") -> Optional[FaultEvent]:
+        """Decide whether fault ``kind`` fires here; log and return it.
+
+        Returns the :class:`FaultEvent` when the fault fires, ``None``
+        otherwise.  The caller applies the fault's effect (and usually
+        raises via :meth:`raise_fault` or mutates state).
+        """
+        rate = self.plan.rate(kind)
+        if rate <= 0.0:
+            return None
+        site = FAULT_SITES[kind]
+        slot = (site, kind, key)
+        ordinal = self._ordinals.get(slot, 0)
+        self._ordinals[slot] = ordinal + 1
+        if self.plan.limit is not None and \
+                self.counts.get(kind, 0) >= self.plan.limit:
+            return None
+        decision = random.Random(
+            f"{self.plan.seed}|{site}|{kind}|{key}|{ordinal}").random()
+        if decision >= rate:
+            return None
+        event = FaultEvent(site=site, kind=kind, ordinal=ordinal,
+                           key=key, detail=detail)
+        self.log.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if obs.enabled():
+            obs.get_registry().counter(
+                "faults.injected", site=site, kind=kind).inc()
+            obs.event("fault.injected", site=site, kind=kind,
+                      ordinal=ordinal, key=key)
+        return event
+
+    def rng_for(self, event: FaultEvent) -> random.Random:
+        """A deterministic RNG for parameterizing one fired fault."""
+        return random.Random(
+            f"{self.plan.seed}|param|{event.site}|{event.kind}"
+            f"|{event.key}|{event.ordinal}")
+
+    @staticmethod
+    def raise_fault(event: FaultEvent) -> None:
+        raise FaultInjected(event.site, event.kind, event.ordinal)
+
+    # ------------------------------------------------------------------
+    def log_digest(self) -> str:
+        """Stable digest of the fault log (the determinism check)."""
+        import hashlib
+        hasher = hashlib.sha256()
+        for event in self.log:
+            hasher.update(event.render().encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector seed={self.plan.seed} "
+                f"fired={len(self.log)}>")
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation
+# ----------------------------------------------------------------------
+_injector: Optional[FaultInjector] = None
+_worker_spec: Optional[str] = None
+#: True when the current injector was built from REPRO_FAULTS (a worker)
+_env_installed = False
+
+
+def get() -> Optional[FaultInjector]:
+    """The installed injector, or None (the common, zero-cost case)."""
+    return _injector
+
+
+def active() -> bool:
+    return _injector is not None
+
+
+def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
+    """Install a process-wide injector (fresh counters and log)."""
+    global _injector, _env_installed
+    injector = plan if isinstance(plan, FaultInjector) \
+        else FaultInjector(plan)
+    _injector = injector
+    _env_installed = False
+    return injector
+
+
+def uninstall() -> None:
+    global _injector, _worker_spec, _env_installed
+    _injector = None
+    _worker_spec = None
+    _env_installed = False
+
+
+def recovered(site: str, action: str, count: int = 1) -> None:
+    """Record one recovery at a hook site (works with or without faults).
+
+    Self-healing paths call this whether the damage was injected or
+    real; the chaos harness cross-checks ``faults.recovered`` against
+    ``faults.injected`` so no recovery is silent.
+    """
+    if obs.enabled():
+        obs.get_registry().counter(
+            "faults.recovered", site=site, action=action).inc(count)
+        obs.event("fault.recovered", site=site, action=action)
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Install ``plan`` for the duration, exporting it to workers too."""
+    global _injector
+    previous_injector = _injector
+    previous_env = os.environ.get(ENV_FAULTS)
+    injector = install(plan)
+    os.environ[ENV_FAULTS] = plan.to_spec()
+    try:
+        yield injector
+    finally:
+        _injector = previous_injector
+        if previous_env is None:
+            os.environ.pop(ENV_FAULTS, None)
+        else:
+            os.environ[ENV_FAULTS] = previous_env
+
+
+def ensure_worker() -> None:
+    """Install (or refresh) the injector from ``REPRO_FAULTS`` if set.
+
+    Called by the engine before each job: in a worker process the module
+    globals start empty, so the env var is the only way the plan arrives.
+    In the parent it is a no-op (an injector is already installed, or
+    the env var is absent).
+    """
+    global _worker_spec, _env_installed
+    spec = os.environ.get(ENV_FAULTS)
+    if not spec or spec == _worker_spec:
+        return
+    if _injector is None or _env_installed:
+        install(FaultPlan.from_spec(spec))
+        _env_installed = True
+    _worker_spec = spec

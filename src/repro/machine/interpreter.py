@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
     AlignmentFault, DecodeError, IllegalInstruction, MachineFault)
+from ..faults import injection as _faults
 from ..isa.base import (
     Decoded, Imm, Mem, Op, Reg, WORD_SIZE, to_signed, to_unsigned)
 from .cpu import CPUState
@@ -333,6 +334,7 @@ class Interpreter:
         cpu = self.cpu
         step = self.step
         breakpoints = self.breakpoints
+        injector = _faults.get()
         try:
             while not cpu.halted:
                 if self.steps_executed - start >= budget:
@@ -341,6 +343,16 @@ class Interpreter:
                     return ExecutionResult(self.steps_executed - start,
                                            "breakpoint")
                 step()
+                if injector is not None \
+                        and (self.steps_executed & 0xFF) == 0:
+                    # Chaos: a spurious full decode-cache flush.  Decoding
+                    # is pure, so recovery is a transparent re-decode —
+                    # but the flush exercises the same invalidation paths
+                    # self-modifying code does.
+                    event = injector.fire("decode.flush")
+                    if event is not None:
+                        self.invalidate_decode_cache()
+                        _faults.recovered("interpreter.decode", "redecode")
         except MachineFault as fault:
             if not catch_faults:
                 raise

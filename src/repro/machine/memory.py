@@ -13,7 +13,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-from ..errors import SegmentationFault
+from ..errors import ConfigError, SegmentationFault
 from ..isa.base import WORD_SIZE, to_unsigned
 
 
@@ -33,7 +33,7 @@ class Segment:
         if not self.data:
             self.data = bytearray(self.size)
         elif len(self.data) != self.size:
-            raise ValueError(
+            raise ConfigError(
                 f"segment {self.name}: data length {len(self.data)} != size {self.size}")
 
     @property
@@ -64,10 +64,10 @@ class Memory:
     def map_segment(self, segment: Segment) -> Segment:
         for existing in self._segments:
             if segment.base < existing.end and existing.base < segment.end:
-                raise ValueError(
+                raise ConfigError(
                     f"segment {segment.name} overlaps {existing.name}")
         if segment.name in self._by_name:
-            raise ValueError(f"duplicate segment name {segment.name!r}")
+            raise ConfigError(f"duplicate segment name {segment.name!r}")
         self._segments.append(segment)
         self._segments.sort(key=lambda s: s.base)
         self._by_name[segment.name] = segment

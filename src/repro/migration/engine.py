@@ -24,7 +24,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compiler.fatbinary import FatBinary
 from ..core.psr import PSRVirtualMachine
-from ..errors import MigrationError
+from ..errors import MigrationError, MigrationRollback
+from ..faults import injection as _faults
 from ..isa.base import Op, WORD_SIZE
 from ..machine.cpu import CPUState
 from ..machine.memory import Memory
@@ -51,6 +52,21 @@ class MigrationRecord:
     report: TransformReport
 
 
+@dataclass
+class _Checkpoint:
+    """Pre-migration state: CPU image plus the mutable stack window.
+
+    Every write a migration performs lands in ``[lo, lo + len(data))`` —
+    scatter slots, value slots, and return-address slots all sit between
+    the current stack pointer and the outermost frame's return slot — so
+    restoring this window plus the CPU registers is an *exact* rollback.
+    """
+
+    cpu: CPUState
+    lo: int
+    data: bytes
+
+
 class MigrationEngine:
     """Performs migrations between the two PSR virtual machines."""
 
@@ -72,6 +88,8 @@ class MigrationEngine:
         #: keeps everything — tests and short runs only)
         self.history: Deque[MigrationRecord] = deque(maxlen=history_limit)
         self._total_migrations = 0
+        #: migrations that failed mid-transform and were rolled back
+        self.rollback_count = 0
         self._direction_counts: Dict[Tuple[str, str], int] = {}
         #: per-ISA return address of the crt0 stub's call to main
         self._stub_returns = {
@@ -127,32 +145,100 @@ class MigrationEngine:
             frames = self.transformer.walk_frames(
                 source_isa, memory, innermost, source_vm.reloc_for)
 
-            self._rewrite_return_addresses(frames, memory, source_isa,
-                                           target_isa, source_vm)
+            # Everything up to here only *read* state.  From the first
+            # return-address rewrite on, the stack is being mutated in
+            # place — checkpoint the mutable window so any failure can
+            # restore the pre-migration state exactly.
+            checkpoint = self._checkpoint(cpu, memory, frames, source_vm)
+            try:
+                self._maybe_corrupt_stack(memory, checkpoint)
+                self._rewrite_return_addresses(frames, memory, source_isa,
+                                               target_isa, source_vm)
 
-            transform_start = time.perf_counter()
-            target_cpu, report = self.transformer.transform(
-                cpu, target_vm.isa, memory, frames,
-                source_vm.reloc_for, target_vm.reloc_for)
-            transform_seconds = time.perf_counter() - transform_start
-            if kind == "ret":
-                # The callee's return value is in flight in the source
-                # ISA's return register; hand it to the target ISA's.
-                target_cpu.set(target_vm.isa.return_reg,
-                               cpu.get(source_vm.isa.return_reg))
+                transform_start = time.perf_counter()
+                target_cpu, report = self.transformer.transform(
+                    cpu, target_vm.isa, memory, frames,
+                    source_vm.reloc_for, target_vm.reloc_for)
+                transform_seconds = time.perf_counter() - transform_start
+                if kind == "ret":
+                    # The callee's return value is in flight in the source
+                    # ISA's return register; hand it to the target ISA's.
+                    target_cpu.set(target_vm.isa.return_reg,
+                                   cpu.get(source_vm.isa.return_reg))
 
-            translated = target_vm.cache.peek(target_resume)
-            if translated is None:
-                translated = target_vm.install_unit(target_resume)
-            if translated is None:
-                raise MigrationError(
-                    f"no translation for resume point {target_resume:#x}")
-            target_cpu.pc = translated
+                translated = target_vm.cache.peek(target_resume)
+                if translated is None:
+                    translated = target_vm.install_unit(target_resume)
+                if translated is None:
+                    raise MigrationError(
+                        f"no translation for resume point {target_resume:#x}")
+                target_cpu.pc = translated
+            except Exception as exc:
+                self._rollback(checkpoint, cpu, memory)
+                self.rollback_count += 1
+                _faults.recovered("migration.transform", "rollback")
+                if obs.enabled():
+                    obs.get_registry().counter(
+                        "migration.rollbacks", kind=kind).inc()
+                if span is not None:
+                    span.set(outcome="rollback")
+                raise MigrationRollback(
+                    f"migration {source_isa}->{target_isa} at "
+                    f"{native_target:#x} rolled back: {exc}",
+                    cause=type(exc).__name__, kind=kind) from exc
 
             record = MigrationRecord(source_isa, target_isa, kind,
                                      native_target, report)
             self._record(record, transform_seconds, span)
         return target_cpu
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback
+    # ------------------------------------------------------------------
+    def _checkpoint(self, cpu: CPUState, memory: Memory,
+                    frames: List[FrameRecord],
+                    source_vm: PSRVirtualMachine) -> _Checkpoint:
+        """Snapshot the CPU and the stack window a migration may write."""
+        outermost = frames[-1]
+        reloc = source_vm.reloc_for(outermost.function)
+        hi = outermost.base + reloc.total_data_size + WORD_SIZE
+        lo = cpu.sp
+        size = max(hi - lo, 0)
+        return _Checkpoint(cpu=cpu.copy(), lo=lo,
+                           data=memory.read_bytes(lo, size) if size else b"")
+
+    @staticmethod
+    def _rollback(checkpoint: _Checkpoint, cpu: CPUState,
+                  memory: Memory) -> None:
+        """Restore the pre-migration CPU and stack window exactly."""
+        if checkpoint.data:
+            memory.write_bytes(checkpoint.lo, checkpoint.data)
+        cpu.regs[:] = checkpoint.cpu.regs
+        cpu.pc = checkpoint.cpu.pc
+        cpu.cmp_value = checkpoint.cpu.cmp_value
+        cpu.halted = checkpoint.cpu.halted
+
+    def _maybe_corrupt_stack(self, memory: Memory,
+                             checkpoint: _Checkpoint) -> None:
+        """Chaos hook: rot one stack word mid-relocation, then fail.
+
+        Models a detected corruption (e.g. a parity fault) during the
+        hand-off: the word is genuinely scribbled, and the raised
+        :class:`~repro.errors.FaultInjected` forces the rollback path to
+        prove it restores the scribbled word along with everything else.
+        """
+        injector = _faults.get()
+        if injector is None or len(checkpoint.data) < WORD_SIZE:
+            return
+        event = injector.fire("stack.corrupt_word")
+        if event is None:
+            return
+        rng = injector.rng_for(event)
+        words = len(checkpoint.data) // WORD_SIZE
+        address = checkpoint.lo + WORD_SIZE * rng.randrange(words)
+        memory.write_word(address, memory.read_word(address)
+                          ^ (rng.getrandbits(31) | 1))
+        injector.raise_fault(event)
 
     def _record(self, record: MigrationRecord, transform_seconds: float,
                 span) -> None:

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Tuple
 from ..compiler import ir
 from ..compiler.symtab import ExtendedSymbolTable
 from ..errors import MigrationError
+from ..faults import injection as _faults
 from ..isa.base import ISADescription, WORD_SIZE
 from ..machine.cpu import CPUState
 from ..machine.memory import Memory
@@ -137,8 +138,16 @@ class StackTransformer:
 
         # ---- pass 2: write + rebuild (outermost first) ------------------
         # ``pending`` is the register image the next-inner frame inherits.
+        injector = _faults.get()
         pending: Dict[int, int] = {}
         for frame, values in zip(reversed(frames), reversed(frame_values)):
+            if injector is not None:
+                # Chaos: die mid-rebuild, after some frames are already
+                # rewritten in target-ISA form — the worst place to stop.
+                # The migration engine's checkpoint must undo it all.
+                event = injector.fire("transform.raise", key=frame.function)
+                if event is not None:
+                    injector.raise_fault(event)
             reloc = target_reloc_of(frame.function)
             # The frame's target-ISA scatter slots must hold its caller's
             # register image, which is exactly ``pending`` right now.

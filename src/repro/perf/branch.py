@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..errors import ConfigError
+
 
 @dataclass
 class BranchStats:
@@ -23,7 +25,7 @@ class BranchPredictor:
 
     def __init__(self, entries: int = 4096, disabled: bool = False):
         if entries & (entries - 1):
-            raise ValueError("entries must be a power of two")
+            raise ConfigError("entries must be a power of two")
         self._mask = entries - 1
         #: counters: 0,1 predict not-taken; 2,3 predict taken
         self._table: List[int] = [1] * entries

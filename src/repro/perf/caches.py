@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..errors import ConfigError
 from .cores import CacheConfig
 
 
@@ -29,7 +30,7 @@ class Cache:
         self.config = config
         line = config.line_size
         if line & (line - 1):
-            raise ValueError("line size must be a power of two")
+            raise ConfigError("line size must be a power of two")
         self.num_sets = max(config.size // (line * config.associativity), 1)
         self._offset_bits = line.bit_length() - 1
         #: per-set list of tags, most recently used last

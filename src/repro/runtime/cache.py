@@ -22,8 +22,14 @@ Design points:
   content and the last rename wins.
 * **LRU size cap** — reads bump the entry's mtime; when the store
   exceeds ``max_bytes`` the oldest entries are evicted.
-* **Corruption recovery** — a truncated or garbage entry is deleted and
-  treated as a miss; the artifact is recomputed, never an exception.
+* **Corruption recovery** — every entry is framed with a SHA-256
+  checksum of its pickled payload; a truncated, bit-flipped, or garbage
+  entry fails verification (:class:`~repro.errors.CacheIntegrityError`
+  internally), is *quarantined* under ``<root>/quarantine/`` for
+  post-mortem, and is treated as a miss; the artifact is recomputed,
+  never an exception.  The fault-injection subsystem
+  (:mod:`repro.faults`) exercises exactly this path by flipping stored
+  bytes at ``put`` time.
 * **Escape hatches** — ``REPRO_NO_CACHE=1`` (or ``enabled=False``, or
   the CLI's ``--no-cache``) bypasses the store entirely;
   ``REPRO_CACHE_DIR`` relocates it (CI should point this at a scratch
@@ -42,10 +48,16 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..errors import CacheIntegrityError
+from ..faults import injection as _faults
 from ..obs import context as _obs
 
 #: bump when the on-disk pickle formats change incompatibly
-CACHE_SCHEMA = 1
+#: (2: entries framed with a SHA-256 payload checksum)
+CACHE_SCHEMA = 2
+
+#: length of the checksum prefix framing every entry
+_CHECKSUM_BYTES = 32
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
@@ -121,7 +133,8 @@ def digest(*parts: Any) -> str:
 class CacheStats:
     """Hit/miss/store/eviction counters, overall and per artifact kind."""
 
-    _EVENTS = ("hits", "misses", "stores", "evictions", "corrupt", "bypasses")
+    _EVENTS = ("hits", "misses", "stores", "evictions", "corrupt",
+               "bypasses", "quarantined")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -130,6 +143,7 @@ class CacheStats:
         self.evictions = 0
         self.corrupt = 0
         self.bypasses = 0
+        self.quarantined = 0
         self.by_kind: Dict[str, Dict[str, int]] = {}
 
     def record(self, kind: str, event: str, count: int = 1) -> None:
@@ -167,6 +181,7 @@ class CacheStats:
             "evictions": self.evictions,
             "corrupt": self.corrupt,
             "bypasses": self.bypasses,
+            "quarantined": self.quarantined,
             "hit_rate": round(self.hit_rate, 4),
             "by_kind": {kind: dict(events)
                         for kind, events in sorted(self.by_kind.items())},
@@ -226,6 +241,51 @@ class ArtifactCache:
     def entry_count(self) -> int:
         return len(self._entries())
 
+    # -- integrity ------------------------------------------------------
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        """Prefix the pickled payload with its SHA-256 checksum."""
+        return hashlib.sha256(payload).digest() + payload
+
+    def _load_verified(self, path: Path) -> Any:
+        """Read, checksum-verify, and unpickle one entry.
+
+        Raises :class:`~repro.errors.CacheIntegrityError` on any damage
+        — truncation, bit flips, stale formats — so the caller has one
+        typed signal for "this entry cannot be trusted".
+        """
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if len(raw) <= _CHECKSUM_BYTES:
+            raise CacheIntegrityError(path, "truncated below header")
+        stored, payload = raw[:_CHECKSUM_BYTES], raw[_CHECKSUM_BYTES:]
+        if hashlib.sha256(payload).digest() != stored:
+            raise CacheIntegrityError(path, "checksum mismatch")
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError,
+                MemoryError) as exc:
+            raise CacheIntegrityError(
+                path, f"undecodable payload: {type(exc).__name__}") from exc
+
+    def _quarantine(self, kind: str, path: Path) -> None:
+        """Move a corrupt entry aside (post-mortem) instead of deleting.
+
+        Quarantined entries use the ``.bad`` suffix so the ``*/*.pkl``
+        entry glob — and therefore eviction and size accounting — never
+        sees them again.
+        """
+        target = self.root / "quarantine" / f"{kind}-{path.stem}.bad"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self.stats.record(kind, "quarantined")
+        _faults.recovered("cache.put", "quarantine")
+
     # -- core operations ------------------------------------------------
     def get(self, kind: str, key: str) -> Tuple[bool, Any]:
         """Look up one artifact; returns ``(hit, value)``."""
@@ -234,20 +294,16 @@ class ArtifactCache:
             return False, None
         path = self.path_for(kind, key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
+            value = self._load_verified(path)
         except FileNotFoundError:
             self.stats.record(kind, "misses")
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError, TypeError,
-                MemoryError):
-            # A truncated or stale-format entry must fall back to
-            # recompute, never crash the experiment.
+        except (OSError, CacheIntegrityError):
+            # A damaged entry must fall back to recompute, never crash
+            # the experiment; quarantine it for inspection.
             self.stats.record(kind, "corrupt")
             self.stats.record(kind, "misses")
-            with contextlib.suppress(OSError):
-                path.unlink()
+            self._quarantine(kind, path)
             return False, None
         self.stats.record(kind, "hits")
         with contextlib.suppress(OSError):      # LRU recency bump
@@ -260,7 +316,8 @@ class ArtifactCache:
             return
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self._frame(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
         fd, temp_name = tempfile.mkstemp(dir=str(path.parent),
                                          prefix=".tmp-", suffix=".pkl")
         try:
@@ -272,7 +329,25 @@ class ArtifactCache:
                 os.unlink(temp_name)
             return                               # cache is best-effort
         self.stats.record(kind, "stores")
+        self._maybe_inject_corruption(kind, key, path)
         self._evict_to_fit(protect=path)
+
+    def _maybe_inject_corruption(self, kind: str, key: str,
+                                 path: Path) -> None:
+        """Chaos hook: flip one stored bit so the next read must recover."""
+        injector = _faults.get()
+        if injector is None:
+            return
+        event = injector.fire("cache.flip_byte", key=f"{kind}/{key[:16]}")
+        if event is None:
+            return
+        rng = injector.rng_for(event)
+        try:
+            raw = bytearray(path.read_bytes())
+            raw[rng.randrange(len(raw))] ^= 1 << rng.randrange(8)
+            path.write_bytes(bytes(raw))
+        except OSError:                          # pragma: no cover
+            pass
 
     def get_or_compute(self, kind: str, key: str,
                        compute: Callable[[], Any]) -> Any:

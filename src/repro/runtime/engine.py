@@ -12,6 +12,10 @@ engine runs a job list across cores with:
   the sweep completes and reports normally;
 * **per-job timeouts** — enforced inside the worker via ``SIGALRM`` on
   POSIX, so a runaway job cannot poison the pool;
+* **self-healing** — with ``retries > 0``, failed jobs are retried with
+  exponential backoff and a per-attempt timeout escalation; a job that
+  exhausts every attempt has its key *quarantined* so later sweeps
+  fail it fast instead of burning another timeout on a poisoned job;
 * **zero-overhead serial mode** — with ``workers <= 1`` jobs execute
   inline in the calling process (no pickling, no subprocesses), which is
   both the default and the reference path for determinism tests.
@@ -31,8 +35,10 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..errors import ConfigError, ReproError
+from ..faults import injection as faults
 from ..obs import context as obs
 
 try:                                            # not exported on Windows
@@ -41,9 +47,14 @@ except ImportError:  # pragma: no cover
     BrokenProcessPool = RuntimeError            # type: ignore[misc]
 
 ENV_WORKERS = "REPRO_WORKERS"
+ENV_RETRIES = "REPRO_RETRIES"
+
+#: error prefix marking a job that was never executed this sweep
+#: because its key was quarantined by an earlier exhausted retry cycle
+QUARANTINED_PREFIX = "quarantined:"
 
 
-class EngineError(RuntimeError):
+class EngineError(ReproError):
     """Raised by :func:`collect` when a sweep contains failed jobs."""
 
     def __init__(self, failures: List["JobResult"]):
@@ -86,6 +97,8 @@ class JobResult:
     #: records) taken around the job — present only when tracing is on
     metrics: Optional[Dict[str, Any]] = None
     trace: Optional[List[Dict[str, Any]]] = None
+    #: how many times the job actually ran (0 = quarantined, never ran)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -97,6 +110,8 @@ class JobResult:
             return "ok"
         if self.error.startswith("timed out"):
             return "timeout"
+        if self.error.startswith(QUARANTINED_PREFIX):
+            return "quarantined"
         return "error"
 
 
@@ -104,7 +119,7 @@ def _alarm_handler(signum, frame):  # pragma: no cover - exercised in workers
     raise JobTimeout()
 
 
-def _execute(job: Job, index: int) -> JobResult:
+def _execute(job: Job, index: int, attempt: int = 0) -> JobResult:
     """Run one job, wrapped in an observability capture when tracing.
 
     The capture isolates everything the job emits (counters, spans) in
@@ -113,10 +128,11 @@ def _execute(job: Job, index: int) -> JobResult:
     metrics identical for serial and parallel runs.
     """
     if not obs.enabled():
-        return _execute_plain(job, index)
+        return _execute_plain(job, index, attempt)
     with obs.capture() as cap:
-        with cap.tracer.span("engine.job", key=job.key) as span:
-            result = _execute_plain(job, index)
+        with cap.tracer.span("engine.job", key=job.key,
+                             attempt=attempt) as span:
+            result = _execute_plain(job, index, attempt)
             span.set(outcome=result.outcome)
         cap.registry.counter("engine.jobs", outcome=result.outcome).inc()
     result.metrics = cap.metrics
@@ -124,8 +140,18 @@ def _execute(job: Job, index: int) -> JobResult:
     return result
 
 
-def _execute_plain(job: Job, index: int) -> JobResult:
+def _execute_plain(job: Job, index: int, attempt: int = 0) -> JobResult:
     """Run one job in the current process, capturing failure as data."""
+    faults.ensure_worker()
+    injector = faults.get()
+    delay_event = kill_event = None
+    if injector is not None:
+        # Keyed by (job.key, attempt) so the decision is identical no
+        # matter which worker runs the job, and each retry gets a fresh
+        # draw — a killed job is not killed forever.
+        fault_key = f"{job.key}@{attempt}"
+        delay_event = injector.fire("job.delay", key=fault_key)
+        kill_event = injector.fire("job.kill", key=fault_key)
     start = time.perf_counter()
     use_alarm = (job.timeout is not None and job.timeout > 0
                  and hasattr(signal, "SIGALRM"))
@@ -134,6 +160,12 @@ def _execute_plain(job: Job, index: int) -> JobResult:
         previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, job.timeout)
     try:
+        if delay_event is not None:
+            # Inside the alarm window so an injected stall can trip the
+            # per-job timeout and exercise the escalation path.
+            time.sleep(injector.rng_for(delay_event).uniform(0.01, 0.05))
+        if kill_event is not None:
+            faults.FaultInjector.raise_fault(kill_event)
         value = job.fn(*job.args, **job.kwargs)
         return JobResult(key=job.key, index=index, value=value,
                          seconds=time.perf_counter() - start)
@@ -154,9 +186,9 @@ def _execute_plain(job: Job, index: int) -> JobResult:
             signal.signal(signal.SIGALRM, previous_handler)
 
 
-def _worker_entry(job: Job, index: int) -> JobResult:
+def _worker_entry(job: Job, index: int, attempt: int = 0) -> JobResult:
     """Top-level pool entry point (must be picklable by reference)."""
-    return _execute(job, index)
+    return _execute(job, index, attempt)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -174,16 +206,50 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Retry-count policy: explicit > ``REPRO_RETRIES`` > none."""
+    if retries is None:
+        raw = os.environ.get(ENV_RETRIES, "").strip()
+        retries = int(raw) if raw else 0
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
 class ExperimentEngine:
-    """Runs job lists serially or across a process pool."""
+    """Runs job lists serially or across a process pool.
+
+    With ``retries > 0`` the engine self-heals: failed jobs are re-run
+    up to ``retries`` more times with exponential ``backoff`` sleeps and
+    a per-attempt ``timeout_escalation`` multiplier on the job timeout
+    (so a job that merely stalled gets more headroom).  A job key that
+    fails every attempt is added to :attr:`quarantine`; later sweeps
+    through the same engine fail such jobs fast without executing them.
+    ``retries=0`` (the default) is byte-identical to the legacy path.
+    """
 
     def __init__(self, workers: Optional[int] = None,
-                 job_timeout: Optional[float] = None):
+                 job_timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 backoff: float = 0.05,
+                 timeout_escalation: float = 2.0):
         self.workers = resolve_workers(workers)
         #: default per-job timeout applied when a job doesn't set one
         self.job_timeout = job_timeout
+        self.retries = resolve_retries(retries)
+        if backoff < 0:
+            raise ConfigError(f"backoff must be >= 0, got {backoff}")
+        if timeout_escalation < 1.0:
+            raise ConfigError(
+                f"timeout_escalation must be >= 1, got {timeout_escalation}")
+        self.backoff = backoff
+        self.timeout_escalation = timeout_escalation
+        #: job keys that exhausted every retry — poisoned, skip them
+        self.quarantine: Set[str] = set()
         self.jobs_run = 0
         self.failures = 0
+        self.retries_performed = 0
+        self.jobs_quarantined = 0
 
     @property
     def parallel(self) -> bool:
@@ -200,11 +266,21 @@ class ExperimentEngine:
                              workers=self.workers)
                     if tracing else contextlib.nullcontext())
         with run_span:
-            if not self.parallel or len(jobs) == 1:
-                results = [_execute(job, index)
-                           for index, job in enumerate(jobs)]
-            else:
-                results = self._run_pool(jobs)
+            slots: List[Optional[JobResult]] = [None] * len(jobs)
+            pairs: List[Tuple[int, Job]] = []
+            for index, job in enumerate(jobs):
+                if self.retries > 0 and job.key in self.quarantine:
+                    slots[index] = JobResult(
+                        key=job.key, index=index, attempts=0,
+                        error=f"{QUARANTINED_PREFIX} key poisoned by an "
+                              f"earlier sweep; not executed")
+                else:
+                    pairs.append((index, job))
+            for result in self._run_some(pairs, attempt=0):
+                slots[result.index] = result
+            results = [r for r in slots if r is not None]
+            if self.retries > 0:
+                self._heal(jobs, results)
             if tracing:
                 self._merge_observability(results)
         self.jobs_run += len(results)
@@ -243,16 +319,70 @@ class ExperimentEngine:
                        kwargs=job.kwargs, timeout=self.job_timeout)
         return job
 
-    def _run_pool(self, jobs: Sequence[Job]) -> List[JobResult]:
-        results: List[Optional[JobResult]] = [None] * len(jobs)
-        max_workers = min(self.workers, len(jobs))
+    # -- self-healing --------------------------------------------------
+    def _heal(self, jobs: Sequence[Job],
+              results: List[JobResult]) -> None:
+        """Retry failed jobs in place; quarantine keys that never heal."""
+        for attempt in range(1, self.retries + 1):
+            failed = [r.index for r in results
+                      if not r.ok
+                      and not r.error.startswith(QUARANTINED_PREFIX)]
+            if not failed:
+                break
+            delay = self.backoff * (2 ** (attempt - 1))
+            if delay > 0:
+                time.sleep(min(delay, 2.0))
+            if obs.enabled():
+                obs.event("engine.retry", attempt=attempt,
+                          jobs=len(failed))
+            retry_pairs = [(index, self._escalate(jobs[index], attempt))
+                           for index in failed]
+            for result in self._run_some(retry_pairs, attempt):
+                result.attempts = attempt + 1
+                results[result.index] = result
+                self.retries_performed += 1
+                if obs.enabled():
+                    obs.get_registry().counter(
+                        "engine.retries", outcome=result.outcome).inc()
+        for result in results:
+            if not result.ok and \
+                    not result.error.startswith(QUARANTINED_PREFIX):
+                self.quarantine.add(result.key)
+                self.jobs_quarantined += 1
+                faults.recovered("engine.job", "quarantine")
+                if obs.enabled():
+                    obs.get_registry().counter("engine.quarantined").inc()
+
+    def _escalate(self, job: Job, attempt: int) -> Job:
+        """The same job with its timeout widened for retry ``attempt``."""
+        if job.timeout is None:
+            return job
+        factor = self.timeout_escalation ** attempt
+        return Job(key=job.key, fn=job.fn, args=job.args,
+                   kwargs=job.kwargs, timeout=job.timeout * factor)
+
+    # -- execution -----------------------------------------------------
+    def _run_some(self, pairs: Sequence[Tuple[int, Job]],
+                  attempt: int) -> List[JobResult]:
+        """Run (index, job) pairs; one result per pair, in pair order."""
+        if not pairs:
+            return []
+        if not self.parallel or len(pairs) == 1:
+            return [_execute(job, index, attempt) for index, job in pairs]
+        return self._run_pool(pairs, attempt)
+
+    def _run_pool(self, pairs: Sequence[Tuple[int, Job]],
+                  attempt: int = 0) -> List[JobResult]:
+        jobs_by_index = dict(pairs)
+        by_index: Dict[int, JobResult] = {}
+        max_workers = min(self.workers, len(pairs))
         pending: Dict[Any, int] = {}
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for index, job in enumerate(jobs):
+            for index, job in pairs:
                 try:
-                    future = pool.submit(_worker_entry, job, index)
+                    future = pool.submit(_worker_entry, job, index, attempt)
                 except (BrokenProcessPool, RuntimeError) as exc:
-                    results[index] = JobResult(
+                    by_index[index] = JobResult(
                         key=job.key, index=index,
                         error=f"pool broken at submit: {exc}")
                     continue
@@ -262,18 +392,18 @@ class ExperimentEngine:
                 for future in done:
                     index = pending.pop(future)
                     try:
-                        results[index] = future.result()
+                        by_index[index] = future.result()
                     except BrokenProcessPool as exc:
                         # A worker died hard (e.g. os._exit/segfault): the
                         # job it held is lost, the sweep is not.
-                        results[index] = JobResult(
-                            key=jobs[index].key, index=index,
+                        by_index[index] = JobResult(
+                            key=jobs_by_index[index].key, index=index,
                             error=f"worker process died: {exc}")
                     except Exception as exc:
-                        results[index] = JobResult(
-                            key=jobs[index].key, index=index,
+                        by_index[index] = JobResult(
+                            key=jobs_by_index[index].key, index=index,
                             error=f"{type(exc).__name__}: {exc}")
-        return [result for result in results if result is not None]
+        return [by_index[index] for index, _ in pairs]
 
 
 def collect(results: Sequence[JobResult]) -> List[Any]:

@@ -20,6 +20,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ConfigError
+
 
 class Severity(enum.IntEnum):
     """Finding severity; CI fails a build on any :attr:`ERROR`."""
@@ -130,7 +132,7 @@ def resolve_rules(selection: Optional[Sequence[str]]) -> Optional[frozenset]:
             matched = {rule_id for rule_id in RULES
                        if rule_id.startswith(token.upper())}
             if not matched:
-                raise ValueError(f"unknown rule selector {item!r}")
+                raise ConfigError(f"unknown rule selector {item!r}")
             chosen.update(matched)
     return frozenset(chosen)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import ConfigError
 from ..obs import context as obs
 from .cfg import recover_cfgs
 from .consistency import check_consistency
@@ -111,7 +112,7 @@ def _selected_passes(passes: Optional[Sequence[str]],
     if passes is not None:
         unknown = [name for name in passes if name not in PASSES_BY_NAME]
         if unknown:
-            raise ValueError(f"unknown verifier pass(es): {unknown}; "
+            raise ConfigError(f"unknown verifier pass(es): {unknown}; "
                              f"available: {sorted(PASSES_BY_NAME)}")
         factories = [PASSES_BY_NAME[name] for name in passes]
     selected = [factory() for factory in factories]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the frozen chaos corpus after an *intentional* change.
+
+The corpus pins exact statuses, exit codes, and fault-log digests for a
+fixed set of differential cases; any code change that legitimately moves
+migration points (new instructions, different translation order) shifts
+the digests.  Re-run this script, eyeball that every case is still
+``ok``, and commit the refreshed JSON alongside the behaviour change.
+
+Usage::
+
+    PYTHONPATH=src python tests/corpus/regenerate.py
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.fuzz import generate_cases, run_case
+from repro.faults.plan import default_plan
+from repro.runtime.cache import configure_cache
+
+FAULT_SEED = 7
+CASE_COUNT = 10
+CORPUS = Path(__file__).parent / "chaos-seed7.json"
+
+
+def main() -> int:
+    configure_cache(root=tempfile.mkdtemp(prefix="repro-corpus-"))
+    cases = generate_cases(FAULT_SEED, CASE_COUNT)
+    base = default_plan(FAULT_SEED).with_seed(FAULT_SEED)
+    expected = {}
+    for case in cases:
+        outcome = run_case(case, base)
+        if not outcome.ok:
+            print(f"REFUSING: {case.case_id} is {outcome.status} "
+                  f"({outcome.detail})", file=sys.stderr)
+            return 1
+        expected[case.case_id] = {
+            "status": outcome.status,
+            "native_exit": outcome.native_exit,
+            "chaos_exit": outcome.chaos_exit,
+            "fault_digest": outcome.fault_digest,
+        }
+        print(f"{case.case_id}: {outcome.status} "
+              f"exit={outcome.chaos_exit} faults={outcome.fault_counts}")
+    payload = {
+        "version": 1,
+        "fault_seed": FAULT_SEED,
+        "comment": ("Frozen chaos cases; regenerate with "
+                    "tests/corpus/regenerate.py after intentional "
+                    "behaviour changes."),
+        "cases": [case.to_dict() for case in cases],
+        "expected": expected,
+    }
+    CORPUS.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {CORPUS}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,162 @@
+"""Pins the exception taxonomy: every config/usage error is typed.
+
+Each case asserts both the specific type *and* backward compatibility —
+:class:`ConfigError` is catchable as the legacy :class:`ValueError`, and
+:class:`AttackError` as :class:`RuntimeError` — so converting a call
+site to the typed class can never break an existing caller.
+"""
+
+import pytest
+
+from repro.core.hipstr import HIPStRSystem
+from repro.core.relocation import PSRConfig
+from repro.compiler import compile_minic
+from repro.dbt.code_cache import CodeCache
+from repro.dbt.rat import ReturnAddressTable
+from repro.errors import (
+    AttackError,
+    CacheIntegrityError,
+    ConfigError,
+    FaultInjected,
+    MigrationError,
+    MigrationRollback,
+    ReproError,
+)
+from repro.faults.plan import FaultPlan
+from repro.machine.memory import Memory, Segment
+from repro.perf.branch import BranchPredictor
+from repro.perf.caches import Cache
+from repro.perf.cores import CacheConfig
+from repro.runtime.engine import EngineError, ExperimentEngine, \
+    resolve_retries
+from repro.staticcheck import verify_binary
+from repro.staticcheck.findings import resolve_rules
+
+
+def assert_config_error(info):
+    assert isinstance(info.value, ConfigError)
+    assert isinstance(info.value, ReproError)
+    assert isinstance(info.value, ValueError)   # legacy compatibility
+
+
+class TestConfigErrorSites:
+    def test_memory_overlapping_segments(self):
+        memory = Memory()
+        memory.map("a", 0x1000, 0x100)
+        with pytest.raises(ConfigError) as info:
+            memory.map("b", 0x1080, 0x100)
+        assert_config_error(info)
+
+    def test_memory_duplicate_segment_name(self):
+        memory = Memory()
+        memory.map("a", 0x1000, 0x100)
+        with pytest.raises(ConfigError) as info:
+            memory.map("a", 0x3000, 0x100)
+        assert_config_error(info)
+
+    def test_segment_data_length_mismatch(self):
+        with pytest.raises(ConfigError) as info:
+            Segment("x", 0, 0x10, data=bytearray(5))
+        assert_config_error(info)
+
+    def test_psr_config_bad_opt_level(self):
+        with pytest.raises(ConfigError) as info:
+            PSRConfig(opt_level=7)
+        assert_config_error(info)
+
+    def test_psr_config_bad_randomization_pages(self):
+        with pytest.raises(ConfigError) as info:
+            PSRConfig(randomization_pages=0)
+        assert_config_error(info)
+
+    def test_code_cache_non_positive_capacity(self):
+        with pytest.raises(ConfigError) as info:
+            CodeCache(base=0x100000, capacity=0)
+        assert_config_error(info)
+
+    def test_rat_non_positive_size(self):
+        with pytest.raises(ConfigError) as info:
+            ReturnAddressTable(size=0)
+        assert_config_error(info)
+
+    def test_cache_line_size_not_power_of_two(self):
+        with pytest.raises(ConfigError) as info:
+            Cache(CacheConfig(size=1024, line_size=48, associativity=2))
+        assert_config_error(info)
+
+    def test_branch_predictor_entries_not_power_of_two(self):
+        with pytest.raises(ConfigError) as info:
+            BranchPredictor(entries=100)
+        assert_config_error(info)
+
+    def test_unknown_verifier_pass(self):
+        binary = compile_minic("int main() { return 0; }")
+        with pytest.raises(ConfigError) as info:
+            verify_binary(binary, passes=("nonsense",))
+        assert_config_error(info)
+
+    def test_unknown_rule_selector(self):
+        with pytest.raises(ConfigError) as info:
+            resolve_rules(["ZZZ999"])
+        assert_config_error(info)
+
+    def test_hipstr_unknown_isa(self):
+        binary = compile_minic("int main() { return 0; }")
+        with pytest.raises(ConfigError) as info:
+            HIPStRSystem(binary, start_isa="mips")
+        assert_config_error(info)
+
+    def test_engine_bad_knobs(self):
+        for bad in (lambda: resolve_retries(-2),
+                    lambda: ExperimentEngine(workers=1, backoff=-1.0),
+                    lambda: ExperimentEngine(workers=1,
+                                             timeout_escalation=0.0)):
+            with pytest.raises(ConfigError) as info:
+                bad()
+            assert_config_error(info)
+
+    def test_fault_plan_bad_kind_and_rate(self):
+        with pytest.raises(ConfigError) as info:
+            FaultPlan(seed=0, rates={"no.such": 0.1})
+        assert_config_error(info)
+        with pytest.raises(ConfigError) as info:
+            FaultPlan(seed=0, rates={"job.kill": 2.0})
+        assert_config_error(info)
+
+
+class TestHierarchy:
+    def test_attack_error_is_repro_and_runtime_error(self):
+        error = AttackError("staging failed")
+        assert isinstance(error, ReproError)
+        assert isinstance(error, RuntimeError)
+
+    def test_engine_error_is_repro_error(self):
+        assert issubclass(EngineError, ReproError)
+
+    def test_migration_rollback_is_migration_error(self):
+        error = MigrationRollback("rolled back", cause="FaultInjected",
+                                  kind="ret")
+        assert isinstance(error, MigrationError)
+        assert isinstance(error, ReproError)
+        assert error.cause == "FaultInjected"
+        assert error.kind == "ret"
+
+    def test_fault_injected_carries_provenance(self):
+        error = FaultInjected("engine.job", "job.kill", 3)
+        assert isinstance(error, ReproError)
+        assert (error.site, error.kind, error.ordinal) == \
+            ("engine.job", "job.kill", 3)
+
+    def test_cache_integrity_error_carries_path(self):
+        error = CacheIntegrityError("/tmp/x.pkl", "checksum mismatch")
+        assert isinstance(error, ReproError)
+        assert error.detail == "checksum mismatch"
+
+    def test_legacy_value_error_handlers_still_catch(self):
+        # The exact pattern legacy callers rely on.
+        with pytest.raises(ValueError):
+            PSRConfig(opt_level=9)
+        memory = Memory()
+        memory.map("a", 0x1000, 0x10)
+        with pytest.raises(ValueError):
+            memory.map("a", 0x2000, 0x10)

@@ -1,0 +1,453 @@
+"""Unit and subsystem tests for the deterministic fault-injection layer.
+
+Covers the plan/injector mechanics and, for every fault kind in the
+catalog, the end-to-end recovery path it is matched with:
+
+* ``cache.flip_byte``   → checksum-verify, quarantine, recompute
+* ``job.kill``/``job.delay`` → retry with backoff, then quarantine
+* ``stack.corrupt_word``/``transform.raise`` → checkpoint/rollback
+* ``migration.drop``    → re-queue on the source ISA
+* ``decode.flush``      → transparent re-decode
+"""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import run_native
+from repro.core.hipstr import HIPStRSystem, run_under_hipstr
+from repro.core.psr import MigrationRequested
+from repro.errors import (
+    ConfigError,
+    FaultInjected,
+    MigrationRollback,
+    ReproError,
+)
+from repro.faults import (
+    DEFAULT_RATES,
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    default_plan,
+    injection,
+)
+from repro.obs import context as obs_context
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.engine import ExperimentEngine, Job, resolve_retries
+
+
+SOURCE = """
+int leaf(int a) { return a + 7; }
+int mid(int a, int b) {
+    int r;
+    if (a > b) { r = leaf(a); } else { r = leaf(b); }
+    return r * 2;
+}
+int main() {
+    int i; int total;
+    total = 0; i = 0;
+    while (i < 8) {
+        total = total + mid(i, 3);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_minic(SOURCE)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Injection state is process-global; never let it leak across tests."""
+    yield
+    injection.uninstall()
+
+
+def plan_only(kind, rate=1.0, seed=0, limit=None):
+    return FaultPlan(seed=seed, rates={kind: rate}, limit=limit)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_default_plan_covers_every_kind(self):
+        plan = default_plan(0)
+        assert set(plan.rates) == set(FAULT_KINDS)
+        assert plan.rates == DEFAULT_RATES
+
+    def test_every_kind_has_a_site(self):
+        for kind in FAULT_KINDS:
+            assert FAULT_SITES[kind]
+
+    def test_unknown_kind_is_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, rates={"cosmic.ray": 0.5})
+
+    def test_out_of_range_rate_is_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, rates={"job.kill": 1.5})
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, rates={"job.kill": -0.1})
+
+    def test_spec_round_trip(self):
+        plan = FaultPlan(seed=42, rates={"job.kill": 0.25,
+                                         "cache.flip_byte": 1.0}, limit=3)
+        again = FaultPlan.from_spec(plan.to_spec())
+        assert again == plan
+
+    def test_malformed_spec_is_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec("seed=1;garbage")
+
+    def test_scaled_clamps_to_one(self):
+        plan = FaultPlan(seed=0, rates={"job.kill": 0.4}).scaled(10.0)
+        assert plan.rates["job.kill"] == 1.0
+
+    def test_with_seed_keeps_rates(self):
+        plan = default_plan(1).with_seed(99)
+        assert plan.seed == 99
+        assert plan.rates == DEFAULT_RATES
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(plan_only("job.kill", 0.0))
+        assert all(injector.fire("job.kill", key=f"j{i}") is None
+                   for i in range(50))
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(plan_only("job.kill", 1.0))
+        events = [injector.fire("job.kill", key="j") for _ in range(5)]
+        assert all(event is not None for event in events)
+        assert [event.ordinal for event in events] == [0, 1, 2, 3, 4]
+
+    def test_same_seed_same_decisions(self):
+        def log_for(seed):
+            injector = FaultInjector(plan_only("job.kill", 0.5, seed=seed))
+            for i in range(40):
+                injector.fire("job.kill", key=f"j{i % 7}")
+            return [event.render() for event in injector.log]
+
+        assert log_for(3) == log_for(3)
+        assert log_for(3) != log_for(4)   # and the seed actually matters
+
+    def test_decisions_are_independent_of_other_sites(self):
+        # Interleaving fires at *other* sites must not perturb decisions:
+        # each (site, kind, key, ordinal) tuple draws its own stream.
+        lone = FaultInjector(plan_only("job.kill", 0.5, seed=7))
+        lone_log = [lone.fire("job.kill", key="x") for _ in range(20)]
+
+        noisy = FaultInjector(FaultPlan(
+            seed=7, rates={"job.kill": 0.5, "cache.flip_byte": 0.5}))
+        noisy_log = []
+        for i in range(20):
+            noisy.fire("cache.flip_byte", key=f"noise{i}")
+            noisy_log.append(noisy.fire("job.kill", key="x"))
+        assert ([e and e.ordinal for e in lone_log]
+                == [e and e.ordinal for e in noisy_log])
+
+    def test_limit_caps_total_fires(self):
+        injector = FaultInjector(plan_only("job.kill", 1.0, limit=3))
+        fired = [injector.fire("job.kill", key="j") for _ in range(10)]
+        assert sum(event is not None for event in fired) == 3
+
+    def test_rng_for_is_deterministic(self):
+        injector = FaultInjector(plan_only("cache.flip_byte", 1.0))
+        event = injector.fire("cache.flip_byte", key="k")
+        a = injector.rng_for(event).random()
+        b = injector.rng_for(event).random()
+        assert a == b
+
+    def test_raise_fault_is_typed(self):
+        injector = FaultInjector(plan_only("job.kill", 1.0))
+        event = injector.fire("job.kill", key="j")
+        with pytest.raises(FaultInjected) as info:
+            FaultInjector.raise_fault(event)
+        assert isinstance(info.value, ReproError)
+        assert info.value.kind == "job.kill"
+        assert info.value.site == "engine.job"
+
+    def test_log_digest_tracks_log(self):
+        one = FaultInjector(plan_only("job.kill", 1.0))
+        two = FaultInjector(plan_only("job.kill", 1.0))
+        one.fire("job.kill", key="j")
+        assert one.log_digest() != two.log_digest()
+        two.fire("job.kill", key="j")
+        assert one.log_digest() == two.log_digest()
+
+    def test_install_and_env_round_trip(self):
+        plan = plan_only("job.kill", 0.5, seed=11)
+        assert injection.get() is None
+        with injection.injected(plan) as injector:
+            assert injection.get() is injector
+            import os
+            spec = os.environ[injection.ENV_FAULTS]
+            assert FaultPlan.from_spec(spec) == plan
+        assert injection.get() is None
+
+
+# ----------------------------------------------------------------------
+# cache.flip_byte → quarantine → recompute
+# ----------------------------------------------------------------------
+class TestCacheRecovery:
+    def test_flip_is_detected_quarantined_and_recomputed(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        injection.install(plan_only("cache.flip_byte", 1.0))
+        cache.put("unit", "k1", {"payload": list(range(64))})
+
+        hit, value = cache.get("unit", "k1")
+        assert not hit and value is None
+        stats = cache.stats.kind("unit")
+        assert stats["corrupt"] == 1
+        assert stats["quarantined"] == 1
+        # quarantined entries move aside (post-mortem) and leave the
+        # entry namespace, so size accounting never sees them again
+        bad = list((tmp_path / "quarantine").glob("unit-*.bad"))
+        assert len(bad) == 1
+        assert cache.entry_count() == 0
+
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"payload": "fresh"}
+
+        assert cache.get_or_compute("unit", "k1", compute) == \
+            {"payload": "fresh"}
+        assert calls == [1]
+
+    def test_no_injector_round_trips_cleanly(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put("unit", "k1", b"x" * 100)
+        hit, value = cache.get("unit", "k1")
+        assert hit and value == b"x" * 100
+        assert cache.stats.corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# job.kill / job.delay → retry, backoff, quarantine
+# ----------------------------------------------------------------------
+def _ok_job(x):
+    return x * 2
+
+
+class TestEngineRecovery:
+    def test_kill_every_attempt_quarantines(self):
+        injection.uninstall()
+        with injection.injected(plan_only("job.kill", 1.0)):
+            engine = ExperimentEngine(workers=1, retries=2, backoff=0.0)
+            results = engine.run([Job(key="victim", fn=_ok_job, args=(3,))])
+        result = results[0]
+        assert not result.ok
+        # this run reports the real error; the *key* is now poisoned so
+        # future runs fail it fast with outcome "quarantined"
+        assert "FaultInjected" in result.error
+        assert result.attempts == 3            # initial + 2 retries
+        assert "victim" in engine.quarantine
+        assert engine.jobs_quarantined == 1
+
+    def test_quarantined_key_fails_fast_next_run(self):
+        with injection.injected(plan_only("job.kill", 1.0)):
+            engine = ExperimentEngine(workers=1, retries=1, backoff=0.0)
+            engine.run([Job(key="victim", fn=_ok_job, args=(3,))])
+        # Faults off now: the key is still poisoned, so the engine never
+        # re-executes it (attempts == 0 marks the fail-fast path).
+        results = engine.run([Job(key="victim", fn=_ok_job, args=(3,)),
+                              Job(key="fine", fn=_ok_job, args=(4,))])
+        assert results[0].outcome == "quarantined"
+        assert results[0].attempts == 0
+        assert results[1].ok and results[1].value == 8
+
+    def test_retry_heals_transient_kills(self):
+        # Rate 0.5: with 4 attempts per job, most jobs heal.  The keyed
+        # decision includes the attempt number, so a killed attempt does
+        # not condemn the key forever.
+        with injection.injected(plan_only("job.kill", 0.5, seed=5)):
+            engine = ExperimentEngine(workers=1, retries=3, backoff=0.0)
+            results = engine.run([Job(key=f"j{i}", fn=_ok_job, args=(i,))
+                                  for i in range(10)])
+        healed = [r for r in results if r.ok and r.attempts > 1]
+        assert healed, "at least one job must fail then heal on retry"
+        assert engine.retries_performed > 0
+        for result in results:
+            if result.ok:
+                assert result.value == int(result.key[1:]) * 2
+
+    def test_serial_and_parallel_agree_under_faults(self):
+        def outcomes(workers):
+            with injection.injected(plan_only("job.kill", 0.5, seed=5)):
+                engine = ExperimentEngine(workers=workers, retries=3,
+                                          backoff=0.0)
+                results = engine.run([Job(key=f"j{i}", fn=_ok_job,
+                                          args=(i,)) for i in range(10)])
+            return [(r.key, r.ok, r.attempts, r.value) for r in results]
+
+        assert outcomes(1) == outcomes(4)
+
+    def test_delay_faults_do_not_change_results(self):
+        with injection.injected(plan_only("job.delay", 1.0)):
+            engine = ExperimentEngine(workers=1, retries=0)
+            results = engine.run([Job(key=f"j{i}", fn=_ok_job, args=(i,))
+                                  for i in range(3)])
+        assert [r.value for r in results] == [0, 2, 4]
+
+    def test_zero_retries_is_legacy_behaviour(self):
+        with injection.injected(plan_only("job.kill", 1.0)):
+            engine = ExperimentEngine(workers=1, retries=0)
+            results = engine.run([Job(key="victim", fn=_ok_job, args=(1,))])
+        assert not results[0].ok
+        assert results[0].outcome == "error"   # no quarantine, no retry
+        assert engine.quarantine == set()
+
+    def test_bad_retry_config_is_config_error(self):
+        with pytest.raises(ConfigError):
+            resolve_retries(-1)
+        with pytest.raises(ConfigError):
+            ExperimentEngine(workers=1, backoff=-0.5)
+        with pytest.raises(ConfigError):
+            ExperimentEngine(workers=1, timeout_escalation=0.5)
+
+
+# ----------------------------------------------------------------------
+# stack.corrupt_word / transform.raise → checkpoint + rollback
+# ----------------------------------------------------------------------
+class TestMigrationRollback:
+    def _drive_to_migration(self, binary):
+        """A HIPStR system stopped at its first migration request."""
+        system = HIPStRSystem(binary, seed=1, migration_probability=1.0)
+        interpreter = system.active_interpreter
+        try:
+            interpreter.run(1_000_000)
+        except MigrationRequested as request:
+            return system, interpreter, request
+        pytest.fail("program never requested a migration")
+
+    def _snapshot(self, system, interpreter):
+        stack = system.process.memory.segment("stack")
+        return (interpreter.cpu.copy(),
+                bytes(system.process.memory.read_bytes(stack.base,
+                                                       stack.size)))
+
+    def test_rollback_restores_state_exactly(self, binary):
+        system, interpreter, request = self._drive_to_migration(binary)
+        cpu_before, stack_before = self._snapshot(system, interpreter)
+
+        injection.install(plan_only("transform.raise", 1.0))
+        with pytest.raises(MigrationRollback) as info:
+            system.engine.migrate("x86like", "armlike", interpreter.cpu,
+                                  system.process.memory,
+                                  request.native_target, request.kind)
+        assert info.value.cause == "FaultInjected"
+        assert system.engine.rollback_count == 1
+
+        cpu_after, stack_after = self._snapshot(system, interpreter)
+        assert stack_after == stack_before
+        assert list(cpu_after.regs) == list(cpu_before.regs)
+        assert cpu_after.pc == cpu_before.pc
+        assert cpu_after.cmp_value == cpu_before.cmp_value
+
+    def test_corrupt_word_is_scribbled_then_restored(self, binary):
+        # The stack.corrupt_word hook really flips a word before raising;
+        # byte-identical stack afterwards proves rollback undid it.
+        system, interpreter, request = self._drive_to_migration(binary)
+        _, stack_before = self._snapshot(system, interpreter)
+
+        injector = injection.install(plan_only("stack.corrupt_word", 1.0))
+        with pytest.raises(MigrationRollback):
+            system.engine.migrate("x86like", "armlike", interpreter.cpu,
+                                  system.process.memory,
+                                  request.native_target, request.kind)
+        assert injector.counts.get("stack.corrupt_word") == 1
+        _, stack_after = self._snapshot(system, interpreter)
+        assert stack_after == stack_before
+
+    def test_end_to_end_rollbacks_preserve_semantics(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        injection.install(FaultPlan(
+            seed=3, rates={"transform.raise": 0.5}))
+        system, result = run_under_hipstr(binary, seed=1,
+                                          migration_probability=1.0)
+        assert result.result.reason == "halt"
+        assert result.exit_code == want
+        assert result.rollbacks >= 1
+
+    def test_all_migrations_failing_still_completes(self, binary):
+        # Every single migration attempt rolls back; the process must
+        # finish entirely on the source ISA with the right answer.
+        want = run_native(binary, "x86like").os.exit_code
+        injection.install(plan_only("transform.raise", 1.0))
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        assert result.exit_code == want
+        assert result.migration_count == 0
+        assert result.rollbacks >= 1
+        assert result.steps_by_isa["armlike"] == 0
+
+
+# ----------------------------------------------------------------------
+# migration.drop → re-queue on the source ISA
+# ----------------------------------------------------------------------
+class TestMigrationDrop:
+    def test_dropped_requests_requeue_and_preserve_semantics(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        injection.install(plan_only("migration.drop", 1.0))
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        assert result.exit_code == want
+        assert result.migration_count == 0
+        assert result.dropped_migrations >= 1
+
+    def test_partial_drops_still_migrate_sometimes(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        injection.install(FaultPlan(seed=2,
+                                    rates={"migration.drop": 0.5}))
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        assert result.exit_code == want
+        assert result.dropped_migrations >= 1
+        assert result.migration_count >= 1
+
+
+# ----------------------------------------------------------------------
+# decode.flush → transparent re-decode
+# ----------------------------------------------------------------------
+class TestDecodeFlush:
+    def test_flushes_fire_and_execution_is_unchanged(self, binary):
+        want = run_native(binary, "x86like").os.exit_code
+        injector = injection.install(plan_only("decode.flush", 1.0))
+        process = run_native(binary, "x86like")
+        assert process.os.exit_code == want
+        assert injector.counts.get("decode.flush", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Observability cross-check: injected vs recovered
+# ----------------------------------------------------------------------
+class TestFaultObservability:
+    def test_injected_and_recovered_counters(self, binary):
+        obs_context.enable()
+        injection.install(FaultPlan(
+            seed=3, rates={"transform.raise": 0.5,
+                           "migration.drop": 0.3}))
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        counters = obs_context.get_registry().snapshot()["counters"]
+        injected = {name: value for name, value in counters.items()
+                    if name.startswith("faults.injected")}
+        recovered = {name: value for name, value in counters.items()
+                     if name.startswith("faults.recovered")}
+        assert sum(injected.values()) >= 1
+        # every injected fault was matched by a recovery action
+        assert sum(recovered.values()) >= sum(injected.values())
+        if result.rollbacks:
+            rollbacks = [value for name, value in counters.items()
+                         if name.startswith("migration.rollbacks")]
+            assert sum(rollbacks) == result.rollbacks

@@ -1,0 +1,90 @@
+"""Chaos sweep across the full workload suite with observability on.
+
+Satellite requirement: at default fault rates every one of the nine
+workloads absorbs its injected faults (no divergence, no untyped crash),
+and every injected fault is visible in the observability counters — a
+fault that leaves no trace in ``faults.injected`` would be unauditable.
+"""
+
+import pytest
+
+from repro.faults import injection
+from repro.faults.fuzz import chaos_workloads
+from repro.obs import context as obs_context
+from repro.workloads.suite import WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    injection.uninstall()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    obs_context.reset()
+    obs_context.enable()
+    outcomes = chaos_workloads(3, rate_scale=1.0)
+    counters = obs_context.get_registry().snapshot()["counters"]
+    obs_context.reset()
+    return outcomes, counters
+
+
+class TestWorkloadChaosSweep:
+    def test_covers_all_nine_workloads(self, sweep):
+        outcomes, _ = sweep
+        assert len(WORKLOADS) == 9
+        assert {o.case_id for o in outcomes} == \
+            {f"wl-{name}" for name in WORKLOADS}
+
+    def test_no_silent_divergence(self, sweep):
+        outcomes, _ = sweep
+        for outcome in outcomes:
+            assert outcome.ok, \
+                f"{outcome.case_id}: {outcome.status} ({outcome.detail})"
+            assert outcome.status != "divergence"
+            assert not outcome.status.startswith("crash:")
+
+    def test_faults_actually_fired(self, sweep):
+        # A sweep that injects nothing proves nothing: at default rates
+        # across nine workloads several kinds must fire many times.
+        outcomes, _ = sweep
+        total = sum(sum(o.fault_counts.values()) for o in outcomes)
+        assert total >= 20
+        kinds = set()
+        for outcome in outcomes:
+            kinds.update(outcome.fault_counts)
+        assert {"migration.drop", "transform.raise",
+                "decode.flush"} <= kinds
+
+    def test_every_injected_fault_visible_in_obs(self, sweep):
+        outcomes, counters = sweep
+        injected = {name: value for name, value in counters.items()
+                    if name.startswith("faults.injected")}
+        # per-(site, kind) obs totals must equal the per-case fault logs
+        assert sum(injected.values()) == \
+            sum(sum(o.fault_counts.values()) for o in outcomes)
+        by_kind = {}
+        for outcome in outcomes:
+            for kind, count in outcome.fault_counts.items():
+                by_kind[kind] = by_kind.get(kind, 0) + count
+        from repro.obs.metrics import parse_series
+        for name, value in injected.items():
+            _, labels = parse_series(name)
+            assert by_kind.get(labels["kind"], 0) >= value
+
+    def test_recoveries_match_absorbed_faults(self, sweep):
+        outcomes, counters = sweep
+        recovered = sum(value for name, value in counters.items()
+                        if name.startswith("faults.recovered"))
+        rollbacks = sum(o.rollbacks for o in outcomes)
+        dropped = sum(o.dropped for o in outcomes)
+        # every rollback and every dropped request shows up as a
+        # recovery, plus one recovery per decode flush
+        assert recovered >= rollbacks + dropped
+        assert rollbacks + dropped >= 1
+
+    def test_sweep_is_deterministic(self):
+        one = chaos_workloads(5, names=["mcf", "httpd"])
+        two = chaos_workloads(5, names=["mcf", "httpd"])
+        assert [o.to_dict() for o in one] == [o.to_dict() for o in two]

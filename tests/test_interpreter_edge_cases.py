@@ -243,3 +243,103 @@ class TestMemoryManagement:
         memory.map("a", 0x1000, 0x100)
         bases = [segment.base for segment in memory.segments()]
         assert bases == sorted(bases)
+
+
+class TestDecodeFlushFault:
+    """Chaos decode flushes: transparent, and equivalent to SMC paths."""
+
+    def _countdown_machine(self, iterations=200):
+        from repro.isa import Cond, Label
+        asm = Assembler(X86LIKE)
+        asm.emit(Instruction(Op.MOV, (Reg(0), Imm(0))))
+        asm.emit(Instruction(Op.MOV, (Reg(1), Imm(iterations))))
+        asm.label("loop")
+        asm.emit(Instruction(Op.ADD, (Reg(0), Reg(1))))
+        asm.emit(Instruction(Op.SUB, (Reg(1), Imm(1))))
+        asm.emit(Instruction(Op.CMP, (Reg(1), Imm(0))))
+        asm.emit(Instruction(Op.JCC, (Label("loop"),), cond=Cond.GT))
+        asm.emit(Instruction(Op.HLT))
+        unit = asm.assemble(0x1000)
+        memory = Memory()
+        # writable + executable, so the test can patch code in place
+        memory.map("code", 0x1000, max(len(unit.data), 64), writable=True,
+                   executable=True, data=unit.data)
+        memory.map("stack", 0x8000, 0x1000)
+        cpu = CPUState(X86LIKE, pc=0x1000)
+        cpu.sp = 0x8800
+        add_address = 0x1000 \
+            + len(X86LIKE.encode(Instruction(Op.MOV, (Reg(0), Imm(0))),
+                                 0x1000)) \
+            + len(X86LIKE.encode(
+                Instruction(Op.MOV, (Reg(1), Imm(200))), 0x1000))
+        return Interpreter(cpu, memory, OperatingSystem()), add_address
+
+    def test_flush_is_transparent(self):
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+        interp, _ = self._countdown_machine()
+        want = None
+        try:
+            clean, _ = self._countdown_machine()
+            assert clean.run(10_000).reason == "halt"
+            want = clean.cpu.get(0)
+
+            injector = injection.install(
+                FaultPlan(seed=0, rates={"decode.flush": 1.0}))
+            assert interp.run(10_000).reason == "halt"
+            assert interp.cpu.get(0) == want == 20100   # sum 1..200
+            # the loop runs ~800 steps; the 256-step cadence fired thrice
+            assert injector.counts["decode.flush"] == 3
+        finally:
+            injection.uninstall()
+
+    def test_flush_drops_stale_decode_like_smc_invalidate(self):
+        """A chaos flush must reach the same state explicit SMC
+        invalidation does: code patched right after a flush boundary
+        takes effect with *no* invalidate call."""
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+        interp, add_address = self._countdown_machine()
+        patch = X86LIKE.encode(Instruction(Op.SUB, (Reg(0), Reg(1))),
+                               add_address)
+        original = X86LIKE.encode(Instruction(Op.ADD, (Reg(0), Reg(1))),
+                                  add_address)
+        assert len(patch) == len(original)     # in-place patch only
+        try:
+            injection.install(
+                FaultPlan(seed=0, rates={"decode.flush": 1.0}))
+            # stop exactly on the flush cadence: the cache is now empty
+            assert interp.run(256).reason == "limit"
+            interp.memory.write_bytes(add_address, patch)
+            assert interp.run(10_000).reason == "halt"
+            patched_result = interp.cpu.get(0)
+        finally:
+            injection.uninstall()
+        assert patched_result != 20100         # the patch took effect
+
+        # Control: without the chaos flush the stale ADD decode persists
+        # and the patch is never seen (the documented SMC hazard).
+        stale, address = self._countdown_machine()
+        assert stale.run(256).reason == "limit"
+        stale.memory.write_bytes(address, patch)
+        assert stale.run(10_000).reason == "halt"
+        assert stale.cpu.get(0) == 20100
+
+    def test_flush_then_recovery_counter(self):
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+        from repro.obs import context as obs_context
+        interp, _ = self._countdown_machine()
+        try:
+            obs_context.enable()
+            injection.install(
+                FaultPlan(seed=0, rates={"decode.flush": 1.0}))
+            interp.run(10_000)
+            counters = obs_context.get_registry().snapshot()["counters"]
+            redecodes = [value for name, value in counters.items()
+                         if name.startswith("faults.recovered")
+                         and "redecode" in name]
+            assert sum(redecodes) == 3
+        finally:
+            injection.uninstall()
+            obs_context.reset()

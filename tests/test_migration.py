@@ -220,3 +220,71 @@ class TestHIPStRSystem:
         assert first.exit_code == second.exit_code
         assert first.migration_count == second.migration_count
         assert first.steps_by_isa == second.steps_by_isa
+
+
+class TestMigrationHistoryBounds:
+    """The engine keeps a *bounded* history window but exact totals."""
+
+    def test_default_history_is_bounded(self, binary):
+        from repro.migration.engine import DEFAULT_HISTORY_LIMIT
+        system = HIPStRSystem(binary, seed=1, migration_probability=1.0)
+        assert system.engine.history.maxlen == DEFAULT_HISTORY_LIMIT
+
+    def test_totals_survive_history_eviction(self, binary):
+        from collections import deque
+        system = HIPStRSystem(binary, seed=1, migration_probability=1.0)
+        system.engine.history = deque(maxlen=2)
+        result = system.run(1_000_000)
+        assert result.result.reason == "halt"
+        total = system.engine.migration_count
+        assert total > 2                     # window really overflowed
+        assert len(system.engine.history) == 2
+        # the running statistics are kept outside the window
+        assert sum(system.engine.count_by_direction().values()) == total
+        # and the result only exposes the retained window
+        assert result.migration_count == 2
+
+    def test_unbounded_history_keeps_everything(self, binary):
+        from collections import deque
+        system = HIPStRSystem(binary, seed=1, migration_probability=1.0)
+        system.engine.history = deque(maxlen=None)
+        result = system.run(1_000_000)
+        assert len(result.migrations) == system.engine.migration_count
+
+
+class TestMigrationRollbackBehaviour:
+    """Rolled-back migrations never pollute history or direction counts."""
+
+    def test_rollbacks_are_counted_but_not_recorded(self, binary):
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+        try:
+            injection.install(
+                FaultPlan(seed=0, rates={"transform.raise": 1.0}))
+            system, result = run_under_hipstr(binary, seed=1,
+                                              migration_probability=1.0)
+        finally:
+            injection.uninstall()
+        assert result.rollbacks >= 1
+        assert system.engine.rollback_count == result.rollbacks
+        assert system.engine.migration_count == 0
+        assert len(system.engine.history) == 0
+        assert system.engine.count_by_direction() == {}
+
+    def test_requeued_ret_makes_forward_progress(self, binary):
+        # A dropped ret-migration re-arms the popped return slot and
+        # suppresses exactly one security decision — so the run must
+        # both complete *and* still migrate on later requests.
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+        want = run_native(binary, "x86like").os.exit_code
+        try:
+            injection.install(
+                FaultPlan(seed=2, rates={"migration.drop": 0.5}))
+            _, result = run_under_hipstr(binary, seed=1,
+                                         migration_probability=1.0)
+        finally:
+            injection.uninstall()
+        assert result.exit_code == want
+        assert result.dropped_migrations >= 1
+        assert result.migration_count >= 1
