@@ -86,7 +86,8 @@ def fig3_classic_rop(benchmarks: Sequence[str] = SPEC_NAMES,
                      engine: Optional[ExperimentEngine] = None,
                      ) -> List[ClassicROPRow]:
     return _run_jobs(engine, [
-        Job(key=f"fig3:{name}", fn=_fig3_job, args=(name, seed))
+        Job(key=f"fig3:{name}", fn=_fig3_job, args=(name, seed),
+            workload=name)
         for name in benchmarks])
 
 
@@ -118,7 +119,8 @@ def fig4_bruteforce_surface(benchmarks: Sequence[str] = SPEC_NAMES,
                             engine: Optional[ExperimentEngine] = None,
                             ) -> List[BruteForceSurfaceRow]:
     return _run_jobs(engine, [
-        Job(key=f"fig4:{name}", fn=_fig4_job, args=(name, seed))
+        Job(key=f"fig4:{name}", fn=_fig4_job, args=(name, seed),
+            workload=name)
         for name in benchmarks])
 
 
@@ -135,7 +137,8 @@ def table2_bruteforce(benchmarks: Sequence[str] = SPEC_NAMES,
                       engine: Optional[ExperimentEngine] = None,
                       ) -> List[BruteForceComparison]:
     return _run_jobs(engine, [
-        Job(key=f"table2:{name}", fn=_table2_job, args=(name, seed))
+        Job(key=f"table2:{name}", fn=_table2_job, args=(name, seed),
+            workload=name)
         for name in benchmarks])
 
 
@@ -158,7 +161,8 @@ def fig5_jitrop(benchmarks: Sequence[str] = SPEC_NAMES,
                 ) -> List[JITROPSurface]:
     return _run_jobs(engine, [
         Job(key=f"fig5:{name}", fn=_fig5_job,
-            args=(name, seed, steady_state_instructions))
+            args=(name, seed, steady_state_instructions),
+            workload=name)
         for name in benchmarks])
 
 
@@ -193,7 +197,8 @@ def fig6_migration_safety(benchmarks: Sequence[str] = SPEC_NAMES,
                           engine: Optional[ExperimentEngine] = None,
                           ) -> List[MigrationSafetyRow]:
     return _run_jobs(engine, [
-        Job(key=f"fig6:{name}", fn=_fig6_job, args=(name,))
+        Job(key=f"fig6:{name}", fn=_fig6_job, args=(name,),
+            workload=name)
         for name in benchmarks])
 
 
@@ -225,7 +230,8 @@ def fig8_diversification(benchmarks: Sequence[str] = SPEC_NAMES,
     """Averaged surviving-gadget curves across the suite."""
     per_benchmark = _run_jobs(engine, [
         Job(key=f"fig8:{name}", fn=_fig8_job,
-            args=(name, seed, tuple(probabilities)))
+            args=(name, seed, tuple(probabilities)),
+            workload=name)
         for name in benchmarks])
     totals: Dict[str, List[float]] = {}
     for curves in per_benchmark:
@@ -268,7 +274,8 @@ def fig9_opt_levels(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                     engine: Optional[ExperimentEngine] = None,
                     ) -> List[OptLevelRow]:
     return _run_jobs(engine, [
-        Job(key=f"fig9:{name}", fn=_fig9_job, args=(name, seed, budget))
+        Job(key=f"fig9:{name}", fn=_fig9_job, args=(name, seed, budget),
+            workload=name)
         for name in benchmarks])
 
 
@@ -305,7 +312,8 @@ def fig10_stack_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                       ) -> List[StackSizeRow]:
     return _run_jobs(engine, [
         Job(key=f"fig10:{name}", fn=_fig10_job,
-            args=(name, seed, budget, tuple(pages)))
+            args=(name, seed, budget, tuple(pages)),
+            workload=name)
         for name in benchmarks])
 
 
@@ -342,7 +350,8 @@ def fig11_rat_sizes(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                     ) -> List[RATSizeRow]:
     return _run_jobs(engine, [
         Job(key=f"fig11:{name}", fn=_fig11_job,
-            args=(name, seed, budget, tuple(sizes)))
+            args=(name, seed, budget, tuple(sizes)),
+            workload=name)
         for name in benchmarks])
 
 
@@ -391,7 +400,8 @@ def fig12_migration_overhead(benchmarks: Sequence[str] = SPEC_NAMES,
     """Force migrations at random execution points; average the costs."""
     return _run_jobs(engine, [
         Job(key=f"fig12:{name}", fn=_fig12_job,
-            args=(name, seed, budget, checkpoints))
+            args=(name, seed, budget, checkpoints),
+            workload=name)
         for name in benchmarks])
 
 
@@ -433,7 +443,8 @@ def fig13_code_cache(benchmarks: Sequence[str] = SPEC_NAMES, seed: int = 0,
                      ) -> List[CodeCacheRow]:
     return _run_jobs(engine, [
         Job(key=f"fig13:{name}", fn=_fig13_job,
-            args=(name, seed, budget, tuple(sizes)))
+            args=(name, seed, budget, tuple(sizes)),
+            workload=name)
         for name in benchmarks])
 
 
@@ -483,7 +494,8 @@ def fig14_isomeron_comparison(
         ) -> List[IsomeronComparisonRow]:
     per_benchmark = _run_jobs(engine, [
         Job(key=f"fig14:{name}", fn=_fig14_job,
-            args=(name, tuple(probabilities), seed, budget))
+            args=(name, tuple(probabilities), seed, budget),
+            workload=name)
         for name in benchmarks])
     rows = []
     for probability in probabilities:

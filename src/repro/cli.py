@@ -39,6 +39,7 @@ from .attacks import gadget_population_summary, mine_binary
 from .compiler import compile_minic
 from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
+from .errors import JournalCorruptError, ResumeMismatchError, RunInterrupted
 from .isa import ISAS, linear_disassemble
 from .obs.report import render_report
 from .runtime import (
@@ -49,6 +50,7 @@ from .runtime import (
     write_bench_file,
 )
 from .runtime import artifacts as runtime_artifacts
+from .runtime import durable, supervisor
 from .workloads import WORKLOADS, compile_workload
 
 
@@ -142,9 +144,14 @@ def _exploit_demo_inline() -> int:
     return 0
 
 
+#: circuit breakers open after this many consecutive terminal failures
+#: of one workload (CLI default; ``--breaker 0`` disables)
+DEFAULT_BREAKER_THRESHOLD = 3
+
+
 def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
     """Apply the shared ``--workers``/``--no-cache``/``--cache-dir``/
-    ``--trace`` flags."""
+    ``--trace``/``--journal``/``--supervise``/``--breaker`` flags."""
     no_cache = getattr(args, "no_cache", False)
     cache_dir = getattr(args, "cache_dir", None)
     if no_cache or cache_dir:
@@ -156,7 +163,58 @@ def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
         os.environ[obs.ENV_TRACE] = str(trace_path)
         obs.enable()
     args.trace_path = trace_path
-    return ExperimentEngine(workers=getattr(args, "workers", None))
+
+    # per-workload circuit breaker (ambient; the engine reads it per run)
+    threshold = supervisor.resolve_breaker_threshold(
+        getattr(args, "breaker", None), default=DEFAULT_BREAKER_THRESHOLD)
+    if threshold > 0:
+        breaker = supervisor.CircuitBreaker(threshold)
+        state = durable.get_resume_state()
+        if state is not None and not getattr(args, "force", False):
+            breaker.preload(state.replay.breaker_open)
+        supervisor.set_current_breaker(breaker)
+    else:
+        supervisor.set_current_breaker(None)
+
+    # write-ahead run journal (skipped when `repro resume` already
+    # attached one before re-dispatching this command)
+    journal_dir = getattr(args, "journal", None) \
+        or os.environ.get(durable.ENV_JOURNAL)
+    if journal_dir and durable.get_current_journal() is None:
+        journal = durable.RunJournal.create(journal_dir,
+                                            argv=getattr(args, "argv", []))
+        durable.set_current_journal(journal)
+        print(f"[journal] run {journal.run_id} -> {journal.path}")
+    if durable.get_current_journal() is not None:
+        durable.install_sigterm_handler()
+    _recount_resume_faults()
+    return ExperimentEngine(
+        workers=getattr(args, "workers", None),
+        supervise=getattr(args, "supervise", None) or None)
+
+
+def _recount_resume_faults() -> None:
+    """Fold journaled engine-level faults back into the live counters.
+
+    The process that injected ``orchestrator.kill`` / ``worker.hang``
+    died with its in-memory metrics; the journal's ``fault_injected``
+    records are the durable copy.  Re-counting each (plus one matching
+    ``faults.recovered`` with ``action=resume``) keeps the chaos
+    invariant *injected == recovered + detected* balanced across the
+    crash boundary.
+    """
+    state = durable.get_resume_state()
+    if state is None or state.recounted or not obs.enabled():
+        return
+    state.recounted = True
+    registry = obs.get_registry()
+    for record in state.replay.fault_records:
+        registry.counter("faults.injected",
+                         site=record.get("site", ""),
+                         kind=record.get("kind", "")).inc()
+        registry.counter("faults.recovered",
+                         site=record.get("site", ""),
+                         action="resume").inc()
 
 
 def _finalize_trace(args: argparse.Namespace, label: str) -> None:
@@ -164,7 +222,7 @@ def _finalize_trace(args: argparse.Namespace, label: str) -> None:
     path = getattr(args, "trace_path", None)
     if not path:
         return
-    get_cache().stats.export_to(obs.get_registry())
+    get_cache().export_to(obs.get_registry())
     written = obs.write_trace(path, label=label)
     print(f"[trace] wrote {written}")
 
@@ -354,8 +412,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"available: {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
         return 2
     cache = get_cache()
+    supervise = getattr(args, "supervise", None) or None
     serial = ExperimentEngine(workers=1)
-    parallel = ExperimentEngine(workers=args.workers or 0)
+    parallel = ExperimentEngine(workers=args.workers or 0,
+                                supervise=supervise)
     profiler = PhaseProfiler(args.label)
 
     def sweep(which: ExperimentEngine):
@@ -582,6 +642,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="capture a metrics + span trace to FILE "
                             "(JSONL; or set $REPRO_TRACE); summarize "
                             "with 'repro report FILE'")
+        p.add_argument("--journal", default=None, metavar="DIR",
+                       help="write a crash-consistent run journal under "
+                            "DIR (or set $REPRO_JOURNAL); continue an "
+                            "interrupted run with 'repro resume'")
+        p.add_argument("--supervise", action="store_true",
+                       help="run parallel jobs under the worker "
+                            "supervisor (heartbeats + hung-worker "
+                            "replacement; or set $REPRO_SUPERVISE=1)")
+        p.add_argument("--breaker", type=int, default=None, metavar="N",
+                       help="open a workload's circuit breaker after N "
+                            "consecutive terminal failures (default: "
+                            "$REPRO_BREAKER_THRESHOLD or "
+                            f"{DEFAULT_BREAKER_THRESHOLD}; 0 disables)")
+        p.add_argument("--force", action="store_true",
+                       help="reset journaled circuit breakers and rerun "
+                            "previously skipped workloads")
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one paper artifact")
@@ -666,13 +742,146 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--top", type=int, default=15, metavar="N",
                                help="rows per ranked table (default 15)")
     report_parser.set_defaults(func=cmd_report)
+
+    resume_parser = sub.add_parser(
+        "resume", help="resume a journaled run after a crash or interrupt")
+    resume_parser.add_argument("run_id", nargs="?", default="latest",
+                               help="run id, unique prefix, or 'latest' "
+                                    "(default)")
+    resume_parser.add_argument("--journal", default=None, metavar="DIR",
+                               help="journal directory "
+                                    "(default: $REPRO_JOURNAL)")
+    resume_parser.add_argument("--force", action="store_true",
+                               help="reset journaled circuit breakers "
+                                    "before resuming")
+    resume_parser.set_defaults(func=cmd_resume)
+
+    runs_parser = sub.add_parser(
+        "runs", help="list journaled runs and their status")
+    runs_parser.add_argument("action", nargs="?", default="list",
+                             choices=("list",))
+    runs_parser.add_argument("--journal", default=None, metavar="DIR",
+                             help="journal directory "
+                                  "(default: $REPRO_JOURNAL)")
+    runs_parser.set_defaults(func=cmd_runs)
     return parser
+
+
+def _journal_dir(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "journal", None) or os.environ.get(durable.ENV_JOURNAL)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Replay a run journal and re-dispatch its recorded command line.
+
+    Completed jobs whose artifacts still verify are served from the
+    run's result store; everything else recomputes.  The re-dispatched
+    command appends to the same journal, so a resume can itself crash
+    and be resumed again.
+    """
+    directory = _journal_dir(args)
+    if not directory:
+        print("error: give --journal DIR or set REPRO_JOURNAL",
+              file=sys.stderr)
+        return 2
+    try:
+        path = durable.find_run(directory, args.run_id)
+        replay = durable.replay_journal(path)
+    except (FileNotFoundError, JournalCorruptError,
+            ResumeMismatchError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if replay.finished:
+        print(f"[journal] run {replay.run_id} already finished; "
+              f"nothing to resume")
+        return 0
+    durable.verify_resume_argv(replay)
+    journal = durable.RunJournal.resume(directory, replay)
+    # journal<->cache cross-check: a job_done record only counts if its
+    # artifact is still present and passes its checksum
+    dropped = 0
+    for slot, artifact_key in list(replay.completed.items()):
+        if not journal.store.has_valid(durable.RESULT_KIND, artifact_key):
+            del replay.completed[slot]
+            dropped += 1
+    if args.force and replay.breaker_open:
+        for workload in sorted(replay.breaker_open):
+            journal.append("breaker_reset", workload=workload)
+        replay.breaker_open.clear()
+    durable.set_current_journal(journal)
+    durable.set_resume_state(durable.ResumeState(replay, journal.store))
+    durable.install_sigterm_handler()
+    notes = [f"{len(replay.completed)} completed job(s) verified"]
+    if dropped:
+        notes.append(f"{dropped} dropped (bad artifact)")
+    if replay.torn_records:
+        notes.append(f"{replay.torn_records} torn record(s) repaired")
+    print(f"[journal] resuming run {replay.run_id} "
+          f"({replay.status()}): " + ", ".join(notes))
+    sub_args = build_parser().parse_args(replay.argv)
+    sub_args.argv = list(replay.argv)
+    if args.force:
+        sub_args.force = True
+    return sub_args.func(sub_args)
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """List journaled runs, newest first."""
+    directory = _journal_dir(args)
+    if not directory:
+        print("error: give --journal DIR or set REPRO_JOURNAL",
+              file=sys.stderr)
+        return 2
+    runs = durable.list_runs(directory)
+    if not runs:
+        print(f"no runs under {directory}")
+        return 0
+    print(f"{'run id':<24} {'status':<12} {'jobs':<9} command")
+    for info in runs:
+        print(info.render())
+    return 0
+
+
+def _reset_durable_state() -> None:
+    """Clear ambient journal/breaker state between in-process runs."""
+    durable.set_current_journal(None)
+    durable.set_resume_state(None)
+    supervisor.set_current_breaker(None)
+    durable.clear_interrupt()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    args.argv = list(argv) if argv is not None else list(sys.argv[1:])
+    durable.clear_interrupt()
+    try:
+        code = args.func(args)
+    except RunInterrupted as exc:
+        journal = durable.get_current_journal()
+        if journal is not None:
+            journal.append("run_interrupted", completed=exc.completed,
+                           remaining=exc.remaining)
+            journal.close()
+            print(f"[journal] run {journal.run_id} interrupted: "
+                  f"{exc.completed} job(s) drained, {exc.remaining} "
+                  f"not started; continue with 'repro resume "
+                  f"{journal.run_id}'", file=sys.stderr)
+        _finalize_trace(args, label="interrupted")
+        _reset_durable_state()
+        return 130
+    except BaseException:
+        _reset_durable_state()
+        raise
+    journal = durable.get_current_journal()
+    if journal is not None:
+        journal.finish(int(code or 0))
+        print(f"[journal] run {journal.run_id} finished: "
+              f"{journal.records_written} record(s), "
+              f"resumed={journal.jobs_resumed} "
+              f"recomputed={journal.jobs_recomputed}")
+    _reset_durable_state()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -144,6 +144,49 @@ class CacheIntegrityError(ReproError):
         self.detail = detail
 
 
+class JournalCorruptError(ReproError):
+    """A run journal failed structural validation during replay.
+
+    Raised by :func:`~repro.runtime.durable.replay_journal` for damage
+    that cannot be attributed to a crash mid-append: a garbled record
+    *before* the final line, a missing or wrong-schema header, or an
+    unknown record type.  (A torn *final* line is the expected crash
+    signature and is repaired, not raised.)
+    """
+
+    def __init__(self, path, detail: str):
+        super().__init__(f"corrupt run journal {path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+class ResumeMismatchError(ReproError):
+    """A resumed run does not match the journal it is resuming from.
+
+    Raised when the config digest recorded in the journal disagrees with
+    the digest recomputed from the stored command line (the journal was
+    edited, or the toolchain changed underneath it), so replaying
+    completed jobs would silently mix incompatible artifacts.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A sweep was interrupted by SIGTERM after draining in-flight jobs.
+
+    Raised by :class:`~repro.runtime.engine.ExperimentEngine` once every
+    in-flight job has completed and been journaled; the CLI catches it,
+    appends a ``run_interrupted`` record, flushes the trace, and exits
+    nonzero — never dying mid-write.
+    """
+
+    def __init__(self, message: str = "run interrupted by signal",
+                 completed: int = 0, remaining: int = 0):
+        super().__init__(f"{message} ({completed} job(s) drained, "
+                         f"{remaining} not started)")
+        self.completed = completed
+        self.remaining = remaining
+
+
 class AttackError(ReproError, RuntimeError):
     """An attack harness step failed (reconnaissance, staging, payload).
 

@@ -251,7 +251,10 @@ class CaseOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.status == "ok" or self.status.startswith("detected:")
+        # ``skipped:`` is graceful degradation (an open circuit breaker
+        # refused to burn a retry budget), not a silent divergence
+        return (self.status == "ok" or self.status.startswith("detected:")
+                or self.status.startswith("skipped:"))
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -384,17 +387,36 @@ def chaos_run(fault_seed: int, iterations: int,
     base = plan if plan is not None \
         else default_plan(fault_seed).with_seed(fault_seed)
     cases = generate_cases(fault_seed, iterations)
-    if engine is not None and engine.parallel and len(cases) > 1:
-        from ..runtime.engine import Job, collect
+    if engine is not None:
+        # Even the serial engine path matters: it is what makes a chaos
+        # run journal-able and resumable (engine.run appends the
+        # write-ahead records and serves completed cases on resume).
+        from ..runtime.engine import Job
         jobs = [Job(key=case.case_id, fn=_case_job,
-                    args=(case.to_dict(), base.to_spec()))
+                    args=(case.to_dict(), base.to_spec()),
+                    workload=case.case_id)
                 for case in cases]
-        outcomes = [CaseOutcome.from_dict(raw)
-                    for raw in collect(engine.run(jobs))]
+        outcomes = [_outcome_of(result) for result in engine.run(jobs)]
     else:
         outcomes = [run_case(case, base) for case in cases]
     return ChaosReport(fault_seed=fault_seed, iterations=iterations,
                        outcomes=outcomes)
+
+
+def _outcome_of(result) -> CaseOutcome:
+    """Convert one engine :class:`JobResult` into a :class:`CaseOutcome`.
+
+    A failed job is not a silent divergence: a circuit-breaker skip maps
+    to the typed ``skipped:circuit_open`` status, anything else to
+    ``detected:EngineError`` (the engine's retry/quarantine machinery
+    caught and reported it).
+    """
+    if result.ok:
+        return CaseOutcome.from_dict(result.value)
+    status = ("skipped:circuit_open" if result.outcome == "circuit_open"
+              else "detected:EngineError")
+    return CaseOutcome(case_id=result.key, status=status,
+                       detail=(result.error or "").splitlines()[0][:200])
 
 
 def chaos_workloads(fault_seed: int, rate_scale: float = 1.0,

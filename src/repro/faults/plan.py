@@ -23,7 +23,18 @@ kind                      hook site                   recovery
 ``job.delay``             engine job execution        per-attempt timeout
                                                       escalation
 ``decode.flush``          interpreter decode cache    transparent re-decode
+``worker.hang``           supervised-pool dispatch    watchdog kill +
+                                                      replace + retry
+``orchestrator.kill``     journaled job completion    ``repro resume``
+                                                      replays the journal
 ========================  ==========================  =====================
+
+The last two target the *orchestrator* layer: ``worker.hang`` is decided
+in the parent and shipped to the worker as an instruction to stop
+heartbeating (so the supervisor's watchdog must catch it), and
+``orchestrator.kill`` SIGKILLs the engine's own process right after a
+``job_done`` record becomes durable — it only ever fires when a run
+journal is active, because resume is its recovery.
 """
 
 from __future__ import annotations
@@ -42,6 +53,8 @@ FAULT_SITES: Dict[str, str] = {
     "job.kill": "engine.job",
     "job.delay": "engine.job",
     "decode.flush": "interpreter.decode",
+    "worker.hang": "engine.worker",
+    "orchestrator.kill": "engine.run",
 }
 
 FAULT_KINDS: Tuple[str, ...] = tuple(sorted(FAULT_SITES))
@@ -56,6 +69,8 @@ DEFAULT_RATES: Dict[str, float] = {
     "job.kill": 0.10,
     "job.delay": 0.10,
     "decode.flush": 0.01,
+    "worker.hang": 0.10,
+    "orchestrator.kill": 0.05,
 }
 
 

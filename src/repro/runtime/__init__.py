@@ -27,6 +27,13 @@ from .cache import (
     digest,
     get_cache,
 )
+from .durable import (
+    JournalReplay,
+    ResumeState,
+    RunJournal,
+    list_runs,
+    replay_journal,
+)
 from .engine import (
     EngineError,
     ExperimentEngine,
@@ -38,6 +45,7 @@ from .engine import (
     set_default_engine,
 )
 from .profile import PhaseProfiler, PhaseRecord, write_bench_file
+from .supervisor import CircuitBreaker, SupervisedPool
 
 __all__ = [
     "ArtifactCache",
@@ -46,6 +54,11 @@ __all__ = [
     "default_cache_dir",
     "digest",
     "get_cache",
+    "JournalReplay",
+    "ResumeState",
+    "RunJournal",
+    "list_runs",
+    "replay_journal",
     "EngineError",
     "ExperimentEngine",
     "Job",
@@ -57,4 +70,6 @@ __all__ = [
     "PhaseProfiler",
     "PhaseRecord",
     "write_bench_file",
+    "CircuitBreaker",
+    "SupervisedPool",
 ]

@@ -62,8 +62,12 @@ _CHECKSUM_BYTES = 32
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
 ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+ENV_QUARANTINE_MAX_BYTES = "REPRO_CACHE_QUARANTINE_MAX_BYTES"
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+#: cap on the post-mortem quarantine area — under sustained
+#: ``cache.flip_byte`` chaos it would otherwise grow without bound
+DEFAULT_QUARANTINE_MAX_BYTES = 16 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -207,7 +211,8 @@ class ArtifactCache:
 
     def __init__(self, root: Optional[os.PathLike] = None,
                  max_bytes: Optional[int] = None,
-                 enabled: Optional[bool] = None):
+                 enabled: Optional[bool] = None,
+                 quarantine_max_bytes: Optional[int] = None):
         if root is None:
             root = os.environ.get(ENV_CACHE_DIR) or default_cache_dir()
         self.root = Path(root)
@@ -215,6 +220,11 @@ class ArtifactCache:
             max_bytes = int(os.environ.get(ENV_CACHE_MAX_BYTES,
                                            DEFAULT_MAX_BYTES))
         self.max_bytes = max_bytes
+        if quarantine_max_bytes is None:
+            quarantine_max_bytes = int(
+                os.environ.get(ENV_QUARANTINE_MAX_BYTES,
+                               DEFAULT_QUARANTINE_MAX_BYTES))
+        self.quarantine_max_bytes = quarantine_max_bytes
         if enabled is None:
             enabled = not os.environ.get(ENV_NO_CACHE)
         self.enabled = enabled
@@ -274,7 +284,9 @@ class ArtifactCache:
 
         Quarantined entries use the ``.bad`` suffix so the ``*/*.pkl``
         entry glob — and therefore eviction and size accounting — never
-        sees them again.
+        sees them again.  The quarantine area has its own LRU byte cap
+        (``quarantine_max_bytes``), because sustained ``cache.flip_byte``
+        chaos would otherwise grow it without bound.
         """
         target = self.root / "quarantine" / f"{kind}-{path.stem}.bad"
         try:
@@ -285,6 +297,70 @@ class ArtifactCache:
                 path.unlink()
         self.stats.record(kind, "quarantined")
         _faults.recovered("cache.put", "quarantine")
+        self._evict_quarantine_to_fit(protect=target)
+        if _obs.enabled():
+            _obs.get_registry().gauge("cache.quarantine_bytes").set(
+                float(self.quarantine_bytes()))
+
+    def _quarantine_entries(self) -> List[Path]:
+        quarantine_dir = self.root / "quarantine"
+        if not quarantine_dir.is_dir():
+            return []
+        return list(quarantine_dir.glob("*.bad"))
+
+    def quarantine_bytes(self) -> int:
+        total = 0
+        for path in self._quarantine_entries():
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
+    def _evict_quarantine_to_fit(self, protect: Optional[Path] = None
+                                 ) -> None:
+        """Same mtime-LRU policy as live entries, over ``*.bad`` files."""
+        if self.quarantine_max_bytes is None \
+                or self.quarantine_max_bytes <= 0:
+            return
+        entries = []
+        total = 0
+        for path in self._quarantine_entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.quarantine_max_bytes:
+            return
+        entries.sort()                           # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.quarantine_max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= size
+                self.stats.record("quarantine", "evictions")
+
+    def has_valid(self, kind: str, key: str) -> bool:
+        """Journal↔cache cross-check: present *and* checksum-clean.
+
+        Unlike :meth:`get` this never mutates the store (no quarantine,
+        no recency bump, no stats) — it is the read-only verification
+        ``repro resume`` runs over every ``job_done`` artifact key
+        before trusting the journal's completed map.
+        """
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return False
+        if len(raw) <= _CHECKSUM_BYTES:
+            return False
+        return hashlib.sha256(raw[_CHECKSUM_BYTES:]).digest() \
+            == raw[:_CHECKSUM_BYTES]
 
     # -- core operations ------------------------------------------------
     def get(self, kind: str, key: str) -> Tuple[bool, Any]:
@@ -393,6 +469,12 @@ class ArtifactCache:
                 path.unlink()
                 removed += 1
         return removed
+
+    def export_to(self, registry) -> None:
+        """Export stats gauges plus store-level sizes to ``registry``."""
+        self.stats.export_to(registry)
+        registry.gauge("cache.quarantine_bytes").set(
+            float(self.quarantine_bytes()))
 
     @contextlib.contextmanager
     def bypass(self) -> Iterator[None]:

@@ -34,12 +34,14 @@ import signal
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ConfigError, ReproError
+from ..errors import ConfigError, ReproError, RunInterrupted
 from ..faults import injection as faults
 from ..obs import context as obs
+from . import durable
+from . import supervisor as supervision
 
 try:                                            # not exported on Windows
     from concurrent.futures.process import BrokenProcessPool
@@ -52,6 +54,10 @@ ENV_RETRIES = "REPRO_RETRIES"
 #: error prefix marking a job that was never executed this sweep
 #: because its key was quarantined by an earlier exhausted retry cycle
 QUARANTINED_PREFIX = "quarantined:"
+
+#: error prefix marking a job skipped because its workload's circuit
+#: breaker is open (see :class:`repro.runtime.supervisor.CircuitBreaker`)
+SKIPPED_PREFIX = "skipped:circuit_open"
 
 
 class EngineError(ReproError):
@@ -82,6 +88,8 @@ class Job:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     #: wall-clock seconds before the job is aborted (POSIX only)
     timeout: Optional[float] = None
+    #: circuit-breaker grouping (benchmark name); defaults to the key
+    workload: Optional[str] = None
 
 
 @dataclass
@@ -99,6 +107,9 @@ class JobResult:
     trace: Optional[List[Dict[str, Any]]] = None
     #: how many times the job actually ran (0 = quarantined, never ran)
     attempts: int = 1
+    #: True when the value was served from a resumed run's journal
+    #: store instead of being executed
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -107,11 +118,13 @@ class JobResult:
     @property
     def outcome(self) -> str:
         if self.error is None:
-            return "ok"
+            return "resumed" if self.resumed else "ok"
         if self.error.startswith("timed out"):
             return "timeout"
         if self.error.startswith(QUARANTINED_PREFIX):
             return "quarantined"
+        if self.error.startswith(SKIPPED_PREFIX):
+            return "circuit_open"
         return "error"
 
 
@@ -232,11 +245,15 @@ class ExperimentEngine:
                  job_timeout: Optional[float] = None,
                  retries: Optional[int] = None,
                  backoff: float = 0.05,
-                 timeout_escalation: float = 2.0):
+                 timeout_escalation: float = 2.0,
+                 supervise: Optional[bool] = None):
         self.workers = resolve_workers(workers)
         #: default per-job timeout applied when a job doesn't set one
         self.job_timeout = job_timeout
         self.retries = resolve_retries(retries)
+        #: run the parallel path under a SupervisedPool (heartbeats,
+        #: hung-worker kill-and-replace) instead of a bare process pool
+        self.supervise = supervision.resolve_supervise(supervise)
         if backoff < 0:
             raise ConfigError(f"backoff must be >= 0, got {backoff}")
         if timeout_escalation < 1.0:
@@ -250,6 +267,7 @@ class ExperimentEngine:
         self.failures = 0
         self.retries_performed = 0
         self.jobs_quarantined = 0
+        self.supervisor_restarts = 0
 
     @property
     def parallel(self) -> bool:
@@ -257,10 +275,26 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> List[JobResult]:
-        """Execute every job; results are in submission order."""
+        """Execute every job; results are in submission order.
+
+        When a run journal is active (``--journal`` / ``REPRO_JOURNAL``)
+        every job is write-ahead journaled: ``job_enqueued`` before any
+        scheduling decision, ``job_done``/``job_failed`` the moment the
+        outcome is known (completion order), with successful values
+        persisted to the run's artifact store.  A resumed run serves
+        journal-completed jobs from that store without re-executing
+        them.  Raises :class:`~repro.errors.RunInterrupted` if a SIGTERM
+        drain left jobs unstarted.
+        """
         jobs = [self._with_default_timeout(job) for job in jobs]
         if not jobs:
             return []
+        faults.ensure_worker()      # arm an env-provided plan in-parent
+        journal = durable.get_current_journal()
+        resume = durable.get_resume_state()
+        breaker = supervision.get_current_breaker()
+        occurrences = [journal.next_occurrence(job.key) if journal else 0
+                       for job in jobs]
         tracing = obs.enabled()
         run_span = (obs.span("engine.run", jobs=len(jobs),
                              workers=self.workers)
@@ -269,23 +303,147 @@ class ExperimentEngine:
             slots: List[Optional[JobResult]] = [None] * len(jobs)
             pairs: List[Tuple[int, Job]] = []
             for index, job in enumerate(jobs):
-                if self.retries > 0 and job.key in self.quarantine:
-                    slots[index] = JobResult(
-                        key=job.key, index=index, attempts=0,
-                        error=f"{QUARANTINED_PREFIX} key poisoned by an "
-                              f"earlier sweep; not executed")
+                if journal is not None:
+                    journal.append("job_enqueued", key=job.key,
+                                   occurrence=occurrences[index],
+                                   workload=self._workload(job))
+                settled = self._pre_execute(job, index, occurrences[index],
+                                            journal, resume, breaker,
+                                            tracing)
+                if settled is not None:
+                    slots[index] = settled
                 else:
                     pairs.append((index, job))
-            for result in self._run_some(pairs, attempt=0):
+            on_result = self._journal_callback(jobs, occurrences, journal)
+            for result in self._run_some(pairs, attempt=0,
+                                         on_result=on_result):
                 slots[result.index] = result
             results = [r for r in slots if r is not None]
+            if durable.interrupt_requested() and len(results) < len(jobs):
+                # SIGTERM drain: in-flight jobs finished and journaled,
+                # the rest never started — report and bail out cleanly.
+                if tracing:
+                    self._merge_observability(results)
+                self.jobs_run += len(results)
+                self.failures += sum(1 for r in results if not r.ok)
+                raise RunInterrupted(completed=len(results),
+                                     remaining=len(jobs) - len(results))
             if self.retries > 0:
-                self._heal(jobs, results)
+                self._heal(jobs, results, on_result)
+            if breaker is not None and breaker.enabled:
+                self._update_breaker(breaker, jobs, results, journal)
             if tracing:
                 self._merge_observability(results)
         self.jobs_run += len(results)
         self.failures += sum(1 for r in results if not r.ok)
         return results
+
+    @staticmethod
+    def _workload(job: Job) -> str:
+        return job.workload or job.key
+
+    def _pre_execute(self, job: Job, index: int, occurrence: int,
+                     journal, resume, breaker,
+                     tracing: bool) -> Optional[JobResult]:
+        """Settle a job without executing it, when policy says so.
+
+        Order matters: an open circuit breaker beats quarantine beats
+        resume — a poisoned workload must degrade to its typed skip even
+        on a resumed run, and only genuinely runnable jobs consult the
+        journal's completed map.
+        """
+        workload = self._workload(job)
+        if breaker is not None and breaker.enabled \
+                and not breaker.allow(workload):
+            if journal is not None:
+                journal.append("job_failed", key=job.key,
+                               occurrence=occurrence, attempt=0,
+                               error=SKIPPED_PREFIX)
+            return JobResult(
+                key=job.key, index=index, attempts=0,
+                error=f"{SKIPPED_PREFIX}: workload {workload!r} has an "
+                      f"open circuit breaker; reset with --force")
+        if self.retries > 0 and job.key in self.quarantine:
+            return JobResult(
+                key=job.key, index=index, attempts=0,
+                error=f"{QUARANTINED_PREFIX} key poisoned by an "
+                      f"earlier sweep; not executed")
+        if resume is not None and journal is not None \
+                and resume.is_completed(job.key, occurrence):
+            hit, value = resume.load(job.key, occurrence)
+            if hit:
+                journal.jobs_resumed += 1
+                if tracing:
+                    obs.get_registry().counter("engine.jobs.resumed").inc()
+                return JobResult(key=job.key, index=index, value=value,
+                                 attempts=0, resumed=True)
+            # journal says done but the artifact is missing/corrupt:
+            # fall through and recompute — never trust a bad artifact
+            journal.jobs_recomputed += 1
+            if tracing:
+                obs.get_registry().counter("engine.jobs.recomputed").inc()
+                obs.event("engine.job.recomputed", key=job.key,
+                          occurrence=occurrence)
+        return None
+
+    def _journal_callback(self, jobs: Sequence[Job],
+                          occurrences: Sequence[int], journal):
+        """Completion-order hook: make each outcome durable as it lands."""
+        if journal is None:
+            return None
+
+        def on_result(result: JobResult, attempt: int) -> None:
+            job = jobs[result.index]
+            occurrence = occurrences[result.index]
+            if result.ok:
+                artifact_key = journal.store_result(job.key, occurrence,
+                                                    result.value)
+                journal.append("job_done", key=job.key,
+                               occurrence=occurrence, attempt=attempt,
+                               artifact_key=artifact_key,
+                               seconds=round(result.seconds, 6))
+            else:
+                journal.append("job_failed", key=job.key,
+                               occurrence=occurrence, attempt=attempt,
+                               error=(result.error or
+                                      "").splitlines()[0][:200])
+            self._maybe_orchestrator_kill(journal, job, occurrence)
+
+        return on_result
+
+    def _maybe_orchestrator_kill(self, journal, job: Job,
+                                 occurrence: int) -> None:
+        """Chaos hook: SIGKILL this orchestrator right after an outcome
+        is durable, so the harness can prove ``repro resume`` converges.
+        Fires only when a journal is active — without one the kill
+        would lose work with no way back."""
+        injector = faults.get()
+        if injector is None:
+            return
+        event = injector.fire("orchestrator.kill",
+                              key=f"{job.key}@{occurrence}")
+        if event is None:
+            return
+        # the fault itself is journaled first so the resumed process can
+        # re-count it into the injected/recovered balance
+        journal.append("fault_injected", site=event.site, kind=event.kind,
+                       key=event.key, ordinal=event.ordinal)
+        journal.close()
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def _update_breaker(self, breaker, jobs: Sequence[Job],
+                        results: Sequence[JobResult], journal) -> None:
+        """Fold terminal outcomes into the breaker, in submission order."""
+        for result in results:
+            if result.attempts == 0:     # resumed / skipped / quarantined
+                continue
+            workload = self._workload(jobs[result.index])
+            if breaker.record(workload, ok=result.ok):
+                faults.recovered("engine.run", "breaker_open")
+                if journal is not None:
+                    journal.append(
+                        "breaker_open", workload=workload,
+                        failures=breaker.open_workloads[workload])
 
     def map(self, fn: Callable[..., Any], arg_tuples: Sequence[Tuple],
             key_prefix: str = "job",
@@ -306,6 +464,10 @@ class ExperimentEngine:
         is recorded as a lost job so the trace still accounts for it.
         """
         for result in results:
+            if result.resumed or \
+                    (result.error is not None
+                     and result.error.startswith(SKIPPED_PREFIX)):
+                continue              # never executed — nothing to merge
             if result.metrics is None and result.trace is None:
                 obs.event("engine.job.lost", key=result.key)
                 obs.get_registry().counter("engine.jobs",
@@ -315,18 +477,20 @@ class ExperimentEngine:
 
     def _with_default_timeout(self, job: Job) -> Job:
         if job.timeout is None and self.job_timeout is not None:
-            return Job(key=job.key, fn=job.fn, args=job.args,
-                       kwargs=job.kwargs, timeout=self.job_timeout)
+            return replace(job, timeout=self.job_timeout)
         return job
 
     # -- self-healing --------------------------------------------------
-    def _heal(self, jobs: Sequence[Job],
-              results: List[JobResult]) -> None:
+    def _heal(self, jobs: Sequence[Job], results: List[JobResult],
+              on_result=None) -> None:
         """Retry failed jobs in place; quarantine keys that never heal."""
         for attempt in range(1, self.retries + 1):
+            if durable.interrupt_requested():
+                break
             failed = [r.index for r in results
                       if not r.ok
-                      and not r.error.startswith(QUARANTINED_PREFIX)]
+                      and not r.error.startswith(QUARANTINED_PREFIX)
+                      and not r.error.startswith(SKIPPED_PREFIX)]
             if not failed:
                 break
             delay = self.backoff * (2 ** (attempt - 1))
@@ -337,7 +501,8 @@ class ExperimentEngine:
                           jobs=len(failed))
             retry_pairs = [(index, self._escalate(jobs[index], attempt))
                            for index in failed]
-            for result in self._run_some(retry_pairs, attempt):
+            for result in self._run_some(retry_pairs, attempt,
+                                         on_result=on_result):
                 result.attempts = attempt + 1
                 results[result.index] = result
                 self.retries_performed += 1
@@ -346,7 +511,8 @@ class ExperimentEngine:
                         "engine.retries", outcome=result.outcome).inc()
         for result in results:
             if not result.ok and \
-                    not result.error.startswith(QUARANTINED_PREFIX):
+                    not result.error.startswith(QUARANTINED_PREFIX) and \
+                    not result.error.startswith(SKIPPED_PREFIX):
                 self.quarantine.add(result.key)
                 self.jobs_quarantined += 1
                 faults.recovered("engine.job", "quarantine")
@@ -358,52 +524,93 @@ class ExperimentEngine:
         if job.timeout is None:
             return job
         factor = self.timeout_escalation ** attempt
-        return Job(key=job.key, fn=job.fn, args=job.args,
-                   kwargs=job.kwargs, timeout=job.timeout * factor)
+        return replace(job, timeout=job.timeout * factor)
 
     # -- execution -----------------------------------------------------
     def _run_some(self, pairs: Sequence[Tuple[int, Job]],
-                  attempt: int) -> List[JobResult]:
-        """Run (index, job) pairs; one result per pair, in pair order."""
+                  attempt: int, on_result=None) -> List[JobResult]:
+        """Run (index, job) pairs; one result per pair, in pair order.
+
+        May return *fewer* results than pairs when a SIGTERM drain stops
+        the sweep mid-flight — ``run`` turns the gap into
+        :class:`~repro.errors.RunInterrupted`.  ``on_result`` fires in
+        completion order with each finished result.
+        """
         if not pairs:
             return []
+        journal = durable.get_current_journal()
         if not self.parallel or len(pairs) == 1:
-            return [_execute(job, index, attempt) for index, job in pairs]
-        return self._run_pool(pairs, attempt)
+            results = []
+            for index, job in pairs:
+                if durable.interrupt_requested():
+                    break
+                if journal is not None:
+                    journal.append("job_started", key=job.key,
+                                   attempt=attempt)
+                result = _execute(job, index, attempt)
+                if on_result is not None:
+                    on_result(result, attempt)
+                results.append(result)
+            return results
+        if journal is not None:
+            for index, job in pairs:
+                journal.append("job_started", key=job.key, attempt=attempt)
+        if self.supervise:
+            pool = supervision.SupervisedPool(
+                workers=min(self.workers, len(pairs)))
+            done = pool.run(pairs, attempt, on_result=on_result,
+                            should_stop=durable.interrupt_requested)
+            self.supervisor_restarts += pool.restarts
+            return [done[index] for index, _ in pairs if index in done]
+        return self._run_pool(pairs, attempt, on_result)
 
     def _run_pool(self, pairs: Sequence[Tuple[int, Job]],
-                  attempt: int = 0) -> List[JobResult]:
+                  attempt: int = 0, on_result=None) -> List[JobResult]:
         jobs_by_index = dict(pairs)
         by_index: Dict[int, JobResult] = {}
         max_workers = min(self.workers, len(pairs))
         pending: Dict[Any, int] = {}
+
+        def settle(index: int, result: JobResult) -> None:
+            by_index[index] = result
+            if on_result is not None:
+                on_result(result, attempt)
+
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             for index, job in pairs:
                 try:
                     future = pool.submit(_worker_entry, job, index, attempt)
                 except (BrokenProcessPool, RuntimeError) as exc:
-                    by_index[index] = JobResult(
+                    settle(index, JobResult(
                         key=job.key, index=index,
-                        error=f"pool broken at submit: {exc}")
+                        error=f"pool broken at submit: {exc}"))
                     continue
                 pending[future] = index
             while pending:
-                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                if durable.interrupt_requested():
+                    # drain in-flight work, drop what never started
+                    for future in list(pending):
+                        if future.cancel():
+                            pending.pop(future)
+                    if not pending:
+                        break
+                done, _ = wait(list(pending), timeout=0.5,
+                               return_when=FIRST_COMPLETED)
                 for future in done:
                     index = pending.pop(future)
                     try:
-                        by_index[index] = future.result()
+                        settle(index, future.result())
                     except BrokenProcessPool as exc:
                         # A worker died hard (e.g. os._exit/segfault): the
                         # job it held is lost, the sweep is not.
-                        by_index[index] = JobResult(
+                        settle(index, JobResult(
                             key=jobs_by_index[index].key, index=index,
-                            error=f"worker process died: {exc}")
+                            error=f"worker process died: {exc}"))
                     except Exception as exc:
-                        by_index[index] = JobResult(
+                        settle(index, JobResult(
                             key=jobs_by_index[index].key, index=index,
-                            error=f"{type(exc).__name__}: {exc}")
-        return [by_index[index] for index, _ in pairs]
+                            error=f"{type(exc).__name__}: {exc}"))
+        return [by_index[index] for index, _ in pairs if index in by_index]
 
 
 def collect(results: Sequence[JobResult]) -> List[Any]:

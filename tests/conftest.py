@@ -19,11 +19,14 @@ def _hermetic_artifact_cache(tmp_path_factory):
     root = tmp_path_factory.mktemp("artifact-cache")
     previous = {name: os.environ.get(name)
                 for name in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE",
-                             "REPRO_WORKERS", "REPRO_TRACE")}
+                             "REPRO_WORKERS", "REPRO_TRACE",
+                             "REPRO_JOURNAL", "REPRO_SUPERVISE",
+                             "REPRO_BREAKER_THRESHOLD",
+                             "REPRO_HANG_TIMEOUT", "REPRO_FAULTS")}
     os.environ["REPRO_CACHE_DIR"] = str(root)
-    os.environ.pop("REPRO_NO_CACHE", None)
-    os.environ.pop("REPRO_WORKERS", None)
-    os.environ.pop("REPRO_TRACE", None)
+    for name in previous:
+        if name != "REPRO_CACHE_DIR":
+            os.environ.pop(name, None)
     configure_cache(root=root)
     yield root
     for name, value in previous.items():
@@ -40,3 +43,15 @@ def _reset_observability():
     yield
     os.environ.pop("REPRO_TRACE", None)
     obs_context.reset()
+
+
+@pytest.fixture(autouse=True)
+def _reset_durable_state():
+    """Ambient journal/breaker state is process-global like the cache;
+    a leaked journal would silently record every later test's jobs."""
+    yield
+    from repro.runtime import durable, supervisor
+    durable.set_current_journal(None)
+    durable.set_resume_state(None)
+    durable.clear_interrupt()
+    supervisor.set_current_breaker(None)

@@ -120,3 +120,43 @@ class TestBench:
         assert payload["speedup"] is None or payload["speedup"] > 0
         # the warm sweep must beat the cold one through the cache
         assert payload["warm_speedup"] > 1
+
+
+class TestDurableFlags:
+    def test_parser_accepts_journal_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig3", "--journal", "/tmp/j", "--supervise",
+             "--breaker", "2", "--force"])
+        assert args.journal == "/tmp/j"
+        assert args.supervise and args.force
+        assert args.breaker == 2
+
+    def test_runs_without_directory_errors(self, capsys):
+        assert main(["runs", "list"]) == 2
+        assert "REPRO_JOURNAL" in capsys.readouterr().err
+
+    def test_resume_without_directory_errors(self, capsys):
+        assert main(["resume", "latest"]) == 2
+        assert "REPRO_JOURNAL" in capsys.readouterr().err
+
+    def test_resume_unknown_run_errors(self, tmp_path, capsys):
+        assert main(["resume", "nope", "--journal", str(tmp_path)]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_journaled_experiment_and_runs_list(self, tmp_path, capsys):
+        journal_dir = str(tmp_path / "journal")
+        assert main(["experiment", "table2", "--journal", journal_dir]) == 0
+        out = capsys.readouterr().out
+        assert "[journal] run" in out
+        assert "resumed=0 recomputed=0" in out
+        assert main(["runs", "list", "--journal", journal_dir]) == 0
+        listing = capsys.readouterr().out
+        assert "finished" in listing
+        assert "experiment table2" in listing
+
+    def test_journal_env_var(self, tmp_path, capsys, monkeypatch):
+        journal_dir = tmp_path / "journal-env"
+        monkeypatch.setenv("REPRO_JOURNAL", str(journal_dir))
+        assert main(["experiment", "table2"]) == 0
+        assert journal_dir.is_dir()
+        assert list(journal_dir.glob("*.journal.jsonl"))

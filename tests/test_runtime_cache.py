@@ -150,6 +150,58 @@ class TestCorruptionRecovery:
         assert not path.exists()
 
 
+class TestQuarantineBound:
+    def _corrupt_and_trip(self, cache, name, payload):
+        key = digest(name)
+        cache.put("analyses", key, payload)
+        path = cache.path_for("analyses", key)
+        raw = bytearray(path.read_bytes())
+        raw[40] ^= 0xFF                             # flip a payload byte
+        path.write_bytes(bytes(raw))
+        hit, _ = cache.get("analyses", key)         # quarantines it
+        assert not hit
+
+    def test_quarantine_area_is_lru_bounded(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, quarantine_max_bytes=4096)
+        blob = list(range(400))                     # ~1.5 KiB pickled
+        for i in range(8):
+            self._corrupt_and_trip(cache, f"bad-{i}", (i, blob))
+        assert cache.stats.quarantined == 8
+        assert cache.quarantine_bytes() <= 4096
+        remaining = cache._quarantine_entries()
+        assert 0 < len(remaining) < 8               # oldest were evicted
+        assert cache.stats.as_dict()["by_kind"].get(
+            "quarantine", {}).get("evictions", 0) > 0
+
+    def test_newest_quarantined_entry_is_protected(self, tmp_path):
+        # a single corrupt entry larger than the cap must still land
+        # (post-mortems beat the bound), matching live-entry semantics
+        cache = ArtifactCache(root=tmp_path, quarantine_max_bytes=64)
+        self._corrupt_and_trip(cache, "huge", list(range(2000)))
+        assert len(cache._quarantine_entries()) == 1
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_QUARANTINE_MAX_BYTES", "123")
+        cache = ArtifactCache(root=tmp_path)
+        assert cache.quarantine_max_bytes == 123
+
+    def test_has_valid_never_mutates(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = digest("readonly")
+        cache.put("analyses", key, "value")
+        path = cache.path_for("analyses", key)
+        raw = bytearray(path.read_bytes())
+        assert cache.has_valid("analyses", key)
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert not cache.has_valid("analyses", key)
+        # unlike get(), the corrupt entry stays in place: no quarantine,
+        # no stats churn — resume verification must be side-effect free
+        assert path.exists()
+        assert cache.stats.quarantined == 0
+        assert cache.stats.corrupt == 0
+
+
 class TestEviction:
     def _age(self, path, seconds):
         stamp = os.stat(path).st_mtime - seconds

@@ -1,0 +1,365 @@
+"""Tests for the write-ahead run journal and crash-consistent resume."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalCorruptError, ResumeMismatchError
+from repro.runtime import durable
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.durable import (
+    JOURNAL_SCHEMA,
+    RESULT_KIND,
+    ResumeState,
+    RunJournal,
+    config_digest,
+    find_run,
+    journal_path,
+    list_runs,
+    replay_journal,
+    verify_resume_argv,
+)
+from repro.runtime.engine import ExperimentEngine, Job
+
+
+ARGV = ["experiment", "fig3"]
+
+
+def _make_journal(tmp_path, argv=ARGV, run_id="r1"):
+    return RunJournal.create(tmp_path / "journal", argv, run_id=run_id)
+
+
+# ---------------------------------------------------------------------
+# Journal writing
+# ---------------------------------------------------------------------
+class TestRunJournal:
+    def test_create_writes_durable_header(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 1
+        head = json.loads(lines[0])
+        assert head["type"] == "run_started"
+        assert head["schema"] == JOURNAL_SCHEMA
+        assert head["argv"] == ARGV
+        assert head["digest"] == config_digest(ARGV)
+        assert head["seq"] == 0
+
+    def test_every_record_carries_seq_and_digest(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("job_enqueued", key="a", occurrence=0)
+        journal.append("job_started", key="a", attempt=0)
+        journal.finish(0)
+        records = [json.loads(line)
+                   for line in journal.path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert {r["digest"] for r in records} == {config_digest(ARGV)}
+        assert records[-1]["type"] == "run_finished"
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        with pytest.raises(AssertionError):
+            journal.append("job_teleported")
+
+    def test_append_after_close_is_a_noop(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        assert journal.append("job_enqueued", key="a") == {}
+
+    def test_occurrences_count_per_key(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        assert journal.next_occurrence("a") == 0
+        assert journal.next_occurrence("a") == 1
+        assert journal.next_occurrence("b") == 0
+        assert journal.next_occurrence("a") == 2
+        journal.close()
+
+    def test_result_store_round_trip(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        artifact_key = journal.store_result("a", 0, {"rows": [1, 2]})
+        assert artifact_key == journal.artifact_key("a", 0)
+        hit, value = journal.store.get(RESULT_KIND, artifact_key)
+        assert hit and value == {"rows": [1, 2]}
+        journal.close()
+
+    def test_unpicklable_value_does_not_raise(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.store_result("a", 0, lambda: None)  # lambdas can't pickle
+        assert not journal.store.has_valid(
+            RESULT_KIND, journal.artifact_key("a", 0))
+        journal.close()
+
+    def test_config_digest_depends_on_argv(self):
+        assert config_digest(["experiment", "fig3"]) \
+            != config_digest(["experiment", "fig4"])
+
+
+# ---------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------
+class TestReplay:
+    def _scripted_journal(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("job_enqueued", key="a", occurrence=0, workload="a")
+        journal.append("job_enqueued", key="b", occurrence=0, workload="b")
+        journal.append("job_started", key="a", attempt=0)
+        art = journal.store_result("a", 0, 41)
+        journal.append("job_done", key="a", occurrence=0, attempt=0,
+                       artifact_key=art)
+        journal.append("job_failed", key="b", occurrence=0, attempt=0,
+                       error="boom")
+        return journal
+
+    def test_round_trip_recovers_completed_map(self, tmp_path):
+        journal = self._scripted_journal(tmp_path)
+        journal.close()
+        replay = replay_journal(journal.path)
+        assert replay.run_id == "r1"
+        assert replay.argv == ARGV
+        assert replay.config_digest == config_digest(ARGV)
+        assert replay.completed == {("a", 0): journal.artifact_key("a", 0)}
+        assert replay.enqueued_count() == 2
+        assert replay.status() == "crashed"
+        assert replay.resumable
+        assert replay.next_seq == len(replay.records)
+
+    def test_finished_and_interrupted_status(self, tmp_path):
+        journal = self._scripted_journal(tmp_path)
+        journal.append("run_interrupted", completed=1, remaining=1)
+        journal.close()
+        replay = replay_journal(journal.path)
+        assert replay.status() == "interrupted"
+        journal2 = RunJournal.create(tmp_path / "j2", ARGV, run_id="r2")
+        journal2.finish(0)
+        replay2 = replay_journal(journal2.path)
+        assert replay2.status() == "finished"
+        assert not replay2.resumable
+
+    def test_breaker_records_replay(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("breaker_open", workload="mcf", failures=3)
+        journal.append("breaker_open", workload="lbm", failures=4)
+        journal.append("breaker_reset", workload="mcf")
+        journal.close()
+        replay = replay_journal(journal.path)
+        assert replay.breaker_open == {"lbm": 4}
+
+    def test_fault_records_replay(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("fault_injected", site="engine.run",
+                       kind="orchestrator.kill", key="a@0", ordinal=0)
+        journal.close()
+        replay = replay_journal(journal.path)
+        assert len(replay.fault_records) == 1
+        assert replay.fault_records[0]["kind"] == "orchestrator.kill"
+
+    def test_interior_garbage_is_structural_damage(self, tmp_path):
+        journal = self._scripted_journal(tmp_path)
+        journal.close()
+        raw = journal.path.read_bytes()
+        lines = raw.split(b"\n")
+        lines[1] = lines[1][: len(lines[1]) // 2]       # mid-file tear
+        journal.path.write_bytes(b"\n".join(lines))
+        with pytest.raises(JournalCorruptError):
+            replay_journal(journal.path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        head = json.loads(journal.path.read_text())
+        head["schema"] = JOURNAL_SCHEMA + 1
+        journal.path.write_text(json.dumps(head) + "\n")
+        with pytest.raises(JournalCorruptError):
+            replay_journal(journal.path)
+
+    def test_mixed_digests_rejected(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write(json.dumps({"seq": 1, "type": "job_enqueued",
+                                     "digest": "someone-else", "key": "a"})
+                         + "\n")
+        with pytest.raises(ResumeMismatchError):
+            replay_journal(journal.path)
+
+    def test_empty_journal_rejected(self, tmp_path):
+        path = tmp_path / "empty.journal.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalCorruptError):
+            replay_journal(path)
+
+    def test_verify_resume_argv(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        replay = replay_journal(journal.path)
+        verify_resume_argv(replay)                      # matches: fine
+        replay.argv = ["experiment", "fig4"]            # tampered journal
+        with pytest.raises(ResumeMismatchError):
+            verify_resume_argv(replay)
+
+
+class TestTornWriteRecovery:
+    """The crash signature: ``kill -9`` mid-append leaves a partial
+    final line.  Replay must recover at *every* possible tear point."""
+
+    def test_truncation_at_every_byte_of_final_record(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("job_enqueued", key="a", occurrence=0)
+        art = journal.store_result("a", 0, 7)
+        journal.append("job_done", key="a", occurrence=0, attempt=0,
+                       artifact_key=art)
+        journal.close()
+        raw = journal.path.read_bytes()
+        body = raw.rstrip(b"\n")
+        final_start = body.rfind(b"\n") + 1     # offset of the last record
+        for cut in range(final_start, len(raw)):
+            torn_path = tmp_path / f"cut-{cut}.journal.jsonl"
+            torn_path.write_bytes(raw[:cut])
+            replay = replay_journal(torn_path)
+            if replay.torn_records:
+                # partial final line dropped; file repaired in place
+                assert ("a", 0) not in replay.completed
+                assert replay_journal(torn_path).torn_records == 0
+            else:
+                # tear landed on a record boundary: nothing was lost
+                # except possibly the whole final record
+                assert replay.records[0]["type"] == "run_started"
+        # untouched file replays whole
+        assert ("a", 0) in replay_journal(journal.path).completed
+
+    def test_repair_truncates_the_file(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append("job_enqueued", key="a", occurrence=0)
+        journal.close()
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw + b'{"seq": 2, "type": "job_')
+        replay = replay_journal(journal.path)
+        assert replay.torn_records == 1
+        assert journal.path.read_bytes() == raw
+        # a journal reattached after repair appends cleanly
+        resumed = RunJournal.resume(journal.path.parent, replay)
+        resumed.close()
+        assert replay_journal(journal.path).records[-1]["type"] \
+            == "run_resumed"
+
+    def test_torn_header_is_unrecoverable(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.close()
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(JournalCorruptError):
+            replay_journal(journal.path)
+
+
+# ---------------------------------------------------------------------
+# Run listing / lookup
+# ---------------------------------------------------------------------
+class TestRunListing:
+    def test_list_runs_newest_first_with_status(self, tmp_path):
+        directory = tmp_path / "journal"
+        j1 = RunJournal.create(directory, ARGV, run_id="20250101-000000-aa")
+        j1.finish(0)
+        j2 = RunJournal.create(directory, ARGV, run_id="20250102-000000-bb")
+        j2.append("job_enqueued", key="a", occurrence=0)
+        j2.close()
+        (directory / "zz.journal.jsonl").write_text("not json\n")
+        runs = list_runs(directory)
+        assert [r.run_id for r in runs][:2] == \
+            ["20250102-000000-bb", "20250101-000000-aa"]
+        by_id = {r.run_id: r for r in runs}
+        assert by_id["20250101-000000-aa"].status == "finished"
+        assert by_id["20250102-000000-bb"].status == "crashed"
+        assert by_id["20250102-000000-bb"].jobs_enqueued == 1
+        assert by_id["zz"].status == "corrupt"
+        assert "experiment fig3" in by_id["20250101-000000-aa"].render()
+
+    def test_list_runs_missing_directory(self, tmp_path):
+        assert list_runs(tmp_path / "nope") == []
+
+    def test_find_run_exact_prefix_latest(self, tmp_path):
+        directory = tmp_path / "journal"
+        RunJournal.create(directory, ARGV, run_id="20250101-000000-aa").close()
+        RunJournal.create(directory, ARGV, run_id="20250102-000000-bb").close()
+        assert find_run(directory, "20250101-000000-aa") == \
+            journal_path(directory, "20250101-000000-aa")
+        assert find_run(directory, "20250102").name \
+            == "20250102-000000-bb.journal.jsonl"
+        assert find_run(directory, "latest").name \
+            == "20250102-000000-bb.journal.jsonl"
+        with pytest.raises(FileNotFoundError):
+            find_run(directory, "2025")                 # ambiguous
+        with pytest.raises(FileNotFoundError):
+            find_run(directory, "1999")                 # no such run
+
+
+# ---------------------------------------------------------------------
+# Resume state + engine integration
+# ---------------------------------------------------------------------
+def _double(x):
+    return x * 2
+
+
+class TestResumeState:
+    def test_load_verifies_checksum(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        art = journal.store_result("a", 0, 21)
+        journal.append("job_done", key="a", occurrence=0, attempt=0,
+                       artifact_key=art)
+        journal.close()
+        replay = replay_journal(journal.path)
+        store = ArtifactCache(root=journal.store.root, max_bytes=0,
+                              enabled=True)
+        state = ResumeState(replay, store)
+        assert state.is_completed("a", 0)
+        assert state.load("a", 0) == (True, 21)
+        # flip one payload byte: the cross-check must refuse the value
+        path = store.path_for(RESULT_KIND, art)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert state.load("a", 0)[0] is False
+        assert not store.has_valid(RESULT_KIND, art)
+
+    def test_engine_serves_completed_jobs_from_journal(self, tmp_path):
+        jobs = [Job(key=f"dbl:{x}", fn=_double, args=(x,)) for x in range(4)]
+        directory = tmp_path / "journal"
+        journal = RunJournal.create(directory, ARGV, run_id="r1")
+        durable.set_current_journal(journal)
+        engine = ExperimentEngine(workers=1)
+        first = engine.run(jobs)
+        journal.close()
+        assert [r.value for r in first] == [0, 2, 4, 6]
+
+        replay = replay_journal(journal.path)
+        assert len(replay.completed) == 4
+        resumed_journal = RunJournal.resume(directory, replay)
+        durable.set_current_journal(resumed_journal)
+        durable.set_resume_state(ResumeState(replay, resumed_journal.store))
+        second = engine.run(jobs)
+        resumed_journal.close()
+        assert [r.value for r in second] == [r.value for r in first]
+        assert all(r.resumed for r in second)
+        assert all(r.outcome == "resumed" for r in second)
+        assert resumed_journal.jobs_resumed == 4
+        assert resumed_journal.jobs_recomputed == 0
+
+    def test_engine_recomputes_missing_artifacts(self, tmp_path):
+        jobs = [Job(key=f"dbl:{x}", fn=_double, args=(x,)) for x in range(2)]
+        directory = tmp_path / "journal"
+        journal = RunJournal.create(directory, ARGV, run_id="r1")
+        durable.set_current_journal(journal)
+        ExperimentEngine(workers=1).run(jobs)
+        journal.close()
+        replay = replay_journal(journal.path)
+        # blow away one stored value; its job must recompute, not fail
+        path = journal.store.path_for(RESULT_KIND,
+                                      replay.completed[("dbl:1", 0)])
+        path.unlink()
+        resumed = RunJournal.resume(directory, replay)
+        durable.set_current_journal(resumed)
+        durable.set_resume_state(ResumeState(replay, resumed.store))
+        results = ExperimentEngine(workers=1).run(jobs)
+        resumed.close()
+        assert [r.value for r in results] == [0, 2]
+        assert resumed.jobs_resumed == 1
+        assert resumed.jobs_recomputed == 1

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI crash-resume smoke test.
+
+Runs a reference ``repro bench``, then a journaled one that gets
+``SIGKILL``-ed as soon as its first ``job_done`` record is durable,
+resumes it to completion with ``repro resume``, and diffs the two
+``BENCH_*.json`` payloads with wall-clock-derived fields normalized
+away.  Any structural difference — phases, benchmarks, job counts —
+fails the build: a resumed run must be indistinguishable from an
+uninterrupted one.
+
+Usage: python tools/ci_crash_resume.py [workdir]
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+MAX_RESUMES = 8
+KILL_DEADLINE = 600.0
+
+
+def run(args, **kwargs):
+    print("+", " ".join(args), flush=True)
+    return subprocess.call(args, **kwargs)
+
+
+def journal_has_done(journal_dir):
+    pattern = os.path.join(journal_dir, "*.journal.jsonl")
+    for path in glob.glob(pattern):
+        with open(path, "rb") as handle:
+            if b'"type": "job_done"' in handle.read():
+                return True
+    return False
+
+
+def normalize(path):
+    """A BENCH payload minus everything wall-clock or cache dependent."""
+    with open(path) as handle:
+        data = json.load(handle)
+    for key in ("created", "host", "label", "speedup", "warm_speedup",
+                "cache", "cache_dir", "total_seconds"):
+        data.pop(key, None)
+    for phase in data.get("phases", []):
+        phase.pop("seconds", None)
+    return data
+
+
+def main():
+    workdir = sys.argv[1] if len(sys.argv) > 1 else "."
+    os.makedirs(workdir, exist_ok=True)
+    journal_dir = os.path.join(workdir, "run-journal")
+    ref_path = os.path.join(workdir, "BENCH_crashref.json")
+    crash_path = os.path.join(workdir, "BENCH_crashed.json")
+    env = dict(os.environ)
+    env.pop("REPRO_NO_CACHE", None)     # the cache path must be live
+
+    bench = ["--benchmarks", "mcf", "--workers", "2"]
+    code = run([sys.executable, "-m", "repro", "bench", *bench,
+                "--label", "crashref", "--output", ref_path,
+                "--cache-dir", os.path.join(workdir, "cache-ref")],
+               env=env)
+    if code != 0:
+        return code
+
+    cmd = [sys.executable, "-m", "repro", "bench", *bench,
+           "--label", "crashed", "--output", crash_path,
+           "--journal", journal_dir,
+           "--cache-dir", os.path.join(workdir, "cache-crash")]
+    print("+", " ".join(cmd), "(to be killed)", flush=True)
+    proc = subprocess.Popen(cmd, env=env)
+    deadline = time.time() + KILL_DEADLINE
+    while time.time() < deadline and proc.poll() is None:
+        if journal_has_done(journal_dir):
+            proc.send_signal(signal.SIGKILL)
+            break
+        time.sleep(0.05)
+    proc.wait()
+    if proc.returncode == 0:
+        print("error: bench finished before the kill landed",
+              file=sys.stderr)
+        return 1
+    print(f"killed journaled bench (exit {proc.returncode})", flush=True)
+
+    for _ in range(MAX_RESUMES):
+        code = run([sys.executable, "-m", "repro", "resume", "latest",
+                    "--journal", journal_dir], env=env)
+        if code == 0:
+            break
+    else:
+        print("error: resume did not converge", file=sys.stderr)
+        return 1
+
+    reference, resumed = normalize(ref_path), normalize(crash_path)
+    if reference != resumed:
+        print("error: resumed BENCH payload diverged from reference",
+              file=sys.stderr)
+        print(json.dumps(reference, indent=2, sort_keys=True),
+              file=sys.stderr)
+        print(json.dumps(resumed, indent=2, sort_keys=True),
+              file=sys.stderr)
+        return 1
+    print("crash-resume smoke: resumed BENCH payload matches reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
