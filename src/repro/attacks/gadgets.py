@@ -49,6 +49,12 @@ _CODE_BASE = 0x4000
 _STACK_BASE = 0x00200000
 _STACK_SIZE = 0x40000            # 256 KB: covers 16-page randomization
 
+#: the sprayed stack image is identical for every evaluation, so build it
+#: once per process — rebuilding it per gadget dominated the sweep profile
+_STACK_SPRAY = b"".join(
+    (MARKER_PREFIX | (index & 0xFFFFF)).to_bytes(4, "little")
+    for index in range(_STACK_SIZE // 4))
+
 
 @dataclass
 class GadgetEffect:
@@ -87,10 +93,7 @@ def evaluate_instructions(isa: ISADescription,
     memory = Memory()
     memory.map("code", _CODE_BASE, max(len(code), isa.alignment),
                writable=False, executable=True, data=code)
-    spray = bytearray()
-    for index in range(_STACK_SIZE // 4):
-        spray += (MARKER_PREFIX | (index & 0xFFFFF)).to_bytes(4, "little")
-    memory.map("stack", _STACK_BASE, _STACK_SIZE, data=bytes(spray))
+    memory.map("stack", _STACK_BASE, _STACK_SIZE, data=_STACK_SPRAY)
 
     cpu = CPUState(isa, pc=_CODE_BASE)
     initial = {}

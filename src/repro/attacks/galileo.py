@@ -58,11 +58,37 @@ class Gadget:
                 f"{self.length} ins {self.kind}>")
 
 
+def _seed_anchor_offsets(data: bytes, seeds, step: int) -> List[int]:
+    """Offsets whose first byte could begin a gadget-ending instruction.
+
+    The scan never attempts a decode: it runs one C-level ``bytes.find``
+    sweep per seed byte, then merges the hit lists.  The result is a
+    superset of the true ending offsets (a seed byte may still decode to
+    something else — or to nothing), sorted ascending like the exhaustive
+    scan produced.
+    """
+    anchors: List[int] = []
+    for seed in seeds:
+        needle = bytes((seed,))
+        position = data.find(needle)
+        while position != -1:
+            if position % step == 0:
+                anchors.append(position)
+            position = data.find(needle, position + 1)
+    anchors.sort()
+    return anchors
+
+
 def find_ending_offsets(isa: ISADescription, data: bytes) -> List[int]:
     """Offsets of every decodable gadget-ending instruction."""
-    endings: List[int] = []
     step = isa.alignment
-    for offset in range(0, len(data), step):
+    seeds = isa.gadget_seed_bytes
+    if seeds is not None:
+        candidates = _seed_anchor_offsets(data, seeds, step)
+    else:
+        candidates = range(0, len(data), step)
+    endings: List[int] = []
+    for offset in candidates:
         try:
             decoded = isa.decode(data, offset, offset)
         except DecodeError:
@@ -72,15 +98,42 @@ def find_ending_offsets(isa: ISADescription, data: bytes) -> List[int]:
     return endings
 
 
-def _decode_sequence(isa: ISADescription, data: bytes, start: int,
+class _DecodeMemo:
+    """Per-region decode cache: offset -> Decoded (or None for invalid).
+
+    The backward scan re-visits the same offsets for every candidate
+    start and every nearby ending, so memoizing the context-free
+    ``decode(data, offset, offset)`` turns the quadratic re-decode work
+    into one decode per distinct offset.
+    """
+
+    __slots__ = ("_isa", "_data", "_cache")
+
+    def __init__(self, isa: ISADescription, data: bytes):
+        self._isa = isa
+        self._data = data
+        self._cache: Dict[int, Optional[object]] = {}
+
+    def decode(self, offset: int):
+        cache = self._cache
+        if offset in cache:
+            return cache[offset]
+        try:
+            decoded = self._isa.decode(self._data, offset, offset)
+        except DecodeError:
+            decoded = None
+        cache[offset] = decoded
+        return decoded
+
+
+def _decode_sequence(memo: _DecodeMemo, start: int,
                      end: int) -> Optional[List[Instruction]]:
     """Decode [start, end) as a straight-line sequence, or None."""
     instructions: List[Instruction] = []
     offset = start
     while offset < end:
-        try:
-            decoded = isa.decode(data, offset, offset)
-        except DecodeError:
+        decoded = memo.decode(offset)
+        if decoded is None:
             return None
         ins = decoded.instruction
         if ins.is_control() or ins.op is Op.HLT:
@@ -106,15 +159,16 @@ def mine_gadgets(isa: ISADescription, data: bytes, base_address: int,
     gadgets: List[Gadget] = []
     seen: set = set()
     step = isa.alignment
+    memo = _DecodeMemo(isa, data)
     for end_offset in find_ending_offsets(isa, data):
-        ending_decoded = isa.decode(data, end_offset, end_offset)
+        ending_decoded = memo.decode(end_offset)
         ending_op = ending_decoded.instruction.op
         if not include_jop and ending_op is not Op.RET:
             continue
         earliest = max(0, end_offset - MAX_GADGET_BYTES)
         start = end_offset
         while start >= earliest:
-            body = _decode_sequence(isa, data, start, end_offset)
+            body = _decode_sequence(memo, start, end_offset)
             if body is not None:
                 address = base_address + start
                 if address not in seen:

@@ -190,7 +190,8 @@ def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
     _recount_resume_faults()
     return ExperimentEngine(
         workers=getattr(args, "workers", None),
-        supervise=getattr(args, "supervise", None) or None)
+        supervise=getattr(args, "supervise", None) or None,
+        batch=getattr(args, "batch", None))
 
 
 def _recount_resume_faults() -> None:
@@ -398,9 +399,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Profile the pipeline and write a ``BENCH_*.json`` trajectory file.
 
     Phases: artifact warm-up (compile + mine through the cache), the
-    attack-surface sweep run cold (cache bypassed) serially and in
-    parallel — the honest engine speedup — then a cache-populating pass
-    and a pure-hit warm pass recording the memoized path's speedup.
+    attack-surface sweep run cold (cache bypassed) serially, in
+    parallel, and in parallel with job batching — the honest engine
+    speedups — a native-execution phase timing the interpreter's
+    compiled-block hot path, then a cache-populating pass and a
+    pure-hit warm pass recording the memoized path's speedup.
+
+    ``--workers`` defaults to one per core here (serial fan-out makes
+    the parallel phases meaningless); both the requested and the
+    effective worker counts are recorded in the trajectory file.
     """
     _configure_runtime(args)
     benchmarks = tuple(name for name in
@@ -413,9 +420,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     cache = get_cache()
     supervise = getattr(args, "supervise", None) or None
+    requested_workers = args.workers          # None = defaulted, 0 = auto
     serial = ExperimentEngine(workers=1)
     parallel = ExperimentEngine(workers=args.workers or 0,
                                 supervise=supervise)
+    batched = ExperimentEngine(workers=args.workers or 0,
+                               supervise=supervise,
+                               batch=(args.batch
+                                      if args.batch is not None else 0))
     profiler = PhaseProfiler(args.label)
 
     def sweep(which: ExperimentEngine):
@@ -427,12 +439,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     with profiler.phase("mine", jobs=len(binaries)):
         for binary in binaries.values():
             runtime_artifacts.mine_binary_cached(binary, "x86like")
+    with profiler.phase("exec-native", benchmark=benchmarks[0]):
+        # end-to-end guest execution: exercises the interpreter's
+        # compiled-block dispatch (the threaded-code fast path)
+        run_native(binaries[benchmarks[0]], "x86like")
     with profiler.phase("sweep-serial-cold", workers=1):
         with cache.bypass():
             sweep(serial)
     with profiler.phase("sweep-parallel-cold", workers=parallel.workers):
         with cache.bypass():
             sweep(parallel)
+    with profiler.phase("sweep-parallel-batched", workers=batched.workers,
+                        batch=batched.batch):
+        with cache.bypass():
+            sweep(batched)
     with profiler.phase("sweep-populate", workers=1):
         sweep(serial)            # first cache-on pass: miss-and-store
     with profiler.phase("sweep-warm", workers=1):
@@ -444,6 +464,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cache=cache,
         benchmarks=list(benchmarks),
         workers=parallel.workers,
+        workers_requested=("auto(cpu_count)" if requested_workers is None
+                           else requested_workers),
+        workers_effective=parallel.workers,
+        batch=batched.batch,
         speedup=round(serial_cold / parallel_cold, 3) if parallel_cold else None,
         warm_speedup=round(serial_cold / profiler.seconds_of("sweep-warm"), 3)
         if profiler.seconds_of("sweep-warm") else None,
@@ -633,6 +657,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan experiment jobs out over N processes "
                             "(0 = one per core; default: serial, or "
                             "$REPRO_WORKERS)")
+        p.add_argument("--batch", type=int, default=None, metavar="B",
+                       help="group B jobs per pool submission to "
+                            "amortize spawn/IPC cost (0 = one group "
+                            "per worker; default: unbatched, or "
+                            "$REPRO_BATCH)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk artifact cache")
         p.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -1,6 +1,10 @@
 """Dynamic binary translation substrate: code cache and return-address table."""
 
-from .code_cache import CodeCache, CodeCacheStats
+from .code_cache import (
+    CodeCache, CodeCacheStats, CompiledBlock, CompiledBlockCache,
+    CompiledBlockStats)
 from .rat import RATStats, ReturnAddressTable
 
-__all__ = ["CodeCache", "CodeCacheStats", "RATStats", "ReturnAddressTable"]
+__all__ = ["CodeCache", "CodeCacheStats", "CompiledBlock",
+           "CompiledBlockCache", "CompiledBlockStats", "RATStats",
+           "ReturnAddressTable"]

@@ -1,17 +1,28 @@
-"""The translation code cache.
+"""The translation code caches.
 
-A bounded region of executable memory owned by one PSR virtual machine.
-Translated units are bump-allocated; when the cache fills, it is flushed
-wholesale (the classic DBT strategy).  The cache keeps the source→cache
-address map and classifies misses as *compulsory* (never translated) or
-*capacity* (translated before, lost to a flush) — the distinction §3.5 of
-the paper draws for legitimate code-cache misses.
+Two caches live here.  :class:`CodeCache` is a bounded region of
+executable memory owned by one PSR virtual machine: translated units are
+bump-allocated; when the cache fills, it is flushed wholesale (the
+classic DBT strategy).  The cache keeps the source→cache address map and
+classifies misses as *compulsory* (never translated) or *capacity*
+(translated before, lost to a flush) — the distinction §3.5 of the paper
+draws for legitimate code-cache misses.
+
+:class:`CompiledBlockCache` is the host-side analogue used by the
+interpreter's threaded-code fast path: it maps guest basic-block entry
+addresses to compiled Python closures, page-indexed exactly like the
+decode cache so self-modifying-code invalidation costs O(pages touched).
+Blocks carry *superblock chain* links — a block whose (hook-resolved)
+successor is already compiled records the successor so dispatch goes
+straight to the next closure.  Invalidation severs chain links in both
+directions so a stale block can never be re-entered through a
+predecessor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigError, TranslationError
 
@@ -116,3 +127,143 @@ class CodeCache:
     def translated_source_addresses(self) -> Set[int]:
         """Source addresses with a live translation (the JIT-ROP surface)."""
         return set(self._map)
+
+
+# ----------------------------------------------------------------------
+# Compiled guest basic blocks (the interpreter's threaded-code cache)
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledBlockStats:
+    compiles: int = 0
+    installs: int = 0
+    invalidated_blocks: int = 0
+    chain_links: int = 0
+    chain_severed: int = 0
+    flushes: int = 0
+
+
+class CompiledBlock:
+    """One guest basic block compiled to a single host closure.
+
+    ``execute(cpu)`` runs the whole block (every instruction, including
+    the terminator) and returns the next program counter; the caller
+    owns masking it and storing it back into ``cpu.pc``.  ``chain`` maps
+    a resolved successor pc to its compiled block — a memoized dispatch,
+    never a substitute for the control-transfer hooks, which the
+    terminator closure always invokes.  ``in_links`` records who chains
+    to us, so invalidation can sever every inbound edge.
+    """
+
+    __slots__ = ("isa_name", "start", "end", "steps", "execute", "chain",
+                 "in_links", "valid")
+
+    def __init__(self, isa_name: str, start: int, end: int, steps: int,
+                 execute: Callable[[object], int]):
+        self.isa_name = isa_name
+        self.start = start
+        self.end = end
+        self.steps = steps
+        self.execute = execute
+        self.chain: Dict[int, "CompiledBlock"] = {}
+        self.in_links: List[Tuple["CompiledBlock", int]] = []
+        self.valid = True
+
+    def __repr__(self) -> str:
+        return (f"<CompiledBlock {self.isa_name}@{self.start:#x}.."
+                f"{self.end:#x} {self.steps} steps"
+                f"{'' if self.valid else ' INVALID'}>")
+
+
+class CompiledBlockCache:
+    """Page-indexed map of compiled blocks with chain-aware invalidation.
+
+    Mirrors the decode cache's invalidation contract: with no arguments
+    everything is dropped; with a ``[base, end)`` range only blocks whose
+    byte span overlaps the range are dropped.  A block registered under
+    every page it spans can never survive a write to any of its bytes.
+    """
+
+    def __init__(self, page_shift: int = 12):
+        self._page_shift = page_shift
+        self._blocks: Dict[Tuple[str, int], CompiledBlock] = {}
+        self._pages: Dict[int, List[CompiledBlock]] = {}
+        self.stats = CompiledBlockStats()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def lookup(self, isa_name: str, pc: int) -> Optional[CompiledBlock]:
+        return self._blocks.get((isa_name, pc))
+
+    def install(self, block: CompiledBlock) -> None:
+        self._blocks[(block.isa_name, block.start)] = block
+        shift = self._page_shift
+        last = max(block.start, block.end - 1)
+        for page in range(block.start >> shift, (last >> shift) + 1):
+            self._pages.setdefault(page, []).append(block)
+        self.stats.installs += 1
+
+    def link(self, predecessor: CompiledBlock, next_pc: int,
+             successor: CompiledBlock) -> None:
+        """Record a superblock chain edge predecessor --next_pc--> successor."""
+        predecessor.chain[next_pc] = successor
+        successor.in_links.append((predecessor, next_pc))
+        self.stats.chain_links += 1
+
+    def _drop(self, block: CompiledBlock) -> None:
+        block.valid = False
+        # Sever inbound edges: no predecessor may dispatch into us again.
+        for predecessor, key in block.in_links:
+            if predecessor.chain.get(key) is block:
+                del predecessor.chain[key]
+                self.stats.chain_severed += 1
+        block.in_links.clear()
+        # And outbound ones, so successors don't hold dead back-references.
+        for key, successor in block.chain.items():
+            try:
+                successor.in_links.remove((block, key))
+            except ValueError:
+                pass
+        block.chain.clear()
+        if self._blocks.get((block.isa_name, block.start)) is block:
+            del self._blocks[(block.isa_name, block.start)]
+        self.stats.invalidated_blocks += 1
+
+    def invalidate(self, base: Optional[int] = None,
+                   end: Optional[int] = None) -> None:
+        if base is None:
+            for block in self._blocks.values():
+                block.valid = False
+                block.chain.clear()
+                block.in_links.clear()
+            self.stats.invalidated_blocks += len(self._blocks)
+            self._blocks.clear()
+            self._pages.clear()
+            self.stats.flushes += 1
+            return
+        if end is None:
+            end = base + 1
+        shift = self._page_shift
+        pages = self._pages
+        victims: List[CompiledBlock] = []
+        for page in range(base >> shift, ((end - 1) >> shift) + 1):
+            bucket = pages.get(page)
+            if not bucket:
+                continue
+            for block in bucket:
+                if block.valid and block.start < end and block.end > base:
+                    victims.append(block)
+        for block in victims:
+            if block.valid:
+                self._drop(block)
+        # Compact the page buckets the dropped blocks were listed under.
+        if victims:
+            for page in range(base >> shift, ((end - 1) >> shift) + 1):
+                bucket = pages.get(page)
+                if bucket is None:
+                    continue
+                alive = [block for block in bucket if block.valid]
+                if alive:
+                    pages[page] = alive
+                else:
+                    del pages[page]

@@ -148,6 +148,8 @@ class ArmLikeISA(ISADescription):
     arg_regs = ()              # common multi-ISA ABI passes args on the stack
     call_pushes_return = False
     memory_operands = False
+    # Little-endian words put the opcode in byte 0: BX / BLX / RET.
+    gadget_seed_bytes = frozenset({_OP_BX, _OP_BLX, _OP_RET})
 
     # ------------------------------------------------------------------
     # Encoding

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 WORD_SIZE = 4
 WORD_MASK = 0xFFFFFFFF
@@ -330,6 +330,11 @@ class ISADescription:
     call_pushes_return: bool = True
     #: True if ALU instructions may take one memory operand directly
     memory_operands: bool = True
+    #: first-byte values of every encoding of a gadget-ending instruction
+    #: (RET / IJMP / ICALL).  Gadget miners seed their anchor scan with a
+    #: C-level byte search for these values instead of attempting a decode
+    #: at every offset; ``None`` means "unknown — decode everywhere".
+    gadget_seed_bytes: Optional[FrozenSet[int]] = None
 
     def encode(self, instruction: Instruction, address: int = 0) -> bytes:
         """Encode one instruction at ``address`` (needed for rel branches)."""

@@ -121,6 +121,8 @@ class X86LikeISA(ISADescription):
     arg_regs = ()              # native ABI passes arguments on the stack
     call_pushes_return = True
     memory_operands = True
+    # RET is the single byte 0xC3; ICALL/IJMP both start with 0xFF.
+    gadget_seed_bytes = frozenset({0xC3, 0xFF})
 
     # ------------------------------------------------------------------
     # Encoding

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..dbt.code_cache import CompiledBlock, CompiledBlockCache
 from ..errors import (
     AlignmentFault, DecodeError, IllegalInstruction, MachineFault)
 from ..faults import injection as _faults
@@ -35,6 +36,9 @@ MAX_INSTRUCTION_BYTES = 12
 #: decode-cache page granularity; invalidation cost is O(pages touched)
 DECODE_PAGE_SHIFT = 12
 DECODE_PAGE_SIZE = 1 << DECODE_PAGE_SHIFT
+
+#: longest straight-line run compiled into one block closure
+MAX_BLOCK_INSTRUCTIONS = 64
 
 
 class ExecutionHooks:
@@ -98,6 +102,9 @@ class Interpreter:
         #: a handful of pages at a time, so invalidation scans only the
         #: affected buckets instead of every cached decode.
         self._decode_pages: Dict[int, Dict[Tuple[str, int], Decoded]] = {}
+        #: compiled-block cache for the threaded-code fast path; shares
+        #: the decode cache's page granularity and invalidation contract
+        self._blocks = CompiledBlockCache(DECODE_PAGE_SHIFT)
         self.breakpoints: set = set()
 
     # ------------------------------------------------------------------
@@ -110,8 +117,11 @@ class Interpreter:
         With no arguments the whole cache is dropped.  With a ``[base,
         end)`` range, only the pages overlapping the range are visited —
         a fully-covered page is discarded wholesale, a partially-covered
-        one is scanned for stale entries.
+        one is scanned for stale entries.  Compiled blocks overlapping
+        the range are dropped too (with their chain links severed), so
+        the block cache can never be staler than the decode cache.
         """
+        self._blocks.invalidate(base, end)
         if base is None:
             self._decode_pages.clear()
             return
@@ -318,6 +328,443 @@ class Interpreter:
         src_value = self._value(cpu, ops[1], info)
         cpu.set_compare(dst_value, src_value)
 
+    # ------------------------------------------------------------------
+    # Compiled-block fast path (threaded code)
+    # ------------------------------------------------------------------
+    # Each decoded basic block is compiled once into a chain of small
+    # closures — one per instruction, specialized on the operand kinds —
+    # plus a terminator closure that performs the control transfer
+    # through the normal ExecutionHooks.  Dispatch then costs one dict
+    # lookup and one call per *block*.  The fast path runs only when no
+    # observer, breakpoint, or fault injector is active; everything it
+    # does is bit-identical to the step() loop:
+    #
+    # * ``cpu.pc`` is stored at the start of every instruction closure,
+    #   so modelled faults surface with the exact same pc as step();
+    # * ``steps_executed`` is settled in a ``finally`` with the count of
+    #   *completed* instructions, so a mid-block fault reports the same
+    #   step count as the per-step loop;
+    # * terminators always call ``hooks.on_call`` / ``resolve_target`` —
+    #   superblock chain links only memoize the resolved-pc -> block
+    #   dispatch, never the hook's decision.
+
+    @property
+    def compiled_block_count(self) -> int:
+        """Live compiled blocks (test/diagnostic surface)."""
+        return len(self._blocks)
+
+    @property
+    def block_stats(self):
+        return self._blocks.stats
+
+    def compiled_block_at(self, isa_name: str,
+                          pc: int) -> Optional[CompiledBlock]:
+        """The live compiled block starting at ``pc``, if any."""
+        return self._blocks.lookup(isa_name, pc)
+
+    def _compile_read(self, operand):
+        """Closure returning the operand's value, or None if unsupported."""
+        if isinstance(operand, Reg):
+            index = operand.index
+            return lambda cpu: cpu.regs[index]
+        if isinstance(operand, Imm):
+            value = operand.value
+            return lambda cpu: value
+        if isinstance(operand, Mem):
+            base, disp = operand.base, operand.disp
+            read_word = self.memory.read_word
+            return lambda cpu: read_word(to_unsigned(cpu.regs[base] + disp))
+        return None
+
+    def _compile_write(self, operand):
+        """Closure storing a value into the operand, or None."""
+        if isinstance(operand, Reg):
+            index = operand.index
+
+            def write_reg(cpu, value):
+                cpu.regs[index] = to_unsigned(value)
+            return write_reg
+        if isinstance(operand, Mem):
+            base, disp = operand.base, operand.disp
+            write_word = self.memory.write_word
+
+            def write_mem(cpu, value):
+                write_word(to_unsigned(cpu.regs[base] + disp), value)
+            return write_mem
+        return None
+
+    def _compile_body(self, decoded: Decoded):
+        """Compile one straight-line instruction into a closure, or None."""
+        ins = decoded.instruction
+        op = ins.op
+        ops = ins.operands
+        address = decoded.address
+
+        if op is Op.NOP:
+            def do_nop(cpu):
+                cpu.pc = address
+            return do_nop
+
+        if op is Op.MOV or op is Op.LOAD or op is Op.STORE:
+            read = self._compile_read(ops[1])
+            write = self._compile_write(ops[0])
+            if read is None or write is None:
+                return None
+
+            def do_mov(cpu):
+                cpu.pc = address
+                write(cpu, read(cpu))
+            return do_mov
+
+        if op is Op.MOVT:
+            index = ops[0].index
+            high = (ops[1].value & 0xFFFF) << 16
+
+            def do_movt(cpu):
+                cpu.pc = address
+                cpu.regs[index] = to_unsigned(
+                    (cpu.regs[index] & 0xFFFF) | high)
+            return do_movt
+
+        if op is Op.LOADB:
+            base, disp = ops[1].base, ops[1].disp
+            write = self._compile_write(ops[0])
+            read_u8 = self.memory.read_u8
+            if write is None:
+                return None
+
+            def do_loadb(cpu):
+                cpu.pc = address
+                write(cpu, read_u8(to_unsigned(cpu.regs[base] + disp)))
+            return do_loadb
+
+        if op is Op.STOREB:
+            base, disp = ops[0].base, ops[0].disp
+            read = self._compile_read(ops[1])
+            write_u8 = self.memory.write_u8
+            if read is None:
+                return None
+
+            def do_storeb(cpu):
+                cpu.pc = address
+                target = to_unsigned(cpu.regs[base] + disp)
+                write_u8(target, read(cpu) & 0xFF)
+            return do_storeb
+
+        if op is Op.LEA:
+            index = ops[0].index
+            base, disp = ops[1].base, ops[1].disp
+
+            def do_lea(cpu):
+                cpu.pc = address
+                cpu.regs[index] = to_unsigned(cpu.regs[base] + disp)
+            return do_lea
+
+        if op is Op.PUSH:
+            read = self._compile_read(ops[0])
+            write_word = self.memory.write_word
+            sp_index = self.cpu.isa.sp
+            if read is None:
+                return None
+
+            def do_push(cpu):
+                cpu.pc = address
+                value = read(cpu)
+                regs = cpu.regs
+                sp = to_unsigned(regs[sp_index] - WORD_SIZE)
+                regs[sp_index] = sp
+                write_word(sp, value)
+            return do_push
+
+        if op is Op.POP:
+            write = self._compile_write(ops[0])
+            read_word = self.memory.read_word
+            sp_index = self.cpu.isa.sp
+            if write is None:
+                return None
+
+            def do_pop(cpu):
+                cpu.pc = address
+                regs = cpu.regs
+                slot = regs[sp_index]
+                value = read_word(slot)
+                regs[sp_index] = to_unsigned(slot + WORD_SIZE)
+                write(cpu, value)
+            return do_pop
+
+        if op is Op.CMP:
+            read_dst = self._compile_read(ops[0])
+            read_src = self._compile_read(ops[1])
+            if read_dst is None or read_src is None:
+                return None
+
+            def do_cmp(cpu):
+                cpu.pc = address
+                cpu.set_compare(read_dst(cpu), read_src(cpu))
+            return do_cmp
+
+        handler = _ALU_HANDLERS.get(op)
+        if handler is not None:
+            read_dst = self._compile_read(ops[0])
+            read_src = self._compile_read(ops[1])
+            write_dst = self._compile_write(ops[0])
+            if read_dst is None or read_src is None or write_dst is None:
+                return None
+
+            def do_alu(cpu):
+                cpu.pc = address
+                write_dst(cpu, handler(cpu, read_dst(cpu), read_src(cpu)))
+            return do_alu
+
+        if op is Op.NEG or op is Op.NOT:
+            read = self._compile_read(ops[0])
+            write = self._compile_write(ops[0])
+            if read is None or write is None:
+                return None
+            if op is Op.NEG:
+                def do_neg(cpu):
+                    cpu.pc = address
+                    write(cpu, to_unsigned(-to_signed(read(cpu))))
+                return do_neg
+
+            def do_not(cpu):
+                cpu.pc = address
+                write(cpu, to_unsigned(~read(cpu)))
+            return do_not
+
+        return None
+
+    def _compile_terminator(self, decoded: Decoded):
+        """Closure executing a block-ending instruction; returns next pc."""
+        ins = decoded.instruction
+        op = ins.op
+        ops = ins.operands
+        address = decoded.address
+        fall = decoded.end
+        interp = self
+
+        if op is Op.HLT:
+            def do_hlt(cpu):
+                cpu.pc = address
+                cpu.halted = True
+                return fall
+            return do_hlt
+
+        if op is Op.SYSCALL:
+            def do_syscall(cpu):
+                cpu.pc = address
+                interp.os.dispatch(cpu, interp.memory)
+                return fall
+            return do_syscall
+
+        if op is Op.JMP:
+            target = ops[0].value
+
+            def do_jmp(cpu):
+                cpu.pc = address
+                return interp.hooks.resolve_target("jmp", cpu, target)
+            return do_jmp
+
+        if op is Op.JCC:
+            target = ops[0].value
+            evaluate = ins.cond.evaluate
+
+            def do_jcc(cpu):
+                cpu.pc = address
+                if evaluate(cpu.cmp_value):
+                    return interp.hooks.resolve_target("jcc", cpu, target)
+                return fall
+            return do_jcc
+
+        if op is Op.CALL or op is Op.ICALL:
+            isa = self.cpu.isa
+            pushes = isa.call_pushes_return
+            sp_index = isa.sp
+            lr_index = isa.lr
+            write_word = self.memory.write_word
+            if op is Op.CALL:
+                fixed_target = ops[0].value
+                read_target = None
+                kind = "call"
+            else:
+                fixed_target = 0
+                read_target = self._compile_read(ops[0])
+                if read_target is None:
+                    return None
+                kind = "icall"
+
+            def do_call(cpu):
+                cpu.pc = address
+                hooks = interp.hooks
+                if read_target is None:
+                    target = fixed_target
+                else:
+                    target = read_target(cpu)
+                # Same ordering contract as step(): the saved return
+                # address is chosen *before* resolving, which may
+                # translate and even flush the code cache.
+                saved = hooks.on_call(cpu, fall)
+                target = hooks.resolve_target(kind, cpu, target)
+                if pushes:
+                    regs = cpu.regs
+                    sp = to_unsigned(regs[sp_index] - WORD_SIZE)
+                    regs[sp_index] = sp
+                    write_word(sp, saved)
+                else:
+                    cpu.regs[lr_index] = to_unsigned(saved)
+                return target
+            return do_call
+
+        if op is Op.RET:
+            sp_index = self.cpu.isa.sp
+            read_word = self.memory.read_word
+
+            def do_ret(cpu):
+                cpu.pc = address
+                regs = cpu.regs
+                slot = regs[sp_index]
+                source = read_word(slot)
+                regs[sp_index] = to_unsigned(slot + WORD_SIZE)
+                return interp.hooks.resolve_target("ret", cpu, source)
+            return do_ret
+
+        if op is Op.IJMP:
+            read_target = self._compile_read(ops[0])
+            if read_target is None:
+                return None
+
+            def do_ijmp(cpu):
+                cpu.pc = address
+                return interp.hooks.resolve_target(
+                    "ijmp", cpu, read_target(cpu))
+            return do_ijmp
+
+        return None
+
+    def _make_executor(self, body, terminator, term_counts):
+        """Bind a block's closures into one executable unit.
+
+        ``steps_executed`` is settled in the ``finally`` so a fault (or a
+        migration request escaping a terminator hook) reports exactly the
+        instructions that completed, like the per-step loop.
+        """
+        interp = self
+        if term_counts:
+            def execute(cpu):
+                completed = 0
+                try:
+                    for fn in body:
+                        fn(cpu)
+                        completed += 1
+                    next_pc = terminator(cpu)
+                    completed += 1
+                finally:
+                    interp.steps_executed += completed
+                return next_pc
+        else:
+            def execute(cpu):
+                completed = 0
+                try:
+                    for fn in body:
+                        fn(cpu)
+                        completed += 1
+                finally:
+                    interp.steps_executed += completed
+                return terminator(cpu)
+        return execute
+
+    def _compile_block(self, cpu: CPUState) -> Optional[CompiledBlock]:
+        """Compile the basic block starting at ``cpu.pc``.
+
+        Returns None when even the first instruction fails to decode —
+        the per-step loop then raises the identical fault.  A decode
+        failure (or an uncompilable instruction) *after* the first one
+        ends the block with a plain fall-through, so the slow path takes
+        over at exactly the right pc.
+        """
+        start_pc = cpu.pc
+        body = []
+        terminator = None
+        term_counts = False
+        offset = start_pc
+        while True:
+            try:
+                decoded = self._decode(cpu, offset)
+            except MachineFault:
+                if not body:
+                    return None
+                break
+            ins = decoded.instruction
+            if ins.is_control() or ins.op is Op.HLT or ins.op is Op.SYSCALL:
+                terminator = self._compile_terminator(decoded)
+                if terminator is None:
+                    if not body:
+                        return None
+                    break
+                term_counts = True
+                offset = decoded.end
+                break
+            fn = self._compile_body(decoded)
+            if fn is None:
+                if not body:
+                    return None
+                break
+            body.append(fn)
+            offset = decoded.end
+            if len(body) >= MAX_BLOCK_INSTRUCTIONS:
+                break
+        end = offset
+        if terminator is None:
+            def terminator(cpu, _end=end):
+                return _end
+        executor = self._make_executor(tuple(body), terminator, term_counts)
+        block = CompiledBlock(cpu.isa.name, start_pc, end,
+                              len(body) + (1 if term_counts else 0),
+                              executor)
+        self._blocks.stats.compiles += 1
+        self._blocks.install(block)
+        return block
+
+    def _run_compiled(self, start: int, budget: int) -> None:
+        """Dispatch compiled blocks until halt, budget, or slow-path need.
+
+        Preconditions (checked by the caller): no observers, no
+        breakpoints, no fault injector.  Returns with ``cpu.pc`` and
+        ``steps_executed`` exactly where the per-step loop would have
+        them; the caller's loop finishes any remainder.
+        """
+        cpu = self.cpu
+        if cpu.halted:
+            return
+        remaining = budget - (self.steps_executed - start)
+        if remaining <= 0:
+            return
+        blocks = self._blocks
+        isa_name = cpu.isa.name
+        block = blocks.lookup(isa_name, cpu.pc)
+        if block is None:
+            block = self._compile_block(cpu)
+            if block is None:
+                return
+        while True:
+            if block.steps > remaining:
+                return
+            next_pc = to_unsigned(block.execute(cpu))
+            remaining -= block.steps
+            cpu.pc = next_pc
+            if cpu.halted:
+                return
+            previous = block
+            block = previous.chain.get(next_pc)
+            if block is None or not block.valid:
+                block = blocks.lookup(isa_name, next_pc)
+                if block is None:
+                    block = self._compile_block(cpu)
+                    if block is None:
+                        return
+                if previous.valid:
+                    blocks.link(previous, next_pc, block)
+
     def run(self, max_instructions: int = 1_000_000,
             catch_faults: bool = True) -> ExecutionResult:
         """Run until halt, fault, breakpoint, or the instruction budget.
@@ -336,6 +783,13 @@ class Interpreter:
         breakpoints = self.breakpoints
         injector = _faults.get()
         try:
+            if injector is None and not self.observers and not breakpoints:
+                # Threaded-code fast path: dispatch whole compiled blocks.
+                # Observers, breakpoints, and chaos injection all need
+                # per-instruction visibility, so any of them forces the
+                # per-step loop below (which also finishes budget tails
+                # smaller than the next block).
+                self._run_compiled(start, budget)
             while not cpu.halted:
                 if self.steps_executed - start >= budget:
                     return ExecutionResult(self.steps_executed - start, "limit")

@@ -50,6 +50,7 @@ except ImportError:  # pragma: no cover
 
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_RETRIES = "REPRO_RETRIES"
+ENV_BATCH = "REPRO_BATCH"
 
 #: error prefix marking a job that was never executed this sweep
 #: because its key was quarantined by an earlier exhausted retry cycle
@@ -204,6 +205,19 @@ def _worker_entry(job: Job, index: int, attempt: int = 0) -> JobResult:
     return _execute(job, index, attempt)
 
 
+def _worker_group_entry(pairs: Sequence[Tuple[int, Job]],
+                        attempt: int = 0) -> List[JobResult]:
+    """Pool entry point for a batched job group.
+
+    Runs each job through the exact same :func:`_execute` wrapper the
+    unbatched path uses — one observability capture, one span, and one
+    (deterministically keyed) fault draw per *job* — so per-job results
+    are indistinguishable from one-future-per-job submission; only the
+    process-spawn/IPC cost is amortized across the group.
+    """
+    return [_execute(job, index, attempt) for index, job in pairs]
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Worker-count policy: explicit > ``REPRO_WORKERS`` > serial.
 
@@ -229,6 +243,22 @@ def resolve_retries(retries: Optional[int] = None) -> int:
     return retries
 
 
+def resolve_batch(batch: Optional[int] = None) -> int:
+    """Batch-size policy: explicit > ``REPRO_BATCH`` > unbatched.
+
+    ``0`` (or the env value ``auto``) means one group per worker, sized
+    at sweep time; ``1`` disables batching (the legacy path).
+    """
+    if batch is None:
+        raw = os.environ.get(ENV_BATCH, "").strip().lower()
+        if not raw:
+            return 1
+        batch = 0 if raw == "auto" else int(raw)
+    if batch < 0:
+        raise ConfigError(f"batch must be >= 0, got {batch}")
+    return batch
+
+
 class ExperimentEngine:
     """Runs job lists serially or across a process pool.
 
@@ -246,11 +276,15 @@ class ExperimentEngine:
                  retries: Optional[int] = None,
                  backoff: float = 0.05,
                  timeout_escalation: float = 2.0,
-                 supervise: Optional[bool] = None):
+                 supervise: Optional[bool] = None,
+                 batch: Optional[int] = None):
         self.workers = resolve_workers(workers)
         #: default per-job timeout applied when a job doesn't set one
         self.job_timeout = job_timeout
         self.retries = resolve_retries(retries)
+        #: jobs per pool submission on the plain parallel path; 1 =
+        #: one future per job, 0 = one group per worker (sized per sweep)
+        self.batch = resolve_batch(batch)
         #: run the parallel path under a SupervisedPool (heartbeats,
         #: hung-worker kill-and-replace) instead of a bare process pool
         self.supervise = supervision.resolve_supervise(supervise)
@@ -556,6 +590,9 @@ class ExperimentEngine:
             for index, job in pairs:
                 journal.append("job_started", key=job.key, attempt=attempt)
         if self.supervise:
+            # The supervised pool owns per-job heartbeats and hung-worker
+            # replacement; grouping would blunt both, so it stays
+            # one-job-per-dispatch regardless of ``batch``.
             pool = supervision.SupervisedPool(
                 workers=min(self.workers, len(pairs)))
             done = pool.run(pairs, attempt, on_result=on_result,
@@ -564,28 +601,63 @@ class ExperimentEngine:
             return [done[index] for index, _ in pairs if index in done]
         return self._run_pool(pairs, attempt, on_result)
 
+    def _group_size(self, pair_count: int, max_workers: int) -> int:
+        """Jobs per pool submission for this sweep.
+
+        ``batch == 0`` (auto) hands each worker one contiguous group;
+        anything larger than 1 is used as-is.  Grouping amortizes
+        process-spawn and argument-pickling cost over many small jobs
+        without changing any per-job outcome (see
+        :func:`_worker_group_entry`).
+        """
+        if self.batch == 0:
+            return -(-pair_count // max_workers)
+        return self.batch
+
     def _run_pool(self, pairs: Sequence[Tuple[int, Job]],
                   attempt: int = 0, on_result=None) -> List[JobResult]:
         jobs_by_index = dict(pairs)
         by_index: Dict[int, JobResult] = {}
         max_workers = min(self.workers, len(pairs))
-        pending: Dict[Any, int] = {}
+        #: future -> list of indices it will resolve (singleton when
+        #: unbatched); kept as a list so a broken worker can fail every
+        #: job it held, not just one
+        pending: Dict[Any, List[int]] = {}
+        group_size = self._group_size(len(pairs), max_workers)
 
         def settle(index: int, result: JobResult) -> None:
             by_index[index] = result
             if on_result is not None:
                 on_result(result, attempt)
 
+        def settle_error(indices: Sequence[int], message: str) -> None:
+            for index in indices:
+                settle(index, JobResult(
+                    key=jobs_by_index[index].key, index=index,
+                    error=message))
+
+        groups: List[Sequence[Tuple[int, Job]]]
+        if group_size > 1:
+            groups = [pairs[pos:pos + group_size]
+                      for pos in range(0, len(pairs), group_size)]
+        else:
+            groups = [(pair,) for pair in pairs]
+
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for index, job in pairs:
+            for group in groups:
+                indices = [index for index, _ in group]
                 try:
-                    future = pool.submit(_worker_entry, job, index, attempt)
+                    if len(group) == 1:
+                        index, job = group[0]
+                        future = pool.submit(_worker_entry, job, index,
+                                             attempt)
+                    else:
+                        future = pool.submit(_worker_group_entry, group,
+                                             attempt)
                 except (BrokenProcessPool, RuntimeError) as exc:
-                    settle(index, JobResult(
-                        key=job.key, index=index,
-                        error=f"pool broken at submit: {exc}"))
+                    settle_error(indices, f"pool broken at submit: {exc}")
                     continue
-                pending[future] = index
+                pending[future] = indices
             while pending:
                 if durable.interrupt_requested():
                     # drain in-flight work, drop what never started
@@ -597,19 +669,24 @@ class ExperimentEngine:
                 done, _ = wait(list(pending), timeout=0.5,
                                return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = pending.pop(future)
+                    indices = pending.pop(future)
                     try:
-                        settle(index, future.result())
+                        outcome = future.result()
                     except BrokenProcessPool as exc:
                         # A worker died hard (e.g. os._exit/segfault): the
-                        # job it held is lost, the sweep is not.
-                        settle(index, JobResult(
-                            key=jobs_by_index[index].key, index=index,
-                            error=f"worker process died: {exc}"))
+                        # jobs it held are lost, the sweep is not.
+                        settle_error(indices,
+                                     f"worker process died: {exc}")
+                        continue
                     except Exception as exc:
-                        settle(index, JobResult(
-                            key=jobs_by_index[index].key, index=index,
-                            error=f"{type(exc).__name__}: {exc}"))
+                        settle_error(indices,
+                                     f"{type(exc).__name__}: {exc}")
+                        continue
+                    if isinstance(outcome, JobResult):
+                        settle(outcome.index, outcome)
+                    else:
+                        for result in outcome:
+                            settle(result.index, result)
         return [by_index[index] for index, _ in pairs if index in by_index]
 
 

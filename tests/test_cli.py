@@ -111,11 +111,17 @@ class TestBench:
         import json
         payload = json.loads(out_path.read_text())
         phase_names = [p["name"] for p in payload["phases"]]
-        assert phase_names == ["compile", "mine", "sweep-serial-cold",
-                               "sweep-parallel-cold", "sweep-populate",
+        assert phase_names == ["compile", "mine", "exec-native",
+                               "sweep-serial-cold", "sweep-parallel-cold",
+                               "sweep-parallel-batched", "sweep-populate",
                                "sweep-warm"]
         assert payload["benchmarks"] == ["mcf"]
         assert payload["host"]["cpu_count"] >= 1
+        # bench defaults --workers to one per core and records both the
+        # requested and the effective counts
+        assert payload["workers_requested"] == "auto(cpu_count)"
+        assert payload["workers_effective"] == payload["workers"]
+        assert payload["batch"] == 0
         assert "cache" in payload and "hit_rate" in payload["cache"]
         assert payload["speedup"] is None or payload["speedup"] > 0
         # the warm sweep must beat the cold one through the cache

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_*.json`` trajectory files phase by phase.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold PCT] [--min-seconds S] [--warn-only]
+
+For every phase present in both files the tool prints baseline seconds,
+candidate seconds, and the relative change.  A phase is a *regression*
+when the candidate is slower than ``--threshold`` percent over the
+baseline (default 25%) and the baseline took at least ``--min-seconds``
+(default 0.05 s — sub-tick phases are pure timer noise).  Any regression
+makes the exit status non-zero unless ``--warn-only`` is given, which
+reports them but always exits 0 (the CI perf-smoke mode).
+
+Phases present in only one file are listed informationally and never
+fail the comparison — adding or retiring a phase is not a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+
+def load_phases(path: str) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Phase name -> seconds (summed over repeats), plus the raw payload."""
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    phases: Dict[str, float] = {}
+    for record in payload.get("phases", []):
+        name = record.get("name")
+        if not name:
+            continue
+        phases[name] = phases.get(name, 0.0) + float(
+            record.get("seconds", 0.0))
+    return phases, payload
+
+
+def compare(baseline: Dict[str, float], candidate: Dict[str, float],
+            threshold: float, min_seconds: float
+            ) -> Tuple[List[str], List[str]]:
+    """Render comparison rows; return (lines, regression names)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    shared = [name for name in baseline if name in candidate]
+    width = max((len(name) for name in shared), default=10)
+    header = (f"{'phase':<{width}}  {'baseline':>10}  {'candidate':>10}  "
+              f"{'change':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in shared:
+        base = baseline[name]
+        cand = candidate[name]
+        if base > 0:
+            change = (cand - base) / base * 100.0
+            rendered = f"{change:+7.1f}%"
+        else:
+            change = 0.0
+            rendered = "     n/a"
+        flag = ""
+        if base >= min_seconds and change > threshold:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        elif base >= min_seconds and change < -threshold:
+            flag = "  (improved)"
+        lines.append(f"{name:<{width}}  {base:>9.3f}s  {cand:>9.3f}s  "
+                     f"{rendered}{flag}")
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+    if only_base:
+        lines.append(f"only in baseline:  {', '.join(only_base)}")
+    if only_cand:
+        lines.append(f"only in candidate: {', '.join(only_cand)}")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files per phase")
+    parser.add_argument("baseline", help="reference BENCH_*.json")
+    parser.add_argument("candidate", help="new BENCH_*.json to judge")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        metavar="PCT",
+                        help="max tolerated slowdown per phase, percent "
+                             "(default 25)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        metavar="S",
+                        help="ignore phases whose baseline is under S "
+                             "seconds (default 0.05)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args(argv)
+
+    try:
+        base_phases, base_payload = load_phases(args.baseline)
+        cand_phases, cand_payload = load_phases(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not base_phases or not cand_phases:
+        print("error: no phases found in one of the inputs",
+              file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(base_phases, cand_phases,
+                                 args.threshold, args.min_seconds)
+    print("\n".join(lines))
+    base_host = base_payload.get("host", {}).get("cpu_count")
+    cand_host = cand_payload.get("host", {}).get("cpu_count")
+    if base_host != cand_host:
+        print(f"note: host cpu_count differs "
+              f"(baseline {base_host}, candidate {cand_host})")
+    if regressions:
+        verdict = (f"{len(regressions)} phase(s) regressed more than "
+                   f"{args.threshold:g}%: {', '.join(regressions)}")
+        if args.warn_only:
+            print(f"WARNING: {verdict}")
+            return 0
+        print(f"FAIL: {verdict}", file=sys.stderr)
+        return 1
+    print(f"OK: no phase regressed more than {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
