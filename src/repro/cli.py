@@ -17,7 +17,11 @@ Commands:
   every case must match clean native execution or fail *typed*; exit 1
   on any silent divergence (reproducible via ``--fault-seed``)
 * ``report FILE``     — summarize a captured ``*.jsonl`` trace (phases,
-  jobs, counters, histograms, cache hit rate, migrations)
+  jobs, counters, histograms, cache hit rate, migrations); also emits
+  flamegraphs (``--flamegraph``), the critical path
+  (``--critical-path``), and Prometheus text (``--format prom``)
+* ``top [RUN]``       — render a journaled run's live status file
+  (jobs, workers, breakers, cache, faults), live or post-hoc
 
 ``experiment`` and ``bench`` share the runtime flags ``--workers``
 (process fan-out; 0 = one per core), ``--no-cache``, ``--cache-dir``,
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 from . import obs
@@ -41,7 +46,8 @@ from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
 from .errors import JournalCorruptError, ResumeMismatchError, RunInterrupted
 from .isa import ISAS, linear_disassemble
-from .obs.report import render_report
+from .obs.report import (
+    render_critical_path, render_flamegraph_file, render_report)
 from .runtime import (
     ExperimentEngine,
     PhaseProfiler,
@@ -599,15 +605,142 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Load a captured trace file and print its summary tables."""
+    """Load a captured trace file and print its summary tables.
+
+    ``--flamegraph FILE`` additionally writes the collapsed-stack form;
+    ``--format prom`` prints the Prometheus exposition of the trace's
+    metrics instead of the text report; ``--critical-path`` prints the
+    heaviest span chain instead of the full report.
+    """
     try:
         trace = obs.load_trace(args.file)
     except (OSError, obs.TraceError) as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.flamegraph:
+            body = render_flamegraph_file(trace)
+            with open(args.flamegraph, "w") as handle:
+                handle.write(body)
+            print(f"[report] wrote {args.flamegraph} "
+                  f"({len(body.splitlines())} stack(s))")
+        if args.format == "prom":
+            sys.stdout.write(obs.render_prom(trace.metrics or {}))
+        elif args.critical_path:
+            print(render_critical_path(trace))
+        else:
+            print(render_report(trace, top=args.top))
+    except BrokenPipeError:      # e.g. `repro report f | head`
+        sys.stderr.close()       # suppress the interpreter's warning
+    return 0
+
+
+def _status_state(status: dict) -> str:
+    """Effective run state: a dead writer pid downgrades ``running``."""
+    state = str(status.get("state", "?"))
+    pid = int(status.get("pid", 0) or 0)
+    if state == "running" and pid:
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            return "stale (process gone)"
+    return state
+
+
+def _render_status(status: dict) -> str:
+    """Human view of one run's status document (``repro top``)."""
+    jobs = status.get("jobs", {})
+    state = _status_state(status)
+    pid = int(status.get("pid", 0) or 0)
+    lines = [f"run {status.get('run_id', '?')}  state={state}  pid={pid}"
+             + ("  [synthesized from journal]"
+                if status.get("synthesized") else "")]
+    argv = status.get("argv") or []
+    if argv:
+        lines.append(f"  command: {' '.join(str(a) for a in argv)}")
+    lines.append(
+        f"  jobs: {jobs.get('done', 0)}/{jobs.get('total', 0)} done, "
+        f"{jobs.get('failed', 0)} failed, {jobs.get('running', 0)} "
+        f"running, {jobs.get('pending', 0)} pending")
+    workers = status.get("workers") or {}
+    for wid in sorted(workers, key=lambda w: int(w)):
+        info = workers[wid]
+        job = info.get("job") or "idle"
+        lines.append(f"  worker {wid}: heartbeat {info.get('age', '?')}s "
+                     f"ago, {job}")
+    breakers = status.get("breakers") or {}
+    for workload in sorted(breakers):
+        info = breakers[workload]
+        lines.append(f"  breaker {workload}: {info.get('state', '?')} "
+                     f"({info.get('failures', 0)} failures)")
+    cache = status.get("cache") or {}
+    if cache:
+        lines.append(f"  cache: hits={cache.get('hits', 0)} "
+                     f"misses={cache.get('misses', 0)} "
+                     f"hit-rate={cache.get('hit_rate', 0.0):.1%}")
+    faults = status.get("faults") or {}
+    if faults.get("injected") or faults.get("recovered"):
+        lines.append(f"  faults: injected={faults.get('injected', 0)} "
+                     f"recovered={faults.get('recovered', 0)}")
+    updated = float(status.get("updated", 0.0))
+    if updated:
+        lines.append(f"  updated {max(0.0, time.time() - updated):.1f}s "
+                     f"ago")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render a journaled run's live status, watching if asked.
+
+    Reads the atomic ``<run>.status.json`` the engine/supervisor keep
+    next to the journal; for runs that never wrote one (pre-status
+    journals) a status is synthesized by replaying the journal.
+    """
+    directory = _journal_dir(args)
+    if not directory:
+        print("error: give --journal DIR or set REPRO_JOURNAL",
+              file=sys.stderr)
         return 2
     try:
-        print(render_report(trace, top=args.top))
-    except BrokenPipeError:      # e.g. `repro report f | head`
+        path = durable.find_run(directory, args.run_id)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_id = path.name[:-len(".journal.jsonl")]
+
+    def read_status() -> Optional[dict]:
+        status = durable.load_status(directory, run_id)
+        if status is not None:
+            return status
+        try:
+            return durable.synthesize_status(
+                durable.replay_journal(path, repair=False))
+        except (OSError, JournalCorruptError, ResumeMismatchError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+
+    try:
+        if args.watch:
+            try:
+                while True:
+                    status = read_status()
+                    if status is None:
+                        return 2
+                    sys.stdout.write("\x1b[2J\x1b[H"
+                                     + _render_status(status) + "\n")
+                    sys.stdout.flush()
+                    # a stale status (writer pid gone) must end the
+                    # watch too, or a crashed run would spin forever
+                    if _status_state(status) != "running":
+                        return 0
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:       # pragma: no cover
+                return 130
+        status = read_status()
+        if status is None:
+            return 2
+        print(_render_status(status))
+    except BrokenPipeError:      # e.g. `repro top | head`
         sys.stderr.close()       # suppress the interpreter's warning
     return 0
 
@@ -770,7 +903,35 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("file", help="trace file written by --trace")
     report_parser.add_argument("--top", type=int, default=15, metavar="N",
                                help="rows per ranked table (default 15)")
+    report_parser.add_argument("--flamegraph", default=None, metavar="FILE",
+                               help="also write the span tree as "
+                                    "collapsed stacks (speedscope / "
+                                    "flamegraph.pl compatible)")
+    report_parser.add_argument("--critical-path", action="store_true",
+                               help="print the longest-duration span "
+                                    "chain instead of the full report")
+    report_parser.add_argument("--format", default="text",
+                               choices=("text", "prom"),
+                               help="'prom' prints the trace's metrics "
+                                    "as Prometheus text exposition")
     report_parser.set_defaults(func=cmd_report)
+
+    top_parser = sub.add_parser(
+        "top", help="live status of a journaled run")
+    top_parser.add_argument("run_id", nargs="?", default="latest",
+                            help="run id, unique prefix, or 'latest' "
+                                 "(default)")
+    top_parser.add_argument("--journal", default=None, metavar="DIR",
+                            help="journal directory "
+                                 "(default: $REPRO_JOURNAL)")
+    top_parser.add_argument("--watch", action="store_true",
+                            help="refresh until the run leaves the "
+                                 "'running' state")
+    top_parser.add_argument("--interval", type=float, default=1.0,
+                            metavar="S",
+                            help="refresh period with --watch "
+                                 "(default 1.0)")
+    top_parser.set_defaults(func=cmd_top)
 
     resume_parser = sub.add_parser(
         "resume", help="resume a journaled run after a crash or interrupt")
@@ -783,6 +944,10 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("--force", action="store_true",
                                help="reset journaled circuit breakers "
                                     "before resuming")
+    resume_parser.add_argument("--trace", default=None, metavar="FILE",
+                               help="capture a metrics + span trace of "
+                                    "the resumed run (JSONL; or set "
+                                    "$REPRO_TRACE)")
     resume_parser.set_defaults(func=cmd_resume)
 
     runs_parser = sub.add_parser(
@@ -813,6 +978,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
         print("error: give --journal DIR or set REPRO_JOURNAL",
               file=sys.stderr)
         return 2
+    trace_path = getattr(args, "trace", None) \
+        or os.environ.get(obs.ENV_TRACE)
+    if trace_path:
+        # export before re-dispatching so the resumed command (and its
+        # workers) trace exactly like a fresh run would
+        os.environ[obs.ENV_TRACE] = str(trace_path)
+        obs.enable()
     try:
         path = durable.find_run(directory, args.run_id)
         replay = durable.replay_journal(path)

@@ -152,10 +152,18 @@ class CompiledBlock:
     never a substitute for the control-transfer hooks, which the
     terminator closure always invokes.  ``in_links`` records who chains
     to us, so invalidation can sever every inbound edge.
+
+    ``prof_entries``/``prof_steps``/``prof_seconds`` are the block-level
+    profiler's accumulation slots: plain attributes the interpreter's
+    profiled dispatch loop bumps per entry (no dict or registry lookup
+    on the hot path).  They stay zero unless observability is on and are
+    drained into the metrics registry by
+    :meth:`CompiledBlockCache.drain_profile`.
     """
 
     __slots__ = ("isa_name", "start", "end", "steps", "execute", "chain",
-                 "in_links", "valid")
+                 "in_links", "valid", "prof_entries", "prof_steps",
+                 "prof_seconds")
 
     def __init__(self, isa_name: str, start: int, end: int, steps: int,
                  execute: Callable[[object], int]):
@@ -167,6 +175,9 @@ class CompiledBlock:
         self.chain: Dict[int, "CompiledBlock"] = {}
         self.in_links: List[Tuple["CompiledBlock", int]] = []
         self.valid = True
+        self.prof_entries = 0
+        self.prof_steps = 0
+        self.prof_seconds = 0.0
 
     def __repr__(self) -> str:
         return (f"<CompiledBlock {self.isa_name}@{self.start:#x}.."
@@ -188,6 +199,9 @@ class CompiledBlockCache:
         self._blocks: Dict[Tuple[str, int], CompiledBlock] = {}
         self._pages: Dict[int, List[CompiledBlock]] = {}
         self.stats = CompiledBlockStats()
+        #: profile totals of blocks that were invalidated while carrying
+        #: unflushed counts, keyed (isa, start, end): [entries, steps, s]
+        self._retired: Dict[Tuple[str, int, int], List[float]] = {}
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -210,7 +224,63 @@ class CompiledBlockCache:
         successor.in_links.append((predecessor, next_pc))
         self.stats.chain_links += 1
 
+    # -- block-level profiler plumbing ---------------------------------
+    def retire_profile(self, block: CompiledBlock, entries: int = 0,
+                       steps: int = 0, seconds: float = 0.0) -> None:
+        """Fold profile counts into the retired pool.
+
+        Absorbs the block's own unflushed slots plus any extra counts
+        the caller measured after the block became unreachable (a block
+        invalidated in the middle of its own ``execute``).
+        """
+        entries += block.prof_entries
+        steps += block.prof_steps
+        seconds += block.prof_seconds
+        block.prof_entries = 0
+        block.prof_steps = 0
+        block.prof_seconds = 0.0
+        if not entries and not steps and not seconds:
+            return
+        key = (block.isa_name, block.start, block.end)
+        slot = self._retired.get(key)
+        if slot is None:
+            self._retired[key] = [float(entries), float(steps), seconds]
+        else:
+            slot[0] += entries
+            slot[1] += steps
+            slot[2] += seconds
+
+    def drain_profile(self) -> List[Tuple[str, int, int, int, int, float]]:
+        """Collect and zero all profile counts, live and retired.
+
+        Returns ``(isa, start, end, entries, steps, seconds)`` rows
+        sorted by key so the emitted metrics are deterministic.
+        """
+        totals: Dict[Tuple[str, int, int], List[float]] = {}
+        for slot_key, slot in self._retired.items():
+            totals[slot_key] = list(slot)
+        self._retired.clear()
+        for block in self._blocks.values():
+            if not (block.prof_entries or block.prof_steps
+                    or block.prof_seconds):
+                continue
+            key = (block.isa_name, block.start, block.end)
+            slot = totals.get(key)
+            if slot is None:
+                totals[key] = [float(block.prof_entries),
+                               float(block.prof_steps), block.prof_seconds]
+            else:
+                slot[0] += block.prof_entries
+                slot[1] += block.prof_steps
+                slot[2] += block.prof_seconds
+            block.prof_entries = 0
+            block.prof_steps = 0
+            block.prof_seconds = 0.0
+        return [(isa, start, end, int(slot[0]), int(slot[1]), slot[2])
+                for (isa, start, end), slot in sorted(totals.items())]
+
     def _drop(self, block: CompiledBlock) -> None:
+        self.retire_profile(block)
         block.valid = False
         # Sever inbound edges: no predecessor may dispatch into us again.
         for predecessor, key in block.in_links:
@@ -233,6 +303,7 @@ class CompiledBlockCache:
                    end: Optional[int] = None) -> None:
         if base is None:
             for block in self._blocks.values():
+                self.retire_profile(block)
                 block.valid = False
                 block.chain.clear()
                 block.in_links.clear()

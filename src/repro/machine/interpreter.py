@@ -17,6 +17,7 @@ rest of the system build on it without subclassing:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -24,6 +25,7 @@ from ..dbt.code_cache import CompiledBlock, CompiledBlockCache
 from ..errors import (
     AlignmentFault, DecodeError, IllegalInstruction, MachineFault)
 from ..faults import injection as _faults
+from ..obs import context as _obs
 from ..isa.base import (
     Decoded, Imm, Mem, Op, Reg, WORD_SIZE, to_signed, to_unsigned)
 from .cpu import CPUState
@@ -765,6 +767,66 @@ class Interpreter:
                 if previous.valid:
                     blocks.link(previous, next_pc, block)
 
+    def _run_compiled_profiled(self, start: int, budget: int) -> None:
+        """Profiled twin of :meth:`_run_compiled`.
+
+        Same dispatch, plus per-block entry/step/host-time accounting
+        into the block's ``prof_*`` slots — plain attribute bumps, no
+        registry lookups on the hot path.  Kept as a separate loop so
+        the unprofiled fast path pays nothing for the timers.  A block
+        invalidated during its own ``execute`` (decode-cache flush)
+        routes its counts through the cache's retired pool instead of
+        its now-orphaned slots.
+        """
+        cpu = self.cpu
+        if cpu.halted:
+            return
+        remaining = budget - (self.steps_executed - start)
+        if remaining <= 0:
+            return
+        blocks = self._blocks
+        isa_name = cpu.isa.name
+        perf = time.perf_counter
+        block = blocks.lookup(isa_name, cpu.pc)
+        if block is None:
+            block = self._compile_block(cpu)
+            if block is None:
+                return
+        while True:
+            if block.steps > remaining:
+                return
+            before = self.steps_executed
+            begin = perf()
+            try:
+                next_pc = to_unsigned(block.execute(cpu))
+            finally:
+                elapsed = perf() - begin
+                stepped = self.steps_executed - before
+                if block.valid:
+                    block.prof_entries += 1
+                    block.prof_steps += stepped
+                    block.prof_seconds += elapsed
+                else:
+                    blocks.retire_profile(block, 1, stepped, elapsed)
+            remaining -= block.steps
+            cpu.pc = next_pc
+            if cpu.halted:
+                return
+            previous = block
+            block = previous.chain.get(next_pc)
+            if block is None or not block.valid:
+                block = blocks.lookup(isa_name, next_pc)
+                if block is None:
+                    block = self._compile_block(cpu)
+                    if block is None:
+                        return
+                if previous.valid:
+                    blocks.link(previous, next_pc, block)
+
+    def drain_block_profile(self):
+        """Collect and zero the block profiler's accumulated counts."""
+        return self._blocks.drain_profile()
+
     def run(self, max_instructions: int = 1_000_000,
             catch_faults: bool = True) -> ExecutionResult:
         """Run until halt, fault, breakpoint, or the instruction budget.
@@ -782,14 +844,21 @@ class Interpreter:
         step = self.step
         breakpoints = self.breakpoints
         injector = _faults.get()
+        profiling = False
         try:
             if injector is None and not self.observers and not breakpoints:
                 # Threaded-code fast path: dispatch whole compiled blocks.
                 # Observers, breakpoints, and chaos injection all need
                 # per-instruction visibility, so any of them forces the
                 # per-step loop below (which also finishes budget tails
-                # smaller than the next block).
-                self._run_compiled(start, budget)
+                # smaller than the next block).  With observability on,
+                # the profiled twin keeps per-block attribution without
+                # leaving the fast path.
+                profiling = _obs.enabled()
+                if profiling:
+                    self._run_compiled_profiled(start, budget)
+                else:
+                    self._run_compiled(start, budget)
             while not cpu.halted:
                 if self.steps_executed - start >= budget:
                     return ExecutionResult(self.steps_executed - start, "limit")
@@ -811,6 +880,12 @@ class Interpreter:
             if not catch_faults:
                 raise
             return ExecutionResult(self.steps_executed - start, "fault", fault)
+        finally:
+            if profiling:
+                # Flush even when a fault or a migration request unwinds
+                # this frame — the counts are already settled above.
+                from ..obs.profile_attr import flush_block_profile
+                flush_block_profile(self)
         return ExecutionResult(self.steps_executed - start, "halt")
 
 

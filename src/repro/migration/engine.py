@@ -140,10 +140,17 @@ class MigrationEngine:
             source_vm = self.vms[source_isa]
             target_vm = self.vms[target_isa]
 
+            # Per-stage latency breakdown (walk / relocate / transform /
+            # resume).  Measured unconditionally — four perf_counter
+            # pairs per migration are noise next to the work — but only
+            # emitted when observability is on.
+            stage_seconds: Dict[str, float] = {}
+            walk_start = time.perf_counter()
             innermost, target_resume = self._innermost_frame(
                 source_isa, target_isa, cpu, native_target, kind)
             frames = self.transformer.walk_frames(
                 source_isa, memory, innermost, source_vm.reloc_for)
+            stage_seconds["walk"] = time.perf_counter() - walk_start
 
             # Everything up to here only *read* state.  From the first
             # return-address rewrite on, the stack is being mutated in
@@ -152,20 +159,25 @@ class MigrationEngine:
             checkpoint = self._checkpoint(cpu, memory, frames, source_vm)
             try:
                 self._maybe_corrupt_stack(memory, checkpoint)
+                relocate_start = time.perf_counter()
                 self._rewrite_return_addresses(frames, memory, source_isa,
                                                target_isa, source_vm)
+                stage_seconds["relocate"] = \
+                    time.perf_counter() - relocate_start
 
                 transform_start = time.perf_counter()
                 target_cpu, report = self.transformer.transform(
                     cpu, target_vm.isa, memory, frames,
                     source_vm.reloc_for, target_vm.reloc_for)
-                transform_seconds = time.perf_counter() - transform_start
+                stage_seconds["transform"] = \
+                    time.perf_counter() - transform_start
                 if kind == "ret":
                     # The callee's return value is in flight in the source
                     # ISA's return register; hand it to the target ISA's.
                     target_cpu.set(target_vm.isa.return_reg,
                                    cpu.get(source_vm.isa.return_reg))
 
+                resume_start = time.perf_counter()
                 translated = target_vm.cache.peek(target_resume)
                 if translated is None:
                     translated = target_vm.install_unit(target_resume)
@@ -173,6 +185,8 @@ class MigrationEngine:
                     raise MigrationError(
                         f"no translation for resume point {target_resume:#x}")
                 target_cpu.pc = translated
+                stage_seconds["resume"] = \
+                    time.perf_counter() - resume_start
             except Exception as exc:
                 self._rollback(checkpoint, cpu, memory)
                 self.rollback_count += 1
@@ -189,7 +203,7 @@ class MigrationEngine:
 
             record = MigrationRecord(source_isa, target_isa, kind,
                                      native_target, report)
-            self._record(record, transform_seconds, span)
+            self._record(record, stage_seconds, span)
         return target_cpu
 
     # ------------------------------------------------------------------
@@ -240,8 +254,8 @@ class MigrationEngine:
                           ^ (rng.getrandbits(31) | 1))
         injector.raise_fault(event)
 
-    def _record(self, record: MigrationRecord, transform_seconds: float,
-                span) -> None:
+    def _record(self, record: MigrationRecord,
+                stage_seconds: Dict[str, float], span) -> None:
         """Retain the record (bounded) and bump the running statistics."""
         self.history.append(record)
         self._total_migrations += 1
@@ -263,7 +277,17 @@ class MigrationEngine:
         registry.histogram("migration.frames",
                            edges=SIZE_EDGES).observe(report.frames)
         registry.histogram("migration.transform_seconds").observe(
-            transform_seconds)
+            stage_seconds.get("transform", 0.0))
+        tracer = obs.get_tracer()
+        for stage in ("walk", "relocate", "transform", "resume"):
+            seconds = stage_seconds.get(stage)
+            if seconds is None:
+                continue
+            registry.histogram("migration.stage_seconds",
+                               stage=stage).observe(seconds)
+            # pre-measured child spans of the open migration span: the
+            # latency breakdown flamegraphs and --critical-path read
+            tracer.add_span(f"migration.{stage}", seconds)
 
     # ------------------------------------------------------------------
     def _innermost_frame(self, source_isa: str, target_isa: str,

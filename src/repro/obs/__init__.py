@@ -13,6 +13,9 @@ One subsystem feeds every operational number the reproduction reports
 * :mod:`repro.obs.instrument` — the interpreter step observer
   (instruction mix, branches, syscalls) that attaches only when
   observability is on;
+* :mod:`repro.obs.profile_attr` — the compiled-block profiler flush and
+  the span-tree attribution analyses (flamegraph, critical path);
+* :mod:`repro.obs.exposition` — Prometheus text exposition + parser;
 * :mod:`repro.obs.report` — the ``repro report`` renderer.
 """
 
@@ -40,6 +43,7 @@ from .metrics import (
     parse_series,
     series_name,
 )
+from .exposition import parse_prom, render_prom
 from .trace import TRACE_SCHEMA, TraceData, TraceError, Tracer, load_trace
 
 # NB: .report (the ``repro report`` renderer) is deliberately NOT
@@ -68,6 +72,8 @@ __all__ = [
     "SIZE_EDGES",
     "parse_series",
     "series_name",
+    "parse_prom",
+    "render_prom",
     "TRACE_SCHEMA",
     "TraceData",
     "TraceError",

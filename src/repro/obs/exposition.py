@@ -1,0 +1,196 @@
+"""Prometheus text exposition for metrics snapshots.
+
+:func:`render_prom` turns a :meth:`MetricsRegistry.snapshot` payload
+into the Prometheus text format (version 0.0.4): counters as
+``<name>_total``, gauges bare, histograms as cumulative ``_bucket``
+series with ``le`` labels plus ``_sum``/``_count``.  Series names are
+sanitized (``interp.block.steps`` → ``repro_interp_block_steps``),
+label values are escaped per the spec, and output order is
+deterministic (sorted series keys, one contiguous family per ``# TYPE``
+line) so two renders of the same snapshot are byte-identical.
+
+:func:`parse_prom` is the inverse over text this module produced: it
+rebuilds a snapshot-shaped dict (de-cumulating histogram buckets), so
+``render(parse(render(s)), prefix="") == render(s, prefix="")`` holds —
+the round-trip property the tests pin.  It is intentionally tolerant of
+comments and blank lines but not a general Prometheus parser.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from .metrics import parse_series, series_name
+
+__all__ = ["render_prom", "parse_prom"]
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return _NAME_SANITIZE.sub("_", prefix + name)
+
+
+def _escape(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _fmt(value: Any) -> str:
+    """Shortest exact rendering: ints bare, floats via ``repr``."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _parse_number(text: str):
+    if re.fullmatch(r"[+-]?\d+", text):
+        return int(text)
+    return float(text)
+
+
+def _labels_fragment(labels: Dict[str, Any],
+                     extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    parts = [f'{key}="{_escape(labels[key])}"' for key in sorted(labels)]
+    parts.extend(f'{key}="{_escape(value)}"' for key, value in extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _families(section: Dict[str, Any], prefix: str):
+    """Group sorted series keys into contiguous sanitized families."""
+    families: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    order: List[str] = []
+    for key in sorted(section):
+        name, labels = parse_series(key)
+        family = _metric_name(name, prefix)
+        if family not in families:
+            families[family] = []
+            order.append(family)
+        families[family].append((labels, section[key]))
+    return [(family, families[family]) for family in order]
+
+
+def render_prom(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:
+    """Prometheus text body for one metrics snapshot (trailing newline)."""
+    lines: List[str] = []
+    for family, samples in _families(snapshot.get("counters", {}), prefix):
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in samples:
+            lines.append(
+                f"{family}_total{_labels_fragment(labels)} {_fmt(value)}")
+    for family, samples in _families(snapshot.get("gauges", {}), prefix):
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in samples:
+            lines.append(
+                f"{family}{_labels_fragment(labels)} {_fmt(value)}")
+    for family, samples in _families(snapshot.get("histograms", {}),
+                                     prefix):
+        lines.append(f"# TYPE {family} histogram")
+        for labels, payload in samples:
+            cumulative = 0
+            counts = payload["counts"]
+            for edge, count in zip(payload["edges"], counts):
+                cumulative += count
+                fragment = _labels_fragment(labels,
+                                            (("le", _fmt(float(edge))),))
+                lines.append(f"{family}_bucket{fragment} {cumulative}")
+            cumulative += counts[len(payload["edges"])] \
+                if len(counts) > len(payload["edges"]) else 0
+            fragment = _labels_fragment(labels, (("le", "+Inf"),))
+            lines.append(f"{family}_bucket{fragment} {cumulative}")
+            lines.append(
+                f"{family}_sum{_labels_fragment(labels)} "
+                f"{_fmt(payload.get('sum', 0.0))}")
+            lines.append(
+                f"{family}_count{_labels_fragment(labels)} {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prom(text: str) -> Dict[str, Any]:
+    """Rebuild a snapshot-shaped dict from :func:`render_prom` output."""
+    types: Dict[str, str] = {}
+    counters: Dict[str, Any] = {}
+    gauges: Dict[str, Any] = {}
+    # histogram accumulation: series key -> {"buckets": [(le, cum)],
+    # "sum": x, "count": n}
+    partial: Dict[str, Dict[str, Any]] = {}
+
+    def _match_family(name: str) -> Tuple[str, str]:
+        """Resolve a sample name to (family, role) using # TYPE info."""
+        for suffix, role in (("_bucket", "bucket"), ("_total", "total"),
+                             ("_count", "count"), ("_sum", "sum")):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                kind = types.get(family)
+                if kind == "histogram" and role in ("bucket", "count",
+                                                    "sum"):
+                    return family, role
+                if kind == "counter" and role == "total":
+                    return family, role
+        return name, "plain"
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        matched = _SAMPLE.match(line)
+        if not matched:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, label_blob, value_text = matched.groups()
+        labels = {key: _unescape(value)
+                  for key, value in _LABEL.findall(label_blob or "")}
+        family, role = _match_family(name)
+        kind = types.get(family)
+        if kind == "counter" and role == "total":
+            counters[series_name(family, labels)] = \
+                _parse_number(value_text)
+        elif kind == "gauge" and role == "plain":
+            gauges[series_name(family, labels)] = _parse_number(value_text)
+        elif kind == "histogram":
+            le = labels.pop("le", None)
+            key = series_name(family, labels)
+            slot = partial.setdefault(
+                key, {"buckets": [], "sum": 0.0, "count": 0})
+            if role == "bucket":
+                edge = float("inf") if le == "+Inf" else float(le)
+                slot["buckets"].append((edge, int(value_text)))
+            elif role == "sum":
+                slot["sum"] = _parse_number(value_text)
+            elif role == "count":
+                slot["count"] = int(value_text)
+        else:
+            raise ValueError(
+                f"sample {name!r} has no matching # TYPE declaration")
+
+    histograms: Dict[str, Any] = {}
+    for key, slot in partial.items():
+        buckets = sorted(slot["buckets"])
+        edges = [edge for edge, _ in buckets if edge != float("inf")]
+        counts: List[int] = []
+        previous = 0
+        for _, cumulative in buckets:
+            counts.append(cumulative - previous)
+            previous = cumulative
+        if len(counts) == len(edges):
+            # no +Inf line made it through; overflow bucket is empty
+            counts.append(0)
+        histograms[key] = {"edges": edges, "counts": counts,
+                           "sum": slot["sum"]}
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}

@@ -207,6 +207,11 @@ class MetricsRegistry:
             self.histogram(name, edges=payload["edges"],
                            **labels).merge_from(payload)
 
+    def dump_prom(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition of the current contents."""
+        from .exposition import render_prom
+        return render_prom(self.snapshot(), prefix=prefix)
+
     def clear(self) -> None:
         self.counters.clear()
         self.gauges.clear()

@@ -1,0 +1,242 @@
+"""Performance attribution over the span tree and the block profiler.
+
+Two halves live here.  The *collection* half (:func:`flush_block_profile`)
+drains the interpreter's compiled-block profile slots into the ambient
+registry and tracer — it is called from ``Interpreter.run``'s exit path
+whenever observability is on, so per-block counts ride the threaded-code
+fast path without ever forcing the slow per-step loop.
+
+The *analysis* half turns a loaded :class:`~repro.obs.trace.TraceData`
+span tree into attribution artifacts:
+
+* :func:`collapse_stacks` / :func:`render_flamegraph` — collapsed-stack
+  lines (``frame;frame;frame value``) whose value is each span's *self*
+  time in integer microseconds; the format speedscope and
+  ``flamegraph.pl`` both ingest directly.
+* :func:`critical_path` — the longest-duration chain from the heaviest
+  root down, one row per edge with duration, self time, and the share of
+  the parent the edge explains.
+* :func:`attribution_summary` — wall-time accounting: how much of the
+  root spans' duration is explained by named child spans vs left in the
+  parents' own self time (the "no giant untracked bucket" check).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import context
+from .trace import TraceData
+
+__all__ = [
+    "flush_block_profile",
+    "collapse_stacks",
+    "render_flamegraph",
+    "critical_path",
+    "attribution_summary",
+    "block_totals",
+]
+
+
+# ----------------------------------------------------------------------
+# Collection: drain the interpreter's block profile into obs
+# ----------------------------------------------------------------------
+def flush_block_profile(interpreter) -> None:
+    """Emit the interpreter's accumulated block profile and zero it.
+
+    Counters (merge-exact, deterministic): ``interp.block.entries``,
+    ``interp.block.steps``, and ``interp.block.seconds`` labeled by
+    ``isa`` and ``block`` (the entry pc, hex).  The host-time counter is
+    fractional seconds — counters add on merge, which is exactly the
+    semantics accumulated time wants.  Each drained block also lands as
+    a pre-measured ``block:<isa>@<pc>`` span under whatever span is open
+    (the engine's job span, usually) so flamegraphs see block self-time.
+    """
+    if not context.enabled():
+        return
+    rows = interpreter.drain_block_profile()
+    if not rows:
+        return
+    registry = context.get_registry()
+    tracer = context.get_tracer()
+    for isa, start, end, entries, steps, seconds in rows:
+        block = f"{start:#x}"
+        registry.counter("interp.block.entries", isa=isa, block=block) \
+            .inc(entries)
+        registry.counter("interp.block.steps", isa=isa, block=block) \
+            .inc(steps)
+        registry.counter("interp.block.seconds", isa=isa, block=block) \
+            .inc(seconds)
+        tracer.add_span(f"block:{isa}@{block}", seconds,
+                        entries=entries, steps=steps, end=f"{end:#x}")
+
+
+def block_totals(snapshot: Dict[str, Any]
+                 ) -> List[Tuple[str, str, int, int, float]]:
+    """Hot-block rows from a metrics snapshot.
+
+    Returns ``(isa, block, entries, steps, seconds)`` sorted by seconds
+    descending then key, joining the three ``interp.block.*`` series.
+    """
+    from .metrics import parse_series
+    merged: Dict[Tuple[str, str], List[float]] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = parse_series(key)
+        if not name.startswith("interp.block."):
+            continue
+        slot = merged.setdefault(
+            (labels.get("isa", "?"), labels.get("block", "?")),
+            [0.0, 0.0, 0.0])
+        if name.endswith(".entries"):
+            slot[0] += value
+        elif name.endswith(".steps"):
+            slot[1] += value
+        elif name.endswith(".seconds"):
+            slot[2] += value
+    rows = [(isa, block, int(slot[0]), int(slot[1]), slot[2])
+            for (isa, block), slot in merged.items()]
+    rows.sort(key=lambda row: (-row[4], row[0], row[1]))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Analysis: span-tree attribution
+# ----------------------------------------------------------------------
+def _frame_name(span: Dict[str, Any]) -> str:
+    """Human frame label; engine.job frames get their job key inlined."""
+    name = str(span.get("name", "?"))
+    attrs = span.get("attrs") or {}
+    if name == "engine.job" and attrs.get("key"):
+        name = f"engine.job:{attrs['key']}"
+    # collapsed-stack separators are ';' and ' '
+    return name.replace(";", "_").replace(" ", "_")
+
+
+def _span_tree(trace: TraceData) -> Tuple[
+        Dict[int, Dict[str, Any]], Dict[Optional[int], List[int]]]:
+    """Index spans by id and group child ids under each parent."""
+    by_id: Dict[int, Dict[str, Any]] = {}
+    children: Dict[Optional[int], List[int]] = {}
+    for span in trace.spans:
+        span_id = span.get("id")
+        if span_id is None:
+            continue
+        by_id[span_id] = span
+        children.setdefault(span.get("parent"), []).append(span_id)
+    # orphans (parent id never closed into the file) count as roots
+    for span_id, span in by_id.items():
+        parent = span.get("parent")
+        if parent is not None and parent not in by_id:
+            children.setdefault(None, []).append(span_id)
+    return by_id, children
+
+
+def _self_seconds(span: Dict[str, Any], child_spans) -> float:
+    """Span duration minus its children's durations, clamped at zero."""
+    own = float(span.get("dur", 0.0))
+    covered = sum(float(child.get("dur", 0.0)) for child in child_spans)
+    return max(0.0, own - covered)
+
+
+def collapse_stacks(trace: TraceData) -> List[Tuple[str, int]]:
+    """Collapsed-stack rows: (``a;b;c``, self-time in microseconds).
+
+    One row per span with non-zero self time, depth-first from the
+    roots, stacks joined root-first.  Sibling rows with identical stacks
+    (same frame names) are summed, matching what flamegraph.pl expects.
+    """
+    by_id, children = _span_tree(trace)
+    totals: Dict[str, int] = {}
+    order: List[str] = []
+
+    def walk(span_id: int, prefix: str) -> None:
+        span = by_id[span_id]
+        stack = (prefix + ";" if prefix else "") + _frame_name(span)
+        child_ids = [cid for cid in children.get(span_id, ())
+                     if cid in by_id]
+        micros = int(round(_self_seconds(
+            span, (by_id[cid] for cid in child_ids)) * 1e6))
+        if micros > 0:
+            if stack not in totals:
+                order.append(stack)
+                totals[stack] = 0
+            totals[stack] += micros
+        for cid in child_ids:
+            walk(cid, stack)
+
+    # id order within a parent == append order == causal order
+    roots = sorted(set(children.get(None, ())))
+    for root in roots:
+        walk(root, "")
+    return [(stack, totals[stack]) for stack in order]
+
+
+def render_flamegraph(trace: TraceData) -> str:
+    """The collapsed-stack file body (one ``stack value`` line per row)."""
+    lines = [f"{stack} {value}" for stack, value in collapse_stacks(trace)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def critical_path(trace: TraceData) -> List[Dict[str, Any]]:
+    """Longest-duration chain: heaviest root, then heaviest child, down.
+
+    Each row: ``name``, ``dur`` (seconds), ``self`` (seconds), ``share``
+    (this span's fraction of its parent's duration; 1.0 for the root),
+    and ``attrs``.
+    """
+    by_id, children = _span_tree(trace)
+    roots = [by_id[sid] for sid in set(children.get(None, ()))
+             if sid in by_id]
+    if not roots:
+        return []
+    path: List[Dict[str, Any]] = []
+    current = max(roots, key=lambda span: float(span.get("dur", 0.0)))
+    parent_dur = float(current.get("dur", 0.0)) or 0.0
+    share = 1.0
+    while current is not None:
+        child_ids = [cid for cid in children.get(current.get("id"), ())
+                     if cid in by_id]
+        kids = [by_id[cid] for cid in child_ids]
+        dur = float(current.get("dur", 0.0))
+        path.append({
+            "name": _frame_name(current),
+            "dur": dur,
+            "self": _self_seconds(current, kids),
+            "share": share,
+            "attrs": current.get("attrs") or {},
+        })
+        if not kids:
+            break
+        heaviest = max(kids, key=lambda span: float(span.get("dur", 0.0)))
+        parent_dur = dur
+        share = (float(heaviest.get("dur", 0.0)) / parent_dur
+                 if parent_dur > 0 else 0.0)
+        current = heaviest
+    return path
+
+
+def attribution_summary(trace: TraceData) -> Dict[str, float]:
+    """Wall-time accounting over the root spans.
+
+    ``total`` is the summed duration of root spans; ``attributed`` is
+    the part explained by *named descendants* (total minus the roots'
+    own self time); ``self`` is the roots' residue.  Since every span in
+    a repro trace is named, the attributed share is the "no untracked
+    bucket" figure the report prints.
+    """
+    by_id, children = _span_tree(trace)
+    roots = [by_id[sid] for sid in set(children.get(None, ()))
+             if sid in by_id]
+    total = sum(float(span.get("dur", 0.0)) for span in roots)
+    root_self = 0.0
+    for span in roots:
+        kids = [by_id[cid] for cid in children.get(span.get("id"), ())
+                if cid in by_id]
+        root_self += _self_seconds(span, kids)
+    return {
+        "total": total,
+        "attributed": max(0.0, total - root_self),
+        "self": root_self,
+        "attributed_share": ((total - root_self) / total
+                             if total > 0 else 0.0),
+    }

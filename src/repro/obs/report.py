@@ -1,11 +1,16 @@
 """Render a captured trace file as a plain-text summary.
 
 ``repro report out.jsonl`` loads the JSONL trace written by
-``--trace`` / ``REPRO_TRACE`` and prints: span totals by name, the
-per-phase table, per-job rows (with outcomes), top counters, histogram
-percentiles, the artifact-cache hit rate, migration counts by
-direction, and static-verifier pass timings and findings — the
-operational view of one experiment or verify run.
+``--trace`` / ``REPRO_TRACE`` and prints: a wall-time attribution line,
+span totals by name, the per-phase table, per-job rows (with outcomes),
+hot compiled blocks, the migration-stage latency breakdown, top
+counters, histogram percentiles, the artifact-cache hit rate, migration
+counts by direction, and static-verifier pass timings and findings —
+the operational view of one experiment or verify run.
+
+Two alternate renderings live here too: :func:`render_flamegraph_file`
+(collapsed-stack body for ``--flamegraph``) and
+:func:`render_critical_path` (the ``--critical-path`` table).
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from typing import Any, Dict, List, Tuple
 
 from ..analysis.reporting import format_table, percent
 from .metrics import Histogram, parse_series
+from .profile_attr import (
+    attribution_summary, block_totals, critical_path, render_flamegraph)
 from .trace import TraceData
 
 
@@ -177,6 +184,80 @@ def _migration_summary(counters: Dict[str, Any]) -> str:
     return f"{table}\nby kind: {kinds}"
 
 
+def _attribution_line(trace: TraceData) -> str:
+    """One line: how much root wall-time named descendants explain."""
+    if not trace.spans:
+        return ""
+    summary = attribution_summary(trace)
+    if summary["total"] <= 0:
+        return ""
+    return (f"Attribution: {percent(summary['attributed_share'])} of "
+            f"{_fmt_seconds(summary['total'])}s root wall-time explained "
+            f"by named child spans "
+            f"(roots' own self time: {_fmt_seconds(summary['self'])}s)")
+
+
+def _hot_blocks_table(metrics: Dict[str, Any], top: int) -> str:
+    """Compiled-block profiler rows, hottest (by host seconds) first."""
+    rows = block_totals(metrics)
+    if not rows:
+        return ""
+    shown = [(f"{isa}@{block}", entries, steps, _fmt_seconds(seconds))
+             for isa, block, entries, steps, seconds in rows[:top]]
+    title = (f"Hot compiled blocks (top {len(shown)} of {len(rows)} "
+             f"by host time)")
+    return format_table(["block", "entries", "steps", "seconds"],
+                        shown, title)
+
+
+def _migration_stage_table(histograms: Dict[str, Any]) -> str:
+    """Per-stage migration latency: the walk/relocate/transform/resume
+    breakdown the magnified-view papers report."""
+    rows = []
+    order = {"walk": 0, "relocate": 1, "transform": 2, "resume": 3}
+    staged = []
+    for key in histograms:
+        name, labels = parse_series(key)
+        if name == "migration.stage_seconds" and "stage" in labels:
+            staged.append((order.get(labels["stage"], 99), labels["stage"],
+                           histograms[key]))
+    if not staged:
+        return ""
+    total = sum(payload["sum"] for _, _, payload in staged) or 1.0
+    for _, stage, payload in sorted(staged):
+        histogram = Histogram(payload["edges"])
+        histogram.merge_from(payload)
+        rows.append((stage, histogram.total,
+                     _fmt_seconds(histogram.sum),
+                     percent(histogram.sum / total),
+                     _fmt_edge(histogram.percentile(0.9))))
+    return format_table(["stage", "count", "total s", "share", "p90"],
+                        rows, "Migration latency by stage")
+
+
+def render_critical_path(trace: TraceData) -> str:
+    """The ``--critical-path`` rendering: heaviest chain, root down."""
+    path = critical_path(trace)
+    if not path:
+        return "critical path: no spans in trace"
+    rows = []
+    for depth, row in enumerate(path):
+        share = f"{row['share'] * 100.0:5.1f}%"
+        rows.append(("  " * depth + row["name"],
+                     _fmt_seconds(row["dur"]),
+                     _fmt_seconds(row["self"]),
+                     share))
+    title = (f"Critical path ({len(path)} edges, "
+             f"{_fmt_seconds(path[0]['dur'])}s root)")
+    return format_table(["span", "dur s", "self s", "of parent"],
+                        rows, title)
+
+
+def render_flamegraph_file(trace: TraceData) -> str:
+    """Collapsed-stack body for ``--flamegraph`` (speedscope-loadable)."""
+    return render_flamegraph(trace)
+
+
 def render_report(trace: TraceData, top: int = 15) -> str:
     """The full plain-text summary of one loaded trace file."""
     metrics = trace.metrics or {}
@@ -186,9 +267,12 @@ def render_report(trace: TraceData, top: int = 15) -> str:
         f"Trace report{label} (schema {trace.schema}): "
         f"{len(trace.spans)} spans, {len(trace.events)} events, "
         f"{len(counters)} counter series",
+        _attribution_line(trace),
         _span_summary(trace.spans) if trace.spans else "",
         _phase_table(trace.spans),
         _job_table(trace.spans, top),
+        _hot_blocks_table(metrics, top),
+        _migration_stage_table(metrics.get("histograms", {})),
         _top_counters(counters, top),
         _histogram_table(metrics.get("histograms", {})),
         _cache_summary(counters),

@@ -231,6 +231,10 @@ def load_trace(path: os.PathLike) -> TraceData:
             except json.JSONDecodeError as exc:
                 raise TraceError(
                     f"{path}:{line_number}: not JSON: {exc}") from None
+            if not isinstance(record, dict):
+                # e.g. a garbled tail line that still parses as JSON
+                raise TraceError(
+                    f"{path}:{line_number}: not a record object")
             kind = record.get("type")
             if data is None:
                 if kind != "header":

@@ -31,8 +31,12 @@ from .durable import (
     JournalReplay,
     ResumeState,
     RunJournal,
+    RunStatusWriter,
     list_runs,
+    load_status,
     replay_journal,
+    status_path,
+    synthesize_status,
 )
 from .engine import (
     EngineError,
@@ -57,8 +61,12 @@ __all__ = [
     "JournalReplay",
     "ResumeState",
     "RunJournal",
+    "RunStatusWriter",
     "list_runs",
+    "load_status",
     "replay_journal",
+    "status_path",
+    "synthesize_status",
     "EngineError",
     "ExperimentEngine",
     "Job",

@@ -76,6 +76,11 @@ RECORD_TYPES = (
 
 _JOURNAL_SUFFIX = ".journal.jsonl"
 
+#: bump when the live-status file layout changes incompatibly
+STATUS_SCHEMA = 1
+
+_STATUS_SUFFIX = ".status.json"
+
 
 def config_digest(argv: List[str]) -> str:
     """Digest identifying one run configuration: the command line.
@@ -92,6 +97,158 @@ def new_run_id() -> str:
     """Time-ordered unique id: ``YYYYmmdd-HHMMSS-xxxxxx``."""
     return (time.strftime("%Y%m%d-%H%M%S")
             + "-" + os.urandom(3).hex())
+
+
+# ----------------------------------------------------------------------
+# Live run status (`repro top`)
+# ----------------------------------------------------------------------
+def status_path(directory: os.PathLike, run_id: str) -> Path:
+    return Path(directory) / f"{run_id}{_STATUS_SUFFIX}"
+
+
+def load_status(directory: os.PathLike,
+                run_id: str) -> Optional[Dict[str, Any]]:
+    """Read a run's status file; ``None`` when absent or unreadable."""
+    path = status_path(directory, run_id)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != STATUS_SCHEMA:
+        return None
+    return payload
+
+
+class RunStatusWriter:
+    """Atomic, throttled status JSON alongside one run's journal.
+
+    Pure telemetry: every file operation is best-effort (a full disk or
+    permission error must never take down the run the status describes),
+    writes go through tmp + ``os.replace`` so readers only ever see a
+    complete document, and updates are merged immediately but written at
+    most once per ``interval`` seconds unless forced.  Derived job
+    counts (``running``/``pending``) are approximate across process
+    boundaries — they're a health view, not the journal's ground truth.
+    """
+
+    def __init__(self, directory: os.PathLike, run_id: str,
+                 interval: float = 0.5):
+        self.path = status_path(directory, run_id)
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._last_write = 0.0
+        self._state: Dict[str, Any] = {
+            "schema": STATUS_SCHEMA,
+            "run_id": run_id,
+            "pid": os.getpid(),
+            "state": "running",
+            "argv": [],
+            "started": time.time(),
+            "updated": time.time(),
+            "jobs": {"total": 0, "started": 0, "running": 0,
+                     "pending": 0, "done": 0, "failed": 0},
+            "workers": {},
+            "breakers": {},
+            "cache": {},
+            "faults": {"injected": 0, "recovered": 0},
+        }
+
+    def update(self, force: bool = False, **fields: Any) -> None:
+        """Merge ``fields`` now; write to disk when due (or forced)."""
+        with self._lock:
+            self._state.update(fields)
+            now = time.time()
+            if not force and now - self._last_write < self.interval:
+                return
+            self._state["updated"] = now
+            self._last_write = now
+            payload = json.dumps(self._state, sort_keys=True)
+        tmp = self.path.parent / (self.path.name + ".tmp")
+        try:
+            tmp.write_text(payload + "\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+
+    def note_record(self, record_type: str,
+                    record: Dict[str, Any]) -> None:
+        """Fold one journal record into the job/breaker/fault counts."""
+        force = False
+        with self._lock:
+            jobs = self._state["jobs"]
+            if record_type == "job_enqueued":
+                jobs["total"] += 1
+            elif record_type == "job_started":
+                jobs["started"] += 1
+            elif record_type == "job_done":
+                jobs["done"] += 1
+            elif record_type == "job_failed":
+                jobs["failed"] += 1
+            elif record_type == "breaker_open":
+                self._state["breakers"][record.get("workload", "?")] = {
+                    "state": "open",
+                    "failures": int(record.get("failures", 0))}
+            elif record_type == "breaker_reset":
+                self._state["breakers"].pop(record.get("workload"), None)
+            elif record_type == "fault_injected":
+                self._state["faults"]["injected"] += 1
+            elif record_type in ("run_started", "run_resumed"):
+                self._state["argv"] = list(record.get("argv", [])) \
+                    or self._state["argv"]
+                self._state["pid"] = int(record.get("pid", os.getpid()))
+                force = True
+            elif record_type == "run_finished":
+                self._state["state"] = "finished"
+                force = True
+            elif record_type == "run_interrupted":
+                self._state["state"] = "interrupted"
+                force = True
+            settled = jobs["done"] + jobs["failed"]
+            jobs["running"] = max(0, jobs["started"] - settled)
+            jobs["pending"] = max(
+                0, jobs["total"] - settled - jobs["running"])
+        self.update(force=force)
+
+
+def synthesize_status(replay: "JournalReplay") -> Dict[str, Any]:
+    """Status-shaped view of a journal with no status file (old runs)."""
+    head = replay.records[0] if replay.records else {}
+    jobs = {"total": 0, "started": 0, "running": 0, "pending": 0,
+            "done": 0, "failed": 0}
+    faults = 0
+    for record in replay.records:
+        kind = record.get("type")
+        if kind == "job_enqueued":
+            jobs["total"] += 1
+        elif kind == "job_started":
+            jobs["started"] += 1
+        elif kind == "job_done":
+            jobs["done"] += 1
+        elif kind == "job_failed":
+            jobs["failed"] += 1
+        elif kind == "fault_injected":
+            faults += 1
+    settled = jobs["done"] + jobs["failed"]
+    jobs["running"] = max(0, jobs["started"] - settled)
+    jobs["pending"] = max(0, jobs["total"] - settled - jobs["running"])
+    return {
+        "schema": STATUS_SCHEMA,
+        "run_id": replay.run_id,
+        "pid": int(head.get("pid", 0)),
+        "state": replay.status(),
+        "argv": list(replay.argv),
+        "started": float(head.get("created", 0.0)),
+        "updated": float(head.get("created", 0.0)),
+        "jobs": jobs,
+        "workers": {},
+        "breakers": {workload: {"state": "open", "failures": failures}
+                     for workload, failures
+                     in sorted(replay.breaker_open.items())},
+        "cache": {},
+        "faults": {"injected": faults, "recovered": 0},
+        "synthesized": True,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +281,9 @@ class RunJournal:
         self._seq = 0
         self._occurrence: Dict[str, int] = {}
         self._lock = threading.Lock()
+        #: live telemetry for `repro top` — best-effort, own lock
+        self.status = RunStatusWriter(self.directory, run_id)
+        self.status._state["argv"] = self.argv
         #: resume bookkeeping the CLI reports at the end of a run
         self.jobs_resumed = 0
         self.jobs_recomputed = 0
@@ -172,6 +332,10 @@ class RunJournal:
         if obs.enabled():
             obs.get_registry().counter("journal.records",
                                        type=record_type).inc()
+        try:
+            self.status.note_record(record_type, record)
+        except Exception:
+            pass                           # telemetry must never abort
         return record
 
     # -- job bookkeeping ------------------------------------------------

@@ -409,6 +409,12 @@ class ExperimentEngine:
                 journal.jobs_resumed += 1
                 if tracing:
                     obs.get_registry().counter("engine.jobs.resumed").inc()
+                # served from the store, so no journal record lands —
+                # count it in the live status directly
+                try:
+                    journal.status.note_record("job_done", {})
+                except Exception:
+                    pass
                 return JobResult(key=job.key, index=index, value=value,
                                  attempts=0, resumed=True)
             # journal says done but the artifact is missing/corrupt:
@@ -441,9 +447,49 @@ class ExperimentEngine:
                                occurrence=occurrence, attempt=attempt,
                                error=(result.error or
                                       "").splitlines()[0][:200])
+            self._update_status_telemetry(journal)
             self._maybe_orchestrator_kill(journal, job, occurrence)
 
         return on_result
+
+    @staticmethod
+    def _update_status_telemetry(journal) -> None:
+        """Fold cache hit rate + fault totals into the live status file."""
+        try:
+            from .cache import get_cache
+            stats = get_cache().stats
+            hits, misses = stats.hits, stats.misses
+            injected = recovered = 0
+            if obs.enabled():
+                # the merged registry sees worker-side cache traffic and
+                # fault counters; the parent's local stats would not
+                from ..obs.metrics import parse_series
+                hits = misses = 0
+                for key, value in \
+                        obs.get_registry().snapshot()["counters"].items():
+                    name, labels = parse_series(key)
+                    if name == "cache.events":
+                        if labels.get("event") == "hits":
+                            hits += value
+                        elif labels.get("event") == "misses":
+                            misses += value
+                    elif name == "faults.injected":
+                        injected += value
+                    elif name == "faults.recovered":
+                        recovered += value
+            else:
+                injector = faults.get()
+                if injector is not None:
+                    injected = len(injector.log)
+            lookups = hits + misses
+            journal.status.update(
+                cache={"hits": int(hits), "misses": int(misses),
+                       "hit_rate": round(hits / lookups, 4)
+                       if lookups else 0.0},
+                faults={"injected": int(injected),
+                        "recovered": int(recovered)})
+        except Exception:
+            pass                           # telemetry must never abort
 
     def _maybe_orchestrator_kill(self, journal, job: Job,
                                  occurrence: int) -> None:

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigError
 from ..faults import injection as faults
 from ..obs import context as obs
+from . import durable
 
 #: default stall budget for jobs with no explicit timeout
 DEFAULT_HANG_TIMEOUT = 30.0
@@ -397,6 +398,19 @@ class SupervisedPool:
                         settle(message[3], state)
                 # -- watchdog scan -------------------------------------
                 now = time.time()
+                journal = durable.get_current_journal()
+                if journal is not None:
+                    # live telemetry for `repro top`; the writer
+                    # throttles so this is one dict build per scan
+                    try:
+                        journal.status.update(workers={
+                            str(s.wid): {
+                                "age": round(now - s.last_beat, 3),
+                                "job": s.current[1].key
+                                if s.current else None}
+                            for s in states.values()})
+                    except Exception:
+                        pass
                 for state in list(states.values()):
                     if state.current is None:
                         continue
@@ -437,7 +451,6 @@ class SupervisedPool:
     @staticmethod
     def _journal_fault(event) -> None:
         """Persist an engine-level fault so it survives a later crash."""
-        from . import durable
         journal = durable.get_current_journal()
         if journal is not None:
             journal.append("fault_injected", site=event.site,

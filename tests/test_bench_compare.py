@@ -1,0 +1,70 @@
+"""Unit tests for ``tools/bench_compare.py`` phase diffing."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_compare", bench_compare)
+_spec.loader.exec_module(bench_compare)
+
+
+def _write(tmp_path, name, phases):
+    payload = {"phases": [{"name": phase, "seconds": seconds}
+                          for phase, seconds in phases],
+               "host": {"cpu_count": 4}}
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_one_sided_phases_labeled_added_and_removed(self):
+        lines, regressions = bench_compare.compare(
+            {"shared": 1.0, "oldphase": 2.0},
+            {"shared": 1.0, "newphase": 3.0},
+            threshold=25.0, min_seconds=0.05)
+        assert regressions == []
+        assert "removed: oldphase (only in baseline, 2.000s)" in lines
+        assert "added: newphase (only in candidate, 3.000s)" in lines
+
+    def test_shared_regression_still_flagged(self):
+        lines, regressions = bench_compare.compare(
+            {"sweep": 1.0}, {"sweep": 2.0},
+            threshold=25.0, min_seconds=0.05)
+        assert regressions == ["sweep"]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_sub_tick_phases_ignored(self):
+        _, regressions = bench_compare.compare(
+            {"tiny": 0.001}, {"tiny": 0.01},
+            threshold=25.0, min_seconds=0.05)
+        assert regressions == []
+
+
+class TestMain:
+    def test_one_sided_phases_never_fail(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", [("shared", 1.0),
+                                              ("oldphase", 2.0)])
+        cand = _write(tmp_path, "cand.json", [("shared", 1.0),
+                                              ("newphase", 3.0)])
+        assert bench_compare.main([base, cand]) == 0
+        out = capsys.readouterr().out
+        assert "removed: oldphase" in out
+        assert "added: newphase" in out
+        assert "OK:" in out
+
+    def test_regression_fails_unless_warn_only(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", [("sweep", 1.0)])
+        cand = _write(tmp_path, "cand.json", [("sweep", 2.0)])
+        assert bench_compare.main([base, cand]) == 1
+        assert bench_compare.main([base, cand, "--warn-only"]) == 0
+        assert "WARNING:" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert bench_compare.main([str(tmp_path / "a.json"),
+                                   str(tmp_path / "b.json")]) == 2
+        assert "error:" in capsys.readouterr().err

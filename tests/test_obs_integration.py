@@ -260,7 +260,7 @@ class TestMigrationObservability:
             source, target = (("x86like", "armlike") if index % 2 == 0
                               else ("armlike", "x86like"))
             record = MigrationRecord(source, target, "block", 0, None)
-            engine._record(record, 0.0, None)
+            engine._record(record, {}, None)
         assert len(engine.history) == 3
         assert engine.migration_count == 10
         assert engine.count_by_direction() == {
@@ -325,6 +325,9 @@ class TestCLITrace:
         assert "engine.job" in out
         assert "test.items{job=j5}" in out
 
-    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+    def test_report_missing_file_exits_1(self, tmp_path, capsys):
         from repro.cli import main
-        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot read trace" in err
+        assert "Traceback" not in err

@@ -1,0 +1,365 @@
+"""Block-level profiler, attribution renderers, and Prometheus exposition.
+
+The profiler's headline invariant is *reconciliation*: the counts it
+gathers on the compiled-block fast path must agree exactly with what the
+slow per-step loop's :class:`StepMetricsObserver` sees for the same
+program — the fast path is an optimization, never a different answer.
+The second invariant is PR-2 determinism: the new ``interp.block.*``
+series merge to identical values for any worker count.
+"""
+
+import os
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import run_native
+from repro.core.hipstr import run_under_hipstr
+from repro.isa import ISAS
+from repro.machine.process import Process
+from repro.obs import context as obs
+from repro.obs import parse_prom, render_prom
+from repro.obs.instrument import step_metrics
+from repro.obs.metrics import MetricsRegistry, parse_series
+from repro.obs.profile_attr import (
+    attribution_summary,
+    block_totals,
+    collapse_stacks,
+    critical_path,
+    render_flamegraph,
+)
+from repro.obs.report import render_critical_path, render_report
+from repro.obs.trace import TraceData, TraceError, load_trace
+from repro.runtime.engine import ExperimentEngine, Job
+
+
+SOURCE = """
+int leaf(int a) { return a + 7; }
+int main() {
+    int i; int total;
+    total = 0; i = 0;
+    while (i < 40) {
+        total = total + leaf(i);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_minic(SOURCE)
+
+
+def _enable_obs():
+    os.environ[obs.ENV_TRACE] = "1"
+    obs.enable()
+
+
+def _counter_sum(snapshot, series):
+    return sum(value for key, value in snapshot["counters"].items()
+               if parse_series(key)[0] == series)
+
+
+def _series_of(snapshot, prefix):
+    return {key: value for key, value in snapshot["counters"].items()
+            if parse_series(key)[0].startswith(prefix)}
+
+
+# ---------------------------------------------------------------------
+# Engine jobs live at module top level so the pool can pickle them.
+# ---------------------------------------------------------------------
+def _native_exec_job(n):
+    process = run_native(compile_minic(SOURCE), "x86like")
+    return process.interpreter.steps_executed + n
+
+
+class TestBlockProfilerDifferential:
+    def test_fast_path_reconciles_with_step_observer(self, binary):
+        # fast path: no observers, obs on -> profiled compiled dispatch
+        _enable_obs()
+        fast = run_native(binary, "x86like")
+        fast_snapshot = obs.get_registry().snapshot()
+        fast_steps = fast.interpreter.steps_executed
+        assert _counter_sum(fast_snapshot, "interp.block.steps") \
+            == fast_steps
+        assert _counter_sum(fast_snapshot, "interp.block.entries") > 0
+
+        # slow path: the step observer forces the per-step loop
+        obs.reset()
+        _enable_obs()
+        process = Process(binary.to_process_image(), ISAS["x86like"])
+        process.os.reset(stdin=b"")
+        with step_metrics(process.interpreter, isa="x86like") as mix:
+            process.run(10_000_000)
+        slow_snapshot = obs.get_registry().snapshot()
+
+        # both paths executed the identical program
+        assert process.interpreter.steps_executed == fast_steps
+        assert mix.steps == fast_steps
+        assert _counter_sum(slow_snapshot, "interp.steps") == fast_steps
+        # and the slow path never feeds the block profiler
+        assert _counter_sum(slow_snapshot, "interp.block.steps") == 0
+
+    def test_profiler_off_when_obs_disabled(self, binary):
+        assert not obs.enabled()
+        process = run_native(binary, "x86like")
+        assert process.interpreter.drain_block_profile() == []
+
+    def test_block_spans_emitted(self, binary):
+        _enable_obs()
+        run_native(binary, "x86like")
+        names = [r["name"] for r in obs.get_tracer().records]
+        assert any(name.startswith("block:x86like@") for name in names)
+
+
+class TestMergeDeterminism:
+    """interp.block.* counters are a pure function of the work, so the
+    merged values must be byte-identical for any worker fan-out."""
+
+    def _run(self, workers):
+        _enable_obs()
+        engine = ExperimentEngine(workers=workers)
+        jobs = [Job(key=f"native:{n}", fn=_native_exec_job, args=(n,))
+                for n in range(3)]
+        results = engine.run(jobs)
+        assert all(r.ok for r in results)
+        return obs.get_registry().snapshot()
+
+    def test_block_series_identical_across_worker_counts(self):
+        serial = self._run(1)
+        obs.reset()
+        parallel = self._run(4)
+        for series in ("interp.block.entries", "interp.block.steps"):
+            assert _series_of(serial, series) == _series_of(parallel,
+                                                            series)
+        # host-time values are wall-clock facts; the *series keys* (which
+        # blocks got profiled) must still match exactly
+        assert set(_series_of(serial, "interp.block.seconds")) \
+            == set(_series_of(parallel, "interp.block.seconds"))
+
+
+class TestMigrationStageTiming:
+    def test_stage_histograms_cover_every_migration(self, binary):
+        _enable_obs()
+        _, result = run_under_hipstr(binary, seed=1,
+                                     migration_probability=1.0)
+        assert result.migration_count > 0
+        histograms = obs.get_registry().snapshot()["histograms"]
+        by_stage = {}
+        for key, payload in histograms.items():
+            name, labels = parse_series(key)
+            if name == "migration.stage_seconds":
+                by_stage[labels["stage"]] = sum(payload["counts"])
+        assert set(by_stage) <= {"walk", "relocate", "transform",
+                                 "resume"}
+        assert by_stage.get("walk") == result.migration_count
+        assert by_stage.get("resume") == result.migration_count
+        # per-stage spans rode along for the flamegraph
+        names = {r["name"] for r in obs.get_tracer().records}
+        assert "migration.walk" in names
+        assert "migration.resume" in names
+
+
+# ---------------------------------------------------------------------
+# Span-tree attribution (synthetic traces: exact arithmetic)
+# ---------------------------------------------------------------------
+def _span(span_id, parent, name, dur, **attrs):
+    return {"type": "span", "id": span_id, "parent": parent,
+            "name": name, "ts": 0.0, "dur": dur, "attrs": attrs}
+
+
+def _trace(spans, metrics=None):
+    return TraceData(header={"schema": 1, "label": "synthetic"},
+                     spans=spans, metrics=metrics or {})
+
+
+class TestAttribution:
+    def trace(self):
+        return _trace([
+            _span(1, None, "engine.run", 1.0),
+            _span(2, 1, "engine.job", 0.6, key="fig3:mcf"),
+            _span(3, 2, "block:x86like@0x1000", 0.2),
+        ])
+
+    def test_collapse_stacks_self_time(self):
+        stacks = dict(collapse_stacks(self.trace()))
+        assert stacks == {
+            "engine.run": 400000,
+            "engine.run;engine.job:fig3:mcf": 400000,
+            "engine.run;engine.job:fig3:mcf;block:x86like@0x1000": 200000,
+        }
+
+    def test_identical_stacks_sum(self):
+        trace = _trace([
+            _span(1, None, "engine.run", 1.0),
+            _span(2, 1, "phase", 0.25),
+            _span(3, 1, "phase", 0.25),
+        ])
+        stacks = dict(collapse_stacks(trace))
+        assert stacks["engine.run;phase"] == 500000
+
+    def test_frame_names_sanitized(self):
+        trace = _trace([_span(1, None, "odd name;semi", 0.5)])
+        (stack, value), = collapse_stacks(trace)
+        assert stack == "odd_name_semi"
+        assert value == 500000
+
+    def test_orphan_span_counts_as_root(self):
+        # parent id 99 never closed into the file (crash mid-run)
+        trace = _trace([_span(5, 99, "engine.job", 0.5, key="k")])
+        assert dict(collapse_stacks(trace)) == {"engine.job:k": 500000}
+
+    def test_render_flamegraph_lines(self):
+        body = render_flamegraph(self.trace())
+        assert body.endswith("\n")
+        assert "engine.run;engine.job:fig3:mcf 400000" in body.splitlines()
+
+    def test_critical_path_follows_heaviest_chain(self):
+        path = critical_path(self.trace())
+        assert [row["name"] for row in path] == [
+            "engine.run", "engine.job:fig3:mcf",
+            "block:x86like@0x1000"]
+        assert path[0]["share"] == 1.0
+        assert path[1]["share"] == pytest.approx(0.6)
+        assert path[2]["share"] == pytest.approx(0.2 / 0.6)
+
+    def test_attribution_summary_accounts_roots(self):
+        summary = attribution_summary(self.trace())
+        assert summary["total"] == pytest.approx(1.0)
+        assert summary["attributed"] == pytest.approx(0.6)
+        assert summary["self"] == pytest.approx(0.4)
+        assert summary["attributed_share"] == pytest.approx(0.6)
+
+    def test_render_critical_path_text(self):
+        text = render_critical_path(self.trace())
+        assert "Critical path" in text
+        assert "engine.job:fig3:mcf" in text
+        assert render_critical_path(_trace([])) \
+            == "critical path: no spans in trace"
+
+
+class TestReportSections:
+    def test_hot_blocks_and_stage_tables_render(self):
+        registry = MetricsRegistry()
+        registry.counter("interp.block.entries", isa="x86like",
+                         block="0x1000").inc(3)
+        registry.counter("interp.block.steps", isa="x86like",
+                         block="0x1000").inc(33)
+        registry.counter("interp.block.seconds", isa="x86like",
+                         block="0x1000").inc(0.5)
+        registry.histogram("migration.stage_seconds",
+                           stage="walk").observe(0.001)
+        registry.histogram("migration.stage_seconds",
+                           stage="resume").observe(0.002)
+        trace = _trace([_span(1, None, "engine.run", 1.0)],
+                       metrics=registry.snapshot())
+        report = render_report(trace)
+        assert "Hot compiled blocks" in report
+        assert "x86like@0x1000" in report
+        assert "Migration latency by stage" in report
+        assert "Attribution:" in report
+
+    def test_block_totals_joins_and_sorts(self):
+        registry = MetricsRegistry()
+        for block, seconds in (("0xa", 0.1), ("0xb", 0.9)):
+            registry.counter("interp.block.entries", isa="armlike",
+                             block=block).inc(1)
+            registry.counter("interp.block.steps", isa="armlike",
+                             block=block).inc(10)
+            registry.counter("interp.block.seconds", isa="armlike",
+                             block=block).inc(seconds)
+        rows = block_totals(registry.snapshot())
+        assert [row[1] for row in rows] == ["0xb", "0xa"]
+        assert rows[0] == ("armlike", "0xb", 1, 10, pytest.approx(0.9))
+
+
+# ---------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------
+class TestPromExposition:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("interp.block.steps", isa="x86like",
+                         block="0x1000").inc(42)
+        registry.counter("interp.block.seconds", isa="x86like",
+                         block="0x1000").inc(0.125)
+        registry.counter("jobs.completed").inc(7)
+        registry.gauge("cache.hit_rate").set(0.75)
+        histogram = registry.histogram("test.size",
+                                       edges=(1.0, 4.0, 16.0))
+        for value in (0.5, 2.0, 3.0, 20.0):
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_round_trip_is_exact(self):
+        rendered = render_prom(self.snapshot())
+        assert render_prom(parse_prom(rendered), prefix="") == rendered
+
+    def test_names_sanitized_and_typed(self):
+        rendered = render_prom(self.snapshot())
+        assert "# TYPE repro_interp_block_steps counter" in rendered
+        assert ('repro_interp_block_steps_total'
+                '{block="0x1000",isa="x86like"} 42') in rendered
+        assert "# TYPE repro_cache_hit_rate gauge" in rendered
+        assert "repro_cache_hit_rate 0.75" in rendered
+
+    def test_histogram_buckets_cumulative(self):
+        rendered = render_prom(self.snapshot())
+        lines = rendered.splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("repro_test_size_bucket")]
+        assert buckets == [
+            'repro_test_size_bucket{le="1.0"} 1',
+            'repro_test_size_bucket{le="4.0"} 3',
+            'repro_test_size_bucket{le="16.0"} 3',
+            'repro_test_size_bucket{le="+Inf"} 4',
+        ]
+        assert "repro_test_size_count 4" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", label='say "hi"\nplease').inc(1)
+        rendered = render_prom(registry.snapshot())
+        assert '\\"hi\\"' in rendered
+        assert "\\n" in rendered
+        parsed = parse_prom(rendered)
+        assert render_prom(parsed, prefix="") == rendered
+
+    def test_unknown_sample_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prom("mystery_total 3\n")
+
+    def test_registry_dump_prom(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs.completed").inc(2)
+        assert registry.dump_prom() \
+            == render_prom(registry.snapshot())
+
+
+# ---------------------------------------------------------------------
+# Report error handling (satellite: no tracebacks for bad trace files)
+# ---------------------------------------------------------------------
+class TestReportErrors:
+    def test_garbled_tail_is_a_trace_error(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "header", "schema": 1}\n[1, 2, 3]\n')
+        with pytest.raises(TraceError, match="not a record object"):
+            load_trace(path)
+
+    def test_report_cli_garbled_tail_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "header", "schema": 1}\n[1, 2, 3]\n')
+        assert main(["report", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot read trace" in err
+        assert "Traceback" not in err
+
+    def test_report_cli_empty_file_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 1
+        assert "empty trace file" in capsys.readouterr().err

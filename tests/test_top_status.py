@@ -1,0 +1,268 @@
+"""Live run telemetry: the status file, ``repro top``, and the
+``--trace`` wiring on ``repro resume`` / ``repro chaos``."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import load_trace
+from repro.runtime import durable
+from repro.runtime.durable import (
+    STATUS_SCHEMA,
+    RunJournal,
+    RunStatusWriter,
+    load_status,
+    replay_journal,
+    status_path,
+    synthesize_status,
+)
+from repro.runtime.engine import ExperimentEngine, Job
+
+
+def _quick_job(n):
+    return n * 2
+
+
+# ---------------------------------------------------------------------
+# The status writer
+# ---------------------------------------------------------------------
+class TestRunStatusWriter:
+    def test_atomic_write_and_load(self, tmp_path):
+        writer = RunStatusWriter(tmp_path, "r1")
+        writer.update(force=True)
+        status = load_status(tmp_path, "r1")
+        assert status["schema"] == STATUS_SCHEMA
+        assert status["run_id"] == "r1"
+        assert status["state"] == "running"
+        assert status["pid"] == os.getpid()
+        # the tmp file never survives a completed write
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_updates_merge_but_throttle_writes(self, tmp_path):
+        writer = RunStatusWriter(tmp_path, "r1", interval=3600.0)
+        writer.update(force=True)
+        before = status_path(tmp_path, "r1").read_text()
+        writer.update(cache={"hits": 5})        # merged, not yet written
+        assert status_path(tmp_path, "r1").read_text() == before
+        writer.update(force=True)               # flushes the merged state
+        assert load_status(tmp_path, "r1")["cache"] == {"hits": 5}
+
+    def test_note_record_derives_job_counts(self, tmp_path):
+        writer = RunStatusWriter(tmp_path, "r1", interval=0.0)
+        for _ in range(3):
+            writer.note_record("job_enqueued", {})
+        writer.note_record("job_started", {})
+        writer.note_record("job_started", {})
+        writer.note_record("job_done", {})
+        jobs = load_status(tmp_path, "r1")["jobs"]
+        assert jobs == {"total": 3, "started": 2, "done": 1, "failed": 0,
+                        "running": 1, "pending": 1}
+
+    def test_run_transitions_force_a_write(self, tmp_path):
+        writer = RunStatusWriter(tmp_path, "r1", interval=3600.0)
+        writer.note_record("run_started", {"argv": ["experiment", "x"],
+                                           "pid": 123})
+        status = load_status(tmp_path, "r1")
+        assert status["argv"] == ["experiment", "x"]
+        assert status["pid"] == 123
+        writer.note_record("run_finished", {})
+        assert load_status(tmp_path, "r1")["state"] == "finished"
+
+    def test_breaker_and_fault_records_fold_in(self, tmp_path):
+        writer = RunStatusWriter(tmp_path, "r1", interval=0.0)
+        writer.note_record("breaker_open", {"workload": "mcf",
+                                            "failures": 3})
+        writer.note_record("fault_injected", {})
+        status = load_status(tmp_path, "r1")
+        assert status["breakers"]["mcf"] == {"state": "open",
+                                             "failures": 3}
+        assert status["faults"]["injected"] == 1
+        writer.note_record("breaker_reset", {"workload": "mcf"})
+        assert load_status(tmp_path, "r1")["breakers"] == {}
+
+    def test_load_rejects_wrong_schema_or_garbage(self, tmp_path):
+        status_path(tmp_path, "bad").write_text(
+            json.dumps({"schema": 999}))
+        assert load_status(tmp_path, "bad") is None
+        status_path(tmp_path, "torn").write_text('{"schema": 1')
+        assert load_status(tmp_path, "torn") is None
+        assert load_status(tmp_path, "absent") is None
+
+
+# ---------------------------------------------------------------------
+# Journal integration + `repro top`
+# ---------------------------------------------------------------------
+def _run_journaled(tmp_path, run_id="toprun"):
+    directory = tmp_path / "journal"
+    journal = RunJournal.create(directory, ["experiment", "test"],
+                                run_id=run_id)
+    durable.set_current_journal(journal)
+    engine = ExperimentEngine(workers=1)
+    results = engine.run([Job(key=f"q:{n}", fn=_quick_job, args=(n,))
+                          for n in range(4)])
+    assert all(r.ok for r in results)
+    journal.finish(0)
+    durable.set_current_journal(None)
+    return directory
+
+
+class TestTopCommand:
+    def test_journal_keeps_status_current(self, tmp_path):
+        directory = _run_journaled(tmp_path)
+        status = load_status(directory, "toprun")
+        assert status["state"] == "finished"
+        assert status["jobs"]["total"] == 4
+        assert status["jobs"]["done"] == 4
+        assert status["jobs"]["running"] == 0
+        assert status["jobs"]["pending"] == 0
+
+    def test_top_renders_finished_run(self, tmp_path, capsys):
+        from repro.cli import main
+        directory = _run_journaled(tmp_path)
+        assert main(["top", "toprun", "--journal", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "run toprun" in out
+        assert "state=finished" in out
+        assert "jobs: 4/4 done" in out
+
+    def test_top_synthesizes_for_pre_status_journals(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+        directory = _run_journaled(tmp_path)
+        status_path(directory, "toprun").unlink()
+        assert main(["top", "latest", "--journal", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "[synthesized from journal]" in out
+        assert "jobs: 4/4 done" in out
+
+    def test_watch_exits_when_run_is_finished(self, tmp_path, capsys):
+        from repro.cli import main
+        directory = _run_journaled(tmp_path)
+        assert main(["top", "toprun", "--journal", str(directory),
+                     "--watch", "--interval", "0.01"]) == 0
+        assert "state=finished" in capsys.readouterr().out
+
+    def test_watch_exits_when_writer_pid_is_gone(self, tmp_path,
+                                                 capsys):
+        # a crashed run leaves state="running" with a dead pid; the
+        # watch must render it stale and stop, not spin forever
+        from repro.cli import main
+        directory = _run_journaled(tmp_path, run_id="stalerun")
+        path = status_path(directory, "stalerun")
+        doc = json.loads(path.read_text())
+        doc["state"] = "running"
+        doc["pid"] = 99999999
+        path.write_text(json.dumps(doc))
+        assert main(["top", "stalerun", "--journal", str(directory),
+                     "--watch", "--interval", "0.01"]) == 0
+        assert "stale (process gone)" in capsys.readouterr().out
+
+    def test_top_without_journal_dir_exits_2(self, capsys):
+        from repro.cli import main
+        os.environ.pop("REPRO_JOURNAL", None)
+        assert main(["top"]) == 2
+        assert "give --journal DIR" in capsys.readouterr().err
+
+    def test_top_unknown_run_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+        directory = _run_journaled(tmp_path)
+        assert main(["top", "nosuchrun",
+                     "--journal", str(directory)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_synthesize_status_shape(self, tmp_path):
+        directory = _run_journaled(tmp_path, run_id="synthrun")
+        replay = replay_journal(
+            directory / "synthrun.journal.jsonl", repair=False)
+        status = synthesize_status(replay)
+        assert status["schema"] == STATUS_SCHEMA
+        assert status["synthesized"] is True
+        assert status["state"] == "finished"
+        assert status["jobs"]["done"] == 4
+        assert status["argv"] == ["experiment", "test"]
+
+
+_LIVE_SCRIPT = """
+import sys, time
+from repro.runtime import durable
+from repro.runtime.engine import ExperimentEngine, Job
+
+def slow(n):
+    time.sleep(0.2)
+    return n
+
+journal = durable.RunJournal.create(sys.argv[1], ["live-test"],
+                                    run_id="liverun")
+durable.set_current_journal(journal)
+engine = ExperimentEngine(workers=1)
+engine.run([Job(key=f"s:{i}", fn=slow, args=(i,)) for i in range(50)])
+journal.finish(0)
+"""
+
+
+class TestTopLive:
+    def test_top_renders_a_running_subprocess(self, tmp_path, capsys):
+        from repro.cli import main
+        directory = tmp_path / "journal"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _LIVE_SCRIPT, str(directory)],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                status = load_status(directory, "liverun")
+                if status and status["state"] == "running" \
+                        and status["jobs"]["done"] > 0:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("status file never showed a running job")
+            assert main(["top", "liverun",
+                         "--journal", str(directory)]) == 0
+            out = capsys.readouterr().out
+            assert "run liverun" in out
+            assert "state=running" in out
+            assert "pending" in out
+        finally:
+            proc.kill()
+            proc.wait()
+        # the writer died mid-run: top must call that out, not lie
+        assert main(["top", "liverun", "--journal", str(directory)]) == 0
+        assert "stale (process gone)" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------
+# --trace wiring on resume and chaos (satellite)
+# ---------------------------------------------------------------------
+class TestTraceWiring:
+    def test_resume_with_trace_captures_the_resumed_run(self, tmp_path,
+                                                        capsys):
+        from repro.cli import main
+        directory = tmp_path / "journal"
+        journal = RunJournal.create(directory, ["experiment", "fig7"],
+                                    run_id="r-trace")
+        journal.close()                    # interrupted before any work
+        trace_file = tmp_path / "resumed.jsonl"
+        assert main(["resume", "r-trace", "--journal", str(directory),
+                     "--trace", str(trace_file)]) == 0
+        trace = load_trace(trace_file)
+        assert trace.label == "experiment:fig7"
+
+    def test_chaos_with_trace_writes_a_trace(self, tmp_path, capsys):
+        from repro.cli import main
+        trace_file = tmp_path / "chaos.jsonl"
+        rc = main(["chaos", "--fault-seed", "3", "--iterations", "2",
+                   "--trace", str(trace_file),
+                   "--cache-dir", str(tmp_path / "chaos-cache")])
+        assert rc == 0
+        trace = load_trace(trace_file)
+        assert trace.label == "chaos:3"

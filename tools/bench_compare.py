@@ -14,8 +14,9 @@ baseline (default 25%) and the baseline took at least ``--min-seconds``
 makes the exit status non-zero unless ``--warn-only`` is given, which
 reports them but always exits 0 (the CI perf-smoke mode).
 
-Phases present in only one file are listed informationally and never
-fail the comparison — adding or retiring a phase is not a regression.
+Phases present in only one file are reported as ``added:`` /
+``removed:`` lines and never fail the comparison — adding or retiring
+a phase is not a regression.
 """
 
 from __future__ import annotations
@@ -71,10 +72,12 @@ def compare(baseline: Dict[str, float], candidate: Dict[str, float],
                      f"{rendered}{flag}")
     only_base = sorted(set(baseline) - set(candidate))
     only_cand = sorted(set(candidate) - set(baseline))
-    if only_base:
-        lines.append(f"only in baseline:  {', '.join(only_base)}")
-    if only_cand:
-        lines.append(f"only in candidate: {', '.join(only_cand)}")
+    for name in only_base:
+        lines.append(f"removed: {name} (only in baseline, "
+                     f"{baseline[name]:.3f}s)")
+    for name in only_cand:
+        lines.append(f"added: {name} (only in candidate, "
+                     f"{candidate[name]:.3f}s)")
     return lines, regressions
 
 
