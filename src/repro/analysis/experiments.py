@@ -205,7 +205,11 @@ def fig6_migration_safety(benchmarks: Sequence[str] = SPEC_NAMES,
 # ----------------------------------------------------------------------
 # Figure 7 — entropy vs gadget-chain length (pure math, no job fan-out)
 # ----------------------------------------------------------------------
-def fig7_entropy(chain_lengths: Sequence[int] = tuple(range(1, 13)),
+#: default gadget-chain lengths for the Figure 7 entropy curve
+CHAIN_LENGTHS = tuple(range(1, 13))
+
+
+def fig7_entropy(chain_lengths: Sequence[int] = CHAIN_LENGTHS,
                  psr_bits: float = 13.0,
                  cap: Optional[float] = 1024.0) -> Dict[str, List[float]]:
     return entropy_series(chain_lengths, psr_bits, cap)
@@ -221,9 +225,12 @@ def _fig8_job(name: str, seed: int,
     return surviving_vs_probability(immunity, probabilities)
 
 
+#: default diversification-probability sweep for Figure 8 (0.0 .. 1.0)
+PROBABILITY_STEPS = tuple(i / 10 for i in range(11))
+
+
 def fig8_diversification(benchmarks: Sequence[str] = SPEC_NAMES,
-                         probabilities: Sequence[float] = tuple(
-                             i / 10 for i in range(11)),
+                         probabilities: Sequence[float] = PROBABILITY_STEPS,
                          seed: int = 0,
                          engine: Optional[ExperimentEngine] = None,
                          ) -> Dict[str, List[float]]:

@@ -50,7 +50,9 @@ from .obs.report import (
     render_critical_path, render_flamegraph_file, render_report)
 from .runtime import (
     ExperimentEngine,
+    Job,
     PhaseProfiler,
+    collect,
     configure_cache,
     get_cache,
     write_bench_file,
@@ -445,6 +447,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     with profiler.phase("mine", jobs=len(binaries)):
         for binary in binaries.values():
             runtime_artifacts.mine_binary_cached(binary, "x86like")
+    with profiler.phase("verify-all", jobs=len(binaries)):
+        # full static-verifier runtime (all passes, every benchmark) so
+        # analysis regressions show up in the perf-smoke comparison
+        from .staticcheck import run_verifier
+        for binary in binaries.values():
+            run_verifier(binary)
     with profiler.phase("exec-native", benchmark=benchmarks[0]):
         # end-to-end guest execution: exercises the interpreter's
         # compiled-block dispatch (the threaded-code fast path)
@@ -487,18 +495,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_workload_job(name: str, rules, passes):
+    """Module-level verify job so ``verify --workers`` can fan out."""
+    from .staticcheck import run_verifier
+
+    return run_verifier(compile_workload(name), rules=rules, passes=passes)
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Statically verify fat binaries; exit 1 on any ERROR finding."""
-    from .staticcheck import resolve_rules, run_verifier
+    from .staticcheck import PASSES_BY_NAME, RULES, resolve_rules, \
+        run_verifier
 
     rules = None
     if args.rules:
         try:
             resolve_rules(args.rules)        # fail fast on unknown rules
         except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+            print(f"error: {exc}; valid rules: "
+                  f"{', '.join(sorted(RULES))}", file=sys.stderr)
+            return 1
         rules = args.rules
+    if args.passes:
+        args.passes = [name for chunk in args.passes
+                       for name in chunk.split(",") if name]
+        unknown = [name for name in args.passes
+                   if name not in PASSES_BY_NAME]
+        if unknown:
+            print(f"error: unknown verifier pass(es) "
+                  f"{', '.join(unknown)}; valid passes: "
+                  f"{', '.join(PASSES_BY_NAME)}", file=sys.stderr)
+            return 1
 
     targets: List[str] = []
     if args.all:
@@ -521,9 +548,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         obs.enable()
 
     reports = {}
-    for name in targets:
-        reports[name] = run_verifier(compile_workload(name), rules=rules,
-                                     passes=args.passes)
+    if targets:
+        # Jobs are submitted in sorted-target order and results come
+        # back in submission order, so output is byte-identical for
+        # any --workers value.
+        engine = ExperimentEngine(workers=args.workers)
+        jobs = [Job(key=f"verify:{name}", fn=_verify_workload_job,
+                    args=(name, rules, args.passes), workload=name)
+                for name in targets]
+        for name, report in zip(targets, collect(engine.run(jobs))):
+            reports[name] = report
     if args.file:
         reports[args.file] = run_verifier(
             compile_minic(_load_source(args.file)), rules=rules,
@@ -860,9 +894,14 @@ def build_parser() -> argparse.ArgumentParser:
                                     "stackmap-mismatch)")
     verify_parser.add_argument("--passes", nargs="+", default=None,
                                metavar="PASS",
-                               choices=("cfg", "consistency", "dataflow",
-                                        "gadgets"),
-                               help="run only the named passes")
+                               help="run only the named passes (cfg, "
+                                    "consistency, dataflow, symequiv, "
+                                    "framesafety, gadgets)")
+    verify_parser.add_argument("--workers", "-j", type=int, default=None,
+                               metavar="N",
+                               help="verify workloads in parallel "
+                                    "(0 = one per core; findings are "
+                                    "identical for any worker count)")
     verify_parser.add_argument("--format", default="text",
                                choices=("text", "json"))
     verify_parser.add_argument("--output", "-o", default=None,

@@ -111,6 +111,20 @@ class FrameLayout:
         """The return-address slot sits immediately below the arguments."""
         return self.total_data_size + WORD_SIZE * (words_above - 1)
 
+    def slot_at(self, offset: int) -> "SlotEntry | None":
+        """Project an sp-relative byte offset back onto the slot covering
+        it, or None when the offset falls outside every frame-data slot.
+
+        The inverse of :meth:`slot_of`: the symbolic equivalence prover
+        and the frame-safety pass use it to attach value-level provenance
+        (*which* variable a divergent or out-of-bounds access touched) to
+        raw offsets recovered from machine code.
+        """
+        for entry in self.slot_entries():
+            if entry.offset <= offset < entry.end:
+                return entry
+        return None
+
     def slot_of(self, value: str) -> int:
         """Offset of a value's memory slot (home slot or fixed local)."""
         if value in self.home_offsets:

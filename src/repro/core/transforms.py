@@ -64,7 +64,7 @@ class AddressingModeRewriter:
             offset: value
             for value, offset in layout.home_offsets.items()}
         self.locals_end = 0
-        for name, offset in layout.local_offsets.items():
+        for offset in layout.local_offsets.values():
             self.locals_end = max(self.locals_end, offset + 4)
         self.s0, self.s1 = isa.scratch[0], isa.scratch[1]
 

@@ -336,6 +336,29 @@ class ISADescription:
     #: at every offset; ``None`` means "unknown — decode everywhere".
     gadget_seed_bytes: Optional[FrozenSet[int]] = None
 
+    #: per-opcode symbolic transfer overrides consulted by the symbolic
+    #: evaluator (:mod:`repro.staticcheck.symexec`) *before* its generic
+    #: table.  Maps :class:`Op` -> callable ``(state, decoded) -> bool``;
+    #: a handler returns True when it fully modelled the instruction.
+    #: Lets an ISA attach encoding-specific semantics (e.g. a fused or
+    #: ISA-private instruction) without the evaluator special-casing it.
+    symbolic_transfer_overrides: dict = {}
+
+    def symbolic_clobbers(self) -> FrozenSet[int]:
+        """Registers whose contents are *not* part of the cross-ISA
+        machine-state contract at an equivalence point.
+
+        Scratch registers are strictly instruction-local by codegen
+        discipline, the return register only carries a value at the
+        instant a call returns, and the link register is caller-managed;
+        the symbolic equivalence prover excludes these from comparison.
+        """
+        clobbers = set(self.scratch)
+        clobbers.add(self.return_reg)
+        if self.lr is not None:
+            clobbers.add(self.lr)
+        return frozenset(clobbers)
+
     def encode(self, instruction: Instruction, address: int = 0) -> bytes:
         """Encode one instruction at ``address`` (needed for rel branches)."""
         raise NotImplementedError

@@ -76,9 +76,10 @@ class MigrationEngine:
                  verify: bool = False):
         self.binary = binary
         self.vms = vms
-        #: defensive mode: statically verify the binary's migration
-        #: metadata (CFG + cross-ISA consistency) before the first
-        #: migration, refusing to move state over inconsistent maps
+        #: defensive mode: statically verify the binary before the
+        #: first migration (CFG + cross-ISA consistency + symbolic
+        #: equivalence + frame safety), refusing to move state over
+        #: inconsistent maps or divergent text sections
         self.verify = verify
         self._verified = False
         self.sites = CallSiteIndex(binary.symtab, binary.program)
@@ -108,21 +109,26 @@ class MigrationEngine:
 
     # ------------------------------------------------------------------
     def assert_verified(self) -> None:
-        """Statically verify the metadata a migration navigates by.
+        """Statically verify what a migration navigates by and moves.
 
-        Runs the verifier's ``cfg`` and ``consistency`` passes once
-        (cached for the engine's lifetime) and raises
-        :class:`~repro.errors.MigrationError` if they report any error:
-        migrating over a broken stack map or call-site table silently
-        corrupts the relocated state, so inconsistency must abort the
-        hand-off *before* any bytes move.
+        Runs the verifier's ``cfg`` and ``consistency`` passes (the
+        metadata a stack walk reads) plus ``symequiv`` and
+        ``framesafety`` (proof that the two ISA views really compute
+        the same state at every equivalence point and that SP/frame
+        invariants hold on every path) once, cached for the engine's
+        lifetime, and raises :class:`~repro.errors.MigrationError` if
+        they report any error: migrating over a broken stack map — or
+        between semantically divergent text sections — silently
+        corrupts the relocated state, so the hand-off must abort
+        *before* any bytes move.
         """
         if self._verified:
             return
         from ..errors import VerificationError
         from ..staticcheck import verify_binary
         try:
-            verify_binary(self.binary, passes=("cfg", "consistency"))
+            verify_binary(self.binary, passes=("cfg", "consistency",
+                                               "symequiv", "framesafety"))
         except VerificationError as exc:
             raise MigrationError(
                 f"refusing to migrate over an unverifiable binary: {exc}"

@@ -122,6 +122,7 @@ def _verifier_summary(spans: List[Dict[str, Any]],
     """Static-verifier section: findings by rule/severity, pass timings."""
     findings: Dict[Tuple[str, str], int] = {}
     outcomes: Dict[str, int] = {}
+    frame_stores: Dict[str, int] = {}
     for key, value in counters.items():
         name, labels = parse_series(key)
         if name == "verify.findings":
@@ -132,6 +133,9 @@ def _verifier_summary(spans: List[Dict[str, Any]],
         elif name == "verify.runs":
             outcome = labels.get("outcome", "?")
             outcomes[outcome] = outcomes.get(outcome, 0) + value
+        elif name == "verify.frame_stores":
+            outcome = labels.get("outcome", "?")
+            frame_stores[outcome] = frame_stores.get(outcome, 0) + value
     passes: Dict[str, Tuple[int, float, int]] = {}
     for span in spans:
         if span["name"] != "verify.pass":
@@ -156,6 +160,15 @@ def _verifier_summary(spans: List[Dict[str, Any]],
                 in sorted(findings.items())]
         sections.append(format_table(
             ["rule", "severity", "count"], rows, "Verifier findings"))
+    if frame_stores:
+        proved = frame_stores.get("proved", 0)
+        total = sum(frame_stores.values())
+        line = "frame stores: " + "  ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(frame_stores.items()))
+        if total:
+            line += f"  ({percent(proved / total)} proved in-frame)"
+        sections.append(line)
     if outcomes:
         sections.append("verifier runs: " + "  ".join(
             f"{outcome}={count}"

@@ -633,7 +633,7 @@ class ExperimentEngine:
                 results.append(result)
             return results
         if journal is not None:
-            for index, job in pairs:
+            for _index, job in pairs:
                 journal.append("job_started", key=job.key, attempt=attempt)
         if self.supervise:
             # The supervised pool owns per-job heartbeats and hung-worker

@@ -11,6 +11,13 @@ pass-based analysis framework over a compiled
   every equivalence point;
 * :mod:`repro.staticcheck.dataflow` — IR lints (use-before-def, dead
   stores, unreachable blocks, call arity vs. the symbol table);
+* :mod:`repro.staticcheck.symexec` /
+  :mod:`repro.staticcheck.symequiv` — per-block symbolic execution of
+  both ISA views, proving real semantic equivalence (same values, same
+  effects, same control) at every equivalence point;
+* :mod:`repro.staticcheck.framesafety` — interval/stack-pointer
+  abstract interpretation proving store bounds, SP balance and
+  alignment, and return-address integrity on every path;
 * :mod:`repro.staticcheck.gadget_audit` — the paper's gadget-surface
   asymmetry as a static invariant.
 
@@ -27,6 +34,7 @@ from .findings import (
     VerificationReport,
     resolve_rules,
 )
+from .framesafety import check_frame_safety
 from .passes import (
     DEFAULT_PASSES,
     PASSES_BY_NAME,
@@ -34,8 +42,11 @@ from .passes import (
     run_verifier,
     verify_binary,
 )
+from .symequiv import check_symbolic_equivalence
+from .symexec import BlockSummary, execute_block
 
 __all__ = [
+    "BlockSummary",
     "DEFAULT_PASSES",
     "Finding",
     "PASSES_BY_NAME",
@@ -45,6 +56,9 @@ __all__ = [
     "Severity",
     "VerificationReport",
     "VerifierPass",
+    "check_frame_safety",
+    "check_symbolic_equivalence",
+    "execute_block",
     "resolve_rules",
     "run_verifier",
     "verify_binary",

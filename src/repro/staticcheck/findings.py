@@ -10,7 +10,12 @@ pass:
   symbols, live sets at equivalence points);
 * ``HIP3xx`` — IR dataflow lints (use-before-def, dead stores,
   unreachable blocks, call arity);
-* ``HIP4xx`` — gadget-surface audit (the paper's ISA asymmetry).
+* ``HIP4xx`` — symbolic cross-ISA equivalence (per-block symbolic
+  execution of both ISA views, compared through the shared stack map);
+* ``HIP5xx`` — frame-safety abstract interpretation (store bounds, SP
+  balance/alignment, return-address integrity);
+* ``HIP6xx`` — gadget-surface audit (the paper's ISA asymmetry;
+  numbered HIP40x before the symbolic-equivalence pass claimed HIP4xx).
 """
 
 from __future__ import annotations
@@ -96,11 +101,36 @@ _RULE_DEFS: Tuple[Rule, ...] = (
     Rule("HIP304", "call-arity-mismatch", Severity.ERROR,
          "a direct call passes a different number of arguments than the "
          "callee's symbol-table parameter list declares"),
+    # --- symbolic cross-ISA equivalence ------------------------------
+    Rule("HIP401", "semantic-divergence", Severity.ERROR,
+         "a value live at an equivalence point has different symbolic "
+         "values in the two ISA views of the block"),
+    Rule("HIP402", "memory-effect-divergence", Severity.ERROR,
+         "the two ISA views of a block perform different externally "
+         "visible effects (calls, syscalls, or non-frame stores)"),
+    Rule("HIP403", "control-divergence", Severity.ERROR,
+         "the two ISA views of a block exit to different successors or "
+         "under different path conditions"),
+    Rule("HIP404", "symexec-unsupported", Severity.WARNING,
+         "symbolic execution could not fully model a block (path "
+         "explosion or an unmodeled construct); equivalence unproven"),
+    # --- frame-safety abstract interpretation ------------------------
+    Rule("HIP501", "frame-store-out-of-bounds", Severity.ERROR,
+         "a store provably lands outside the current frame and outside "
+         "the data section"),
+    Rule("HIP502", "sp-unbalanced", Severity.ERROR,
+         "the stack pointer is not balanced at a block exit or return "
+         "(push/pop or frame adjust mismatch on some path)"),
+    Rule("HIP503", "sp-misaligned", Severity.ERROR,
+         "the stack pointer leaves word alignment on some path"),
+    Rule("HIP504", "return-address-clobbered", Severity.ERROR,
+         "a store provably overwrites the return-address slot between "
+         "equivalence points"),
     # --- gadget-surface audit ----------------------------------------
-    Rule("HIP401", "aligned-isa-unintended-gadgets", Severity.ERROR,
+    Rule("HIP601", "aligned-isa-unintended-gadgets", Severity.ERROR,
          "a fixed-width, aligned ISA exposes unintended gadget starts "
          "(the paper requires the armlike unintentional count be zero)"),
-    Rule("HIP402", "gadget-asymmetry-violated", Severity.WARNING,
+    Rule("HIP602", "gadget-asymmetry-violated", Severity.WARNING,
          "the byte-granular ISA's gadget surface does not dominate the "
          "aligned ISA's (x86like should be much larger than armlike)"),
 )

@@ -1,0 +1,456 @@
+"""Frame-safety abstract interpretation (the ``framesafety`` pass).
+
+The migration-time stack walk, the PSR relocation builder, and the
+Galileo gadget audit all silently assume three invariants about the
+emitted code: every store lands inside the current frame's data region
+or the shared data section, the stack pointer stays word-aligned and
+balanced on every path (so block entries really are equivalence
+points), and nothing but the call/return protocol ever touches the
+return-address slot.  This pass *proves* those invariants per function
+per ISA with a small abstract interpreter.
+
+The domain is deliberately tiny:
+
+* ``TOP`` — unknown;
+* ``("const", lo, hi)`` — a value interval (data-section pointers,
+  immediates);
+* ``("sp", lo, hi)`` — a stack address, as a byte-offset interval
+  relative to the *function entry* SP.
+
+SP itself is tracked exactly (an integer delta from function entry, or
+``None`` once paths disagree — which is itself the ``HIP502`` finding).
+A block-level fixpoint with interval join and widening propagates
+register and frame-slot facts across the CFG; a final linear sweep per
+block performs the checks so each violation is reported once.
+
+Stores whose target stays ``TOP`` (e.g. computed array indexing) are
+*counted* as unproven in the pass facts — visible in the report and the
+``verify.frame_stores`` counter — but deliberately not flagged: the
+pass proves what it can and is honest about the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import ISAS
+from ..isa.base import Imm, Mem, Op, Reg
+from ..machine.process import Layout
+from .cfg import _decode_block
+from .findings import Finding
+
+TOP = ("top",)
+
+#: joins per block before differing facts widen straight to TOP
+WIDEN_AFTER = 8
+
+
+def _const_val(value: int) -> Tuple:
+    return ("const", value, value)
+
+
+def _join_val(a: Tuple, b: Tuple) -> Tuple:
+    if a == b:
+        return a
+    if a[0] != b[0] or a is TOP or b is TOP:
+        return TOP
+    return (a[0], min(a[1], b[1]), max(a[2], b[2]))
+
+
+def _shift(value: Tuple, disp: int) -> Tuple:
+    if value is TOP or value == TOP:
+        return TOP
+    return (value[0], value[1] + disp, value[2] + disp)
+
+
+def _alu_val(op: Op, a: Tuple, b: Tuple) -> Tuple:
+    """Abstract two-operand ALU; only pointer-relevant shapes are kept."""
+    if op is Op.ADD and a != TOP:
+        if b[0] == "const":
+            return (a[0], a[1] + b[1], a[2] + b[2])
+        if a[0] == "const" and b[0] == "sp":
+            return ("sp", a[1] + b[1], a[2] + b[2])
+        return TOP
+    if op is Op.SUB and a != TOP and b[0] == "const":
+        return (a[0], a[1] - b[2], a[2] - b[1])
+    if a[0] == "const" and b[0] == "const" and a[1] == a[2] \
+            and b[1] == b[2]:
+        # exact constants: fold through the symbolic evaluator's
+        # arithmetic so e.g. shifted data-section addresses stay exact
+        from .symexec import _fold_alu
+        folded = _fold_alu(op, ("const", a[1] & 0xFFFFFFFF),
+                           ("const", b[1] & 0xFFFFFFFF))
+        if folded[0] == "const":
+            return _const_val(folded[1])
+    return TOP
+
+
+@dataclass
+class AbsState:
+    """Abstract machine state at one program point."""
+
+    #: exact SP delta from function entry, or None on path disagreement
+    delta: Optional[int] = 0
+    regs: Dict[int, Tuple] = field(default_factory=dict)
+    #: frame-data facts keyed by entry-SP-relative byte offset
+    frame: Dict[int, Tuple] = field(default_factory=dict)
+
+    def copy(self) -> "AbsState":
+        return AbsState(delta=self.delta, regs=dict(self.regs),
+                        frame=dict(self.frame))
+
+    def join(self, other: "AbsState", widen: bool) -> bool:
+        """Merge ``other`` in; returns True when anything changed."""
+        changed = False
+        if self.delta != other.delta:
+            self.delta = None
+            changed = True
+        for env_mine, env_other in ((self.regs, other.regs),
+                                    (self.frame, other.frame)):
+            for key in list(env_mine):
+                if key not in env_other:
+                    del env_mine[key]
+                    changed = True
+                    continue
+                joined = (TOP if widen and env_mine[key] != env_other[key]
+                          else _join_val(env_mine[key], env_other[key]))
+                if joined != env_mine[key]:
+                    env_mine[key] = joined
+                    changed = True
+        return changed
+
+
+class _FunctionFrame:
+    """Geometry of one function's frame on one ISA."""
+
+    def __init__(self, binary, info, isa_name: str):
+        self.isa = ISAS[isa_name]
+        self.info = info
+        self.isa_name = isa_name
+        per_isa = info.per_isa[isa_name]
+        self.per_isa = per_isa
+        section = binary.sections[isa_name]
+        self.data = section.data
+        self.base = section.base_address
+        layout = info.layout
+        saved = len(per_isa.saved_registers)
+        # Block bounds exclude the prologue/epilogue pushes, so every
+        # block starts at the post-prologue SP: deltas are relative to
+        # that anchor, the frame-data region sits at [0, total_data),
+        # and the return-address slot (CALL-pushed on x86like, the
+        # prologue-pushed LR on armlike) sits just above the saves.
+        self.anchor = 0
+        self.frame_lo = 0
+        self.frame_hi = layout.total_data_size
+        self.ra_lo = layout.return_address_offset(layout.words_above(saved))
+        self.ra_hi = self.ra_lo + 4
+        #: SP offset at the RET instruction, after the epilogue pops
+        self.ret_delta = layout.total_data_size + 4 * saved
+        self.data_lo = Layout.DATA_BASE
+        self.data_hi = Layout.DATA_BASE + len(binary.data)
+
+
+def _classify_store(frame: _FunctionFrame, state: AbsState, mem: Mem,
+                    width: int) -> Tuple[str, Optional[int]]:
+    """Where does this store land?  Returns (verdict, exact offset).
+
+    Verdicts: "ok" (proved in-frame or in-data), "oob" (provably
+    outside both), "ra" (overlaps the return-address slot), "unproven".
+    """
+    if mem.base == frame.isa.sp:
+        if state.delta is None:
+            return "unproven", None
+        target = _shift(("sp", state.delta, state.delta), mem.disp)
+    else:
+        target = _shift(state.regs.get(mem.base, TOP), mem.disp)
+    if target == TOP:
+        return "unproven", None
+    lo, hi = target[1], target[2] + width
+    exact = target[1] if target[1] == target[2] else None
+    if target[0] == "sp":
+        if lo < frame.ra_hi and hi > frame.ra_lo:
+            return "ra", exact
+        if frame.frame_lo <= lo and hi <= frame.frame_hi:
+            return "ok", exact
+        if hi <= frame.frame_lo or lo >= frame.frame_hi:
+            # fully outside the frame data; the region below the
+            # current SP is legitimate only for PUSH, not stores
+            return "oob", exact
+        return "unproven", exact
+    if frame.data_lo <= lo and hi <= frame.data_hi:
+        return "ok", exact
+    if hi <= frame.data_lo or lo >= frame.data_hi:
+        return "oob", exact
+    return "unproven", exact
+
+
+def _transfer_block(frame: _FunctionFrame, state: AbsState,
+                    instructions, check=None) -> AbsState:
+    """Run one block's instructions over the abstract state.
+
+    ``check`` (the final sweep's callback) receives
+    ``(decoded, state_before_instruction)`` for the store/SP checks;
+    the fixpoint phase passes None and just computes the out-state.
+    """
+    isa = frame.isa
+    for decoded in instructions:
+        if check is not None:
+            check(decoded, state)
+        ins = decoded.instruction
+        op = ins.op
+        if op is Op.PUSH:
+            if state.delta is not None:
+                state.delta -= 4
+        elif op is Op.POP:
+            if state.delta is not None:
+                state.delta += 4
+            if isinstance(ins.dst, Reg):
+                if ins.dst.index == isa.sp:
+                    state.delta = None
+                else:
+                    state.regs[ins.dst.index] = TOP
+        elif op in (Op.ADD, Op.SUB) and isinstance(ins.dst, Reg) \
+                and ins.dst.index == isa.sp:
+            if isinstance(ins.src, Imm) and state.delta is not None:
+                sign = 1 if op is Op.ADD else -1
+                state.delta += sign * ins.src.signed
+            else:
+                state.delta = None
+        elif op is Op.MOV and isinstance(ins.dst, Reg):
+            if ins.dst.index == isa.sp:
+                state.delta = None
+            else:
+                state.regs[ins.dst.index] = _operand_val(frame, state,
+                                                         ins.src)
+        elif op is Op.MOVT and isinstance(ins.dst, Reg):
+            current = state.regs.get(ins.dst.index, TOP)
+            if current[0] == "const" and current[1] == current[2]:
+                value = ((current[1] & 0xFFFF)
+                         | ((ins.src.value & 0xFFFF) << 16))
+                state.regs[ins.dst.index] = _const_val(value)
+            else:
+                state.regs[ins.dst.index] = TOP
+        elif op is Op.LEA:
+            mem = ins.src
+            if mem.base == isa.sp and state.delta is not None:
+                value = ("sp", state.delta + mem.disp,
+                         state.delta + mem.disp)
+            else:
+                value = _shift(state.regs.get(mem.base, TOP)
+                               if mem.base != isa.sp else TOP, mem.disp)
+            state.regs[ins.dst.index] = value
+        elif op in (Op.LOAD, Op.LOADB):
+            state.regs[ins.dst.index] = _load_val(frame, state, ins.src,
+                                                  op is Op.LOADB)
+        elif op in (Op.STORE, Op.STOREB):
+            _record_frame_store(frame, state, ins.dst,
+                                _operand_val(frame, state, ins.src))
+        elif op in (Op.CALL, Op.ICALL):
+            for reg in isa.symbolic_clobbers():
+                state.regs[reg] = TOP
+        elif op is Op.SYSCALL:
+            state.regs[isa.return_reg] = TOP
+        elif op in (Op.NEG, Op.NOT):
+            if isinstance(ins.dst, Reg):
+                state.regs[ins.dst.index] = TOP
+        elif op in (Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+                    Op.SHL, Op.SHR, Op.SAR, Op.ADD, Op.SUB):
+            if isinstance(ins.dst, Reg) and ins.dst.index != isa.sp:
+                state.regs[ins.dst.index] = _alu_val(
+                    op, state.regs.get(ins.dst.index, TOP),
+                    _operand_val(frame, state, ins.src))
+        # CMP/JMP/JCC/RET/IJMP/NOP/HLT: no abstract-state effect
+    return state
+
+
+def _operand_val(frame: _FunctionFrame, state: AbsState, operand) -> Tuple:
+    if isinstance(operand, Imm):
+        return _const_val(operand.signed)
+    if isinstance(operand, Reg):
+        if operand.index == frame.isa.sp:
+            if state.delta is None:
+                return TOP
+            return ("sp", state.delta, state.delta)
+        return state.regs.get(operand.index, TOP)
+    if isinstance(operand, Mem):
+        return _load_val(frame, state, operand, byte=False)
+    return TOP
+
+
+def _frame_offset(frame: _FunctionFrame, state: AbsState,
+                  mem: Mem) -> Optional[int]:
+    """Exact entry-SP-relative offset of a memory operand, if known."""
+    if mem.base == frame.isa.sp:
+        if state.delta is None:
+            return None
+        return state.delta + mem.disp
+    pointer = state.regs.get(mem.base, TOP)
+    if pointer[0] == "sp" and pointer[1] == pointer[2]:
+        return pointer[1] + mem.disp
+    return None
+
+
+def _load_val(frame: _FunctionFrame, state: AbsState, mem: Mem,
+              byte: bool) -> Tuple:
+    if byte:
+        return ("const", 0, 0xFF)
+    offset = _frame_offset(frame, state, mem)
+    if offset is not None:
+        return state.frame.get(offset, TOP)
+    return TOP
+
+
+def _record_frame_store(frame: _FunctionFrame, state: AbsState,
+                        mem: Mem, value: Tuple) -> None:
+    offset = _frame_offset(frame, state, mem)
+    if offset is not None and offset % 4 == 0:
+        state.frame[offset] = value
+
+
+def check_frame_safety(binary, findings: List[Finding]) -> Dict[str, int]:
+    """Prove store bounds, SP balance/alignment, and RA integrity."""
+    stats = {"functions": 0, "stores_proved": 0, "stores_unproven": 0}
+    for isa_name in binary.isa_names:
+        for info in binary.symtab:
+            if isa_name not in info.per_isa:
+                continue
+            _check_function(binary, info, isa_name, findings, stats)
+    return stats
+
+
+def _decode_function(frame: _FunctionFrame) -> Optional[Dict[str, list]]:
+    decoded: Dict[str, list] = {}
+    for label, start, end in frame.per_isa.block_bounds():
+        instructions, clean = _decode_block(frame.isa, frame.data,
+                                            frame.base, start, end)
+        if not clean:
+            return None           # HIP101 (cfg pass) already fires
+        decoded[label] = instructions
+    return decoded
+
+
+def _check_function(binary, info, isa_name: str, findings: List[Finding],
+                    stats: Dict[str, int]) -> None:
+    frame = _FunctionFrame(binary, info, isa_name)
+    blocks = _decode_function(frame)
+    if blocks is None:
+        return
+    stats["functions"] += 1
+    fn = binary.program.functions.get(info.name)
+    successors = {}
+    order = [label for label, _, _ in frame.per_isa.block_bounds()]
+    for label in order:
+        if fn is not None and label in {blk.label for blk in fn.blocks}:
+            successors[label] = list(fn.block(label).successors())
+        else:
+            successors[label] = []
+
+    entry = order[0] if order else None
+    states: Dict[str, AbsState] = {entry: AbsState()}
+    join_counts: Dict[str, int] = {}
+    worklist = [entry] if entry is not None else []
+    while worklist:
+        label = worklist.pop(0)
+        out = _transfer_block(frame, states[label].copy(), blocks[label])
+        for successor in successors[label]:
+            if successor not in blocks:
+                continue
+            if successor not in states:
+                states[successor] = out.copy()
+                worklist.append(successor)
+                continue
+            joins = join_counts.get(successor, 0) + 1
+            join_counts[successor] = joins
+            if states[successor].join(out, widen=joins > WIDEN_AFTER) \
+                    and successor not in worklist:
+                worklist.append(successor)
+
+    reported: set = set()
+
+    def finding(rule: str, message: str, label: str, address: int,
+                subject: Optional[str] = None) -> None:
+        key = (rule, label, address)
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(Finding(rule, message, function=info.name,
+                                block=label, isa=isa_name,
+                                address=address, subject=subject))
+
+    for label in order:
+        if label not in states:
+            continue              # unreachable: HIP303 territory
+        state = states[label].copy()
+        if state.delta is None:
+            finding("HIP502",
+                    "predecessors reach this equivalence point with "
+                    "different stack-pointer offsets", label,
+                    frame.per_isa.block_addresses[label])
+            continue
+
+        def check(decoded, current, label=label):
+            _check_instruction(frame, decoded, current, label, finding,
+                               stats)
+
+        end_state = _transfer_block(frame, state, blocks[label], check)
+        last = blocks[label][-1].instruction if blocks[label] else None
+        exits_function = last is not None and last.op in (
+            Op.RET, Op.HLT, Op.IJMP)
+        if (not exits_function and successors[label]
+                and end_state.delta is not None
+                and end_state.delta != frame.anchor):
+            finding("HIP502",
+                    f"stack pointer leaves the block at "
+                    f"entry{end_state.delta:+d} instead of the frame "
+                    f"anchor ({frame.anchor:+d}): pushes and frame "
+                    f"adjusts do not balance", label,
+                    blocks[label][-1].address if blocks[label]
+                    else frame.per_isa.block_addresses[label])
+
+
+def _check_instruction(frame: _FunctionFrame, decoded, state: AbsState,
+                       label: str, finding, stats: Dict[str, int]) -> None:
+    ins = decoded.instruction
+    op = ins.op
+    if state.delta is not None and state.delta % 4 != 0:
+        finding("HIP503",
+                f"stack pointer is misaligned (entry{state.delta:+d}) "
+                f"at {decoded.address:#x}", label, decoded.address)
+    if op is Op.RET:
+        if state.delta is not None and state.delta != frame.ret_delta:
+            finding("HIP502",
+                    f"return executes at entry{state.delta:+d} but the "
+                    f"epilogue should leave SP at "
+                    f"entry{frame.ret_delta:+d}: some path is "
+                    f"unbalanced", label, decoded.address)
+        return
+    if op not in (Op.STORE, Op.STOREB):
+        return
+    width = 4 if op is Op.STORE else 1
+    verdict, exact = _classify_store(frame, state, ins.dst, width)
+    if verdict == "ok":
+        stats["stores_proved"] += 1
+        return
+    if verdict == "unproven":
+        stats["stores_unproven"] += 1
+        return
+    subject = None
+    if exact is not None:
+        entry = frame.info.layout.slot_at(exact - frame.anchor)
+        if entry is not None:
+            subject = entry.name
+    if verdict == "ra":
+        finding("HIP504",
+                f"store at {decoded.address:#x} overwrites the "
+                f"return-address slot "
+                f"(entry{frame.ra_lo:+d}..{frame.ra_hi:+d})",
+                label, decoded.address, subject)
+        return
+    where = (f"entry{exact:+d}" if exact is not None
+             else "a provably out-of-range address")
+    finding("HIP501",
+            f"store at {decoded.address:#x} lands at {where}, outside "
+            f"the frame data region "
+            f"(entry{frame.frame_lo:+d}..{frame.frame_hi:+d}) and the "
+            f"data section", label, decoded.address, subject)

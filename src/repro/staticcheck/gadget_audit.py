@@ -11,9 +11,9 @@ the asymmetry into checkable invariants:
 
 * an aligned ISA (alignment > 1) must expose **zero** unintended gadget
   starts — any hit means the assembler emitted something decodable off
-  the intended stream, i.e. the encoding model is broken (``HIP401``);
+  the intended stream, i.e. the encoding model is broken (``HIP601``);
 * the byte-granular ISA's total surface must strictly dominate the
-  aligned ISA's (``HIP402``).
+  aligned ISA's (``HIP602``).
 """
 
 from __future__ import annotations
@@ -45,7 +45,7 @@ def audit_gadget_summaries(summaries: Dict[str, Dict[str, int]],
         unintended = summaries[isa_name].get("unintended", 0)
         if unintended:
             findings.append(Finding(
-                "HIP401",
+                "HIP601",
                 f"{unintended} unintended gadget starts on the "
                 f"{ISAS[isa_name].alignment}-byte-aligned ISA "
                 f"(the paper requires zero)",
@@ -56,7 +56,7 @@ def audit_gadget_summaries(summaries: Dict[str, Dict[str, int]],
             sparse_total = summaries[sparse].get("total", 0)
             if dense_total <= sparse_total:
                 findings.append(Finding(
-                    "HIP402",
+                    "HIP602",
                     f"gadget surface asymmetry violated: {dense} has "
                     f"{dense_total} gadgets vs {sparse} with "
                     f"{sparse_total}",

@@ -27,7 +27,9 @@ from .findings import (
     VerificationReport,
     resolve_rules,
 )
+from .framesafety import check_frame_safety
 from .gadget_audit import check_gadget_surface
+from .symequiv import check_symbolic_equivalence
 
 
 class VerifierPass:
@@ -84,11 +86,46 @@ class DataflowPass(VerifierPass):
         return findings
 
 
+class SymbolicEquivalencePass(VerifierPass):
+    """Per-block symbolic proof that both ISA views compute the same
+    thing (registers, frame slots, effects) at every equivalence point."""
+
+    name = "symequiv"
+    rules = ("HIP401", "HIP402", "HIP403", "HIP404")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        report.facts["symequiv"] = check_symbolic_equivalence(
+            binary, findings)
+        return findings
+
+
+class FrameSafetyPass(VerifierPass):
+    """Abstract interpretation proving store bounds, SP balance and
+    alignment, and return-address-slot integrity on every path."""
+
+    name = "framesafety"
+    rules = ("HIP501", "HIP502", "HIP503", "HIP504")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        stats = check_frame_safety(binary, findings)
+        report.facts["framesafety"] = stats
+        if obs.enabled():
+            registry = obs.get_registry()
+            for outcome in ("proved", "unproven"):
+                count = stats.get(f"stores_{outcome}", 0)
+                if count:
+                    registry.counter("verify.frame_stores",
+                                     outcome=outcome).inc(count)
+        return findings
+
+
 class GadgetAuditPass(VerifierPass):
     """Static gadget-surface audit (the paper's encoding asymmetry)."""
 
     name = "gadgets"
-    rules = ("HIP401", "HIP402")
+    rules = ("HIP601", "HIP602")
 
     def run(self, binary, report: VerificationReport) -> List[Finding]:
         findings: List[Finding] = []
@@ -98,7 +135,8 @@ class GadgetAuditPass(VerifierPass):
 
 #: registered passes, in execution order
 DEFAULT_PASSES: Sequence[Callable[[], VerifierPass]] = (
-    CFGRecoveryPass, ConsistencyPass, DataflowPass, GadgetAuditPass,
+    CFGRecoveryPass, ConsistencyPass, DataflowPass,
+    SymbolicEquivalencePass, FrameSafetyPass, GadgetAuditPass,
 )
 
 #: pass name -> factory, for ``passes=('cfg', 'consistency')`` selections
@@ -130,7 +168,7 @@ def run_verifier(binary, rules: Optional[Sequence[str]] = None,
     prefixes — see :func:`~repro.staticcheck.findings.resolve_rules`);
     passes that cannot emit any selected rule are skipped entirely.
     ``passes`` names a subset of passes to run (``cfg``, ``consistency``,
-    ``dataflow``, ``gadgets``).
+    ``dataflow``, ``symequiv``, ``framesafety``, ``gadgets``).
     """
     selected_rules = resolve_rules(rules)
     report = VerificationReport()

@@ -1,0 +1,204 @@
+"""Cross-ISA semantic equivalence proof (the ``symequiv`` pass).
+
+Every basic-block entry is an equivalence point: HIPStR may migrate a
+thread there, so the two ISA views of the block must compute the same
+thing.  PR 3's consistency pass only checks that *metadata* agrees
+(stack maps, call sites, live sets); this pass checks the *code*.  For
+each block it symbolically executes both ISA views
+(:mod:`repro.staticcheck.symexec`), matches up the resulting paths by
+their canonical path conditions, and then requires, per matched path:
+
+* the same exit kind and successor, and the same SP balance relative to
+  the frame anchor (``HIP403`` on divergence);
+* the same ordered log of externally visible effects — calls with
+  argument terms, syscalls, stores outside the frame (``HIP402``);
+* for every value live out of the block, the same symbolic term once
+  each side's location (register assignment or shared frame slot) is
+  read through its own stack map (``HIP401``) — this is what catches a
+  single mutated instruction in one ISA's text section;
+* the same symbolic return value at ``ret`` exits (``HIP401``).
+
+Blocks the evaluator cannot fully model (path explosion, unmodelled
+constructs) degrade to a ``HIP404`` warning: equivalence there is
+*unproven*, not disproven.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .findings import Finding
+from .symexec import BlockSummary, ExitRecord, canonicalize, execute_block
+
+
+def _live_out_terms(record: ExitRecord, info, isa_name: str, label: str,
+                    func_entries) -> Dict[str, object]:
+    assignment = info.per_isa[isa_name].register_assignment
+    layout = info.layout
+    projected: Dict[str, object] = {}
+    for value in sorted(info.live_out(label)):
+        if value in assignment:
+            term = record.state.regs.get(
+                assignment[value], ("regin", isa_name, assignment[value]))
+        elif layout.has_slot(value):
+            offset = layout.slot_of(value)
+            term = record.state.stack.get(offset, ("stackinit", offset))
+        else:
+            continue        # unlocatable: HIP205 (consistency) territory
+        projected[value] = canonicalize(term, func_entries)
+    return projected
+
+
+def _slot_provenance(layout, term) -> Optional[str]:
+    """Name the frame slot a stackinit-rooted term refers to, if any."""
+    if isinstance(term, tuple) and term[0] in ("stackinit", "spaddr"):
+        entry = layout.slot_at(term[1])
+        if entry is not None:
+            return entry.name
+    return None
+
+
+def _func_entry_maps(binary) -> Dict[str, Dict[int, str]]:
+    maps: Dict[str, Dict[int, str]] = {name: {}
+                                       for name in binary.isa_names}
+    for info in binary.symtab:
+        for isa_name, per_isa in info.per_isa.items():
+            if isa_name in maps:
+                maps[isa_name][per_isa.entry] = info.name
+    return maps
+
+
+def _compare_block(info, label: str, left: BlockSummary,
+                   right: BlockSummary, func_maps,
+                   findings: List[Finding]) -> bool:
+    """Compare two ISA views of one block; returns True when proven."""
+    name = info.name
+    isa_a, isa_b = left.isa_name, right.isa_name
+
+    def finding(rule: str, message: str, isa: Optional[str] = None,
+                subject: Optional[str] = None) -> None:
+        findings.append(Finding(rule, message, function=name, block=label,
+                                isa=isa, subject=subject))
+
+    for summary in (left, right):
+        if summary.unsupported:
+            finding("HIP404",
+                    f"symbolic execution incomplete: "
+                    f"{summary.unsupported}; equivalence unproven",
+                    isa=summary.isa_name)
+    if left.unsupported or right.unsupported:
+        return False
+
+    by_key_a = {record.cond_key: record for record in left.records}
+    by_key_b = {record.cond_key: record for record in right.records}
+    if set(by_key_a) != set(by_key_b):
+        only_a = len(set(by_key_a) - set(by_key_b))
+        only_b = len(set(by_key_b) - set(by_key_a))
+        finding("HIP403",
+                f"path structure diverges between {isa_a} and {isa_b}: "
+                f"{only_a} path(s) unique to {isa_a}, {only_b} unique "
+                f"to {isa_b}")
+        return False
+
+    clean = True
+    for key in sorted(by_key_a, key=repr):
+        rec_a, rec_b = by_key_a[key], by_key_b[key]
+        where = (f"on path [{_describe_path(key)}]" if key
+                 else "on the straight-line path")
+        if (rec_a.kind, rec_a.successor) != (rec_b.kind, rec_b.successor):
+            finding("HIP403",
+                    f"exit diverges {where}: {isa_a} leaves via "
+                    f"{rec_a.kind}->{rec_a.successor}, {isa_b} via "
+                    f"{rec_b.kind}->{rec_b.successor}")
+            clean = False
+            continue
+        if rec_a.kind != "ret" and rec_a.sp_rel != rec_b.sp_rel:
+            finding("HIP401",
+                    f"stack-pointer balance diverges {where}: "
+                    f"{isa_a} exits at anchor{rec_a.sp_rel:+d}, "
+                    f"{isa_b} at anchor{rec_b.sp_rel:+d}",
+                    subject="sp")
+            clean = False
+        events_a = [canonicalize(e, func_maps[isa_a])
+                    for e in rec_a.state.events]
+        events_b = [canonicalize(e, func_maps[isa_b])
+                    for e in rec_b.state.events]
+        if events_a != events_b:
+            index = next((i for i, (ea, eb)
+                          in enumerate(zip(events_a, events_b))
+                          if ea != eb), min(len(events_a), len(events_b)))
+            finding("HIP402",
+                    f"memory/call effects diverge {where} at event "
+                    f"#{index}: {isa_a} performs "
+                    f"{_head(events_a, index)}, {isa_b} performs "
+                    f"{_head(events_b, index)}")
+            clean = False
+        if rec_a.kind == "ret":
+            ret_a = canonicalize(rec_a.ret_term, func_maps[isa_a])
+            ret_b = canonicalize(rec_b.ret_term, func_maps[isa_b])
+            if ret_a != ret_b:
+                finding("HIP401",
+                        f"return value diverges {where}: {isa_a} "
+                        f"returns {ret_a!r}, {isa_b} returns {ret_b!r}",
+                        subject="<return>")
+                clean = False
+        if rec_a.kind == "ijmp":
+            tgt_a = canonicalize(rec_a.target_term, func_maps[isa_a])
+            tgt_b = canonicalize(rec_b.target_term, func_maps[isa_b])
+            if tgt_a != tgt_b:
+                finding("HIP403",
+                        f"indirect-jump target diverges {where}: "
+                        f"{tgt_a!r} vs {tgt_b!r}")
+                clean = False
+        live_a = _live_out_terms(rec_a, info, isa_a, label,
+                                 func_maps[isa_a])
+        live_b = _live_out_terms(rec_b, info, isa_b, label,
+                                 func_maps[isa_b])
+        for value in sorted(set(live_a) | set(live_b)):
+            term_a, term_b = live_a.get(value), live_b.get(value)
+            if term_a != term_b:
+                finding("HIP401",
+                        f"live-out value {value!r} diverges {where}: "
+                        f"{isa_a} holds {term_a!r}, {isa_b} holds "
+                        f"{term_b!r}", subject=value)
+                clean = False
+    return clean
+
+
+def _describe_path(key) -> str:
+    return " & ".join(cond.lower() for cond, _ in key)
+
+
+def _head(events, index: int) -> str:
+    if index < len(events):
+        return repr(events[index])
+    return "no event (log exhausted)"
+
+
+def check_symbolic_equivalence(binary, findings: List[Finding]
+                               ) -> Dict[str, int]:
+    """Prove per-block cross-ISA equivalence; returns summary facts."""
+    isa_names = binary.isa_names
+    stats = {"blocks": 0, "proven": 0, "paths": 0, "unsupported": 0}
+    if len(isa_names) < 2:
+        return stats
+    func_maps = _func_entry_maps(binary)
+    isa_a, isa_b = isa_names[0], isa_names[1]
+    for info in binary.symtab:
+        if isa_a not in info.per_isa or isa_b not in info.per_isa:
+            continue        # missing view: HIP204 (cfg pass) territory
+        for label, _, _ in info.per_isa[isa_a].block_bounds():
+            if label not in {lbl for lbl, _, _
+                             in info.per_isa[isa_b].block_bounds()}:
+                continue    # missing block: HIP102 territory
+            left = execute_block(binary, info, isa_a, label)
+            right = execute_block(binary, info, isa_b, label)
+            stats["blocks"] += 1
+            stats["paths"] += max(len(left.records), len(right.records))
+            if left.unsupported or right.unsupported:
+                stats["unsupported"] += 1
+            before = len(findings)
+            if _compare_block(info, label, left, right, func_maps,
+                              findings) and len(findings) == before:
+                stats["proven"] += 1
+    return stats

@@ -1,0 +1,604 @@
+"""Symbolic execution of one basic block on one ISA.
+
+The semantic-equivalence prover (:mod:`repro.staticcheck.symequiv`)
+needs, for every basic block of every function, a *normalized symbolic
+store*: what each register and frame slot holds at every block exit, as
+a term over the block's entry state.  This module provides exactly that
+— a small symbolic evaluator over the decoded instruction stream, with
+per-opcode transfer functions that mirror
+:mod:`repro.machine.interpreter` bit-for-bit on constants.
+
+Design notes, shared with the frame-safety pass:
+
+* **Terms are nested tuples** — ``("const", v)``, ``("val", name)`` (an
+  IR value's content at block entry), ``("stackinit", off)`` (initial
+  content of a frame byte offset), ``("add", a, b)``, ... — compared
+  structurally.  Constant subterms fold eagerly using the interpreter's
+  exact arithmetic (signed MUL/DIV/MOD with C truncation, shift counts
+  masked to 5 bits, results truncated to 32 bits), so an x86like
+  ``MOV reg, imm32`` and an armlike ``MOV/MOVT`` pair normalize to the
+  same ``("const", v)``.
+
+* **The stack is delta-addressed.**  SP is tracked as an exact integer
+  delta from block entry; every sp-relative access is keyed by its
+  offset from the function's *frame anchor* (the post-prologue SP),
+  which is where the shared :class:`~repro.compiler.frames.FrameLayout`
+  offsets live and therefore the coordinate system both ISAs agree on.
+  For the entry block the anchor sits ``4*pushes + frame data`` below
+  the entry SP; everywhere else it *is* the entry SP.
+
+* **Everything else is an event.**  Stores outside the frame, calls,
+  and syscalls append to an ordered event log (and bump a memory
+  generation counter that taints later loads); the equivalence pass
+  compares the two ISAs' logs rather than modelling global memory.
+
+* **Compare diamonds fork.**  Intra-block conditional branches with a
+  non-constant compare result split the state into two paths, each
+  tagged with the canonical condition that holds on it; paths are the
+  unit the equivalence pass matches across ISAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..isa import ISAS
+from ..isa.base import (
+    Decoded,
+    Imm,
+    Instruction,
+    Mem,
+    Op,
+    Reg,
+    to_signed,
+    to_unsigned,
+)
+from ..machine.syscalls import Sys
+from .cfg import _decode_block
+
+Term = Tuple[Any, ...]
+
+#: fork limit per block: beyond this the block is reported unsupported
+MAX_PATHS = 64
+#: instruction-execution limit per path (guards intra-block loops)
+MAX_STEPS = 20_000
+
+#: how many argument registers each modelled syscall actually consumes
+#: (mirrors :meth:`repro.machine.syscalls.OperatingSystem.dispatch`);
+#: unused argument registers hold ISA-specific garbage and must not be
+#: part of the cross-ISA contract
+SYSCALL_ARITY = {
+    int(Sys.EXIT): 1,
+    int(Sys.READ): 3,
+    int(Sys.WRITE): 3,
+    int(Sys.EXECVE): 1,
+    int(Sys.BRK): 1,
+    int(Sys.GETPID): 0,
+}
+
+
+def _const(value: int) -> Term:
+    return ("const", to_unsigned(value))
+
+
+def _is_const(term: Term) -> bool:
+    return term[0] == "const"
+
+
+def _fold_alu(op: Op, a: Term, b: Term) -> Term:
+    """dst = dst OP src with the interpreter's exact 32-bit arithmetic."""
+    if _is_const(a) and _is_const(b):
+        va, vb = a[1], b[1]
+        sa, sb = to_signed(va), to_signed(vb)
+        amount = vb & 31
+        if op is Op.ADD:
+            return _const(va + vb)
+        if op is Op.SUB:
+            return _const(va - vb)
+        if op is Op.MUL:
+            return _const(sa * sb)
+        if op is Op.DIV and sb != 0:
+            return _const(int(sa / sb))
+        if op is Op.MOD and sb != 0:
+            return _const(sa - int(sa / sb) * sb)
+        if op is Op.AND:
+            return _const(va & vb)
+        if op is Op.OR:
+            return _const(va | vb)
+        if op is Op.XOR:
+            return _const(va ^ vb)
+        if op is Op.SHL:
+            return _const(va << amount)
+        if op is Op.SHR:
+            return _const(va >> amount)
+        if op is Op.SAR:
+            return _const(sa >> amount)
+    if op is Op.ADD and _is_const(b) and b[1] == 0:
+        return a
+    if op is Op.SUB and _is_const(b) and b[1] == 0:
+        return a
+    return (op.value, a, b)
+
+
+def _fold_unary(op: Op, a: Term) -> Term:
+    if _is_const(a):
+        if op is Op.NEG:
+            return _const(-to_signed(a[1]))
+        if op is Op.NOT:
+            return _const(~a[1])
+    return (op.value, a)
+
+
+def _fold_movt(low: Term, imm: int) -> Term:
+    if _is_const(low):
+        return _const((low[1] & 0xFFFF) | ((imm & 0xFFFF) << 16))
+    return ("movt", low, imm & 0xFFFF)
+
+
+def _fold_getbyte(word: Term, lane: int) -> Term:
+    if _is_const(word):
+        return _const((word[1] >> (8 * lane)) & 0xFF)
+    return ("getbyte", word, lane)
+
+
+def _fold_setbyte(word: Term, lane: int, byte: Term) -> Term:
+    if _is_const(word) and _is_const(byte):
+        mask = 0xFF << (8 * lane)
+        return _const((word[1] & ~mask) | ((byte[1] & 0xFF) << (8 * lane)))
+    return ("setbyte", word, lane, byte)
+
+
+class Unsupported(Exception):
+    """The block uses a construct the evaluator does not model."""
+
+
+@dataclass
+class SymState:
+    """One symbolic path through a block: registers, stack, events."""
+
+    regs: Dict[int, Term] = field(default_factory=dict)
+    #: exact SP offset from block entry, in bytes
+    sp_delta: int = 0
+    #: frame-anchored stack memory: byte offset -> word term
+    stack: Dict[int, Term] = field(default_factory=dict)
+    #: last CMP result: None, an exact signed int, or an ("sdiff",..) term
+    diff: Any = None
+    #: ordered externally visible effects (stores, calls, syscalls)
+    events: List[Term] = field(default_factory=list)
+    #: memory generation — bumped whenever unknown memory may change
+    generation: int = 0
+    #: canonical path conditions that hold on this path
+    conds: List[Tuple[str, Term]] = field(default_factory=list)
+    #: fresh-name counters (call/syscall indices), synced across forks
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def fork(self) -> "SymState":
+        return SymState(regs=dict(self.regs), sp_delta=self.sp_delta,
+                        stack=dict(self.stack), diff=self.diff,
+                        events=list(self.events),
+                        generation=self.generation,
+                        conds=list(self.conds),
+                        counters=dict(self.counters))
+
+    def fresh(self, kind: str) -> int:
+        index = self.counters.get(kind, 0)
+        self.counters[kind] = index + 1
+        return index
+
+
+@dataclass
+class ExitRecord:
+    """How one symbolic path left the block, and with what state."""
+
+    kind: str                      # "fall"|"jmp"|"ret"|"halt"|"ijmp"
+    successor: Optional[str]       # block label, when statically known
+    state: SymState
+    #: SP offset from the frame anchor at exit (compared for non-ret exits)
+    sp_rel: int = 0
+    ret_term: Optional[Term] = None
+    target_term: Optional[Term] = None
+
+    @property
+    def cond_key(self) -> Tuple[Tuple[str, Term], ...]:
+        return tuple(self.state.conds)
+
+
+@dataclass
+class BlockSummary:
+    """All symbolic paths through one block on one ISA."""
+
+    function: str
+    label: str
+    isa_name: str
+    records: List[ExitRecord] = field(default_factory=list)
+    unsupported: Optional[str] = None
+
+
+class _BlockContext:
+    """Everything the evaluator needs to know about one block's frame."""
+
+    def __init__(self, binary, info, isa_name: str, label: str):
+        self.isa = ISAS[isa_name]
+        self.info = info
+        self.label = label
+        per_isa = info.per_isa[isa_name]
+        self.per_isa = per_isa
+        bounds = per_isa.block_bounds()
+        order = [name for name, _, _ in bounds]
+        index = order.index(label)
+        _, self.start, self.end = bounds[index]
+        self.next_label = order[index + 1] if index + 1 < len(order) else None
+        self.label_of = {start: name for name, start, _ in bounds}
+        section = binary.sections[isa_name]
+        self.data = section.data
+        self.base = section.base_address
+        # Block bounds exclude the prologue, so every block — the entry
+        # block included — begins at the post-prologue SP: the frame
+        # anchor *is* the block-entry SP, and the shared FrameLayout
+        # offsets apply to it directly on both ISAs.
+        self.frame_base = 0
+        #: function entry address -> name, for pointer canonicalization
+        self.func_entries = {}
+        for other in binary.symtab:
+            other_isa = other.per_isa.get(isa_name)
+            if other_isa is not None:
+                self.func_entries[other_isa.entry] = other.name
+
+    def seed(self) -> SymState:
+        """Initial symbolic state at the block's entry.
+
+        Every live-in value sits in its recorded location (the prologue
+        has already copied incoming arguments there); its content is
+        the opaque, ISA-independent term ``("val", name)``."""
+        state = SymState()
+        layout = self.info.layout
+        assignment = self.per_isa.register_assignment
+        for value in sorted(self.info.live_in(self.label)):
+            if value in assignment:
+                state.regs[assignment[value]] = ("val", value)
+            elif layout.has_slot(value):
+                state.stack[layout.slot_of(value)] = ("val", value)
+        return state
+
+
+def _reg_term(ctx: _BlockContext, state: SymState, index: int) -> Term:
+    if index == ctx.isa.sp:
+        return ("spaddr", state.sp_delta - ctx.frame_base)
+    return state.regs.get(index, ("regin", ctx.isa.name, index))
+
+
+def _mem_slot(ctx: _BlockContext, state: SymState, mem: Mem):
+    """Resolve a memory operand: frame-anchored offset or address term."""
+    if mem.base == ctx.isa.sp:
+        return ("stack", state.sp_delta + mem.disp - ctx.frame_base)
+    base = _reg_term(ctx, state, mem.base)
+    if base[0] == "spaddr":
+        return ("stack", base[1] + mem.disp)
+    if _is_const(base):
+        return ("addr", _const(base[1] + mem.disp))
+    return ("addr", _fold_alu(Op.ADD, base, _const(mem.disp)))
+
+
+def _load(ctx, state: SymState, mem: Mem, width: int = 4) -> Term:
+    where, at = _mem_slot(ctx, state, mem)
+    if where == "stack":
+        word = at & ~3
+        init = state.stack.get(word, ("stackinit", word))
+        if width == 1:
+            return _fold_getbyte(init, at & 3)
+        if at & 3:
+            return ("unaligned", at, state.generation)
+        return init
+    op = "load" if width == 4 else "loadb"
+    return (op, at, state.generation)
+
+
+def _store(ctx, state: SymState, mem: Mem, value: Term,
+           width: int = 4) -> None:
+    where, at = _mem_slot(ctx, state, mem)
+    if where == "stack":
+        word = at & ~3
+        if width == 1:
+            init = state.stack.get(word, ("stackinit", word))
+            state.stack[word] = _fold_setbyte(init, at & 3, value)
+            return
+        if at & 3:
+            state.events.append(("store-unaligned", at, value))
+            state.generation += 1
+            return
+        state.stack[at] = value
+        return
+    kind = "store" if width == 4 else "storeb"
+    state.events.append((kind, at, value))
+    state.generation += 1
+
+
+def _value_term(ctx, state: SymState, operand) -> Term:
+    if isinstance(operand, Reg):
+        return _reg_term(ctx, state, operand.index)
+    if isinstance(operand, Imm):
+        return _const(operand.value)
+    if isinstance(operand, Mem):
+        return _load(ctx, state, operand)
+    raise Unsupported(f"unresolved operand {operand!r}")
+
+
+def _set_reg(ctx, state: SymState, index: int, term: Term) -> None:
+    if index == ctx.isa.sp:
+        if not _is_const(term):
+            raise Unsupported("symbolic write to the stack pointer")
+        raise Unsupported("absolute write to the stack pointer")
+    state.regs[index] = term
+
+
+def _call_args(ctx, state: SymState, count: int) -> Tuple[Term, ...]:
+    """The terms pushed for an outgoing call's arguments, in order."""
+    bottom = state.sp_delta - ctx.frame_base
+    return tuple(state.stack.get(bottom + 4 * index,
+                                 ("stackinit", bottom + 4 * index))
+                 for index in range(count))
+
+
+def _do_call(ctx, state: SymState, callee) -> None:
+    index = state.fresh("call")
+    count = 0
+    if isinstance(callee, str):
+        fn = ctx.info  # self-recursion keeps the same info object
+        if callee != ctx.info.name:
+            fn = ctx.symtab_function(callee)
+        if fn is not None:
+            count = len(fn.params)
+        state.events.append(("call", callee, _call_args(ctx, state, count)))
+    else:
+        state.events.append(("icall", callee, index))
+    for reg in ctx.isa.symbolic_clobbers():
+        state.regs[reg] = ("clobber", ctx.isa.name, index, reg)
+    state.regs[ctx.isa.return_reg] = ("callret", callee, index)
+    state.generation += 1
+
+
+def _do_syscall(ctx, state: SymState) -> Optional[str]:
+    """Record a syscall event; returns "halt" for a constant EXIT."""
+    index = state.fresh("syscall")
+    number = _reg_term(ctx, state, ctx.isa.syscall_number_reg)
+    arg_regs = list(ctx.isa.syscall_arg_regs)
+    if _is_const(number):
+        arity = SYSCALL_ARITY.get(number[1], len(arg_regs))
+    else:
+        arity = len(arg_regs)
+    args = tuple(_reg_term(ctx, state, reg) for reg in arg_regs[:arity])
+    state.events.append(("syscall", number, args))
+    state.regs[ctx.isa.return_reg] = ("sysret", index)
+    state.generation += 1
+    if _is_const(number) and number[1] == int(Sys.EXIT):
+        return "halt"
+    return None
+
+
+def execute_block(binary, info, isa_name: str, label: str) -> BlockSummary:
+    """Symbolically execute one block of one ISA view, over all paths."""
+    summary = BlockSummary(function=info.name, label=label,
+                           isa_name=isa_name)
+    ctx = _BlockContext(binary, info, isa_name, label)
+    ctx.symtab_function = lambda name: (
+        binary.symtab.function(name)
+        if name in getattr(binary.symtab, "functions", {}) else None)
+    instructions, clean = _decode_block(
+        ctx.isa, ctx.data, ctx.base, ctx.start, ctx.end)
+    if not clean:
+        summary.unsupported = "block does not decode cleanly"
+        return summary
+    index_of = {decoded.address: i
+                for i, decoded in enumerate(instructions)}
+    # worklist of (instruction index, state); depth-first keeps the
+    # fork bookkeeping tiny and the exploration order deterministic
+    work: List[Tuple[int, SymState]] = [(0, ctx.seed())]
+    steps = 0
+    try:
+        while work:
+            position, state = work.pop()
+            while True:
+                steps += 1
+                if steps > MAX_STEPS:
+                    raise Unsupported("intra-block execution limit hit")
+                if position >= len(instructions):
+                    summary.records.append(_exit(ctx, state, "fall",
+                                                 ctx.next_label))
+                    break
+                decoded = instructions[position]
+                outcome = _transfer(ctx, state, decoded, index_of, work,
+                                    summary)
+                if outcome is None:
+                    position += 1
+                elif outcome == "exit":
+                    break
+                else:
+                    position = outcome
+            if len(summary.records) + len(work) > MAX_PATHS:
+                raise Unsupported("path explosion (compare diamonds)")
+    except Unsupported as exc:
+        summary.records = []
+        summary.unsupported = str(exc)
+    summary.records.sort(key=lambda record: repr(record.cond_key))
+    return summary
+
+
+def _exit(ctx, state: SymState, kind: str, successor: Optional[str],
+          ret_term: Optional[Term] = None,
+          target_term: Optional[Term] = None) -> ExitRecord:
+    return ExitRecord(kind=kind, successor=successor, state=state,
+                      sp_rel=state.sp_delta - ctx.frame_base,
+                      ret_term=ret_term, target_term=target_term)
+
+
+def _transfer(ctx, state: SymState, decoded: Decoded, index_of, work,
+              summary: BlockSummary):
+    """Execute one instruction.  Returns None (advance), an int (jump
+    to that instruction index), or "exit" (the path left the block)."""
+    ins: Instruction = decoded.instruction
+    isa = ctx.isa
+    op = ins.op
+    override = isa.symbolic_transfer_overrides.get(op)
+    if override is not None and override(state, decoded):
+        return None
+
+    if op is Op.NOP:
+        return None
+    if op is Op.MOV:
+        _set_reg(ctx, state, ins.dst.index,
+                 _value_term(ctx, state, ins.src))
+        return None
+    if op is Op.MOVT:
+        low = _reg_term(ctx, state, ins.dst.index)
+        _set_reg(ctx, state, ins.dst.index,
+                 _fold_movt(low, ins.src.value))
+        return None
+    if op in (Op.LOAD, Op.LOADB):
+        width = 4 if op is Op.LOAD else 1
+        _set_reg(ctx, state, ins.dst.index,
+                 _load(ctx, state, ins.src, width))
+        return None
+    if op in (Op.STORE, Op.STOREB):
+        width = 4 if op is Op.STORE else 1
+        _store(ctx, state, ins.dst,
+               _value_term(ctx, state, ins.src), width)
+        return None
+    if op is Op.LEA:
+        mem = ins.src
+        where, at = _mem_slot(ctx, state, mem)
+        term = ("spaddr", at) if where == "stack" else at
+        _set_reg(ctx, state, ins.dst.index, term)
+        return None
+    if op is Op.PUSH:
+        value = _value_term(ctx, state, ins.operands[0])
+        state.sp_delta -= 4
+        state.stack[state.sp_delta - ctx.frame_base] = value
+        return None
+    if op is Op.POP:
+        offset = state.sp_delta - ctx.frame_base
+        value = state.stack.get(offset, ("stackinit", offset))
+        state.sp_delta += 4
+        _set_reg(ctx, state, ins.dst.index, value)
+        return None
+    if op is Op.CMP:
+        a = _value_term(ctx, state, ins.dst)
+        b = _value_term(ctx, state, ins.src)
+        if _is_const(a) and _is_const(b):
+            state.diff = to_signed(a[1]) - to_signed(b[1])
+        else:
+            state.diff = ("sdiff", a, b)
+        return None
+    if op in (Op.NEG, Op.NOT):
+        target = ins.dst
+        if isinstance(target, Reg):
+            term = _fold_unary(op, _reg_term(ctx, state, target.index))
+            _set_reg(ctx, state, target.index, term)
+        else:
+            term = _fold_unary(op, _load(ctx, state, target))
+            _store(ctx, state, target, term)
+        return None
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+              Op.XOR, Op.SHL, Op.SHR, Op.SAR):
+        dst = ins.dst
+        if isinstance(dst, Reg) and dst.index == isa.sp:
+            src = ins.src
+            if op in (Op.ADD, Op.SUB) and isinstance(src, Imm):
+                sign = 1 if op is Op.ADD else -1
+                state.sp_delta += sign * src.signed
+                return None
+            raise Unsupported("non-constant stack-pointer adjustment")
+        src_term = _value_term(ctx, state, ins.src)
+        if isinstance(dst, Reg):
+            result = _fold_alu(op, _reg_term(ctx, state, dst.index),
+                               src_term)
+            _set_reg(ctx, state, dst.index, result)
+        else:
+            result = _fold_alu(op, _load(ctx, state, dst), src_term)
+            _store(ctx, state, dst, result)
+        return None
+    if op is Op.JMP:
+        target = ins.operands[0].value
+        if ctx.start <= target < ctx.end:
+            return index_of[target]
+        summary.records.append(_exit(ctx, state, "jmp",
+                                     ctx.label_of.get(target)))
+        return "exit"
+    if op is Op.JCC:
+        return _jcc(ctx, state, ins, decoded, index_of, work, summary)
+    if op is Op.CALL:
+        target = ins.operands[0].value
+        callee = ctx.func_entries.get(target, target)
+        _do_call(ctx, state, callee)
+        return None
+    if op is Op.ICALL:
+        _do_call(ctx, state,
+                 _value_term(ctx, state, ins.operands[0]))
+        return None
+    if op is Op.RET:
+        ret = _reg_term(ctx, state, isa.return_reg)
+        summary.records.append(_exit(ctx, state, "ret", None,
+                                     ret_term=ret))
+        return "exit"
+    if op is Op.IJMP:
+        target = _value_term(ctx, state, ins.operands[0])
+        summary.records.append(_exit(ctx, state, "ijmp", None,
+                                     target_term=target))
+        return "exit"
+    if op is Op.SYSCALL:
+        if _do_syscall(ctx, state) == "halt":
+            summary.records.append(_exit(ctx, state, "halt", None))
+            return "exit"
+        return None
+    if op is Op.HLT:
+        summary.records.append(_exit(ctx, state, "halt", None))
+        return "exit"
+    raise Unsupported(f"unmodelled opcode {op.name}")
+
+
+def _jcc(ctx, state: SymState, ins: Instruction, decoded: Decoded,
+         index_of, work, summary: BlockSummary):
+    """Conditional branch: resolve on a constant compare, fork otherwise.
+
+    Path conditions are canonicalized to "the condition that holds":
+    the not-taken arm records the negated condition, so both ISAs'
+    diamonds line up even when their generators invert the test."""
+    target = ins.operands[0].value
+    internal = ctx.start <= target < ctx.end
+    if state.diff is None:
+        raise Unsupported("conditional branch with no prior compare")
+    if isinstance(state.diff, int):
+        taken = ins.cond.evaluate(state.diff)
+        if taken:
+            if internal:
+                return index_of[target]
+            summary.records.append(_exit(ctx, state, "jmp",
+                                         ctx.label_of.get(target)))
+            return "exit"
+        return None
+    taken_state = state.fork()
+    taken_state.conds.append((ins.cond.name, state.diff))
+    state.conds.append((ins.cond.negate().name, state.diff))
+    if internal:
+        work.append((index_of[target], taken_state))
+    else:
+        taken_state_exit = _exit(ctx, taken_state, "jmp",
+                                 ctx.label_of.get(target))
+        summary.records.append(taken_state_exit)
+    return None
+
+
+def canonicalize(term, func_entries: Dict[int, str]):
+    """Rewrite ISA-local function addresses to ISA-independent names.
+
+    The two text sections live at different addresses, so a function
+    pointer materialized as a constant differs across ISAs; projecting
+    ``("const", entry)`` to ``("funcaddr", name)`` makes the views
+    comparable.  Applied recursively to every compared artifact."""
+    if not isinstance(term, tuple) or not term:
+        return term
+    if len(term) == 2 and term[0] == "const" and term[1] in func_entries:
+        return ("funcaddr", func_entries[term[1]])
+    return tuple(canonicalize(item, func_entries)
+                 if isinstance(item, tuple) else item
+                 for item in term)

@@ -111,8 +111,9 @@ class TestBench:
         import json
         payload = json.loads(out_path.read_text())
         phase_names = [p["name"] for p in payload["phases"]]
-        assert phase_names == ["compile", "mine", "exec-native",
-                               "sweep-serial-cold", "sweep-parallel-cold",
+        assert phase_names == ["compile", "mine", "verify-all",
+                               "exec-native", "sweep-serial-cold",
+                               "sweep-parallel-cold",
                                "sweep-parallel-batched", "sweep-populate",
                                "sweep-warm"]
         assert payload["benchmarks"] == ["mcf"]

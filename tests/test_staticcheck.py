@@ -60,7 +60,8 @@ def binary():
 # ---------------------------------------------------------------------
 class TestRuleCatalog:
     def test_stable_ids_present(self):
-        for rule_id in ("HIP101", "HIP201", "HIP202", "HIP301", "HIP401"):
+        for rule_id in ("HIP101", "HIP201", "HIP202", "HIP301", "HIP401",
+                        "HIP501", "HIP601"):
             assert rule_id in RULES
 
     def test_stackmap_rule_identity(self):
@@ -94,7 +95,8 @@ class TestCleanBinary:
     def test_every_pass_ran(self, clean_binary):
         report = run_verifier(clean_binary)
         assert [t.name for t in report.timings] == [
-            "cfg", "consistency", "dataflow", "gadgets"]
+            "cfg", "consistency", "dataflow", "symequiv", "framesafety",
+            "gadgets"]
 
     def test_facts_record_gadget_asymmetry(self, clean_binary):
         report = run_verifier(clean_binary)
@@ -241,6 +243,45 @@ class TestDataflowLints:
             [("HIP302", "t0")]
         assert RULES["HIP302"].severity is Severity.WARNING
 
+    def test_empty_function_body(self):
+        # no blocks at all: every lint must return cleanly, not crash
+        fn = _fn([])
+        findings = []
+        check_unreachable(fn, findings)
+        check_use_before_def(fn, findings)
+        check_dead_stores(fn, compute_liveness(fn), findings)
+        assert findings == []
+
+    def test_single_self_loop_block(self):
+        # entry is its own sole successor; the must-analysis fixpoint
+        # and reachability walk both have to terminate on the cycle
+        fn = _fn([ir.IRBlock("entry", [
+            ir.Const("c", 1),
+            ir.Branch(">", "c", "c", "entry", "entry")])])
+        findings = []
+        check_unreachable(fn, findings)
+        check_use_before_def(fn, findings)
+        assert findings == []
+
+    def test_unreachable_block_behind_dead_branch(self):
+        # 'orphan' is unreachable, yet a (dead) branch in another
+        # unreachable block names it: it must still be flagged, and the
+        # use-before-def pass must not analyze either dead block
+        fn = _fn([
+            ir.IRBlock("entry", [ir.Const("r", 0), ir.Ret("r")]),
+            ir.IRBlock("dead", [
+                ir.Const("c", 1),
+                ir.Branch(">", "c", "c", "orphan", "orphan")]),
+            ir.IRBlock("orphan", [ir.Move("y", "ghost"), ir.Ret("y")]),
+        ])
+        findings = []
+        check_unreachable(fn, findings)
+        assert sorted((f.rule_id, f.block) for f in findings) == \
+            [("HIP303", "dead"), ("HIP303", "orphan")]
+        findings = []
+        check_use_before_def(fn, findings)   # 'ghost' read is dead code
+        assert findings == []
+
 
 # ---------------------------------------------------------------------
 # Gadget-surface audit over synthetic populations
@@ -253,7 +294,7 @@ class TestGadgetAudit:
         }
         findings = []
         audit_gadget_summaries(summaries, findings)
-        assert [f.rule_id for f in findings] == ["HIP401"]
+        assert [f.rule_id for f in findings] == ["HIP601"]
         assert findings[0].isa == "armlike"
 
     def test_asymmetry_violation_is_warning(self):
@@ -263,8 +304,8 @@ class TestGadgetAudit:
         }
         findings = []
         audit_gadget_summaries(summaries, findings)
-        assert [f.rule_id for f in findings] == ["HIP402"]
-        assert RULES["HIP402"].severity is Severity.WARNING
+        assert [f.rule_id for f in findings] == ["HIP602"]
+        assert RULES["HIP602"].severity is Severity.WARNING
 
     def test_paper_shaped_populations_are_clean(self):
         summaries = {
@@ -306,7 +347,8 @@ class TestWiring:
         assert payload["ok"] is True
         assert payload["counts"]["total"] == 0
         assert {p["name"] for p in payload["passes"]} == {
-            "cfg", "consistency", "dataflow", "gadgets"}
+            "cfg", "consistency", "dataflow", "symequiv", "framesafety",
+            "gadgets"}
         json.dumps(payload)     # must be serializable as-is
 
 
@@ -346,9 +388,19 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "cfg" in out and "dataflow" not in out
 
-    def test_verify_unknown_rule_is_usage_error(self, source_file):
+    def test_verify_unknown_rule_is_usage_error(self, source_file, capsys):
         from repro.cli import main
-        assert main(["verify", source_file, "--rules", "HIP999"]) == 2
+        assert main(["verify", source_file, "--rules", "HIP999"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1      # one-line error, no traceback
+        assert "HIP201" in err           # lists the valid choices
+
+    def test_verify_unknown_pass_is_usage_error(self, source_file, capsys):
+        from repro.cli import main
+        assert main(["verify", source_file, "--passes", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "symequiv" in err and "framesafety" in err
 
     def test_verify_unknown_workload_is_usage_error(self):
         from repro.cli import main

@@ -1,0 +1,222 @@
+"""Tests for the symbolic equivalence prover (``symequiv``) and the
+frame-safety abstract interpreter (``framesafety``).
+
+The fault-seeding tests patch *machine code bytes* in one ISA's text
+section — not metadata — and require the analyses to localize the
+divergence with function/block/ISA provenance.  The clean-suite tests
+require both passes to prove every mini-SPEC workload with zero
+findings, and the CLI test pins byte-identical findings for serial and
+parallel ``repro verify --all`` runs.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.isa import ISAS
+from repro.isa.base import Imm, Instruction, Mem, Op, Reg
+from repro.staticcheck import run_verifier
+from repro.workloads import WORKLOADS, compile_workload
+
+
+SOURCE = """
+int combine(int a, int b) {
+    int t;
+    t = a + b;
+    return t * 3;
+}
+int helper(int x, int y) { return x + y; }
+int main() {
+    int a; int b;
+    a = 1; b = 2;
+    a = helper(a, b);
+    return a + b + combine(a, b);
+}
+"""
+
+
+@pytest.fixture()
+def binary():
+    """A fresh binary per test — the fault tests patch code bytes."""
+    return compile_minic(SOURCE)
+
+
+def _decode_block(binary, isa_name, info, index=0):
+    """Decoded instructions of one block of one ISA view."""
+    isa = ISAS[isa_name]
+    unit = binary.sections[isa_name]
+    label, start, end = info.per_isa[isa_name].block_bounds()[index]
+    decoded, address = [], start
+    while address < end:
+        dec = isa.decode(unit.data, address - unit.base_address, address)
+        decoded.append(dec)
+        address = dec.end
+    return label, decoded
+
+
+def _patch(binary, isa_name, address, raw):
+    """Overwrite code bytes in one ISA's text section, in place."""
+    unit = binary.sections[isa_name]
+    offset = address - unit.base_address
+    assert 0 <= offset < len(unit.data)
+    data = bytearray(unit.data)
+    data[offset:offset + len(raw)] = raw
+    unit.data = bytes(data)
+
+
+def _find(decoded, predicate):
+    dec = next((d for d in decoded if predicate(d.instruction)), None)
+    assert dec is not None, "expected instruction not found in block"
+    return dec
+
+
+# ---------------------------------------------------------------------
+# Seeded faults: single mutated instructions in one text section
+# ---------------------------------------------------------------------
+class TestSeededCodeFaults:
+    def test_mutated_armlike_opcode_is_semantic_divergence(self, binary):
+        # flip one armlike ADD rd, rm to SUB: same length, same
+        # registers, different arithmetic — invisible to every
+        # metadata check, caught only by symbolic execution
+        isa = ISAS["armlike"]
+        info = binary.symtab.function("combine")
+        label, decoded = _decode_block(binary, "armlike", info)
+        target = _find(decoded, lambda ins: ins.op is Op.ADD
+                       and isinstance(ins.dst, Reg)
+                       and isinstance(ins.src, Reg)
+                       and ins.dst.index != isa.sp)
+        raw = isa.encode(Instruction(Op.SUB, target.instruction.operands),
+                         target.address)
+        assert len(raw) == target.size
+        _patch(binary, "armlike", target.address, raw)
+
+        report = run_verifier(binary, passes=["symequiv"])
+        assert not report.ok
+        assert "HIP401" in report.count_by_rule()
+        finding = next(f for f in report.findings
+                       if f.rule_id == "HIP401")
+        assert finding.function == "combine"
+        assert finding.block == label
+        assert "armlike" in finding.message and "x86like" in finding.message
+
+    def test_clean_binary_has_no_symequiv_findings(self, binary):
+        report = run_verifier(binary, passes=["symequiv"])
+        assert report.findings == []
+        facts = report.facts["symequiv"]
+        assert facts["proven"] == facts["blocks"] > 0
+        assert facts["unsupported"] == 0
+
+    def test_frame_store_off_the_end_is_caught(self, binary):
+        # retarget main's last home-slot store one slot past the frame
+        # data region: it now lands in the callee-saved area
+        isa = ISAS["x86like"]
+        info = binary.symtab.function("main")
+        tds = info.layout.total_data_size
+        label, decoded = _decode_block(binary, "x86like", info)
+        target = _find(decoded, lambda ins: ins.op is Op.STORE
+                       and isinstance(ins.dst, Mem)
+                       and ins.dst.base == isa.sp
+                       and ins.dst.disp == tds - 4)
+        raw = isa.encode(
+            Instruction(Op.STORE, (Mem(isa.sp, tds),
+                                   target.instruction.src)),
+            target.address)
+        assert len(raw) == target.size
+        _patch(binary, "x86like", target.address, raw)
+
+        report = run_verifier(binary, passes=["framesafety"])
+        assert not report.ok
+        finding = next(f for f in report.findings
+                       if f.rule_id == "HIP501")
+        assert finding.function == "main"
+        assert finding.block == label
+        assert finding.isa == "x86like"
+        assert finding.address == target.address
+
+    def test_unbalanced_sp_path_is_caught(self, binary):
+        # NOP out the post-call argument cleanup (add esp, 8): every
+        # path through the block now leaves SP 8 bytes low
+        isa = ISAS["x86like"]
+        info = binary.symtab.function("main")
+        label, decoded = _decode_block(binary, "x86like", info)
+        calls = [i for i, d in enumerate(decoded)
+                 if d.instruction.op is Op.CALL]
+        target = decoded[calls[0] + 1]
+        ins = target.instruction
+        assert ins.op is Op.ADD and isinstance(ins.dst, Reg) \
+            and ins.dst.index == isa.sp and isinstance(ins.src, Imm)
+        _patch(binary, "x86like", target.address, b"\x90" * target.size)
+
+        report = run_verifier(binary, passes=["framesafety"])
+        assert not report.ok
+        finding = next(f for f in report.findings
+                       if f.rule_id == "HIP502")
+        assert finding.function == "main"
+        assert finding.block == label
+        assert finding.isa == "x86like"
+
+    def test_return_address_clobber_is_caught(self, binary):
+        # helper has no frame data (tds == 0), so a store at the
+        # saved-register ceiling overlaps the return-address slot
+        isa = ISAS["x86like"]
+        info = binary.symtab.function("helper")
+        assert info.layout.total_data_size == 0
+        saved = len(info.per_isa["x86like"].saved_registers)
+        label, decoded = _decode_block(binary, "x86like", info)
+        index = next(i for i, d in enumerate(decoded)
+                     if d.instruction.op is Op.MOV
+                     and isinstance(d.instruction.dst, Reg)
+                     and isinstance(d.instruction.src, Reg))
+        span = decoded[index].size + decoded[index + 1].size
+        target = decoded[index]
+        raw = isa.encode(
+            Instruction(Op.STORE, (Mem(isa.sp, 4 * saved), Reg(0))),
+            target.address)
+        assert len(raw) <= span
+        _patch(binary, "x86like", target.address,
+               raw + b"\x90" * (span - len(raw)))
+
+        report = run_verifier(binary, passes=["framesafety"])
+        finding = next(f for f in report.findings
+                       if f.rule_id == "HIP504")
+        assert finding.function == "helper"
+        assert finding.block == label
+        assert finding.isa == "x86like"
+
+
+# ---------------------------------------------------------------------
+# The whole mini-SPEC suite proves clean
+# ---------------------------------------------------------------------
+class TestWorkloadsProveClean:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_proves_clean(self, name):
+        report = run_verifier(compile_workload(name),
+                              passes=["symequiv", "framesafety"])
+        assert report.findings == []
+        facts = report.facts["symequiv"]
+        assert facts["proven"] == facts["blocks"] > 0
+        assert facts["unsupported"] == 0
+        assert report.facts["framesafety"]["stores_proved"] > 0
+
+
+# ---------------------------------------------------------------------
+# CLI: parallel verification is deterministic
+# ---------------------------------------------------------------------
+class TestParallelDeterminism:
+    def test_verify_all_findings_identical_across_workers(self, tmp_path):
+        from repro.cli import main
+
+        payloads = {}
+        for workers in ("1", "4"):
+            out = tmp_path / f"verify-{workers}.json"
+            assert main(["verify", "--all", "--workers", workers,
+                         "--format", "json", "--output", str(out)]) == 0
+            payloads[workers] = json.loads(out.read_text())
+        findings = {
+            workers: {name: target["findings"]
+                      for name, target in payload["targets"].items()}
+            for workers, payload in payloads.items()}
+        assert json.dumps(findings["1"], sort_keys=True) == \
+            json.dumps(findings["4"], sort_keys=True)
+        assert sorted(payloads["1"]["targets"]) == sorted(WORKLOADS)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Ratchet gate for static-verifier findings.
+
+Usage::
+
+    python tools/verify_ratchet.py BASELINE.json CANDIDATE.json \
+        [--diff-output FILE] [--update]
+
+``CANDIDATE.json`` is the output of ``repro verify --all --format
+json``; ``BASELINE.json`` is the committed allowlist of accepted
+findings (``verify-findings-baseline.json``).  The gate is a ratchet:
+
+* a candidate finding whose key is *not* in the baseline (or appears
+  more times than the baseline allows) is **new** — the tool prints it
+  and exits 1;
+* baseline findings missing from the candidate are **fixed** — reported
+  as a prompt to re-baseline, never a failure;
+* ``--update`` rewrites the baseline from the candidate and exits 0.
+
+Findings are keyed by ``(target, rule, function, block, isa, subject)``
+with multiplicity — messages and code addresses are deliberately
+excluded so rewordings and layout shifts do not churn the baseline.
+``--diff-output`` writes the new/fixed sets as JSON for CI artifact
+upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+Key = Tuple[str, str, str, str, str, str]
+
+
+def finding_key(target: str, finding: Dict[str, Any]) -> Key:
+    return (target, finding.get("rule", "?"),
+            finding.get("function") or "", finding.get("block") or "",
+            finding.get("isa") or "", finding.get("subject") or "")
+
+
+def load_candidate(path: str) -> Counter:
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    keys: Counter = Counter()
+    for target, report in sorted(payload.get("targets", {}).items()):
+        for finding in report.get("findings", []):
+            keys[finding_key(target, finding)] += 1
+    return keys
+
+
+def load_baseline(path: str) -> Counter:
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    keys: Counter = Counter()
+    for entry in payload.get("findings", []):
+        keys[(entry["target"], entry["rule"], entry.get("function", ""),
+              entry.get("block", ""), entry.get("isa", ""),
+              entry.get("subject", ""))] += entry.get("count", 1)
+    return keys
+
+
+def write_baseline(path: str, keys: Counter) -> None:
+    findings = [{"target": key[0], "rule": key[1], "function": key[2],
+                 "block": key[3], "isa": key[4], "subject": key[5],
+                 "count": count}
+                for key, count in sorted(keys.items())]
+    payload = {"comment": "Accepted static-verifier findings; regenerate "
+                          "with tools/verify_ratchet.py --update.",
+               "findings": findings}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def as_rows(keys: Counter) -> List[Dict[str, Any]]:
+    return [{"target": key[0], "rule": key[1], "function": key[2],
+             "block": key[3], "isa": key[4], "subject": key[5],
+             "count": count}
+            for key, count in sorted(keys.items())]
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when verifier findings appear that the "
+                    "committed baseline does not allow")
+    parser.add_argument("baseline", help="committed allowlist JSON")
+    parser.add_argument("candidate",
+                        help="fresh `repro verify --all --format json` "
+                             "output")
+    parser.add_argument("--diff-output", default=None, metavar="FILE",
+                        help="write the new/fixed finding sets as JSON")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the candidate")
+    args = parser.parse_args(argv)
+
+    candidate = load_candidate(args.candidate)
+    if args.update:
+        write_baseline(args.baseline, candidate)
+        print(f"[ratchet] baseline updated: {sum(candidate.values())} "
+              f"accepted finding(s)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = candidate - baseline
+    fixed = baseline - candidate
+
+    if args.diff_output:
+        with open(args.diff_output, "w") as handle:
+            json.dump({"new": as_rows(new), "fixed": as_rows(fixed)},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    for row in as_rows(fixed):
+        print(f"[ratchet] fixed: {row['target']} {row['rule']} "
+              f"{row['function']}/{row['block']} x{row['count']} "
+              f"(re-baseline with --update to lock in)")
+    if not new:
+        print(f"[ratchet] ok: no findings beyond the baseline "
+              f"({sum(candidate.values())} candidate, "
+              f"{sum(baseline.values())} accepted)")
+        return 0
+    for row in as_rows(new):
+        where = "/".join(part for part in
+                         (row["function"], row["block"], row["isa"])
+                         if part)
+        subject = f" subject={row['subject']}" if row["subject"] else ""
+        print(f"[ratchet] NEW: {row['target']} {row['rule']} {where}"
+              f"{subject} x{row['count']}")
+    print(f"[ratchet] FAIL: {sum(new.values())} finding(s) not in the "
+          f"baseline — fix them or re-baseline deliberately with "
+          f"--update", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
