@@ -12,6 +12,10 @@ Commands:
   warm cache) and write a ``BENCH_*.json`` trajectory file
 * ``verify``          — statically verify fat binaries (CFG recovery,
   cross-ISA consistency, IR lints, gadget audit); exit 1 on errors
+* ``transpile``       — statically lift the x86like section of each
+  workload into armlike code and verify the result (HIP7xx static
+  proof, differential execution, optional gadget-surface comparison);
+  exit 1 on any failure
 * ``chaos``           — property-based differential fault injection:
   random programs × random migration schedules under injected faults;
   every case must match clean native execution or fail *typed*; exit 1
@@ -453,6 +457,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         from .staticcheck import run_verifier
         for binary in binaries.values():
             run_verifier(binary)
+    with profiler.phase("transpile-all", jobs=len(binaries)):
+        from .transpile import transpile_binary
+        for binary in binaries.values():
+            transpile_binary(binary)
     with profiler.phase("exec-native", benchmark=benchmarks[0]):
         # end-to-end guest execution: exercises the interpreter's
         # compiled-block dispatch (the threaded-code fast path)
@@ -586,6 +594,190 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     if trace_path:
         written = obs.write_trace(trace_path, label="verify")
+        print(f"[trace] wrote {written}")
+    return 0 if ok else 1
+
+
+def _transpile_workload_job(name: str, tiers, surface: bool, seed: int):
+    """Module-level transpile job so ``transpile --workers`` can fan out."""
+    from .staticcheck import run_verifier
+    from .transpile import gadget_surface_row, transpile_binary
+
+    binary = compile_workload(name)
+    transpiled = transpile_binary(binary)
+    result = {"workload": name, "lift_stats": dict(transpiled.lift_stats)}
+    ok = True
+    if "static" in tiers:
+        report = run_verifier(transpiled)
+        stats = report.facts.get("transpile", {})
+        static_ok = report.ok and stats.get("unsupported", 0) == 0
+        result["static"] = {
+            "ok": static_ok,
+            "stats": stats,
+            "findings": [f.as_dict() for f in report.findings],
+        }
+        ok = ok and static_ok
+    if "fuzz" in tiers:
+        # the per-workload leg of the differential tier: the lifted
+        # section must reproduce the native exit code on real inputs
+        stdin = WORKLOADS[name].stdin
+        native = run_native(binary, "x86like", stdin=stdin,
+                            max_instructions=20_000_000).os.exit_code
+        lifted = run_native(transpiled, "armlike", stdin=stdin,
+                            max_instructions=20_000_000).os.exit_code
+        exec_ok = native is not None and native == lifted
+        result["exec"] = {"ok": exec_ok, "native_exit": native,
+                          "lifted_exit": lifted}
+        ok = ok and exec_ok
+    if surface:
+        result["surface"] = gadget_surface_row(
+            name, binary, transpiled, seed=seed).to_dict()
+    result["ok"] = ok
+    return result
+
+
+def _render_transpile_target(name: str, result: dict) -> str:
+    lines = [f"== {name} =="]
+    stats = result["lift_stats"]
+    lines.append(f"lifted {stats.get('functions', 0)} function(s), "
+                 f"{stats.get('instructions', 0)} -> "
+                 f"{stats.get('lifted_instructions', 0)} instruction(s)")
+    static = result.get("static")
+    if static is not None:
+        st = static["stats"]
+        verdict = "ok" if static["ok"] else "FAILED"
+        lines.append(f"static: {verdict} ({st.get('proven', 0)}/"
+                     f"{st.get('blocks', 0)} blocks proven, "
+                     f"{st.get('unsupported', 0)} unsupported, "
+                     f"{st.get('remaps_checked', 0)} remaps checked)")
+        for finding in static["findings"]:
+            lines.append(f"  {finding['rule']} [{finding['severity']}] "
+                         f"{finding['message']}")
+    exc = result.get("exec")
+    if exc is not None:
+        verdict = "ok" if exc["ok"] else "FAILED"
+        lines.append(f"exec: {verdict} (native={exc['native_exit']} "
+                     f"lifted={exc['lifted_exit']})")
+    surface = result.get("surface")
+    if surface is not None:
+        lines.append(
+            f"surface: original {surface['original']['total']} gadget(s) "
+            f"({surface['original']['unintended']} unintended), "
+            f"transpiled {surface['transpiled']['total']} "
+            f"({surface['transpiled']['unintended']} unintended), "
+            f"{surface['diversified_immune']}/{surface['viable']} viable "
+            f"immune to diversification")
+    return "\n".join(lines)
+
+
+def cmd_transpile(args: argparse.Namespace) -> int:
+    """Statically lift x86like workloads to armlike and verify the result.
+
+    ``--verify-tier static`` runs the full verifier (including the
+    HIP7xx transpilation passes) over each lifted binary;
+    ``fuzz`` differential-executes lifted vs original code — per
+    workload on real inputs, plus a random-program harness under fault
+    schedules; ``all`` (default) runs both.  Exit 1 on any failure.
+    """
+    from .transpile import fuzz_run, load_corpus
+
+    tiers = (("static", "fuzz") if args.verify_tier == "all"
+             else (args.verify_tier,))
+
+    targets: List[str] = []
+    if args.all:
+        targets = sorted(WORKLOADS)
+    elif args.workload:
+        if args.workload not in WORKLOADS:
+            print(f"unknown workload {args.workload!r}; "
+                  f"available: {', '.join(sorted(WORKLOADS))}",
+                  file=sys.stderr)
+            return 2
+        targets = [args.workload]
+    elif args.fuzz is None and not args.corpus:
+        print("error: give --workload NAME, --all, --fuzz N, or "
+              "--corpus FILE", file=sys.stderr)
+        return 2
+
+    trace_path = args.trace or os.environ.get(obs.ENV_TRACE)
+    if trace_path:
+        os.environ[obs.ENV_TRACE] = str(trace_path)
+        obs.enable()
+
+    engine = ExperimentEngine(workers=args.workers)
+    results = {}
+    if targets:
+        # Submission order is sorted and results return in submission
+        # order, so output is byte-identical for any --workers value.
+        jobs = [Job(key=f"transpile:{name}", fn=_transpile_workload_job,
+                    args=(name, tiers, args.surface, args.fault_seed),
+                    workload=name)
+                for name in targets]
+        for name, result in zip(targets, collect(engine.run(jobs))):
+            results[name] = result
+
+    fuzz_report = None
+    if args.corpus:
+        cases = load_corpus(args.corpus)
+        fuzz_report = fuzz_run(args.fault_seed, len(cases), cases=cases,
+                               engine=engine)
+    elif args.fuzz is not None or "fuzz" in tiers:
+        iterations = args.fuzz if args.fuzz is not None else 10
+        fuzz_report = fuzz_run(args.fault_seed, iterations, engine=engine)
+
+    ok = all(result["ok"] for result in results.values()) \
+        and (fuzz_report is None or fuzz_report.ok)
+    if obs.enabled():
+        registry = obs.get_registry()
+        for result in results.values():
+            for tier, section in (("static", result.get("static")),
+                                  ("fuzz", result.get("exec"))):
+                if section is not None and section["ok"]:
+                    registry.counter("transpile.verified", tier=tier).inc()
+        if fuzz_report is not None:
+            registry.counter(
+                "transpile.fuzz_cases",
+                outcome="ok" if fuzz_report.ok else "failed",
+            ).inc(len(fuzz_report.outcomes))
+
+    if args.format == "json":
+        import json
+        payload = {"ok": ok, "targets": results}
+        if fuzz_report is not None:
+            payload["fuzz"] = {
+                "ok": fuzz_report.ok,
+                "fault_seed": fuzz_report.fault_seed,
+                "statuses": fuzz_report.status_counts(),
+                "digest": fuzz_report.digest(),
+                "failures": [o.to_dict() for o in fuzz_report.failures],
+            }
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        chunks = [_render_transpile_target(name, result)
+                  for name, result in results.items()]
+        if fuzz_report is not None:
+            lines = [f"== fuzz (seed={fuzz_report.fault_seed}) =="]
+            for status, count in fuzz_report.status_counts().items():
+                lines.append(f"  {status:<28} {count}")
+            lines.append(f"  fault-log digest: {fuzz_report.digest()}")
+            chunks.append("\n".join(lines))
+        chunks.append(f"transpile: {'ok' if ok else 'FAILED'} "
+                      f"({len(results)} workload(s), tiers: "
+                      f"{','.join(tiers)})")
+        rendered = "\n\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"[transpile] wrote {args.output}")
+    else:
+        print(rendered)
+    if fuzz_report is not None:
+        for outcome in fuzz_report.failures:
+            print(f"FAILED {outcome.case_id}: {outcome.status} "
+                  f"({outcome.detail})", file=sys.stderr)
+
+    if trace_path:
+        written = obs.write_trace(trace_path, label="transpile")
         print(f"[trace] wrote {written}")
     return 0 if ok else 1
 
@@ -911,6 +1103,55 @@ def build_parser() -> argparse.ArgumentParser:
                                help="capture a metrics + span trace "
                                     "(summarize with 'repro report FILE')")
     verify_parser.set_defaults(func=cmd_verify)
+
+    transpile_parser = sub.add_parser(
+        "transpile",
+        help="statically lift x86like workloads to armlike and verify")
+    transpile_parser.add_argument("--workload", default=None,
+                                  metavar="NAME",
+                                  help="transpile a named mini-SPEC "
+                                       "workload")
+    transpile_parser.add_argument("--all", action="store_true",
+                                  help="transpile every workload in the "
+                                       "suite")
+    transpile_parser.add_argument("--verify-tier", default="all",
+                                  choices=("static", "fuzz", "all"),
+                                  help="static = HIP7xx verifier passes; "
+                                       "fuzz = differential execution "
+                                       "(default: all)")
+    transpile_parser.add_argument("--fuzz", type=int, default=None,
+                                  metavar="N",
+                                  help="random differential cases for the "
+                                       "fuzz tier (default 10 when the "
+                                       "tier is selected)")
+    transpile_parser.add_argument("--fault-seed", type=int, default=0,
+                                  metavar="S",
+                                  help="seed for fuzz programs, schedules, "
+                                       "and fault decisions (default 0)")
+    transpile_parser.add_argument("--corpus", default=None, metavar="FILE",
+                                  help="replay a frozen transpile fuzz "
+                                       "corpus (JSON) instead of "
+                                       "generating cases")
+    transpile_parser.add_argument("--surface", action="store_true",
+                                  help="also mine the gadget-surface "
+                                       "comparison (original vs "
+                                       "transpiled vs diversified)")
+    transpile_parser.add_argument("--workers", "-j", type=int,
+                                  default=None, metavar="N",
+                                  help="transpile workloads in parallel "
+                                       "(0 = one per core; results are "
+                                       "identical for any worker count)")
+    transpile_parser.add_argument("--format", default="text",
+                                  choices=("text", "json"))
+    transpile_parser.add_argument("--output", "-o", default=None,
+                                  metavar="FILE",
+                                  help="write the rendered results to "
+                                       "FILE")
+    transpile_parser.add_argument("--trace", default=None, metavar="FILE",
+                                  help="capture a metrics + span trace "
+                                       "(summarize with 'repro report "
+                                       "FILE')")
+    transpile_parser.set_defaults(func=cmd_transpile)
 
     chaos_parser = sub.add_parser(
         "chaos", help="differential fault-injection sweep")

@@ -88,6 +88,19 @@ class MigrationError(ReproError):
     """Raised when cross-ISA state transformation cannot proceed."""
 
 
+class TranspileError(ReproError):
+    """Raised when the static binary transpiler cannot lift an input.
+
+    Carries the pre-lift CFG-recovery findings (when the rejection came
+    from validation) so callers can report *why* the section was not
+    liftable instead of just that it wasn't.
+    """
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        self.findings = list(findings) if findings else []
+
+
 class VerificationError(ReproError):
     """Raised when static verification rejects a fat binary.
 

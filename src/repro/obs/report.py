@@ -176,6 +176,51 @@ def _verifier_summary(spans: List[Dict[str, Any]],
     return "\n\n".join(sections)
 
 
+def _transpile_summary(counters: Dict[str, Any]) -> str:
+    """Transpilation section: functions lifted, tier verdicts, and the
+    gadget-surface comparison (original vs transpiled vs diversified)."""
+    functions = 0
+    verified: Dict[str, int] = {}
+    fuzz: Dict[str, int] = {}
+    surface: Dict[str, Dict[str, int]] = {}
+    for key, value in counters.items():
+        name, labels = parse_series(key)
+        if name == "transpile.functions":
+            functions += value
+        elif name == "transpile.verified":
+            tier = labels.get("tier", "?")
+            verified[tier] = verified.get(tier, 0) + value
+        elif name == "transpile.fuzz_cases":
+            outcome = labels.get("outcome", "?")
+            fuzz[outcome] = fuzz.get(outcome, 0) + value
+        elif name == "transpile.gadget_surface":
+            workload = labels.get("workload", "?")
+            variant = labels.get("variant", "?")
+            row = surface.setdefault(workload, {})
+            row[variant] = row.get(variant, 0) + value
+    if not functions and not verified and not surface:
+        return ""
+    sections = []
+    line = f"transpile: {functions} function(s) lifted"
+    if verified:
+        line += "  verified: " + "  ".join(
+            f"{tier}={count}" for tier, count in sorted(verified.items()))
+    if fuzz:
+        line += "  fuzz cases: " + "  ".join(
+            f"{outcome}={count}" for outcome, count in sorted(fuzz.items()))
+    sections.append(line)
+    if surface:
+        rows = [(workload,
+                 row.get("original", 0),
+                 row.get("transpiled", 0),
+                 row.get("diversified", 0))
+                for workload, row in sorted(surface.items())]
+        sections.append(format_table(
+            ["workload", "original", "transpiled", "diversified-immune"],
+            rows, "Gadget surface (Galileo counts per binary variant)"))
+    return "\n\n".join(sections)
+
+
 def _migration_summary(counters: Dict[str, Any]) -> str:
     directions: Dict[Tuple[str, str], int] = {}
     by_kind: Dict[str, int] = {}
@@ -291,5 +336,6 @@ def render_report(trace: TraceData, top: int = 15) -> str:
         _cache_summary(counters),
         _migration_summary(counters),
         _verifier_summary(trace.spans, counters),
+        _transpile_summary(counters),
     ]
     return "\n\n".join(section for section in sections if section)

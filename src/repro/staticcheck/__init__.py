@@ -19,7 +19,10 @@ pass-based analysis framework over a compiled
   abstract interpretation proving store bounds, SP balance and
   alignment, and return-address integrity on every path;
 * :mod:`repro.staticcheck.gadget_audit` — the paper's gadget-surface
-  asymmetry as a static invariant.
+  asymmetry as a static invariant;
+* :mod:`repro.staticcheck.transpilecheck` — HIP7xx re-verification of
+  statically transpiled binaries (register/frame remap audit plus the
+  symbolic prover run original-vs-lifted).
 
 Every diagnostic carries a stable ``HIPnnn`` rule ID (see
 :data:`~repro.staticcheck.findings.RULES` and DESIGN.md's rule catalog).
@@ -44,6 +47,7 @@ from .passes import (
 )
 from .symequiv import check_symbolic_equivalence
 from .symexec import BlockSummary, execute_block
+from .transpilecheck import check_transpilation
 
 __all__ = [
     "BlockSummary",
@@ -58,6 +62,7 @@ __all__ = [
     "VerifierPass",
     "check_frame_safety",
     "check_symbolic_equivalence",
+    "check_transpilation",
     "execute_block",
     "resolve_rules",
     "run_verifier",

@@ -133,6 +133,20 @@ _RULE_DEFS: Tuple[Rule, ...] = (
     Rule("HIP602", "gadget-asymmetry-violated", Severity.WARNING,
          "the byte-granular ISA's gadget surface does not dominate the "
          "aligned ISA's (x86like should be much larger than armlike)"),
+    # --- transpilation verification ----------------------------------
+    Rule("HIP701", "transpiled-semantic-divergence", Severity.ERROR,
+         "a lifted block's symbolic state or externally visible effects "
+         "diverge from the original section it was transpiled from"),
+    Rule("HIP702", "transpile-remap-mismatch", Severity.ERROR,
+         "the transpiled symbol table's register or frame-slot remapping "
+         "is dropped, spurious, or inconsistent with the lifter's "
+         "register map"),
+    Rule("HIP703", "transpiled-control-divergence", Severity.ERROR,
+         "a lifted block exits to different successors or under "
+         "different path conditions than the original"),
+    Rule("HIP704", "transpile-unproven", Severity.WARNING,
+         "symbolic execution could not fully model a lifted block; "
+         "transpilation equivalence unproven"),
 )
 
 #: rule ID -> :class:`Rule`, the authoritative catalog

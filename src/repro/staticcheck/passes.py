@@ -30,6 +30,7 @@ from .findings import (
 from .framesafety import check_frame_safety
 from .gadget_audit import check_gadget_surface
 from .symequiv import check_symbolic_equivalence
+from .transpilecheck import check_transpilation
 
 
 class VerifierPass:
@@ -133,10 +134,30 @@ class GadgetAuditPass(VerifierPass):
         return findings
 
 
+class TranspileCheckPass(VerifierPass):
+    """HIP7xx: remap audit plus symbolic re-proof of lifted sections.
+
+    A no-op (zero findings, no facts) on binaries that are not
+    transpilation products, so default ``repro verify`` output is
+    unchanged.
+    """
+
+    name = "transpile"
+    rules = ("HIP701", "HIP702", "HIP703", "HIP704")
+
+    def run(self, binary, report: VerificationReport) -> List[Finding]:
+        findings: List[Finding] = []
+        stats = check_transpilation(binary, findings)
+        if stats.get("functions"):
+            report.facts["transpile"] = stats
+        return findings
+
+
 #: registered passes, in execution order
 DEFAULT_PASSES: Sequence[Callable[[], VerifierPass]] = (
     CFGRecoveryPass, ConsistencyPass, DataflowPass,
     SymbolicEquivalencePass, FrameSafetyPass, GadgetAuditPass,
+    TranspileCheckPass,
 )
 
 #: pass name -> factory, for ``passes=('cfg', 'consistency')`` selections

@@ -1,0 +1,106 @@
+"""Transpilation verification: the HIP7xx pass family.
+
+Applies only to :class:`~repro.transpile.lifter.TranspiledBinary`
+instances (anything without the ``transpiled_from`` marker passes
+through untouched, so ordinary ``repro verify`` runs and the CI
+findings ratchet see no new diagnostics).  Two layers:
+
+* **Remap audit (HIP702)** — the rebuilt symbol table must rename the
+  original register assignment *exactly* through the lifter's
+  :data:`~repro.transpile.lifter.REGISTER_MAP`: no dropped values, no
+  spurious ones, no disagreements, and the callee-save list must be
+  the renamed original in the original's push order (frame layouts are
+  shared by construction, so a dropped or skewed remap is precisely a
+  frame-slot/register relocation the migration engine would get wrong).
+
+* **Symbolic re-proof (HIP701/703/704)** — the PR 8 symbolic
+  equivalence prover is re-run with the *lifted* section standing in
+  for the compiled one, and its verdicts are reported under
+  transpilation-specific rule IDs: value/effect divergence maps to
+  HIP701, control divergence (e.g. an inverted branch condition) to
+  HIP703, and unmodelable blocks to HIP704.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .findings import Finding
+from .symequiv import check_symbolic_equivalence
+
+#: prover rule IDs -> transpilation rule IDs
+_RULE_REMAP = {
+    "HIP401": "HIP701",
+    "HIP402": "HIP701",
+    "HIP403": "HIP703",
+    "HIP404": "HIP704",
+}
+
+
+def check_transpilation(binary, findings: List[Finding]) -> Dict[str, int]:
+    """Run the HIP7xx checks; returns stats (all zero when the binary
+    is not a transpilation product)."""
+    stats = {"functions": 0, "blocks": 0, "proven": 0, "unsupported": 0,
+             "remaps_checked": 0}
+    source = getattr(binary, "transpiled_from", None)
+    if source is None or source not in binary.isa_names:
+        return stats
+    targets = [name for name in binary.isa_names if name != source]
+    if len(targets) != 1:
+        return stats
+    target = targets[0]
+
+    from ..transpile.lifter import REGISTER_MAP
+
+    for info in binary.symtab:
+        stats["functions"] += 1
+        src = info.per_isa[source]
+        tgt = info.per_isa[target]
+        for value, reg in sorted(src.register_assignment.items()):
+            stats["remaps_checked"] += 1
+            expected = REGISTER_MAP.get(reg)
+            got = tgt.register_assignment.get(value)
+            if got is None:
+                findings.append(Finding(
+                    "HIP702",
+                    f"value {value!r} lost its register remap: {source} "
+                    f"r{reg} has no {target} assignment",
+                    function=info.name, isa=target, subject=value))
+            elif got != expected:
+                findings.append(Finding(
+                    "HIP702",
+                    f"value {value!r} remapped to {target} r{got}, but "
+                    f"the lifter maps {source} r{reg} to r{expected}",
+                    function=info.name, isa=target, subject=value))
+        for value in sorted(set(tgt.register_assignment)
+                            - set(src.register_assignment)):
+            findings.append(Finding(
+                "HIP702",
+                f"value {value!r} has a spurious {target} register "
+                f"assignment with no {source} counterpart",
+                function=info.name, isa=target, subject=value))
+        expected_saved = [REGISTER_MAP[reg] for reg in src.saved_registers
+                          if reg in REGISTER_MAP]
+        if list(tgt.saved_registers) != expected_saved:
+            findings.append(Finding(
+                "HIP702",
+                f"callee-save list {tgt.saved_registers} is not the "
+                f"renamed {source} save order {expected_saved}",
+                function=info.name, isa=target))
+
+    proved: List[Finding] = []
+    equiv = check_symbolic_equivalence(binary, proved)
+    stats["blocks"] = equiv.get("blocks", 0)
+    stats["proven"] = equiv.get("proven", 0)
+    stats["unsupported"] = equiv.get("unsupported", 0)
+    for finding in proved:
+        findings.append(Finding(
+            _RULE_REMAP.get(finding.rule_id, "HIP701"),
+            f"lifted code diverges from {source}: {finding.message}",
+            function=finding.function,
+            block=finding.block,
+            isa=finding.isa or target,
+            address=finding.address,
+            subject=finding.subject,
+        ))
+    return stats

@@ -1,0 +1,497 @@
+"""Static x86like → armlike binary transpilation (the lifter).
+
+This is the complement of HIPStR's *dynamic* program-state relocation:
+instead of migrating a live process between the fat binary's two code
+sections, the lifter decodes the x86like text section instruction by
+instruction — with no source program — and re-emits a semantically
+equal armlike text section.  The shared semantic :class:`~repro.isa.
+base.Op` vocabulary is the pivot IR; what changes is purely the
+*encoding*: registers are renamed through :data:`REGISTER_MAP`,
+CISC-only forms (memory-operand ALU, immediate pushes, wide
+immediates) are expanded into short RISC sequences over two reserved
+scratch registers, and the x86 calling convention's implicit
+return-address push becomes an explicit ``PUSH LR`` at each function
+entry (``CALL`` lifts to ``BL``, which writes the link register).
+
+Because the frame contract is preserved exactly — same shared
+:class:`~repro.compiler.frames.FrameLayout`, same callee-save count,
+same ``words_above`` — the produced :class:`TranspiledBinary` is a
+drop-in fat binary: the interpreter runs the lifted section natively,
+the migration engine relocates into and out of it, the static verifier
+proves it block-by-block against the original, and the Galileo miner
+measures its gadget surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.fatbinary import (
+    FatBinary,
+    _function_end,
+    _scan_call_sites,
+)
+from ..compiler.symtab import (
+    ExtendedSymbolTable,
+    FunctionInfo,
+    ISAFunctionInfo,
+)
+from ..errors import DecodeError, TranspileError
+from ..isa import ARMLIKE, X86LIKE, Assembler
+from ..isa.armlike import LR, R3, R7, R12, SP, fits_imm16
+from ..isa.base import Imm, Instruction, Label, Mem, Op, Reg, to_signed
+from ..isa import x86like as x86
+from ..machine.process import Layout
+from ..obs import context as obs
+
+#: architectural register renaming, x86like index -> armlike index.
+#: The scratch set maps into the armlike scratch set (R0..R2) and the
+#: allocatable set maps into the armlike allocatable set (R4/R5/R6/R8),
+#: so the rebuilt register assignments stay valid under HIP206.  R7 is
+#: deliberately *not* a target: it is the armlike syscall-number
+#: register and is only written by the lifted syscall marshalling.
+REGISTER_MAP: Dict[int, int] = {
+    x86.EAX: 0,          # R0 — return/scratch on both sides
+    x86.ECX: 1,          # R1
+    x86.EDX: 2,          # R2
+    x86.EBX: 4,          # R4
+    x86.ESP: SP,
+    x86.EBP: 8,          # R8
+    x86.ESI: 5,          # R5
+    x86.EDI: 6,          # R6
+}
+
+#: lifter-private temporaries; both are armlike scratch registers, so
+#: they are invisible to the symbolic equivalence contract and are
+#: never live across a lifted instruction's expansion.
+TEMP = R12
+TEMP2 = R3
+
+
+def _mov_imm(reg: int, value: int) -> List[Instruction]:
+    """Materialize a 32-bit constant: one MOVI, or a MOVI/MOVT pair."""
+    signed = to_signed(value)
+    if fits_imm16(signed):
+        return [Instruction(Op.MOV, (Reg(reg), Imm(signed)))]
+    low = value & 0xFFFF
+    low_signed = low - 0x10000 if low & 0x8000 else low
+    return [Instruction(Op.MOV, (Reg(reg), Imm(low_signed))),
+            Instruction(Op.MOVT, (Reg(reg), Imm((value >> 16) & 0xFFFF)))]
+
+
+def _mov_label(reg: int, name: str) -> List[Instruction]:
+    """Materialize a symbol address (MOVI lo16 + MOVT hi16)."""
+    return [Instruction(Op.MOV, (Reg(reg), Label(name, "lo16"))),
+            Instruction(Op.MOVT, (Reg(reg), Label(name, "hi16")))]
+
+
+@dataclass
+class LiftContext:
+    """Symbol knowledge the per-instruction rules need.
+
+    ``branch_labels`` maps absolute x86like addresses to symbol names
+    (the lifter re-targets every direct branch through a label so the
+    armlike assembler re-resolves it); ``function_addresses`` maps
+    x86like function entry addresses to names so function-pointer
+    *immediates* are re-materialized as armlike address pairs instead
+    of stale x86like constants.
+    """
+
+    branch_labels: Dict[int, str] = field(default_factory=dict)
+    function_addresses: Dict[int, str] = field(default_factory=dict)
+
+
+class InstructionLifter:
+    """Rule table mapping one decoded x86like instruction to armlike."""
+
+    def __init__(self, ctx: Optional[LiftContext] = None):
+        self.ctx = ctx or LiftContext()
+
+    # -- operand helpers ----------------------------------------------
+    def _reg(self, index: int) -> int:
+        try:
+            return REGISTER_MAP[index]
+        except KeyError:
+            raise TranspileError(f"unmappable x86like register r{index}")
+
+    def _mem(self, mem: Mem, temp: int = TEMP
+             ) -> Tuple[List[Instruction], Mem]:
+        """Map a memory operand, spilling wide displacements to a temp."""
+        base = self._reg(mem.base)
+        if fits_imm16(mem.disp):
+            return [], Mem(base, mem.disp)
+        pre = _mov_imm(temp, mem.disp & 0xFFFFFFFF)
+        pre.append(Instruction(Op.ADD, (Reg(temp), Reg(base))))
+        return pre, Mem(temp, 0)
+
+    def _imm_into(self, reg: int, imm: Imm) -> List[Instruction]:
+        """Materialize an immediate, re-linking function pointers."""
+        name = self.ctx.function_addresses.get(imm.value)
+        if name is not None:
+            return _mov_label(reg, name)
+        return _mov_imm(reg, imm.value)
+
+    def _label_of(self, operand) -> Label:
+        if isinstance(operand, Label):
+            return Label(operand.name)
+        if isinstance(operand, Imm):
+            name = self.ctx.branch_labels.get(operand.value)
+            if name is None:
+                raise TranspileError(
+                    f"branch target {operand.value:#x} has no symbol")
+            return Label(name)
+        raise TranspileError(f"unsupported branch operand {operand!r}")
+
+    # -- the rules ----------------------------------------------------
+    def lift(self, ins: Instruction) -> List[Instruction]:
+        """armlike instruction sequence for one x86like instruction."""
+        op = ins.op
+        handler = _RULES.get(op)
+        if handler is None:
+            raise TranspileError(f"no lifting rule for {op.name}")
+        return handler(self, ins)
+
+    def _lift_simple(self, ins: Instruction) -> List[Instruction]:
+        return [Instruction(ins.op)]
+
+    def _lift_syscall(self, ins: Instruction) -> List[Instruction]:
+        # x86like convention: number in EAX (→R0), args in EBX/ECX/EDX
+        # (→R4/R1/R2).  armlike wants number in R7, args in R0/R1/R2.
+        # The number must move *before* R0 is overwritten with arg0;
+        # R1/R2 already hold args 1 and 2 under the register map.
+        return [
+            Instruction(Op.MOV, (Reg(R7), Reg(self._reg(x86.EAX)))),
+            Instruction(Op.MOV, (Reg(self._reg(x86.EAX)),
+                                 Reg(self._reg(x86.EBX)))),
+            Instruction(Op.SYSCALL),
+        ]
+
+    def _lift_push(self, ins: Instruction) -> List[Instruction]:
+        src = ins.operands[0]
+        if isinstance(src, Reg):
+            if src.index == x86.ESP:
+                raise TranspileError("PUSH esp is not liftable")
+            return [Instruction(Op.PUSH, (Reg(self._reg(src.index)),))]
+        if isinstance(src, Imm):
+            out = self._imm_into(TEMP, src)
+            out.append(Instruction(Op.PUSH, (Reg(TEMP),)))
+            return out
+        pre, mem = self._mem(src)
+        pre.append(Instruction(Op.LOAD, (Reg(TEMP2), mem)))
+        pre.append(Instruction(Op.PUSH, (Reg(TEMP2),)))
+        return pre
+
+    def _lift_pop(self, ins: Instruction) -> List[Instruction]:
+        dst = ins.operands[0]
+        if isinstance(dst, Reg):
+            return [Instruction(Op.POP, (Reg(self._reg(dst.index)),))]
+        out = [Instruction(Op.POP, (Reg(TEMP2),))]
+        pre, mem = self._mem(dst)
+        out.extend(pre)
+        out.append(Instruction(Op.STORE, (mem, Reg(TEMP2))))
+        return out
+
+    def _lift_mov(self, ins: Instruction) -> List[Instruction]:
+        dst, src = ins.operands
+        if dst.index == x86.ESP or \
+                (isinstance(src, Reg) and src.index == x86.ESP):
+            raise TranspileError("MOV involving esp is not liftable")
+        if isinstance(src, Imm):
+            return self._imm_into(self._reg(dst.index), src)
+        return [Instruction(Op.MOV, (Reg(self._reg(dst.index)),
+                                     Reg(self._reg(src.index))))]
+
+    def _lift_load(self, ins: Instruction) -> List[Instruction]:
+        dst, src = ins.operands
+        pre, mem = self._mem(src)
+        pre.append(Instruction(ins.op, (Reg(self._reg(dst.index)), mem)))
+        return pre
+
+    def _lift_store(self, ins: Instruction) -> List[Instruction]:
+        dst, src = ins.operands
+        if isinstance(src, Imm):
+            out = self._imm_into(TEMP, src)
+            pre, mem = self._mem(dst, TEMP2)
+            out.extend(pre)
+            out.append(Instruction(ins.op, (mem, Reg(TEMP))))
+            return out
+        pre, mem = self._mem(dst)
+        pre.append(Instruction(ins.op, (mem, Reg(self._reg(src.index)))))
+        return pre
+
+    def _lift_lea(self, ins: Instruction) -> List[Instruction]:
+        dst, src = ins.operands
+        rd = self._reg(dst.index)
+        base = self._reg(src.base)
+        if not fits_imm16(src.disp):
+            raise TranspileError(
+                f"LEA displacement {src.disp:#x} exceeds armlike range")
+        if rd != base:
+            return [Instruction(Op.LEA, (Reg(rd), Mem(base, src.disp)))]
+        # rd == rn would decode as ADDI; ADD rd, disp computes the same
+        # address when the base *is* the destination
+        return [Instruction(Op.ADD, (Reg(rd), Imm(src.disp)))]
+
+    def _lift_alu(self, ins: Instruction) -> List[Instruction]:
+        op = ins.op
+        dst, src = ins.operands
+        if isinstance(dst, Mem):
+            # CISC op-store form: load, operate, store back (CMP only
+            # reads, so it skips the store).  The address temp (TEMP2,
+            # for wide displacements) stays live across the sequence.
+            pre, mem = self._mem(dst, TEMP2)
+            out = list(pre)
+            out.append(Instruction(Op.LOAD, (Reg(TEMP), mem)))
+            if isinstance(src, Imm):
+                if op in _IMM_ALU_OPS and fits_imm16(src.signed):
+                    out.append(Instruction(op, (Reg(TEMP),
+                                                Imm(src.signed))))
+                else:
+                    raise TranspileError(
+                        f"{op.name} mem, {src!r} is not liftable")
+            else:
+                out.append(Instruction(op, (Reg(TEMP),
+                                            Reg(self._reg(src.index)))))
+            if op is not Op.CMP:
+                out.append(Instruction(Op.STORE, (mem, Reg(TEMP))))
+            return out
+        if dst.index == x86.ESP:
+            if op in (Op.ADD, Op.SUB) and isinstance(src, Imm) \
+                    and fits_imm16(src.signed):
+                return [Instruction(op, (Reg(SP), Imm(src.signed)))]
+            raise TranspileError(f"{op.name} on esp is not liftable")
+        rd = self._reg(dst.index)
+        if isinstance(src, Imm):
+            name = self.ctx.function_addresses.get(src.value)
+            if op in _IMM_ALU_OPS and fits_imm16(src.signed) \
+                    and name is None:
+                return [Instruction(op, (Reg(rd), Imm(src.signed)))]
+            out = self._imm_into(TEMP, src)
+            out.append(Instruction(op, (Reg(rd), Reg(TEMP))))
+            return out
+        if isinstance(src, Mem):
+            # CISC load-op form: load into a temp, then register ALU
+            pre, mem = self._mem(src)
+            pre.append(Instruction(Op.LOAD, (Reg(TEMP), mem)))
+            pre.append(Instruction(op, (Reg(rd), Reg(TEMP))))
+            return pre
+        if src.index == x86.ESP:
+            raise TranspileError(f"{op.name} reading esp is not liftable")
+        return [Instruction(op, (Reg(rd), Reg(self._reg(src.index))))]
+
+    def _lift_unary(self, ins: Instruction) -> List[Instruction]:
+        dst = ins.operands[0]
+        return [Instruction(ins.op, (Reg(self._reg(dst.index)),))]
+
+    def _lift_jmp(self, ins: Instruction) -> List[Instruction]:
+        return [Instruction(Op.JMP, (self._label_of(ins.operands[0]),))]
+
+    def _lift_jcc(self, ins: Instruction) -> List[Instruction]:
+        return [Instruction(Op.JCC, (self._label_of(ins.operands[0]),),
+                            cond=ins.cond)]
+
+    def _lift_call(self, ins: Instruction) -> List[Instruction]:
+        return [Instruction(Op.CALL, (self._label_of(ins.operands[0]),))]
+
+    def _lift_indirect(self, ins: Instruction) -> List[Instruction]:
+        target = ins.operands[0]
+        if isinstance(target, Reg):
+            if target.index == x86.ESP:
+                raise TranspileError("indirect transfer through esp")
+            return [Instruction(ins.op, (Reg(self._reg(target.index)),))]
+        pre, mem = self._mem(target, TEMP2)
+        pre.append(Instruction(Op.LOAD, (Reg(TEMP), mem)))
+        pre.append(Instruction(ins.op, (Reg(TEMP),)))
+        return pre
+
+
+#: ALU opcodes with an armlike immediate encoding
+_IMM_ALU_OPS = frozenset({Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR,
+                          Op.SHL, Op.SHR, Op.SAR, Op.CMP})
+
+_RULES = {
+    Op.NOP: InstructionLifter._lift_simple,
+    Op.HLT: InstructionLifter._lift_simple,
+    Op.RET: InstructionLifter._lift_simple,
+    Op.SYSCALL: InstructionLifter._lift_syscall,
+    Op.PUSH: InstructionLifter._lift_push,
+    Op.POP: InstructionLifter._lift_pop,
+    Op.MOV: InstructionLifter._lift_mov,
+    Op.LOAD: InstructionLifter._lift_load,
+    Op.LOADB: InstructionLifter._lift_load,
+    Op.STORE: InstructionLifter._lift_store,
+    Op.STOREB: InstructionLifter._lift_store,
+    Op.LEA: InstructionLifter._lift_lea,
+    Op.ADD: InstructionLifter._lift_alu,
+    Op.SUB: InstructionLifter._lift_alu,
+    Op.MUL: InstructionLifter._lift_alu,
+    Op.DIV: InstructionLifter._lift_alu,
+    Op.MOD: InstructionLifter._lift_alu,
+    Op.AND: InstructionLifter._lift_alu,
+    Op.OR: InstructionLifter._lift_alu,
+    Op.XOR: InstructionLifter._lift_alu,
+    Op.SHL: InstructionLifter._lift_alu,
+    Op.SHR: InstructionLifter._lift_alu,
+    Op.SAR: InstructionLifter._lift_alu,
+    Op.CMP: InstructionLifter._lift_alu,
+    Op.NEG: InstructionLifter._lift_unary,
+    Op.NOT: InstructionLifter._lift_unary,
+    Op.JMP: InstructionLifter._lift_jmp,
+    Op.JCC: InstructionLifter._lift_jcc,
+    Op.CALL: InstructionLifter._lift_call,
+    Op.ICALL: InstructionLifter._lift_indirect,
+    Op.IJMP: InstructionLifter._lift_indirect,
+}
+
+
+def lift_instruction(ins: Instruction,
+                     ctx: Optional[LiftContext] = None) -> List[Instruction]:
+    """Lift one decoded x86like instruction to its armlike sequence."""
+    return InstructionLifter(ctx).lift(ins)
+
+
+# ----------------------------------------------------------------------
+# Whole-binary transpilation
+# ----------------------------------------------------------------------
+@dataclass
+class TranspiledBinary(FatBinary):
+    """A fat binary whose armlike section was *lifted*, not compiled.
+
+    Shape-compatible with :class:`~repro.compiler.fatbinary.FatBinary`
+    everywhere (interpreter, migration engine, Galileo, verifier); the
+    extra fields record provenance so the HIP7xx verifier pass family
+    knows to apply its transpilation-specific checks.
+    """
+
+    transpiled_from: str = "x86like"
+    lift_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _validate_source_section(binary: FatBinary, source_isa: str) -> None:
+    """Pre-lift gate: the source section's CFG must recover cleanly."""
+    from ..staticcheck.cfg import recover_cfgs
+    from ..staticcheck.findings import Severity
+
+    findings: List = []
+    recover_cfgs(binary, source_isa, findings)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors:
+        head = "; ".join(f.render() for f in errors[:3])
+        raise TranspileError(
+            f"{source_isa} section failed CFG recovery before lifting: "
+            f"{head}", findings=findings)
+
+
+def transpile_binary(binary: FatBinary, source_isa: str = "x86like",
+                     target_isa: str = "armlike") -> TranspiledBinary:
+    """Lift ``binary``'s x86like section into a fresh armlike section.
+
+    The result keeps the original x86like section verbatim and replaces
+    the armlike side with lifted code, with the extended symbol table
+    rebuilt so both views stay navigable (entries, block addresses,
+    call sites, and the register assignment renamed through
+    :data:`REGISTER_MAP`).
+    """
+    if source_isa != X86LIKE.name or target_isa != ARMLIKE.name:
+        raise TranspileError(
+            f"unsupported transpilation {source_isa} -> {target_isa}")
+    _validate_source_section(binary, source_isa)
+
+    unit = binary.sections[source_isa]
+    addr_to_names: Dict[int, List[str]] = {}
+    for name, address in unit.symbols.items():
+        addr_to_names.setdefault(address, []).append(name)
+    for names in addr_to_names.values():
+        names.sort()
+
+    function_entries: Dict[int, str] = {}
+    for info in binary.symtab:
+        function_entries[info.per_isa[source_isa].entry] = info.name
+
+    ctx = LiftContext(
+        branch_labels={address: names[0]
+                       for address, names in addr_to_names.items()},
+        function_addresses=dict(function_entries),
+    )
+    lifter = InstructionLifter(ctx)
+
+    asm = Assembler(ARMLIKE)
+    stats = {"functions": len(function_entries), "instructions": 0,
+             "lifted_instructions": 0}
+    address = unit.base_address
+    with obs.span("transpile.lift", source=source_isa, target=target_isa):
+        while address < unit.end_address:
+            names = addr_to_names.get(address, [])
+            fname = function_entries.get(address)
+            if fname is not None:
+                # the entry label binds before the return-address save;
+                # any co-located block label binds after it, so empty
+                # prologues keep PUSH LR out of the entry block
+                asm.label(fname)
+                asm.emit(Instruction(Op.PUSH, (Reg(LR),)))
+                stats["lifted_instructions"] += 1
+                for name in names:
+                    if name != fname:
+                        asm.label(name)
+            else:
+                for name in names:
+                    asm.label(name)
+            try:
+                dec = X86LIKE.decode(unit.data,
+                                     address - unit.base_address, address)
+            except DecodeError as exc:
+                raise TranspileError(
+                    f"undecodable {source_isa} bytes at {address:#x}: "
+                    f"{exc}") from exc
+            lifted = lifter.lift(dec.instruction)
+            for ins in lifted:
+                asm.emit(ins)
+            stats["instructions"] += 1
+            stats["lifted_instructions"] += len(lifted)
+            address = dec.end
+
+    lifted_unit = asm.assemble(Layout.CODE_BASES[target_isa])
+
+    symtab = ExtendedSymbolTable()
+    function_names = [info.name for info in binary.symtab]
+    for info in binary.symtab:
+        src_info = info.per_isa[source_isa]
+        entry = lifted_unit.address_of(info.name)
+        end = _function_end(lifted_unit, info.name, function_names)
+        target_info = ISAFunctionInfo(
+            isa_name=target_isa,
+            entry=entry,
+            end=end,
+            block_addresses={
+                label: lifted_unit.address_of(label)
+                for label in src_info.block_addresses},
+            saved_registers=[REGISTER_MAP[reg]
+                             for reg in src_info.saved_registers],
+            register_assignment={
+                value: REGISTER_MAP[reg]
+                for value, reg in src_info.register_assignment.items()},
+            call_sites=_scan_call_sites(lifted_unit, entry, end),
+        )
+        symtab.add(FunctionInfo(
+            name=info.name,
+            params=list(info.params),
+            layout=info.layout,
+            liveness=info.liveness,
+            block_order=list(info.block_order),
+            per_isa={source_isa: src_info, target_isa: target_info},
+        ))
+
+    if obs.enabled():
+        obs.get_registry().counter("transpile.functions").inc(
+            stats["functions"])
+
+    return TranspiledBinary(
+        program=binary.program,
+        sections={source_isa: unit, target_isa: lifted_unit},
+        data=binary.data,
+        global_addresses=dict(binary.global_addresses),
+        symtab=symtab,
+        transpiled_from=source_isa,
+        lift_stats=stats,
+    )

@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Regenerate the frozen chaos corpus after an *intentional* change.
+"""Regenerate the frozen fuzz corpora after an *intentional* change.
 
-The corpus pins exact statuses, exit codes, and fault-log digests for a
+Each corpus pins exact statuses, exit codes, and fault-log digests for a
 fixed set of differential cases; any code change that legitimately moves
-migration points (new instructions, different translation order) shifts
-the digests.  Re-run this script, eyeball that every case is still
-``ok``, and commit the refreshed JSON alongside the behaviour change.
+migration points (new instructions, different translation order) or
+changes the lifter's output shifts the digests.  Re-run this script,
+eyeball that every case is still ``ok``, and commit the refreshed JSON
+alongside the behaviour change.
 
 Usage::
 
-    PYTHONPATH=src python tests/corpus/regenerate.py
+    PYTHONPATH=src python tests/corpus/regenerate.py [chaos|transpile|all]
+
+The default regenerates every corpus.
 """
 
 import json
@@ -17,18 +20,33 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.faults.fuzz import generate_cases, run_case
+from repro.faults import fuzz as chaos_fuzz
 from repro.faults.plan import default_plan
 from repro.runtime.cache import configure_cache
+from repro.transpile import fuzzing as transpile_fuzz
 
 FAULT_SEED = 7
-CASE_COUNT = 10
-CORPUS = Path(__file__).parent / "chaos-seed7.json"
+HERE = Path(__file__).parent
+
+#: track -> (corpus path, case count, generate_cases, run_case, comment)
+TRACKS = {
+    "chaos": (
+        HERE / "chaos-seed7.json", 10,
+        chaos_fuzz.generate_cases, chaos_fuzz.run_case,
+        "Frozen chaos cases; regenerate with tests/corpus/regenerate.py "
+        "after intentional behaviour changes."),
+    "transpile": (
+        HERE / "transpile-seed7.json", 8,
+        transpile_fuzz.generate_cases, transpile_fuzz.run_case,
+        "Frozen transpile differential cases (x86like native vs lifted "
+        "armlike under faults); regenerate with "
+        "tests/corpus/regenerate.py after intentional lifter changes."),
+}
 
 
-def main() -> int:
-    configure_cache(root=tempfile.mkdtemp(prefix="repro-corpus-"))
-    cases = generate_cases(FAULT_SEED, CASE_COUNT)
+def freeze(track: str) -> bool:
+    corpus, count, generate_cases, run_case, comment = TRACKS[track]
+    cases = generate_cases(FAULT_SEED, count)
     base = default_plan(FAULT_SEED).with_seed(FAULT_SEED)
     expected = {}
     for case in cases:
@@ -36,7 +54,7 @@ def main() -> int:
         if not outcome.ok:
             print(f"REFUSING: {case.case_id} is {outcome.status} "
                   f"({outcome.detail})", file=sys.stderr)
-            return 1
+            return False
         expected[case.case_id] = {
             "status": outcome.status,
             "native_exit": outcome.native_exit,
@@ -48,16 +66,25 @@ def main() -> int:
     payload = {
         "version": 1,
         "fault_seed": FAULT_SEED,
-        "comment": ("Frozen chaos cases; regenerate with "
-                    "tests/corpus/regenerate.py after intentional "
-                    "behaviour changes."),
+        "comment": comment,
         "cases": [case.to_dict() for case in cases],
         "expected": expected,
     }
-    CORPUS.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {CORPUS}")
-    return 0
+    corpus.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {corpus}")
+    return True
+
+
+def main(argv) -> int:
+    mode = argv[0] if argv else "all"
+    if mode not in ("all", *TRACKS):
+        print(f"usage: regenerate.py [{'|'.join(TRACKS)}|all]",
+              file=sys.stderr)
+        return 2
+    configure_cache(root=tempfile.mkdtemp(prefix="repro-corpus-"))
+    tracks = list(TRACKS) if mode == "all" else [mode]
+    return 0 if all(freeze(track) for track in tracks) else 1
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

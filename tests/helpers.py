@@ -1,0 +1,64 @@
+"""Shared test helpers: code-byte patching and worker determinism.
+
+The fault-seeding suites (symexec, framesafety, transpile) all follow
+the same pattern — decode one block of one ISA view, patch machine-code
+bytes in place, and require the analysis under test to localize the
+divergence — and the parallel suites (verify, chaos, transpile) all pin
+the same invariant: results are byte-identical at any worker count.
+Both patterns live here so every suite asserts them the same way.
+"""
+
+import json
+
+from repro.isa import ISAS
+
+
+def decode_block(binary, isa_name, info, index=0):
+    """Decoded instructions of one block of one ISA view."""
+    isa = ISAS[isa_name]
+    unit = binary.sections[isa_name]
+    label, start, end = info.per_isa[isa_name].block_bounds()[index]
+    decoded, address = [], start
+    while address < end:
+        dec = isa.decode(unit.data, address - unit.base_address, address)
+        decoded.append(dec)
+        address = dec.end
+    return label, decoded
+
+
+def patch_code(binary, isa_name, address, raw):
+    """Overwrite code bytes in one ISA's text section, in place."""
+    unit = binary.sections[isa_name]
+    offset = address - unit.base_address
+    assert 0 <= offset < len(unit.data)
+    data = bytearray(unit.data)
+    data[offset:offset + len(raw)] = raw
+    unit.data = bytes(data)
+
+
+def find_instruction(decoded, predicate):
+    """The first decoded instruction matching ``predicate``, or fail."""
+    dec = next((d for d in decoded if predicate(d.instruction)), None)
+    assert dec is not None, "expected instruction not found in block"
+    return dec
+
+
+def assert_worker_determinism(run, worker_counts=(1, 4), extract=None):
+    """Assert ``run(workers)`` is byte-identical for every worker count.
+
+    ``run`` returns a JSON-serializable payload; the payloads (or the
+    projection ``extract`` pulls out of them) must serialize identically
+    under ``json.dumps(..., sort_keys=True)``.  Returns the first
+    payload so callers can make further assertions on it.
+    """
+    payloads = {workers: run(workers) for workers in worker_counts}
+    comparable = {
+        workers: json.dumps(extract(payload) if extract else payload,
+                            sort_keys=True)
+        for workers, payload in payloads.items()}
+    baseline = worker_counts[0]
+    for workers in worker_counts[1:]:
+        assert comparable[workers] == comparable[baseline], (
+            f"workers={workers} produced different results than "
+            f"workers={baseline}")
+    return payloads[baseline]

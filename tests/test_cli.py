@@ -112,6 +112,7 @@ class TestBench:
         payload = json.loads(out_path.read_text())
         phase_names = [p["name"] for p in payload["phases"]]
         assert phase_names == ["compile", "mine", "verify-all",
+                               "transpile-all",
                                "exec-native", "sweep-serial-cold",
                                "sweep-parallel-cold",
                                "sweep-parallel-batched", "sweep-populate",

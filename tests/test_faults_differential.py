@@ -30,6 +30,7 @@ from repro.faults.fuzz import (
 )
 from repro.faults.plan import default_plan
 from repro.runtime.engine import ExperimentEngine
+from tests.helpers import assert_worker_determinism
 
 CORPUS = Path(__file__).parent / "corpus" / "chaos-seed7.json"
 
@@ -101,12 +102,14 @@ class TestChaosHarness:
         assert alone.chaos_exit == in_batch.chaos_exit
 
     def test_serial_equals_parallel(self):
-        serial = chaos_run(11, 6)
-        engine = ExperimentEngine(workers=2, job_timeout=300.0)
-        parallel = chaos_run(11, 6, engine=engine)
-        assert serial.digest() == parallel.digest()
-        assert [o.to_dict() for o in serial.outcomes] == \
-            [o.to_dict() for o in parallel.outcomes]
+        def run(workers):
+            engine = (ExperimentEngine(workers=workers, job_timeout=300.0)
+                      if workers > 1 else None)
+            report = chaos_run(11, 6, engine=engine)
+            return {"digest": report.digest(),
+                    "outcomes": [o.to_dict() for o in report.outcomes]}
+
+        assert_worker_determinism(run, worker_counts=(1, 2))
 
     def test_per_case_plans_are_distinct_but_derived(self):
         base = default_plan(7)

@@ -96,7 +96,7 @@ class TestCleanBinary:
         report = run_verifier(clean_binary)
         assert [t.name for t in report.timings] == [
             "cfg", "consistency", "dataflow", "symequiv", "framesafety",
-            "gadgets"]
+            "gadgets", "transpile"]
 
     def test_facts_record_gadget_asymmetry(self, clean_binary):
         report = run_verifier(clean_binary)
@@ -348,7 +348,7 @@ class TestWiring:
         assert payload["counts"]["total"] == 0
         assert {p["name"] for p in payload["passes"]} == {
             "cfg", "consistency", "dataflow", "symequiv", "framesafety",
-            "gadgets"}
+            "gadgets", "transpile"}
         json.dumps(payload)     # must be serializable as-is
 
 

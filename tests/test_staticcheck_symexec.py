@@ -18,6 +18,12 @@ from repro.isa import ISAS
 from repro.isa.base import Imm, Instruction, Mem, Op, Reg
 from repro.staticcheck import run_verifier
 from repro.workloads import WORKLOADS, compile_workload
+from tests.helpers import (
+    assert_worker_determinism,
+    decode_block as _decode_block,
+    find_instruction as _find,
+    patch_code as _patch,
+)
 
 
 SOURCE = """
@@ -40,35 +46,6 @@ int main() {
 def binary():
     """A fresh binary per test — the fault tests patch code bytes."""
     return compile_minic(SOURCE)
-
-
-def _decode_block(binary, isa_name, info, index=0):
-    """Decoded instructions of one block of one ISA view."""
-    isa = ISAS[isa_name]
-    unit = binary.sections[isa_name]
-    label, start, end = info.per_isa[isa_name].block_bounds()[index]
-    decoded, address = [], start
-    while address < end:
-        dec = isa.decode(unit.data, address - unit.base_address, address)
-        decoded.append(dec)
-        address = dec.end
-    return label, decoded
-
-
-def _patch(binary, isa_name, address, raw):
-    """Overwrite code bytes in one ISA's text section, in place."""
-    unit = binary.sections[isa_name]
-    offset = address - unit.base_address
-    assert 0 <= offset < len(unit.data)
-    data = bytearray(unit.data)
-    data[offset:offset + len(raw)] = raw
-    unit.data = bytes(data)
-
-
-def _find(decoded, predicate):
-    dec = next((d for d in decoded if predicate(d.instruction)), None)
-    assert dec is not None, "expected instruction not found in block"
-    return dec
 
 
 # ---------------------------------------------------------------------
@@ -207,16 +184,13 @@ class TestParallelDeterminism:
     def test_verify_all_findings_identical_across_workers(self, tmp_path):
         from repro.cli import main
 
-        payloads = {}
-        for workers in ("1", "4"):
+        def run(workers):
             out = tmp_path / f"verify-{workers}.json"
-            assert main(["verify", "--all", "--workers", workers,
+            assert main(["verify", "--all", "--workers", str(workers),
                          "--format", "json", "--output", str(out)]) == 0
-            payloads[workers] = json.loads(out.read_text())
-        findings = {
-            workers: {name: target["findings"]
-                      for name, target in payload["targets"].items()}
-            for workers, payload in payloads.items()}
-        assert json.dumps(findings["1"], sort_keys=True) == \
-            json.dumps(findings["4"], sort_keys=True)
-        assert sorted(payloads["1"]["targets"]) == sorted(WORKLOADS)
+            return json.loads(out.read_text())
+
+        payload = assert_worker_determinism(
+            run, extract=lambda p: {name: target["findings"]
+                                    for name, target in p["targets"].items()})
+        assert sorted(payload["targets"]) == sorted(WORKLOADS)
