@@ -48,7 +48,8 @@ from .attacks import gadget_population_summary, mine_binary
 from .compiler import compile_minic
 from .core import PSRConfig, run_native, run_under_psr
 from .core.hipstr import run_under_hipstr
-from .errors import JournalCorruptError, ResumeMismatchError, RunInterrupted
+from .errors import (
+    JournalCorruptError, ReproError, ResumeMismatchError, RunInterrupted)
 from .isa import ISAS, linear_disassemble
 from .obs.report import (
     render_critical_path, render_flamegraph_file, render_report)
@@ -63,6 +64,10 @@ from .runtime import (
 )
 from .runtime import artifacts as runtime_artifacts
 from .runtime import durable, supervisor
+# the per-workload transpile job lives in repro.serve.spec so the CLI
+# and the serve daemon share one implementation; the alias keeps the
+# picklable module-level entry point the worker fan-out expects
+from .serve.spec import transpile_workload_job as _transpile_workload_job
 from .workloads import WORKLOADS, compile_workload
 
 
@@ -180,7 +185,9 @@ def _configure_runtime(args: argparse.Namespace) -> ExperimentEngine:
     threshold = supervisor.resolve_breaker_threshold(
         getattr(args, "breaker", None), default=DEFAULT_BREAKER_THRESHOLD)
     if threshold > 0:
-        breaker = supervisor.CircuitBreaker(threshold)
+        cooldown = supervisor.resolve_breaker_cooldown(
+            getattr(args, "breaker_cooldown", None))
+        breaker = supervisor.CircuitBreaker(threshold, cooldown=cooldown)
         state = durable.get_resume_state()
         if state is not None and not getattr(args, "force", False):
             breaker.preload(state.replay.breaker_open)
@@ -230,6 +237,29 @@ def _recount_resume_faults() -> None:
                          action="resume").inc()
 
 
+def _typed_errors(fn):
+    """Normalize expected failures to the ``report`` convention.
+
+    Bad input — a missing corpus file, a malformed spec, an out-of-range
+    rate scale, a resume mismatch — must surface as one ``error:`` line
+    on stderr and exit code 1, never a traceback.  ``RunInterrupted``
+    passes through untouched: it is control flow, handled by ``main``.
+    """
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(args: argparse.Namespace) -> int:
+        try:
+            return fn(args)
+        except RunInterrupted:
+            raise
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    return wrapper
+
+
 def _finalize_trace(args: argparse.Namespace, label: str) -> None:
     """Write the captured trace + final metrics snapshot, if tracing."""
     path = getattr(args, "trace_path", None)
@@ -240,136 +270,135 @@ def _finalize_trace(args: argparse.Namespace, label: str) -> None:
     print(f"[trace] wrote {written}")
 
 
-def _print_fig3(engine) -> None:
-    rows = experiments.fig3_classic_rop(engine=engine)
+# Experiment renderers consume the *plain-data payloads* produced by
+# :func:`repro.serve.spec.execute_spec` — the same payload a ``repro
+# serve`` response carries — so the CLI and the service layer cannot
+# drift apart.  Payloads went through a canonical JSON round-trip, so
+# numeric dict keys (RAT sizes, cache sizes) arrive as strings and are
+# re-sorted numerically here.
+
+def _print_fig3(payload) -> None:
     print(format_table(
         ["benchmark", "total", "obfuscated", "unobf", "obf%"],
-        [(r.benchmark, r.total_gadgets, r.obfuscated, r.unobfuscated,
-          percent(r.obfuscated_fraction)) for r in rows],
+        [(r["benchmark"], r["total_gadgets"], r["obfuscated"],
+          r["unobfuscated"], percent(r["obfuscated_fraction"]))
+         for r in payload["rows"]],
         "Figure 3 — Classic ROP Attack Surface"))
 
 
-def _print_fig4(engine) -> None:
-    rows = experiments.fig4_bruteforce_surface(engine=engine)
+def _print_fig4(payload) -> None:
     print(format_table(
         ["benchmark", "total", "eliminated", "surviving"],
-        [(r.benchmark, r.total_gadgets, r.eliminated, r.surviving)
-         for r in rows],
+        [(r["benchmark"], r["total_gadgets"], r["eliminated"],
+          r["surviving"]) for r in payload["rows"]],
         "Figure 4 — Brute Force Attack Surface"))
 
 
-def _print_fig5(engine) -> None:
-    rows = experiments.fig5_jitrop(engine=engine)
+def _print_fig5(payload) -> None:
     print(format_table(
         ["benchmark", "text", "cache", "viable", "surviving"],
-        [(r.benchmark, r.text_gadgets, r.cache_gadgets, r.cache_viable,
-          r.surviving) for r in rows],
+        [(r["benchmark"], r["text_gadgets"], r["cache_gadgets"],
+          r["cache_viable"], r["surviving"]) for r in payload["rows"]],
         "Figure 5 — JIT-ROP Attack Surface"))
 
 
-def _print_fig6(engine) -> None:
-    rows = experiments.fig6_migration_safety(engine=engine)
+def _print_fig6(payload) -> None:
     print(format_table(
         ["benchmark", "blocks", "native", "on-demand"],
-        [(r.benchmark, r.total_blocks, percent(r.native_fraction),
-          percent(r.ondemand_fraction)) for r in rows],
+        [(r["benchmark"], r["total_blocks"], percent(r["native_fraction"]),
+          percent(r["ondemand_fraction"])) for r in payload["rows"]],
         "Figure 6 — Migration-Safe Basic Blocks"))
 
 
-def _print_fig7(engine) -> None:
-    lengths = tuple(range(1, 13))
-    print(format_series(experiments.fig7_entropy(lengths), lengths,
+def _print_fig7(payload) -> None:
+    print(format_series(payload["series"], payload["lengths"],
                         "Figure 7 — Entropy vs Chain Length"))
 
 
-def _print_fig8(engine) -> None:
-    probabilities = tuple(i / 10 for i in range(11))
-    curves = experiments.fig8_diversification(probabilities=probabilities,
-                                              engine=engine)
-    print(format_series(curves, [f"{p:.1f}" for p in probabilities],
+def _print_fig8(payload) -> None:
+    print(format_series(payload["series"],
+                        [f"{p:.1f}" for p in payload["probabilities"]],
                         "Figure 8 — Surviving Gadgets vs Probability"))
 
 
-def _print_fig9(engine) -> None:
-    rows = experiments.fig9_opt_levels(engine=engine)
+def _print_fig9(payload) -> None:
     print(format_table(
         ["benchmark", "O1", "O2", "O3"],
-        [(r.benchmark,) + tuple(f"{r.relative[level]:.3f}"
-                                for level in ("O1", "O2", "O3"))
-         for r in rows],
+        [(r["benchmark"],) + tuple(f"{r['relative'][level]:.3f}"
+                                   for level in ("O1", "O2", "O3"))
+         for r in payload["rows"]],
         "Figure 9 — Relative Performance per Optimization Level"))
 
 
-def _print_fig10(engine) -> None:
-    rows = experiments.fig10_stack_sizes(engine=engine)
-    labels = sorted({label for r in rows for label in r.relative},
+def _print_fig10(payload) -> None:
+    rows = payload["rows"]
+    labels = sorted({label for r in rows for label in r["relative"]},
                     key=lambda label: int(label[1:]))
     print(format_table(
         ["benchmark"] + labels,
-        [(r.benchmark,) + tuple(f"{r.relative[label]:.3f}"
-                                for label in labels) for r in rows],
+        [(r["benchmark"],) + tuple(f"{r['relative'][label]:.3f}"
+                                   for label in labels) for r in rows],
         "Figure 10 — Stack Randomization Space"))
 
 
-def _print_fig11(engine) -> None:
-    rows = experiments.fig11_rat_sizes(engine=engine)
-    sizes = sorted({size for r in rows for size in r.overhead})
+def _print_fig11(payload) -> None:
+    rows = payload["rows"]
+    sizes = sorted({int(size) for r in rows for size in r["overhead"]})
     print(format_table(
         ["benchmark"] + [str(size) for size in sizes],
-        [(r.benchmark,) + tuple(f"{r.overhead[size] * 100:.1f}%"
-                                for size in sizes) for r in rows],
+        [(r["benchmark"],) + tuple(
+            f"{r['overhead'][str(size)] * 100:.1f}%" for size in sizes)
+         for r in rows],
         "Figure 11 — RAT Size Overhead"))
 
 
-def _print_fig12(engine) -> None:
-    rows = experiments.fig12_migration_overhead(engine=engine)
+def _print_fig12(payload) -> None:
     print(format_table(
         ["benchmark", "arm→x86 µs", "x86→arm µs", "migrations"],
-        [(r.benchmark, f"{r.arm_to_x86_micros:.2f}",
-          f"{r.x86_to_arm_micros:.2f}", r.migrations) for r in rows],
+        [(r["benchmark"], f"{r['arm_to_x86_micros']:.2f}",
+          f"{r['x86_to_arm_micros']:.2f}", r["migrations"])
+         for r in payload["rows"]],
         "Figure 12 — Migration Overhead"))
 
 
-def _print_fig13(engine) -> None:
-    rows = experiments.fig13_code_cache(engine=engine)
-    for row in rows:
-        sizes = sorted(row.by_size)
+def _print_fig13(payload) -> None:
+    for row in payload["rows"]:
+        sizes = sorted(row["by_size"], key=int)
         print(format_table(
             ["size", "capacity-misses", "security-events", "overhead"],
-            [(size, int(row.by_size[size]["capacity_misses"]),
-              int(row.by_size[size]["security_events"]),
-              f"{row.by_size[size]['overhead'] * 100:.1f}%")
+            [(int(size), int(row["by_size"][size]["capacity_misses"]),
+              int(row["by_size"][size]["security_events"]),
+              f"{row['by_size'][size]['overhead'] * 100:.1f}%")
              for size in sizes],
-            f"Figure 13 — Code Cache ({row.benchmark})"))
+            f"Figure 13 — Code Cache ({row['benchmark']})"))
 
 
-def _print_fig14(engine) -> None:
-    rows = experiments.fig14_isomeron_comparison(engine=engine)
+def _print_fig14(payload) -> None:
     systems = ["isomeron", "psr+isomeron", "hipstr-256k", "hipstr-2m"]
     print(format_table(
         ["p"] + systems,
-        [(f"{r.probability:.1f}",) + tuple(f"{r.relative[s]:.3f}"
-                                           for s in systems) for r in rows],
+        [(f"{r['probability']:.1f}",) + tuple(f"{r['relative'][s]:.3f}"
+                                              for s in systems)
+         for r in payload["rows"]],
         "Figure 14 — Comparison with Isomeron"))
 
 
-def _print_table2(engine) -> None:
-    rows = experiments.table2_bruteforce(engine=engine)
+def _print_table2(payload) -> None:
     print(format_table(
         ["benchmark", "params", "bits", "attempts"],
-        [(r.benchmark, f"{r.randomizable_parameters:.2f}",
-          f"{r.entropy_bits:.0f}", f"{r.attempts_no_bias:.2e}")
-         for r in rows],
+        [(r["benchmark"], f"{r['randomizable_parameters']:.2f}",
+          f"{r['entropy_bits']:.0f}", f"{r['attempts_no_bias']:.2e}")
+         for r in payload["rows"]],
         "Table 2 — Brute Force Simulation"))
 
 
-def _print_httpd(engine) -> None:
-    study = experiments.httpd_case_study()
-    print(f"httpd: {study.total_gadgets} gadgets, "
-          f"{percent(study.obfuscated_fraction)} obfuscated, "
-          f"{study.brute_force_attempts:.2e} attempts, "
-          f"{study.jitrop_viable} JIT-ROP viable, "
-          f"{study.surviving_migration} survive migration")
+def _print_httpd(payload) -> None:
+    study = payload["study"]
+    print(f"httpd: {study['total_gadgets']} gadgets, "
+          f"{percent(study['obfuscated_fraction'])} obfuscated, "
+          f"{study['brute_force_attempts']:.2e} attempts, "
+          f"{study['jitrop_viable']} JIT-ROP viable, "
+          f"{study['surviving_migration']} survive migration")
 
 
 EXPERIMENTS = {
@@ -391,14 +420,18 @@ EXPERIMENTS = {
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    runner = EXPERIMENTS.get(args.name)
-    if runner is None:
+    renderer = EXPERIMENTS.get(args.name)
+    if renderer is None:
         print(f"unknown experiment {args.name!r}; "
               f"available: {', '.join(sorted(EXPERIMENTS))}",
               file=sys.stderr)
         return 2
     engine = _configure_runtime(args)
-    runner(engine)
+    # the CLI is a thin builder of the same RequestSpec the serve
+    # daemon deserializes off the wire; both funnel through execute_spec
+    from .serve.spec import RequestSpec, execute_spec
+    spec = RequestSpec(kind="experiment", params={"name": args.name})
+    renderer(execute_spec(spec, engine=engine))
     if getattr(args, "cache_stats", False):
         stats = get_cache().stats
         print(f"\n[cache] hits={stats.hits} misses={stats.misses} "
@@ -598,42 +631,6 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _transpile_workload_job(name: str, tiers, surface: bool, seed: int):
-    """Module-level transpile job so ``transpile --workers`` can fan out."""
-    from .staticcheck import run_verifier
-    from .transpile import gadget_surface_row, transpile_binary
-
-    binary = compile_workload(name)
-    transpiled = transpile_binary(binary)
-    result = {"workload": name, "lift_stats": dict(transpiled.lift_stats)}
-    ok = True
-    if "static" in tiers:
-        report = run_verifier(transpiled)
-        stats = report.facts.get("transpile", {})
-        static_ok = report.ok and stats.get("unsupported", 0) == 0
-        result["static"] = {
-            "ok": static_ok,
-            "stats": stats,
-            "findings": [f.as_dict() for f in report.findings],
-        }
-        ok = ok and static_ok
-    if "fuzz" in tiers:
-        # the per-workload leg of the differential tier: the lifted
-        # section must reproduce the native exit code on real inputs
-        stdin = WORKLOADS[name].stdin
-        native = run_native(binary, "x86like", stdin=stdin,
-                            max_instructions=20_000_000).os.exit_code
-        lifted = run_native(transpiled, "armlike", stdin=stdin,
-                            max_instructions=20_000_000).os.exit_code
-        exec_ok = native is not None and native == lifted
-        result["exec"] = {"ok": exec_ok, "native_exit": native,
-                          "lifted_exit": lifted}
-        ok = ok and exec_ok
-    if surface:
-        result["surface"] = gadget_surface_row(
-            name, binary, transpiled, seed=seed).to_dict()
-    result["ok"] = ok
-    return result
 
 
 def _render_transpile_target(name: str, result: dict) -> str:
@@ -670,6 +667,7 @@ def _render_transpile_target(name: str, result: dict) -> str:
     return "\n".join(lines)
 
 
+@_typed_errors
 def cmd_transpile(args: argparse.Namespace) -> int:
     """Statically lift x86like workloads to armlike and verify the result.
 
@@ -782,6 +780,7 @@ def cmd_transpile(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+@_typed_errors
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Differential fault-injection sweep (see :mod:`repro.faults.fuzz`)."""
     import tempfile
@@ -789,6 +788,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults.fuzz import ChaosReport, chaos_run, chaos_workloads, \
         load_corpus, run_case
     from .faults.plan import default_plan
+
+    if getattr(args, "serve", False):
+        return _cmd_chaos_serve(args)
 
     if not getattr(args, "cache_dir", None) \
             and not getattr(args, "no_cache", False):
@@ -828,6 +830,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"({outcome.detail})", file=sys.stderr)
     _finalize_trace(args, label=f"chaos:{args.fault_seed}")
     return 1 if report.failures else 0
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Differential chaos over the service layer (``chaos --serve``).
+
+    N concurrent mixed-tenant clients drive a real ``repro serve``
+    daemon (a subprocess, so ``kill -9`` is honest) under the
+    service-layer fault kinds — ``request.drop``, ``server.kill``,
+    ``tenant.flood`` — in two phases, serial then parallel, each with a
+    mid-run kill/restart cycle.  Every request must complete
+    byte-identically, fail typed, or be re-served from the journal
+    after restart; exit 1 on any silent loss or divergence.
+    """
+    import tempfile
+
+    from .faults.plan import default_plan
+    from .serve.harness import render_report, serve_chaos_run
+
+    plan = default_plan(args.fault_seed, rate_scale=args.rate_scale,
+                        only=("request.drop", "server.kill"))
+    requests = args.requests
+    base = tempfile.mkdtemp(prefix="repro-serve-chaos-")
+    silent = 0
+    for phase, parallel in (("serial", False), ("parallel", True)):
+        report = serve_chaos_run(
+            args.fault_seed,
+            requests=requests,
+            clients=args.serve_clients,
+            journal_dir=os.path.join(base, phase, "journal"),
+            cache_root=os.path.join(base, phase, "cache"),
+            plan=plan,
+            parallel=parallel,
+            tenant_quota=args.tenant_quota,
+        )
+        print(f"== serve-chaos ({phase}) ==")
+        print(render_report(report))
+        silent += len(report.silent_failures)
+    verdict = "ok" if silent == 0 else "FAILED"
+    print(f"serve-chaos: {verdict} ({2 * requests} request(s) across "
+          f"2 phase(s), {silent} silent)")
+    return 1 if silent else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the crash-consistent multi-tenant service daemon."""
+    from .serve.server import ServeConfig, run_server
+
+    journal_dir = args.journal or os.environ.get(durable.ENV_JOURNAL)
+    if not journal_dir:
+        print("error: serve requires --journal DIR (the request "
+              "durability log)", file=sys.stderr)
+        return 2
+    threshold = supervisor.resolve_breaker_threshold(
+        args.breaker, default=DEFAULT_BREAKER_THRESHOLD)
+    config = ServeConfig(
+        journal_dir=journal_dir,
+        host=args.host,
+        port=args.port,
+        cache_root=args.cache_dir,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        breaker_threshold=threshold,
+        breaker_cooldown=supervisor.resolve_breaker_cooldown(
+            args.breaker_cooldown),
+        retries=args.retries,
+        backoff=args.backoff,
+        default_deadline_ms=args.deadline_ms,
+        engine_workers=args.workers if args.workers is not None else 1,
+        allow_kill=args.allow_kill,
+        resume_run_id=args.resume,
+    )
+    return run_server(config)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -1043,6 +1117,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "consecutive terminal failures (default: "
                             "$REPRO_BREAKER_THRESHOLD or "
                             f"{DEFAULT_BREAKER_THRESHOLD}; 0 disables)")
+        p.add_argument("--breaker-cooldown", type=float, default=None,
+                       metavar="SEC",
+                       help="after SEC seconds an open breaker admits "
+                            "one half-open probe; success closes it, "
+                            "failure re-opens (default: "
+                            "$REPRO_BREAKER_COOLDOWN, else breakers "
+                            "stay open for the run)")
         p.add_argument("--force", action="store_true",
                        help="reset journaled circuit breakers and rerun "
                             "previously skipped workloads")
@@ -1175,8 +1256,89 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--corpus", default=None, metavar="FILE",
                               help="replay a frozen case corpus (JSON) "
                                    "instead of generating cases")
+    chaos_parser.add_argument("--serve", action="store_true",
+                              help="differential chaos over the service "
+                                   "layer: concurrent mixed-tenant "
+                                   "clients vs a real daemon under "
+                                   "request.drop / server.kill / "
+                                   "tenant.flood, serial then parallel, "
+                                   "each with a mid-run kill -9/restart")
+    chaos_parser.add_argument("--requests", type=int, default=100,
+                              metavar="N",
+                              help="requests per --serve phase "
+                                   "(default 100)")
+    chaos_parser.add_argument("--serve-clients", type=int, default=4,
+                              metavar="N",
+                              help="concurrent client threads for "
+                                   "--serve (default 4)")
+    chaos_parser.add_argument("--tenant-quota", type=int, default=4,
+                              metavar="N",
+                              help="per-tenant in-flight quota for the "
+                                   "--serve daemon (default 4)")
     add_runtime_flags(chaos_parser)
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the crash-consistent multi-tenant service "
+                      "daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8742,
+                              help="listen port (0 = ephemeral; the "
+                                   "readiness line prints the bound "
+                                   "port)")
+    serve_parser.add_argument("--journal", default=None, metavar="DIR",
+                              help="request durability log directory "
+                                   "(required; or set $REPRO_JOURNAL)")
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="artifact cache root; each tenant "
+                                   "gets a namespaced subtree")
+    serve_parser.add_argument("--queue-limit", type=int, default=64,
+                              metavar="N",
+                              help="bounded admission queue; beyond N "
+                                   "in-flight requests new ones are "
+                                   "shed with 429 (default 64)")
+    serve_parser.add_argument("--tenant-quota", type=int, default=8,
+                              metavar="N",
+                              help="per-tenant in-flight concurrency "
+                                   "quota (default 8)")
+    serve_parser.add_argument("--breaker", type=int, default=None,
+                              metavar="N",
+                              help="per-(tenant, workload) circuit "
+                                   "breaker threshold (default: "
+                                   "$REPRO_BREAKER_THRESHOLD or "
+                                   f"{DEFAULT_BREAKER_THRESHOLD}; "
+                                   "0 disables)")
+    serve_parser.add_argument("--breaker-cooldown", type=float,
+                              default=None, metavar="SEC",
+                              help="open breakers admit one half-open "
+                                   "probe after SEC seconds (default: "
+                                   "$REPRO_BREAKER_COOLDOWN)")
+    serve_parser.add_argument("--retries", type=int, default=2,
+                              metavar="N",
+                              help="server-side retries for retryable "
+                                   "failures (default 2)")
+    serve_parser.add_argument("--backoff", type=float, default=0.05,
+                              metavar="SEC",
+                              help="base retry backoff, doubled per "
+                                   "attempt (default 0.05)")
+    serve_parser.add_argument("--deadline-ms", type=int, default=None,
+                              metavar="MS",
+                              help="default per-request deadline when "
+                                   "neither the spec nor the "
+                                   "X-Deadline-Ms header gives one")
+    serve_parser.add_argument("--workers", "-j", type=int, default=None,
+                              metavar="N",
+                              help="engine worker processes per request "
+                                   "(default 1)")
+    serve_parser.add_argument("--allow-kill", action="store_true",
+                              help="honor injected server.kill faults "
+                                   "(SIGKILL self after journaling; "
+                                   "chaos harness only)")
+    serve_parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                              help="re-attach to a specific interrupted "
+                                   "serve journal (default: latest "
+                                   "interrupted serve run in --journal)")
+    serve_parser.set_defaults(func=cmd_serve)
 
     report_parser = sub.add_parser(
         "report", help="summarize a captured trace file")
@@ -1245,6 +1407,7 @@ def _journal_dir(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "journal", None) or os.environ.get(durable.ENV_JOURNAL)
 
 
+@_typed_errors
 def cmd_resume(args: argparse.Namespace) -> int:
     """Replay a run journal and re-dispatch its recorded command line.
 

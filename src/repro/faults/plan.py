@@ -27,14 +27,28 @@ kind                      hook site                   recovery
                                                       replace + retry
 ``orchestrator.kill``     journaled job completion    ``repro resume``
                                                       replays the journal
+``request.drop``          serve request dispatch      typed 503 to the
+                                                      client, who retries
+``server.kill``           serve request completion    journal re-attach on
+                                                      restart, recomputed=0
+``tenant.flood``          serve client harness        per-tenant quota
+                                                      sheds load with 429s
 ========================  ==========================  =====================
 
-The last two target the *orchestrator* layer: ``worker.hang`` is decided
-in the parent and shipped to the worker as an instruction to stop
-heartbeating (so the supervisor's watchdog must catch it), and
-``orchestrator.kill`` SIGKILLs the engine's own process right after a
-``job_done`` record becomes durable — it only ever fires when a run
-journal is active, because resume is its recovery.
+``worker.hang`` is decided in the parent and shipped to the worker as an
+instruction to stop heartbeating (so the supervisor's watchdog must
+catch it), and ``orchestrator.kill`` SIGKILLs the engine's own process
+right after a ``job_done`` record becomes durable — it only ever fires
+when a run journal is active, because resume is its recovery.
+
+The ``request.drop`` / ``server.kill`` / ``tenant.flood`` trio targets
+the *service* layer (:mod:`repro.serve`): a dropped request surfaces as
+a typed retryable rejection, ``server.kill`` SIGKILLs the daemon right
+after a ``request_done`` record is durable (the differential client
+harness restarts it and must read back identical responses), and
+``tenant.flood`` is decided in the *client* harness — one tenant bursts
+past its quota and the admission controller must shed exactly the
+excess with typed 429s while other tenants proceed.
 """
 
 from __future__ import annotations
@@ -55,6 +69,9 @@ FAULT_SITES: Dict[str, str] = {
     "decode.flush": "interpreter.decode",
     "worker.hang": "engine.worker",
     "orchestrator.kill": "engine.run",
+    "request.drop": "serve.dispatch",
+    "server.kill": "serve.request_done",
+    "tenant.flood": "serve.client",
 }
 
 FAULT_KINDS: Tuple[str, ...] = tuple(sorted(FAULT_SITES))
@@ -71,6 +88,9 @@ DEFAULT_RATES: Dict[str, float] = {
     "decode.flush": 0.01,
     "worker.hang": 0.10,
     "orchestrator.kill": 0.05,
+    "request.drop": 0.06,
+    "server.kill": 0.03,
+    "tenant.flood": 0.10,
 }
 
 

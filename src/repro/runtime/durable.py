@@ -24,10 +24,16 @@ Record types (each carries ``seq``, ``type``, and the run's config
                        run's result store)
 ``job_failed``       — one attempt failed (``error``, ``attempt``)
 ``breaker_open``     — a workload's circuit breaker opened
-``breaker_reset``    — ``--force`` closed it again
+``breaker_half_open``— a cooled-down breaker admitted one probe job
+``breaker_reset``    — a probe succeeded, or ``--force`` closed it
 ``fault_injected``   — an engine-level chaos fault fired (written
                        *before* ``orchestrator.kill`` pulls the trigger
                        so the kill is auditable across the crash)
+``request_received`` — the serve layer admitted a request (``request_id``,
+                       ``tenant``, ``spec_digest``)
+``request_done``     — a request completed; its response body is in the
+                       run's artifact store (``artifact_key``)
+``request_failed``   — a request failed terminally with a typed error
 ``run_interrupted``  — SIGTERM drained the run cleanly
 ``run_finished``     — the command completed (``exit_code``)
 
@@ -70,9 +76,13 @@ RESULT_KIND = "jobresult"
 
 RECORD_TYPES = (
     "run_started", "run_resumed", "job_enqueued", "job_started",
-    "job_done", "job_failed", "breaker_open", "breaker_reset",
-    "fault_injected", "run_interrupted", "run_finished",
+    "job_done", "job_failed", "breaker_open", "breaker_half_open",
+    "breaker_reset", "fault_injected", "request_received",
+    "request_done", "request_failed", "run_interrupted", "run_finished",
 )
+
+#: artifact kind under which completed serve responses are stored
+REQUEST_KIND = "requestresult"
 
 _JOURNAL_SUFFIX = ".journal.jsonl"
 
@@ -189,8 +199,18 @@ class RunStatusWriter:
                 self._state["breakers"][record.get("workload", "?")] = {
                     "state": "open",
                     "failures": int(record.get("failures", 0))}
+            elif record_type == "breaker_half_open":
+                self._state["breakers"][record.get("workload", "?")] = {
+                    "state": "half-open",
+                    "failures": int(record.get("failures", 0))}
             elif record_type == "breaker_reset":
                 self._state["breakers"].pop(record.get("workload"), None)
+            elif record_type in ("request_received", "request_done",
+                                 "request_failed"):
+                requests = self._state.setdefault(
+                    "requests", {"received": 0, "done": 0, "failed": 0})
+                slot = record_type[len("request_"):]
+                requests[slot] = requests.get(slot, 0) + 1
             elif record_type == "fault_injected":
                 self._state["faults"]["injected"] += 1
             elif record_type in ("run_started", "run_resumed"):
@@ -400,6 +420,12 @@ class JournalReplay:
     next_seq: int = 0
     #: engine-level chaos faults recorded across crash boundaries
     fault_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: request_id -> final serve-layer record (``request_done`` or
+    #: ``request_failed``) for every request that reached an outcome
+    requests_settled: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: request_id -> ``request_received`` record for requests that were
+    #: admitted but never settled (in flight at the crash)
+    requests_pending: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def resumable(self) -> bool:
@@ -498,6 +524,13 @@ def replay_journal(path: os.PathLike, repair: bool = True) -> JournalReplay:
             replay.breaker_open.pop(record.get("workload"), None)
         elif kind == "fault_injected":
             replay.fault_records.append(record)
+        elif kind == "request_received":
+            replay.requests_pending[str(record.get("request_id", ""))] = \
+                record
+        elif kind in ("request_done", "request_failed"):
+            request_id = str(record.get("request_id", ""))
+            replay.requests_pending.pop(request_id, None)
+            replay.requests_settled[request_id] = record
         elif kind == "run_finished":
             replay.finished = True
         elif kind == "run_interrupted":

@@ -520,10 +520,7 @@ class ExperimentEngine:
             workload = self._workload(jobs[result.index])
             if breaker.record(workload, ok=result.ok):
                 faults.recovered("engine.run", "breaker_open")
-                if journal is not None:
-                    journal.append(
-                        "breaker_open", workload=workload,
-                        failures=breaker.open_workloads[workload])
+        journal_breaker_transitions(breaker, journal)
 
     def map(self, fn: Callable[..., Any], arg_tuples: Sequence[Tuple],
             key_prefix: str = "job",
@@ -734,6 +731,23 @@ class ExperimentEngine:
                         for result in outcome:
                             settle(result.index, result)
         return [by_index[index] for index, _ in pairs if index in by_index]
+
+
+def journal_breaker_transitions(breaker, journal) -> None:
+    """Persist every queued breaker transition (open/half-open/reset).
+
+    The breaker queues its own state changes as journal-ready records
+    (see :meth:`~repro.runtime.supervisor.CircuitBreaker.drain_transitions`);
+    the engine — and the serve layer, which shares breakers across
+    requests — drains them at each settle point so transitions land in
+    the write-ahead journal exactly once.
+    """
+    transitions = breaker.drain_transitions()
+    if journal is None:
+        return
+    for record in transitions:
+        payload = dict(record)
+        journal.append(payload.pop("type"), **payload)
 
 
 def collect(results: Sequence[JobResult]) -> List[Any]:

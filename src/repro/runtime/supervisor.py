@@ -25,7 +25,14 @@ misbehave:
   every retry) the workload's breaker opens: subsequent jobs for it
   degrade to a typed ``skipped:circuit_open`` result instead of burning
   a full retry budget every sweep.  Open breakers are recorded in the
-  run journal and survive a crash; ``--force`` resets them.
+  run journal and survive a crash; ``--force`` resets them.  With a
+  ``cooldown`` configured the breaker self-heals: once an open breaker
+  has cooled down, the next :meth:`~CircuitBreaker.allow` admits exactly
+  one *probe* job (the half-open state) — a probe that succeeds closes
+  the breaker, a probe that fails re-opens it and restarts the cooldown.
+  Every state transition (open, half-open, reset) is queued on
+  :attr:`~CircuitBreaker.transitions` for the caller to journal, so the
+  breaker's history is auditable across a crash.
 
 Both report through :mod:`repro.obs`: ``supervisor.restarts`` counts
 kill-and-replace events, ``breaker.state`` gauges are 1 while open.
@@ -50,6 +57,7 @@ DEFAULT_HANG_TIMEOUT = 30.0
 
 ENV_SUPERVISE = "REPRO_SUPERVISE"
 ENV_BREAKER_THRESHOLD = "REPRO_BREAKER_THRESHOLD"
+ENV_BREAKER_COOLDOWN = "REPRO_BREAKER_COOLDOWN"
 ENV_HANG_TIMEOUT = "REPRO_HANG_TIMEOUT"
 
 
@@ -63,35 +71,82 @@ class CircuitBreaker:
     key), so a sweep that fans one benchmark into many jobs trips the
     breaker for all of them at once.  Only *terminal* failures count —
     a job that heals on retry resets its workload's streak.
+
+    With ``cooldown`` set (seconds; ``None`` = legacy always-open) an
+    open breaker moves to *half-open* once the cooldown elapses: the
+    next :meth:`allow` admits a single probe job while every other job
+    for the workload keeps degrading to the typed skip.  The probe's
+    terminal outcome folded through :meth:`record` either closes the
+    breaker (success) or re-opens it and restarts the cooldown
+    (failure).  All transitions are appended to :attr:`transitions` as
+    journal-ready dicts; callers that hold a run journal drain them via
+    :meth:`drain_transitions` so open/half-open/reset survive a crash.
     """
 
-    def __init__(self, threshold: int = 0):
+    def __init__(self, threshold: int = 0,
+                 cooldown: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
         if threshold < 0:
             raise ConfigError(
                 f"breaker threshold must be >= 0, got {threshold}")
+        if cooldown is not None and cooldown < 0:
+            raise ConfigError(
+                f"breaker cooldown must be >= 0, got {cooldown}")
         self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
         #: workload -> current consecutive terminal failures
         self.consecutive: Dict[str, int] = {}
         #: workload -> failure count at the moment the breaker opened
         self.open_workloads: Dict[str, int] = {}
+        #: workload -> clock reading when the breaker (re-)opened
+        self.opened_at: Dict[str, float] = {}
+        #: workloads with a half-open probe currently in flight
+        self.probing: set = set()
+        #: journal-ready transition records awaiting a drain
+        self.transitions: List[Dict[str, Any]] = []
         self.opened = 0
         self.skipped = 0
+        self.probes = 0
 
     @property
     def enabled(self) -> bool:
         return self.threshold > 0
 
     def allow(self, workload: str) -> bool:
-        """May a job for ``workload`` execute?  (Counts skips.)"""
-        if workload in self.open_workloads:
-            self.skipped += 1
+        """May a job for ``workload`` execute?  (Counts skips.)
+
+        An open breaker whose cooldown has elapsed grants exactly one
+        probe (the half-open state); everything else is skipped until
+        the probe's outcome lands.
+        """
+        if workload not in self.open_workloads:
+            return True
+        if workload not in self.probing and self._probe_due(workload):
+            self.probing.add(workload)
+            self.probes += 1
+            self._transition("breaker_half_open", workload,
+                             failures=self.open_workloads[workload])
+            if obs.enabled():
+                obs.event("breaker.half_open", workload=workload)
+            return True
+        self.skipped += 1
+        return False
+
+    def _probe_due(self, workload: str) -> bool:
+        if self.cooldown is None:
             return False
-        return True
+        opened_at = self.opened_at.get(workload)
+        if opened_at is None:       # preloaded from a journal: probe now
+            return True
+        return self._clock() - opened_at >= self.cooldown
 
     def record(self, workload: str, ok: bool) -> bool:
         """Fold one terminal job outcome in; True when this opens it."""
         if not self.enabled:
             return False
+        if workload in self.probing:
+            return self._record_probe(workload, ok)
         if ok:
             self.consecutive.pop(workload, None)
             self._set_gauge(workload, 0)
@@ -99,14 +154,37 @@ class CircuitBreaker:
         streak = self.consecutive.get(workload, 0) + 1
         self.consecutive[workload] = streak
         if streak >= self.threshold and workload not in self.open_workloads:
-            self.open_workloads[workload] = streak
-            self.opened += 1
-            self._set_gauge(workload, 1)
-            if obs.enabled():
-                obs.event("breaker.open", workload=workload,
-                          failures=streak)
+            self._open(workload, streak)
             return True
         return False
+
+    def _record_probe(self, workload: str, ok: bool) -> bool:
+        """The half-open decision: one probe closes or re-opens."""
+        self.probing.discard(workload)
+        if ok:
+            self.open_workloads.pop(workload, None)
+            self.consecutive.pop(workload, None)
+            self.opened_at.pop(workload, None)
+            self._set_gauge(workload, 0)
+            self._transition("breaker_reset", workload, cause="probe")
+            if obs.enabled():
+                obs.event("breaker.close", workload=workload)
+            return False
+        streak = self.consecutive.get(workload, 0) + 1
+        self.consecutive[workload] = streak
+        self.open_workloads.pop(workload, None)   # so _open re-records
+        self._open(workload, streak, cause="probe")
+        return True
+
+    def _open(self, workload: str, streak: int, cause: str = "") -> None:
+        self.open_workloads[workload] = streak
+        self.opened_at[workload] = self._clock()
+        self.opened += 1
+        self._set_gauge(workload, 1)
+        self._transition("breaker_open", workload, failures=streak,
+                         **({"cause": cause} if cause else {}))
+        if obs.enabled():
+            obs.event("breaker.open", workload=workload, failures=streak)
 
     def preload(self, open_map: Dict[str, int]) -> None:
         """Adopt breakers a journal replay found open (crash survival)."""
@@ -124,9 +202,22 @@ class CircuitBreaker:
             if name in self.open_workloads:
                 del self.open_workloads[name]
                 self.consecutive.pop(name, None)
+                self.opened_at.pop(name, None)
+                self.probing.discard(name)
                 self._set_gauge(name, 0)
                 closed.append(name)
         return closed
+
+    def _transition(self, record_type: str, workload: str,
+                    **extra: Any) -> None:
+        record: Dict[str, Any] = {"type": record_type, "workload": workload}
+        record.update(extra)
+        self.transitions.append(record)
+
+    def drain_transitions(self) -> List[Dict[str, Any]]:
+        """Hand the queued transition records to whoever journals them."""
+        drained, self.transitions = self.transitions, []
+        return drained
 
     @staticmethod
     def _set_gauge(workload: str, value: int) -> None:
@@ -149,6 +240,23 @@ def resolve_breaker_threshold(threshold: Optional[int] = None,
         raise ConfigError(
             f"breaker threshold must be >= 0, got {threshold}")
     return threshold
+
+
+def resolve_breaker_cooldown(cooldown: Optional[float] = None,
+                             default: Optional[float] = None,
+                             ) -> Optional[float]:
+    """Cooldown policy: explicit > ``REPRO_BREAKER_COOLDOWN`` > default.
+
+    ``None`` means no half-open state (the legacy open-until-reset
+    behavior); any value >= 0 arms the probe path.
+    """
+    if cooldown is None:
+        raw = os.environ.get(ENV_BREAKER_COOLDOWN, "").strip()
+        cooldown = float(raw) if raw else default
+    if cooldown is not None and cooldown < 0:
+        raise ConfigError(
+            f"breaker cooldown must be >= 0, got {cooldown}")
+    return cooldown
 
 
 def resolve_supervise(supervise: Optional[bool] = None) -> bool:

@@ -1,0 +1,40 @@
+"""repro.serve — the crash-consistent multi-tenant service layer.
+
+Lifts the CLI's experiment surface onto the wire: a typed
+:class:`~repro.serve.spec.RequestSpec` travels from client to daemon,
+through admission control (bounded queue, per-tenant quotas, circuit
+breakers), into the engine, and back out as a journaled, byte-stable
+payload that survives ``kill -9``.
+
+Modules:
+
+* :mod:`~repro.serve.spec` — request specifications and executors
+* :mod:`~repro.serve.admission` — typed backpressure
+* :mod:`~repro.serve.server` — the asyncio daemon + synchronous core
+* :mod:`~repro.serve.client` — stdlib HTTP client with typed retries
+* :mod:`~repro.serve.harness` — the differential chaos harness
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionRejected,
+    BreakerOpen,
+    DeadlineExceeded,
+    Draining,
+    QueueFull,
+    QuotaExceeded,
+)
+from .spec import RequestSpec, execute_spec, result_digest
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "BreakerOpen",
+    "DeadlineExceeded",
+    "Draining",
+    "QueueFull",
+    "QuotaExceeded",
+    "RequestSpec",
+    "execute_spec",
+    "result_digest",
+]

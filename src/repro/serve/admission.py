@@ -1,0 +1,183 @@
+"""Admission control: decide *before* queueing whether work may enter.
+
+Every way the server can refuse a request is a typed
+:class:`AdmissionRejected` subclass carrying an HTTP status and an
+optional ``Retry-After`` hint, so clients never have to parse prose to
+learn whether retrying is worthwhile:
+
+=====================  ======  ===========  ==========================
+rejection              status  retryable    trigger
+=====================  ======  ===========  ==========================
+:class:`QueueFull`     429     yes          bounded admission queue at
+                                            capacity (global backlog)
+:class:`QuotaExceeded` 429     yes          tenant already has its full
+                                            quota of requests in flight
+:class:`BreakerOpen`   429     after        circuit breaker open for
+                               cooldown     this (tenant, workload)
+:class:`Draining`      503     elsewhere    server received SIGTERM and
+                                            stopped admitting
+:class:`DeadlineExceeded` 504  no           deadline budget spent while
+                                            the request sat in queue
+=====================  ======  ===========  ==========================
+
+The breaker is the PR 5 :class:`~repro.runtime.supervisor.CircuitBreaker`
+keyed by ``tenant/workload`` — repeated failures of one tenant's
+workload shed that stream (and, with a cooldown, half-open probe it
+back) without affecting the tenant's other workloads or anyone else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..errors import ReproError
+from ..runtime.supervisor import CircuitBreaker
+
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_TENANT_QUOTA = 8
+
+
+class AdmissionRejected(ReproError):
+    """Base of every typed admission refusal."""
+
+    #: HTTP status the server maps this rejection to
+    status = 429
+    #: seconds the client should wait before retrying (None = no hint)
+    retry_after: Optional[float] = 1.0
+
+
+class QueueFull(AdmissionRejected):
+    status = 429
+    retry_after = 1.0
+
+
+class QuotaExceeded(AdmissionRejected):
+    status = 429
+    retry_after = 1.0
+
+
+class BreakerOpen(AdmissionRejected):
+    status = 429
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Draining(AdmissionRejected):
+    status = 503
+    retry_after = None
+
+
+class DeadlineExceeded(AdmissionRejected):
+    status = 504
+    retry_after = None
+
+
+class AdmissionController:
+    """Bounded backlog + per-tenant quotas + per-(tenant, workload) breaker.
+
+    Thread-safe: the asyncio handler admits under the lock, the executor
+    thread releases and records outcomes under the same lock.
+    """
+
+    def __init__(self, queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 tenant_quota: int = DEFAULT_TENANT_QUOTA,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.queue_limit = queue_limit
+        self.tenant_quota = tenant_quota
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._by_tenant: Dict[str, int] = {}
+        self._draining = False
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def breaker_key(self, tenant: str, workload: str) -> str:
+        return f"{tenant}/{workload}"
+
+    def admit(self, tenant: str, workload: str) -> None:
+        """Reserve a slot for one request or raise a typed rejection."""
+        with self._lock:
+            if self._draining:
+                self._count_rejection("draining")
+                raise Draining("server is draining; retry elsewhere")
+            if self._in_flight >= self.queue_limit:
+                self._count_rejection("queue_full")
+                raise QueueFull(
+                    f"admission queue full ({self._in_flight}/"
+                    f"{self.queue_limit} in flight)")
+            held = self._by_tenant.get(tenant, 0)
+            if held >= self.tenant_quota:
+                self._count_rejection("quota")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} at quota "
+                    f"({held}/{self.tenant_quota} in flight)")
+            if self.breaker is not None:
+                key = self.breaker_key(tenant, workload)
+                if not self.breaker.allow(key):
+                    self._count_rejection("breaker_open")
+                    raise BreakerOpen(
+                        f"circuit breaker open for {key!r}",
+                        retry_after=self.breaker.cooldown)
+            self._in_flight += 1
+            self._by_tenant[tenant] = held + 1
+            self.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Return the slot reserved by a successful :meth:`admit`."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            held = self._by_tenant.get(tenant, 0) - 1
+            if held > 0:
+                self._by_tenant[tenant] = held
+            else:
+                self._by_tenant.pop(tenant, None)
+
+    def record_outcome(self, tenant: str, workload: str, ok: bool) -> bool:
+        """Feed one terminal outcome to the breaker.
+
+        Returns True when this outcome *opened* the breaker (the caller
+        journals the transition drain separately).
+        """
+        if self.breaker is None:
+            return False
+        with self._lock:
+            return self.breaker.record(self.breaker_key(tenant, workload),
+                                       ok)
+
+    # ------------------------------------------------------------------
+    def start_draining(self) -> None:
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def tenant_load(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._by_tenant)
+
+    def _count_rejection(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view for ``/v1/status`` and ``/metrics``."""
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "queue_limit": self.queue_limit,
+                "tenant_quota": self.tenant_quota,
+                "by_tenant": dict(self._by_tenant),
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+            }

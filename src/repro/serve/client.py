@@ -1,0 +1,168 @@
+"""A small typed client for the ``repro serve`` daemon.
+
+Stdlib-only (:mod:`http.client`), one connection per call — the server
+speaks ``Connection: close`` — with an explicit retry helper that obeys
+the server's typed backpressure: 429/503 responses carry a
+``retryable`` flag and an optional ``Retry-After`` hint, connection
+errors mean the daemon is restarting (the crash-consistency case), and
+everything else is final.
+
+The distinction the differential harness cares about is typed vs
+silent: :class:`ServeUnavailable` (couldn't reach or was shed) and a
+final error body are both *typed* outcomes; only a lost request with no
+outcome at all counts as silence.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from .spec import RequestSpec
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServeUnavailable(ReproError):
+    """The daemon could not be reached (down, restarting, or refusing)."""
+
+
+class ServeResponse:
+    """One HTTP exchange, decoded."""
+
+    def __init__(self, status: int, body: Dict[str, Any],
+                 retry_after: Optional[float] = None):
+        self.status = status
+        self.body = body
+        self.retry_after = retry_after
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.body.get("status") == "ok"
+
+    @property
+    def retryable(self) -> bool:
+        error = self.body.get("error") or {}
+        return bool(error.get("retryable"))
+
+    @property
+    def error_type(self) -> str:
+        return str((self.body.get("error") or {}).get("type", ""))
+
+    def __repr__(self) -> str:
+        return f"<ServeResponse {self.status} {self.body.get('status')}>"
+
+
+class ServeClient:
+    """Typed request/response API over the serve wire protocol."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw exchanges --------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> ServeResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body,
+                               headers=headers or {})
+            raw = connection.getresponse()
+            data = raw.read()
+            retry_after = raw.getheader("Retry-After")
+            status = raw.status
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeUnavailable(
+                f"{method} {path} on {self.host}:{self.port} failed: "
+                f"{exc}") from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            decoded = {"raw": data.decode("utf-8", "replace")}
+        return ServeResponse(
+            status, decoded if isinstance(decoded, dict)
+            else {"value": decoded},
+            retry_after=float(retry_after) if retry_after else None)
+
+    # -- typed API ------------------------------------------------------
+    def submit(self, spec: RequestSpec,
+               deadline_ms: Optional[int] = None) -> ServeResponse:
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        return self._request(
+            "POST", "/v1/requests",
+            body=json.dumps(spec.to_dict(), sort_keys=True).encode(),
+            headers=headers)
+
+    def lookup(self, request_id: str) -> ServeResponse:
+        return self._request("GET", f"/v1/requests/{request_id}")
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/status").body
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics").body.get("raw", "")
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("GET", "/healthz").status == 200
+        except ServeUnavailable:
+            return False
+
+    def ready(self) -> bool:
+        try:
+            return self._request("GET", "/readyz").status == 200
+        except ServeUnavailable:
+            return False
+
+    # -- retry policy ---------------------------------------------------
+    def submit_with_retries(self, spec: RequestSpec,
+                            retries: int = 8,
+                            backoff: float = 0.1,
+                            deadline_ms: Optional[int] = None
+                            ) -> Tuple[Optional[ServeResponse], int]:
+        """Submit, honoring typed backpressure; returns (response, tries).
+
+        Retries on :class:`ServeUnavailable` (daemon down or
+        restarting) and on responses whose error is marked retryable,
+        sleeping ``Retry-After`` when the server hints one.  Returns
+        ``(None, tries)`` only when every attempt was shed — a typed,
+        *counted* failure, never a silent one.
+        """
+        last: Optional[ServeResponse] = None
+        for attempt in range(retries + 1):
+            try:
+                response = self.submit(spec, deadline_ms=deadline_ms)
+            except ServeUnavailable:
+                response = None
+            if response is not None:
+                if response.ok or not (response.retryable
+                                       or response.status in (429, 503)):
+                    return response, attempt + 1
+                last = response
+            if attempt < retries:
+                hint = (last.retry_after
+                        if last is not None and last.retry_after
+                        else None)
+                time.sleep(min(hint or backoff * (2 ** attempt), 2.0))
+        return last, retries + 1
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.ready():
+                return True
+            time.sleep(interval)
+        return False

@@ -1,0 +1,463 @@
+"""Differential chaos harness for the service layer.
+
+The claim under test: with ``request.drop`` / ``server.kill`` /
+``tenant.flood`` faults active, N concurrent mixed-tenant clients
+against one ``repro serve`` daemon observe **zero silent loss** — every
+submitted request either
+
+* completes with a payload byte-identical to an in-process recompute of
+  the same :class:`~repro.serve.spec.RequestSpec` (``ok``),
+* fails *typed* after the client's bounded retry budget (``shed``), or
+* is answered identically by the restarted daemon after a mid-run
+  ``kill -9`` (still ``ok``, served from the journal store).
+
+Anything else — a missing outcome, a divergent payload — is a harness
+failure.  The request corpus is deterministic in the case seed
+(``random.Random(f"serve-case:{seed}:{index}")``) and uses only
+byte-reproducible spec kinds, so the expected payload for every request
+can be precomputed before the daemon ever starts.
+
+``server.kill`` SIGKILLs the daemon from the inside; the harness's
+monitor restarts it with the same journal directory, which is how the
+re-attach path (``recomputed=0`` for settled requests) gets exercised
+under load rather than in a bespoke unit test.  ``tenant.flood`` is a
+*client-side* fault: one tenant bursts far past its quota and the run
+asserts the overflow was shed with typed 429s while other tenants'
+requests all completed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..faults.plan import FaultPlan
+from ..runtime.cache import digest
+from .client import ServeClient, ServeUnavailable
+from .spec import RequestSpec, execute_spec, result_digest
+
+#: spec kinds safe for differential comparison: payloads must be a pure
+#: function of the spec (the timing figures fig9–fig14 are not)
+DETERMINISTIC_KINDS = ("compile", "migrate", "fig3", "fig7")
+
+DEFAULT_TENANTS = ("acme", "umbrella", "initech")
+
+#: client retry budget; generous because ``server.kill`` restarts take
+#: a daemon cold-start, not just a backoff tick
+CLIENT_RETRIES = 10
+
+
+@dataclass
+class RequestOutcome:
+    """Classification of one request after the run settles."""
+
+    request_id: str
+    tenant: str
+    kind: str
+    #: ok | shed:<Type> | failed:<Type> | divergence | lost
+    status: str
+    tries: int = 1
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def silent(self) -> bool:
+        """The outcomes the whole layer exists to rule out."""
+        return self.status in ("lost", "divergence") \
+            or self.status.startswith("divergence")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"request_id": self.request_id, "tenant": self.tenant,
+                "kind": self.kind, "status": self.status,
+                "tries": self.tries, "detail": self.detail}
+
+
+@dataclass
+class ServeChaosReport:
+    """Aggregate of one service-layer differential run."""
+
+    seed: int
+    requests: int
+    outcomes: List[RequestOutcome]
+    restarts: int = 0
+    flood_shed: int = 0
+    flood_served: int = 0
+    final_status: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def silent_failures(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.silent]
+
+    @property
+    def ok(self) -> bool:
+        return not self.silent_failures
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def digest(self) -> str:
+        """Digest of the request corpus (not the outcomes: retry budgets
+        make final statuses timing-dependent; the invariant is zero
+        silence, checked structurally)."""
+        return digest("serve-chaos", self.seed, self.requests,
+                      ",".join(DETERMINISTIC_KINDS))
+
+
+# ----------------------------------------------------------------------
+# Deterministic request corpus
+# ----------------------------------------------------------------------
+def generate_requests(seed: int, count: int,
+                      tenants=DEFAULT_TENANTS) -> List[RequestSpec]:
+    """The mixed-tenant corpus: reproducible from (seed, count) alone."""
+    specs: List[RequestSpec] = []
+    for index in range(count):
+        rng = random.Random(f"serve-case:{seed}:{index}")
+        kind = rng.choice(DETERMINISTIC_KINDS)
+        tenant = tenants[index % len(tenants)]
+        request_id = f"case-{seed}-{index}"
+        if kind == "compile":
+            workload = rng.choice(("mcf", "libquantum", "lbm"))
+            spec = RequestSpec(kind="compile",
+                               params={"workload": workload},
+                               tenant=tenant, request_id=request_id)
+        elif kind == "migrate":
+            workload = rng.choice(("mcf", "libquantum"))
+            spec = RequestSpec(
+                kind="migrate",
+                params={"workload": workload,
+                        "seed": rng.randrange(4),
+                        "max_instructions": 2_000_000},
+                tenant=tenant, request_id=request_id)
+        elif kind == "fig3":
+            spec = RequestSpec(
+                kind="experiment",
+                params={"name": "fig3",
+                        "benchmarks": [rng.choice(("mcf", "lbm"))]},
+                tenant=tenant, request_id=request_id)
+        else:
+            spec = RequestSpec(kind="experiment",
+                               params={"name": "fig7"},
+                               tenant=tenant, request_id=request_id)
+        specs.append(spec)
+    return specs
+
+
+def expected_digests(specs: List[RequestSpec]) -> Dict[str, str]:
+    """Precompute the ground truth in-process (no daemon, no faults).
+
+    Identical specs share one recompute via the digest of the spec
+    itself, so a 100-request corpus costs ~a dozen executions.
+    """
+    by_spec: Dict[str, str] = {}
+    out: Dict[str, str] = {}
+    for spec in specs:
+        spec_key = spec.spec_digest()
+        if spec_key not in by_spec:
+            by_spec[spec_key] = result_digest(execute_spec(spec))
+        out[spec.request_id] = by_spec[spec_key]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Daemon supervision
+# ----------------------------------------------------------------------
+class ServeDaemon:
+    """A ``repro serve`` subprocess plus the monitor that restarts it.
+
+    ``server.kill`` (and the harness's own deliberate ``kill -9``)
+    leave the daemon dead with an unfinished journal; ``ensure_up``
+    relaunches it against the *same* journal directory, which is the
+    re-attach path under test.
+    """
+
+    def __init__(self, journal_dir: Path, cache_root: Path,
+                 plan: Optional[FaultPlan] = None,
+                 tenant_quota: int = 4, queue_limit: int = 64,
+                 extra_args: Optional[List[str]] = None):
+        self.journal_dir = Path(journal_dir)
+        self.cache_root = Path(cache_root)
+        self.plan = plan
+        self.tenant_quota = tenant_quota
+        self.queue_limit = queue_limit
+        self.extra_args = list(extra_args or [])
+        self.process: Optional[subprocess.Popen] = None
+        self.host = "127.0.0.1"
+        self.port: Optional[int] = None
+        self.restarts = -1            # first launch is not a restart
+        self._lock = threading.Lock()
+
+    def _argv(self) -> List[str]:
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--host", self.host, "--port", "0",
+                "--journal", str(self.journal_dir),
+                "--cache-dir", str(self.cache_root),
+                "--tenant-quota", str(self.tenant_quota),
+                "--queue-limit", str(self.queue_limit),
+                "--allow-kill"]
+        argv.extend(self.extra_args)
+        return argv
+
+    def _launch(self) -> None:
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = "1"
+        if self.plan is not None:
+            env["REPRO_FAULTS"] = self.plan.to_spec()
+        else:
+            env.pop("REPRO_FAULTS", None)
+        self.process = subprocess.Popen(
+            self._argv(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, env=env, text=True)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                raise ServeUnavailable(
+                    f"daemon exited during startup "
+                    f"(rc={self.process.poll()})")
+            if line.startswith("repro-serve ready"):
+                fields = dict(part.split("=", 1)
+                              for part in line.split() if "=" in part)
+                self.port = int(fields["port"])
+                self.restarts += 1
+                return
+        raise ServeUnavailable("daemon did not become ready in 60s")
+
+    def ensure_up(self) -> ServeClient:
+        with self._lock:
+            if self.process is None or self.process.poll() is not None:
+                self._launch()
+            return ServeClient(self.host, self.port)
+
+    def kill9(self) -> None:
+        with self._lock:
+            if self.process is not None \
+                    and self.process.poll() is None:
+                self.process.send_signal(signal.SIGKILL)
+                self.process.wait(timeout=30)
+
+    def sigterm(self) -> Optional[int]:
+        with self._lock:
+            if self.process is None:
+                return None
+            self.process.send_signal(signal.SIGTERM)
+            return self.process.wait(timeout=60)
+
+    def stop(self) -> None:
+        with self._lock:
+            if self.process is not None \
+                    and self.process.poll() is None:
+                self.process.kill()
+                self.process.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# The differential run
+# ----------------------------------------------------------------------
+def _drive_one(daemon: ServeDaemon, spec: RequestSpec,
+               expected: str) -> RequestOutcome:
+    """Push one request to a settled classification, surviving restarts."""
+    tries = 0
+    last_detail = ""
+    for round_ in range(CLIENT_RETRIES):
+        try:
+            client = daemon.ensure_up()
+            response, attempts = client.submit_with_retries(
+                spec, retries=2, backoff=0.1)
+        except ServeUnavailable as exc:
+            tries += 1
+            last_detail = str(exc)
+            time.sleep(0.2)
+            continue
+        tries += attempts
+        if response is None:
+            last_detail = "every attempt shed"
+            continue
+        if response.ok:
+            got = response.body.get("digest", "")
+            if got != expected:
+                return RequestOutcome(
+                    spec.request_id, spec.tenant, spec.kind,
+                    f"divergence", tries,
+                    detail=f"digest {got[:12]} != expected "
+                           f"{expected[:12]}")
+            return RequestOutcome(spec.request_id, spec.tenant,
+                                  spec.kind, "ok", tries)
+        if response.retryable or response.status in (429, 503):
+            last_detail = response.error_type
+            time.sleep(0.1)
+            continue
+        return RequestOutcome(
+            spec.request_id, spec.tenant, spec.kind,
+            f"failed:{response.error_type or response.status}", tries,
+            detail=str(response.body.get("error", {}).get(
+                "message", ""))[:160])
+    return RequestOutcome(spec.request_id, spec.tenant, spec.kind,
+                          f"shed:{last_detail or 'retries exhausted'}",
+                          tries)
+
+
+def _flood_tenant(daemon: ServeDaemon, seed: int, tenant: str,
+                  burst: int) -> Dict[str, int]:
+    """The ``tenant.flood`` fault: burst cheap requests past quota.
+
+    Returns shed/served counts; the caller asserts at least one typed
+    429 landed (the quota actually bit) and nothing was lost.
+    """
+    shed = 0
+    served = 0
+    lost = 0
+
+    def one(index: int) -> None:
+        nonlocal shed, served, lost
+        spec = RequestSpec(kind="sleep", params={"seconds": 0.05},
+                           tenant=tenant,
+                           request_id=f"flood-{seed}-{index}")
+        try:
+            client = daemon.ensure_up()
+            response = client.submit(spec)
+        except ServeUnavailable:
+            shed += 1
+            return
+        if response.ok:
+            served += 1
+        elif response.status in (429, 503):
+            shed += 1
+        else:
+            lost += 1
+
+    threads = [threading.Thread(target=one, args=(index,))
+               for index in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return {"shed": shed, "served": served, "lost": lost}
+
+
+def serve_chaos_run(seed: int, requests: int = 100,
+                    clients: int = 4,
+                    journal_dir: Optional[Path] = None,
+                    cache_root: Optional[Path] = None,
+                    plan: Optional[FaultPlan] = None,
+                    parallel: bool = True,
+                    kill_at: Optional[int] = None,
+                    flood: bool = True,
+                    tenant_quota: int = 4) -> ServeChaosReport:
+    """Run the full differential: corpus → daemon under faults → verify.
+
+    ``kill_at`` injects the harness's own deliberate ``kill -9`` after
+    that many settled requests (defaults to the midpoint), on top of
+    whatever ``server.kill`` faults the plan fires.  ``parallel=False``
+    drives the corpus serially with one client, the reference ordering.
+    """
+    import tempfile
+    journal_dir = Path(journal_dir
+                       or tempfile.mkdtemp(prefix="serve-journal-"))
+    cache_root = Path(cache_root
+                      or tempfile.mkdtemp(prefix="serve-cache-"))
+    if kill_at is None:
+        kill_at = requests // 2
+
+    specs = generate_requests(seed, requests)
+    expected = expected_digests(specs)
+
+    daemon = ServeDaemon(journal_dir, cache_root, plan=plan,
+                         tenant_quota=tenant_quota)
+    outcomes: List[RequestOutcome] = [None] * len(specs)  # type: ignore
+    settled = threading.Semaphore(0)
+    killed_once = threading.Event()
+
+    def worker(indices: List[int]) -> None:
+        for index in indices:
+            outcomes[index] = _drive_one(daemon, specs[index],
+                                         expected[specs[index].request_id])
+            settled.release()
+
+    def killer() -> None:
+        for _ in range(kill_at):
+            settled.acquire()
+        if not killed_once.is_set():
+            killed_once.set()
+            daemon.kill9()
+
+    try:
+        daemon.ensure_up()
+        kill_thread = None
+        if kill_at and kill_at < requests:
+            kill_thread = threading.Thread(target=killer, daemon=True)
+            kill_thread.start()
+        if parallel:
+            lanes: List[List[int]] = [[] for _ in range(clients)]
+            for index in range(len(specs)):
+                lanes[index % clients].append(index)
+            threads = [threading.Thread(target=worker, args=(lane,))
+                       for lane in lanes if lane]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            worker(list(range(len(specs))))
+        if kill_thread is not None and kill_thread.is_alive():
+            killed_once.set()          # not enough settlements to trigger
+
+        flood_stats = {"shed": 0, "served": 0, "lost": 0}
+        if flood:
+            flood_stats = _flood_tenant(daemon, seed,
+                                        DEFAULT_TENANTS[0],
+                                        burst=tenant_quota * 3)
+        client = daemon.ensure_up()
+        final_status = client.status()
+    finally:
+        daemon.stop()
+
+    report = ServeChaosReport(
+        seed=seed, requests=requests,
+        outcomes=[o for o in outcomes if o is not None],
+        restarts=max(0, daemon.restarts),
+        flood_shed=flood_stats["shed"],
+        flood_served=flood_stats["served"],
+        final_status=final_status)
+    if flood_stats["lost"]:
+        report.outcomes.append(RequestOutcome(
+            "flood", DEFAULT_TENANTS[0], "sleep", "lost",
+            detail=f"{flood_stats['lost']} flood request(s) with "
+                   f"untyped outcomes"))
+    missing = requests - len([o for o in outcomes if o is not None])
+    if missing:
+        report.outcomes.append(RequestOutcome(
+            "corpus", "-", "-", "lost",
+            detail=f"{missing} request(s) never classified"))
+    return report
+
+
+def render_report(report: ServeChaosReport) -> str:
+    lines = [f"== serve chaos (seed={report.seed}, "
+             f"requests={report.requests}) =="]
+    for status, count in report.status_counts().items():
+        lines.append(f"  {status:<28} {count}")
+    lines.append(f"  daemon restarts: {report.restarts}")
+    lines.append(f"  flood: served={report.flood_served} "
+                 f"shed={report.flood_shed}")
+    requests_info = report.final_status.get("requests", {})
+    lines.append(f"  final server counters: {json.dumps(requests_info, sort_keys=True)}")
+    lines.append(f"  corpus digest: {report.digest()}")
+    lines.append("  silent losses: "
+                 + ("NONE" if report.ok
+                    else f"{len(report.silent_failures)} !!"))
+    return "\n".join(lines)

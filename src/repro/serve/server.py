@@ -1,0 +1,754 @@
+"""The ``repro serve`` daemon: crash-consistent multi-tenant execution.
+
+Request lifecycle (see DESIGN.md "Service layer" for the full state
+machine)::
+
+    parse → idempotency check → ADMIT → journal(request_received)
+          → queue → dispatch → execute (retry/backoff)
+          → store result → journal(request_done | request_failed)
+          → respond
+
+Two invariants make the layer crash-consistent:
+
+* **durable before visible** — a response is sent only after its
+  ``request_done`` record (and the stored payload it points at) is
+  fsync'd.  The ``server.kill`` chaos fault SIGKILLs the daemon in the
+  window *after* durability and *before* the response, which is exactly
+  the window a client retry must be able to close: the restarted server
+  serves the stored payload byte-identically, ``recomputed=0``.
+* **typed or settled, never silent** — every admitted request either
+  settles in the journal or is refused with a typed
+  :class:`~repro.serve.admission.AdmissionRejected` before any work
+  happens.  There is no path that consumes a request without leaving a
+  record a restart can answer from.
+
+The execution model is deliberately boring: one executor thread drains
+a bounded queue, so per-tenant artifact-cache roots can be swapped
+around each request without cross-talk, and every engine interaction is
+single-threaded.  Concurrency lives in the asyncio front end (many
+connections) and inside the engine (process fan-out), not in the
+service core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import queue
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .. import obs
+from ..errors import (
+    CacheIntegrityError,
+    ConfigError,
+    FaultInjected,
+    ReproError,
+)
+from ..faults import injection
+from ..runtime import durable
+from ..runtime.cache import ENV_CACHE_DIR, configure_cache, digest
+from ..runtime.engine import ExperimentEngine, journal_breaker_transitions
+from ..runtime.supervisor import CircuitBreaker
+from .admission import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TENANT_QUOTA,
+    AdmissionController,
+    AdmissionRejected,
+    DeadlineExceeded,
+)
+from .spec import RequestSpec, execute_spec, result_digest
+
+#: exit code of a graceful SIGTERM drain (matches the CLI convention)
+DRAIN_EXIT_CODE = 130
+
+#: failure classes worth a server-side retry (transient by taxonomy);
+#: everything else in the tree is deterministic and re-running it would
+#: only repeat the same answer
+RETRYABLE_TYPES: Tuple[type, ...] = (
+    FaultInjected, CacheIntegrityError, TimeoutError, ConnectionError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    return isinstance(exc, RETRYABLE_TYPES)
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` needs, decoupled from argv."""
+
+    journal_dir: Path
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral, printed when ready
+    cache_root: Optional[Path] = None   # per-tenant roots live under here
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    tenant_quota: int = DEFAULT_TENANT_QUOTA
+    breaker_threshold: int = 3
+    breaker_cooldown: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    #: deadline applied when a request carries none (ms; None = unbounded)
+    default_deadline_ms: Optional[int] = None
+    engine_workers: int = 1
+    #: arm the ``server.kill`` chaos hook (daemon mode only — an
+    #: in-process test server must never SIGKILL the test runner)
+    allow_kill: bool = False
+    resume_run_id: Optional[str] = None
+
+
+@dataclass
+class _Work:
+    """One admitted request travelling from the front end to the executor."""
+
+    spec: RequestSpec
+    admitted_at: float
+    deadline_at: Optional[float]
+    #: completion callback, called exactly once with (status, body)
+    settle: Any = None
+
+
+class ServerCore:
+    """The synchronous service core: admission, execution, durability.
+
+    Deliberately free of sockets and asyncio so tests can drive the
+    whole request lifecycle with plain function calls; the HTTP front
+    end is a thin adapter on top.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        if not obs.enabled():
+            obs.enable()
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown)
+        self.admission = AdmissionController(
+            queue_limit=config.queue_limit,
+            tenant_quota=config.tenant_quota,
+            breaker=self.breaker)
+        self.journal, replay = self._attach_journal()
+        #: request_id -> settle info ({"final", "status", "body"})
+        self._settled: Dict[str, Dict[str, Any]] = {}
+        self._inflight_ids: set = set()
+        self._lock = threading.Lock()
+        self.requests_executed = 0
+        self.requests_resumed = 0      # answered from the journal store
+        self.started_at = time.time()
+        if replay is not None:
+            self._adopt_replay(replay)
+
+    # -- journal attach / re-attach ------------------------------------
+    def _attach_journal(self):
+        directory = Path(self.config.journal_dir)
+        replay = self._find_resumable(directory)
+        if replay is not None:
+            journal = durable.RunJournal.resume(directory, replay)
+            return journal, replay
+        journal = durable.RunJournal.create(
+            directory, ["serve", self.config.host], run_id=None)
+        return journal, None
+
+    def _find_resumable(self, directory: Path):
+        """The journal to re-attach to: named run, else latest unfinished."""
+        run_id = self.config.resume_run_id
+        if run_id:
+            path = durable.find_run(directory, run_id)
+            return durable.replay_journal(path)
+        candidates = []
+        if directory.is_dir():
+            for info in durable.list_runs(directory):
+                if info.status in ("interrupted", "crashed") \
+                        and info.argv[:1] == ["serve"]:
+                    candidates.append(info)
+        if not candidates:
+            return None
+        latest = max(candidates, key=lambda info: info.created)
+        path = durable.journal_path(directory, latest.run_id)
+        return durable.replay_journal(path)
+
+    def _adopt_replay(self, replay) -> None:
+        """Fold a pre-crash journal back into live state."""
+        for request_id, record in replay.requests_settled.items():
+            entry = self._settle_entry_from_record(record)
+            if entry is not None:
+                self._settled[request_id] = entry
+        self.breaker.preload(replay.breaker_open)
+        self.requests_reattached = len(replay.requests_settled)
+        self.requests_pending_at_crash = len(replay.requests_pending)
+
+    def _settle_entry_from_record(self, record) -> Optional[Dict[str, Any]]:
+        if record.get("type") == "request_done":
+            key = record.get("artifact_key", "")
+            hit, payload = self.journal.store.get(
+                durable.REQUEST_KIND, key)
+            if not hit:
+                return None          # store eviction: recompute on retry
+            return {"final": True, "status": 200,
+                    "body": {"status": "ok",
+                             "request_id": record.get("request_id", ""),
+                             "payload": payload,
+                             "digest": record.get("result_digest", "")}}
+        return {"final": bool(record.get("final", True)),
+                "status": int(record.get("http_status", 500)),
+                "body": {"status": "error",
+                         "request_id": record.get("request_id", ""),
+                         "error": {"type": record.get("error_type", ""),
+                                   "message": record.get("message", ""),
+                                   "retryable":
+                                       not record.get("final", True)}}}
+
+    # -- admission ------------------------------------------------------
+    def admit(self, raw_body: bytes,
+              deadline_header: Optional[str] = None):
+        """Parse + admit one POST body.
+
+        Returns either ``("reply", status, body)`` for anything that can
+        be answered without executing (idempotent replay, typed
+        rejection, parse error) or ``("work", _Work)`` for an admitted
+        request the executor must run.
+        """
+        try:
+            parsed = json.loads(raw_body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return ("reply", 400, _error_body(
+                "", "ConfigError", f"request body is not JSON: {exc}",
+                retryable=False))
+        try:
+            spec = RequestSpec.from_dict(parsed)
+            if deadline_header is not None:
+                spec = RequestSpec(
+                    kind=spec.kind, params=spec.params,
+                    tenant=spec.tenant, request_id=spec.request_id,
+                    deadline_ms=_parse_deadline(deadline_header))
+        except ConfigError as exc:
+            return ("reply", 400, _error_body(
+                str(parsed.get("request_id", ""))
+                if isinstance(parsed, dict) else "",
+                "ConfigError", str(exc), retryable=False))
+        if not spec.request_id:
+            spec = RequestSpec(kind=spec.kind, params=spec.params,
+                               tenant=spec.tenant,
+                               request_id=f"auto-{uuid.uuid4().hex[:12]}",
+                               deadline_ms=spec.deadline_ms)
+
+        replay = self._idempotent_reply(spec.request_id)
+        if replay is not None:
+            return ("reply", replay[0], replay[1])
+
+        with self._lock:
+            if spec.request_id in self._inflight_ids:
+                return ("reply", 409, _error_body(
+                    spec.request_id, "InFlight",
+                    f"request {spec.request_id!r} is already executing",
+                    retryable=True))
+            try:
+                self.admission.admit(spec.tenant, spec.workload)
+            except AdmissionRejected as exc:
+                body = _error_body(spec.request_id,
+                                   type(exc).__name__, str(exc),
+                                   retryable=exc.status != 504)
+                if exc.retry_after is not None:
+                    body["retry_after"] = exc.retry_after
+                self._count("serve.rejected", reason=type(exc).__name__)
+                return ("reply", exc.status, body)
+            self._inflight_ids.add(spec.request_id)
+
+        deadline_ms = spec.deadline_ms or self.config.default_deadline_ms
+        now = time.monotonic()
+        work = _Work(spec=spec, admitted_at=now,
+                     deadline_at=(now + deadline_ms / 1000.0
+                                  if deadline_ms else None))
+        self.journal.append(
+            "request_received", request_id=spec.request_id,
+            tenant=spec.tenant, kind=spec.kind, workload=spec.workload,
+            spec=spec.to_dict(), deadline_ms=deadline_ms)
+        self._count("serve.admitted", tenant=spec.tenant)
+        return ("work", work)
+
+    def _idempotent_reply(self, request_id: str):
+        """A settled request is answered from the journal, not re-run."""
+        with self._lock:
+            entry = self._settled.get(request_id)
+        if entry is None or not entry["final"]:
+            return None               # unknown, or retryable: re-execute
+        body = dict(entry["body"])
+        body["resumed"] = True
+        self.requests_resumed += 1
+        self._count("serve.resumed")
+        return (entry["status"], body)
+
+    # -- execution (executor thread) -----------------------------------
+    def execute(self, work: _Work) -> Tuple[int, Dict[str, Any]]:
+        """Run one admitted request to a settled, journaled outcome."""
+        spec = work.spec
+        try:
+            payload = self._run_attempts(work)
+        except AdmissionRejected as exc:     # deadline spent in queue
+            result = self._settle_failure(work, exc, exc.status,
+                                          final=True)
+        except ReproError as exc:
+            final = not is_retryable(exc)
+            status = 500 if final else 503
+            result = self._settle_failure(work, exc, status, final=final)
+        except Exception as exc:             # crash:<Type> — still typed
+            result = self._settle_failure(work, exc, 500, final=True)
+        else:
+            result = self._settle_done(work, payload)
+        finally:
+            with self._lock:
+                self._inflight_ids.discard(spec.request_id)
+            self.admission.release(spec.tenant)
+        return result
+
+    def _run_attempts(self, work: _Work):
+        """The retry/backoff loop around one spec execution."""
+        spec = work.spec
+        last: Optional[BaseException] = None
+        for attempt in range(self.config.retries + 1):
+            self._check_deadline(work)
+            try:
+                self._maybe_drop(spec)
+                payload = self._execute_spec(work)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                last = exc
+                self._count("serve.retries", tenant=spec.tenant)
+                if attempt < self.config.retries:
+                    time.sleep(self.config.backoff * (2 ** attempt))
+                continue
+            # a payload computed after the deadline is still a 504 —
+            # the client's budget, not the server's effort, is the
+            # contract being kept
+            self._check_deadline(work)
+            if last is not None:
+                injection.recovered("serve.dispatch", "retry")
+            return payload
+        assert last is not None
+        raise last
+
+    def _maybe_drop(self, spec: RequestSpec) -> None:
+        """The ``request.drop`` chaos hook: lose the dispatch, typed."""
+        injector = injection.get()
+        if injector is None:
+            return
+        event = injector.fire("request.drop", key=spec.request_id)
+        if event is not None:
+            injector.raise_fault(event)
+
+    def _execute_spec(self, work: _Work):
+        spec = work.spec
+        remaining = self._remaining(work)
+        engine = ExperimentEngine(
+            workers=self.config.engine_workers,
+            job_timeout=remaining, retries=0,
+            backoff=self.config.backoff)
+        with self._tenant_cache(spec.tenant):
+            with obs.span("serve.execute", kind=spec.kind,
+                          tenant=spec.tenant):
+                started = time.monotonic()
+                payload = execute_spec(spec, engine=engine)
+                self._observe_latency(spec, time.monotonic() - started)
+        return payload
+
+    def _observe_latency(self, spec: RequestSpec, elapsed: float) -> None:
+        registry = obs.get_registry()
+        registry.counter("serve.executed", kind=spec.kind,
+                         tenant=spec.tenant).inc()
+        registry.gauge("serve.last_latency_seconds",
+                       kind=spec.kind).set(elapsed)
+
+    def _check_deadline(self, work: _Work) -> None:
+        if work.deadline_at is not None \
+                and time.monotonic() >= work.deadline_at:
+            raise DeadlineExceeded(
+                f"deadline of request {work.spec.request_id!r} expired "
+                f"before execution finished")
+
+    def _remaining(self, work: _Work) -> Optional[float]:
+        if work.deadline_at is None:
+            return None
+        return max(0.01, work.deadline_at - time.monotonic())
+
+    @contextlib.contextmanager
+    def _tenant_cache(self, tenant: str):
+        """Swap the process-global artifact cache to this tenant's root.
+
+        Safe because the executor thread serializes all execution; the
+        env var travels to engine worker processes so their cache writes
+        land in the same namespace.
+        """
+        if self.config.cache_root is None:
+            yield
+            return
+        root = Path(self.config.cache_root) / "tenants" / tenant
+        previous_env = os.environ.get(ENV_CACHE_DIR)
+        os.environ[ENV_CACHE_DIR] = str(root)
+        configure_cache(root=root)
+        try:
+            yield
+        finally:
+            if previous_env is None:
+                os.environ.pop(ENV_CACHE_DIR, None)
+            else:
+                os.environ[ENV_CACHE_DIR] = previous_env
+            configure_cache(root=previous_env)
+
+    # -- settlement -----------------------------------------------------
+    def _settle_done(self, work: _Work, payload) -> Tuple[int, Dict]:
+        spec = work.spec
+        payload_digest = result_digest(payload)
+        artifact_key = digest(durable.REQUEST_KIND,
+                              self.journal.config_digest, spec.request_id)
+        # value durable before the pointer record, mirroring job_done
+        try:
+            self.journal.store.put(durable.REQUEST_KIND, artifact_key,
+                                   payload)
+        except Exception:
+            pass                      # unpicklable: retry would recompute
+        self.journal.append(
+            "request_done", request_id=spec.request_id,
+            tenant=spec.tenant, kind=spec.kind,
+            artifact_key=artifact_key, result_digest=payload_digest,
+            elapsed=round(time.monotonic() - work.admitted_at, 6))
+        self.requests_executed += 1
+        body = {"status": "ok", "request_id": spec.request_id,
+                "payload": payload, "digest": payload_digest}
+        with self._lock:
+            self._settled[spec.request_id] = {
+                "final": True, "status": 200, "body": body}
+        self._fold_outcome(spec, ok=True)
+        self._maybe_server_kill(spec)
+        reply = dict(body)
+        reply["resumed"] = False
+        return (200, reply)
+
+    def _settle_failure(self, work: _Work, exc: BaseException,
+                        status: int, final: bool) -> Tuple[int, Dict]:
+        spec = work.spec
+        self.journal.append(
+            "request_failed", request_id=spec.request_id,
+            tenant=spec.tenant, kind=spec.kind,
+            error_type=type(exc).__name__, message=str(exc),
+            http_status=status, final=final,
+            elapsed=round(time.monotonic() - work.admitted_at, 6))
+        self.requests_executed += 1
+        body = _error_body(spec.request_id, type(exc).__name__,
+                           str(exc), retryable=not final)
+        with self._lock:
+            self._settled[spec.request_id] = {
+                "final": final, "status": status, "body": dict(body)}
+        self._count("serve.failed", type=type(exc).__name__,
+                    tenant=spec.tenant)
+        self._fold_outcome(spec, ok=False)
+        return (status, body)
+
+    def _fold_outcome(self, spec: RequestSpec, ok: bool) -> None:
+        opened = self.admission.record_outcome(spec.tenant, spec.workload,
+                                               ok)
+        if opened:
+            injection.recovered("serve.dispatch", "breaker_open")
+        journal_breaker_transitions(self.breaker, self.journal)
+
+    def _maybe_server_kill(self, spec: RequestSpec) -> None:
+        """The ``server.kill`` chaos hook: durable, then dead.
+
+        Fires only in daemon mode, only after the ``request_done``
+        record is fsync'd — the restarted server must serve this very
+        request from its store, which is the property under test.
+        """
+        if not self.config.allow_kill:
+            return
+        injector = injection.get()
+        if injector is None:
+            return
+        event = injector.fire("server.kill", key=spec.request_id)
+        if event is None:
+            return
+        self.journal.append("fault_injected", site=event.site,
+                            kind=event.kind, key=event.key,
+                            ordinal=event.ordinal)
+        self.journal.close()
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- read-side ------------------------------------------------------
+    def lookup(self, request_id: str) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            entry = self._settled.get(request_id)
+            inflight = request_id in self._inflight_ids
+        if entry is not None:
+            body = dict(entry["body"])
+            body["resumed"] = True
+            return (entry["status"], body)
+        if inflight:
+            return (202, {"status": "pending", "request_id": request_id})
+        return (404, _error_body(request_id, "NotFound",
+                                 f"no settled request {request_id!r}",
+                                 retryable=False))
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.journal.run_id,
+            "uptime": round(time.time() - self.started_at, 3),
+            "admission": self.admission.snapshot(),
+            "requests": {
+                "executed": self.requests_executed,
+                "resumed": self.requests_resumed,
+                "settled": len(self._settled),
+                "reattached": getattr(self, "requests_reattached", 0),
+                "pending_at_crash": getattr(
+                    self, "requests_pending_at_crash", 0),
+            },
+            "breaker": {
+                "open": dict(self.breaker.open_workloads),
+                "skipped": self.breaker.skipped,
+                "probes": self.breaker.probes,
+            },
+        }
+
+    def metrics_text(self) -> str:
+        from ..obs.exposition import render_prom
+        registry = obs.get_registry()
+        snapshot = self.admission.snapshot()
+        registry.gauge("serve.in_flight").set(float(snapshot["in_flight"]))
+        registry.gauge("serve.draining").set(
+            1.0 if snapshot["draining"] else 0.0)
+        for tenant, count in snapshot["by_tenant"].items():
+            registry.gauge("serve.tenant_in_flight",
+                           tenant=tenant).set(float(count))
+        return render_prom(registry.snapshot())
+
+    # -- drain ----------------------------------------------------------
+    def start_drain(self) -> None:
+        self.admission.start_draining()
+        self._count("serve.drain_started")
+
+    def finish_drain(self) -> None:
+        """Journal the interruption once every in-flight request settled."""
+        self.journal.append("run_interrupted",
+                            completed=self.requests_executed, remaining=0)
+        self.journal.close()
+
+    def shutdown(self, exit_code: int = 0) -> None:
+        if not self.journal.closed:
+            self.journal.finish(exit_code)
+
+    @staticmethod
+    def _count(name: str, **labels) -> None:
+        obs.get_registry().counter(name, **labels).inc()
+
+
+def _error_body(request_id: str, error_type: str, message: str,
+                retryable: bool) -> Dict[str, Any]:
+    return {"status": "error", "request_id": request_id,
+            "error": {"type": error_type, "message": message,
+                      "retryable": retryable}}
+
+
+def _parse_deadline(raw: str) -> int:
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ConfigError(
+            f"X-Deadline-Ms must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigError(f"X-Deadline-Ms must be positive, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# The asyncio HTTP front end
+# ----------------------------------------------------------------------
+_MAX_BODY = 4 * 1024 * 1024
+_MAX_HEADER = 64 * 1024
+
+
+class ReproServer:
+    """Minimal HTTP/1.1 front end over one :class:`ServerCore`."""
+
+    def __init__(self, core: ServerCore):
+        self.core = core
+        self._queue: "queue.Queue" = queue.Queue()
+        self._executor = threading.Thread(
+            target=self._executor_loop, name="serve-executor", daemon=True)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+        self.exit_code = 0
+
+    # -- executor thread -----------------------------------------------
+    def _executor_loop(self) -> None:
+        while True:
+            work = self._queue.get()
+            if work is None:
+                return
+            try:
+                status, body = self.core.execute(work)
+            except BaseException as exc:   # never kill the loop silently
+                status, body = 500, _error_body(
+                    work.spec.request_id, type(exc).__name__, str(exc),
+                    retryable=False)
+            work.settle(status, body)
+
+    # -- request handling ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            status, payload, content_type = await self._route(
+                method, path, headers, body)
+            await self._respond(writer, status, payload, content_type)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_HEADER:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes):
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok"}, "application/json"
+        if method == "GET" and path == "/readyz":
+            if self.core.admission.draining:
+                return 503, {"status": "draining"}, "application/json"
+            return 200, {"status": "ready"}, "application/json"
+        if method == "GET" and path == "/metrics":
+            return 200, self.core.metrics_text(), "text/plain"
+        if method == "GET" and path == "/v1/status":
+            return 200, self.core.status(), "application/json"
+        if method == "GET" and path.startswith("/v1/requests/"):
+            request_id = path[len("/v1/requests/"):]
+            status, payload = self.core.lookup(request_id)
+            return status, payload, "application/json"
+        if method == "POST" and path == "/v1/requests":
+            return await self._submit(headers, body)
+        return 404, _error_body("", "NotFound",
+                                f"no route {method} {path}",
+                                retryable=False), "application/json"
+
+    async def _submit(self, headers: Dict[str, str], body: bytes):
+        outcome = self.core.admit(body, headers.get("x-deadline-ms"))
+        if outcome[0] == "reply":
+            _tag, status, payload = outcome
+            return status, payload, "application/json"
+        work = outcome[1]
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+
+        def settle(status: int, payload: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(
+                    (status, payload)))
+
+        work.settle = settle
+        self._queue.put(work)
+        status, payload = await future
+        return status, payload, "application/json"
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload, content_type: str) -> None:
+        if isinstance(payload, (dict, list)):
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        else:
+            data = str(payload).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "Status")
+        headers = [f"HTTP/1.1 {status} {reason}",
+                   f"Content-Type: {content_type}",
+                   f"Content-Length: {len(data)}",
+                   "Connection: close"]
+        if isinstance(payload, dict) and "retry_after" in payload:
+            headers.append(f"Retry-After: {payload['retry_after']:g}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
+        writer.write(data)
+        await writer.drain()
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self._drain_event = asyncio.Event()
+        self._executor.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.core.config.host,
+            port=self.core.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                loop.add_signal_handler(signum, self.request_drain)
+
+    def request_drain(self) -> None:
+        """SIGTERM path: stop admitting, let in-flight work finish."""
+        self.core.start_drain()
+        self.exit_code = DRAIN_EXIT_CODE
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    async def serve_until_drained(self) -> int:
+        assert self._drain_event is not None
+        await self._drain_event.wait()
+        # keep the listener up while in-flight work settles so late
+        # clients get a *typed* 503 Draining (and pending lookups still
+        # answer) instead of a connection refusal; admission already
+        # refuses everything new
+        while self.core.admission.in_flight > 0 or not self._queue.empty():
+            await asyncio.sleep(0.02)
+        self._server.close()
+        await self._server.wait_closed()
+        self._queue.put(None)
+        self._executor.join(timeout=10)
+        self.core.finish_drain()
+        return self.exit_code
+
+    async def run(self, announce=print) -> int:
+        await self.start()
+        announce(f"repro-serve ready host={self.core.config.host} "
+                 f"port={self.port} run={self.core.journal.run_id}",
+                 flush=True)
+        return await self.serve_until_drained()
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    core = ServerCore(config)
+    server = ReproServer(core)
+    try:
+        return asyncio.run(server.run())
+    finally:
+        if not core.journal.closed:
+            core.journal.close()

@@ -168,3 +168,90 @@ class TestDurableFlags:
         assert main(["experiment", "table2"]) == 0
         assert journal_dir.is_dir()
         assert list(journal_dir.glob("*.journal.jsonl"))
+
+
+class TestTypedErrors:
+    """Bad input must print one ``error:`` line and exit 1 — never a
+    traceback (the ``report`` convention, now shared by transpile,
+    chaos, and resume)."""
+
+    def test_chaos_missing_corpus(self, capsys):
+        assert main(["chaos", "--corpus", "/does/not/exist.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_chaos_bad_rate_scale(self, capsys):
+        assert main(["chaos", "--rate-scale", "-2",
+                     "--iterations", "1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "must be in [0, 1]" in err
+
+    def test_transpile_missing_corpus(self, capsys):
+        assert main(["transpile", "--corpus",
+                     "/does/not/exist.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_transpile_malformed_corpus(self, tmp_path, capsys):
+        bad = tmp_path / "corpus.json"
+        bad.write_text("{not json")
+        assert main(["transpile", "--corpus", str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_resume_argv_mismatch_is_typed(self, tmp_path, capsys):
+        # tamper a journal so its argv no longer re-digests to the
+        # recorded config digest; this used to escape cmd_resume as a
+        # ResumeMismatchError traceback
+        import json
+        from repro.runtime.durable import RunJournal
+        journal = RunJournal.create(tmp_path,
+                                    argv=["experiment", "fig7"])
+        journal.append("job_started", slot=0, key="k")
+        journal.close()                      # interrupted, resumable
+        lines = journal.path.read_text().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "run_started":
+                record["argv"] = ["experiment", "fig8"]
+            doctored.append(json.dumps(record, sort_keys=True))
+        journal.path.write_text("\n".join(doctored) + "\n")
+        assert main(["resume", "latest", "--journal",
+                     str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "refusing to replay" in err
+        assert "Traceback" not in err
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "/tmp/j", "--port", "0",
+             "--tenant-quota", "3", "--queue-limit", "16",
+             "--breaker-cooldown", "2.5", "--deadline-ms", "4000",
+             "--allow-kill"])
+        assert args.journal == "/tmp/j"
+        assert args.tenant_quota == 3
+        assert args.breaker_cooldown == 2.5
+        assert args.allow_kill
+
+    def test_serve_requires_journal(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL", raising=False)
+        assert main(["serve"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_chaos_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["chaos", "--serve", "--requests", "12",
+             "--serve-clients", "2", "--tenant-quota", "5"])
+        assert args.serve and args.requests == 12
+        assert args.serve_clients == 2 and args.tenant_quota == 5
+
+    def test_breaker_cooldown_flag_on_experiment(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig3", "--breaker-cooldown", "1.5"])
+        assert args.breaker_cooldown == 1.5

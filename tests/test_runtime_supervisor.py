@@ -100,6 +100,118 @@ class TestCircuitBreaker:
             CircuitBreaker(-1)
 
 
+class TestHalfOpenBreaker:
+    """The self-healing path: open -> (cooldown) -> half-open probe."""
+
+    @staticmethod
+    def _opened(breaker, workload="mcf"):
+        for _ in range(breaker.threshold):
+            breaker.record(workload, ok=False)
+        assert not breaker.allow(workload)
+        return breaker
+
+    def test_no_cooldown_means_legacy_always_open(self):
+        breaker = self._opened(CircuitBreaker(2))
+        assert not breaker.allow("mcf")
+        assert breaker.probes == 0
+
+    def test_probe_granted_once_after_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(2, cooldown=10.0, clock=lambda: clock[0])
+        self._opened(breaker)
+        assert not breaker.allow("mcf")        # cooldown not elapsed
+        clock[0] = 10.0
+        assert breaker.allow("mcf")            # exactly one probe
+        assert not breaker.allow("mcf")        # second caller still shed
+        assert breaker.probes == 1
+
+    def test_probe_success_closes_the_breaker(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(2, cooldown=5.0, clock=lambda: clock[0])
+        self._opened(breaker)
+        clock[0] = 5.0
+        assert breaker.allow("mcf")
+        assert breaker.record("mcf", ok=True) is False
+        assert "mcf" not in breaker.open_workloads
+        assert breaker.allow("mcf")            # fully closed again
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(2, cooldown=5.0, clock=lambda: clock[0])
+        self._opened(breaker)
+        clock[0] = 5.0
+        assert breaker.allow("mcf")
+        assert breaker.record("mcf", ok=False) is True
+        assert "mcf" in breaker.open_workloads
+        clock[0] = 9.0
+        assert not breaker.allow("mcf")        # new cooldown from t=5
+        clock[0] = 10.0
+        assert breaker.allow("mcf")
+
+    def test_cooldown_zero_probes_immediately(self):
+        breaker = CircuitBreaker(1, cooldown=0.0)
+        breaker.record("mcf", ok=False)
+        assert breaker.allow("mcf")
+        assert breaker.probes == 1
+
+    def test_preloaded_breaker_probes_without_timestamp(self):
+        # a journal replay knows a breaker was open but not when: the
+        # crash already cost at least one cooldown, so probe right away
+        breaker = CircuitBreaker(2, cooldown=3600.0)
+        breaker.preload({"mcf": 2})
+        assert breaker.allow("mcf")
+        assert breaker.probes == 1
+
+    def test_transitions_are_journal_ready_and_drain_once(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(2, cooldown=5.0, clock=lambda: clock[0])
+        self._opened(breaker)
+        clock[0] = 5.0
+        breaker.allow("mcf")
+        breaker.record("mcf", ok=False)        # probe fails -> re-open
+        clock[0] = 10.0
+        breaker.allow("mcf")
+        breaker.record("mcf", ok=True)         # probe closes
+        kinds = [r["type"] for r in breaker.drain_transitions()]
+        assert kinds == ["breaker_open", "breaker_half_open",
+                         "breaker_open", "breaker_half_open",
+                         "breaker_reset"]
+        assert breaker.drain_transitions() == []
+
+    def test_transitions_persist_into_a_journal(self, tmp_path):
+        from repro.runtime.engine import journal_breaker_transitions
+        journal = RunJournal.create(tmp_path, argv=["test"])
+        breaker = CircuitBreaker(1, cooldown=0.0)
+        breaker.record("mcf", ok=False)
+        breaker.allow("mcf")
+        breaker.record("mcf", ok=True)
+        journal_breaker_transitions(breaker, journal)
+        journal.close()
+        records = [json.loads(line) for line in
+                   journal.path.read_text().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert "breaker_open" in kinds
+        assert "breaker_half_open" in kinds
+        assert "breaker_reset" in kinds
+        # a reset breaker must not replay as open
+        assert "mcf" not in replay_journal(journal.path).breaker_open
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(1, cooldown=-1.0)
+
+    def test_cooldown_resolver_policy(self, monkeypatch):
+        resolve = supervisor.resolve_breaker_cooldown
+        monkeypatch.delenv("REPRO_BREAKER_COOLDOWN", raising=False)
+        assert resolve(None) is None
+        assert resolve(2.5) == 2.5
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN", "7.5")
+        assert resolve(None) == 7.5
+        assert resolve(1.0) == 1.0               # explicit beats env
+        with pytest.raises(ConfigError):
+            resolve(-3.0)
+
+
 class TestResolvers:
     def test_breaker_threshold_policy(self, monkeypatch):
         monkeypatch.delenv(supervisor.ENV_BREAKER_THRESHOLD, raising=False)

@@ -1,0 +1,107 @@
+"""Tests for typed admission control (backpressure the client can parse)."""
+
+import pytest
+
+from repro.runtime.supervisor import CircuitBreaker
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    BreakerOpen,
+    Draining,
+    QueueFull,
+    QuotaExceeded,
+)
+
+
+class TestQueueBound:
+    def test_admits_until_the_global_limit(self):
+        control = AdmissionController(queue_limit=2, tenant_quota=10)
+        control.admit("a", "mcf")
+        control.admit("b", "mcf")
+        with pytest.raises(QueueFull) as info:
+            control.admit("c", "mcf")
+        assert info.value.status == 429
+        assert info.value.retry_after is not None
+
+    def test_release_frees_the_slot(self):
+        control = AdmissionController(queue_limit=1, tenant_quota=10)
+        control.admit("a", "mcf")
+        control.release("a")
+        control.admit("b", "mcf")           # must not raise
+
+    def test_rejections_are_counted_by_reason(self):
+        control = AdmissionController(queue_limit=1, tenant_quota=10)
+        control.admit("a", "mcf")
+        for _ in range(3):
+            with pytest.raises(QueueFull):
+                control.admit("b", "mcf")
+        assert control.snapshot()["rejected"] == {"queue_full": 3}
+
+
+class TestTenantQuota:
+    def test_one_tenant_cannot_starve_another(self):
+        control = AdmissionController(queue_limit=100, tenant_quota=2)
+        control.admit("noisy", "mcf")
+        control.admit("noisy", "mcf")
+        with pytest.raises(QuotaExceeded):
+            control.admit("noisy", "mcf")
+        control.admit("quiet", "mcf")       # unaffected
+
+    def test_quota_is_per_tenant_in_flight(self):
+        control = AdmissionController(queue_limit=100, tenant_quota=1)
+        control.admit("a", "mcf")
+        control.release("a")
+        control.admit("a", "mcf")           # slot returned
+
+
+class TestBreakerIntegration:
+    def test_failures_open_the_tenant_workload_stream(self):
+        breaker = CircuitBreaker(threshold=2)
+        control = AdmissionController(queue_limit=10, tenant_quota=10,
+                                      breaker=breaker)
+        assert control.record_outcome("acme", "mcf", ok=False) is False
+        assert control.record_outcome("acme", "mcf", ok=True) is False
+        assert control.record_outcome("acme", "mcf", ok=False) is False
+        assert control.record_outcome("acme", "mcf", ok=False) is True
+        with pytest.raises(BreakerOpen) as info:
+            control.admit("acme", "mcf")
+        assert info.value.status == 429
+        # same tenant, different workload: unaffected
+        control.admit("acme", "lbm")
+        # different tenant, same workload: unaffected
+        control.admit("umbrella", "mcf")
+
+    def test_breaker_open_carries_cooldown_hint(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=9.0,
+                                 clock=lambda: 0.0)
+        control = AdmissionController(breaker=breaker)
+        control.record_outcome("acme", "mcf", ok=False)
+        with pytest.raises(BreakerOpen) as info:
+            control.admit("acme", "mcf")
+        assert info.value.retry_after == 9.0
+
+
+class TestDraining:
+    def test_draining_refuses_everything_with_503(self):
+        control = AdmissionController()
+        control.start_draining()
+        with pytest.raises(Draining) as info:
+            control.admit("a", "mcf")
+        assert info.value.status == 503
+        assert info.value.retry_after is None
+
+    def test_every_rejection_is_an_admission_rejected(self):
+        for exc_type in (QueueFull, QuotaExceeded, BreakerOpen, Draining):
+            assert issubclass(exc_type, AdmissionRejected)
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self):
+        import json
+        control = AdmissionController(queue_limit=5, tenant_quota=2)
+        control.admit("acme", "mcf")
+        snap = control.snapshot()
+        json.dumps(snap)                    # must not raise
+        assert snap["in_flight"] == 1
+        assert snap["by_tenant"] == {"acme": 1}
+        assert snap["admitted"] == 1

@@ -1,0 +1,145 @@
+"""Subprocess tests: the real daemon under faults, kills, and drains.
+
+These drive an actual ``repro serve`` process (so ``kill -9`` and
+SIGTERM are honest) and assert the two service-layer invariants:
+
+* zero silent loss — every request completes byte-identically against
+  precomputed ground truth, fails typed, or is re-served from the
+  journal after a restart;
+* graceful drain — SIGTERM mid-request finishes the in-flight work,
+  journals ``run_interrupted``, exits 130, and a restarted daemon
+  serves the drained request with ``recomputed=0``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.faults.plan import default_plan
+from repro.serve.harness import (
+    ServeDaemon,
+    expected_digests,
+    generate_requests,
+    serve_chaos_run,
+)
+from repro.serve.spec import RequestSpec
+
+
+class TestDifferentialChaos:
+    def test_no_silent_loss_under_faults_and_kill(self, tmp_path):
+        plan = default_plan(3, rate_scale=2.0,
+                            only=("request.drop", "server.kill"))
+        report = serve_chaos_run(
+            3, requests=8, clients=2,
+            journal_dir=tmp_path / "journal",
+            cache_root=tmp_path / "cache",
+            plan=plan, parallel=True, kill_at=3, flood=False)
+        assert report.silent_failures == []
+        assert report.status_counts().get("ok", 0) == 8
+        assert report.restarts >= 1            # the kill -9 cycle ran
+
+    def test_corpus_is_reproducible(self):
+        first = generate_requests(5, 6)
+        second = generate_requests(5, 6)
+        assert [s.to_dict() for s in first] == \
+            [s.to_dict() for s in second]
+        digests = expected_digests(first)
+        assert set(digests) == {s.request_id for s in first}
+
+
+class TestTenantFlood:
+    def test_flood_is_shed_typed_not_lost(self, tmp_path):
+        plan = default_plan(1, only=("tenant.flood",))
+        report = serve_chaos_run(
+            1, requests=4, clients=2,
+            journal_dir=tmp_path / "journal",
+            cache_root=tmp_path / "cache",
+            plan=plan, parallel=True, kill_at=None, flood=True,
+            tenant_quota=2)
+        assert report.silent_failures == []
+        assert report.flood_shed + report.flood_served > 0
+        assert report.flood_shed > 0           # quota actually bit
+
+
+class TestSigtermDrain:
+    def test_drain_mid_request_then_resume(self, tmp_path):
+        daemon = ServeDaemon(tmp_path / "journal", tmp_path / "cache")
+        try:
+            client = daemon.ensure_up()
+            assert client.wait_ready(30)
+            spec = RequestSpec(kind="sleep", params={"seconds": 1.5},
+                               tenant="acme", request_id="drain-1")
+            outcome = {}
+
+            def submit():
+                outcome["response"] = client.submit(spec)
+
+            worker = threading.Thread(target=submit)
+            worker.start()
+            # wait until the request is actually executing
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.lookup("drain-1").status == 202:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("request never became pending")
+
+            exit_code = daemon.sigterm()
+            worker.join(timeout=30)
+
+            # the in-flight request completed despite the drain
+            response = outcome["response"]
+            assert response.status == 200 and response.ok
+            assert exit_code == 130
+
+            journal = next((tmp_path / "journal").glob("*.jsonl"))
+            records = [json.loads(line)
+                       for line in journal.read_text().splitlines()]
+            kinds = [r["type"] for r in records]
+            assert "request_done" in kinds
+            assert "run_interrupted" in kinds
+            assert "run_finished" not in kinds
+
+            # restart against the same journal: byte-identical replay,
+            # nothing recomputed
+            client2 = daemon.ensure_up()
+            assert client2.wait_ready(30)
+            replay = client2.submit(spec)
+            assert replay.status == 200
+            assert replay.body["resumed"] is True
+            assert replay.body["digest"] == response.body["digest"]
+            status = client2.status()
+            assert status["requests"]["executed"] == 0
+            assert status["requests"]["reattached"] >= 1
+        finally:
+            daemon.stop()
+
+    def test_draining_daemon_refuses_new_work(self, tmp_path):
+        daemon = ServeDaemon(tmp_path / "journal", tmp_path / "cache")
+        try:
+            client = daemon.ensure_up()
+            assert client.wait_ready(30)
+            slow = RequestSpec(kind="sleep", params={"seconds": 1.0},
+                               tenant="acme", request_id="hold-1")
+            hold = threading.Thread(target=client.submit, args=(slow,))
+            hold.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.lookup("hold-1").status == 202:
+                    break
+                time.sleep(0.05)
+            daemon.process.send_signal(__import__("signal").SIGTERM)
+            time.sleep(0.2)                   # let the handler run
+            late = client.submit(RequestSpec(
+                kind="sleep", params={"seconds": 0.01},
+                tenant="acme", request_id="late-1"))
+            assert late.status == 503
+            assert late.body["error"]["type"] == "Draining"
+            assert not client.ready()          # /readyz flips first
+            hold.join(timeout=30)
+            assert daemon.process.wait(timeout=30) == 130
+        finally:
+            daemon.stop()

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI serve smoke test.
+
+Starts a real ``repro serve`` daemon, drives concurrent mixed-tenant
+requests against it, records every response, then ``kill -9``s the
+daemon mid-life, restarts it against the same journal, and re-submits
+the full corpus.  The build fails unless:
+
+* the restarted daemon re-attaches to the *same* run journal,
+* every re-submitted request is answered ``resumed=true`` with a
+  byte-identical payload digest, and
+* the restarted daemon recomputes nothing (``executed == 0``).
+
+The run journal and a final ``/metrics`` snapshot are left in the
+workdir for upload as CI artifacts.
+
+Usage: python tools/ci_serve_smoke.py [workdir]
+"""
+
+import concurrent.futures
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+TENANTS = ("acme", "umbrella", "initech")
+REQUESTS = 12
+
+
+def corpus(repo_src):
+    sys.path.insert(0, repo_src)
+    from repro.serve.spec import RequestSpec
+
+    specs = []
+    workloads = ("mcf", "libquantum", "lbm")
+    for index in range(REQUESTS):
+        specs.append(RequestSpec(
+            kind="compile",
+            params={"workload": workloads[index % len(workloads)]},
+            tenant=TENANTS[index % len(TENANTS)],
+            request_id=f"smoke-{index}"))
+    return specs
+
+
+def launch(journal_dir, cache_dir, env):
+    cmd = [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+           "--port", "0", "--journal", journal_dir,
+           "--cache-dir", cache_dir]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, env=env, text=True)
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(f"daemon died during startup "
+                             f"(rc={proc.poll()})")
+        print(line.rstrip(), flush=True)
+        if line.startswith("repro-serve ready"):
+            fields = dict(part.split("=", 1)
+                          for part in line.split() if "=" in part)
+            return proc, int(fields["port"]), fields["run"]
+    raise SystemExit("daemon did not become ready in 60s")
+
+
+def main():
+    workdir = sys.argv[1] if len(sys.argv) > 1 else "serve-smoke"
+    os.makedirs(workdir, exist_ok=True)
+    journal_dir = os.path.join(workdir, "serve-journal")
+    cache_dir = os.path.join(workdir, "serve-cache")
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+
+    env = dict(os.environ)
+    env.pop("REPRO_NO_CACHE", None)      # the store path must be live
+    env["PYTHONUNBUFFERED"] = "1"
+    # run from a bare checkout too, not just an installed package
+    env["PYTHONPATH"] = repo_src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+    specs = corpus(repo_src)
+    from repro.serve.client import ServeClient
+
+    proc, port, run_id = launch(journal_dir, cache_dir, env)
+    client = ServeClient("127.0.0.1", port)
+    if not client.wait_ready(30):
+        return 1
+
+    # phase 1: concurrent mixed-tenant submissions
+    digests = {}
+    with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+        futures = {pool.submit(client.submit, spec): spec
+                   for spec in specs}
+        for future in concurrent.futures.as_completed(futures):
+            spec = futures[future]
+            response = future.result()
+            if not response.ok:
+                print(f"error: {spec.request_id} failed: "
+                      f"{response.body}", file=sys.stderr)
+                return 1
+            digests[spec.request_id] = response.body["digest"]
+    print(f"phase 1: {len(digests)}/{len(specs)} requests ok", flush=True)
+
+    # phase 2: kill -9, restart against the same journal
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    print(f"killed daemon (exit {proc.returncode})", flush=True)
+    proc, port, run_id_2 = launch(journal_dir, cache_dir, env)
+    client = ServeClient("127.0.0.1", port)
+    if not client.wait_ready(30):
+        return 1
+    if run_id_2 != run_id:
+        print(f"error: restart did not re-attach "
+              f"({run_id} -> {run_id_2})", file=sys.stderr)
+        return 1
+
+    # phase 3: the full corpus again — byte-identical, zero recomputes
+    for spec in specs:
+        response = client.submit(spec)
+        if not response.ok or not response.body.get("resumed"):
+            print(f"error: {spec.request_id} not served from the "
+                  f"journal: {response.body}", file=sys.stderr)
+            return 1
+        if response.body["digest"] != digests[spec.request_id]:
+            print(f"error: {spec.request_id} digest diverged after "
+                  f"restart", file=sys.stderr)
+            return 1
+    status = client.status()
+    executed = status["requests"]["executed"]
+    reattached = status["requests"]["reattached"]
+    if executed != 0:
+        print(f"error: restarted daemon recomputed {executed} "
+              f"request(s); expected 0", file=sys.stderr)
+        return 1
+
+    with open(os.path.join(workdir, "serve-metrics.prom"), "w") as handle:
+        handle.write(client.metrics())
+
+    exit_code = None
+    proc.send_signal(signal.SIGTERM)
+    try:
+        exit_code = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if exit_code != 130:
+        print(f"error: drain exit code {exit_code}, expected 130",
+              file=sys.stderr)
+        return 1
+    print(f"serve smoke: {len(specs)} requests byte-identical across "
+          f"kill -9 ({reattached} re-attached, 0 recomputed), "
+          f"drain exit 130")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
